@@ -1,0 +1,176 @@
+#include "common/injection_accuracy.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "analysis/pipeline.hpp"
+#include "runtime/experiment.hpp"
+#include "spec/fault_spec.hpp"
+#include "spec/state_machine_spec.hpp"
+#include "util/rng.hpp"
+
+namespace loki::bench {
+namespace {
+
+spec::StateMachineSpec holder_spec(const std::string& name,
+                                   const std::string& peer) {
+  std::vector<spec::StateDef> defs;
+  const auto def = [&](const std::string& state, std::vector<std::string> notify,
+                       std::vector<std::pair<std::string, std::string>> arcs) {
+    spec::StateDef d;
+    d.name = state;
+    d.notify = std::move(notify);
+    for (auto& [e, s] : arcs) d.transitions.emplace(e, s);
+    defs.push_back(std::move(d));
+  };
+  def("BEGIN", {}, {{"START", "RUN"}});
+  def("RUN", {peer}, {{"ENTER", "TARGET"}});
+  def("TARGET", {peer}, {{"LEAVE", "RUN"}});
+  def("EXIT", {}, {});
+  return spec::StateMachineSpec(
+      name, {"BEGIN", "RUN", "TARGET", "EXIT"},
+      {"START", "ENTER", "LEAVE"}, std::move(defs));
+}
+
+spec::StateMachineSpec injector_spec(const std::string& name) {
+  std::vector<spec::StateDef> defs;
+  spec::StateDef idle;
+  idle.name = "IDLE";
+  defs.push_back(idle);
+  spec::StateDef begin;
+  begin.name = "BEGIN";
+  begin.transitions.emplace("START", "IDLE");
+  defs.push_back(begin);
+  return spec::StateMachineSpec(name, {"BEGIN", "IDLE", "EXIT"}, {"START"},
+                                std::move(defs));
+}
+
+/// Enters TARGET at a fixed offset and leaves `residence` later.
+class HolderApp final : public runtime::Application {
+ public:
+  HolderApp(Duration enter_at, Duration residence, Duration exit_slack)
+      : enter_at_(enter_at), residence_(residence), exit_slack_(exit_slack) {}
+
+  void on_start(runtime::NodeContext& ctx) override {
+    ctx.notify_event("START");
+    ctx.app_timer(enter_at_, [this](runtime::NodeContext& c) {
+      c.notify_event("ENTER");
+      c.app_timer(residence_, [this](runtime::NodeContext& c2) {
+        c2.notify_event("LEAVE");
+        c2.app_timer(exit_slack_, [](runtime::NodeContext& c3) { c3.exit_app(); });
+      });
+    });
+  }
+  void on_inject_fault(runtime::NodeContext&, const std::string&) override {}
+
+ private:
+  Duration enter_at_;
+  Duration residence_;
+  Duration exit_slack_;
+};
+
+/// Sits idle; the probe's injectFault is a no-op action (the recording of
+/// the injection instant is what the experiment measures).
+class InjectorApp final : public runtime::Application {
+ public:
+  explicit InjectorApp(Duration lifetime) : lifetime_(lifetime) {}
+
+  void on_start(runtime::NodeContext& ctx) override {
+    ctx.notify_event("START");
+    ctx.app_timer(lifetime_, [](runtime::NodeContext& c) { c.exit_app(); });
+  }
+  void on_inject_fault(runtime::NodeContext& ctx, const std::string& f) override {
+    ctx.record_message("injected " + f);
+  }
+
+ private:
+  Duration lifetime_;
+};
+
+runtime::ExperimentParams make_params(const AccuracySweepParams& sweep,
+                                      double time_in_state_ms,
+                                      std::uint64_t seed) {
+  runtime::ExperimentParams p;
+  p.seed = seed;
+  // Randomize the entry phase relative to the scheduler quantum so the
+  // residual-timeslice position at notification time varies per experiment.
+  Rng phase(seed ^ 0xfeedfacecafef00dull);
+  const Duration enter_at =
+      milliseconds(40) + Duration{phase.uniform_int(0, 3 * sweep.timeslice.ns)};
+  const Duration residence = millis_f(time_in_state_ms);
+  const Duration exit_slack = milliseconds(60);
+
+  for (const char* h : {"hostA", "hostB"}) {
+    runtime::HostConfig hc;
+    hc.name = h;
+    hc.sched.quantum = sweep.timeslice;
+    hc.load_duty = sweep.load_duty;
+    hc.load_chunk = microseconds(200);
+    p.hosts.push_back(hc);
+  }
+
+  runtime::NodeConfig holder;
+  holder.nickname = "holder";
+  holder.sm_spec = holder_spec("holder", "injector");
+  holder.initial_host = "hostA";
+  holder.app_factory = [enter_at, residence, exit_slack] {
+    return std::make_unique<HolderApp>(enter_at, residence, exit_slack);
+  };
+  p.nodes.push_back(std::move(holder));
+
+  runtime::NodeConfig injector;
+  injector.nickname = "injector";
+  injector.sm_spec = injector_spec("injector");
+  injector.fault_spec =
+      spec::parse_fault_spec("f (holder:TARGET) once\n", "accuracy");
+  injector.initial_host = "hostB";
+  const Duration lifetime = enter_at + residence + exit_slack;
+  injector.app_factory = [lifetime] {
+    return std::make_unique<InjectorApp>(lifetime);
+  };
+  p.nodes.push_back(std::move(injector));
+
+  p.design = sweep.design;
+  p.central.experiment_timeout = lifetime + seconds(2);
+  p.hard_limit = lifetime + seconds(10);
+  return p;
+}
+
+}  // namespace
+
+std::vector<AccuracyPoint> sweep_injection_accuracy(
+    const AccuracySweepParams& params) {
+  std::vector<AccuracyPoint> out;
+  for (const double t_ms : params.times_in_state_ms) {
+    AccuracyPoint point;
+    point.time_in_state_ms = t_ms;
+    for (int k = 0; k < params.experiments_per_point; ++k) {
+      const std::uint64_t seed =
+          params.seed_base * 1'000'003 +
+          static_cast<std::uint64_t>(t_ms * 1000) * 131 +
+          static_cast<std::uint64_t>(k);
+      const auto result =
+          runtime::run_experiment(make_params(params, t_ms, seed));
+      ++point.experiments;
+      if (!result.completed) continue;
+      const auto a = analysis::analyze_experiment(result);
+      if (a.accepted) ++point.correct;  // all injections correct, none missed
+    }
+    out.push_back(point);
+  }
+  return out;
+}
+
+void print_accuracy_table(const char* title,
+                          const std::vector<AccuracyPoint>& points) {
+  std::printf("%s\n", title);
+  std::printf("%-22s %-14s %-10s %s\n", "time-in-state (ms)", "experiments",
+              "correct", "P(correct injection)");
+  for (const AccuracyPoint& p : points) {
+    std::printf("%-22.2f %-14d %-10d %.3f\n", p.time_in_state_ms,
+                p.experiments, p.correct, p.probability());
+  }
+  std::printf("\n");
+}
+
+}  // namespace loki::bench

@@ -1,0 +1,51 @@
+// The Figs 3.2/3.3 experiment (§3.2.2): correct-injection probability as a
+// function of the time the application spends in the targeted global state,
+// for a given OS timeslice.
+//
+// Setup mirrors the thesis' test application: a `holder` node on hostA
+// enters state TARGET for a configurable residence time; an `injector` node
+// on hostB carries the fault  f (holder:TARGET) once . Both hosts run a
+// CPU-bound competing load, so every hop of the notification path (probe ->
+// state machine -> daemon -> wire -> daemon -> state machine -> probe) pays
+// realistic scheduling delays. Afterwards the standard analysis phase
+// decides — exactly as the thesis did — whether the injection landed inside
+// the intended global state; a missed injection counts as incorrect.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/deployment.hpp"
+#include "util/time.hpp"
+
+namespace loki::bench {
+
+struct AccuracyPoint {
+  double time_in_state_ms{0.0};
+  int experiments{0};
+  int correct{0};
+
+  double probability() const {
+    return experiments == 0 ? 0.0
+                            : static_cast<double>(correct) / experiments;
+  }
+};
+
+struct AccuracySweepParams {
+  Duration timeslice{milliseconds(10)};
+  std::vector<double> times_in_state_ms;
+  int experiments_per_point{40};
+  std::uint64_t seed_base{1};
+  double load_duty{1.0};
+  runtime::TransportDesign design{
+      runtime::TransportDesign::PartiallyDistributed};
+};
+
+std::vector<AccuracyPoint> sweep_injection_accuracy(
+    const AccuracySweepParams& params);
+
+/// Render the sweep like the thesis figures: one row per residence time.
+void print_accuracy_table(const char* title,
+                          const std::vector<AccuracyPoint>& points);
+
+}  // namespace loki::bench

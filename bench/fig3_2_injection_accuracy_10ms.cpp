@@ -1,0 +1,22 @@
+// Regenerates Figure 3.2: correct fault injection probability as a function
+// of time spent in a state, with a 10ms Linux timeslice.
+//
+// Expected shape (thesis): ~0 below a fraction of a timeslice, rising to ~1
+// once the state persists for a couple of timeslices (the injection path
+// cost is dominated by OS scheduling, not by the Loki runtime itself).
+#include "common/injection_accuracy.hpp"
+
+int main() {
+  using namespace loki;
+  bench::AccuracySweepParams params;
+  params.timeslice = milliseconds(10);
+  params.times_in_state_ms = {1,  2,  4,  6,  8,  10, 12, 15,
+                              20, 25, 30, 40, 50, 75, 100};
+  params.experiments_per_point = 40;
+  params.seed_base = 32;
+  bench::print_accuracy_table(
+      "Figure 3.2 - correct injection probability vs time in state "
+      "(10ms timeslice)",
+      bench::sweep_injection_accuracy(params));
+  return 0;
+}

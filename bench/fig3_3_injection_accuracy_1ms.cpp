@@ -1,0 +1,21 @@
+// Regenerates Figure 3.3: correct fault injection probability as a function
+// of time spent in a state, with a 1ms Linux timeslice.
+//
+// Expected shape (thesis): same curve as Fig 3.2 with the knee shifted an
+// order of magnitude left — accuracy tracks the OS timeslice.
+#include "common/injection_accuracy.hpp"
+
+int main() {
+  using namespace loki;
+  bench::AccuracySweepParams params;
+  params.timeslice = milliseconds(1);
+  params.times_in_state_ms = {0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0,
+                              2.5,  3.0, 4.0,  5.0, 7.5,  10.0};
+  params.experiments_per_point = 40;
+  params.seed_base = 33;
+  bench::print_accuracy_table(
+      "Figure 3.3 - correct injection probability vs time in state "
+      "(1ms timeslice)",
+      bench::sweep_injection_accuracy(params));
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Regenerates Figure 4.2 and the §4.3.2 worked observation-function values:
+// the example global timeline, the three predicate value timelines, and
+//
+//   count(U, B, 10, 35)     -> 2, 2, 5
+//   duration(T, 2, 10, 40)  -> 1.4ms, 0ms, 7.0ms
+//   instant(U, I, 2, 0, 50) -> 0ms, 26.3ms, 21.2ms
+//
+// (See EXPERIMENTS.md for the OCR repair applied to the scanned table.)
+#include <cstdio>
+
+#include "measure/observation.hpp"
+#include "measure/worked_example.hpp"
+
+using namespace loki;
+using namespace loki::measure;
+
+int main() {
+  const analysis::GlobalTimeline timeline = fig42_timeline();
+  const EvalContext ctx = fig42_context(timeline);
+
+  std::printf("Figure 4.2 - global timeline\n");
+  std::printf("%-16s %-12s %-10s %s\n", "State Machine", "Begin State",
+              "Event", "Time (ms)");
+  for (const auto& e : timeline.events) {
+    std::printf("%-16s %-12s %-10s %.1f\n", e.machine.c_str(), e.state.c_str(),
+                e.event.c_str(), e.mid() / 1e6);
+  }
+
+  std::printf("\nPredicate value timelines\n");
+  for (int i = 0; i < 3; ++i) {
+    const auto pred = fig42_predicate(i);
+    const auto pt = pred->evaluate(ctx);
+    std::printf("P%d := %s\n", i + 1, pred->to_string().c_str());
+    std::printf("  true intervals (ms):");
+    bool open = false;
+    double open_at = 0;
+    for (const auto& [t, v] : pt.steps()) {
+      if (v && !open) {
+        open = true;
+        open_at = t;
+      } else if (!v && open) {
+        open = false;
+        std::printf(" [%.1f, %.1f)", open_at / 1e6, t / 1e6);
+      }
+    }
+    if (open) std::printf(" [%.1f, end)", open_at / 1e6);
+    std::printf("\n  impulses (ms):");
+    for (const auto& [t, v] : pt.overrides())
+      if (v) std::printf(" %.1f", t / 1e6);
+    std::printf("\n");
+  }
+
+  std::printf("\nObservation function values (paper -> measured)\n");
+  const auto count =
+      obs_count(Edge::Up, Kind::Both, TimeArg::literal(10), TimeArg::literal(35));
+  const auto duration =
+      obs_duration(true, 2, TimeArg::literal(10), TimeArg::literal(40));
+  const auto instant = obs_instant(Edge::Up, Kind::Impulse, 2,
+                                   TimeArg::literal(0), TimeArg::literal(50));
+  const double expected_count[3] = {2, 2, 5};
+  const double expected_duration[3] = {1.4, 0.0, 7.0};
+  const double expected_instant[3] = {0.0, 26.3, 21.2};
+  std::printf("%-28s %-10s %-10s %-10s\n", "function", "P1", "P2", "P3");
+  std::printf("%-28s", "count(U,B,10,35)");
+  for (int i = 0; i < 3; ++i)
+    std::printf(" %g/%g     ", expected_count[i],
+                count(fig42_predicate(i)->evaluate(ctx), ctx));
+  std::printf("\n%-28s", "duration(T,2,10,40) [ms]");
+  for (int i = 0; i < 3; ++i)
+    std::printf(" %g/%g   ", expected_duration[i],
+                duration(fig42_predicate(i)->evaluate(ctx), ctx));
+  std::printf("\n%-28s", "instant(U,I,2,0,50) [ms]");
+  for (int i = 0; i < 3; ++i)
+    std::printf(" %g/%g ", expected_instant[i],
+                instant(fig42_predicate(i)->evaluate(ctx), ctx));
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Micro-benchmarks of the hot runtime and analysis paths (google-benchmark):
+// fault-expression evaluation, the fault parser sweep per view change
+// (§3.5.5 — the thesis flags it as a future optimization target), recorder
+// appends, convex-hull bound computation, predicate evaluation, global
+// timeline construction, and one full experiment as a macro-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "analysis/pipeline.hpp"
+#include "apps/election.hpp"
+#include "clocksync/convex_hull.hpp"
+#include "measure/observation.hpp"
+#include "measure/worked_example.hpp"
+#include "runtime/dictionary.hpp"
+#include "runtime/fault_parser.hpp"
+#include "runtime/recorder.hpp"
+#include "runtime/experiment.hpp"
+
+using namespace loki;
+
+namespace {
+
+void BM_FaultExprEval(benchmark::State& state) {
+  const auto expr = spec::parse_fault_expr(
+      "((black:CRASH) & ((green:FOLLOW) | (green:ELECT))) | ~(yellow:LEAD)",
+      "bm", 1);
+  std::map<std::string, std::string> view{
+      {"black", "CRASH"}, {"green", "ELECT"}, {"yellow", "FOLLOW"}};
+  const spec::StateView sv = [&](const std::string& m) -> const std::string* {
+    const auto it = view.find(m);
+    return it == view.end() ? nullptr : &it->second;
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr->eval(sv));
+  }
+}
+BENCHMARK(BM_FaultExprEval);
+
+void BM_FaultParserSweep(benchmark::State& state) {
+  // N expressions re-evaluated on every view change.
+  const int n = static_cast<int>(state.range(0));
+  std::string spec_text;
+  for (int i = 0; i < n; ++i) {
+    spec_text += "f" + std::to_string(i) + " ((m" + std::to_string(i % 8) +
+                 ":LEAD) & (m" + std::to_string((i + 1) % 8) + ":FOLLOW)) always\n";
+  }
+  const auto faults = spec::parse_fault_spec(spec_text, "bm");
+  runtime::FaultParser parser(faults.entries);
+  std::map<std::string, std::string> view;
+  for (int i = 0; i < 8; ++i) view["m" + std::to_string(i)] = "FOLLOW";
+  const spec::StateView sv = [&](const std::string& m) -> const std::string* {
+    const auto it = view.find(m);
+    return it == view.end() ? nullptr : &it->second;
+  };
+  int flip = 0;
+  for (auto _ : state) {
+    view["m0"] = (++flip % 2) ? "LEAD" : "FOLLOW";
+    benchmark::DoNotOptimize(parser.on_view_change(sv));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FaultParserSweep)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RecorderAppend(benchmark::State& state) {
+  const auto sm = apps::election_spec("black", {"green", "yellow"});
+  const spec::FaultSpec faults =
+      spec::parse_fault_spec("bfault1 (black:LEAD) always\n", "bm");
+  const auto dict = runtime::StudyDictionary::build({&sm}, {&faults});
+  runtime::Recorder rec("black", "hostA", dict);
+  const std::uint32_t ev = dict.event_index("black", "LEADER");
+  const std::uint32_t st = dict.state_index("LEAD");
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    rec.record_state_change(ev, st, LocalTime{t += 1000});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecorderAppend);
+
+void BM_ConvexHullBounds(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  clocksync::SyncData samples;
+  double t = 1e9;
+  for (int i = 0; i < n; ++i) {
+    const double d1 = 20e3 + rng.exponential(100e3);
+    samples.push_back({"ref", "tgt", LocalTime{(std::int64_t)t},
+                       LocalTime{(std::int64_t)(1e9 + 1.00004 * (t + d1))}});
+    t += 2e6;
+    const double d2 = 20e3 + rng.exponential(100e3);
+    samples.push_back({"tgt", "ref",
+                       LocalTime{(std::int64_t)(1e9 + 1.00004 * t)},
+                       LocalTime{(std::int64_t)(t + d2)}});
+    t += 2e6;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clocksync::estimate_bounds(samples, "ref", "tgt"));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_ConvexHullBounds)->Arg(20)->Arg(100)->Arg(400);
+
+void BM_PredicateEvaluate(benchmark::State& state) {
+  const auto timeline = measure::fig42_timeline();
+  const auto ctx = measure::fig42_context(timeline);
+  const auto pred = measure::fig42_predicate(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pred->evaluate(ctx));
+  }
+}
+BENCHMARK(BM_PredicateEvaluate);
+
+void BM_ObservationFunctions(benchmark::State& state) {
+  const auto timeline = measure::fig42_timeline();
+  const auto ctx = measure::fig42_context(timeline);
+  const auto pt = measure::fig42_predicate(2)->evaluate(ctx);
+  const auto count = measure::obs_count(measure::Edge::Up, measure::Kind::Both,
+                                        measure::TimeArg::literal(10),
+                                        measure::TimeArg::literal(35));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count(pt, ctx));
+  }
+}
+BENCHMARK(BM_ObservationFunctions);
+
+void BM_FullElectionExperiment(benchmark::State& state) {
+  apps::ElectionParams app;
+  app.run_for = milliseconds(400);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto params = apps::election_experiment(
+        seed++, {"hostA", "hostB", "hostC"},
+        {{"black", "hostA"}, {"yellow", "hostB"}, {"green", "hostC"}}, app);
+    params.nodes[0].fault_spec =
+        spec::parse_fault_spec("bfault1 (black:LEAD) always\n", "bm");
+    benchmark::DoNotOptimize(runtime::run_experiment(params));
+  }
+}
+BENCHMARK(BM_FullElectionExperiment)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeExperiment(benchmark::State& state) {
+  apps::ElectionParams app;
+  app.run_for = milliseconds(400);
+  auto params = apps::election_experiment(
+      5, {"hostA", "hostB", "hostC"},
+      {{"black", "hostA"}, {"yellow", "hostB"}, {"green", "hostC"}}, app);
+  params.nodes[0].fault_spec =
+      spec::parse_fault_spec("bfault1 (black:LEAD) always\n", "bm");
+  const auto result = runtime::run_experiment(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyze_experiment(result));
+  }
+  state.SetLabel("timeline events: " +
+                 std::to_string(result.timelines.at("black").records.size()));
+}
+BENCHMARK(BM_AnalyzeExperiment)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

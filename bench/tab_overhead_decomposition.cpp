@@ -1,0 +1,141 @@
+// Regenerates the §3.2.2 overhead claim: "the actual time taken by a
+// notification message on the network, and the overhead incurred due to the
+// fault injection by Loki, are minimal compared to the OS context switching
+// overhead". Decomposes the end-to-end notification->injection latency into
+// the fixed wire+handler budget and the scheduling residue, across quantum
+// and load settings.
+#include <cstdio>
+#include <memory>
+
+#include "runtime/experiment.hpp"
+#include "spec/fault_spec.hpp"
+#include "spec/state_machine_spec.hpp"
+
+using namespace loki;
+
+namespace {
+
+spec::StateMachineSpec mini_spec(const std::string& name,
+                                 std::vector<std::string> notify) {
+  std::vector<spec::StateDef> defs;
+  spec::StateDef begin;
+  begin.name = "BEGIN";
+  begin.transitions.emplace("START", "RUN");
+  defs.push_back(begin);
+  spec::StateDef run;
+  run.name = "RUN";
+  run.transitions.emplace("ENTER", "TARGET");
+  defs.push_back(run);
+  spec::StateDef target;
+  target.name = "TARGET";
+  target.notify = std::move(notify);
+  defs.push_back(target);
+  return spec::StateMachineSpec(name, {"BEGIN", "RUN", "TARGET", "EXIT"},
+                                {"START", "ENTER"}, std::move(defs));
+}
+
+class SenderApp final : public runtime::Application {
+ public:
+  void on_start(runtime::NodeContext& ctx) override {
+    ctx.notify_event("START");
+    ctx.app_timer(milliseconds(50),
+                  [](runtime::NodeContext& c) { c.notify_event("ENTER"); });
+    ctx.app_timer(milliseconds(200), [](runtime::NodeContext& c) { c.exit_app(); });
+  }
+  void on_inject_fault(runtime::NodeContext&, const std::string&) override {}
+};
+
+class ReceiverApp final : public runtime::Application {
+ public:
+  void on_start(runtime::NodeContext& ctx) override {
+    ctx.notify_event("START");
+    ctx.app_timer(milliseconds(200), [](runtime::NodeContext& c) { c.exit_app(); });
+  }
+  void on_inject_fault(runtime::NodeContext&, const std::string&) override {}
+};
+
+struct Decomposition {
+  double mean_us{0};
+  double p95_us{0};
+  int n{0};
+};
+
+Decomposition measure(Duration quantum, double load, int reps) {
+  std::vector<double> latencies;
+  for (int r = 0; r < reps; ++r) {
+    runtime::ExperimentParams p;
+    p.seed = 3000 + static_cast<std::uint64_t>(r);
+    for (const char* h : {"hostA", "hostB"}) {
+      runtime::HostConfig hc;
+      hc.name = h;
+      hc.sched.quantum = quantum;
+      hc.load_duty = load;
+      p.hosts.push_back(hc);
+    }
+    runtime::NodeConfig sender;
+    sender.nickname = "sender";
+    sender.sm_spec = mini_spec("sender", {"receiver"});
+    sender.initial_host = "hostA";
+    sender.app_factory = [] { return std::make_unique<SenderApp>(); };
+    p.nodes.push_back(std::move(sender));
+    runtime::NodeConfig receiver;
+    receiver.nickname = "receiver";
+    receiver.sm_spec = mini_spec("receiver", {});
+    receiver.fault_spec = spec::parse_fault_spec("f (sender:TARGET) once\n", "o");
+    receiver.initial_host = "hostB";
+    receiver.app_factory = [] { return std::make_unique<ReceiverApp>(); };
+    p.nodes.push_back(std::move(receiver));
+
+    const auto result = runtime::run_experiment(p);
+    SimTime entered{};
+    for (const auto& [t, s] : result.truth.state_seq.at("sender"))
+      if (s == "TARGET") entered = t;
+    for (const auto& inj : result.truth.injections)
+      latencies.push_back(static_cast<double>((inj.at - entered).ns) / 1e3);
+  }
+  Decomposition d;
+  d.n = static_cast<int>(latencies.size());
+  if (latencies.empty()) return d;
+  std::sort(latencies.begin(), latencies.end());
+  for (const double v : latencies) d.mean_us += v;
+  d.mean_us /= d.n;
+  d.p95_us = latencies[static_cast<std::size_t>(0.95 * (d.n - 1))];
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  // Fixed budget on the via-daemon path: 2 IPC hops + 1 TCP hop + the
+  // runtime handlers (route x3, notification handler, injection).
+  const runtime::CostModel costs;
+  const sim::NetworkParams net;
+  const double wire_us =
+      (2.0 * static_cast<double>((net.ipc.base + net.ipc.jitter_mean).ns) +
+       static_cast<double>((net.tcp.base + net.tcp.jitter_mean).ns)) /
+      1e3;
+  const double fixed_us =
+      wire_us + static_cast<double>(3 * costs.daemon_route.ns +
+                                    costs.node_notification_handler.ns +
+                                    costs.probe_injection.ns) /
+                    1e3;
+
+  std::printf("Overhead decomposition (cross-host injection, via daemons)\n");
+  std::printf("fixed wire+runtime budget: ~%.0f us\n\n", fixed_us);
+  std::printf("%-14s %-8s %-12s %-12s %-16s %s\n", "quantum", "load",
+              "mean (us)", "p95 (us)", "sched residue", "sched share");
+  for (const Duration quantum : {milliseconds(1), milliseconds(10)}) {
+    for (const double load : {0.0, 0.5, 1.0}) {
+      const Decomposition d = measure(quantum, load, 25);
+      const double residue = d.mean_us - fixed_us;
+      std::printf("%-14s %-8.1f %-12.1f %-12.1f %-16.1f %.0f%%\n",
+                  format_duration(quantum).c_str(), load, d.mean_us, d.p95_us,
+                  residue, d.mean_us > 0 ? 100.0 * residue / d.mean_us : 0.0);
+    }
+  }
+  std::printf(
+      "\nexpected shape: unloaded latency ~= the fixed budget; under load the "
+      "scheduling\nresidue dominates and scales with the quantum - the Loki "
+      "runtime itself is cheap\ncompared to OS context switching (§3.2.2).\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "analysis/global_timeline.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace loki::analysis {
+
+std::vector<const GlobalEvent*> GlobalTimeline::of_machine(
+    const std::string& machine) const {
+  std::vector<const GlobalEvent*> out;
+  for (const GlobalEvent& e : events)
+    if (e.machine == machine) out.push_back(&e);
+  return out;
+}
+
+GlobalTimeline build_global_timeline(
+    const std::vector<const runtime::LocalTimeline*>& timelines,
+    const clocksync::AlphaBetaFile& alphabeta) {
+  GlobalTimeline out;
+  out.reference = alphabeta.reference;
+
+  for (const runtime::LocalTimeline* tl : timelines) {
+    std::string host = tl->initial_host;
+    for (std::size_t i = 0; i < tl->records.size(); ++i) {
+      const runtime::TimelineRecord& r = tl->records[i];
+      if (r.type == runtime::RecordType::Restart) host = r.host;
+
+      const clocksync::ClockBounds& bounds = alphabeta.for_host(host);
+      if (!bounds.valid)
+        throw ConfigError("no valid clock bounds for host " + host);
+
+      GlobalEvent e;
+      e.machine = tl->nickname;
+      e.host = host;
+      e.local = r.time;
+      e.when = clocksync::project_to_reference(r.time, bounds);
+      switch (r.type) {
+        case runtime::RecordType::StateChange:
+          e.kind = EventKind::StateChange;
+          e.state = tl->state_name(r.state_index);
+          e.event = tl->event_name(r.event_index);
+          break;
+        case runtime::RecordType::FaultInjection:
+          e.kind = EventKind::FaultInjection;
+          e.fault = tl->fault_name(r.fault_index);
+          break;
+        case runtime::RecordType::Restart:
+          e.kind = EventKind::Restart;
+          break;
+      }
+      out.events.push_back(std::move(e));
+    }
+  }
+
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const GlobalEvent& a, const GlobalEvent& b) {
+                     return a.mid() < b.mid();
+                   });
+  return out;
+}
+
+std::string serialize_global_timeline(const GlobalTimeline& t) {
+  std::string out = "reference " + t.reference + "\n";
+  char buf[128];
+  for (const GlobalEvent& e : t.events) {
+    out += e.machine;
+    switch (e.kind) {
+      case EventKind::StateChange:
+        out += " STATE_CHANGE " + e.event + " " + e.state;
+        break;
+      case EventKind::FaultInjection:
+        out += " FAULT_INJECTION " + e.fault;
+        break;
+      case EventKind::Restart:
+        out += " RESTART -";
+        break;
+    }
+    std::snprintf(buf, sizeof buf, " %s %lld %.3f %.3f\n", e.host.c_str(),
+                  static_cast<long long>(e.local.ns), e.when.lo, e.when.hi);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace loki::analysis

@@ -1,0 +1,58 @@
+#include "analysis/pipeline.hpp"
+
+#include "util/error.hpp"
+
+namespace loki::analysis {
+
+ExperimentAnalysis analyze_experiment(const runtime::ExperimentResult& result,
+                                      const AnalysisOptions& options) {
+  ExperimentAnalysis out;
+
+  std::vector<std::string> hosts;
+  for (const auto& [host, t] : result.start_local) hosts.push_back(host);
+  LOKI_REQUIRE(!hosts.empty(), "experiment result has no hosts");
+  const std::string reference =
+      options.reference.empty() ? hosts.front() : options.reference;
+
+  out.alphabeta =
+      clocksync::compute_alphabeta(result.sync_samples, hosts, reference);
+
+  std::vector<const runtime::LocalTimeline*> timelines;
+  for (const auto& [nick, tl] : result.timelines) timelines.push_back(&tl);
+
+  out.timeline = build_global_timeline(timelines, out.alphabeta);
+  out.verification =
+      verify_experiment(timelines, out.alphabeta, options.verification);
+
+  // The reference machine's own readings ARE the global timeline's axis.
+  out.start_ref = static_cast<double>(result.start_local.at(reference).ns);
+  out.end_ref = static_cast<double>(result.end_local.at(reference).ns);
+
+  out.accepted = out.verification.accepted && result.completed;
+  return out;
+}
+
+std::vector<ExperimentAnalysis> analyze_study(const runtime::StudyResult& study,
+                                              const AnalysisOptions& options) {
+  std::vector<ExperimentAnalysis> out;
+  out.reserve(study.experiments.size());
+  for (const auto& exp : study.experiments)
+    out.push_back(analyze_experiment(exp, options));
+  return out;
+}
+
+std::string serialize_verdicts(const VerificationResult& v) {
+  std::string out;
+  for (const InjectionVerdict& verdict : v.verdicts) {
+    out += verdict.machine + " " + verdict.fault + " " +
+           std::to_string(verdict.injection_index) + " " +
+           (verdict.correct ? "correct" : "incorrect");
+    if (!verdict.reason.empty()) out += " # " + verdict.reason;
+    out += "\n";
+  }
+  for (const MissedFault& m : v.missed)
+    out += "missed " + m.machine + " " + m.fault + "\n";
+  return out;
+}
+
+}  // namespace loki::analysis

@@ -1,0 +1,298 @@
+#include "analysis/verification.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace loki::analysis {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One machine's stay in one state, with exact (local) and projected
+/// (reference) coordinates. exit_* are +inf / absent when the machine held
+/// the state to the end of the experiment.
+struct Occupancy {
+  std::string state;
+  std::string entry_host;
+  LocalTime entry_local{};
+  clocksync::TimeBounds entry;
+  bool has_exit{false};
+  std::string exit_host;
+  LocalTime exit_local{};
+  clocksync::TimeBounds exit{kInf, kInf};
+};
+
+/// The (interval-valued) instant of one injection.
+struct InjectionSite {
+  std::string machine;
+  std::string fault;
+  std::string host;
+  LocalTime local{};
+  clocksync::TimeBounds when;
+};
+
+Tri tri_not(Tri t) {
+  if (t == Tri::True) return Tri::False;
+  if (t == Tri::False) return Tri::True;
+  return Tri::Unknown;
+}
+Tri tri_and(Tri a, Tri b) {
+  if (a == Tri::False || b == Tri::False) return Tri::False;
+  if (a == Tri::True && b == Tri::True) return Tri::True;
+  return Tri::Unknown;
+}
+Tri tri_or(Tri a, Tri b) {
+  if (a == Tri::True || b == Tri::True) return Tri::True;
+  if (a == Tri::False && b == Tri::False) return Tri::False;
+  return Tri::Unknown;
+}
+
+/// Evaluate a term (machine:state) over the injection interval.
+Tri eval_term(const std::map<std::string, std::vector<Occupancy>>& occupancies,
+              const std::string& machine, const std::string& state,
+              const InjectionSite& site) {
+  const auto it = occupancies.find(machine);
+  if (it == occupancies.end()) return Tri::False;  // machine never reported
+
+  bool any_possible = false;
+  for (const Occupancy& occ : it->second) {
+    if (occ.state != state) continue;
+
+    // Same-clock fast path: exact ordering by local time.
+    const bool entry_same = occ.entry_host == site.host;
+    const bool exit_same = !occ.has_exit || occ.exit_host == site.host;
+    if (entry_same && exit_same) {
+      const bool inside = occ.entry_local <= site.local &&
+                          (!occ.has_exit || site.local < occ.exit_local);
+      if (inside) return Tri::True;
+      continue;  // exactly outside: cannot overlap
+    }
+
+    // Cross-clock: thesis containment rule on projected bounds.
+    const double exit_lo = occ.has_exit ? occ.exit.lo : kInf;
+    const double exit_hi = occ.has_exit ? occ.exit.hi : kInf;
+    const bool certain =
+        occ.entry.hi <= site.when.lo && site.when.hi <= exit_lo;
+    if (certain) return Tri::True;
+    const bool possible = occ.entry.lo <= site.when.hi && site.when.lo <= exit_hi;
+    if (possible) any_possible = true;
+  }
+  return any_possible ? Tri::Unknown : Tri::False;
+}
+
+/// Tri-valued expression evaluation by structural recursion over the term
+/// list is not possible through the FaultExpr interface (it is Boolean), so
+/// we re-evaluate through eval() with a three-valued adapter: evaluate the
+/// expression twice, once resolving Unknown terms optimistically and once
+/// pessimistically. expr is monotone in term values only if negation-free;
+/// with NOT present the two-pass trick is unsound. Instead we enumerate the
+/// (at most 2^u for u Unknown terms, capped) assignments.
+Tri eval_expr(const spec::FaultExpr& expr,
+              const std::map<std::string, std::vector<Occupancy>>& occupancies,
+              const InjectionSite& site) {
+  const auto terms = spec::expr_terms(expr);
+  // Deduplicate (machine,state) pairs and pre-evaluate each.
+  std::vector<std::pair<std::string, std::string>> uniq;
+  std::vector<Tri> values;
+  for (const auto& t : terms) {
+    if (std::find(uniq.begin(), uniq.end(), t) != uniq.end()) continue;
+    uniq.push_back(t);
+    values.push_back(eval_term(occupancies, t.first, t.second, site));
+  }
+
+  std::vector<std::size_t> unknown_idx;
+  for (std::size_t i = 0; i < values.size(); ++i)
+    if (values[i] == Tri::Unknown) unknown_idx.push_back(i);
+
+  // With many unknowns, give up early: Unknown (conservatively incorrect).
+  if (unknown_idx.size() > 16) return Tri::Unknown;
+
+  bool seen_true = false;
+  bool seen_false = false;
+  const std::size_t combos = std::size_t{1} << unknown_idx.size();
+  for (std::size_t mask = 0; mask < combos; ++mask) {
+    std::map<std::pair<std::string, std::string>, bool> assignment;
+    for (std::size_t i = 0; i < uniq.size(); ++i)
+      assignment[uniq[i]] = values[i] == Tri::True;
+    for (std::size_t b = 0; b < unknown_idx.size(); ++b)
+      assignment[uniq[unknown_idx[b]]] = (mask >> b) & 1;
+
+    // Evaluate through the Boolean interface with a synthetic view: a term
+    // (m,S) is true iff assignment says so. Multiple states of the same
+    // machine are naturally exclusive in real views, but the assignment may
+    // propose impossible combinations — that only widens Unknown, keeping
+    // the check conservative.
+    const spec::StateView view = [&](const std::string& machine) -> const std::string* {
+      static thread_local std::string held;
+      for (const auto& [key, val] : assignment) {
+        if (key.first == machine && val) {
+          held = key.second;
+          return &held;
+        }
+      }
+      return nullptr;
+    };
+    if (expr.eval(view))
+      seen_true = true;
+    else
+      seen_false = true;
+    if (seen_true && seen_false) return Tri::Unknown;
+  }
+  if (seen_true && !seen_false) return Tri::True;
+  if (seen_false && !seen_true) return Tri::False;
+  return Tri::Unknown;
+}
+
+}  // namespace
+
+std::vector<GlobalEvent> project_timeline(const runtime::LocalTimeline& tl,
+                                          const clocksync::AlphaBetaFile& ab) {
+  std::string host = tl.initial_host;
+  std::vector<GlobalEvent> out;
+  for (const runtime::TimelineRecord& r : tl.records) {
+    if (r.type == runtime::RecordType::Restart) host = r.host;
+    const clocksync::ClockBounds& bounds = ab.for_host(host);
+    if (!bounds.valid) throw ConfigError("no valid clock bounds for host " + host);
+    GlobalEvent e;
+    e.machine = tl.nickname;
+    e.host = host;
+    e.local = r.time;
+    e.when = clocksync::project_to_reference(r.time, bounds);
+    switch (r.type) {
+      case runtime::RecordType::StateChange:
+        e.kind = EventKind::StateChange;
+        e.state = tl.state_name(r.state_index);
+        e.event = tl.event_name(r.event_index);
+        break;
+      case runtime::RecordType::FaultInjection:
+        e.kind = EventKind::FaultInjection;
+        e.fault = tl.fault_name(r.fault_index);
+        break;
+      case runtime::RecordType::Restart:
+        e.kind = EventKind::Restart;
+        break;
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+VerificationResult verify_experiment(
+    const std::vector<const runtime::LocalTimeline*>& timelines,
+    const clocksync::AlphaBetaFile& alphabeta,
+    const VerificationOptions& options) {
+  VerificationResult result;
+
+  // Build occupancies and injection sites per machine, in record order.
+  std::map<std::string, std::vector<Occupancy>> occupancies;
+  std::vector<InjectionSite> sites;
+  std::map<std::string, const runtime::LocalTimeline*> by_machine;
+
+  for (const runtime::LocalTimeline* tl : timelines) {
+    by_machine[tl->nickname] = tl;
+    const auto events = project_timeline(*tl, alphabeta);
+    auto& occ_list = occupancies[tl->nickname];
+    for (const GlobalEvent& e : events) {
+      switch (e.kind) {
+        case EventKind::StateChange: {
+          if (!occ_list.empty() && !occ_list.back().has_exit) {
+            occ_list.back().has_exit = true;
+            occ_list.back().exit_host = e.host;
+            occ_list.back().exit_local = e.local;
+            occ_list.back().exit = e.when;
+          }
+          Occupancy occ;
+          occ.state = e.state;
+          occ.entry_host = e.host;
+          occ.entry_local = e.local;
+          occ.entry = e.when;
+          occ_list.push_back(std::move(occ));
+          break;
+        }
+        case EventKind::FaultInjection: {
+          sites.push_back(
+              InjectionSite{e.machine, e.fault, e.host, e.local, e.when});
+          break;
+        }
+        case EventKind::Restart:
+          // State between restart and the first notification is BEGIN; the
+          // previous occupancy (normally CRASH) ends here.
+          if (!occ_list.empty() && !occ_list.back().has_exit) {
+            occ_list.back().has_exit = true;
+            occ_list.back().exit_host = e.host;
+            occ_list.back().exit_local = e.local;
+            occ_list.back().exit = e.when;
+          }
+          break;
+      }
+    }
+  }
+
+  // Check each injection against its fault expression.
+  std::map<std::pair<std::string, std::string>, std::size_t> injection_counts;
+  for (const InjectionSite& site : sites) {
+    const runtime::LocalTimeline* tl = by_machine.at(site.machine);
+    const runtime::TimelineFaultEntry* entry = nullptr;
+    for (const auto& f : tl->faults)
+      if (f.name == site.fault) entry = &f;
+    LOKI_REQUIRE(entry != nullptr, "injection for unknown fault " + site.fault);
+
+    const spec::FaultExprPtr expr =
+        spec::parse_fault_expr(entry->expr_text, "fault_list", 0);
+
+    InjectionVerdict verdict;
+    verdict.machine = site.machine;
+    verdict.fault = site.fault;
+    verdict.injection_index = injection_counts[{site.machine, site.fault}]++;
+
+    const Tri value = eval_expr(*expr, occupancies, site);
+    verdict.correct = value == Tri::True;
+    if (value == Tri::Unknown)
+      verdict.reason = "expression not certainly true over the injection bounds";
+    else if (value == Tri::False)
+      verdict.reason = "expression certainly false at the injection";
+    result.verdicts.push_back(std::move(verdict));
+    if (value != Tri::True) result.all_injections_correct = false;
+  }
+
+  // Missed `once` faults: the expression certainly became true at some
+  // sampled instant, yet no injection was recorded.
+  if (options.strict_missed_once) {
+    for (const runtime::LocalTimeline* tl : timelines) {
+      for (const auto& f : tl->faults) {
+        if (f.trigger != spec::Trigger::Once) continue;
+        if (injection_counts.contains({tl->nickname, f.name})) continue;
+        const spec::FaultExprPtr expr =
+            spec::parse_fault_expr(f.expr_text, "fault_list", 0);
+        // Sample at every machine's state-entry instant (the only times the
+        // global state changes).
+        bool certainly_true = false;
+        for (const auto& [machine, occs] : occupancies) {
+          for (const Occupancy& occ : occs) {
+            InjectionSite probe;
+            probe.machine = tl->nickname;
+            probe.host = occ.entry_host;
+            probe.local = occ.entry_local;
+            probe.when = occ.entry;
+            if (eval_expr(*expr, occupancies, probe) == Tri::True) {
+              certainly_true = true;
+              break;
+            }
+          }
+          if (certainly_true) break;
+        }
+        if (certainly_true)
+          result.missed.push_back(MissedFault{tl->nickname, f.name});
+      }
+    }
+  }
+
+  result.accepted = result.all_injections_correct && result.missed.empty();
+  return result;
+}
+
+}  // namespace loki::analysis

@@ -1,0 +1,241 @@
+#include "apps/election.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace loki::apps {
+
+void ElectionApp::on_start(runtime::NodeContext& ctx) {
+  if (!ctx.restarted()) {
+    ctx.notify_event("INIT");
+    ctx.do_work(microseconds(150), [this](runtime::NodeContext& c) {
+      if (exiting_) return;
+      c.notify_event("INIT_DONE");  // INIT -> ELECT
+      start_election(c, 1, /*from_follow=*/false);
+    });
+  } else {
+    ctx.notify_event("RESTART");  // BEGIN -> RESTART_SM
+    ctx.do_work(microseconds(150), [this](runtime::NodeContext& c) {
+      if (exiting_) return;
+      c.notify_event("RESTART_DONE");  // RESTART_SM -> FOLLOW
+      role_ = Role::Follower;
+      last_heartbeat_ = c.local_clock();
+      watchdog_loop(c);
+    });
+  }
+
+  ctx.app_timer(params_.run_for, [this](runtime::NodeContext& c) {
+    exiting_ = true;
+    c.exit_app();
+  });
+}
+
+void ElectionApp::start_election(runtime::NodeContext& ctx, int round,
+                                 bool from_follow) {
+  if (from_follow) ctx.notify_event("LEADER_CRASH");  // FOLLOW -> ELECT
+  role_ = Role::Electing;
+  round_ = round;
+  votes_.clear();
+  my_number_ = ctx.rng().uniform_int(0, (1ll << 31) - 1);
+  votes_.push_back(Vote{round_, my_number_, ctx.nickname()});
+  for (const std::string& peer : ctx.peer_nicknames())
+    ctx.app_send(peer, Vote{round_, my_number_, ctx.nickname()});
+  const int this_round = round_;
+  ctx.app_timer(params_.election_window,
+                [this, this_round](runtime::NodeContext& c) {
+                  close_election(c, this_round);
+                });
+}
+
+void ElectionApp::on_message(runtime::NodeContext& ctx, const std::any& payload) {
+  if (exiting_) return;
+  if (const auto* vote = std::any_cast<Vote>(&payload)) {
+    on_vote(ctx, *vote);
+    return;
+  }
+  if (const auto* hb = std::any_cast<Heartbeat>(&payload)) {
+    last_heartbeat_ = ctx.local_clock();
+    if (hb->round > round_) round_ = hb->round;
+    return;
+  }
+}
+
+void ElectionApp::on_vote(runtime::NodeContext& ctx, const Vote& vote) {
+  switch (role_) {
+    case Role::Leader:
+      return;  // an established leader ignores elections (it leaves LEAD
+               // only by crashing, per the Fig 5.1 abstraction)
+    case Role::Follower:
+      if (vote.round > round_) {
+        start_election(ctx, vote.round, /*from_follow=*/true);
+        votes_.push_back(vote);
+      }
+      return;
+    case Role::Electing:
+      if (vote.round < round_) return;  // stale
+      if (vote.round > round_) {
+        start_election(ctx, vote.round, /*from_follow=*/false);
+      }
+      for (const Vote& v : votes_)
+        if (v.from == vote.from) return;  // duplicate
+      votes_.push_back(vote);
+      return;
+    case Role::Booting:
+      // Not initialized yet; the vote is lost (sender's window tolerates it).
+      return;
+  }
+}
+
+void ElectionApp::close_election(runtime::NodeContext& ctx, int round) {
+  if (exiting_ || role_ != Role::Electing || round != round_) return;
+  LOKI_REQUIRE(!votes_.empty(), "election closed with no votes");
+  std::int64_t best = votes_.front().number;
+  for (const Vote& v : votes_) best = std::max(best, v.number);
+  int winners = 0;
+  std::string winner;
+  for (const Vote& v : votes_) {
+    if (v.number == best) {
+      ++winners;
+      winner = v.from;
+    }
+  }
+  if (winners > 1) {
+    // Tie: repeat the arbitration (§5.2).
+    start_election(ctx, round_ + 1, /*from_follow=*/false);
+    return;
+  }
+  if (winner == ctx.nickname())
+    become_leader(ctx);
+  else
+    become_follower(ctx, "FOLLOWER");
+}
+
+void ElectionApp::become_leader(runtime::NodeContext& ctx) {
+  role_ = Role::Leader;
+  ctx.notify_event("LEADER");  // ELECT -> LEAD
+  heartbeat_loop(ctx);
+}
+
+void ElectionApp::become_follower(runtime::NodeContext& ctx,
+                                  const std::string& event) {
+  role_ = Role::Follower;
+  ctx.notify_event(event);  // ELECT -> FOLLOW
+  last_heartbeat_ = ctx.local_clock();
+  watchdog_loop(ctx);
+}
+
+void ElectionApp::heartbeat_loop(runtime::NodeContext& ctx) {
+  if (exiting_ || role_ != Role::Leader) return;
+  for (const std::string& peer : ctx.peer_nicknames())
+    ctx.app_send(peer, Heartbeat{round_, ctx.nickname()});
+  ctx.app_timer(params_.heartbeat,
+                [this](runtime::NodeContext& c) { heartbeat_loop(c); });
+}
+
+void ElectionApp::watchdog_loop(runtime::NodeContext& ctx) {
+  if (exiting_ || role_ != Role::Follower) return;
+  const Duration since = ctx.local_clock() - last_heartbeat_;
+  if (since > params_.heartbeat * 3) {
+    start_election(ctx, round_ + 1, /*from_follow=*/true);
+    return;
+  }
+  ctx.app_timer(params_.heartbeat,
+                [this](runtime::NodeContext& c) { watchdog_loop(c); });
+}
+
+void ElectionApp::on_inject_fault(runtime::NodeContext& ctx,
+                                  const std::string& fault) {
+  ctx.record_message("injected " + fault);
+  if (!ctx.rng().bernoulli(params_.fault_activation_prob)) {
+    ctx.record_message(fault + " stayed dormant");
+    return;
+  }
+  const auto dormancy = Duration{static_cast<std::int64_t>(ctx.rng().exponential(
+      static_cast<double>(params_.dormancy_mean.ns)))};
+  const auto mode = params_.crash_mode;
+  ctx.app_timer(dormancy, [this, mode](runtime::NodeContext& c) {
+    if (exiting_) return;
+    c.record_message("fault manifested as error; crashing");
+    exiting_ = true;
+    c.crash_app(mode);
+  });
+}
+
+spec::StateMachineSpec election_spec(const std::string& nickname,
+                                     const std::vector<std::string>& peers) {
+  std::vector<std::string> states = {"BEGIN", "INIT",   "RESTART_SM", "ELECT",
+                                     "FOLLOW", "LEAD",  "CRASH",      "EXIT"};
+  std::vector<std::string> events = {"START",        "INIT_DONE", "RESTART",
+                                     "RESTART_DONE", "LEADER",    "FOLLOWER",
+                                     "LEADER_CRASH", "CRASH",     "ERROR"};
+  std::vector<spec::StateDef> defs;
+
+  const auto def = [&](const std::string& name, std::vector<std::string> notify,
+                       std::vector<std::pair<std::string, std::string>> arcs) {
+    spec::StateDef d;
+    d.name = name;
+    d.notify = std::move(notify);
+    for (auto& [e, s] : arcs) d.transitions.emplace(e, s);
+    defs.push_back(std::move(d));
+  };
+
+  // §5.3: INIT, RESTART_SM and CRASH notify all peers; the rest notify
+  // nobody (the Ch. 5 fault expressions only reference LEAD/CRASH/FOLLOW/
+  // ELECT of the *injecting* machine plus CRASH of others, so the minimal
+  // lists suffice). LEAD/FOLLOW/ELECT also notify peers here so that
+  // cross-machine expressions like (black:LEAD) in other studies work.
+  def("INIT", peers, {{"INIT_DONE", "ELECT"}, {"ERROR", "EXIT"}});
+  def("RESTART_SM", peers, {{"RESTART_DONE", "FOLLOW"}, {"ERROR", "EXIT"}});
+  def("ELECT", peers,
+      {{"FOLLOWER", "FOLLOW"}, {"LEADER", "LEAD"}, {"CRASH", "CRASH"},
+       {"ERROR", "EXIT"}});
+  def("LEAD", peers, {{"CRASH", "CRASH"}, {"ERROR", "EXIT"}});
+  def("FOLLOW", peers,
+      {{"LEADER_CRASH", "ELECT"}, {"CRASH", "CRASH"}, {"ERROR", "EXIT"}});
+  def("CRASH", peers, {});
+  def("EXIT", {}, {});
+  // BEGIN arcs let the first notification resolve via normal transitions.
+  def("BEGIN", {}, {{"START", "INIT"}, {"RESTART", "RESTART_SM"},
+                    {"INIT_DONE", "ELECT"}});
+
+  spec::StateMachineSpec spec(nickname, std::move(states), std::move(events),
+                              std::move(defs));
+  return spec;
+}
+
+runtime::ExperimentParams election_experiment(
+    std::uint64_t seed, const std::vector<std::string>& hosts,
+    const std::vector<std::pair<std::string, std::string>>& placements,
+    const ElectionParams& app_params) {
+  runtime::ExperimentParams params;
+  params.seed = seed;
+  for (const std::string& h : hosts) {
+    runtime::HostConfig hc;
+    hc.name = h;
+    params.hosts.push_back(hc);
+  }
+
+  std::vector<std::string> nicknames;
+  for (const auto& [nick, host] : placements) nicknames.push_back(nick);
+
+  for (const auto& [nick, host] : placements) {
+    std::vector<std::string> peers;
+    for (const std::string& other : nicknames)
+      if (other != nick) peers.push_back(other);
+
+    runtime::NodeConfig nc;
+    nc.nickname = nick;
+    nc.sm_spec = election_spec(nick, peers);
+    nc.initial_host = host;
+    nc.app_factory = [app_params] {
+      return std::make_unique<ElectionApp>(app_params);
+    };
+    params.nodes.push_back(std::move(nc));
+  }
+  return params;
+}
+
+}  // namespace loki::apps

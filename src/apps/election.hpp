@@ -1,0 +1,98 @@
+// The Chapter 5 test application: leader election.
+//
+// n processes each pick a random number and broadcast it; after a round
+// everyone knows the numbers and the highest picker leads. Ties re-run the
+// arbitration. When the leader crashes, survivors detect it by heartbeat
+// timeout and elect again; crashed processes may restart and rejoin as
+// followers (§5.2).
+//
+// Probe instrumentation per §5.5: the first notifyEvent initializes the
+// state machine (INIT for new nodes, RESTART for restarted ones); the state
+// machine abstraction is exactly Fig 5.1:
+//
+//   BEGIN -START-> INIT -INIT_DONE-> ELECT -LEADER-> LEAD
+//   BEGIN -RESTART-> RESTART_SM -RESTART_DONE-> FOLLOW
+//   ELECT -FOLLOWER-> FOLLOW -LEADER_CRASH-> ELECT
+//   LEAD/FOLLOW/ELECT -CRASH-> CRASH;  (any) -ERROR-> EXIT
+//
+// Failure detection is the application's own (heartbeats + timeouts);
+// Loki's CRASH notifications are runtime bookkeeping, not an oracle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/app.hpp"
+#include "runtime/experiment.hpp"
+#include "spec/fault_spec.hpp"
+#include "spec/state_machine_spec.hpp"
+
+namespace loki::apps {
+
+struct ElectionParams {
+  /// Vote-collection window before a round is closed.
+  Duration election_window{milliseconds(30)};
+  /// Leader heartbeat period; followers time out after 3 periods.
+  Duration heartbeat{milliseconds(25)};
+  /// Application lifetime; nodes exit cleanly afterwards.
+  Duration run_for{milliseconds(900)};
+  /// Probability an injected fault becomes an error (which crashes the
+  /// process); the rest stay dormant forever.
+  double fault_activation_prob{1.0};
+  /// Mean dormancy (fault occurrence -> error), exponential.
+  Duration dormancy_mean{milliseconds(5)};
+  /// How the error manifests.
+  runtime::CrashMode crash_mode{runtime::CrashMode::HandledSignal};
+};
+
+class ElectionApp final : public runtime::Application {
+ public:
+  explicit ElectionApp(ElectionParams params) : params_(params) {}
+
+  void on_start(runtime::NodeContext& ctx) override;
+  void on_inject_fault(runtime::NodeContext& ctx, const std::string& fault) override;
+  void on_message(runtime::NodeContext& ctx, const std::any& payload) override;
+
+ private:
+  struct Vote {
+    int round{0};
+    std::int64_t number{0};
+    std::string from;
+  };
+  struct Heartbeat {
+    int round{0};
+    std::string leader;
+  };
+
+  void start_election(runtime::NodeContext& ctx, int round, bool from_follow);
+  void on_vote(runtime::NodeContext& ctx, const Vote& vote);
+  void close_election(runtime::NodeContext& ctx, int round);
+  void become_leader(runtime::NodeContext& ctx);
+  void become_follower(runtime::NodeContext& ctx, const std::string& event);
+  void heartbeat_loop(runtime::NodeContext& ctx);
+  void watchdog_loop(runtime::NodeContext& ctx);
+
+  ElectionParams params_;
+  enum class Role { Booting, Electing, Leader, Follower } role_{Role::Booting};
+  int round_{0};
+  std::int64_t my_number_{0};
+  std::vector<Vote> votes_;
+  LocalTime last_heartbeat_{};
+  bool exiting_{false};
+};
+
+/// Fig 5.1 state machine spec for one participant; notify lists follow §5.3
+/// (INIT, RESTART_SM and CRASH notify every peer).
+spec::StateMachineSpec election_spec(const std::string& nickname,
+                                     const std::vector<std::string>& peers);
+
+/// Baseline ExperimentParams for an election cluster: three hosts by
+/// default, one node per host entry in `placements` (nickname -> host),
+/// empty fault specs (callers add faults and restart policies).
+runtime::ExperimentParams election_experiment(
+    std::uint64_t seed, const std::vector<std::string>& hosts,
+    const std::vector<std::pair<std::string, std::string>>& placements,
+    const ElectionParams& app_params);
+
+}  // namespace loki::apps

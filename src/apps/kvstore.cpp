@@ -1,0 +1,209 @@
+#include "apps/kvstore.hpp"
+
+#include <memory>
+
+namespace loki::apps {
+
+void KvStoreApp::on_start(runtime::NodeContext& ctx) {
+  ctx.notify_event("START");  // BEGIN -> BOOT
+  const bool primary = ctx.nickname() == params_.initial_primary;
+  ctx.do_work(microseconds(200), [this, primary](runtime::NodeContext& c) {
+    if (exiting_) return;
+    if (primary) {
+      role_ = Role::Primary;
+      c.notify_event("BOOT_DONE_PRIMARY");  // BOOT -> PRIMARY
+      heartbeat_loop(c);
+      workload_tick(c);
+    } else {
+      role_ = Role::Backup;
+      c.notify_event("BOOT_DONE_BACKUP");  // BOOT -> BACKUP
+      last_heartbeat_ = c.local_clock();
+      watchdog_loop(c);
+    }
+  });
+
+  ctx.app_timer(params_.run_for, [this](runtime::NodeContext& c) {
+    exiting_ = true;
+    c.exit_app();
+  });
+}
+
+void KvStoreApp::workload_tick(runtime::NodeContext& ctx) {
+  if (exiting_ || role_ != Role::Primary) return;
+  const auto gap = Duration{static_cast<std::int64_t>(ctx.rng().exponential(
+      static_cast<double>(params_.write_interval_mean.ns)))};
+  ctx.app_timer(gap, [this](runtime::NodeContext& c) {
+    if (exiting_ || role_ != Role::Primary) return;
+    if (pending_seq_ == 0) begin_write(c);
+    workload_tick(c);
+  });
+}
+
+void KvStoreApp::begin_write(runtime::NodeContext& ctx) {
+  pending_seq_ = next_seq_++;
+  const std::string key = "k" + std::to_string(pending_seq_);
+  const std::string value = "v" + std::to_string(ctx.rng().uniform_int(0, 9999));
+  store_[key] = value;
+  ctx.notify_event("WRITE_BEGIN");  // PRIMARY -> REPLICATING
+
+  const auto peers = ctx.peer_nicknames();
+  pending_acks_ = peers.size();
+  if (pending_acks_ == 0) {
+    finish_write(ctx);
+    return;
+  }
+  for (const std::string& peer : peers)
+    ctx.app_send(peer, Replicate{pending_seq_, key, value, ctx.nickname()});
+}
+
+void KvStoreApp::finish_write(runtime::NodeContext& ctx) {
+  pending_seq_ = 0;
+  pending_acks_ = 0;
+  ctx.notify_event("WRITE_COMMIT");  // REPLICATING -> PRIMARY
+}
+
+void KvStoreApp::heartbeat_loop(runtime::NodeContext& ctx) {
+  if (exiting_ || role_ != Role::Primary) return;
+  for (const std::string& peer : ctx.peer_nicknames())
+    ctx.app_send(peer, Heartbeat{ctx.nickname()});
+  ctx.app_timer(params_.heartbeat,
+                [this](runtime::NodeContext& c) { heartbeat_loop(c); });
+}
+
+void KvStoreApp::watchdog_loop(runtime::NodeContext& ctx) {
+  if (exiting_ || role_ != Role::Backup) return;
+  if (ctx.local_clock() - last_heartbeat_ > params_.heartbeat * 3) {
+    // Lowest surviving nickname promotes; others keep following the new
+    // primary's heartbeats.
+    bool lowest = true;
+    for (const std::string& peer : ctx.peer_nicknames())
+      if (peer < ctx.nickname()) lowest = false;
+    ctx.notify_event("PRIMARY_LOST");  // BACKUP -> PROMOTING
+    if (lowest) {
+      promote(ctx);
+    } else {
+      // Wait for the new primary; fall back to BACKUP on its heartbeat.
+      last_heartbeat_ = ctx.local_clock();
+      ctx.app_timer(params_.heartbeat * 2, [this](runtime::NodeContext& c) {
+        if (exiting_ || role_ != Role::Backup) return;
+        watchdog_loop(c);
+      });
+      role_ = Role::Backup;
+      ctx.notify_event("DEMOTED");  // PROMOTING -> BACKUP
+    }
+  } else {
+    ctx.app_timer(params_.heartbeat,
+                  [this](runtime::NodeContext& c) { watchdog_loop(c); });
+  }
+}
+
+void KvStoreApp::promote(runtime::NodeContext& ctx) {
+  role_ = Role::Primary;
+  ctx.notify_event("PROMOTED");  // PROMOTING -> PRIMARY
+  heartbeat_loop(ctx);
+  workload_tick(ctx);
+}
+
+void KvStoreApp::on_message(runtime::NodeContext& ctx, const std::any& payload) {
+  if (exiting_) return;
+  if (const auto* rep = std::any_cast<Replicate>(&payload)) {
+    if (role_ != Role::Backup && role_ != Role::Booting) return;
+    store_[rep->key] = rep->value;
+    last_heartbeat_ = ctx.local_clock();  // replication implies liveness
+    ctx.app_send(rep->from, Ack{rep->seq, ctx.nickname()});
+    return;
+  }
+  if (const auto* ack = std::any_cast<Ack>(&payload)) {
+    if (role_ != Role::Primary || ack->seq != pending_seq_) return;
+    if (pending_acks_ > 0 && --pending_acks_ == 0) finish_write(ctx);
+    return;
+  }
+  if (std::any_cast<Heartbeat>(&payload) != nullptr) {
+    last_heartbeat_ = ctx.local_clock();
+    return;
+  }
+}
+
+void KvStoreApp::on_inject_fault(runtime::NodeContext& ctx,
+                                 const std::string& fault) {
+  ctx.record_message("injected " + fault);
+  if (!ctx.rng().bernoulli(params_.fault_activation_prob)) return;
+  const auto dormancy = Duration{static_cast<std::int64_t>(ctx.rng().exponential(
+      static_cast<double>(params_.dormancy_mean.ns)))};
+  const auto mode = params_.crash_mode;
+  ctx.app_timer(dormancy, [this, mode](runtime::NodeContext& c) {
+    if (exiting_) return;
+    exiting_ = true;
+    c.crash_app(mode);
+  });
+}
+
+spec::StateMachineSpec kvstore_spec(const std::string& nickname,
+                                    const std::vector<std::string>& peers) {
+  std::vector<std::string> states = {"BEGIN",       "BOOT",      "PRIMARY",
+                                     "REPLICATING", "BACKUP",    "PROMOTING",
+                                     "CRASH",       "EXIT"};
+  std::vector<std::string> events = {
+      "START",        "BOOT_DONE_PRIMARY", "BOOT_DONE_BACKUP", "WRITE_BEGIN",
+      "WRITE_COMMIT", "PRIMARY_LOST",      "PROMOTED",         "DEMOTED",
+      "CRASH",        "ERROR"};
+  std::vector<spec::StateDef> defs;
+  const auto def = [&](const std::string& name, std::vector<std::string> notify,
+                       std::vector<std::pair<std::string, std::string>> arcs) {
+    spec::StateDef d;
+    d.name = name;
+    d.notify = std::move(notify);
+    for (auto& [e, s] : arcs) d.transitions.emplace(e, s);
+    defs.push_back(std::move(d));
+  };
+
+  def("BEGIN", {}, {{"START", "BOOT"}});
+  def("BOOT", peers,
+      {{"BOOT_DONE_PRIMARY", "PRIMARY"}, {"BOOT_DONE_BACKUP", "BACKUP"},
+       {"ERROR", "EXIT"}});
+  def("PRIMARY", peers,
+      {{"WRITE_BEGIN", "REPLICATING"}, {"CRASH", "CRASH"}, {"ERROR", "EXIT"}});
+  def("REPLICATING", peers,
+      {{"WRITE_COMMIT", "PRIMARY"}, {"CRASH", "CRASH"}, {"ERROR", "EXIT"}});
+  def("BACKUP", peers,
+      {{"PRIMARY_LOST", "PROMOTING"}, {"CRASH", "CRASH"}, {"ERROR", "EXIT"}});
+  def("PROMOTING", peers,
+      {{"PROMOTED", "PRIMARY"}, {"DEMOTED", "BACKUP"}, {"CRASH", "CRASH"},
+       {"ERROR", "EXIT"}});
+  def("CRASH", peers, {});
+  def("EXIT", {}, {});
+
+  return spec::StateMachineSpec(nickname, std::move(states), std::move(events),
+                                std::move(defs));
+}
+
+runtime::ExperimentParams kvstore_experiment(
+    std::uint64_t seed, const std::vector<std::string>& hosts,
+    const std::vector<std::pair<std::string, std::string>>& placements,
+    const KvStoreParams& app_params) {
+  runtime::ExperimentParams params;
+  params.seed = seed;
+  for (const std::string& h : hosts) {
+    runtime::HostConfig hc;
+    hc.name = h;
+    params.hosts.push_back(hc);
+  }
+  std::vector<std::string> nicknames;
+  for (const auto& [nick, host] : placements) nicknames.push_back(nick);
+  for (const auto& [nick, host] : placements) {
+    std::vector<std::string> peers;
+    for (const std::string& other : nicknames)
+      if (other != nick) peers.push_back(other);
+    runtime::NodeConfig nc;
+    nc.nickname = nick;
+    nc.sm_spec = kvstore_spec(nick, peers);
+    nc.initial_host = host;
+    nc.app_factory = [app_params] {
+      return std::make_unique<KvStoreApp>(app_params);
+    };
+    params.nodes.push_back(std::move(nc));
+  }
+  return params;
+}
+
+}  // namespace loki::apps

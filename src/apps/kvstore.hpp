@@ -1,0 +1,94 @@
+// Primary-backup replicated key-value store.
+//
+// A second realistic system under study: one primary accepts writes from a
+// client workload and replicates them synchronously to backups; a backup
+// that misses the primary's heartbeats promotes itself (lowest nickname
+// wins). Used to demonstrate Loki on a system whose states are about data
+// consistency rather than leadership, e.g. injecting a fault into a backup
+// while the primary is mid-replication:
+//
+//   states: BEGIN, BOOT, PRIMARY, BACKUP, REPLICATING, PROMOTING, CRASH, EXIT
+//   events: START, BOOT_DONE_PRIMARY, BOOT_DONE_BACKUP, WRITE_BEGIN,
+//           WRITE_COMMIT, PRIMARY_LOST, PROMOTED, CRASH, ERROR
+//
+// The REPLICATING state (primary mid-write, before all acks) is the
+// interesting window for global-state-triggered injections.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/app.hpp"
+#include "runtime/experiment.hpp"
+#include "spec/state_machine_spec.hpp"
+
+namespace loki::apps {
+
+struct KvStoreParams {
+  /// Designated initial primary.
+  std::string initial_primary;
+  /// Client write inter-arrival mean (exponential); writes originate at the
+  /// primary itself (an embedded workload generator).
+  Duration write_interval_mean{milliseconds(15)};
+  Duration heartbeat{milliseconds(20)};
+  Duration run_for{milliseconds(700)};
+  double fault_activation_prob{1.0};
+  Duration dormancy_mean{milliseconds(3)};
+  runtime::CrashMode crash_mode{runtime::CrashMode::HandledSignal};
+};
+
+class KvStoreApp final : public runtime::Application {
+ public:
+  explicit KvStoreApp(KvStoreParams params) : params_(params) {}
+
+  void on_start(runtime::NodeContext& ctx) override;
+  void on_inject_fault(runtime::NodeContext& ctx, const std::string& fault) override;
+  void on_message(runtime::NodeContext& ctx, const std::any& payload) override;
+
+  /// Exposed for invariant tests: committed key count.
+  std::size_t committed() const { return store_.size(); }
+
+ private:
+  struct Replicate {
+    std::uint64_t seq{0};
+    std::string key;
+    std::string value;
+    std::string from;
+  };
+  struct Ack {
+    std::uint64_t seq{0};
+    std::string from;
+  };
+  struct Heartbeat {
+    std::string from;
+  };
+
+  void workload_tick(runtime::NodeContext& ctx);
+  void begin_write(runtime::NodeContext& ctx);
+  void finish_write(runtime::NodeContext& ctx);
+  void heartbeat_loop(runtime::NodeContext& ctx);
+  void watchdog_loop(runtime::NodeContext& ctx);
+  void promote(runtime::NodeContext& ctx);
+
+  KvStoreParams params_;
+  enum class Role { Booting, Primary, Backup, Crashed } role_{Role::Booting};
+  std::map<std::string, std::string> store_;
+  std::uint64_t next_seq_{1};
+  std::uint64_t pending_seq_{0};
+  std::size_t pending_acks_{0};
+  LocalTime last_heartbeat_{};
+  bool exiting_{false};
+};
+
+spec::StateMachineSpec kvstore_spec(const std::string& nickname,
+                                    const std::vector<std::string>& peers);
+
+runtime::ExperimentParams kvstore_experiment(
+    std::uint64_t seed, const std::vector<std::string>& hosts,
+    const std::vector<std::pair<std::string, std::string>>& placements,
+    const KvStoreParams& app_params);
+
+}  // namespace loki::apps

@@ -1,0 +1,144 @@
+#include "apps/token_ring.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace loki::apps {
+
+void TokenRingApp::on_start(runtime::NodeContext& ctx) {
+  ctx.notify_event("START");  // BEGIN -> IDLE
+
+  // The alphabetically-first node mints the token.
+  auto peers = ctx.peer_nicknames();
+  const bool minter = std::all_of(peers.begin(), peers.end(),
+                                  [&](const std::string& p) {
+                                    return ctx.nickname() < p;
+                                  });
+  if (minter) {
+    ctx.app_timer(params_.pass_delay, [this](runtime::NodeContext& c) {
+      enter_critical(c, Token{1});
+    });
+  }
+
+  ctx.app_timer(params_.run_for, [this](runtime::NodeContext& c) {
+    exiting_ = true;
+    c.exit_app();
+  });
+}
+
+std::string TokenRingApp::successor(const runtime::NodeContext& ctx) const {
+  // Ring in lexicographic nickname order.
+  std::vector<std::string> all = ctx.peer_nicknames();
+  all.push_back(ctx.nickname());
+  std::sort(all.begin(), all.end());
+  const auto it = std::find(all.begin(), all.end(), ctx.nickname());
+  const std::size_t idx = static_cast<std::size_t>(it - all.begin());
+  return all[(idx + 1) % all.size()];
+}
+
+void TokenRingApp::enter_critical(runtime::NodeContext& ctx, const Token& token) {
+  if (exiting_) return;
+  in_critical_ = true;
+  ctx.notify_event("TOKEN_ARRIVED");  // IDLE -> CRITICAL
+  ctx.app_timer(params_.critical_section, [this, token](runtime::NodeContext& c) {
+    if (exiting_) return;
+    in_critical_ = false;
+    c.notify_event("WORK_DONE");  // CRITICAL -> IDLE
+    pass_token(c, token);
+  });
+}
+
+void TokenRingApp::pass_token(runtime::NodeContext& ctx, const Token& token) {
+  ctx.app_timer(params_.pass_delay, [this, token](runtime::NodeContext& c) {
+    if (exiting_) return;
+    c.app_send(successor(c), token);
+  });
+}
+
+void TokenRingApp::on_message(runtime::NodeContext& ctx, const std::any& payload) {
+  if (exiting_) return;
+  if (const auto* token = std::any_cast<Token>(&payload)) {
+    if (in_critical_) {
+      // Already holding a (forged) token: the safety violation the measure
+      // framework is meant to catch. Swallow the duplicate.
+      ctx.record_message("duplicate token while critical");
+      return;
+    }
+    enter_critical(ctx, *token);
+  }
+}
+
+void TokenRingApp::on_inject_fault(runtime::NodeContext& ctx,
+                                   const std::string& fault) {
+  ctx.record_message("injected " + fault);
+  if (fault == "duplicate_token") {
+    // Forge a second token out of thin air.
+    enter_critical(ctx, Token{999});
+    return;
+  }
+  if (fault == "drop_token") {
+    // Losing the token: modelled by crashing the holder silently.
+    exiting_ = true;
+    ctx.crash_app(runtime::CrashMode::Silent);
+    return;
+  }
+  // Unknown fault names crash the node (generic error).
+  exiting_ = true;
+  ctx.crash_app(runtime::CrashMode::HandledSignal);
+}
+
+spec::StateMachineSpec token_ring_spec(const std::string& nickname,
+                                       const std::vector<std::string>& peers) {
+  std::vector<std::string> states = {"BEGIN", "IDLE", "CRITICAL", "CRASH", "EXIT"};
+  std::vector<std::string> events = {"START", "TOKEN_ARRIVED", "WORK_DONE",
+                                     "CRASH", "ERROR"};
+  std::vector<spec::StateDef> defs;
+  const auto def = [&](const std::string& name, std::vector<std::string> notify,
+                       std::vector<std::pair<std::string, std::string>> arcs) {
+    spec::StateDef d;
+    d.name = name;
+    d.notify = std::move(notify);
+    for (auto& [e, s] : arcs) d.transitions.emplace(e, s);
+    defs.push_back(std::move(d));
+  };
+  def("BEGIN", {}, {{"START", "IDLE"}});
+  def("IDLE", peers,
+      {{"TOKEN_ARRIVED", "CRITICAL"}, {"CRASH", "CRASH"}, {"ERROR", "EXIT"}});
+  def("CRITICAL", peers,
+      {{"WORK_DONE", "IDLE"}, {"CRASH", "CRASH"}, {"ERROR", "EXIT"}});
+  def("CRASH", peers, {});
+  def("EXIT", {}, {});
+  return spec::StateMachineSpec(nickname, std::move(states), std::move(events),
+                                std::move(defs));
+}
+
+runtime::ExperimentParams token_ring_experiment(
+    std::uint64_t seed, const std::vector<std::string>& hosts,
+    const std::vector<std::pair<std::string, std::string>>& placements,
+    const TokenRingParams& app_params) {
+  runtime::ExperimentParams params;
+  params.seed = seed;
+  for (const std::string& h : hosts) {
+    runtime::HostConfig hc;
+    hc.name = h;
+    params.hosts.push_back(hc);
+  }
+  std::vector<std::string> nicknames;
+  for (const auto& [nick, host] : placements) nicknames.push_back(nick);
+  for (const auto& [nick, host] : placements) {
+    std::vector<std::string> peers;
+    for (const std::string& other : nicknames)
+      if (other != nick) peers.push_back(other);
+    runtime::NodeConfig nc;
+    nc.nickname = nick;
+    nc.sm_spec = token_ring_spec(nick, peers);
+    nc.initial_host = host;
+    nc.app_factory = [app_params] {
+      return std::make_unique<TokenRingApp>(app_params);
+    };
+    params.nodes.push_back(std::move(nc));
+  }
+  return params;
+}
+
+}  // namespace loki::apps

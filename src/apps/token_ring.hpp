@@ -1,0 +1,62 @@
+// Token-ring mutual exclusion.
+//
+// A third system under study: n nodes in a logical ring circulate a single
+// token; only the holder may enter its critical section. Loki is used to
+// attack the safety property directly — the fault `duplicate_token` forges
+// a second token, and the measure framework then *measures* mutual-
+// exclusion violations with the predicate
+//   (n1:CRITICAL) & (n2:CRITICAL)
+// — a verification-style use of the measure language (fault removal, §1.1).
+//
+//   states: BEGIN, IDLE, CRITICAL, CRASH, EXIT
+//   events: START, TOKEN_ARRIVED, WORK_DONE, CRASH, ERROR
+#pragma once
+
+#include <any>
+#include <string>
+#include <vector>
+
+#include "runtime/app.hpp"
+#include "runtime/experiment.hpp"
+#include "spec/state_machine_spec.hpp"
+
+namespace loki::apps {
+
+struct TokenRingParams {
+  /// Ring order = node config order; the first node mints the token.
+  Duration critical_section{milliseconds(4)};
+  Duration pass_delay{milliseconds(2)};
+  Duration run_for{milliseconds(600)};
+};
+
+class TokenRingApp final : public runtime::Application {
+ public:
+  explicit TokenRingApp(TokenRingParams params) : params_(params) {}
+
+  void on_start(runtime::NodeContext& ctx) override;
+  void on_inject_fault(runtime::NodeContext& ctx, const std::string& fault) override;
+  void on_message(runtime::NodeContext& ctx, const std::any& payload) override;
+
+ private:
+  struct Token {
+    std::uint64_t id{0};
+  };
+
+  void enter_critical(runtime::NodeContext& ctx, const Token& token);
+  void pass_token(runtime::NodeContext& ctx, const Token& token);
+  std::string successor(const runtime::NodeContext& ctx) const;
+
+  TokenRingParams params_;
+  bool exiting_{false};
+  bool in_critical_{false};
+};
+
+spec::StateMachineSpec token_ring_spec(const std::string& nickname,
+                                       const std::vector<std::string>& peers);
+
+runtime::ExperimentParams token_ring_experiment(
+    std::uint64_t seed, const std::vector<std::string>& hosts,
+    const std::vector<std::pair<std::string, std::string>>& placements,
+    const TokenRingParams& app_params);
+
+}  // namespace loki::apps

@@ -1,0 +1,168 @@
+#include "clocksync/convex_hull.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace loki::clocksync {
+namespace {
+
+// Sanity box keeping the feasible polygon bounded even with one-sided data.
+constexpr double kAlphaBox = 100e9;  // |alpha| <= 100 s
+constexpr double kBetaMin = 0.5;
+constexpr double kBetaMax = 2.0;
+
+struct Pt {
+  long double x;
+  long double y;
+};
+
+long double cross(const Pt& o, const Pt& a, const Pt& b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+/// Lower convex hull (binding subset for "line below all points").
+std::vector<Pt> lower_hull(std::vector<Pt> pts) {
+  std::sort(pts.begin(), pts.end(),
+            [](const Pt& a, const Pt& b) { return a.x < b.x || (a.x == b.x && a.y < b.y); });
+  // Keep the lowest y per x (most binding for set A).
+  std::vector<Pt> uniq;
+  for (const Pt& p : pts) {
+    if (!uniq.empty() && uniq.back().x == p.x) continue;
+    uniq.push_back(p);
+  }
+  std::vector<Pt> hull;
+  for (const Pt& p : uniq) {
+    while (hull.size() >= 2 && cross(hull[hull.size() - 2], hull.back(), p) <= 0)
+      hull.pop_back();
+    hull.push_back(p);
+  }
+  return hull;
+}
+
+/// Upper convex hull (binding subset for "line above all points").
+std::vector<Pt> upper_hull(std::vector<Pt> pts) {
+  std::sort(pts.begin(), pts.end(),
+            [](const Pt& a, const Pt& b) { return a.x < b.x || (a.x == b.x && a.y > b.y); });
+  std::vector<Pt> uniq;
+  for (const Pt& p : pts) {
+    if (!uniq.empty() && uniq.back().x == p.x) continue;
+    uniq.push_back(p);
+  }
+  std::vector<Pt> hull;
+  for (const Pt& p : uniq) {
+    while (hull.size() >= 2 && cross(hull[hull.size() - 2], hull.back(), p) >= 0)
+      hull.pop_back();
+    hull.push_back(p);
+  }
+  return hull;
+}
+
+/// Half-plane a*u + b*v <= c in transformed coordinates (u = alpha', v = beta).
+struct Constraint {
+  long double a, b, c;
+  bool from_box;
+};
+
+}  // namespace
+
+ClockBounds identity_bounds() {
+  ClockBounds b;
+  b.alpha_lo = b.alpha_hi = 0.0;
+  b.beta_lo = b.beta_hi = 1.0;
+  b.valid = true;
+  return b;
+}
+
+ClockBounds estimate_bounds(const SyncData& samples, const std::string& reference,
+                            const std::string& target) {
+  ClockBounds out;
+  if (target == reference) return identity_bounds();
+
+  // Collect the pair's samples in the (x = C_r, y = C_i) plane.
+  std::vector<Pt> above;  // r -> i messages: point above the line
+  std::vector<Pt> below;  // i -> r messages: point below the line
+  for (const SyncSample& s : samples) {
+    if (s.from == reference && s.to == target) {
+      above.push_back({static_cast<long double>(s.send.ns),
+                       static_cast<long double>(s.recv.ns)});
+    } else if (s.from == target && s.to == reference) {
+      below.push_back({static_cast<long double>(s.recv.ns),
+                       static_cast<long double>(s.send.ns)});
+    }
+  }
+  if (above.empty() && below.empty()) return out;  // no data: invalid
+
+  // Rebase both axes for conditioning: y' = v * x' + u with
+  //   u = alpha + beta*x0 - y0  and  v = beta.
+  long double x0 = 0, y0 = 0;
+  std::size_t n = 0;
+  for (const Pt& p : above) { x0 += p.x; y0 += p.y; ++n; }
+  for (const Pt& p : below) { x0 += p.x; y0 += p.y; ++n; }
+  x0 /= static_cast<long double>(n);
+  y0 /= static_cast<long double>(n);
+
+  std::vector<Constraint> cons;
+  for (const Pt& p : lower_hull(above))
+    cons.push_back({1.0L, p.x - x0, p.y - y0, false});  // u + v*x' <= y'
+  for (const Pt& p : upper_hull(below))
+    cons.push_back({-1.0L, -(p.x - x0), -(p.y - y0), false});  // u + v*x' >= y'
+
+  // Box constraints. alpha = u + y0 - v*x0, so:
+  //   alpha <= A  =>  u - v*x0 <= A - y0, etc.
+  cons.push_back({1.0L, -x0, kAlphaBox - y0, true});
+  cons.push_back({-1.0L, x0, kAlphaBox + y0, true});
+  cons.push_back({0.0L, 1.0L, kBetaMax, true});
+  cons.push_back({0.0L, -1.0L, -kBetaMin, true});
+
+  // Enumerate polygon vertices: intersections of constraint pairs that
+  // satisfy all other constraints.
+  const long double tol = 1e-3;  // nanosecond-scale slack
+  bool any = false;
+  long double amin = std::numeric_limits<long double>::max();
+  long double amax = -amin;
+  long double bmin = amin, bmax = -amin;
+
+  for (std::size_t i = 0; i < cons.size(); ++i) {
+    for (std::size_t j = i + 1; j < cons.size(); ++j) {
+      const Constraint& p = cons[i];
+      const Constraint& q = cons[j];
+      const long double det = p.a * q.b - q.a * p.b;
+      if (std::fabs(static_cast<double>(det)) < 1e-18) continue;
+      const long double u = (p.c * q.b - q.c * p.b) / det;
+      const long double v = (p.a * q.c - q.a * p.c) / det;
+      bool feasible = true;
+      for (const Constraint& k : cons) {
+        if (k.a * u + k.b * v > k.c + tol) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+      any = true;
+      const long double beta = v;
+      const long double alpha = u + y0 - v * x0;
+      amin = std::min(amin, alpha);
+      amax = std::max(amax, alpha);
+      bmin = std::min(bmin, beta);
+      bmax = std::max(bmax, beta);
+    }
+  }
+
+  if (!any) return out;  // infeasible (inconsistent samples)
+
+  out.alpha_lo = static_cast<double>(amin);
+  out.alpha_hi = static_cast<double>(amax);
+  out.beta_lo = static_cast<double>(bmin);
+  out.beta_hi = static_cast<double>(bmax);
+  out.valid = true;
+  // A bound resting on the sanity box means the data did not constrain it.
+  out.pinned_alpha =
+      out.alpha_hi >= kAlphaBox * 0.99 || out.alpha_lo <= -kAlphaBox * 0.99;
+  out.pinned_beta =
+      out.beta_hi >= kBetaMax * 0.999 || out.beta_lo <= kBetaMin * 1.001;
+  return out;
+}
+
+}  // namespace loki::clocksync

@@ -1,0 +1,34 @@
+#include "clocksync/sync_data.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/text_file.hpp"
+
+namespace loki::clocksync {
+
+std::string serialize_timestamps(const SyncData& samples) {
+  std::string out;
+  for (const SyncSample& s : samples) {
+    out += s.from + " " + s.to + " " + std::to_string(s.send.ns) + " " +
+           std::to_string(s.recv.ns) + "\n";
+  }
+  return out;
+}
+
+SyncData parse_timestamps(const std::string& content, const std::string& source) {
+  SyncData out;
+  for (const TextLine& line : logical_lines(content)) {
+    const auto tokens = split_ws(line.text);
+    if (tokens.size() != 4)
+      throw ParseError(source, line.number,
+                       "expected '<from> <to> <send_ns> <recv_ns>'");
+    const auto send = parse_i64(tokens[2]);
+    const auto recv = parse_i64(tokens[3]);
+    if (!send.has_value() || !recv.has_value())
+      throw ParseError(source, line.number, "bad timestamp on line: " + line.text);
+    out.push_back({tokens[0], tokens[1], LocalTime{*send}, LocalTime{*recv}});
+  }
+  return out;
+}
+
+}  // namespace loki::clocksync

@@ -1,0 +1,29 @@
+// Synchronization-message samples and their file format (§2.5, §5.6).
+//
+// `getstamps` exchanges timestamped messages between machines before and
+// after each experiment; each message yields one sample:
+//   (from, to, send time on from's clock, receive time on to's clock).
+// The timestamps file holds one sample per line:
+//   <fromHost> <toHost> <send_ns> <recv_ns>
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace loki::clocksync {
+
+struct SyncSample {
+  std::string from;
+  std::string to;
+  LocalTime send{};  // on `from`'s clock
+  LocalTime recv{};  // on `to`'s clock
+};
+
+using SyncData = std::vector<SyncSample>;
+
+std::string serialize_timestamps(const SyncData& samples);
+SyncData parse_timestamps(const std::string& content, const std::string& source);
+
+}  // namespace loki::clocksync

@@ -1,0 +1,79 @@
+#include "clocksync/sync_phase.hpp"
+
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace loki::clocksync {
+
+SimTime run_sync_phase(sim::World& world, const std::vector<sim::HostId>& hosts,
+                       const SyncPhaseParams& params, SyncData& out) {
+  LOKI_REQUIRE(params.messages_per_pair > 0, "need at least one sync message");
+  if (hosts.size() < 2) return world.now();
+
+  // One ephemeral stamper process per host.
+  std::vector<sim::ProcessId> stampers;
+  stampers.reserve(hosts.size());
+  for (const sim::HostId h : hosts)
+    stampers.push_back(world.spawn(h, "getstamps@" + world.host_name(h)));
+
+  auto remaining = std::make_shared<int>(0);
+  for (std::size_t a = 0; a < hosts.size(); ++a) {
+    for (std::size_t b = 0; b < hosts.size(); ++b) {
+      if (a == b) continue;
+      *remaining += params.messages_per_pair;
+    }
+  }
+
+  const SimTime phase_start = world.now();
+  std::size_t pair_index = 0;
+  for (std::size_t a = 0; a < hosts.size(); ++a) {
+    for (std::size_t b = 0; b < hosts.size(); ++b) {
+      if (a == b) continue;
+      const sim::HostId from_host = hosts[a];
+      const sim::HostId to_host = hosts[b];
+      const sim::ProcessId from = stampers[a];
+      const sim::ProcessId to = stampers[b];
+      // Stagger pairs so the control LAN is not hit by all pairs at once.
+      const Duration stagger = microseconds(137) * static_cast<std::int64_t>(pair_index++);
+      for (int k = 0; k < params.messages_per_pair; ++k) {
+        const SimTime fire =
+            phase_start + stagger + params.spacing * static_cast<std::int64_t>(k);
+        world.at(fire, [&world, from, to, from_host, to_host, params, &out,
+                        remaining] {
+          // Sender stamps inside its own execution context.
+          world.post(from, params.stamp_cost, [&world, from, to, from_host,
+                                               to_host, params, &out, remaining] {
+            const LocalTime send_stamp = world.clock_read(from_host);
+            world.send(from, to, sim::Lan::Control, sim::ChannelClass::Tcp,
+                       params.stamp_cost,
+                       [&world, to_host, from_host, send_stamp, &out, remaining] {
+                         const LocalTime recv_stamp = world.clock_read(to_host);
+                         out.push_back(SyncSample{world.host_name(from_host),
+                                                  world.host_name(to_host),
+                                                  send_stamp, recv_stamp});
+                         --*remaining;
+                       });
+          });
+        });
+      }
+    }
+  }
+
+  // Drive the world until every sample has been recorded.
+  const Duration total_span =
+      params.spacing * params.messages_per_pair + milliseconds(200);
+  SimTime limit = phase_start + total_span;
+  while (*remaining > 0) {
+    world.run_until(limit);
+    if (*remaining > 0) limit += milliseconds(100);
+    LOKI_REQUIRE(limit < phase_start + seconds(600),
+                 "sync phase failed to complete");
+  }
+
+  // Clean up stampers.
+  for (const sim::ProcessId pid : stampers) world.kill(pid);
+  return world.now();
+}
+
+}  // namespace loki::clocksync

@@ -1,0 +1,69 @@
+#include "measure/campaign_measure.hpp"
+
+#include "util/error.hpp"
+
+namespace loki::measure {
+
+CampaignEstimate simple_sampling_measure(const std::vector<StudySample>& studies) {
+  std::vector<double> pooled;
+  for (const StudySample& s : studies)
+    pooled.insert(pooled.end(), s.values.begin(), s.values.end());
+  CampaignEstimate out;
+  out.moments = summarize(pooled);
+  return out;
+}
+
+CampaignEstimate stratified_weighted_measure(
+    const std::vector<StudySample>& studies, const std::vector<double>& weights) {
+  LOKI_REQUIRE(studies.size() == weights.size(),
+               "one weight per study required");
+  double total_weight = 0.0;
+  for (const double w : weights) {
+    LOKI_REQUIRE(w >= 0.0, "weights must be non-negative");
+    total_weight += w;
+  }
+  LOKI_REQUIRE(total_weight > 0.0, "weights must not all be zero");
+
+  CampaignEstimate out;
+  std::size_t total_n = 0;
+  double mean = 0.0, mu2 = 0.0, mu3 = 0.0, mu4 = 0.0;
+  double raw1 = 0.0, raw2 = 0.0, raw3 = 0.0, raw4 = 0.0;
+  for (std::size_t i = 0; i < studies.size(); ++i) {
+    const MomentSummary m = summarize(studies[i].values);
+    const double p = weights[i] / total_weight;
+    total_n += m.n;
+    mean += p * m.mean;
+    mu2 += p * m.mu2;
+    mu3 += p * m.mu3;
+    mu4 += p * m.mu4;
+    raw1 += p * m.raw1;
+    raw2 += p * m.raw2;
+    raw3 += p * m.raw3;
+    raw4 += p * m.raw4;
+  }
+  out.moments.n = total_n;
+  out.moments.mean = mean;
+  out.moments.raw1 = raw1;
+  out.moments.raw2 = raw2;
+  out.moments.raw3 = raw3;
+  out.moments.raw4 = raw4;
+  out.moments.mu2 = mu2;
+  out.moments.mu3 = mu3;
+  out.moments.mu4 = mu4;
+  if (mu2 > 1e-300) {
+    out.moments.beta1 = (mu3 * mu3) / (mu2 * mu2 * mu2);
+    out.moments.beta2 = mu4 / (mu2 * mu2);
+  }
+  return out;
+}
+
+double stratified_user_measure(const std::vector<StudySample>& studies,
+                               const UserCombiner& combiner) {
+  LOKI_REQUIRE(static_cast<bool>(combiner), "user measure needs a combiner");
+  std::vector<double> means;
+  means.reserve(studies.size());
+  for (const StudySample& s : studies) means.push_back(summarize(s.values).mean);
+  return combiner(means);
+}
+
+}  // namespace loki::measure

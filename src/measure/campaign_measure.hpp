@@ -1,0 +1,47 @@
+// Campaign-level measures (§4.4): combining final observation function
+// values across studies.
+//
+//  - Simple sampling (§4.4.1): all studies' values pooled into one sample
+//    of a single random variable.
+//  - Stratified weighted (§4.4.2): per-study moments combined with
+//    normalized weights p_i; mean = sum p_i mu'_{1,i}; central moments
+//    mu_k = sum p_i mu_{k,i} for k = 2,3,4 under the thesis' independence
+//    assumption.
+//  - Stratified user (§4.4.3): an arbitrary user function applied to the
+//    per-study means; only the point value is returned (the thesis notes
+//    the result "may have no statistical meaning").
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "measure/statistics.hpp"
+
+namespace loki::measure {
+
+/// Final observation function values of one study's accepted experiments.
+struct StudySample {
+  std::string study;
+  std::vector<double> values;
+};
+
+struct CampaignEstimate {
+  MomentSummary moments;
+  /// gamma-percentile of the campaign measure (Cornish-Fisher; see
+  /// statistics.hpp for the documented substitution).
+  double percentile(double gamma) const { return measure::percentile(moments, gamma); }
+};
+
+CampaignEstimate simple_sampling_measure(const std::vector<StudySample>& studies);
+
+/// Weights need not be normalized; they are scaled to sum to one.
+CampaignEstimate stratified_weighted_measure(
+    const std::vector<StudySample>& studies, const std::vector<double>& weights);
+
+using UserCombiner = std::function<double(const std::vector<double>& study_means)>;
+
+double stratified_user_measure(const std::vector<StudySample>& studies,
+                               const UserCombiner& combiner);
+
+}  // namespace loki::measure

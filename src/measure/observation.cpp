@@ -1,0 +1,87 @@
+#include "measure/observation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace loki::measure {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double ns_to_ms(double ns) { return ns / 1e6; }
+
+}  // namespace
+
+double TimeArg::abs_ns(const EvalContext& ctx) const {
+  switch (kind) {
+    case Kind::Literal: return ctx.start_ref + ms * 1e6;
+    case Kind::StartExp: return ctx.start_ref;
+    case Kind::EndExp: return ctx.end_ref;
+  }
+  return ctx.start_ref;
+}
+
+ObservationFunction obs_count(Edge edge, Kind kind, TimeArg start, TimeArg end) {
+  return [edge, kind, start, end](const PredicateTimeline& pt,
+                                  const EvalContext& ctx) {
+    return static_cast<double>(
+        pt.transitions(edge, kind, start.abs_ns(ctx), end.abs_ns(ctx)).size());
+  };
+}
+
+ObservationFunction obs_outcome(TimeArg t) {
+  return [t](const PredicateTimeline& pt, const EvalContext& ctx) {
+    return pt.value_at(t.abs_ns(ctx)) ? 1.0 : 0.0;
+  };
+}
+
+ObservationFunction obs_duration(bool target_true, int x, TimeArg start,
+                                 TimeArg end) {
+  return [target_true, x, start, end](const PredicateTimeline& pt,
+                                      const EvalContext& ctx) {
+    const double lo = start.abs_ns(ctx);
+    const double hi = end.abs_ns(ctx);
+    const auto ts = pt.transitions(target_true ? Edge::Up : Edge::Down,
+                                   Kind::Both, lo, hi);
+    if (x <= 0 || static_cast<std::size_t>(x) > ts.size()) return 0.0;
+    const Transition& tr = ts[static_cast<std::size_t>(x - 1)];
+    if (tr.impulse && pt.base_at(tr.t) != target_true) return 0.0;  // pulse
+    if (target_true) {
+      const double down = pt.next_base_false(tr.t);
+      return ns_to_ms(std::min(down, hi) - tr.t);
+    }
+    // Dual: time until the base goes true again.
+    const PredicateTimeline inverted = ~pt;
+    const double up = inverted.next_base_false(tr.t);
+    return ns_to_ms(std::min(up, hi) - tr.t);
+  };
+}
+
+ObservationFunction obs_instant(Edge edge, Kind kind, int x, TimeArg start,
+                                TimeArg end) {
+  return [edge, kind, x, start, end](const PredicateTimeline& pt,
+                                     const EvalContext& ctx) {
+    const auto ts = pt.transitions(edge, kind, start.abs_ns(ctx), end.abs_ns(ctx));
+    if (x <= 0 || static_cast<std::size_t>(x) > ts.size()) return 0.0;
+    return ns_to_ms(ts[static_cast<std::size_t>(x - 1)].t - ctx.start_ref);
+  };
+}
+
+ObservationFunction obs_total_duration(bool target_true, TimeArg start,
+                                       TimeArg end) {
+  return [target_true, start, end](const PredicateTimeline& pt,
+                                   const EvalContext& ctx) {
+    return ns_to_ms(
+        pt.total_duration(target_true, start.abs_ns(ctx), end.abs_ns(ctx)));
+  };
+}
+
+ObservationFunction obs_greater(ObservationFunction inner, double threshold) {
+  return [inner = std::move(inner), threshold](const PredicateTimeline& pt,
+                                               const EvalContext& ctx) {
+    return inner(pt, ctx) > threshold ? 1.0 : 0.0;
+  };
+}
+
+}  // namespace loki::measure

@@ -1,0 +1,67 @@
+// Observation functions (§4.3.2).
+//
+// Each extracts one number from a predicate value timeline. The five
+// predefined functions of the thesis are provided; user-defined functions
+// are any callable combining these with ordinary math (§4.3.2 allows "any
+// function that can be compiled with a standard C compiler").
+//
+// Time arguments are milliseconds relative to START_EXP; the macros
+// START_EXP and END_EXP select the experiment window ends. Returned
+// durations/instants are in milliseconds (instants relative to START_EXP),
+// matching the worked example of Fig 4.2.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "measure/predicate.hpp"
+#include "measure/predicate_timeline.hpp"
+
+namespace loki::measure {
+
+/// A time argument: either a literal (ms from START_EXP) or a macro.
+struct TimeArg {
+  enum class Kind { Literal, StartExp, EndExp } kind{Kind::Literal};
+  double ms{0.0};
+
+  static TimeArg literal(double ms) { return {Kind::Literal, ms}; }
+  static TimeArg start_exp() { return {Kind::StartExp, 0.0}; }
+  static TimeArg end_exp() { return {Kind::EndExp, 0.0}; }
+
+  double abs_ns(const EvalContext& ctx) const;
+};
+
+inline constexpr struct StartExpTag {} START_EXP{};
+inline constexpr struct EndExpTag {} END_EXP{};
+
+/// An observation function value extractor.
+using ObservationFunction =
+    std::function<double(const PredicateTimeline&, const EvalContext&)>;
+
+/// count(<U,D,B>, <I,S,B>, START, END): number of matching transitions.
+ObservationFunction obs_count(Edge edge, Kind kind, TimeArg start, TimeArg end);
+
+/// outcome(t): 0/1 value of the predicate at instant t.
+ObservationFunction obs_outcome(TimeArg t);
+
+/// duration(<T,F>, x, START, END): ms the predicate stays true (false)
+/// starting at the x-th (1-based) up (down) transition inside the window;
+/// 0 when there are fewer than x transitions.
+ObservationFunction obs_duration(bool target_true, int x, TimeArg start,
+                                 TimeArg end);
+
+/// instant(<U,D,B>, <I,S,B>, x, START, END): ms (from START_EXP) of the
+/// x-th matching transition; 0 when there are fewer than x.
+ObservationFunction obs_instant(Edge edge, Kind kind, int x, TimeArg start,
+                                TimeArg end);
+
+/// total_duration(<T,F>, START, END): total ms the predicate is true
+/// (false) within the window.
+ObservationFunction obs_total_duration(bool target_true, TimeArg start,
+                                       TimeArg end);
+
+/// Wrap an observation with a threshold: returns 1.0 if cmp holds, else 0.
+/// Supports the thesis' "(total_duration(...) > 0)" style boolean results.
+ObservationFunction obs_greater(ObservationFunction inner, double threshold);
+
+}  // namespace loki::measure

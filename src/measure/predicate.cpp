@@ -1,0 +1,355 @@
+#include "measure/predicate.hpp"
+
+#include <cctype>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace loki::measure {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+double TimeWindow::lo_abs(const EvalContext& ctx) const {
+  if (!lo_ms.has_value()) return -kInf;
+  return (lo_is_end ? ctx.end_ref : ctx.start_ref) + *lo_ms * 1e6;
+}
+
+double TimeWindow::hi_abs(const EvalContext& ctx) const {
+  if (!hi_ms.has_value()) return kInf;
+  return (hi_is_end ? ctx.end_ref : ctx.start_ref) + *hi_ms * 1e6;
+}
+
+namespace {
+
+class StateTuple final : public Predicate {
+ public:
+  StateTuple(std::string machine, std::string state,
+             std::optional<TimeWindow> window)
+      : machine_(std::move(machine)),
+        state_(std::move(state)),
+        window_(window) {}
+
+  PredicateTimeline evaluate(const EvalContext& ctx) const override {
+    std::vector<std::pair<double, double>> intervals;
+    double open_since = -1.0;
+    bool open = false;
+    for (const analysis::GlobalEvent* e : ctx.timeline->of_machine(machine_)) {
+      if (e->kind == analysis::EventKind::FaultInjection) continue;
+      const double t = e->mid();
+      const bool entering =
+          e->kind == analysis::EventKind::StateChange && e->state == state_;
+      if (open && !entering) {
+        intervals.emplace_back(open_since, t);
+        open = false;
+      } else if (!open && entering) {
+        open_since = t;
+        open = true;
+      }
+      // Re-entering while open: one continuous stay (no edge).
+    }
+    if (open) intervals.emplace_back(open_since, ctx.end_ref);
+
+    PredicateTimeline base = PredicateTimeline::from_intervals(intervals);
+    if (!window_.has_value()) return base;
+    PredicateTimeline gate = PredicateTimeline::from_intervals(
+        {{window_->lo_abs(ctx), window_->hi_abs(ctx)}});
+    return base & gate;
+  }
+
+  std::string to_string() const override {
+    return "(" + machine_ + ", " + state_ + ")";
+  }
+
+ private:
+  std::string machine_;
+  std::string state_;
+  std::optional<TimeWindow> window_;
+};
+
+class EventTuple final : public Predicate {
+ public:
+  EventTuple(std::string machine, std::string state, std::string event,
+             std::optional<TimeWindow> window)
+      : machine_(std::move(machine)),
+        state_(std::move(state)),
+        event_(std::move(event)),
+        window_(window) {}
+
+  PredicateTimeline evaluate(const EvalContext& ctx) const override {
+    const double lo = window_.has_value() ? window_->lo_abs(ctx) : -kInf;
+    const double hi = window_.has_value() ? window_->hi_abs(ctx) : kInf;
+    std::vector<double> instants;
+    for (const analysis::GlobalEvent* e : ctx.timeline->of_machine(machine_)) {
+      if (e->kind != analysis::EventKind::StateChange) continue;
+      if (e->state != state_ || e->event != event_) continue;
+      const double t = e->mid();
+      if (t >= lo && t <= hi) instants.push_back(t);
+    }
+    return PredicateTimeline::from_impulses(instants);
+  }
+
+  std::string to_string() const override {
+    return "(" + machine_ + ", " + state_ + ", " + event_ + ")";
+  }
+
+ private:
+  std::string machine_;
+  std::string state_;
+  std::string event_;
+  std::optional<TimeWindow> window_;
+};
+
+class Compound final : public Predicate {
+ public:
+  Compound(char op, PredicatePtr lhs, PredicatePtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  PredicateTimeline evaluate(const EvalContext& ctx) const override {
+    const PredicateTimeline l = lhs_->evaluate(ctx);
+    if (op_ == '~') return ~l;
+    const PredicateTimeline r = rhs_->evaluate(ctx);
+    return op_ == '&' ? (l & r) : (l | r);
+  }
+
+  std::string to_string() const override {
+    if (op_ == '~') return "~" + lhs_->to_string();
+    return "(" + lhs_->to_string() + " " + op_ + " " + rhs_->to_string() + ")";
+  }
+
+ private:
+  char op_;
+  PredicatePtr lhs_;
+  PredicatePtr rhs_;  // null for NOT
+};
+
+// --- textual parser ---------------------------------------------------------
+
+struct PToken {
+  enum class Kind { LParen, RParen, And, Or, Not, Comma, Word, Number, Less,
+                    LessEq, T, End };
+  Kind kind;
+  std::string text;
+  double number{0.0};
+};
+
+class PLexer {
+ public:
+  explicit PLexer(const std::string& input) : input_(input) { advance(); }
+
+  const PToken& peek() const { return current_; }
+  PToken take() {
+    PToken t = current_;
+    advance();
+    return t;
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError("predicate", 1, msg + " in: " + input_);
+  }
+
+ private:
+  void advance() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_])))
+      ++pos_;
+    if (pos_ >= input_.size()) {
+      current_ = {PToken::Kind::End, "", 0.0};
+      return;
+    }
+    const char c = input_[pos_];
+    switch (c) {
+      case '(': current_ = {PToken::Kind::LParen, "(", 0.0}; ++pos_; return;
+      case ')': current_ = {PToken::Kind::RParen, ")", 0.0}; ++pos_; return;
+      case '&': current_ = {PToken::Kind::And, "&", 0.0}; ++pos_; return;
+      case '|': current_ = {PToken::Kind::Or, "|", 0.0}; ++pos_; return;
+      case '~': current_ = {PToken::Kind::Not, "~", 0.0}; ++pos_; return;
+      case ',': current_ = {PToken::Kind::Comma, ",", 0.0}; ++pos_; return;
+      case '<':
+        ++pos_;
+        if (pos_ < input_.size() && input_[pos_] == '=') {
+          ++pos_;
+          current_ = {PToken::Kind::LessEq, "<=", 0.0};
+        } else {
+          current_ = {PToken::Kind::Less, "<", 0.0};
+        }
+        return;
+      default: break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '.') {
+      std::size_t j = pos_;
+      while (j < input_.size() &&
+             (std::isdigit(static_cast<unsigned char>(input_[j])) ||
+              input_[j] == '.' || input_[j] == '-' || input_[j] == 'e' ||
+              input_[j] == 'E' || input_[j] == '+'))
+        ++j;
+      const auto num = parse_f64(input_.substr(pos_, j - pos_));
+      if (!num.has_value()) fail("bad number");
+      current_ = {PToken::Kind::Number, input_.substr(pos_, j - pos_), *num};
+      pos_ = j;
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = pos_;
+      while (j < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[j])) ||
+              input_[j] == '_' || input_[j] == '.' || input_[j] == '-'))
+        ++j;
+      const std::string word = input_.substr(pos_, j - pos_);
+      pos_ = j;
+      if (word == "t")
+        current_ = {PToken::Kind::T, word, 0.0};
+      else
+        current_ = {PToken::Kind::Word, word, 0.0};
+      return;
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  std::string input_;
+  std::size_t pos_{0};
+  PToken current_{PToken::Kind::End, "", 0.0};
+};
+
+class PParser {
+ public:
+  explicit PParser(PLexer& lex) : lex_(lex) {}
+
+  PredicatePtr parse() {
+    PredicatePtr e = parse_or();
+    if (lex_.peek().kind != PToken::Kind::End) lex_.fail("trailing tokens");
+    return e;
+  }
+
+ private:
+  PredicatePtr parse_or() {
+    PredicatePtr lhs = parse_and();
+    while (lex_.peek().kind == PToken::Kind::Or) {
+      lex_.take();
+      lhs = pred_or(std::move(lhs), parse_and());
+    }
+    return lhs;
+  }
+
+  PredicatePtr parse_and() {
+    PredicatePtr lhs = parse_unary();
+    while (lex_.peek().kind == PToken::Kind::And) {
+      lex_.take();
+      lhs = pred_and(std::move(lhs), parse_unary());
+    }
+    return lhs;
+  }
+
+  PredicatePtr parse_unary() {
+    if (lex_.peek().kind == PToken::Kind::Not) {
+      lex_.take();
+      return pred_not(parse_unary());
+    }
+    if (lex_.peek().kind != PToken::Kind::LParen) lex_.fail("expected '('");
+    lex_.take();
+    // Tuple (word followed by comma) or grouped sub-expression.
+    if (lex_.peek().kind == PToken::Kind::Word) {
+      const PToken machine = lex_.take();
+      if (lex_.peek().kind == PToken::Kind::Comma) {
+        lex_.take();
+        return parse_tuple_rest(machine.text);
+      }
+      lex_.fail("expected ',' after machine name in tuple");
+    }
+    PredicatePtr inner = parse_or();
+    if (lex_.peek().kind != PToken::Kind::RParen) lex_.fail("expected ')'");
+    lex_.take();
+    return inner;
+  }
+
+  /// After "(machine," — parse state [, event] [, time-constraint] ")".
+  PredicatePtr parse_tuple_rest(const std::string& machine) {
+    if (lex_.peek().kind != PToken::Kind::Word) lex_.fail("expected state name");
+    const std::string state = lex_.take().text;
+
+    std::optional<std::string> event;
+    std::optional<TimeWindow> window;
+
+    while (lex_.peek().kind == PToken::Kind::Comma) {
+      lex_.take();
+      if (lex_.peek().kind == PToken::Kind::Word &&
+          lex_.peek().text != "END_EXP" && lex_.peek().text != "START_EXP") {
+        if (event.has_value()) lex_.fail("more than one event in tuple");
+        event = lex_.take().text;
+        continue;
+      }
+      if (window.has_value()) lex_.fail("more than one time constraint");
+      window = parse_time_constraint();
+    }
+    if (lex_.peek().kind != PToken::Kind::RParen) lex_.fail("expected ')'");
+    lex_.take();
+
+    if (event.has_value()) {
+      if (window.has_value() &&
+          (!window->lo_ms.has_value() || !window->hi_ms.has_value()))
+        lex_.fail("event tuples require a bounded time interval");
+      return event_tuple(machine, state, *event, window);
+    }
+    return state_tuple(machine, state, window);
+  }
+
+  /// Forms: a < t < b | t < b | a < t | t = handled as a <= t <= a.
+  TimeWindow parse_time_constraint() {
+    TimeWindow w;
+    if (lex_.peek().kind == PToken::Kind::Number) {
+      w.lo_ms = lex_.take().number;
+      if (lex_.peek().kind != PToken::Kind::Less &&
+          lex_.peek().kind != PToken::Kind::LessEq)
+        lex_.fail("expected '<' in time constraint");
+      lex_.take();
+    }
+    if (lex_.peek().kind != PToken::Kind::T) lex_.fail("expected 't'");
+    lex_.take();
+    if (lex_.peek().kind == PToken::Kind::Less ||
+        lex_.peek().kind == PToken::Kind::LessEq) {
+      lex_.take();
+      if (lex_.peek().kind != PToken::Kind::Number)
+        lex_.fail("expected number after '<'");
+      w.hi_ms = lex_.take().number;
+    }
+    if (!w.lo_ms.has_value() && !w.hi_ms.has_value())
+      lex_.fail("empty time constraint");
+    return w;
+  }
+
+  PLexer& lex_;
+};
+
+}  // namespace
+
+PredicatePtr state_tuple(std::string machine, std::string state,
+                         std::optional<TimeWindow> window) {
+  return std::make_shared<StateTuple>(std::move(machine), std::move(state),
+                                      window);
+}
+
+PredicatePtr event_tuple(std::string machine, std::string state,
+                         std::string event, std::optional<TimeWindow> window) {
+  return std::make_shared<EventTuple>(std::move(machine), std::move(state),
+                                      std::move(event), window);
+}
+
+PredicatePtr pred_and(PredicatePtr a, PredicatePtr b) {
+  return std::make_shared<Compound>('&', std::move(a), std::move(b));
+}
+PredicatePtr pred_or(PredicatePtr a, PredicatePtr b) {
+  return std::make_shared<Compound>('|', std::move(a), std::move(b));
+}
+PredicatePtr pred_not(PredicatePtr a) {
+  return std::make_shared<Compound>('~', std::move(a), nullptr);
+}
+
+PredicatePtr parse_predicate(const std::string& text) {
+  PLexer lex(text);
+  PParser parser(lex);
+  return parser.parse();
+}
+
+}  // namespace loki::measure

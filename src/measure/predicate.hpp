@@ -1,0 +1,76 @@
+// The predicate language (§4.3.1).
+//
+// A predicate is an expression over four tuple forms, combined with AND
+// ('&'), OR ('|'), NOT ('~'):
+//
+//   (machine, state)                      true while machine is in state
+//   (machine, state, a < t < b)           ... and t in (a, b)
+//   (machine, state, event)               impulse when machine enters state
+//                                         via event (the global timeline's
+//                                         "Begin State" reading of Fig 4.2)
+//   (machine, state, event, a < t < b)    ... restricted to the interval
+//
+// Times in the textual form are MILLISECONDS relative to the experiment
+// start on the reference clock (START_EXP); the END_EXP keyword maps to the
+// experiment end. Event instants are evaluated at the midpoint of their
+// projection bounds, following the thesis' own worked example ("the
+// predicate is evaluated only at the mean of the two time bounds").
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/global_timeline.hpp"
+#include "measure/predicate_timeline.hpp"
+
+namespace loki::measure {
+
+/// Evaluation context: the accepted experiment's global timeline and its
+/// window on the reference clock (ns).
+struct EvalContext {
+  const analysis::GlobalTimeline* timeline{nullptr};
+  double start_ref{0.0};
+  double end_ref{0.0};
+
+  double exp_length() const { return end_ref - start_ref; }
+};
+
+/// Relative time interval in ms; either bound may be missing (unbounded).
+struct TimeWindow {
+  std::optional<double> lo_ms;
+  std::optional<double> hi_ms;
+  bool lo_is_end{false};  // bound anchored at END_EXP instead of START_EXP
+  bool hi_is_end{false};
+
+  double lo_abs(const EvalContext& ctx) const;
+  double hi_abs(const EvalContext& ctx) const;
+};
+
+class Predicate {
+ public:
+  virtual ~Predicate() = default;
+  virtual PredicateTimeline evaluate(const EvalContext& ctx) const = 0;
+  virtual std::string to_string() const = 0;
+};
+
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+/// Programmatic constructors.
+PredicatePtr state_tuple(std::string machine, std::string state,
+                         std::optional<TimeWindow> window = std::nullopt);
+PredicatePtr event_tuple(std::string machine, std::string state,
+                         std::string event,
+                         std::optional<TimeWindow> window = std::nullopt);
+PredicatePtr pred_and(PredicatePtr a, PredicatePtr b);
+PredicatePtr pred_or(PredicatePtr a, PredicatePtr b);
+PredicatePtr pred_not(PredicatePtr a);
+
+/// Parse the textual form, e.g.
+///   ((SM1, State1, 10 < t < 20) | (SM2, State2, 30 < t < 40))
+///   ((SM3, State3, Event3, 10 < t < 30))
+///   ~(black, CRASH)
+PredicatePtr parse_predicate(const std::string& text);
+
+}  // namespace loki::measure

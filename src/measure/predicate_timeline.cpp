@@ -1,0 +1,195 @@
+#include "measure/predicate_timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace loki::measure {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+PredicateTimeline PredicateTimeline::make(
+    bool initial, std::vector<std::pair<double, bool>> steps,
+    std::vector<std::pair<double, bool>> overrides) {
+  PredicateTimeline out;
+  out.initial_ = initial;
+
+  std::sort(steps.begin(), steps.end());
+  // Collapse: keep only actual value changes, last write wins per instant.
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (i + 1 < steps.size() && steps[i + 1].first == steps[i].first) continue;
+    const bool prev = out.steps_.empty() ? out.initial_ : out.steps_.back().second;
+    if (steps[i].second != prev) out.steps_.push_back(steps[i]);
+  }
+
+  // Overrides are kept even when they agree with the base: they mark event
+  // occurrences (impulses), which the observation functions count as
+  // transitions regardless of the base value at that instant (the Fig 4.2
+  // calibration; see the header).
+  std::sort(overrides.begin(), overrides.end());
+  for (std::size_t i = 0; i < overrides.size(); ++i) {
+    if (i + 1 < overrides.size() && overrides[i + 1].first == overrides[i].first)
+      continue;
+    out.overrides_.push_back(overrides[i]);
+  }
+  return out;
+}
+
+PredicateTimeline PredicateTimeline::from_intervals(
+    const std::vector<std::pair<double, double>>& intervals) {
+  std::vector<std::pair<double, bool>> steps;
+  for (const auto& [lo, hi] : intervals) {
+    if (hi <= lo) continue;
+    steps.emplace_back(lo, true);
+    steps.emplace_back(hi, false);
+  }
+  // Overlapping intervals need a sweep: count coverage.
+  std::vector<std::pair<double, int>> deltas;
+  for (const auto& [lo, hi] : intervals) {
+    if (hi <= lo) continue;
+    deltas.emplace_back(lo, +1);
+    deltas.emplace_back(hi, -1);
+  }
+  std::sort(deltas.begin(), deltas.end());
+  std::vector<std::pair<double, bool>> merged;
+  int depth = 0;
+  for (std::size_t i = 0; i < deltas.size();) {
+    const double t = deltas[i].first;
+    int d = 0;
+    while (i < deltas.size() && deltas[i].first == t) d += deltas[i++].second;
+    const bool before = depth > 0;
+    depth += d;
+    const bool after = depth > 0;
+    if (before != after) merged.emplace_back(t, after);
+  }
+  return make(false, std::move(merged), {});
+}
+
+PredicateTimeline PredicateTimeline::from_impulses(
+    const std::vector<double>& instants) {
+  std::vector<std::pair<double, bool>> overrides;
+  overrides.reserve(instants.size());
+  for (const double t : instants) overrides.emplace_back(t, true);
+  return make(false, {}, std::move(overrides));
+}
+
+bool PredicateTimeline::base_at(double t) const {
+  bool value = initial_;
+  for (const auto& [time, v] : steps_) {
+    if (time > t) break;
+    value = v;
+  }
+  return value;
+}
+
+bool PredicateTimeline::value_at(double t) const {
+  for (const auto& [time, v] : overrides_) {
+    if (time == t) return v;
+    if (time > t) break;
+  }
+  return base_at(t);
+}
+
+PredicateTimeline PredicateTimeline::combine(const PredicateTimeline& o,
+                                             bool is_and) const {
+  const auto op = [is_and](bool a, bool b) { return is_and ? (a && b) : (a || b); };
+
+  std::vector<std::pair<double, bool>> steps;
+  for (const auto& [t, v] : steps_) steps.emplace_back(t, op(v, o.base_at(t)));
+  for (const auto& [t, v] : o.steps_) steps.emplace_back(t, op(base_at(t), v));
+
+  std::vector<std::pair<double, bool>> overrides;
+  for (const auto& [t, v] : overrides_)
+    overrides.emplace_back(t, op(v, o.value_at(t)));
+  for (const auto& [t, v] : o.overrides_)
+    overrides.emplace_back(t, op(value_at(t), v));
+
+  return make(op(initial_, o.initial_), std::move(steps), std::move(overrides));
+}
+
+PredicateTimeline PredicateTimeline::operator&(const PredicateTimeline& o) const {
+  return combine(o, true);
+}
+
+PredicateTimeline PredicateTimeline::operator|(const PredicateTimeline& o) const {
+  return combine(o, false);
+}
+
+PredicateTimeline PredicateTimeline::operator~() const {
+  PredicateTimeline out;
+  out.initial_ = !initial_;
+  out.steps_ = steps_;
+  for (auto& [t, v] : out.steps_) v = !v;
+  out.overrides_ = overrides_;
+  for (auto& [t, v] : out.overrides_) v = !v;
+  return out;
+}
+
+std::vector<Transition> PredicateTimeline::transitions(Edge edge, Kind kind,
+                                                       double start,
+                                                       double end) const {
+  std::vector<Transition> all;
+
+  if (kind != Kind::Impulse) {
+    for (const auto& [t, v] : steps_) {
+      if (t < start || t > end) continue;
+      all.push_back(Transition{t, v, false});
+    }
+  }
+  if (kind != Kind::Step) {
+    for (const auto& [t, v] : overrides_) {
+      if (t < start || t > end) continue;
+      // A TRUE occurrence is a momentary pulse: one rising and one falling
+      // edge at the same instant, even when the base is already true. A
+      // FALSE occurrence only matters as an anti-impulse amid a true base;
+      // a false marker on a false base changes nothing and emits nothing.
+      if (!v && !base_at(t)) continue;
+      all.push_back(Transition{t, v, true});
+      all.push_back(Transition{t, !v, true});
+    }
+  }
+
+  std::sort(all.begin(), all.end(), [](const Transition& a, const Transition& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.rising && !b.rising;  // rising edge first at an impulse instant
+  });
+
+  if (edge != Edge::Both) {
+    const bool want_rising = edge == Edge::Up;
+    std::erase_if(all, [want_rising](const Transition& t) {
+      return t.rising != want_rising;
+    });
+  }
+  return all;
+}
+
+double PredicateTimeline::total_duration(bool target, double start,
+                                         double end) const {
+  if (end <= start) return 0.0;
+  double total = 0.0;
+  double t = start;
+  bool value = base_at(start);
+  for (const auto& [time, v] : steps_) {
+    if (time <= start) continue;
+    if (time >= end) break;
+    if (value == target) total += time - t;
+    t = time;
+    value = v;
+  }
+  if (value == target) total += end - t;
+  return total;
+}
+
+double PredicateTimeline::next_base_false(double t) const {
+  if (!base_at(t)) return t;
+  for (const auto& [time, v] : steps_) {
+    if (time <= t) continue;
+    if (!v) return time;
+  }
+  return kInf;
+}
+
+}  // namespace loki::measure

@@ -1,0 +1,87 @@
+// Predicate value timelines (§4.3.1).
+//
+// A predicate applied to a global timeline is a function of time that is
+// piecewise-constant ("steps") except at finitely many instants
+// ("impulses") where it momentarily differs. Representation:
+//   - base: sorted step changes (time, value-from-here-on); value before the
+//     first change is `initial`;
+//   - overrides: sorted (instant, value) points where the value differs
+//     momentarily from the base (a true override amid a false base is the
+//     classic impulse; NOT produces the dual).
+//
+// Combination under AND/OR/NOT follows pointwise Boolean semantics.
+//
+// Transition semantics (calibrated against the worked example of Fig 4.2;
+// see EXPERIMENTS.md):
+//   - a step edge where the base changes false->true is an up-transition of
+//     kind Step (dually Down);
+//   - every TRUE override instant is an event occurrence: it contributes an
+//     up-transition AND a down-transition of kind Impulse regardless of the
+//     base value at that instant (dually a FALSE override contributes a
+//     down+up of kind Impulse).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace loki::measure {
+
+enum class Edge : std::uint8_t { Up, Down, Both };
+enum class Kind : std::uint8_t { Impulse, Step, Both };
+
+struct Transition {
+  double t{0.0};
+  bool rising{true};
+  bool impulse{false};
+};
+
+class PredicateTimeline {
+ public:
+  PredicateTimeline() = default;
+
+  /// Build from raw pieces; steps may be unsorted/duplicated, overrides too.
+  static PredicateTimeline make(bool initial,
+                                std::vector<std::pair<double, bool>> steps,
+                                std::vector<std::pair<double, bool>> overrides);
+
+  /// Convenience: timeline true exactly on the union of [lo, hi) intervals.
+  static PredicateTimeline from_intervals(
+      const std::vector<std::pair<double, double>>& intervals);
+
+  /// Convenience: impulses (momentary true) at the given instants.
+  static PredicateTimeline from_impulses(const std::vector<double>& instants);
+
+  /// Base (step) value at time t, ignoring overrides.
+  bool base_at(double t) const;
+  /// Actual value at time t (override wins at its exact instant).
+  bool value_at(double t) const;
+
+  PredicateTimeline operator&(const PredicateTimeline& o) const;
+  PredicateTimeline operator|(const PredicateTimeline& o) const;
+  PredicateTimeline operator~() const;
+
+  /// All transitions within [start, end], filtered by edge/kind.
+  std::vector<Transition> transitions(Edge edge, Kind kind, double start,
+                                      double end) const;
+
+  /// Total time the base is `target` within [start, end].
+  double total_duration(bool target, double start, double end) const;
+
+  /// First instant >= t where the base value is false (+inf if never).
+  double next_base_false(double t) const;
+
+  const std::vector<std::pair<double, bool>>& steps() const { return steps_; }
+  const std::vector<std::pair<double, bool>>& overrides() const {
+    return overrides_;
+  }
+  bool initial() const { return initial_; }
+
+ private:
+  PredicateTimeline combine(const PredicateTimeline& o, bool is_and) const;
+
+  bool initial_{false};
+  std::vector<std::pair<double, bool>> steps_;      // sorted, deduped
+  std::vector<std::pair<double, bool>> overrides_;  // sorted, differ from base
+};
+
+}  // namespace loki::measure

@@ -1,0 +1,116 @@
+#include "measure/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace loki::measure {
+
+double MomentSummary::stddev() const { return mu2 > 0 ? std::sqrt(mu2) : 0.0; }
+
+double MomentSummary::gamma1() const {
+  return mu2 > 0 ? mu3 / std::pow(mu2, 1.5) : 0.0;
+}
+
+double MomentSummary::gamma2() const { return beta2 - 3.0; }
+
+void raw_to_central(MomentSummary& m) {
+  const double m1 = m.raw1;
+  m.mean = m1;
+  // Johnson & Kotz p.18 Eqn (100), as cited by the thesis:
+  m.mu2 = m.raw2 - m1 * m1;
+  m.mu3 = m.raw3 - 3.0 * m.raw2 * m1 + 2.0 * m1 * m1 * m1;
+  m.mu4 = m.raw4 - 4.0 * m.raw3 * m1 + 6.0 * m.raw2 * m1 * m1 -
+          3.0 * m1 * m1 * m1 * m1;
+  if (m.mu2 > 1e-300) {
+    m.beta1 = (m.mu3 * m.mu3) / (m.mu2 * m.mu2 * m.mu2);
+    m.beta2 = m.mu4 / (m.mu2 * m.mu2);
+  } else {
+    m.beta1 = 0.0;
+    m.beta2 = 0.0;
+  }
+}
+
+MomentSummary summarize(const std::vector<double>& values) {
+  MomentSummary m;
+  m.n = values.size();
+  if (values.empty()) return m;
+  const double n = static_cast<double>(values.size());
+  for (const double x : values) {
+    m.raw1 += x;
+    m.raw2 += x * x;
+    m.raw3 += x * x * x;
+    m.raw4 += x * x * x * x;
+  }
+  m.raw1 /= n;
+  m.raw2 /= n;
+  m.raw3 /= n;
+  m.raw4 /= n;
+  raw_to_central(m);
+  return m;
+}
+
+double inverse_normal_cdf(double gamma) {
+  LOKI_REQUIRE(gamma > 0.0 && gamma < 1.0, "percentile level must be in (0,1)");
+  // Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  const double p_high = 1.0 - p_low;
+  double q, r;
+  if (gamma < p_low) {
+    q = std::sqrt(-2.0 * std::log(gamma));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (gamma <= p_high) {
+    q = gamma - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - gamma));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double percentile(const MomentSummary& m, double gamma) {
+  const double z = inverse_normal_cdf(gamma);
+  const double s = m.gamma1();
+  const double k = m.gamma2();
+  // Cornish-Fisher third-order expansion of the standardized quantile.
+  const double w = z + (z * z - 1.0) * s / 6.0 +
+                   (z * z * z - 3.0 * z) * k / 24.0 -
+                   (2.0 * z * z * z - 5.0 * z) * s * s / 36.0;
+  return m.mean + m.stddev() * w;
+}
+
+double empirical_percentile(std::vector<double> values, double gamma) {
+  LOKI_REQUIRE(!values.empty(), "empirical percentile of empty sample");
+  LOKI_REQUIRE(gamma > 0.0 && gamma < 1.0, "percentile level must be in (0,1)");
+  std::sort(values.begin(), values.end());
+  const double idx = gamma * (static_cast<double>(values.size()) - 1.0);
+  const auto lo = static_cast<std::size_t>(std::floor(idx));
+  const auto hi = static_cast<std::size_t>(std::ceil(idx));
+  if (lo == hi) return values[lo];
+  const double frac = idx - std::floor(idx);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double mean_std_error(const MomentSummary& m) {
+  if (m.n == 0) return 0.0;
+  return m.stddev() / std::sqrt(static_cast<double>(m.n));
+}
+
+}  // namespace loki::measure

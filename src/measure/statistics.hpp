@@ -1,0 +1,60 @@
+// Statistical machinery for campaign measures (§4.4).
+//
+// First four non-central moments, central moments via Eqns (4.1)-(4.3),
+// skewness beta1 = mu3^2/mu2^3 and kurtosis beta2 = mu4/mu2^2 (Eqns (4.4)-
+// (4.5)), and percentile points from the first four moments.
+//
+// SUBSTITUTION (documented in DESIGN.md): the thesis uses the Bowman-
+// Shenton 19-point rational-fraction approximation for Pearson-system
+// percentiles [14,15]; its coefficient tables are not reproducible from the
+// thesis, so percentiles here use the Cornish-Fisher expansion — the same
+// inputs (four moments), the same output (gamma-percentile), and the
+// companion method in Bowman & Shenton's own second paper. The thesis' sign
+// handling for mu3 < 0 falls out naturally because Cornish-Fisher takes the
+// signed skewness. Exact empirical percentiles are provided as a
+// cross-check.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace loki::measure {
+
+struct MomentSummary {
+  std::size_t n{0};
+  double raw1{0.0}, raw2{0.0}, raw3{0.0}, raw4{0.0};  // non-central
+  double mean{0.0};
+  double mu2{0.0}, mu3{0.0}, mu4{0.0};  // central
+  double beta1{0.0};  // skewness (mu3^2 / mu2^3)
+  double beta2{0.0};  // kurtosis (mu4 / mu2^2)
+
+  double variance() const { return mu2; }
+  double stddev() const;
+  /// Signed skewness gamma1 = mu3 / mu2^{3/2}.
+  double gamma1() const;
+  /// Excess kurtosis gamma2 = beta2 - 3.
+  double gamma2() const;
+};
+
+/// Moments of one sample.
+MomentSummary summarize(const std::vector<double>& values);
+
+/// Central moments from raw moments (Eqns 4.1-4.3), exposed for the
+/// stratified combination path.
+void raw_to_central(MomentSummary& m);
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |error| < 1.2e-9). gamma in (0, 1).
+double inverse_normal_cdf(double gamma);
+
+/// gamma-percentile of the distribution described by `m` via the
+/// Cornish-Fisher expansion using gamma1/gamma2.
+double percentile(const MomentSummary& m, double gamma);
+
+/// Exact empirical percentile of a sample (linear interpolation).
+double empirical_percentile(std::vector<double> values, double gamma);
+
+/// Standard error of the mean.
+double mean_std_error(const MomentSummary& m);
+
+}  // namespace loki::measure

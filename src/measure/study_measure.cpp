@@ -1,0 +1,55 @@
+#include "measure/study_measure.hpp"
+
+#include "util/error.hpp"
+
+namespace loki::measure {
+
+SubsetSelection subset_default() {
+  return [](double) { return true; };
+}
+
+SubsetSelection subset_greater(double threshold) {
+  return [threshold](double v) { return v > threshold; };
+}
+
+SubsetSelection subset_between(double lo, double hi) {
+  return [lo, hi](double v) { return lo <= v && v <= hi; };
+}
+
+StudyMeasure& StudyMeasure::add(SubsetSelection subset, PredicatePtr predicate,
+                                ObservationFunction observation) {
+  LOKI_REQUIRE(subset && predicate && observation, "incomplete measure triple");
+  triples_.push_back(
+      MeasureTriple{std::move(subset), std::move(predicate), std::move(observation)});
+  return *this;
+}
+
+std::optional<double> StudyMeasure::apply(
+    const analysis::ExperimentAnalysis& exp) const {
+  LOKI_REQUIRE(!triples_.empty(), "empty study measure");
+  EvalContext ctx;
+  ctx.timeline = &exp.timeline;
+  ctx.start_ref = exp.start_ref;
+  ctx.end_ref = exp.end_ref;
+
+  double obs_value = 0.0;
+  for (const MeasureTriple& triple : triples_) {
+    if (!triple.subset(obs_value)) return std::nullopt;
+    const PredicateTimeline pt = triple.predicate->evaluate(ctx);
+    obs_value = triple.observation(pt, ctx);
+  }
+  return obs_value;
+}
+
+std::vector<double> StudyMeasure::apply_study(
+    const std::vector<analysis::ExperimentAnalysis>& experiments) const {
+  std::vector<double> out;
+  for (const auto& exp : experiments) {
+    if (!exp.accepted) continue;  // analysis already discarded it (§2.5)
+    const auto value = apply(exp);
+    if (value.has_value()) out.push_back(*value);
+  }
+  return out;
+}
+
+}  // namespace loki::measure

@@ -1,0 +1,64 @@
+// Study-level measures (§4.3.4).
+//
+// A study measure is an ordered sequence of (subset selection, predicate,
+// observation function) triples. For each accepted experiment:
+//   - the first triple's subset selection sees OBS_VALUE = 0 and normally
+//     selects everything ("default");
+//   - each later triple's subset selection filters on the previous triple's
+//     observation function value;
+//   - an experiment filtered out anywhere leaves the measure with no value
+//     for that experiment;
+//   - otherwise the last observation function's output is the experiment's
+//     FINAL OBSERVATION FUNCTION VALUE.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/pipeline.hpp"
+#include "measure/observation.hpp"
+#include "measure/predicate.hpp"
+
+namespace loki::measure {
+
+/// Subset selection: keeps the experiment iff it returns true given the
+/// previous triple's observation value (OBS_VALUE).
+using SubsetSelection = std::function<bool(double obs_value)>;
+
+SubsetSelection subset_default();                 // keep all
+SubsetSelection subset_greater(double threshold); // OBS_VALUE > threshold
+SubsetSelection subset_between(double lo, double hi);  // lo <= v <= hi
+
+struct MeasureTriple {
+  SubsetSelection subset;
+  PredicatePtr predicate;
+  ObservationFunction observation;
+};
+
+class StudyMeasure {
+ public:
+  StudyMeasure() = default;
+  explicit StudyMeasure(std::vector<MeasureTriple> triples)
+      : triples_(std::move(triples)) {}
+
+  StudyMeasure& add(SubsetSelection subset, PredicatePtr predicate,
+                    ObservationFunction observation);
+
+  /// Final observation function value for one accepted experiment, or
+  /// nullopt if a subset selection filtered it out.
+  std::optional<double> apply(const analysis::ExperimentAnalysis& exp) const;
+
+  /// Apply to a whole study: final values of the experiments that are
+  /// accepted by the analysis AND survive all subset selections.
+  std::vector<double> apply_study(
+      const std::vector<analysis::ExperimentAnalysis>& experiments) const;
+
+  std::size_t size() const { return triples_.size(); }
+
+ private:
+  std::vector<MeasureTriple> triples_;
+};
+
+}  // namespace loki::measure

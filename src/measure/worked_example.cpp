@@ -1,0 +1,77 @@
+#include "measure/worked_example.hpp"
+
+#include "util/error.hpp"
+
+namespace loki::measure {
+namespace {
+
+analysis::GlobalEvent row(const std::string& machine, const std::string& state,
+                          const std::string& event, double ms) {
+  analysis::GlobalEvent e;
+  e.machine = machine;
+  e.kind = analysis::EventKind::StateChange;
+  e.state = state;
+  e.event = event;
+  e.host = "ref";
+  e.local = LocalTime{static_cast<std::int64_t>(ms * 1e6)};
+  e.when = clocksync::TimeBounds{ms * 1e6, ms * 1e6};
+  return e;
+}
+
+}  // namespace
+
+analysis::GlobalTimeline fig42_timeline() {
+  analysis::GlobalTimeline t;
+  t.reference = "ref";
+  t.events = {
+      row("StateMachine5", "State5", "Event5", 11.2),
+      row("StateMachine1", "State0", "Event1", 12.4),
+      row("StateMachine6", "State5", "Event6", 13.1),
+      row("StateMachine1", "State1", "Event2", 18.9),
+      row("StateMachine6", "State6", "Event7", 20.0),
+      row("StateMachine5", "State5", "Event5", 21.2),
+      row("StateMachine3", "State3", "Event3", 22.3),
+      row("StateMachine3", "State4", "Event4", 26.3),
+      row("StateMachine6", "State4", "Event10", 27.0),
+      row("StateMachine2", "State0", "Event8", 30.9),
+      row("StateMachine5", "State5", "Event5", 31.2),
+      row("StateMachine6", "State6", "Event11", 33.4),
+      row("StateMachine2", "State2", "Event9", 34.2),
+      row("StateMachine2", "State1", "Event12", 35.6),
+      row("StateMachine2", "State2", "Event13", 38.9),
+      row("StateMachine5", "State5", "Event5", 40.6),
+  };
+  return t;
+}
+
+EvalContext fig42_context(const analysis::GlobalTimeline& timeline) {
+  EvalContext ctx;
+  ctx.timeline = &timeline;
+  ctx.start_ref = 0.0;
+  ctx.end_ref = 50e6;  // 50 ms
+  return ctx;
+}
+
+PredicatePtr fig42_predicate(int index) {
+  switch (index) {
+    case 0:
+      // ((SM1, State1, 10 < t < 20) | (SM2, State2, 30 < t < 40))
+      return parse_predicate(
+          "((StateMachine1, State1, 10 < t < 20) | "
+          "(StateMachine2, State2, 30 < t < 40))");
+    case 1:
+      // ((SM3, State3, Event3, 10 < t < 30) | (SM3, State4, Event4, 20 < t < 40))
+      return parse_predicate(
+          "((StateMachine3, State3, Event3, 10 < t < 30) | "
+          "(StateMachine3, State4, Event4, 20 < t < 40))");
+    case 2:
+      // ((SM5, State5, Event5) | (SM6, State6, 10 < t < 40))
+      return parse_predicate(
+          "((StateMachine5, State5, Event5) | "
+          "(StateMachine6, State6, 10 < t < 40))");
+    default:
+      throw LogicError("fig42 has three predicates (0..2)");
+  }
+}
+
+}  // namespace loki::measure

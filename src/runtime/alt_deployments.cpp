@@ -1,0 +1,198 @@
+#include "runtime/alt_deployments.hpp"
+
+#include "spec/reserved.hpp"
+#include "util/error.hpp"
+
+namespace loki::runtime {
+
+// ---------------------------------------------------------------------------
+// CentralizedDeployment
+// ---------------------------------------------------------------------------
+
+CentralizedDeployment::CentralizedDeployment(sim::World& world,
+                                             sim::HostId daemon_host,
+                                             const CostModel& costs, Params params)
+    : world_(world), daemon_host_(daemon_host), costs_(costs), params_(params) {}
+
+void CentralizedDeployment::start_daemon() {
+  daemon_pid_ = world_.spawn(daemon_host_,
+                             "loki-global@" + world_.host_name(daemon_host_));
+}
+
+void CentralizedDeployment::node_started(LokiNode& node, bool /*restarted*/,
+                                         std::function<void()> on_ready) {
+  LokiNode* node_ptr = &node;
+  // Nodes always use TCP to the global daemon (Fig 3.4): one connection
+  // regardless of cluster size — the design's entry/exit advantage.
+  world_.send(node.pid(), daemon_pid_, sim::Lan::Control, sim::ChannelClass::Tcp,
+              costs_.daemon_route, [this, node_ptr, on_ready = std::move(on_ready)] {
+                nodes_[node_ptr->nickname()] = node_ptr;
+                world_.send(daemon_pid_, node_ptr->pid(), sim::Lan::Control,
+                            sim::ChannelClass::Tcp, costs_.register_handshake,
+                            on_ready);
+              });
+}
+
+void CentralizedDeployment::node_exited(LokiNode& node) {
+  const std::string nick = node.nickname();
+  world_.send(node.pid(), daemon_pid_, sim::Lan::Control, sim::ChannelClass::Tcp,
+              costs_.daemon_route, [this, nick] { unregister(nick); });
+}
+
+void CentralizedDeployment::node_crashed(LokiNode& node, bool explicit_notice) {
+  const std::string nick = node.nickname();
+  if (explicit_notice) {
+    world_.send(node.pid(), daemon_pid_, sim::Lan::Control,
+                sim::ChannelClass::Tcp, costs_.daemon_route,
+                [this, nick] { unregister(nick); });
+    return;
+  }
+  // Broken-link detection: slow, and the recorded crash time is off by an
+  // unknown amount — the §3.4.2 argument against this design.
+  world_.at(world_.now() + params_.crash_detection_delay,
+            [this, nick] { unregister(nick); });
+}
+
+void CentralizedDeployment::unregister(const std::string& nickname) {
+  nodes_.erase(nickname);
+  const std::string crash_state(spec::kStateCrash);
+  // Inform the survivors (one message each; used for view maintenance).
+  for (const auto& [nick, node] : nodes_) {
+    LokiNode* target = node;
+    world_.send(daemon_pid_, target->pid(), sim::Lan::Control,
+                sim::ChannelClass::Tcp, costs_.node_notification_handler,
+                [target, nickname, crash_state] {
+                  target->deliver_remote_state(nickname, crash_state);
+                });
+  }
+}
+
+void CentralizedDeployment::send_state_notification(
+    LokiNode& from, const std::string& state,
+    const std::vector<std::string>& recipients) {
+  const std::string nick = from.nickname();
+  world_.send(from.pid(), daemon_pid_, sim::Lan::Control, sim::ChannelClass::Tcp,
+              costs_.daemon_route, [this, nick, state, recipients] {
+                handle_route(nick, state, recipients);
+              });
+}
+
+void CentralizedDeployment::handle_route(const std::string& from,
+                                         const std::string& state,
+                                         const std::vector<std::string>& recipients) {
+  for (const std::string& r : recipients) {
+    const auto it = nodes_.find(r);
+    if (it == nodes_.end()) {
+      ++dropped_;
+      continue;
+    }
+    ++relayed_;
+    LokiNode* target = it->second;
+    world_.send(daemon_pid_, target->pid(), sim::Lan::Control,
+                sim::ChannelClass::Tcp, costs_.node_notification_handler,
+                [target, from, state] { target->deliver_remote_state(from, state); });
+  }
+}
+
+void CentralizedDeployment::request_state_updates(LokiNode& node) {
+  LokiNode* requester = &node;
+  world_.send(node.pid(), daemon_pid_, sim::Lan::Control, sim::ChannelClass::Tcp,
+              costs_.daemon_route, [this, requester] {
+                std::map<std::string, std::string> states;
+                for (const auto& [nick, n] : nodes_) {
+                  if (n->state_machine().initialized())
+                    states.emplace(nick, n->state_machine().current_state());
+                }
+                world_.send(daemon_pid_, requester->pid(), sim::Lan::Control,
+                            sim::ChannelClass::Tcp,
+                            costs_.node_notification_handler,
+                            [requester, states = std::move(states)] {
+                              requester->deliver_state_updates(states);
+                            });
+              });
+}
+
+// ---------------------------------------------------------------------------
+// DirectDeployment
+// ---------------------------------------------------------------------------
+
+DirectDeployment::DirectDeployment(sim::World& world, const CostModel& costs)
+    : world_(world), costs_(costs) {}
+
+void DirectDeployment::node_started(LokiNode& node, bool restarted,
+                                    std::function<void()> on_ready) {
+  LOKI_REQUIRE(!restarted,
+               "the original (direct) runtime does not support restarts (§3.3)");
+  // O(n) connection setup: one handshake per existing peer, charged as CPU
+  // work on the entering node.
+  const Duration total =
+      connect_cost * static_cast<std::int64_t>(peers_.size() ? peers_.size() : 1);
+  peers_[node.nickname()] = &node;
+  world_.post(node.pid(), total, std::move(on_ready));
+}
+
+void DirectDeployment::node_exited(LokiNode& node) {
+  peers_.erase(node.nickname());
+  // Exit notifications to all peers (§3.6.2 first sentence), point to point.
+  const std::string nick = node.nickname();
+  const std::string exit_state(spec::kStateExit);
+  for (const auto& [peer_nick, peer] : peers_) {
+    LokiNode* target = peer;
+    world_.send(node.pid(), target->pid(), sim::Lan::Control,
+                sim::ChannelClass::Tcp, costs_.node_notification_handler,
+                [target, nick, exit_state] {
+                  target->deliver_remote_state(nick, exit_state);
+                });
+  }
+}
+
+void DirectDeployment::node_crashed(LokiNode& node, bool /*explicit_notice*/) {
+  // No daemon to tell; peers learn only through the CRASH state change the
+  // signal handler may have sent. This is precisely the original runtime's
+  // limitation.
+  peers_.erase(node.nickname());
+}
+
+void DirectDeployment::send_state_notification(
+    LokiNode& from, const std::string& state,
+    const std::vector<std::string>& recipients) {
+  // One TCP message per recipient, even host-local (§3.3: "state machines in
+  // the same host communicate using TCP/IP").
+  for (const std::string& r : recipients) {
+    const auto it = peers_.find(r);
+    if (it == peers_.end()) {
+      ++dropped_;
+      continue;
+    }
+    LokiNode* target = it->second;
+    world_.send(from.pid(), target->pid(), sim::Lan::Control,
+                sim::ChannelClass::Tcp, costs_.node_notification_handler,
+                [target, nick = from.nickname(), state] {
+                  target->deliver_remote_state(nick, state);
+                });
+  }
+}
+
+void DirectDeployment::request_state_updates(LokiNode& node) {
+  // Peers answer directly.
+  LokiNode* requester = &node;
+  for (const auto& [peer_nick, peer] : peers_) {
+    if (peer == requester) continue;
+    LokiNode* source = peer;
+    world_.send(requester->pid(), source->pid(), sim::Lan::Control,
+                sim::ChannelClass::Tcp, costs_.daemon_route,
+                [this, source, requester] {
+                  if (!source->state_machine().initialized()) return;
+                  std::map<std::string, std::string> states{
+                      {source->nickname(), source->state_machine().current_state()}};
+                  world_.send(source->pid(), requester->pid(), sim::Lan::Control,
+                              sim::ChannelClass::Tcp,
+                              costs_.node_notification_handler,
+                              [requester, states = std::move(states)] {
+                                requester->deliver_state_updates(states);
+                              });
+                });
+  }
+}
+
+}  // namespace loki::runtime

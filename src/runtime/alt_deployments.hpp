@@ -1,0 +1,96 @@
+// The two rejected designs of §3.4, implemented so the comparison bench can
+// measure them instead of asserting the thesis' qualitative arguments.
+//
+//  CentralizedDeployment (Fig 3.4 left): one global daemon; every node holds
+//  a TCP link to it; notifications take two hops and fan out one message per
+//  recipient (no per-host batching). Node entry/exit touches only the global
+//  daemon. Crash detection relies on the TCP link breaking, which the thesis
+//  notes is slow and of unbounded error — modelled with a configurable
+//  detection delay.
+//
+//  DirectDeployment (Fig 3.1, original runtime): state machines hold a full
+//  mesh of TCP links (even on the same host). Fast single-hop notifications;
+//  O(n) connection work on entry; static membership (no crash bookkeeping,
+//  no restart support) — exactly the §3.3 shortcomings.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/cost_model.hpp"
+#include "runtime/deployment.hpp"
+#include "runtime/node.hpp"
+#include "sim/world.hpp"
+
+namespace loki::runtime {
+
+class CentralizedDeployment final : public Deployment {
+ public:
+  struct Params {
+    /// Time for the global daemon to notice a broken TCP link after a
+    /// silent/unhandled node death.
+    Duration crash_detection_delay{milliseconds(250)};
+  };
+
+  CentralizedDeployment(sim::World& world, sim::HostId daemon_host,
+                        const CostModel& costs, Params params);
+  CentralizedDeployment(sim::World& world, sim::HostId daemon_host,
+                        const CostModel& costs)
+      : CentralizedDeployment(world, daemon_host, costs, Params{}) {}
+
+  void start_daemon();
+  sim::ProcessId daemon_pid() const { return daemon_pid_; }
+
+  void node_started(LokiNode& node, bool restarted,
+                    std::function<void()> on_ready) override;
+  void node_exited(LokiNode& node) override;
+  void node_crashed(LokiNode& node, bool explicit_notice) override;
+  void send_state_notification(LokiNode& from, const std::string& state,
+                               const std::vector<std::string>& recipients) override;
+  void request_state_updates(LokiNode& node) override;
+  std::uint64_t dropped_notifications() const override { return dropped_; }
+
+  std::uint64_t relayed() const { return relayed_; }
+
+ private:
+  void handle_route(const std::string& from, const std::string& state,
+                    const std::vector<std::string>& recipients);
+  void unregister(const std::string& nickname);
+
+  sim::World& world_;
+  sim::HostId daemon_host_;
+  CostModel costs_;
+  Params params_;
+  sim::ProcessId daemon_pid_{};
+  std::map<std::string, LokiNode*> nodes_;
+  std::uint64_t dropped_{0};
+  std::uint64_t relayed_{0};
+};
+
+class DirectDeployment final : public Deployment {
+ public:
+  DirectDeployment(sim::World& world, const CostModel& costs);
+
+  void node_started(LokiNode& node, bool restarted,
+                    std::function<void()> on_ready) override;
+  void node_exited(LokiNode& node) override;
+  void node_crashed(LokiNode& node, bool explicit_notice) override;
+  void send_state_notification(LokiNode& from, const std::string& state,
+                               const std::vector<std::string>& recipients) override;
+  void request_state_updates(LokiNode& node) override;
+  std::uint64_t dropped_notifications() const override { return dropped_; }
+
+  /// Per-connection setup cost charged on entry (three-way handshake etc.).
+  Duration connect_cost{microseconds(300)};
+
+ private:
+  sim::World& world_;
+  CostModel costs_;
+  std::map<std::string, LokiNode*> peers_;
+  std::uint64_t dropped_{0};
+};
+
+}  // namespace loki::runtime

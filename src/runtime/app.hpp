@@ -1,0 +1,92 @@
+// Application-side interface: the "system under study" and its probe.
+//
+// In the real Loki the probe is compiled into the application (§3.5.7):
+// main() is renamed appMain(), the probe calls notifyEvent() on the state
+// machine, and implements injectFault(). Here an Application receives a
+// NodeContext giving it exactly those calls plus the OS services a real
+// process would have (messages, timers, CPU work, crash/exit).
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace loki::runtime {
+
+/// How a node dies (§3.6.2):
+///  - HandledSignal: the user's signal handler runs — it sends the CRASH
+///    event and calls notifyOnCrash() before exiting;
+///  - UnhandledSignal: the default handler tears down the shared-memory
+///    segment, so the OS notifies the local daemon of the crash;
+///  - Silent: the process hangs/dies without any notification; only the
+///    local daemon's watchdog discovers it.
+enum class CrashMode : std::uint8_t { HandledSignal, UnhandledSignal, Silent };
+
+class NodeContext {
+ public:
+  virtual ~NodeContext() = default;
+
+  // --- identity / environment ---------------------------------------------
+  virtual const std::string& nickname() const = 0;
+  virtual const std::string& host_name() const = 0;
+  virtual bool restarted() const = 0;
+  virtual Rng& rng() = 0;
+  virtual LocalTime local_clock() const = 0;
+
+  // --- Loki probe API (§3.5.7) ---------------------------------------------
+  /// notifyEvent(): report a local event (the first call initializes the
+  /// state machine's state).
+  virtual void notify_event(const std::string& event) = 0;
+  /// Append a free-form message to the local timeline record.
+  virtual void record_message(std::string message) = 0;
+
+  // --- system-under-study services -----------------------------------------
+  /// Send an application message to another node (application LAN). The
+  /// payload is delivered to the peer Application's on_message(). Dropped
+  /// silently if the peer is not alive on delivery, like a datagram to a
+  /// dead process.
+  virtual void app_send(const std::string& peer, std::any payload,
+                        Duration handler_cost = Duration{0}) = 0;
+  /// Run `fn` on this node after `delay`.
+  virtual void app_timer(Duration delay, std::function<void(NodeContext&)> fn,
+                         Duration handler_cost = Duration{0}) = 0;
+  /// Consume `cpu` of compute, then continue with `then`.
+  virtual void do_work(Duration cpu, std::function<void(NodeContext&)> then) = 0;
+  /// Clean exit: notifyOnExit() to the daemon, then process termination.
+  virtual void exit_app() = 0;
+  /// Crash the process per `mode`.
+  virtual void crash_app(CrashMode mode) = 0;
+  /// Nicknames of all nodes configured in this experiment (the application
+  /// knows its own membership; Loki does not provide this).
+  virtual std::vector<std::string> peer_nicknames() const = 0;
+};
+
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  /// appMain(): invoked once the node's runtime has registered. The first
+  /// notify_event() call must initialize the state machine (§3.5.7).
+  virtual void on_start(NodeContext& ctx) = 0;
+
+  /// injectFault(): perform the actual fault injection (§3.5.5). What a
+  /// fault does — bit flip, crash, message drop — is entirely up to the
+  /// application/probe.
+  virtual void on_inject_fault(NodeContext& ctx, const std::string& fault) = 0;
+
+  /// An application message from a peer (sent with NodeContext::app_send).
+  virtual void on_message(NodeContext& ctx, const std::any& payload) {
+    (void)ctx;
+    (void)payload;
+  }
+};
+
+using ApplicationFactory = std::function<std::unique_ptr<Application>()>;
+
+}  // namespace loki::runtime

@@ -1,0 +1,32 @@
+// CPU costs charged for runtime activities.
+//
+// The thesis' performance analysis (§3.2.2) found the runtime's own
+// overheads "minimal compared to the OS context switching overhead"; these
+// defaults keep that ordering (tens of microseconds of handler work vs.
+// millisecond timeslices) while remaining configurable so the overhead-
+// decomposition bench can vary them.
+#pragma once
+
+#include "util/time.hpp"
+
+namespace loki::runtime {
+
+struct CostModel {
+  /// Handling one state-change notification at a node (state machine update
+  /// + fault parser sweep + recording).
+  Duration node_notification_handler{microseconds(25)};
+  /// A daemon routing one message (lookup + forward).
+  Duration daemon_route{microseconds(10)};
+  /// Node-side cost of the registration handshake.
+  Duration register_handshake{microseconds(40)};
+  /// Watchdog ping/reply handlers.
+  Duration watchdog_handler{microseconds(5)};
+  /// Probe fault injection (the injected action itself is the app's).
+  Duration probe_injection{microseconds(15)};
+  /// Default application handler cost when the app does not specify one.
+  Duration app_default_handler{microseconds(20)};
+  /// Clock-stamper handler during sync mini-phases.
+  Duration sync_stamp_handler{microseconds(8)};
+};
+
+}  // namespace loki::runtime

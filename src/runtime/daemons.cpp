@@ -1,0 +1,515 @@
+#include "runtime/daemons.hpp"
+
+#include <algorithm>
+
+#include "spec/reserved.hpp"
+#include "util/error.hpp"
+
+namespace loki::runtime {
+
+// ---------------------------------------------------------------------------
+// LocalDaemon
+// ---------------------------------------------------------------------------
+
+LocalDaemon::LocalDaemon(sim::World& world, sim::HostId host,
+                         PartiallyDistributedDeployment& fabric)
+    : world_(world), host_(host), fabric_(fabric) {}
+
+void LocalDaemon::start() {
+  pid_ = world_.spawn(host_, "lokid@" + world_.host_name(host_));
+  // Arm the watchdog loop.
+  world_.timer(pid_, fabric_.params().watchdog_interval,
+               fabric_.costs().watchdog_handler, [this] { watchdog_tick(); });
+}
+
+void LocalDaemon::restart_after_reboot() {
+  local_nodes_.clear();
+  last_reply_.clear();
+  // Machines located on this host died with it.
+  handle_host_purge(host_);
+  reported_empty_ = true;
+  start();
+  // Reconnect: tell the other daemons to forget machines they still map to
+  // this host, and report the (empty) host state upward.
+  for (const auto& d : fabric_.daemons()) {
+    if (d.get() == this) continue;
+    LocalDaemon* peer = d.get();
+    const sim::HostId host = host_;
+    world_.send(pid_, peer->pid(), sim::Lan::Control, sim::ChannelClass::Tcp,
+                fabric_.costs().daemon_route,
+                [peer, host] { peer->handle_host_purge(host); });
+  }
+  if (fabric_.on_host_empty_change) fabric_.on_host_empty_change(host_, true);
+}
+
+void LocalDaemon::handle_host_purge(sim::HostId host) {
+  std::erase_if(locations_,
+                [host](const auto& kv) { return kv.second == host; });
+}
+
+void LocalDaemon::watchdog_tick() {
+  const SimTime now = world_.now();
+  const Duration timeout = fabric_.params().watchdog_timeout;
+
+  // Pass 1: nodes that have not answered within the timeout are presumed
+  // crashed; the daemon writes the CRASH record on their behalf (§3.5.2).
+  std::vector<std::string> dead;
+  for (const auto& [nick, node] : local_nodes_) {
+    const auto it = last_reply_.find(nick);
+    if (it != last_reply_.end() && now - it->second > timeout)
+      dead.push_back(nick);
+  }
+  for (const std::string& nick : dead)
+    handle_crash_notice(nick, /*node_recorded=*/false);
+
+  // Pass 2: ping the survivors (IPC out, IPC back).
+  for (const auto& [nick, node] : local_nodes_) {
+    const std::string nickname = nick;
+    LokiNode* target = node;
+    world_.send(pid_, target->pid(), sim::Lan::Control, sim::ChannelClass::Ipc,
+                fabric_.costs().watchdog_handler,
+                [this, nickname, target] {
+                  // Node side: reply.
+                  world_.send(target->pid(), pid_, sim::Lan::Control,
+                              sim::ChannelClass::Ipc,
+                              fabric_.costs().watchdog_handler, [this, nickname] {
+                                last_reply_[nickname] = world_.now();
+                              });
+                });
+  }
+
+  world_.timer(pid_, fabric_.params().watchdog_interval,
+               fabric_.costs().watchdog_handler, [this] { watchdog_tick(); });
+}
+
+void LocalDaemon::handle_register(LokiNode* node, bool restarted,
+                                  std::function<void()> ack) {
+  (void)restarted;
+  const std::string& nick = node->nickname();
+  local_nodes_[nick] = node;
+  locations_[nick] = host_;
+  last_reply_[nick] = world_.now();
+  broadcast_locations_on_register(nick);
+  if (reported_empty_) {
+    reported_empty_ = false;
+    if (fabric_.on_host_empty_change) fabric_.on_host_empty_change(host_, false);
+  }
+  // Ack back to the node (IPC): registration complete, appMain may start.
+  world_.send(pid_, node->pid(), sim::Lan::Control, sim::ChannelClass::Ipc,
+              fabric_.costs().register_handshake, std::move(ack));
+}
+
+void LocalDaemon::broadcast_locations_on_register(const std::string& nickname) {
+  for (const auto& d : fabric_.daemons()) {
+    if (d.get() == this) continue;
+    LocalDaemon* peer = d.get();
+    const sim::HostId host = host_;
+    world_.send(pid_, peer->pid(), sim::Lan::Control, sim::ChannelClass::Tcp,
+                fabric_.costs().daemon_route,
+                [peer, nickname, host] { peer->handle_location_update(nickname, host); });
+  }
+}
+
+void LocalDaemon::handle_location_update(const std::string& nickname,
+                                         sim::HostId host) {
+  locations_[nickname] = host;
+}
+
+void LocalDaemon::handle_location_remove(const std::string& nickname) {
+  locations_.erase(nickname);
+}
+
+void LocalDaemon::handle_exit_notice(const std::string& nickname,
+                                     const LokiNode* node) {
+  const auto it = local_nodes_.find(nickname);
+  if (it == local_nodes_.end() || it->second != node) return;  // stale
+  local_nodes_.erase(it);
+  last_reply_.erase(nickname);
+  locations_.erase(nickname);
+  for (const auto& d : fabric_.daemons()) {
+    if (d.get() == this) continue;
+    LocalDaemon* peer = d.get();
+    world_.send(pid_, peer->pid(), sim::Lan::Control, sim::ChannelClass::Tcp,
+                fabric_.costs().daemon_route,
+                [peer, nickname] { peer->handle_location_remove(nickname); });
+  }
+  check_experiment_end();
+}
+
+void LocalDaemon::handle_crash_notice(const std::string& nickname,
+                                      bool node_recorded) {
+  if (!local_nodes_.contains(nickname)) return;  // watchdog beat the notice
+  if (!node_recorded) {
+    // Write the crash event + state on the node's behalf (§3.5.2), stamped
+    // with this host's clock (the node lived here).
+    Recorder* rec = fabric_.recorder_for(nickname);
+    if (rec != nullptr) {
+      const auto& dict = fabric_.dict();
+      rec->record_state_change(
+          dict.event_index(nickname, std::string(spec::kEventCrash)),
+          dict.state_index(std::string(spec::kStateCrash)),
+          world_.clock_read(host_));
+    }
+  }
+  declare_crashed(nickname);
+}
+
+void LocalDaemon::declare_crashed(const std::string& nickname) {
+  const auto it = local_nodes_.find(nickname);
+  if (it == local_nodes_.end()) return;
+  local_nodes_.erase(it);
+  last_reply_.erase(nickname);
+  locations_.erase(nickname);
+
+  // Tell the other daemons; they drop the location and synthesize CRASH
+  // view updates for their local machines.
+  for (const auto& d : fabric_.daemons()) {
+    if (d.get() == this) continue;
+    LocalDaemon* peer = d.get();
+    world_.send(pid_, peer->pid(), sim::Lan::Control, sim::ChannelClass::Tcp,
+                fabric_.costs().daemon_route,
+                [peer, nickname] { peer->handle_crash_broadcast(nickname); });
+  }
+  // And our own local machines.
+  handle_crash_broadcast(nickname);
+
+  if (fabric_.on_node_crash) fabric_.on_node_crash(nickname, host_);
+  check_experiment_end();
+}
+
+void LocalDaemon::handle_crash_broadcast(const std::string& nickname) {
+  locations_.erase(nickname);
+  const std::string crash_state(spec::kStateCrash);
+  for (const auto& [nick, node] : local_nodes_) {
+    LokiNode* target = node;
+    world_.send(pid_, target->pid(), sim::Lan::Control, sim::ChannelClass::Ipc,
+                fabric_.costs().node_notification_handler,
+                [target, nickname, crash_state] {
+                  target->deliver_remote_state(nickname, crash_state);
+                });
+  }
+}
+
+void LocalDaemon::handle_route(const std::string& from, const std::string& state,
+                               std::vector<std::string> recipients) {
+  ++routed_;
+  // Group recipients by host so each remote host gets ONE message (§3.6.1).
+  std::map<std::int32_t, std::vector<std::string>> by_host;
+  for (const std::string& r : recipients) {
+    const auto it = locations_.find(r);
+    if (it == locations_.end()) {
+      fabric_.count_drop();  // "discarded with a warning message"
+      continue;
+    }
+    by_host[it->second.value].push_back(r);
+  }
+  for (auto& [host_value, targets] : by_host) {
+    const sim::HostId host{host_value};
+    if (host == host_) {
+      handle_fanout(from, state, targets);
+      continue;
+    }
+    LocalDaemon* peer = &fabric_.daemon_on(host);
+    world_.send(pid_, peer->pid(), sim::Lan::Control, sim::ChannelClass::Tcp,
+                fabric_.costs().daemon_route,
+                [peer, from, state, targets = std::move(targets)] {
+                  peer->handle_fanout(from, state, targets);
+                });
+  }
+}
+
+void LocalDaemon::handle_fanout(const std::string& from, const std::string& state,
+                                const std::vector<std::string>& targets) {
+  for (const std::string& t : targets) {
+    const auto it = local_nodes_.find(t);
+    if (it == local_nodes_.end()) {
+      fabric_.count_drop();
+      continue;
+    }
+    LokiNode* target = it->second;
+    world_.send(pid_, target->pid(), sim::Lan::Control, sim::ChannelClass::Ipc,
+                fabric_.costs().node_notification_handler,
+                [target, from, state] { target->deliver_remote_state(from, state); });
+  }
+}
+
+std::map<std::string, std::string> LocalDaemon::collect_local_states() const {
+  std::map<std::string, std::string> states;
+  for (const auto& [nick, node] : local_nodes_) {
+    if (node->state_machine().initialized())
+      states.emplace(nick, node->state_machine().current_state());
+  }
+  return states;
+}
+
+void LocalDaemon::handle_state_request(const std::string& requester) {
+  // Local states answer immediately; remote daemons are queried in parallel.
+  handle_state_reply(requester, collect_local_states());
+  for (const auto& d : fabric_.daemons()) {
+    if (d.get() == this) continue;
+    LocalDaemon* peer = d.get();
+    const sim::HostId origin = host_;
+    world_.send(pid_, peer->pid(), sim::Lan::Control, sim::ChannelClass::Tcp,
+                fabric_.costs().daemon_route, [peer, requester, origin] {
+                  peer->handle_state_request_remote(requester, origin);
+                });
+  }
+}
+
+void LocalDaemon::handle_state_request_remote(const std::string& requester,
+                                              sim::HostId origin) {
+  auto states = collect_local_states();
+  if (states.empty()) return;
+  LocalDaemon* origin_daemon = &fabric_.daemon_on(origin);
+  world_.send(pid_, origin_daemon->pid(), sim::Lan::Control,
+              sim::ChannelClass::Tcp, fabric_.costs().daemon_route,
+              [origin_daemon, requester, states = std::move(states)] {
+                origin_daemon->handle_state_reply(requester, states);
+              });
+}
+
+void LocalDaemon::handle_state_reply(const std::string& requester,
+                                     std::map<std::string, std::string> states) {
+  const auto it = local_nodes_.find(requester);
+  if (it == local_nodes_.end()) return;  // restarted node died again
+  LokiNode* target = it->second;
+  world_.send(pid_, target->pid(), sim::Lan::Control, sim::ChannelClass::Ipc,
+              fabric_.costs().node_notification_handler,
+              [target, states = std::move(states)] {
+                target->deliver_state_updates(states);
+              });
+}
+
+void LocalDaemon::handle_kill_all() {
+  // Abort path (§3.5.1): kill every local state machine outright.
+  auto nodes = local_nodes_;
+  local_nodes_.clear();
+  last_reply_.clear();
+  for (const auto& [nick, node] : nodes) {
+    locations_.erase(nick);
+    world_.kill(node->pid());
+  }
+  check_experiment_end();
+}
+
+void LocalDaemon::handle_start_instruction(const std::string& nickname) {
+  LOKI_REQUIRE(static_cast<bool>(fabric_.node_spawner),
+               "no node spawner configured");
+  fabric_.node_spawner(nickname, host_);
+}
+
+void LocalDaemon::check_experiment_end() {
+  const bool now_empty = local_nodes_.empty();
+  if (now_empty != reported_empty_) {
+    reported_empty_ = now_empty;
+    if (fabric_.on_host_empty_change) fabric_.on_host_empty_change(host_, now_empty);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PartiallyDistributedDeployment
+// ---------------------------------------------------------------------------
+
+PartiallyDistributedDeployment::PartiallyDistributedDeployment(
+    sim::World& world, std::vector<sim::HostId> hosts,
+    const StudyDictionary& dict, const CostModel& costs, FabricParams params)
+    : world_(world),
+      hosts_(std::move(hosts)),
+      dict_(dict),
+      costs_(costs),
+      params_(params) {
+  LOKI_REQUIRE(!hosts_.empty(), "fabric needs at least one host");
+  for (const sim::HostId h : hosts_)
+    daemons_.push_back(std::make_unique<LocalDaemon>(world_, h, *this));
+}
+
+void PartiallyDistributedDeployment::start_daemons() {
+  for (auto& d : daemons_) d->start();
+}
+
+LocalDaemon& PartiallyDistributedDeployment::daemon_on(sim::HostId host) {
+  for (auto& d : daemons_)
+    if (d->host() == host) return *d;
+  throw ConfigError("no local daemon on host " + world_.host_name(host));
+}
+
+void PartiallyDistributedDeployment::set_recorder(const std::string& nickname,
+                                                  std::shared_ptr<Recorder> rec) {
+  recorders_[nickname] = std::move(rec);
+}
+
+Recorder* PartiallyDistributedDeployment::recorder_for(const std::string& nickname) {
+  const auto it = recorders_.find(nickname);
+  return it == recorders_.end() ? nullptr : it->second.get();
+}
+
+void PartiallyDistributedDeployment::node_started(LokiNode& node, bool restarted,
+                                                  std::function<void()> on_ready) {
+  LocalDaemon& daemon = daemon_on(node.host());
+  LokiNode* node_ptr = &node;
+  world_.send(node.pid(), daemon.pid(), sim::Lan::Control, sim::ChannelClass::Ipc,
+              costs_.daemon_route,
+              [&daemon, node_ptr, restarted, on_ready = std::move(on_ready)] {
+                daemon.handle_register(node_ptr, restarted, on_ready);
+              });
+}
+
+void PartiallyDistributedDeployment::node_exited(LokiNode& node) {
+  LocalDaemon& daemon = daemon_on(node.host());
+  const std::string nick = node.nickname();
+  const LokiNode* node_ptr = &node;
+  world_.send(node.pid(), daemon.pid(), sim::Lan::Control, sim::ChannelClass::Ipc,
+              costs_.daemon_route,
+              [&daemon, nick, node_ptr] { daemon.handle_exit_notice(nick, node_ptr); });
+}
+
+void PartiallyDistributedDeployment::node_crashed(LokiNode& node,
+                                                  bool explicit_notice) {
+  LocalDaemon& daemon = daemon_on(node.host());
+  const std::string nick = node.nickname();
+  // Explicit notifyOnCrash() and the OS shm-teardown notification both reach
+  // the daemon as a local (IPC-speed) event; the difference is whether the
+  // node already recorded its CRASH state change.
+  world_.send(node.pid(), daemon.pid(), sim::Lan::Control, sim::ChannelClass::Ipc,
+              costs_.daemon_route, [&daemon, nick, explicit_notice] {
+                daemon.handle_crash_notice(nick, explicit_notice);
+              });
+}
+
+void PartiallyDistributedDeployment::send_state_notification(
+    LokiNode& from, const std::string& state,
+    const std::vector<std::string>& recipients) {
+  LocalDaemon& daemon = daemon_on(from.host());
+  const std::string nick = from.nickname();
+  world_.send(from.pid(), daemon.pid(), sim::Lan::Control, sim::ChannelClass::Ipc,
+              costs_.daemon_route, [&daemon, nick, state, recipients] {
+                daemon.handle_route(nick, state, recipients);
+              });
+}
+
+void PartiallyDistributedDeployment::request_state_updates(LokiNode& node) {
+  LocalDaemon& daemon = daemon_on(node.host());
+  const std::string nick = node.nickname();
+  world_.send(node.pid(), daemon.pid(), sim::Lan::Control, sim::ChannelClass::Ipc,
+              costs_.daemon_route,
+              [&daemon, nick] { daemon.handle_state_request(nick); });
+}
+
+// ---------------------------------------------------------------------------
+// CentralDaemon
+// ---------------------------------------------------------------------------
+
+CentralDaemon::CentralDaemon(sim::World& world, sim::HostId host,
+                             PartiallyDistributedDeployment& fabric, Params params)
+    : world_(world), host_(host), fabric_(fabric), params_(params) {}
+
+void CentralDaemon::start(
+    const std::vector<std::pair<std::string, sim::HostId>>& initial_nodes) {
+  pid_ = world_.spawn(host_, "loki-central@" + world_.host_name(host_));
+
+  for (const auto& d : fabric_.daemons()) host_empty_[d->host().value] = true;
+
+  fabric_.on_host_empty_change = [this](sim::HostId host, bool empty) {
+    // Daemon -> central notice (TCP).
+    const auto& daemon = fabric_.daemon_on(host);
+    world_.send(daemon.pid(), pid_, sim::Lan::Control, sim::ChannelClass::Tcp,
+                fabric_.costs().daemon_route,
+                [this, host, empty] { handle_empty_change(host, empty); });
+  };
+  fabric_.on_node_crash = [this](const std::string& nick, sim::HostId host) {
+    const auto& daemon = fabric_.daemon_on(host);
+    world_.send(daemon.pid(), pid_, sim::Lan::Control, sim::ChannelClass::Tcp,
+                fabric_.costs().daemon_route, [this, nick, host] {
+                  if (on_crash_report) on_crash_report(nick, host);
+                });
+  };
+
+  // Experiment timeout (§3.5.1: a hung experiment is aborted).
+  world_.timer(pid_, params_.experiment_timeout, fabric_.costs().daemon_route,
+               [this] {
+                 if (!concluded_) abort_experiment();
+               });
+
+  // Local-daemon liveness: a broken TCP link to a daemon means its host
+  // crashed (§3.6.4). The host counts as empty until the daemon returns.
+  const auto poll = std::make_shared<std::function<void()>>();
+  *poll = [this, poll] {
+    if (concluded_) return;
+    for (const auto& d : fabric_.daemons()) {
+      if (!world_.alive(d->pid())) handle_empty_change(d->host(), true);
+    }
+    world_.timer(pid_, fabric_.params().watchdog_interval,
+                 fabric_.costs().daemon_route, *poll);
+  };
+  world_.timer(pid_, fabric_.params().watchdog_interval,
+               fabric_.costs().daemon_route, *poll);
+
+  // Instruct the daemons to start the node-file nodes.
+  for (const auto& [nickname, host] : initial_nodes) {
+    LocalDaemon* daemon = &fabric_.daemon_on(host);
+    const std::string nick = nickname;
+    world_.send(pid_, daemon->pid(), sim::Lan::Control, sim::ChannelClass::Tcp,
+                fabric_.costs().daemon_route,
+                [daemon, nick] { daemon->handle_start_instruction(nick); });
+  }
+}
+
+void CentralDaemon::handle_empty_change(sim::HostId host, bool empty) {
+  host_empty_[host.value] = empty;
+  if (!empty) {
+    saw_any_node_ = true;
+    ++confirm_epoch_;  // cancel any scheduled confirmation
+    return;
+  }
+  maybe_schedule_confirm();
+}
+
+void CentralDaemon::maybe_schedule_confirm() {
+  if (concluded_ || !saw_any_node_) return;
+  const bool all_empty =
+      std::all_of(host_empty_.begin(), host_empty_.end(),
+                  [](const auto& kv) { return kv.second; });
+  if (!all_empty) return;
+  const std::uint64_t epoch = ++confirm_epoch_;
+  world_.timer(pid_, params_.end_confirm_grace, fabric_.costs().daemon_route,
+               [this, epoch] {
+                 if (epoch == confirm_epoch_) confirm_end();
+               });
+}
+
+void CentralDaemon::confirm_end() {
+  if (concluded_) return;
+  const bool all_empty =
+      std::all_of(host_empty_.begin(), host_empty_.end(),
+                  [](const auto& kv) { return kv.second; });
+  const bool really_empty = std::all_of(
+      fabric_.daemons().begin(), fabric_.daemons().end(),
+      [](const std::unique_ptr<LocalDaemon>& d) { return d->empty(); });
+  const int pending = pending_restarts ? pending_restarts() : 0;
+  if (all_empty && really_empty && pending == 0) {
+    conclude(false);
+  }
+  // Otherwise a restart or late entry is in flight; the next empty report
+  // re-schedules the confirmation.
+}
+
+void CentralDaemon::abort_experiment() {
+  timed_out_ = true;
+  for (const auto& d : fabric_.daemons()) {
+    LocalDaemon* daemon = d.get();
+    world_.send(pid_, daemon->pid(), sim::Lan::Control, sim::ChannelClass::Tcp,
+                fabric_.costs().daemon_route, [daemon] { daemon->handle_kill_all(); });
+  }
+  // Conclude after the kill instructions have had time to land.
+  world_.timer(pid_, milliseconds(50), fabric_.costs().daemon_route,
+               [this] { conclude(true); });
+}
+
+void CentralDaemon::conclude(bool timed_out) {
+  if (concluded_) return;
+  concluded_ = true;
+  timed_out_ = timed_out_ || timed_out;
+  if (on_conclude) on_conclude(timed_out_);
+}
+
+}  // namespace loki::runtime

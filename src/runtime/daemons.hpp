@@ -1,0 +1,195 @@
+// The enhanced (partially distributed) runtime fabric of §3.5:
+// one LocalDaemon per host, a single CentralDaemon, and all state-machine
+// communication flowing through the daemons (the design selected in §3.4.2).
+//
+// Responsibilities implemented per the thesis:
+//  LocalDaemon (§3.5.2): node entry/exit/crash/restart bookkeeping, shared-
+//  memory channels to local nodes, TCP links to the other daemons,
+//  notification routing with one-message-per-remote-host batching, watchdog
+//  crash detection, writing CRASH records on behalf of silently-crashed
+//  nodes, local experiment-end checks.
+//  CentralDaemon (§3.5.1): starting the configured nodes, experiment
+//  timeout/abort, concluding the experiment when every local daemon reports
+//  it has no executing state machines.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/cost_model.hpp"
+#include "runtime/deployment.hpp"
+#include "runtime/dictionary.hpp"
+#include "runtime/node.hpp"
+#include "runtime/recorder.hpp"
+#include "sim/world.hpp"
+
+namespace loki::runtime {
+
+class PartiallyDistributedDeployment;
+
+class LocalDaemon {
+ public:
+  LocalDaemon(sim::World& world, sim::HostId host,
+              PartiallyDistributedDeployment& fabric);
+
+  void start();
+  /// Host crash & reboot support (§3.6.4): respawn the daemon process after
+  /// its host rebooted. Registered nodes died with the host; the restarted
+  /// daemon tells its peers to purge their location entries for this host.
+  void restart_after_reboot();
+  sim::ProcessId pid() const { return pid_; }
+  sim::HostId host() const { return host_; }
+  bool empty() const { return local_nodes_.empty(); }
+  std::uint64_t routed() const { return routed_; }
+
+  void handle_host_purge(sim::HostId host);
+
+  // --- handlers: each runs as a work item on this daemon's process ---------
+  void handle_register(LokiNode* node, bool restarted, std::function<void()> ack);
+  void handle_exit_notice(const std::string& nickname, const LokiNode* node);
+  void handle_crash_notice(const std::string& nickname, bool node_recorded);
+  void handle_route(const std::string& from, const std::string& state,
+                    std::vector<std::string> recipients);
+  void handle_fanout(const std::string& from, const std::string& state,
+                     const std::vector<std::string>& targets);
+  void handle_location_update(const std::string& nickname, sim::HostId host);
+  void handle_location_remove(const std::string& nickname);
+  void handle_crash_broadcast(const std::string& nickname);
+  void handle_state_request(const std::string& requester);
+  void handle_state_request_remote(const std::string& requester,
+                                   sim::HostId origin);
+  void handle_state_reply(const std::string& requester,
+                          std::map<std::string, std::string> states);
+  void handle_kill_all();
+  void handle_start_instruction(const std::string& nickname);
+
+ private:
+  void watchdog_tick();
+  void declare_crashed(const std::string& nickname);
+  void check_experiment_end();
+  void broadcast_locations_on_register(const std::string& nickname);
+  std::map<std::string, std::string> collect_local_states() const;
+
+  sim::World& world_;
+  sim::HostId host_;
+  PartiallyDistributedDeployment& fabric_;
+  sim::ProcessId pid_{};
+
+  std::map<std::string, LokiNode*> local_nodes_;
+  std::map<std::string, sim::HostId> locations_;  // global location table
+  std::map<std::string, SimTime> last_reply_;
+  bool reported_empty_{true};
+  std::uint64_t routed_{0};
+};
+
+/// Fabric parameters beyond the cost model.
+struct FabricParams {
+  Duration watchdog_interval{milliseconds(100)};
+  Duration watchdog_timeout{milliseconds(350)};
+};
+
+class PartiallyDistributedDeployment final : public Deployment {
+ public:
+  PartiallyDistributedDeployment(sim::World& world,
+                                 std::vector<sim::HostId> hosts,
+                                 const StudyDictionary& dict,
+                                 const CostModel& costs, FabricParams params);
+
+  /// Start the local daemons (spawn + interconnect). Must run before nodes.
+  void start_daemons();
+
+  // --- Deployment -----------------------------------------------------------
+  void node_started(LokiNode& node, bool restarted,
+                    std::function<void()> on_ready) override;
+  void node_exited(LokiNode& node) override;
+  void node_crashed(LokiNode& node, bool explicit_notice) override;
+  void send_state_notification(LokiNode& from, const std::string& state,
+                               const std::vector<std::string>& recipients) override;
+  void request_state_updates(LokiNode& node) override;
+  std::uint64_t dropped_notifications() const override { return dropped_; }
+
+  // --- wiring ---------------------------------------------------------------
+  void set_recorder(const std::string& nickname, std::shared_ptr<Recorder> rec);
+  Recorder* recorder_for(const std::string& nickname);
+  LocalDaemon& daemon_on(sim::HostId host);
+  const std::vector<std::unique_ptr<LocalDaemon>>& daemons() const {
+    return daemons_;
+  }
+  const StudyDictionary& dict() const { return dict_; }
+  const CostModel& costs() const { return costs_; }
+  const FabricParams& params() const { return params_; }
+  sim::World& world() { return world_; }
+  void count_drop() { ++dropped_; }
+
+  /// Central-daemon / harness callbacks.
+  std::function<void(sim::HostId host, bool empty)> on_host_empty_change;
+  std::function<void(const std::string& nickname, sim::HostId host)> on_node_crash;
+  /// Node spawner: the harness creates + starts the node (daemon-initiated
+  /// starts, §3.5.1). Runs on the daemon's host.
+  std::function<void(const std::string& nickname, sim::HostId host)> node_spawner;
+
+ private:
+  sim::World& world_;
+  std::vector<sim::HostId> hosts_;
+  const StudyDictionary& dict_;
+  CostModel costs_;
+  FabricParams params_;
+  std::vector<std::unique_ptr<LocalDaemon>> daemons_;
+  std::map<std::string, std::shared_ptr<Recorder>> recorders_;
+  std::uint64_t dropped_{0};
+};
+
+/// The central daemon (§3.5.1). Lives on one host; drives experiment
+/// start, timeout/abort, and completion detection.
+class CentralDaemon {
+ public:
+  struct Params {
+    Duration experiment_timeout{seconds(30)};
+    /// Grace period before confirming an all-empty report as the end.
+    Duration end_confirm_grace{milliseconds(60)};
+  };
+
+  CentralDaemon(sim::World& world, sim::HostId host,
+                PartiallyDistributedDeployment& fabric, Params params);
+
+  /// Start the daemon process, hook fabric callbacks, arm the timeout, and
+  /// instruct local daemons to start `initial_nodes` (node-file entries
+  /// with a host, §3.5.1).
+  void start(const std::vector<std::pair<std::string, sim::HostId>>& initial_nodes);
+
+  sim::ProcessId pid() const { return pid_; }
+  bool concluded() const { return concluded_; }
+  bool timed_out() const { return timed_out_; }
+
+  /// Harness glue: how many restarts are scheduled but not yet executed.
+  std::function<int()> pending_restarts;
+  /// Fired exactly once when the experiment concludes (normally or by
+  /// timeout/abort).
+  std::function<void(bool timed_out)> on_conclude;
+  /// Crash reports forwarded to the harness (restart manager).
+  std::function<void(const std::string& nickname, sim::HostId host)> on_crash_report;
+
+ private:
+  void handle_empty_change(sim::HostId host, bool empty);
+  void maybe_schedule_confirm();
+  void confirm_end();
+  void abort_experiment();
+  void conclude(bool timed_out);
+
+  sim::World& world_;
+  sim::HostId host_;
+  PartiallyDistributedDeployment& fabric_;
+  Params params_;
+  sim::ProcessId pid_{};
+  std::map<std::int32_t, bool> host_empty_;
+  bool saw_any_node_{false};
+  bool concluded_{false};
+  bool timed_out_{false};
+  std::uint64_t confirm_epoch_{0};
+};
+
+}  // namespace loki::runtime

@@ -1,0 +1,86 @@
+// Transport fabric abstraction: the three runtime designs of §3.4.
+//
+// The node's state machine talks to a Deployment; how notifications travel
+// (via per-host local daemons, via one global daemon, or directly peer to
+// peer) is the design under comparison in Fig 3.4 / §3.4.2. All fabric
+// operations move through the simulated control LAN with the appropriate
+// channel class, so the bench can measure the trade-offs the thesis argues
+// qualitatively.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/ids.hpp"
+
+namespace loki::runtime {
+
+class LokiNode;
+
+enum class TransportDesign : std::uint8_t {
+  /// Enhanced runtime (§3.5): one local daemon per host + central daemon,
+  /// all communication through the daemons. The production design.
+  PartiallyDistributed,
+  /// One global daemon relaying everything (Fig 3.4 left).
+  Centralized,
+  /// Original runtime (Fig 3.1): direct TCP between state machines, static
+  /// membership, no crash/restart support.
+  Direct,
+};
+
+class Deployment {
+ public:
+  virtual ~Deployment() = default;
+
+  /// Registration handshake for a (re)starting node. `on_ready` runs on the
+  /// node's process once the fabric accepted it (appMain starts after).
+  virtual void node_started(LokiNode& node, bool restarted,
+                            std::function<void()> on_ready) = 0;
+
+  /// notifyOnExit(): clean exit notice (§3.5.7).
+  virtual void node_exited(LokiNode& node) = 0;
+
+  /// Crash paths. `explicit_notice` == true: the user signal handler called
+  /// notifyOnCrash() (node already recorded its CRASH state change);
+  /// false: the OS reported the teardown (daemon must record the crash).
+  virtual void node_crashed(LokiNode& node, bool explicit_notice) = 0;
+
+  /// Deliver `from`'s new state to the machines on the notify list.
+  virtual void send_state_notification(LokiNode& from, const std::string& state,
+                                       const std::vector<std::string>& recipients) = 0;
+
+  /// §3.6.3: a restarted node asks all other machines for their current
+  /// states to rebuild its partial view.
+  virtual void request_state_updates(LokiNode& node) = 0;
+
+  /// Notifications dropped because the target was not executing (§3.6.1
+  /// "discarded with a warning message").
+  virtual std::uint64_t dropped_notifications() const = 0;
+};
+
+/// Harness-maintained registry: nickname -> current live incarnation.
+/// Models what the distributed application itself knows (process tables,
+/// respawn managers); Loki components keep their own location tables.
+class NodeDirectory {
+ public:
+  void put(const std::string& nickname, LokiNode* node) {
+    nodes_[nickname] = node;
+  }
+  void remove(const std::string& nickname, const LokiNode* node) {
+    const auto it = nodes_.find(nickname);
+    if (it != nodes_.end() && it->second == node) nodes_.erase(it);
+  }
+  LokiNode* find(const std::string& nickname) const {
+    const auto it = nodes_.find(nickname);
+    return it == nodes_.end() ? nullptr : it->second;
+  }
+  const std::map<std::string, LokiNode*>& all() const { return nodes_; }
+
+ private:
+  std::map<std::string, LokiNode*> nodes_;
+};
+
+}  // namespace loki::runtime

@@ -1,0 +1,114 @@
+#include "runtime/dictionary.hpp"
+
+#include <algorithm>
+
+#include "spec/reserved.hpp"
+#include "util/error.hpp"
+
+namespace loki::runtime {
+
+StudyDictionary StudyDictionary::build(
+    const std::vector<const spec::StateMachineSpec*>& specs,
+    const std::vector<const spec::FaultSpec*>& fault_specs) {
+  LOKI_REQUIRE(specs.size() == fault_specs.size(),
+               "one fault spec per state machine spec");
+  StudyDictionary d;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const spec::StateMachineSpec& sm = *specs[i];
+    LOKI_REQUIRE(!sm.name().empty(), "spec must have a nickname assigned");
+    LOKI_REQUIRE(!d.machine_idx_.contains(sm.name()), "duplicate machine nickname");
+    d.machine_idx_.emplace(sm.name(), static_cast<std::uint32_t>(d.machines_.size()));
+    d.machines_.push_back(sm.name());
+
+    for (const std::string& s : sm.states()) {
+      if (!d.state_idx_.contains(s)) {
+        d.state_idx_.emplace(s, static_cast<std::uint32_t>(d.states_.size()));
+        d.states_.push_back(s);
+      }
+    }
+    // Reserved states likewise (BEGIN is the implicit start; CRASH/EXIT are
+    // written by the runtime and daemon).
+    for (const std::string_view reserved :
+         {spec::kStateBegin, spec::kStateExit, spec::kStateCrash}) {
+      const std::string name(reserved);
+      if (!d.state_idx_.contains(name)) {
+        d.state_idx_.emplace(name, static_cast<std::uint32_t>(d.states_.size()));
+        d.states_.push_back(name);
+      }
+    }
+
+    auto& events = d.events_[sm.name()];
+    auto& event_idx = d.event_idx_[sm.name()];
+    for (const std::string& e : sm.events()) {
+      event_idx.emplace(e, static_cast<std::uint32_t>(events.size()));
+      events.push_back(e);
+    }
+    // Reserved events must be indexable even if the spec omits them: the
+    // local daemon records CRASH on silent crashes, and synthetic records
+    // (e.g. state-name initialization) use `default` (§3.5.7).
+    for (const std::string_view reserved :
+         {spec::kEventCrash, spec::kEventDefault}) {
+      const std::string name(reserved);
+      if (!event_idx.contains(name)) {
+        event_idx.emplace(name, static_cast<std::uint32_t>(events.size()));
+        events.push_back(name);
+      }
+    }
+
+    auto& faults = d.faults_[sm.name()];
+    auto& fault_idx = d.fault_idx_[sm.name()];
+    for (const spec::FaultSpecEntry& f : fault_specs[i]->entries) {
+      fault_idx.emplace(f.name, static_cast<std::uint32_t>(faults.size()));
+      faults.push_back(f);
+    }
+  }
+  return d;
+}
+
+std::uint32_t StudyDictionary::machine_index(const std::string& name) const {
+  const auto it = machine_idx_.find(name);
+  LOKI_REQUIRE(it != machine_idx_.end(), "unknown machine: " + name);
+  return it->second;
+}
+
+std::uint32_t StudyDictionary::state_index(const std::string& name) const {
+  const auto it = state_idx_.find(name);
+  LOKI_REQUIRE(it != state_idx_.end(), "unknown state: " + name);
+  return it->second;
+}
+
+const std::vector<std::string>& StudyDictionary::events_of(
+    const std::string& machine) const {
+  const auto it = events_.find(machine);
+  LOKI_REQUIRE(it != events_.end(), "unknown machine: " + machine);
+  return it->second;
+}
+
+std::uint32_t StudyDictionary::event_index(const std::string& machine,
+                                           const std::string& event) const {
+  const auto it = event_idx_.find(machine);
+  LOKI_REQUIRE(it != event_idx_.end(), "unknown machine: " + machine);
+  const auto jt = it->second.find(event);
+  LOKI_REQUIRE(jt != it->second.end(),
+               "unknown event " + event + " for machine " + machine);
+  return jt->second;
+}
+
+const std::vector<spec::FaultSpecEntry>& StudyDictionary::faults_of(
+    const std::string& machine) const {
+  const auto it = faults_.find(machine);
+  LOKI_REQUIRE(it != faults_.end(), "unknown machine: " + machine);
+  return it->second;
+}
+
+std::uint32_t StudyDictionary::fault_index(const std::string& machine,
+                                           const std::string& fault) const {
+  const auto it = fault_idx_.find(machine);
+  LOKI_REQUIRE(it != fault_idx_.end(), "unknown machine: " + machine);
+  const auto jt = it->second.find(fault);
+  LOKI_REQUIRE(jt != it->second.end(),
+               "unknown fault " + fault + " for machine " + machine);
+  return jt->second;
+}
+
+}  // namespace loki::runtime

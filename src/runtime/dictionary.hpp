@@ -1,0 +1,56 @@
+// Per-study name<->index dictionaries (§3.5.6).
+//
+// "The state machine, state, event, and fault indices are used in the local
+// timeline events in place of the corresponding names. This makes the local
+// timeline compact and decreases intrusion during recording."
+//
+// The machine and state dictionaries are shared by all nodes of a study;
+// events and faults are per machine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "spec/fault_spec.hpp"
+#include "spec/state_machine_spec.hpp"
+
+namespace loki::runtime {
+
+class StudyDictionary {
+ public:
+  /// Build from the specs of every machine in the study. Machine order
+  /// follows the argument order; the global state list is the union in
+  /// first-seen order (specs normally agree on it already).
+  static StudyDictionary build(
+      const std::vector<const spec::StateMachineSpec*>& specs,
+      const std::vector<const spec::FaultSpec*>& fault_specs);
+
+  const std::vector<std::string>& machines() const { return machines_; }
+  const std::vector<std::string>& states() const { return states_; }
+
+  std::uint32_t machine_index(const std::string& name) const;
+  std::uint32_t state_index(const std::string& name) const;
+
+  /// Per-machine event/fault dictionaries.
+  const std::vector<std::string>& events_of(const std::string& machine) const;
+  std::uint32_t event_index(const std::string& machine,
+                            const std::string& event) const;
+  const std::vector<spec::FaultSpecEntry>& faults_of(
+      const std::string& machine) const;
+  std::uint32_t fault_index(const std::string& machine,
+                            const std::string& fault) const;
+
+ private:
+  std::vector<std::string> machines_;
+  std::vector<std::string> states_;
+  std::map<std::string, std::uint32_t> machine_idx_;
+  std::map<std::string, std::uint32_t> state_idx_;
+  std::map<std::string, std::vector<std::string>> events_;
+  std::map<std::string, std::map<std::string, std::uint32_t>> event_idx_;
+  std::map<std::string, std::vector<spec::FaultSpecEntry>> faults_;
+  std::map<std::string, std::map<std::string, std::uint32_t>> fault_idx_;
+};
+
+}  // namespace loki::runtime

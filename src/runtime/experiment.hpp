@@ -1,0 +1,165 @@
+// Experiment and campaign orchestration (§2.2.3, §2.3).
+//
+// A campaign is a set of studies; a study is a set of experiments; an
+// experiment is one run of the distributed application under a World built
+// fresh from (seed, parameters):
+//
+//   sync mini-phase 1  ->  runtime phase (daemons + nodes + injections)
+//                      ->  sync mini-phase 2  ->  collected results
+//
+// Because the substrate is omniscient, the result also carries ground truth
+// (true state intervals, true injection instants, true clock parameters) so
+// tests can validate what the analysis phase infers from timestamps alone.
+// The runtime itself never reads the ground truth.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "clocksync/sync_data.hpp"
+#include "clocksync/sync_phase.hpp"
+#include "runtime/app.hpp"
+#include "runtime/cost_model.hpp"
+#include "runtime/daemons.hpp"
+#include "runtime/deployment.hpp"
+#include "runtime/node.hpp"
+#include "runtime/recorder.hpp"
+#include "runtime/timeline.hpp"
+#include "sim/load.hpp"
+#include "sim/world.hpp"
+#include "spec/fault_spec.hpp"
+#include "spec/state_machine_spec.hpp"
+
+namespace loki::runtime {
+
+struct HostConfig {
+  std::string name;
+  sim::SchedParams sched{};
+  /// Clock parameters; when absent they are drawn from the experiment seed
+  /// (offset within +-max_clock_offset, drift within +-max_drift_ppm).
+  std::optional<sim::ClockParams> clock;
+  /// CPU load duty in [0,1]; 0 disables the competing load process.
+  double load_duty{0.0};
+  Duration load_chunk{microseconds(200)};
+};
+
+struct RestartPolicy {
+  bool enabled{false};
+  Duration delay{milliseconds(80)};
+  enum class Placement { SameHost, NextHost, Fixed } placement{Placement::SameHost};
+  std::string fixed_host;
+  int max_restarts{1};
+};
+
+struct NodeConfig {
+  std::string nickname;
+  spec::StateMachineSpec sm_spec;  // name() must equal nickname
+  spec::FaultSpec fault_spec;
+  ApplicationFactory app_factory;
+  /// Node-file host: present => started by the central daemon at t0.
+  std::optional<std::string> initial_host;
+  /// Dynamic entry: enter at this time on `enter_host` (§3.6.1 "new nodes
+  /// can enter the system at any time").
+  std::optional<Duration> enter_at;
+  std::string enter_host;
+  RestartPolicy restart;
+};
+
+/// Host crash & reboot plan (§3.6.4): at `at` the whole host loses power
+/// (every process on it dies, including its local daemon); `reboot_after`
+/// later the host is back and the central daemon's recovery restarts the
+/// local daemon. Nodes that died with the host stay dead (their last
+/// recorded state stands) unless a restart policy revives them elsewhere.
+struct HostCrashPlan {
+  std::string host;
+  Duration at{milliseconds(200)};
+  Duration reboot_after{milliseconds(150)};
+};
+
+struct ExperimentParams {
+  std::uint64_t seed{1};
+  std::vector<HostConfig> hosts;
+  std::vector<NodeConfig> nodes;
+  std::vector<HostCrashPlan> host_crashes;
+  TransportDesign design{TransportDesign::PartiallyDistributed};
+  CostModel costs{};
+  FabricParams fabric{};
+  CentralDaemon::Params central{};
+  clocksync::SyncPhaseParams sync{};
+  sim::NetworkParams app_lan{};
+  sim::NetworkParams control_lan{};
+  Duration max_clock_offset{milliseconds(5)};
+  double max_drift_ppm{100.0};
+  std::int64_t clock_granularity_ns{1000};
+  /// Safety limit for the whole runtime phase (on top of central timeout).
+  Duration hard_limit{seconds(120)};
+};
+
+struct TrueInjection {
+  std::string machine;
+  std::string fault;
+  SimTime at{};
+};
+
+struct GroundTruth {
+  /// Per machine: (physical enter time, state) in order. A machine's state
+  /// holds until the next entry (or forever if it died there).
+  std::map<std::string, std::vector<std::pair<SimTime, std::string>>> state_seq;
+  std::vector<TrueInjection> injections;
+  std::map<std::string, std::vector<SimTime>> crashes;  // per machine
+
+  /// True iff `machine` was in `state` at physical time `t`.
+  bool in_state(const std::string& machine, const std::string& state,
+                SimTime t) const;
+};
+
+struct ExperimentResult {
+  std::map<std::string, LocalTimeline> timelines;
+  std::map<std::string, std::vector<std::string>> user_messages;
+  clocksync::SyncData sync_samples;
+  /// Local clock readings at experiment start/end per host — START_EXP /
+  /// END_EXP anchors for the measure phase.
+  std::map<std::string, LocalTime> start_local;
+  std::map<std::string, LocalTime> end_local;
+  GroundTruth truth;
+  std::map<std::string, sim::ClockParams> true_clocks;  // substrate-only
+  SimTime start_phys{};
+  SimTime end_phys{};
+  bool completed{false};
+  bool timed_out{false};
+  std::uint64_t dropped_notifications{0};
+  std::uint64_t control_messages{0};
+  std::uint64_t app_messages{0};
+};
+
+/// Run one experiment to completion. Deterministic in params.seed.
+ExperimentResult run_experiment(const ExperimentParams& params);
+
+// --- campaign structure ----------------------------------------------------
+
+struct StudyParams {
+  std::string name;
+  /// Parameters for experiment k of this study (the harness varies seeds;
+  /// the generator may vary anything else, e.g. workload knobs).
+  std::function<ExperimentParams(int experiment_index)> make_params;
+  int experiments{10};
+};
+
+struct StudyResult {
+  std::string name;
+  std::vector<ExperimentResult> experiments;
+};
+
+struct CampaignResult {
+  std::vector<StudyResult> studies;
+  const StudyResult* find_study(const std::string& name) const;
+};
+
+CampaignResult run_campaign(const std::vector<StudyParams>& studies);
+
+}  // namespace loki::runtime

@@ -1,0 +1,48 @@
+// The fault parser (§3.5.5).
+//
+// On every change of the partial view of global state, every Boolean fault
+// expression is re-evaluated; expressions that transitioned false -> true
+// fire (positive-edge triggering, §5.4), subject to once|always:
+//   once   — fire only on the first such edge in the experiment;
+//   always — fire on every edge.
+//
+// Previous values are initialized by evaluating each expression against the
+// empty view at reset, so an expression that is vacuously true from the
+// start (e.g. pure negations) does not fire until it first goes false and
+// comes back.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spec/fault_spec.hpp"
+
+namespace loki::runtime {
+
+class FaultParser {
+ public:
+  explicit FaultParser(std::vector<spec::FaultSpecEntry> entries);
+
+  /// Re-evaluate all expressions against `view`; returns the indices (into
+  /// the entry list) of faults that must be injected now, in entry order.
+  std::vector<std::uint32_t> on_view_change(const spec::StateView& view);
+
+  /// Forget edge/armed state (new experiment).
+  void reset();
+
+  const std::vector<spec::FaultSpecEntry>& entries() const { return entries_; }
+
+  std::uint64_t evaluations() const { return evaluations_; }
+
+ private:
+  struct EdgeState {
+    bool prev{false};
+    bool fired_once{false};
+  };
+
+  std::vector<spec::FaultSpecEntry> entries_;
+  std::vector<EdgeState> edges_;
+  std::uint64_t evaluations_{0};
+};
+
+}  // namespace loki::runtime

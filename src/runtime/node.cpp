@@ -1,0 +1,158 @@
+#include "runtime/node.hpp"
+
+#include "spec/reserved.hpp"
+#include "util/error.hpp"
+
+namespace loki::runtime {
+
+LokiNode::LokiNode(sim::World& world, sim::HostId host, std::string nickname,
+                   const spec::StateMachineSpec& sm_spec,
+                   const spec::FaultSpec& fault_spec, const StudyDictionary& dict,
+                   std::shared_ptr<Recorder> recorder, Deployment& deployment,
+                   NodeDirectory& directory, const CostModel& costs, Rng rng,
+                   bool restarted, Hooks hooks)
+    : world_(world),
+      host_(host),
+      nickname_(std::move(nickname)),
+      dict_(dict),
+      recorder_(std::move(recorder)),
+      deployment_(deployment),
+      directory_(directory),
+      costs_(costs),
+      rng_(rng),
+      restarted_(restarted),
+      hooks_(std::move(hooks)) {
+  StateMachine::Hooks sm_hooks;
+  sm_hooks.clock = [this] { return world_.clock_read(host_); };
+  sm_hooks.send_notifications = [this](const std::string& state,
+                                       const std::vector<std::string>& recipients) {
+    deployment_.send_state_notification(*this, state, recipients);
+  };
+  sm_hooks.inject_fault = [this](const std::string& fault) { inject_fault(fault); };
+  sm_hooks.truth_state_change = [this](const std::string& state) {
+    if (hooks_.truth_state_change) hooks_.truth_state_change(nickname_, state);
+  };
+  sm_hooks.truth_injection = [this](const std::string& fault) {
+    if (hooks_.truth_injection) hooks_.truth_injection(nickname_, fault);
+  };
+  sm_ = std::make_unique<StateMachine>(sm_spec, fault_spec, dict_, recorder_,
+                                       std::move(sm_hooks));
+}
+
+const std::string& LokiNode::host_name() const { return world_.host_name(host_); }
+
+void LokiNode::start(std::unique_ptr<Application> app) {
+  LOKI_REQUIRE(!pid_.valid(), "node already started");
+  LOKI_REQUIRE(app != nullptr, "node needs an application");
+  app_ = std::move(app);
+  pid_ = world_.spawn(host_, nickname_ + "@" + host_name());
+  directory_.put(nickname_, this);
+
+  // Startup sequence (§3.6.1/§3.6.3): restart record first (it determines
+  // which clock stamps subsequent records), then the registration handshake
+  // with the fabric, then state-update recovery, then appMain.
+  world_.post(pid_, costs_.register_handshake, [this] {
+    if (restarted_) {
+      recorder_->record_restart(host_name(), local_clock());
+    }
+    deployment_.node_started(*this, restarted_, [this] {
+      if (restarted_) deployment_.request_state_updates(*this);
+      world_.post(pid_, costs_.app_default_handler, [this] { app_->on_start(*this); });
+    });
+  });
+}
+
+void LokiNode::deliver_remote_state(const std::string& machine,
+                                    const std::string& state) {
+  sm_->on_remote_state(machine, state);
+}
+
+void LokiNode::deliver_state_updates(
+    const std::map<std::string, std::string>& states) {
+  sm_->apply_state_updates(states);
+}
+
+void LokiNode::notify_event(const std::string& event) {
+  if (terminated_) return;
+  sm_->notify_event(event);
+}
+
+void LokiNode::record_message(std::string message) {
+  recorder_->record_user_message(std::move(message));
+}
+
+void LokiNode::app_send(const std::string& peer, std::any payload,
+                        Duration handler_cost) {
+  LokiNode* target = directory_.find(peer);
+  if (target == nullptr || !target->process_alive()) return;  // dead peer
+  if (handler_cost.ns == 0) handler_cost = costs_.app_default_handler;
+  const auto cls = target->host() == host_ ? sim::ChannelClass::Ipc
+                                           : sim::ChannelClass::Tcp;
+  world_.send(pid_, target->pid(), sim::Lan::App, cls, handler_cost,
+              [target, payload = std::move(payload)] {
+                if (!target->terminated_) target->app_->on_message(*target, payload);
+              });
+}
+
+void LokiNode::app_timer(Duration delay, std::function<void(NodeContext&)> fn,
+                         Duration handler_cost) {
+  if (handler_cost.ns == 0) handler_cost = costs_.app_default_handler;
+  world_.timer(pid_, delay, handler_cost, [this, fn = std::move(fn)] {
+    if (!terminated_) fn(*this);
+  });
+}
+
+void LokiNode::do_work(Duration cpu, std::function<void(NodeContext&)> then) {
+  world_.post(pid_, cpu, [this, then = std::move(then)] {
+    if (!terminated_ && then) then(*this);
+  });
+}
+
+void LokiNode::exit_app() {
+  if (terminated_) return;
+  terminated_ = true;
+  deployment_.node_exited(*this);
+  if (hooks_.truth_exit) hooks_.truth_exit(nickname_);
+  directory_.remove(nickname_, this);
+  world_.kill(pid_);
+}
+
+void LokiNode::crash_app(CrashMode mode) {
+  if (terminated_) return;
+  terminated_ = true;
+  if (hooks_.truth_crash) hooks_.truth_crash(nickname_, mode);
+  switch (mode) {
+    case CrashMode::HandledSignal:
+      // The user's signal handler: CRASH event (state change + outgoing
+      // notifications) then notifyOnCrash() (§3.6.2, §5.5).
+      sm_->notify_event(std::string(spec::kEventCrash));
+      deployment_.node_crashed(*this, /*explicit_notice=*/true);
+      break;
+    case CrashMode::UnhandledSignal:
+      // Default handler: the shared-memory teardown tells the daemon.
+      deployment_.node_crashed(*this, /*explicit_notice=*/false);
+      break;
+    case CrashMode::Silent:
+      // Nothing escapes; the watchdog must find out.
+      break;
+  }
+  directory_.remove(nickname_, this);
+  world_.kill(pid_);
+}
+
+std::vector<std::string> LokiNode::peer_nicknames() const {
+  std::vector<std::string> out;
+  for (const auto& [nick, node] : directory_.all()) {
+    if (nick != nickname_) out.push_back(nick);
+  }
+  return out;
+}
+
+void LokiNode::inject_fault(const std::string& fault_name) {
+  if (terminated_) return;
+  // The probe performs the actual injection (§3.5.5: "the parser instructs
+  // the probe to inject the fault").
+  app_->on_inject_fault(*this, fault_name);
+}
+
+}  // namespace loki::runtime

@@ -1,0 +1,100 @@
+// A Loki node: the application process with the runtime linked in (§2.2.2).
+//
+// One LokiNode object per incarnation — a restarted node is a new LokiNode
+// sharing the previous incarnation's Recorder (the NFS-hosted timeline of
+// §3.6.3). All inter-process effects flow through sim::World so they carry
+// realistic latencies and die with the process.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "runtime/app.hpp"
+#include "runtime/cost_model.hpp"
+#include "runtime/deployment.hpp"
+#include "runtime/dictionary.hpp"
+#include "runtime/recorder.hpp"
+#include "runtime/state_machine.hpp"
+#include "sim/world.hpp"
+#include "spec/fault_spec.hpp"
+#include "spec/state_machine_spec.hpp"
+
+namespace loki::runtime {
+
+class LokiNode final : public NodeContext {
+ public:
+  struct Hooks {
+    /// Ground-truth taps (harness): called synchronously at the physical
+    /// instant of the state change / injection / lifecycle event.
+    std::function<void(const std::string& nick, const std::string& state)>
+        truth_state_change;
+    std::function<void(const std::string& nick, const std::string& fault)>
+        truth_injection;
+    std::function<void(const std::string& nick, CrashMode mode)> truth_crash;
+    std::function<void(const std::string& nick)> truth_exit;
+  };
+
+  LokiNode(sim::World& world, sim::HostId host, std::string nickname,
+           const spec::StateMachineSpec& sm_spec,
+           const spec::FaultSpec& fault_spec, const StudyDictionary& dict,
+           std::shared_ptr<Recorder> recorder, Deployment& deployment,
+           NodeDirectory& directory, const CostModel& costs, Rng rng,
+           bool restarted, Hooks hooks);
+
+  /// Spawn the simulated process, run the registration handshake, then
+  /// appMain. Restarted nodes first write the RESTART record and request
+  /// state updates (§3.6.3).
+  void start(std::unique_ptr<Application> app);
+
+  // --- fabric-facing (invoked via work items on this node's process) -------
+  void deliver_remote_state(const std::string& machine, const std::string& state);
+  void deliver_state_updates(const std::map<std::string, std::string>& states);
+
+  // --- introspection --------------------------------------------------------
+  sim::ProcessId pid() const { return pid_; }
+  sim::HostId host() const { return host_; }
+  bool process_alive() const { return pid_.valid() && world_.alive(pid_); }
+  const StateMachine& state_machine() const { return *sm_; }
+  sim::World& world() { return world_; }
+  const CostModel& costs() const { return costs_; }
+
+  // --- NodeContext ----------------------------------------------------------
+  const std::string& nickname() const override { return nickname_; }
+  const std::string& host_name() const override;
+  bool restarted() const override { return restarted_; }
+  Rng& rng() override { return rng_; }
+  LocalTime local_clock() const override { return world_.clock_read(host_); }
+  void notify_event(const std::string& event) override;
+  void record_message(std::string message) override;
+  void app_send(const std::string& peer, std::any payload,
+                Duration handler_cost) override;
+  void app_timer(Duration delay, std::function<void(NodeContext&)> fn,
+                 Duration handler_cost) override;
+  void do_work(Duration cpu, std::function<void(NodeContext&)> then) override;
+  void exit_app() override;
+  void crash_app(CrashMode mode) override;
+  std::vector<std::string> peer_nicknames() const override;
+
+ private:
+  void inject_fault(const std::string& fault_name);
+
+  sim::World& world_;
+  sim::HostId host_;
+  std::string nickname_;
+  const StudyDictionary& dict_;
+  std::shared_ptr<Recorder> recorder_;
+  Deployment& deployment_;
+  NodeDirectory& directory_;
+  CostModel costs_;
+  Rng rng_;
+  bool restarted_;
+  Hooks hooks_;
+
+  sim::ProcessId pid_{};
+  std::unique_ptr<StateMachine> sm_;
+  std::unique_ptr<Application> app_;
+  bool terminated_{false};
+};
+
+}  // namespace loki::runtime

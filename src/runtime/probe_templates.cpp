@@ -1,0 +1,93 @@
+#include "runtime/probe_templates.hpp"
+
+#include "util/error.hpp"
+
+namespace loki::runtime {
+
+void ProbeTemplateRegistry::set(const std::string& fault, ProbeTemplate tmpl) {
+  LOKI_REQUIRE(static_cast<bool>(tmpl), "null probe template");
+  templates_[fault] = std::move(tmpl);
+}
+
+void ProbeTemplateRegistry::set_default(ProbeTemplate tmpl) {
+  default_ = std::move(tmpl);
+}
+
+void ProbeTemplateRegistry::inject(NodeContext& ctx,
+                                   const std::string& fault) const {
+  const auto it = templates_.find(fault);
+  if (it != templates_.end()) {
+    it->second(ctx, fault);
+    return;
+  }
+  if (default_) {
+    default_(ctx, fault);
+    return;
+  }
+  ctx.record_message("no probe template for fault " + fault + "; ignored");
+}
+
+ProbeTemplate crash_fault(CrashFaultParams params) {
+  return [params](NodeContext& ctx, const std::string& fault) {
+    ctx.record_message("crash_fault: injected " + fault);
+    if (!ctx.rng().bernoulli(params.activation_prob)) {
+      ctx.record_message("crash_fault: " + fault + " dormant");
+      return;
+    }
+    const auto dormancy = Duration{static_cast<std::int64_t>(
+        ctx.rng().exponential(static_cast<double>(params.dormancy_mean.ns)))};
+    const CrashMode mode = params.mode;
+    ctx.app_timer(dormancy, [mode](NodeContext& c) { c.crash_app(mode); });
+  };
+}
+
+ProbeTemplate memory_fault(MemoryFaultParams params) {
+  return [params](NodeContext& ctx, const std::string& fault) {
+    ctx.record_message("memory_fault: corrupted a word (" + fault + ")");
+    if (!ctx.rng().bernoulli(params.manifest_prob)) {
+      ctx.record_message("memory_fault: corruption never read");
+      return;
+    }
+    const auto latency = Duration{static_cast<std::int64_t>(ctx.rng().exponential(
+        static_cast<double>(params.read_latency_mean.ns)))};
+    // Reading the corrupted word faults the process; the default signal
+    // handler tears down the shared memory, so the daemon hears via the OS.
+    ctx.app_timer(latency, [](NodeContext& c) {
+      c.record_message("memory_fault: corrupted word read; SIGSEGV");
+      c.crash_app(CrashMode::UnhandledSignal);
+    });
+  };
+}
+
+ProbeTemplate cpu_fault(CpuFaultParams params) {
+  return [params](NodeContext& ctx, const std::string& fault) {
+    ctx.record_message("cpu_fault: livelock burst (" + fault + ")");
+    const double fatal = params.fatal_prob;
+    // Wedge the process: one long uninterruptible compute burst.
+    ctx.do_work(params.burn, [fatal](NodeContext& c) {
+      if (c.rng().bernoulli(fatal)) {
+        c.record_message("cpu_fault: did not recover");
+        c.crash_app(CrashMode::Silent);
+      } else {
+        c.record_message("cpu_fault: recovered");
+      }
+    });
+  };
+}
+
+CommFaultHandle comm_fault(CommFaultParams params) {
+  CommFaultHandle handle;
+  handle.sending_enabled = std::make_shared<bool>(true);
+  auto gate = handle.sending_enabled;
+  handle.tmpl = [params, gate](NodeContext& ctx, const std::string& fault) {
+    ctx.record_message("comm_fault: outgoing messages suppressed (" + fault + ")");
+    *gate = false;
+    ctx.app_timer(params.blackout, [gate](NodeContext& c) {
+      *gate = true;
+      c.record_message("comm_fault: link restored");
+    });
+  };
+  return handle;
+}
+
+}  // namespace loki::runtime

@@ -1,0 +1,91 @@
+// Probe templates (§6 future work): "developing probe templates for a
+// variety of common fault types, such as memory, CPU, and communication
+// faults."
+//
+// A template is a reusable injectFault() behaviour; applications register
+// templates per fault name (with a default fallback) and delegate their
+// on_inject_fault to the registry. Provided templates:
+//
+//   crash_fault   — the error crashes the process after an exponential
+//                   dormancy, with configurable activation probability and
+//                   crash mode (the classic Ch. 5 behaviour);
+//   memory_fault  — state corruption: with probability `manifest_prob` the
+//                   corrupted word is eventually read and the process
+//                   crashes (UnhandledSignal: SIGSEGV-like, default signal
+//                   handler); otherwise the fault stays dormant forever;
+//   cpu_fault     — the process wedges in a compute loop for `burn` (a
+//                   soft hang: peers see missed heartbeats, the watchdog
+//                   may fire), then resumes or dies;
+//   comm_fault    — the node's outgoing application messages are dropped
+//                   for `blackout` (models a NIC/driver fault); requires
+//                   the application to honour NodeContext message sending,
+//                   implemented by suppressing delivery via a flag the
+//                   template toggles.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "runtime/app.hpp"
+
+namespace loki::runtime {
+
+/// A fault behaviour: invoked as the probe's injectFault body.
+using ProbeTemplate = std::function<void(NodeContext&, const std::string& fault)>;
+
+class ProbeTemplateRegistry {
+ public:
+  /// Register a behaviour for one fault name.
+  void set(const std::string& fault, ProbeTemplate tmpl);
+  /// Behaviour for faults without a specific registration.
+  void set_default(ProbeTemplate tmpl);
+
+  /// Dispatch (the application's on_inject_fault delegates here).
+  void inject(NodeContext& ctx, const std::string& fault) const;
+
+  bool has(const std::string& fault) const { return templates_.contains(fault); }
+
+ private:
+  std::map<std::string, ProbeTemplate> templates_;
+  ProbeTemplate default_;
+};
+
+struct CrashFaultParams {
+  double activation_prob{1.0};
+  Duration dormancy_mean{milliseconds(5)};
+  CrashMode mode{CrashMode::HandledSignal};
+};
+ProbeTemplate crash_fault(CrashFaultParams params = {});
+
+struct MemoryFaultParams {
+  /// Probability the corrupted location is ever read (error manifests).
+  double manifest_prob{0.6};
+  /// Time-to-read distribution mean (exponential).
+  Duration read_latency_mean{milliseconds(20)};
+};
+ProbeTemplate memory_fault(MemoryFaultParams params = {});
+
+struct CpuFaultParams {
+  /// Length of the livelock burst.
+  Duration burn{milliseconds(50)};
+  /// Probability the process dies (silently) at the end of the burst
+  /// instead of recovering.
+  double fatal_prob{0.3};
+};
+ProbeTemplate cpu_fault(CpuFaultParams params = {});
+
+struct CommFaultParams {
+  /// How long outgoing application messages are suppressed.
+  Duration blackout{milliseconds(60)};
+};
+/// Returns both the template and the send-gate the application must consult
+/// before app_send (the template flips it during the blackout).
+struct CommFaultHandle {
+  ProbeTemplate tmpl;
+  std::shared_ptr<bool> sending_enabled;
+};
+CommFaultHandle comm_fault(CommFaultParams params = {});
+
+}  // namespace loki::runtime

@@ -1,0 +1,48 @@
+#include "runtime/recorder.hpp"
+
+namespace loki::runtime {
+
+Recorder::Recorder(std::string nickname, std::string initial_host,
+                   const StudyDictionary& dict) {
+  timeline_.nickname = std::move(nickname);
+  timeline_.initial_host = std::move(initial_host);
+  timeline_.machines = dict.machines();
+  timeline_.states = dict.states();
+  timeline_.events = dict.events_of(timeline_.nickname);
+  for (const spec::FaultSpecEntry& f : dict.faults_of(timeline_.nickname)) {
+    timeline_.faults.push_back(
+        TimelineFaultEntry{f.name, f.expr->to_string(), f.trigger});
+  }
+}
+
+void Recorder::record_state_change(std::uint32_t event_index,
+                                   std::uint32_t state_index, LocalTime when) {
+  TimelineRecord r;
+  r.type = RecordType::StateChange;
+  r.event_index = event_index;
+  r.state_index = state_index;
+  r.time = when;
+  timeline_.records.push_back(std::move(r));
+}
+
+void Recorder::record_fault_injection(std::uint32_t fault_index, LocalTime when) {
+  TimelineRecord r;
+  r.type = RecordType::FaultInjection;
+  r.fault_index = fault_index;
+  r.time = when;
+  timeline_.records.push_back(std::move(r));
+}
+
+void Recorder::record_restart(const std::string& new_host, LocalTime when) {
+  TimelineRecord r;
+  r.type = RecordType::Restart;
+  r.host = new_host;
+  r.time = when;
+  timeline_.records.push_back(std::move(r));
+}
+
+void Recorder::record_user_message(std::string message) {
+  user_messages_.push_back(std::move(message));
+}
+
+}  // namespace loki::runtime

@@ -1,0 +1,49 @@
+// The recorder (§3.5.6): accumulates a node's local timeline.
+//
+// One recorder exists per state machine nickname per experiment and
+// persists across crash/restart of the node (the thesis keeps the timeline
+// file on NFS so the restarted node — possibly on another host — appends to
+// the same file; §3.6.3). Both the node's runtime and its local daemon
+// append to it: the daemon writes the CRASH event when it detects a crash
+// (§3.5.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/dictionary.hpp"
+#include "runtime/timeline.hpp"
+
+namespace loki::runtime {
+
+class Recorder {
+ public:
+  /// `nickname` names the state machine; dictionaries come from the study.
+  Recorder(std::string nickname, std::string initial_host,
+           const StudyDictionary& dict);
+
+  void record_state_change(std::uint32_t event_index, std::uint32_t state_index,
+                           LocalTime when);
+  void record_fault_injection(std::uint32_t fault_index, LocalTime when);
+  void record_restart(const std::string& new_host, LocalTime when);
+
+  /// A user message (§3.5.6 allows "any messages that the user would want to
+  /// include"); stored out-of-band, not in the record stream.
+  void record_user_message(std::string message);
+
+  const LocalTimeline& timeline() const { return timeline_; }
+  const std::vector<std::string>& user_messages() const { return user_messages_; }
+
+  /// True once the timeline holds any record — how a (re)starting node tells
+  /// whether it is new or restarted (§3.6.3).
+  bool has_history() const { return !timeline_.records.empty(); }
+
+  /// Serialize to the §3.5.6 file format.
+  std::string serialize() const { return serialize_local_timeline(timeline_); }
+
+ private:
+  LocalTimeline timeline_;
+  std::vector<std::string> user_messages_;
+};
+
+}  // namespace loki::runtime

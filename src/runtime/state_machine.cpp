@@ -1,0 +1,112 @@
+#include "runtime/state_machine.hpp"
+
+#include "spec/reserved.hpp"
+#include "util/error.hpp"
+
+namespace loki::runtime {
+
+StateMachine::StateMachine(const spec::StateMachineSpec& sm_spec,
+                           const spec::FaultSpec& fault_spec,
+                           const StudyDictionary& dict,
+                           std::shared_ptr<Recorder> recorder, Hooks hooks)
+    : spec_(sm_spec),
+      dict_(dict),
+      recorder_(std::move(recorder)),
+      hooks_(std::move(hooks)),
+      parser_(fault_spec.entries),
+      current_state_(spec::kStateBegin) {
+  LOKI_REQUIRE(recorder_ != nullptr, "state machine needs a recorder");
+  LOKI_REQUIRE(static_cast<bool>(hooks_.clock), "state machine needs a clock hook");
+}
+
+std::uint32_t StateMachine::event_index_or_default(const std::string& event) const {
+  const auto& events = dict_.events_of(spec_.name());
+  for (std::uint32_t i = 0; i < events.size(); ++i)
+    if (events[i] == event) return i;
+  return dict_.event_index(spec_.name(), std::string(spec::kEventDefault));
+}
+
+void StateMachine::notify_event(const std::string& name) {
+  if (!initialized_) {
+    // First notification: resolve the initial state (see header comment).
+    std::string initial;
+    if (const auto next = spec_.transition(std::string(spec::kStateBegin), name);
+        next.has_value()) {
+      initial = *next;
+    } else if (spec_.has_state(name)) {
+      initial = name;
+    } else if (name == spec::kEventRestart && spec_.has_state("RESTART_SM")) {
+      initial = "RESTART_SM";
+    } else {
+      throw LogicError("first probe notification '" + name + "' of machine " +
+                       spec_.name() + " does not resolve to an initial state");
+    }
+    initialized_ = true;
+    enter_state(initial, event_index_or_default(name));
+    return;
+  }
+
+  const auto next = spec_.transition(current_state_, name);
+  if (!next.has_value()) {
+    // Event has no arc in the current state; the abstraction does not model
+    // it here. Count and continue (strictness is a harness-level choice).
+    ++ignored_events_;
+    return;
+  }
+  enter_state(*next, event_index_or_default(name));
+}
+
+void StateMachine::enter_state(const std::string& new_state,
+                               std::uint32_t event_index) {
+  current_state_ = new_state;
+  const LocalTime now = hooks_.clock();
+  recorder_->record_state_change(event_index, dict_.state_index(new_state), now);
+  if (hooks_.truth_state_change) hooks_.truth_state_change(new_state);
+
+  // Update own entry in the partial view before notifying others, so local
+  // fault expressions see the new state immediately.
+  view_[spec_.name()] = new_state;
+
+  const auto& recipients = spec_.notify_list(new_state);
+  if (!recipients.empty() && hooks_.send_notifications)
+    hooks_.send_notifications(new_state, recipients);
+
+  run_fault_parser();
+}
+
+void StateMachine::on_remote_state(const std::string& machine,
+                                   const std::string& state) {
+  view_[machine] = state;
+  run_fault_parser();
+}
+
+void StateMachine::apply_state_updates(
+    const std::map<std::string, std::string>& states) {
+  for (const auto& [machine, state] : states) {
+    if (machine == spec_.name()) continue;  // own state is authoritative
+    view_[machine] = state;
+  }
+  run_fault_parser();
+}
+
+void StateMachine::record_crash_detected_by_daemon(LocalTime when) {
+  recorder_->record_state_change(
+      event_index_or_default(std::string(spec::kEventCrash)),
+      dict_.state_index(std::string(spec::kStateCrash)), when);
+}
+
+void StateMachine::run_fault_parser() {
+  const spec::StateView view = [this](const std::string& machine) -> const std::string* {
+    const auto it = view_.find(machine);
+    return it == view_.end() ? nullptr : &it->second;
+  };
+  for (const std::uint32_t idx : parser_.on_view_change(view)) {
+    const spec::FaultSpecEntry& entry = parser_.entries()[idx];
+    if (hooks_.inject_fault) hooks_.inject_fault(entry.name);
+    recorder_->record_fault_injection(
+        dict_.fault_index(spec_.name(), entry.name), hooks_.clock());
+    if (hooks_.truth_injection) hooks_.truth_injection(entry.name);
+  }
+}
+
+}  // namespace loki::runtime

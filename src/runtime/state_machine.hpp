@@ -1,0 +1,93 @@
+// The runtime state machine (§3.5.3).
+//
+// One per node. Tracks the node's local state (driven by probe event
+// notifications) and the partial view of global state (driven by remote
+// state notifications), records both local state changes and fault
+// injections, and asks the probe to inject when the fault parser fires.
+//
+// Initial-state resolution for the *first* probe notification (§3.5.7 says
+// "the first event notification that the probe sends is considered as a
+// state and is used to initialize the state of the state machine"; the
+// Ch. 5 example also sends the reserved event RESTART first on restart):
+//   1. if the name is an event with a transition defined from BEGIN, take
+//      that transition;
+//   2. else if the name is a state, initialize to it directly;
+//   3. else if the name is the reserved event RESTART and a state named
+//      RESTART_SM exists, initialize there (the thesis example convention);
+//   4. otherwise the notification is invalid (LogicError).
+// Synthetic records that have no probe event use the reserved `default`
+// event index, which the study dictionary guarantees to exist.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/dictionary.hpp"
+#include "runtime/fault_parser.hpp"
+#include "runtime/recorder.hpp"
+#include "spec/state_machine_spec.hpp"
+
+namespace loki::runtime {
+
+class StateMachine {
+ public:
+  struct Hooks {
+    /// Send a state notification to the given machines (the notify list of
+    /// the state just entered). Wired to the state machine transport.
+    std::function<void(const std::string& new_state,
+                       const std::vector<std::string>& recipients)>
+        send_notifications;
+    /// Perform the actual fault injection (wired to the probe).
+    std::function<void(const std::string& fault_name)> inject_fault;
+    /// Read the local (host) clock.
+    std::function<LocalTime()> clock;
+    /// Ground-truth taps for the validation harness (may be empty).
+    std::function<void(const std::string& new_state)> truth_state_change;
+    std::function<void(const std::string& fault_name)> truth_injection;
+  };
+
+  StateMachine(const spec::StateMachineSpec& sm_spec,
+               const spec::FaultSpec& fault_spec, const StudyDictionary& dict,
+               std::shared_ptr<Recorder> recorder, Hooks hooks);
+
+  /// Probe-facing notifyEvent() (§3.5.7).
+  void notify_event(const std::string& name);
+
+  /// Transport-facing: a remote machine reports its new state.
+  void on_remote_state(const std::string& machine, const std::string& state);
+
+  /// Daemon-facing: bulk state update on restart (§3.6.3).
+  void apply_state_updates(const std::map<std::string, std::string>& states);
+
+  /// The local daemon detected this node crashed without notifying: write
+  /// the crash into the timeline on the node's behalf (§3.5.2).
+  void record_crash_detected_by_daemon(LocalTime when);
+
+  const std::string& nickname() const { return spec_.name(); }
+  const std::string& current_state() const { return current_state_; }
+  bool initialized() const { return initialized_; }
+  const std::map<std::string, std::string>& view() const { return view_; }
+  std::uint64_t ignored_events() const { return ignored_events_; }
+
+ private:
+  void enter_state(const std::string& new_state, std::uint32_t event_index);
+  void run_fault_parser();
+  std::uint32_t event_index_or_default(const std::string& event) const;
+
+  spec::StateMachineSpec spec_;
+  const StudyDictionary& dict_;
+  std::shared_ptr<Recorder> recorder_;
+  Hooks hooks_;
+  FaultParser parser_;
+
+  bool initialized_{false};
+  std::string current_state_;
+  std::map<std::string, std::string> view_;  // machine -> last known state
+  std::uint64_t ignored_events_{0};
+};
+
+}  // namespace loki::runtime

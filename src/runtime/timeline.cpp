@@ -1,0 +1,219 @@
+#include "runtime/timeline.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/text_file.hpp"
+
+namespace loki::runtime {
+
+const std::string& LocalTimeline::machine_name(std::uint32_t idx) const {
+  LOKI_REQUIRE(idx < machines.size(), "machine index out of range");
+  return machines[idx];
+}
+const std::string& LocalTimeline::state_name(std::uint32_t idx) const {
+  LOKI_REQUIRE(idx < states.size(), "state index out of range");
+  return states[idx];
+}
+const std::string& LocalTimeline::event_name(std::uint32_t idx) const {
+  LOKI_REQUIRE(idx < events.size(), "event index out of range");
+  return events[idx];
+}
+const std::string& LocalTimeline::fault_name(std::uint32_t idx) const {
+  LOKI_REQUIRE(idx < faults.size(), "fault index out of range");
+  return faults[idx].name;
+}
+
+std::string LocalTimeline::host_at(std::size_t record_index) const {
+  LOKI_REQUIRE(record_index < records.size(), "record index out of range");
+  std::string host = initial_host;
+  for (std::size_t i = 0; i <= record_index; ++i) {
+    if (records[i].type == RecordType::Restart) host = records[i].host;
+  }
+  return host;
+}
+
+std::string serialize_local_timeline(const LocalTimeline& t) {
+  std::string out;
+  out += t.nickname + "\n";
+  out += "host " + t.initial_host + "\n";
+  out += "state_machine_list\n";
+  for (std::size_t i = 0; i < t.machines.size(); ++i)
+    out += "  " + std::to_string(i) + " " + t.machines[i] + "\n";
+  out += "end_state_machine_list\n";
+  out += "global_state_list\n";
+  for (std::size_t i = 0; i < t.states.size(); ++i)
+    out += "  " + std::to_string(i) + " " + t.states[i] + "\n";
+  out += "end_global_state_list\n";
+  out += "event_list\n";
+  for (std::size_t i = 0; i < t.events.size(); ++i)
+    out += "  " + std::to_string(i) + " " + t.events[i] + "\n";
+  out += "end_event_list\n";
+  out += "fault_list\n";
+  for (std::size_t i = 0; i < t.faults.size(); ++i)
+    out += "  " + std::to_string(i) + " " + t.faults[i].name + " " +
+           t.faults[i].expr_text + " " + spec::trigger_name(t.faults[i].trigger) +
+           "\n";
+  out += "end_fault_list\n";
+  out += "local_timeline\n";
+  for (const TimelineRecord& r : t.records) {
+    const SplitTime st = split_time(r.time.ns);
+    switch (r.type) {
+      case RecordType::StateChange:
+        out += "  0 " + std::to_string(r.event_index) + " " +
+               std::to_string(r.state_index) + " " + std::to_string(st.hi) +
+               " " + std::to_string(st.lo) + "\n";
+        break;
+      case RecordType::FaultInjection:
+        out += "  1 " + std::to_string(r.fault_index) + " " +
+               std::to_string(st.hi) + " " + std::to_string(st.lo) + "\n";
+        break;
+      case RecordType::Restart:
+        out += "  2 " + r.host + " " + std::to_string(st.hi) + " " +
+               std::to_string(st.lo) + "\n";
+        break;
+    }
+  }
+  out += "end_local_timeline\n";
+  return out;
+}
+
+namespace {
+
+std::uint32_t require_u32(const std::string& tok, const std::string& src, int line) {
+  const auto v = parse_u32(tok);
+  if (!v.has_value()) throw ParseError(src, line, "expected integer, got: " + tok);
+  return *v;
+}
+
+LocalTime parse_split(const std::string& hi, const std::string& lo,
+                      const std::string& src, int line) {
+  return LocalTime{join_time({require_u32(hi, src, line), require_u32(lo, src, line)})};
+}
+
+}  // namespace
+
+LocalTimeline parse_local_timeline(const std::string& content,
+                                   const std::string& source) {
+  LocalTimeline t;
+  enum class Section { Header, Machines, States, Events, Faults, Records, Done };
+  Section section = Section::Header;
+
+  auto expect_index = [&](std::uint32_t idx, std::size_t have, int line) {
+    if (idx != have)
+      throw ParseError(source, line,
+                       "non-contiguous index " + std::to_string(idx) +
+                           ", expected " + std::to_string(have));
+  };
+
+  for (const TextLine& line : logical_lines(content)) {
+    const auto tokens = split_ws(line.text);
+    const std::string& head = tokens.front();
+
+    if (head == "state_machine_list") { section = Section::Machines; continue; }
+    if (head == "end_state_machine_list" || head == "end_global_state_list" ||
+        head == "end_event_list" || head == "end_fault_list") {
+      section = Section::Header;
+      continue;
+    }
+    if (head == "global_state_list") { section = Section::States; continue; }
+    if (head == "event_list") { section = Section::Events; continue; }
+    if (head == "fault_list") { section = Section::Faults; continue; }
+    if (head == "local_timeline") { section = Section::Records; continue; }
+    if (head == "end_local_timeline") { section = Section::Done; continue; }
+
+    switch (section) {
+      case Section::Header: {
+        if (head == "host" && tokens.size() == 2) {
+          t.initial_host = tokens[1];
+        } else if (t.nickname.empty() && tokens.size() == 1) {
+          t.nickname = head;
+        } else {
+          throw ParseError(source, line.number, "unexpected header line: " + line.text);
+        }
+        break;
+      }
+      case Section::Machines: {
+        if (tokens.size() != 2)
+          throw ParseError(source, line.number, "expected '<index> <nickname>'");
+        expect_index(require_u32(tokens[0], source, line.number),
+                     t.machines.size(), line.number);
+        t.machines.push_back(tokens[1]);
+        break;
+      }
+      case Section::States: {
+        if (tokens.size() != 2)
+          throw ParseError(source, line.number, "expected '<index> <state>'");
+        expect_index(require_u32(tokens[0], source, line.number), t.states.size(),
+                     line.number);
+        t.states.push_back(tokens[1]);
+        break;
+      }
+      case Section::Events: {
+        if (tokens.size() != 2)
+          throw ParseError(source, line.number, "expected '<index> <event>'");
+        expect_index(require_u32(tokens[0], source, line.number), t.events.size(),
+                     line.number);
+        t.events.push_back(tokens[1]);
+        break;
+      }
+      case Section::Faults: {
+        if (tokens.size() < 4)
+          throw ParseError(source, line.number,
+                           "expected '<index> <name> <expr> <once|always>'");
+        expect_index(require_u32(tokens[0], source, line.number), t.faults.size(),
+                     line.number);
+        TimelineFaultEntry fe;
+        fe.name = tokens[1];
+        const std::string trig = to_upper(tokens.back());
+        if (trig == "ONCE")
+          fe.trigger = spec::Trigger::Once;
+        else if (trig == "ALWAYS")
+          fe.trigger = spec::Trigger::Always;
+        else
+          throw ParseError(source, line.number, "bad trigger: " + tokens.back());
+        // Expression is everything between name and trigger.
+        std::vector<std::string> mid(tokens.begin() + 2, tokens.end() - 1);
+        fe.expr_text = join(mid, " ");
+        t.faults.push_back(std::move(fe));
+        break;
+      }
+      case Section::Records: {
+        TimelineRecord r;
+        if (head == "0" || head == "STATE_CHANGE") {
+          if (tokens.size() != 5)
+            throw ParseError(source, line.number,
+                             "STATE_CHANGE needs 4 fields: " + line.text);
+          r.type = RecordType::StateChange;
+          r.event_index = require_u32(tokens[1], source, line.number);
+          r.state_index = require_u32(tokens[2], source, line.number);
+          r.time = parse_split(tokens[3], tokens[4], source, line.number);
+        } else if (head == "1" || head == "FAULT_INJECTION") {
+          if (tokens.size() != 4)
+            throw ParseError(source, line.number,
+                             "FAULT_INJECTION needs 3 fields: " + line.text);
+          r.type = RecordType::FaultInjection;
+          r.fault_index = require_u32(tokens[1], source, line.number);
+          r.time = parse_split(tokens[2], tokens[3], source, line.number);
+        } else if (head == "2" || head == "RESTART") {
+          if (tokens.size() != 4)
+            throw ParseError(source, line.number, "RESTART needs 3 fields: " + line.text);
+          r.type = RecordType::Restart;
+          r.host = tokens[1];
+          r.time = parse_split(tokens[2], tokens[3], source, line.number);
+        } else {
+          throw ParseError(source, line.number, "unknown record type: " + head);
+        }
+        t.records.push_back(std::move(r));
+        break;
+      }
+      case Section::Done:
+        throw ParseError(source, line.number, "content after end_local_timeline");
+    }
+  }
+
+  if (t.nickname.empty())
+    throw ParseError(source, 1, "missing nickname header");
+  return t;
+}
+
+}  // namespace loki::runtime

@@ -1,0 +1,88 @@
+// Local timelines (§3.5.6).
+//
+// Each node's recorder produces one local timeline per experiment. The file
+// layout follows the thesis exactly:
+//
+//   <mySMNickName>
+//   host <InitialHostName>                  (extension, see below)
+//   state_machine_list
+//     <index> <SMNickName>
+//   end_state_machine_list
+//   global_state_list
+//     <index> <stateName>
+//   end_global_state_list
+//   event_list
+//     <index> <eventName>
+//   end_event_list
+//   fault_list
+//     <index> <faultName> <faultExpr> <once|always>
+//   end_fault_list
+//   local_timeline
+//     0 <EventIndex> <NewStateIndex> <Time.Hi> <Time.Lo>     (STATE_CHANGE)
+//     1 <FaultIndex> <Time.Hi> <Time.Lo>                     (FAULT_INJECTION)
+//     2 <NewHostName> <Time.Hi> <Time.Lo>                    (RESTART)
+//   end_local_timeline
+//
+// STATE_CHANGE and FAULT_INJECTION are the numerical constants 0 and 1 of
+// the thesis. Two additions the thesis describes but does not give a layout
+// for: the `host` header line (the machine whose clock stamps the records —
+// required by the offline synchronization), and record type 2 carrying the
+// restart host name (§3.6.3: "this information contains the name of the
+// host on which the state machine was restarted, which is used during
+// off-line clock synchronization"). Records after a RESTART are stamped by
+// the new host's clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spec/fault_spec.hpp"
+#include "util/time.hpp"
+
+namespace loki::runtime {
+
+enum class RecordType : std::uint8_t {
+  StateChange = 0,
+  FaultInjection = 1,
+  Restart = 2,
+};
+
+struct TimelineRecord {
+  RecordType type{RecordType::StateChange};
+  std::uint32_t event_index{0};  // StateChange
+  std::uint32_t state_index{0};  // StateChange
+  std::uint32_t fault_index{0};  // FaultInjection
+  std::string host;              // Restart: new host name
+  LocalTime time{};              // local clock of the then-current host
+};
+
+struct TimelineFaultEntry {
+  std::string name;
+  std::string expr_text;
+  spec::Trigger trigger{spec::Trigger::Once};
+};
+
+struct LocalTimeline {
+  std::string nickname;
+  std::string initial_host;
+  std::vector<std::string> machines;  // index -> nickname (all machines)
+  std::vector<std::string> states;    // index -> name (global state list)
+  std::vector<std::string> events;    // index -> name (this machine's events)
+  std::vector<TimelineFaultEntry> faults;
+  std::vector<TimelineRecord> records;
+
+  const std::string& machine_name(std::uint32_t idx) const;
+  const std::string& state_name(std::uint32_t idx) const;
+  const std::string& event_name(std::uint32_t idx) const;
+  const std::string& fault_name(std::uint32_t idx) const;
+
+  /// Host whose clock stamped records[i] (tracks RESTART records).
+  std::string host_at(std::size_t record_index) const;
+};
+
+std::string serialize_local_timeline(const LocalTimeline& t);
+LocalTimeline parse_local_timeline(const std::string& content,
+                                   const std::string& source);
+
+}  // namespace loki::runtime

@@ -1,0 +1,35 @@
+#include "sim/clock.hpp"
+
+#include <cmath>
+
+namespace loki::sim {
+
+LocalTime HostClock::read(SimTime t) const {
+  const double raw = static_cast<double>(params_.alpha.ns) +
+                     params_.beta * static_cast<double>(t.ns);
+  auto ticks = static_cast<std::int64_t>(std::floor(raw));
+  if (params_.granularity_ns > 1) {
+    ticks -= ((ticks % params_.granularity_ns) + params_.granularity_ns) %
+             params_.granularity_ns;
+  }
+  return LocalTime{ticks};
+}
+
+SimTime HostClock::to_physical(LocalTime local) const {
+  const double t = (static_cast<double>(local.ns) -
+                    static_cast<double>(params_.alpha.ns)) /
+                   params_.beta;
+  return SimTime{static_cast<std::int64_t>(std::llround(t))};
+}
+
+ClockParams HostClock::random_params(Rng& rng, Duration max_offset,
+                                     double max_drift_ppm,
+                                     std::int64_t granularity_ns) {
+  ClockParams p;
+  p.alpha = Duration{rng.uniform_int(-max_offset.ns, max_offset.ns)};
+  p.beta = 1.0 + rng.uniform_real(-max_drift_ppm, max_drift_ppm) * 1e-6;
+  p.granularity_ns = granularity_ns;
+  return p;
+}
+
+}  // namespace loki::sim

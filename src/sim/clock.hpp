@@ -1,0 +1,53 @@
+// Per-host hardware clock model.
+//
+// Thesis Eqn. (2.1): C_j(t) ~ alpha_ij + beta_ij * C_i(t). Each simulated
+// host clock is linear in physical time, C(t) = alpha + beta * t, quantized
+// to a configurable granularity — the same linear-drift assumption the
+// offline synchronization of §2.5 relies on. Because the substrate knows the
+// true (alpha, beta), tests can assert the convex-hull bounds always contain
+// them, something the real testbed could never check.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace loki::sim {
+
+struct ClockParams {
+  /// Offset at physical time zero.
+  Duration alpha{Duration{0}};
+  /// Drift rate: local seconds per physical second. Commodity crystal
+  /// oscillators are within ~100 ppm, i.e. beta in [0.9999, 1.0001].
+  double beta{1.0};
+  /// Reading granularity (e.g. 1 for a TSC-backed read, 1000 for a
+  /// microsecond clock). Readings are floored to a multiple of this.
+  std::int64_t granularity_ns{1};
+};
+
+class HostClock {
+ public:
+  explicit HostClock(ClockParams params) : params_(params) {}
+
+  /// Local clock reading at physical time `t`.
+  LocalTime read(SimTime t) const;
+
+  /// Physical time at which this clock reads `local` (inverse of read(),
+  /// ignoring granularity). Used by the substrate only, never by the
+  /// runtime under test.
+  SimTime to_physical(LocalTime local) const;
+
+  const ClockParams& params() const { return params_; }
+
+  /// Draw plausible clock parameters: offset up to +-`max_offset`, drift
+  /// within +-`max_drift_ppm` parts per million.
+  static ClockParams random_params(Rng& rng, Duration max_offset,
+                                   double max_drift_ppm,
+                                   std::int64_t granularity_ns = 1);
+
+ private:
+  ClockParams params_;
+};
+
+}  // namespace loki::sim

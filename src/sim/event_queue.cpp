@@ -1,0 +1,38 @@
+#include "sim/event_queue.hpp"
+
+#include "util/error.hpp"
+
+namespace loki::sim {
+
+void EventQueue::schedule_at(SimTime at, Action action) {
+  LOKI_REQUIRE(at >= now_, "cannot schedule an event in the past");
+  queue_.push(Entry{at, next_seq_++, std::move(action)});
+}
+
+void EventQueue::schedule_in(Duration delay, Action action) {
+  LOKI_REQUIRE(delay.ns >= 0, "negative delay");
+  schedule_at(now_ + delay, std::move(action));
+}
+
+std::uint64_t EventQueue::run_until(SimTime limit) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.top().at <= limit) {
+    // Copy out before pop: the action may schedule more events.
+    Entry entry{queue_.top().at, queue_.top().seq, std::move(const_cast<Entry&>(queue_.top()).action)};
+    queue_.pop();
+    now_ = entry.at;
+    entry.action();
+    ++count;
+    ++executed_;
+  }
+  // Advance the clock to the limit (time passes even with no events), except
+  // for the run-to-completion sentinel where now() stays at the last event.
+  if (limit != SimTime::max() && now_ < limit) now_ = limit;
+  return count;
+}
+
+std::uint64_t EventQueue::run_to_completion() {
+  return run_until(SimTime::max());
+}
+
+}  // namespace loki::sim

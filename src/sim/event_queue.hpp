@@ -1,0 +1,58 @@
+// Discrete-event simulation kernel.
+//
+// A single priority queue of (time, sequence, closure). Sequence numbers
+// break ties so that execution order is a pure function of the schedule
+// calls — the substrate is deterministic by construction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace loki::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `action` at absolute time `at` (must be >= now()).
+  void schedule_at(SimTime at, Action action);
+
+  /// Schedule `action` `delay` from now (delay >= 0).
+  void schedule_in(Duration delay, Action action);
+
+  /// Run events until the queue is empty or `limit` is passed. Events at
+  /// exactly `limit` still run. Returns the number of events executed.
+  std::uint64_t run_until(SimTime limit);
+
+  /// Run until the queue drains completely.
+  std::uint64_t run_to_completion();
+
+  bool empty() const { return queue_.empty(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_{SimTime::zero()};
+  std::uint64_t next_seq_{0};
+  std::uint64_t executed_{0};
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace loki::sim

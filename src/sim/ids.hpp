@@ -1,0 +1,36 @@
+// Strong identifier types for the simulation substrate.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace loki::sim {
+
+struct HostId {
+  std::int32_t value{-1};
+  constexpr auto operator<=>(const HostId&) const = default;
+  constexpr bool valid() const { return value >= 0; }
+};
+
+struct ProcessId {
+  std::int32_t value{-1};
+  constexpr auto operator<=>(const ProcessId&) const = default;
+  constexpr bool valid() const { return value >= 0; }
+};
+
+}  // namespace loki::sim
+
+template <>
+struct std::hash<loki::sim::HostId> {
+  std::size_t operator()(loki::sim::HostId id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<loki::sim::ProcessId> {
+  std::size_t operator()(loki::sim::ProcessId id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,48 @@
+#include "sim/load.hpp"
+
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace loki::sim {
+namespace {
+
+struct LoadState {
+  LoadParams params;
+  Rng rng;
+};
+
+void pump(World& world, ProcessId pid, std::shared_ptr<LoadState> st) {
+  // Draw each burst length around the nominal chunk so quantum boundaries
+  // decorrelate from the load's period — real background work is not
+  // metronomic, and the injection-accuracy experiments need the resulting
+  // scheduling-phase randomness.
+  const auto chunk = Duration{static_cast<std::int64_t>(
+      static_cast<double>(st->params.chunk.ns) *
+      st->rng.uniform_real(0.5, 1.5))};
+  world.post(pid, chunk, [&world, pid, st, chunk] {
+    if (st->params.duty >= 1.0) {
+      pump(world, pid, st);
+      return;
+    }
+    const double idle_ratio = (1.0 - st->params.duty) / st->params.duty;
+    const auto gap = Duration{static_cast<std::int64_t>(
+        static_cast<double>(chunk.ns) * idle_ratio)};
+    world.timer(pid, gap, Duration{0},
+                [&world, pid, st] { pump(world, pid, st); });
+  });
+}
+
+}  // namespace
+
+ProcessId add_cpu_load(World& world, HostId host, const LoadParams& params) {
+  LOKI_REQUIRE(params.duty > 0.0 && params.duty <= 1.0, "load duty in (0,1]");
+  LOKI_REQUIRE(params.chunk.ns > 0, "load chunk must be positive");
+  const ProcessId pid = world.spawn(host, "load@" + world.host_name(host));
+  auto st = std::make_shared<LoadState>(
+      LoadState{params, world.stream("load-" + std::to_string(pid.value))});
+  pump(world, pid, st);
+  return pid;
+}
+
+}  // namespace loki::sim

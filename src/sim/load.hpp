@@ -1,0 +1,26 @@
+// Synthetic competing load.
+//
+// The thesis' performance experiments ran the test application alongside
+// normal host activity; the injection-accuracy curves only make sense when
+// the CPU is contended (otherwise a woken process runs immediately). This
+// helper spawns a CPU-bound process that keeps a host's run queue non-empty
+// with a configurable duty cycle, in small chunks so preemption boundaries
+// stay fine-grained relative to the quantum.
+#pragma once
+
+#include "sim/world.hpp"
+
+namespace loki::sim {
+
+struct LoadParams {
+  /// Fraction of CPU demanded, in (0, 1].
+  double duty{1.0};
+  /// Size of each CPU burst the load requests.
+  Duration chunk{microseconds(200)};
+};
+
+/// Spawn a load process on `host`; it starts consuming CPU immediately and
+/// runs forever (until killed or the experiment ends).
+ProcessId add_cpu_load(World& world, HostId host, const LoadParams& params = {});
+
+}  // namespace loki::sim

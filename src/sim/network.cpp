@@ -1,0 +1,28 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+namespace loki::sim {
+
+SimTime Network::delivery_time(SimTime now, ProcessId from, ProcessId to,
+                               ChannelClass cls) {
+  const LatencyParams& lat =
+      cls == ChannelClass::Ipc ? params_.ipc : params_.tcp;
+  const auto jitter = Duration{static_cast<std::int64_t>(
+      rng_.exponential(static_cast<double>(lat.jitter_mean.ns)))};
+  SimTime delivery = now + lat.base + jitter;
+
+  const auto key = std::make_tuple(from.value, to.value,
+                                   static_cast<std::uint8_t>(cls));
+  auto [it, inserted] = fifo_horizon_.try_emplace(key, delivery);
+  if (!inserted) {
+    // FIFO: never deliver before (or at the same instant as) the previous
+    // message on this link.
+    delivery = std::max(delivery, it->second + nanoseconds(1));
+    it->second = delivery;
+  }
+  ++messages_sent_;
+  return delivery;
+}
+
+}  // namespace loki::sim

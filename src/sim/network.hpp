@@ -1,0 +1,59 @@
+// Message latency models for the two transport classes Loki uses (§3.4.2):
+//  - Ipc: same-host shared-memory segment + semaphore, ~20us in 2000-era
+//    Linux per the thesis;
+//  - Tcp: cross-host TCP/IP on a LAN, ~150us.
+//
+// Each (source process, destination process, channel class) link is FIFO —
+// delivery times are clamped to be non-decreasing, matching TCP stream and
+// shared-memory queue semantics. Latency = base + jitter, with exponential
+// jitter approximating the long right tail of kernel network stacks.
+//
+// The thesis allows a separate LAN for Loki notifications (§2.4): the World
+// therefore owns two independent Network instances, `app_lan` and
+// `control_lan`, so contention on one never delays the other.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "sim/ids.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace loki::sim {
+
+enum class ChannelClass : std::uint8_t { Ipc, Tcp };
+
+struct LatencyParams {
+  Duration base{microseconds(20)};
+  Duration jitter_mean{microseconds(5)};
+};
+
+struct NetworkParams {
+  LatencyParams ipc{microseconds(20), microseconds(4)};
+  LatencyParams tcp{microseconds(150), microseconds(30)};
+};
+
+class Network {
+ public:
+  Network(NetworkParams params, Rng rng) : params_(params), rng_(rng) {}
+
+  /// Latency for one message and advancement of the FIFO horizon of the
+  /// (from, to, cls) link. `now` is the send time; returns delivery time.
+  SimTime delivery_time(SimTime now, ProcessId from, ProcessId to,
+                        ChannelClass cls);
+
+  const NetworkParams& params() const { return params_; }
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  NetworkParams params_;
+  Rng rng_;
+  std::uint64_t messages_sent_{0};
+  std::map<std::tuple<std::int32_t, std::int32_t, std::uint8_t>, SimTime>
+      fifo_horizon_;
+};
+
+}  // namespace loki::sim

@@ -1,0 +1,53 @@
+// Simulated OS processes.
+//
+// A process is a passive mailbox of work items executed by its host's CPU
+// scheduler. Application and Loki-runtime code runs inside work-item
+// closures; a closure may post more work, send messages, set timers, spawn
+// or kill processes. This models the real Loki deployment where the runtime
+// is linked into the application process (§3.5.7) and all latencies come
+// from the kernel: scheduling delay, context switches, and message transit.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/ids.hpp"
+#include "util/time.hpp"
+
+namespace loki::sim {
+
+enum class ProcState : std::uint8_t {
+  Blocked,  // empty mailbox, waiting for work
+  Ready,    // has work, queued for the CPU
+  Running,  // currently on the CPU
+  Dead,     // exited or crashed
+};
+
+struct WorkItem {
+  Duration cost{Duration{0}};      // CPU time the item consumes
+  std::function<void()> fn;        // effects, applied when the burst ends
+  SimTime enqueued{SimTime::zero()};
+};
+
+struct Process {
+  ProcessId id;
+  std::string name;
+  HostId host;
+  ProcState state{ProcState::Blocked};
+  /// Incarnation counter; bumped on kill so in-flight timers, deliveries and
+  /// CPU-burst completions addressed to a previous life are discarded.
+  std::uint32_t epoch{0};
+  std::deque<WorkItem> mailbox;
+
+  // --- statistics (read by benches/tests) ---
+  Duration cpu_used{Duration{0}};
+  std::uint64_t items_run{0};
+  Duration total_sched_wait{Duration{0}};  // enqueue -> burst start
+  Duration max_sched_wait{Duration{0}};
+
+  bool alive() const { return state != ProcState::Dead; }
+};
+
+}  // namespace loki::sim

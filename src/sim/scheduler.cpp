@@ -1,0 +1,127 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace loki::sim {
+
+void CpuScheduler::make_ready(Process* p) {
+  LOKI_REQUIRE(p->state == ProcState::Blocked, "make_ready on non-blocked process");
+  p->state = ProcState::Ready;
+  if (running_ != nullptr && rng_.bernoulli(params_.wake_preempt_prob)) {
+    // Wakeup preemption: the woken process outranks the current runner
+    // (Linux 2.2 goodness); it jumps the queue and the runner yields at its
+    // current burst boundary.
+    run_queue_.push_front(p);
+    wake_preempt_pending_ = true;
+  } else {
+    run_queue_.push_back(p);
+  }
+  maybe_dispatch();
+}
+
+void CpuScheduler::on_killed(Process* p) {
+  // Lazy removal: dispatch() skips dead entries; finish_burst() detects a
+  // dead running process via the epoch check. Nothing to do eagerly except
+  // kick the dispatcher in case the CPU is idle and the queue still has
+  // live work behind the corpse.
+  (void)p;
+  maybe_dispatch();
+}
+
+void CpuScheduler::maybe_dispatch() {
+  if (running_ != nullptr || dispatch_scheduled_) return;
+  if (run_queue_.empty()) return;
+  dispatch_scheduled_ = true;
+  events_.schedule_in(Duration{0}, [this] {
+    dispatch_scheduled_ = false;
+    dispatch();
+  });
+}
+
+void CpuScheduler::dispatch() {
+  if (running_ != nullptr) return;
+  while (!run_queue_.empty()) {
+    Process* p = run_queue_.front();
+    run_queue_.pop_front();
+    if (p->state != ProcState::Ready) continue;  // died while queued
+    if (p->mailbox.empty()) {
+      // Work was consumed by a kill+restart cycle; block it again.
+      p->state = ProcState::Blocked;
+      continue;
+    }
+    running_ = p;
+    p->state = ProcState::Running;
+    quantum_left_ = params_.quantum;
+    ++context_switches_;
+    begin_item(params_.ctx_switch);
+    return;
+  }
+  // Run queue drained: CPU goes idle.
+}
+
+void CpuScheduler::begin_item(Duration overhead) {
+  Process* p = running_;
+  LOKI_REQUIRE(p != nullptr && !p->mailbox.empty(), "begin_item without work");
+  const WorkItem& item = p->mailbox.front();
+  const Duration cost =
+      Duration{std::max<std::int64_t>(item.cost.ns, 1)} + overhead;
+
+  const Duration wait = events_.now() - item.enqueued;
+  p->total_sched_wait += wait;
+  p->max_sched_wait = std::max(p->max_sched_wait, wait);
+
+  const std::uint32_t epoch = p->epoch;
+  events_.schedule_in(cost,
+                      [this, p, epoch, cost] { finish_burst(p, epoch, cost); });
+}
+
+void CpuScheduler::finish_burst(Process* p, std::uint32_t epoch, Duration cost) {
+  busy_time_ += cost;
+  if (running_ != p || p->epoch != epoch || p->state != ProcState::Running) {
+    // The process was killed while on the CPU; reclaim it now.
+    if (running_ == p) running_ = nullptr;
+    maybe_dispatch();
+    return;
+  }
+
+  WorkItem item = std::move(p->mailbox.front());
+  p->mailbox.pop_front();
+  quantum_left_ -= cost;
+  p->cpu_used += cost;
+  ++p->items_run;
+
+  item.fn();  // may post work, send messages, kill processes (even this one)
+
+  if (p->state != ProcState::Running) {
+    // The closure killed this process.
+    running_ = nullptr;
+    maybe_dispatch();
+    return;
+  }
+  if (p->mailbox.empty()) {
+    p->state = ProcState::Blocked;
+    running_ = nullptr;
+    maybe_dispatch();
+    return;
+  }
+  if (quantum_left_.ns <= 0 || wake_preempt_pending_) {
+    const bool contended = std::any_of(
+        run_queue_.begin(), run_queue_.end(),
+        [](const Process* q) { return q->state == ProcState::Ready; });
+    wake_preempt_pending_ = false;
+    if (contended) {
+      ++preemptions_;
+      p->state = ProcState::Ready;
+      run_queue_.push_back(p);
+      running_ = nullptr;
+      maybe_dispatch();
+      return;
+    }
+    quantum_left_ = params_.quantum;  // sole runner: quantum refreshed free
+  }
+  begin_item(Duration{0});
+}
+
+}  // namespace loki::sim

@@ -1,0 +1,79 @@
+// Single-core round-robin CPU scheduler with a fixed timeslice.
+//
+// This is the component that produces the headline effect of the thesis'
+// performance analysis (Figs 3.2/3.3): the time from a notification's
+// arrival at a host to the moment the destination process actually handles
+// it is dominated by quantum-sized scheduling delays, not by wire latency.
+//
+// Model:
+//  - processes with non-empty mailboxes are READY and queue FIFO;
+//  - a dispatch charges a context-switch cost, then the process consumes
+//    work items back to back;
+//  - preemption happens at work-item boundaries once the quantum is spent
+//    (items are short relative to the quantum, so this granularity error is
+//    small and biased the same way for every design being compared);
+//  - a process with an empty mailbox blocks and releases the CPU.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/event_queue.hpp"
+#include "sim/process.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace loki::sim {
+
+struct SchedParams {
+  /// Round-robin quantum ("Linux timeslice" in the thesis: 10ms or 1ms).
+  Duration quantum{milliseconds(10)};
+  /// Cost of switching the CPU to a different process.
+  Duration ctx_switch{microseconds(30)};
+  /// Probability that a just-woken (I/O-blocked) process preempts the
+  /// current runner at its next burst boundary instead of waiting for the
+  /// quantum to expire. Models the Linux 2.2 counter/goodness dynamic
+  /// priority: interactive processes usually — not always — beat CPU hogs
+  /// on wakeup. 0 = strict round robin, 1 = always-preempting wakeups.
+  double wake_preempt_prob{0.5};
+};
+
+class CpuScheduler {
+ public:
+  CpuScheduler(EventQueue& events, SchedParams params, Rng rng)
+      : events_(events), params_(params), rng_(rng) {}
+
+  /// A blocked process gained work: queue it for the CPU.
+  void make_ready(Process* p);
+
+  /// Remove any scheduling claim a killed process holds. Run-queue entries
+  /// are skipped lazily; a victim on the CPU frees it when its current burst
+  /// completes (the kernel reclaims mid-burst time at the next tick).
+  void on_killed(Process* p);
+
+  const SchedParams& params() const { return params_; }
+  std::uint64_t context_switches() const { return context_switches_; }
+  std::uint64_t preemptions() const { return preemptions_; }
+  Duration busy_time() const { return busy_time_; }
+
+ private:
+  void maybe_dispatch();
+  void dispatch();
+  void begin_item(Duration overhead);
+  void finish_burst(Process* p, std::uint32_t epoch, Duration cost);
+
+  EventQueue& events_;
+  SchedParams params_;
+  Rng rng_;
+  std::deque<Process*> run_queue_;
+  Process* running_{nullptr};
+  Duration quantum_left_{Duration{0}};
+  bool dispatch_scheduled_{false};
+  bool wake_preempt_pending_{false};
+
+  std::uint64_t context_switches_{0};
+  std::uint64_t preemptions_{0};
+  Duration busy_time_{Duration{0}};
+};
+
+}  // namespace loki::sim

@@ -1,0 +1,171 @@
+#include "sim/world.hpp"
+
+#include "util/error.hpp"
+
+namespace loki::sim {
+
+World::World(WorldParams params)
+    : params_(params),
+      rng_(params.seed),
+      app_lan_(params.app_lan, rng_.split("app-lan")),
+      control_lan_(params.control_lan, rng_.split("control-lan")) {}
+
+HostId World::add_host(const HostParams& params) {
+  LOKI_REQUIRE(!host_names_.contains(params.name), "duplicate host name");
+  const HostId id{static_cast<std::int32_t>(hosts_.size())};
+  hosts_.push_back(HostEntry{
+      params.name, HostClock(params.clock),
+      std::make_unique<CpuScheduler>(events_, params.sched,
+                                     rng_.split("sched-" + params.name))});
+  host_names_.emplace(params.name, id);
+  return id;
+}
+
+HostId World::host_by_name(const std::string& name) const {
+  const auto it = host_names_.find(name);
+  if (it == host_names_.end()) throw ConfigError("unknown host: " + name);
+  return it->second;
+}
+
+const std::string& World::host_name(HostId host) const {
+  LOKI_REQUIRE(host.valid() && host.value < static_cast<std::int32_t>(hosts_.size()),
+               "bad host id");
+  return hosts_[static_cast<std::size_t>(host.value)].name;
+}
+
+ProcessId World::spawn(HostId host, std::string name) {
+  LOKI_REQUIRE(host.valid() && host.value < static_cast<std::int32_t>(hosts_.size()),
+               "spawn on unknown host");
+  const ProcessId id{static_cast<std::int32_t>(processes_.size())};
+  auto p = std::make_unique<Process>();
+  p->id = id;
+  p->name = std::move(name);
+  p->host = host;
+  processes_.push_back(std::move(p));
+  return id;
+}
+
+void World::kill(ProcessId pid) {
+  Process* p = proc_ptr(pid);
+  if (p == nullptr || p->state == ProcState::Dead) return;
+  const bool was_scheduled = p->state != ProcState::Blocked;
+  p->state = ProcState::Dead;
+  ++p->epoch;
+  p->mailbox.clear();
+  if (was_scheduled) {
+    scheduler(p->host).on_killed(p);
+  }
+}
+
+bool World::alive(ProcessId pid) const {
+  const Process* p = proc_ptr(pid);
+  return p != nullptr && p->alive();
+}
+
+HostId World::host_of(ProcessId pid) const {
+  const Process* p = proc_ptr(pid);
+  LOKI_REQUIRE(p != nullptr, "host_of: unknown process");
+  return p->host;
+}
+
+const Process& World::process(ProcessId pid) const {
+  const Process* p = proc_ptr(pid);
+  LOKI_REQUIRE(p != nullptr, "process: unknown id");
+  return *p;
+}
+
+Process& World::process_mutable(ProcessId pid) {
+  Process* p = proc_ptr(pid);
+  LOKI_REQUIRE(p != nullptr, "process_mutable: unknown id");
+  return *p;
+}
+
+std::vector<ProcessId> World::processes_on(HostId host) const {
+  std::vector<ProcessId> out;
+  for (const auto& p : processes_) {
+    if (p->host == host && p->alive()) out.push_back(p->id);
+  }
+  return out;
+}
+
+void World::crash_host(HostId host) {
+  for (const ProcessId pid : processes_on(host)) kill(pid);
+}
+
+bool World::post(ProcessId pid, Duration cpu_cost, std::function<void()> fn) {
+  Process* p = proc_ptr(pid);
+  if (p == nullptr || !p->alive()) {
+    ++dropped_deliveries_;
+    return false;
+  }
+  enqueue_item(p, cpu_cost, std::move(fn));
+  return true;
+}
+
+void World::send(ProcessId from, ProcessId to, Lan which, ChannelClass cls,
+                 Duration handler_cost, std::function<void()> fn) {
+  const SimTime delivery = lan(which).delivery_time(now(), from, to, cls);
+  events_.schedule_at(delivery, [this, to, handler_cost, fn = std::move(fn)]() mutable {
+    post(to, handler_cost, std::move(fn));
+  });
+}
+
+void World::timer(ProcessId pid, Duration delay, Duration handler_cost,
+                  std::function<void()> fn) {
+  Process* p = proc_ptr(pid);
+  LOKI_REQUIRE(p != nullptr, "timer: unknown process");
+  const std::uint32_t epoch = p->epoch;
+  events_.schedule_in(delay, [this, pid, epoch, handler_cost,
+                              fn = std::move(fn)]() mutable {
+    Process* q = proc_ptr(pid);
+    if (q == nullptr || !q->alive() || q->epoch != epoch) return;  // cancelled
+    enqueue_item(q, handler_cost, std::move(fn));
+  });
+}
+
+void World::at(SimTime when, std::function<void()> fn) {
+  events_.schedule_at(when, std::move(fn));
+}
+
+LocalTime World::clock_read(HostId host) const {
+  LOKI_REQUIRE(host.valid() && host.value < static_cast<std::int32_t>(hosts_.size()),
+               "clock_read: bad host");
+  return hosts_[static_cast<std::size_t>(host.value)].clock.read(now());
+}
+
+LocalTime World::clock_read_of(ProcessId pid) const {
+  return clock_read(host_of(pid));
+}
+
+const HostClock& World::clock(HostId host) const {
+  LOKI_REQUIRE(host.valid() && host.value < static_cast<std::int32_t>(hosts_.size()),
+               "clock: bad host");
+  return hosts_[static_cast<std::size_t>(host.value)].clock;
+}
+
+CpuScheduler& World::scheduler(HostId host) {
+  LOKI_REQUIRE(host.valid() && host.value < static_cast<std::int32_t>(hosts_.size()),
+               "scheduler: bad host");
+  return *hosts_[static_cast<std::size_t>(host.value)].sched;
+}
+
+Process* World::proc_ptr(ProcessId pid) {
+  if (!pid.valid() || pid.value >= static_cast<std::int32_t>(processes_.size()))
+    return nullptr;
+  return processes_[static_cast<std::size_t>(pid.value)].get();
+}
+
+const Process* World::proc_ptr(ProcessId pid) const {
+  if (!pid.valid() || pid.value >= static_cast<std::int32_t>(processes_.size()))
+    return nullptr;
+  return processes_[static_cast<std::size_t>(pid.value)].get();
+}
+
+void World::enqueue_item(Process* p, Duration cost, std::function<void()> fn) {
+  p->mailbox.push_back(WorkItem{cost, std::move(fn), now()});
+  if (p->state == ProcState::Blocked) {
+    scheduler(p->host).make_ready(p);
+  }
+}
+
+}  // namespace loki::sim

@@ -1,0 +1,134 @@
+// The World: one simulated deployment (hosts + processes + LANs + clocks).
+//
+// The Loki runtime layer (src/runtime) is written against this facade and
+// nothing else, mirroring the thesis' separation between the
+// system-independent runtime and the OS services it consumes. A World is
+// built per experiment, run, then discarded — experiments are hermetic and
+// reproducible from (seed, params).
+//
+// Two LANs are modelled (§2.4 allows Loki notifications to use a LAN
+// separate from the application's): Lan::App and Lan::Control.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/ids.hpp"
+#include "sim/network.hpp"
+#include "sim/process.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace loki::sim {
+
+enum class Lan : std::uint8_t { App, Control };
+
+struct HostParams {
+  std::string name;
+  ClockParams clock{};
+  SchedParams sched{};
+};
+
+struct WorldParams {
+  std::uint64_t seed{1};
+  NetworkParams app_lan{};
+  NetworkParams control_lan{};
+};
+
+class World {
+ public:
+  explicit World(WorldParams params = {});
+
+  // --- topology -----------------------------------------------------------
+  HostId add_host(const HostParams& params);
+  HostId host_by_name(const std::string& name) const;
+  const std::string& host_name(HostId host) const;
+  std::size_t host_count() const { return hosts_.size(); }
+
+  /// Create a process on `host`, initially blocked with an empty mailbox.
+  ProcessId spawn(HostId host, std::string name);
+
+  /// Kill a process: state becomes Dead, pending work is dropped, in-flight
+  /// timers and deliveries addressed to it are discarded on arrival.
+  void kill(ProcessId pid);
+
+  bool alive(ProcessId pid) const;
+  HostId host_of(ProcessId pid) const;
+  const Process& process(ProcessId pid) const;
+  Process& process_mutable(ProcessId pid);
+
+  /// All live processes currently on `host` (host crash support, §3.6.4).
+  std::vector<ProcessId> processes_on(HostId host) const;
+  /// Kill every process on the host (power failure).
+  void crash_host(HostId host);
+
+  // --- execution ----------------------------------------------------------
+  /// Post a work item to a process on the same host (function call or local
+  /// queue; no network transit). Returns false (dropping the item) if the
+  /// process is dead.
+  bool post(ProcessId pid, Duration cpu_cost, std::function<void()> fn);
+
+  /// Deliver a work item to `to` after LAN transit. Returns immediately;
+  /// the item is dropped (counted) if `to` is dead on arrival.
+  void send(ProcessId from, ProcessId to, Lan lan, ChannelClass cls,
+            Duration handler_cost, std::function<void()> fn);
+
+  /// Fire `fn` as a work item on `pid` after `delay`. The timer is cancelled
+  /// implicitly if the process dies first.
+  void timer(ProcessId pid, Duration delay, Duration handler_cost,
+             std::function<void()> fn);
+
+  /// Raw kernel event not tied to any process/CPU (harness bookkeeping).
+  void at(SimTime when, std::function<void()> fn);
+
+  std::uint64_t run_until(SimTime limit) { return events_.run_until(limit); }
+  std::uint64_t run_to_completion() { return events_.run_to_completion(); }
+
+  // --- clocks -------------------------------------------------------------
+  SimTime now() const { return events_.now(); }
+  LocalTime clock_read(HostId host) const;
+  LocalTime clock_read_of(ProcessId pid) const;
+  const HostClock& clock(HostId host) const;
+
+  // --- introspection ------------------------------------------------------
+  EventQueue& events() { return events_; }
+  CpuScheduler& scheduler(HostId host);
+  Network& lan(Lan lan) {
+    return lan == Lan::App ? app_lan_ : control_lan_;
+  }
+  std::uint64_t dropped_deliveries() const { return dropped_deliveries_; }
+  Rng& rng() { return rng_; }
+  /// Derive a named child RNG stream (stable across unrelated changes).
+  Rng stream(std::string_view name) const { return rng_.split(name); }
+
+ private:
+  struct HostEntry {
+    std::string name;
+    HostClock clock;
+    std::unique_ptr<CpuScheduler> sched;
+  };
+
+  Process* proc_ptr(ProcessId pid);
+  const Process* proc_ptr(ProcessId pid) const;
+  void enqueue_item(Process* p, Duration cost, std::function<void()> fn);
+
+  WorldParams params_;
+  EventQueue events_;
+  Rng rng_;
+  Network app_lan_;
+  Network control_lan_;
+  std::vector<HostEntry> hosts_;
+  std::unordered_map<std::string, HostId> host_names_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::uint64_t dropped_deliveries_{0};
+};
+
+}  // namespace loki::sim

@@ -1,0 +1,130 @@
+#include "spec/campaign_files.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/text_file.hpp"
+
+namespace loki::spec {
+
+NodeFile parse_node_file(const std::string& content, const std::string& source) {
+  NodeFile out;
+  for (const TextLine& line : logical_lines(content)) {
+    const auto tokens = split_ws(line.text);
+    if (tokens.empty() || tokens.size() > 2)
+      throw ParseError(source, line.number,
+                       "expected '<nickname> [<host>]': " + line.text);
+    if (!is_identifier(tokens[0]))
+      throw ParseError(source, line.number, "bad nickname: " + tokens[0]);
+    for (const auto& e : out)
+      if (e.nickname == tokens[0])
+        throw ParseError(source, line.number, "duplicate nickname: " + tokens[0]);
+    NodeFileEntry entry;
+    entry.nickname = tokens[0];
+    if (tokens.size() == 2) entry.host = tokens[1];
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::string serialize_node_file(const NodeFile& nodes) {
+  std::string out;
+  for (const auto& n : nodes) {
+    out += n.nickname;
+    if (n.host.has_value()) out += " " + *n.host;
+    out += "\n";
+  }
+  return out;
+}
+
+DaemonStartupFile parse_daemon_startup_file(const std::string& content,
+                                            const std::string& source) {
+  DaemonStartupFile out;
+  for (const TextLine& line : logical_lines(content)) {
+    const auto tokens = split_ws(line.text);
+    if (tokens.size() != 2)
+      throw ParseError(source, line.number, "expected '<host> <port>': " + line.text);
+    const auto port = parse_u32(tokens[1]);
+    if (!port.has_value() || *port > 65535)
+      throw ParseError(source, line.number, "bad port: " + tokens[1]);
+    out.push_back({tokens[0], static_cast<std::uint16_t>(*port)});
+  }
+  return out;
+}
+
+std::string serialize_daemon_startup_file(const DaemonStartupFile& entries) {
+  std::string out;
+  for (const auto& e : entries)
+    out += e.host + " " + std::to_string(e.port) + "\n";
+  return out;
+}
+
+DaemonContactFile parse_daemon_contact_file(const std::string& content,
+                                            const std::string& source) {
+  DaemonContactFile out;
+  for (const TextLine& line : logical_lines(content)) {
+    const auto tokens = split_ws(line.text);
+    if (tokens.size() != 3)
+      throw ParseError(source, line.number,
+                       "expected '<host> <shmid> <semid>': " + line.text);
+    const auto shm = parse_i64(tokens[1]);
+    const auto sem = parse_i64(tokens[2]);
+    if (!shm.has_value() || !sem.has_value())
+      throw ParseError(source, line.number, "bad id on line: " + line.text);
+    out.push_back({tokens[0], *shm, *sem});
+  }
+  return out;
+}
+
+std::string serialize_daemon_contact_file(const DaemonContactFile& entries) {
+  std::string out;
+  for (const auto& e : entries)
+    out += e.host + " " + std::to_string(e.shared_memory_id) + " " +
+           std::to_string(e.semaphore_id) + "\n";
+  return out;
+}
+
+MachinesFile parse_machines_file(const std::string& content,
+                                 const std::string& source) {
+  MachinesFile out;
+  for (const TextLine& line : logical_lines(content)) {
+    const auto tokens = split_ws(line.text);
+    if (tokens.size() != 1)
+      throw ParseError(source, line.number, "expected one host per line");
+    out.push_back(tokens[0]);
+  }
+  return out;
+}
+
+std::string serialize_machines_file(const MachinesFile& hosts) {
+  std::string out;
+  for (const auto& h : hosts) out += h + "\n";
+  return out;
+}
+
+StudyFile parse_study_file(const std::string& content, const std::string& source) {
+  const auto lines = logical_lines(content);
+  if (lines.size() != 5 && lines.size() != 6)
+    throw ParseError(source, lines.empty() ? 1 : lines.back().number,
+                     "study file needs 5 or 6 lines (arguments optional), got " +
+                         std::to_string(lines.size()));
+  StudyFile study;
+  study.nickname = lines[0].text;
+  study.node_file = lines[1].text;
+  study.state_machine_spec_file = lines[2].text;
+  study.fault_spec_file = lines[3].text;
+  study.executable_path = lines[4].text;
+  if (lines.size() == 6) study.arguments = lines[5].text;
+  if (!is_identifier(study.nickname))
+    throw ParseError(source, lines[0].number, "bad nickname: " + study.nickname);
+  return study;
+}
+
+std::string serialize_study_file(const StudyFile& study) {
+  std::string out = study.nickname + "\n" + study.node_file + "\n" +
+                    study.state_machine_spec_file + "\n" + study.fault_spec_file +
+                    "\n" + study.executable_path + "\n";
+  if (!study.arguments.empty()) out += study.arguments + "\n";
+  return out;
+}
+
+}  // namespace loki::spec

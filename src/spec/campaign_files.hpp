@@ -1,0 +1,72 @@
+// The remaining campaign input files (§3.5.1, §3.5.2, §5.6):
+//
+//   node file            <SM NickName> [<HostName>]        (one per line)
+//   daemon startup file  <HostName> <PortNumber>
+//   daemon contact file  <HostName> <SharedMemoryID> <SemaphoreID>
+//   machines file        <HostName>
+//   study file           6 lines: nickname, node file, state machine spec
+//                        file, fault spec file, executable path, arguments
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace loki::spec {
+
+struct NodeFileEntry {
+  std::string nickname;
+  /// Present => the central daemon starts this machine on that host at the
+  /// beginning of every experiment; absent => the node is expected to enter
+  /// dynamically (or be started by the application).
+  std::optional<std::string> host;
+};
+
+using NodeFile = std::vector<NodeFileEntry>;
+
+NodeFile parse_node_file(const std::string& content, const std::string& source);
+std::string serialize_node_file(const NodeFile& nodes);
+
+struct DaemonStartupEntry {
+  std::string host;
+  std::uint16_t port{0};
+};
+
+using DaemonStartupFile = std::vector<DaemonStartupEntry>;
+
+DaemonStartupFile parse_daemon_startup_file(const std::string& content,
+                                            const std::string& source);
+std::string serialize_daemon_startup_file(const DaemonStartupFile& entries);
+
+struct DaemonContactEntry {
+  std::string host;
+  std::int64_t shared_memory_id{0};
+  std::int64_t semaphore_id{0};
+};
+
+using DaemonContactFile = std::vector<DaemonContactEntry>;
+
+DaemonContactFile parse_daemon_contact_file(const std::string& content,
+                                            const std::string& source);
+std::string serialize_daemon_contact_file(const DaemonContactFile& entries);
+
+using MachinesFile = std::vector<std::string>;
+
+MachinesFile parse_machines_file(const std::string& content,
+                                 const std::string& source);
+std::string serialize_machines_file(const MachinesFile& hosts);
+
+struct StudyFile {
+  std::string nickname;
+  std::string node_file;
+  std::string state_machine_spec_file;
+  std::string fault_spec_file;
+  std::string executable_path;
+  std::string arguments;  // may be empty
+};
+
+StudyFile parse_study_file(const std::string& content, const std::string& source);
+std::string serialize_study_file(const StudyFile& study);
+
+}  // namespace loki::spec

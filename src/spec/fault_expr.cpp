@@ -1,0 +1,235 @@
+#include "spec/fault_expr.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace loki::spec {
+namespace {
+
+class TermExpr final : public FaultExpr {
+ public:
+  TermExpr(std::string machine, std::string state)
+      : machine_(std::move(machine)), state_(std::move(state)) {}
+
+  bool eval(const StateView& view) const override {
+    const std::string* current = view(machine_);
+    return current != nullptr && *current == state_;
+  }
+  void collect_terms(
+      std::vector<std::pair<std::string, std::string>>& out) const override {
+    out.emplace_back(machine_, state_);
+  }
+  std::string to_string() const override {
+    return "(" + machine_ + ":" + state_ + ")";
+  }
+
+ private:
+  std::string machine_;
+  std::string state_;
+};
+
+class NotExpr final : public FaultExpr {
+ public:
+  explicit NotExpr(FaultExprPtr inner) : inner_(std::move(inner)) {}
+  bool eval(const StateView& view) const override { return !inner_->eval(view); }
+  void collect_terms(
+      std::vector<std::pair<std::string, std::string>>& out) const override {
+    inner_->collect_terms(out);
+  }
+  std::string to_string() const override { return "~" + inner_->to_string(); }
+
+ private:
+  FaultExprPtr inner_;
+};
+
+class BinExpr final : public FaultExpr {
+ public:
+  BinExpr(char op, FaultExprPtr lhs, FaultExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  bool eval(const StateView& view) const override {
+    return op_ == '&' ? (lhs_->eval(view) && rhs_->eval(view))
+                      : (lhs_->eval(view) || rhs_->eval(view));
+  }
+  void collect_terms(
+      std::vector<std::pair<std::string, std::string>>& out) const override {
+    lhs_->collect_terms(out);
+    rhs_->collect_terms(out);
+  }
+  std::string to_string() const override {
+    return "(" + lhs_->to_string() + " " + op_ + " " + rhs_->to_string() + ")";
+  }
+
+ private:
+  char op_;
+  FaultExprPtr lhs_;
+  FaultExprPtr rhs_;
+};
+
+struct Token {
+  enum class Kind { LParen, RParen, And, Or, Not, Colon, Ident, End };
+  Kind kind;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  Lexer(const std::string& input, const std::string& source, int line)
+      : input_(input), source_(source), line_(line) {
+    advance();
+  }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(source_, line_, msg + " in fault expression: " + input_);
+  }
+
+ private:
+  void advance() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_])))
+      ++pos_;
+    if (pos_ >= input_.size()) {
+      current_ = {Token::Kind::End, ""};
+      return;
+    }
+    const char c = input_[pos_];
+    switch (c) {
+      case '(': current_ = {Token::Kind::LParen, "("}; ++pos_; return;
+      case ')': current_ = {Token::Kind::RParen, ")"}; ++pos_; return;
+      case '&': current_ = {Token::Kind::And, "&"}; ++pos_; return;
+      case '|': current_ = {Token::Kind::Or, "|"}; ++pos_; return;
+      case '~': current_ = {Token::Kind::Not, "~"}; ++pos_; return;
+      case ':': current_ = {Token::Kind::Colon, ":"}; ++pos_; return;
+      default: break;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = pos_;
+      while (j < input_.size()) {
+        const char d = input_[j];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '_' ||
+            d == '.' || d == '-')
+          ++j;
+        else
+          break;
+      }
+      current_ = {Token::Kind::Ident, input_.substr(pos_, j - pos_)};
+      pos_ = j;
+      return;
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  const std::string& input_;
+  std::string source_;
+  int line_;
+  std::size_t pos_{0};
+  Token current_{Token::Kind::End, ""};
+};
+
+class Parser {
+ public:
+  explicit Parser(Lexer& lex) : lex_(lex) {}
+
+  FaultExprPtr parse() {
+    FaultExprPtr e = parse_or();
+    if (lex_.peek().kind != Token::Kind::End)
+      lex_.fail("trailing tokens after expression");
+    return e;
+  }
+
+ private:
+  FaultExprPtr parse_or() {
+    FaultExprPtr lhs = parse_and();
+    while (lex_.peek().kind == Token::Kind::Or) {
+      lex_.take();
+      lhs = make_or(std::move(lhs), parse_and());
+    }
+    return lhs;
+  }
+
+  FaultExprPtr parse_and() {
+    FaultExprPtr lhs = parse_unary();
+    while (lex_.peek().kind == Token::Kind::And) {
+      lex_.take();
+      lhs = make_and(std::move(lhs), parse_unary());
+    }
+    return lhs;
+  }
+
+  FaultExprPtr parse_unary() {
+    if (lex_.peek().kind == Token::Kind::Not) {
+      lex_.take();
+      return make_not(parse_unary());
+    }
+    if (lex_.peek().kind == Token::Kind::LParen) {
+      lex_.take();
+      // Either a (Machine:State) term or a parenthesized sub-expression.
+      if (lex_.peek().kind == Token::Kind::Ident) {
+        const Token ident = lex_.take();
+        if (lex_.peek().kind == Token::Kind::Colon) {
+          lex_.take();
+          if (lex_.peek().kind != Token::Kind::Ident)
+            lex_.fail("expected state name after ':'");
+          const Token state = lex_.take();
+          if (lex_.peek().kind != Token::Kind::RParen)
+            lex_.fail("expected ')' after (machine:state)");
+          lex_.take();
+          return make_term(ident.text, state.text);
+        }
+        lex_.fail("expected ':' in (machine:state) term");
+      }
+      FaultExprPtr inner = parse_or();
+      if (lex_.peek().kind != Token::Kind::RParen) lex_.fail("expected ')'");
+      lex_.take();
+      return inner;
+    }
+    lex_.fail("expected '(', '~', or term");
+  }
+
+  Lexer& lex_;
+};
+
+}  // namespace
+
+FaultExprPtr parse_fault_expr(const std::string& text,
+                              const std::string& source_name, int line) {
+  Lexer lex(text, source_name, line);
+  Parser parser(lex);
+  return parser.parse();
+}
+
+std::vector<std::pair<std::string, std::string>> expr_terms(const FaultExpr& e) {
+  std::vector<std::pair<std::string, std::string>> out;
+  e.collect_terms(out);
+  return out;
+}
+
+std::set<std::string> expr_machines(const FaultExpr& e) {
+  std::set<std::string> out;
+  for (const auto& [machine, state] : expr_terms(e)) out.insert(machine);
+  return out;
+}
+
+FaultExprPtr make_term(std::string machine, std::string state) {
+  return std::make_shared<TermExpr>(std::move(machine), std::move(state));
+}
+FaultExprPtr make_and(FaultExprPtr a, FaultExprPtr b) {
+  return std::make_shared<BinExpr>('&', std::move(a), std::move(b));
+}
+FaultExprPtr make_or(FaultExprPtr a, FaultExprPtr b) {
+  return std::make_shared<BinExpr>('|', std::move(a), std::move(b));
+}
+FaultExprPtr make_not(FaultExprPtr a) {
+  return std::make_shared<NotExpr>(std::move(a));
+}
+
+}  // namespace loki::spec

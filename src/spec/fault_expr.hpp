@@ -1,0 +1,59 @@
+// Boolean fault expressions (§3.5.5).
+//
+// Grammar (terms are written parenthesized, as in the thesis examples):
+//
+//   expr   := or
+//   or     := and ( '|' and )*
+//   and    := unary ( '&' unary )*
+//   unary  := '~' unary | '(' inner ')'
+//   inner  := IDENT ':' IDENT        -- a (StateMachine:State) term
+//           | expr                   -- grouping
+//
+// e.g.  ((SM1:ELECT) & (SM2:FOLLOW))     (black:CRASH) & ((green:FOLLOW) | (green:ELECT))
+//
+// Evaluation is against a *partial view of global state*: a machine whose
+// state is not (yet) known makes a term referencing it false — a node that
+// has never reported is treated as not being in any state.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace loki::spec {
+
+/// View of (a part of) the global state: machine nickname -> current state
+/// name, or empty string / absence for "unknown".
+using StateView = std::function<const std::string*(const std::string&)>;
+
+class FaultExpr {
+ public:
+  virtual ~FaultExpr() = default;
+  virtual bool eval(const StateView& view) const = 0;
+  virtual void collect_terms(
+      std::vector<std::pair<std::string, std::string>>& out) const = 0;
+  virtual std::string to_string() const = 0;
+};
+
+using FaultExprPtr = std::shared_ptr<const FaultExpr>;
+
+/// Parse an expression; throws ParseError (source/line used for context).
+FaultExprPtr parse_fault_expr(const std::string& text,
+                              const std::string& source_name, int line);
+
+/// All (machine, state) pairs mentioned by the expression.
+std::vector<std::pair<std::string, std::string>> expr_terms(const FaultExpr& e);
+
+/// All machine nicknames mentioned by the expression.
+std::set<std::string> expr_machines(const FaultExpr& e);
+
+// --- programmatic constructors (used by tests and generated campaigns) ----
+FaultExprPtr make_term(std::string machine, std::string state);
+FaultExprPtr make_and(FaultExprPtr a, FaultExprPtr b);
+FaultExprPtr make_or(FaultExprPtr a, FaultExprPtr b);
+FaultExprPtr make_not(FaultExprPtr a);
+
+}  // namespace loki::spec

@@ -1,0 +1,76 @@
+#include "spec/fault_spec.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/text_file.hpp"
+
+namespace loki::spec {
+
+const FaultSpecEntry* FaultSpec::find(const std::string& name) const {
+  for (const auto& e : entries)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+std::set<std::string> FaultSpec::referenced_machines() const {
+  std::set<std::string> out;
+  for (const auto& e : entries) {
+    const auto machines = expr_machines(*e.expr);
+    out.insert(machines.begin(), machines.end());
+  }
+  return out;
+}
+
+FaultSpec parse_fault_spec(const std::string& content,
+                           const std::string& source_name) {
+  FaultSpec spec;
+  for (const TextLine& line : logical_lines(content)) {
+    // Layout: NAME <expression...> TRIGGER — name is the first token, the
+    // trigger the last, everything between is the expression.
+    const std::vector<std::string> tokens = split_ws(line.text);
+    if (tokens.size() < 3)
+      throw ParseError(source_name, line.number,
+                       "expected '<name> <expression> <once|always>'");
+    const std::string& name = tokens.front();
+    if (!is_identifier(name))
+      throw ParseError(source_name, line.number, "bad fault name: " + name);
+    const std::string trigger_word = to_upper(tokens.back());
+    Trigger trigger;
+    if (trigger_word == "ONCE")
+      trigger = Trigger::Once;
+    else if (trigger_word == "ALWAYS")
+      trigger = Trigger::Always;
+    else
+      throw ParseError(source_name, line.number,
+                       "trigger must be 'once' or 'always', got: " + tokens.back());
+
+    const std::size_t expr_begin = line.text.find(name) + name.size();
+    const std::size_t expr_end = line.text.rfind(tokens.back());
+    const std::string expr_text =
+        std::string(trim(line.text.substr(expr_begin, expr_end - expr_begin)));
+    if (expr_text.empty())
+      throw ParseError(source_name, line.number, "empty fault expression");
+
+    for (const auto& e : spec.entries)
+      if (e.name == name)
+        throw ParseError(source_name, line.number, "duplicate fault name: " + name);
+
+    spec.entries.push_back(FaultSpecEntry{
+        name, parse_fault_expr(expr_text, source_name, line.number), trigger});
+  }
+  return spec;
+}
+
+std::string serialize_fault_spec(const FaultSpec& spec) {
+  std::string out;
+  for (const auto& e : spec.entries) {
+    out += e.name + " " + e.expr->to_string() + " " + trigger_name(e.trigger) + "\n";
+  }
+  return out;
+}
+
+const char* trigger_name(Trigger t) {
+  return t == Trigger::Once ? "once" : "always";
+}
+
+}  // namespace loki::spec

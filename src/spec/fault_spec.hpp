@@ -1,0 +1,44 @@
+// Fault specification (§3.5.5): one entry per line,
+//
+//   <FaultName> <BooleanFaultExpression> <once|always>
+//
+// `once`: inject only the first time the expression goes false->true in an
+// experiment. `always`: inject on every false->true transition. The parser
+// is positive-edge-triggered either way (§5.4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spec/fault_expr.hpp"
+
+namespace loki::spec {
+
+enum class Trigger { Once, Always };
+
+struct FaultSpecEntry {
+  std::string name;
+  FaultExprPtr expr;
+  Trigger trigger{Trigger::Once};
+};
+
+struct FaultSpec {
+  std::vector<FaultSpecEntry> entries;
+
+  const FaultSpecEntry* find(const std::string& name) const;
+
+  /// Machines referenced by any expression — the information a machine's
+  /// fault parser needs in its partial view of global state. The thesis
+  /// leaves deriving notify lists from this to the user (§3.8, bullet 2);
+  /// this helper implements the "could possibly be automated" deduction.
+  std::set<std::string> referenced_machines() const;
+};
+
+FaultSpec parse_fault_spec(const std::string& content,
+                           const std::string& source_name);
+
+std::string serialize_fault_spec(const FaultSpec& spec);
+
+const char* trigger_name(Trigger t);
+
+}  // namespace loki::spec

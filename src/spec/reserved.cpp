@@ -1,0 +1,14 @@
+#include "spec/reserved.hpp"
+
+namespace loki::spec {
+
+bool is_reserved_state(std::string_view name) {
+  return name == kStateBegin || name == kStateExit || name == kStateCrash ||
+         name == kStateRestart;
+}
+
+bool is_reserved_event(std::string_view name) {
+  return name == kEventCrash || name == kEventRestart || name == kEventDefault;
+}
+
+}  // namespace loki::spec

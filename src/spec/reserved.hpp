@@ -1,0 +1,22 @@
+// Reserved state and event names (§3.5.7):
+//   "The reserved state names are BEGIN, EXIT, CRASH, and RESTART, and the
+//    reserved event names are CRASH, RESTART, and default."
+#pragma once
+
+#include <string_view>
+
+namespace loki::spec {
+
+inline constexpr std::string_view kStateBegin = "BEGIN";
+inline constexpr std::string_view kStateExit = "EXIT";
+inline constexpr std::string_view kStateCrash = "CRASH";
+inline constexpr std::string_view kStateRestart = "RESTART";
+
+inline constexpr std::string_view kEventCrash = "CRASH";
+inline constexpr std::string_view kEventRestart = "RESTART";
+inline constexpr std::string_view kEventDefault = "default";
+
+bool is_reserved_state(std::string_view name);
+bool is_reserved_event(std::string_view name);
+
+}  // namespace loki::spec

@@ -1,0 +1,85 @@
+// State machine specification (§3.5.3).
+//
+// Textual format (one file per state machine):
+//
+//   global_state_list
+//     <list of state names, one per line>
+//   end_global_state_list
+//   event_list
+//     <list of local event names, one per line>
+//   end_event_list
+//   state <name> [notify <nick_1> ... <nick_k>]
+//     <event> <next_state>
+//     ...
+//
+// The global_state_list covers the states of *all* machines in the system
+// (they share one name space so local timelines can index any state); the
+// event_list holds only this machine's local events. The reserved event
+// `default` acts as a wildcard transition for events without an explicit
+// arc, matching the thesis' reserved-event list.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace loki::spec {
+
+struct StateDef {
+  std::string name;
+  /// State machines to notify when this machine *enters* this state.
+  std::vector<std::string> notify;
+  /// event -> next state.
+  std::map<std::string, std::string> transitions;
+  /// Wildcard transition (`default <next>`), if any.
+  std::optional<std::string> default_next;
+};
+
+class StateMachineSpec {
+ public:
+  StateMachineSpec() = default;
+  StateMachineSpec(std::string name, std::vector<std::string> states,
+                   std::vector<std::string> events,
+                   std::vector<StateDef> defs);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  const std::vector<std::string>& states() const { return states_; }
+  const std::vector<std::string>& events() const { return events_; }
+
+  bool has_state(const std::string& s) const;
+  bool has_event(const std::string& e) const;
+
+  /// The defined states (a subset of states(): only those with a `state`
+  /// block belong to this machine).
+  const std::vector<StateDef>& state_defs() const { return defs_; }
+  const StateDef* find_state(const std::string& s) const;
+
+  /// Next state for (state, event), honouring the `default` wildcard.
+  /// nullopt when the event does not cause a transition in this state.
+  std::optional<std::string> transition(const std::string& state,
+                                        const std::string& event) const;
+
+  /// Notify list on entering `state` (empty if state undefined).
+  const std::vector<std::string>& notify_list(const std::string& state) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> states_;
+  std::vector<std::string> events_;
+  std::vector<StateDef> defs_;
+  std::map<std::string, std::size_t> def_index_;
+};
+
+/// Parse the textual format. `source_name` is used in error messages.
+/// The machine's nickname is not part of the file (§3.5.3); callers assign
+/// it via set_name().
+StateMachineSpec parse_state_machine_spec(const std::string& content,
+                                          const std::string& source_name);
+
+/// Serialize back to the textual format (round-trip tested).
+std::string serialize_state_machine_spec(const StateMachineSpec& spec);
+
+}  // namespace loki::spec

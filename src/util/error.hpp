@@ -1,0 +1,45 @@
+// Error handling policy for the library.
+//
+// Specification-file parsing and analysis-phase inputs come from the user,
+// so malformed input is reported via ParseError with file/line context.
+// Internal invariant violations use LOKI_REQUIRE, which throws LogicError —
+// these indicate bugs, and tests assert on them directly.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace loki {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string file, int line, const std::string& message)
+      : std::runtime_error(file + ":" + std::to_string(line) + ": " + message),
+        file_(std::move(file)),
+        line_(line) {}
+
+  const std::string& file() const { return file_; }
+  int line() const { return line_; }
+
+ private:
+  std::string file_;
+  int line_;
+};
+
+class LogicError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Runtime-phase configuration errors (unknown host, duplicate nickname...).
+class ConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+#define LOKI_REQUIRE(cond, msg)                                   \
+  do {                                                            \
+    if (!(cond)) throw ::loki::LogicError(std::string("LOKI_REQUIRE failed: ") + (msg)); \
+  } while (0)
+
+}  // namespace loki

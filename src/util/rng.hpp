@@ -1,0 +1,44 @@
+// Deterministic, splittable random number generation.
+//
+// Every stochastic element of the substrate (network jitter, scheduler
+// tie-breaking, application random numbers, fault workloads) draws from an
+// Rng seeded from the experiment seed, so a campaign is reproducible
+// bit-for-bit from (seed, configuration). std::mt19937_64 is avoided because
+// its stream is huge to seed properly; xoshiro256** with a splitmix64 seeder
+// is small, fast, and well understood.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace loki {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Derive an independent child stream; `salt` distinguishes siblings.
+  /// Used to give each host/process/channel its own stream so that adding a
+  /// consumer never perturbs another consumer's draws.
+  Rng split(std::uint64_t salt) const;
+  Rng split(std::string_view name) const;
+
+  std::uint64_t next_u64();
+  /// Uniform in [0, 1).
+  double next_double();
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+  /// Standard normal via Box-Muller (no cached spare: keeps state minimal).
+  double normal(double mean, double stddev);
+  /// Bernoulli with probability p of true.
+  bool bernoulli(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace loki

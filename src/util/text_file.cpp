@@ -1,0 +1,45 @@
+#include "util/text_file.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace loki {
+
+std::vector<TextLine> logical_lines(std::string_view content) {
+  std::vector<TextLine> out;
+  int number = 0;
+  std::size_t pos = 0;
+  while (pos <= content.size()) {
+    const std::size_t nl = content.find('\n', pos);
+    std::string_view raw =
+        nl == std::string_view::npos ? content.substr(pos) : content.substr(pos, nl - pos);
+    ++number;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string_view::npos) raw = raw.substr(0, hash);
+    const std::string_view trimmed = trim(raw);
+    if (!trimmed.empty()) out.push_back({number, std::string(trimmed)});
+    if (nl == std::string_view::npos) break;
+    pos = nl + 1;
+  }
+  return out;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ConfigError("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw ConfigError("cannot write file: " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) throw ConfigError("short write to file: " + path);
+}
+
+}  // namespace loki

@@ -1,0 +1,29 @@
+// Line-oriented text file reading shared by all the spec parsers.
+//
+// Every Loki input format (§3.5, §5.6) is line-based: '#' starts a comment,
+// blank lines are ignored, and parsers consume logical lines with their
+// 1-based source line numbers so ParseError can point at the offender.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace loki {
+
+struct TextLine {
+  int number{0};      // 1-based line number in the source
+  std::string text;   // trimmed, comment-stripped, non-empty
+};
+
+/// Split `content` into logical lines (trimmed, '#' comments removed,
+/// blanks dropped) keeping original line numbers.
+std::vector<TextLine> logical_lines(std::string_view content);
+
+/// Read a whole file; throws ConfigError if it cannot be opened.
+std::string read_file(const std::string& path);
+
+/// Write a whole file; throws ConfigError on failure.
+void write_file(const std::string& path, std::string_view content);
+
+}  // namespace loki

@@ -1,0 +1,43 @@
+#include "util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace loki {
+
+Duration millis_f(double ms) {
+  return {static_cast<std::int64_t>(std::llround(ms * 1e6))};
+}
+
+Duration micros_f(double us) {
+  return {static_cast<std::int64_t>(std::llround(us * 1e3))};
+}
+
+SplitTime split_time(std::int64_t ns) {
+  const auto u = static_cast<std::uint64_t>(ns);
+  return {static_cast<std::uint32_t>(u >> 32),
+          static_cast<std::uint32_t>(u & 0xffffffffu)};
+}
+
+std::int64_t join_time(SplitTime s) {
+  const std::uint64_t u =
+      (static_cast<std::uint64_t>(s.hi) << 32) | static_cast<std::uint64_t>(s.lo);
+  return static_cast<std::int64_t>(u);
+}
+
+std::string format_duration(Duration d) {
+  char buf[64];
+  const double ns = static_cast<double>(d.ns);
+  if (std::llabs(d.ns) >= 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fs", ns / 1e9);
+  } else if (std::llabs(d.ns) >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fms", ns / 1e6);
+  } else if (std::llabs(d.ns) >= 1'000) {
+    std::snprintf(buf, sizeof buf, "%.3fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%ldns", static_cast<long>(d.ns));
+  }
+  return buf;
+}
+
+}  // namespace loki

@@ -1,0 +1,101 @@
+// Time types shared by the whole library.
+//
+// Two distinct notions of time exist in Loki (thesis §2.5):
+//  - physical time `t`: the true, unobservable global time. In this repo the
+//    discrete-event simulator owns physical time, so it *is* observable to
+//    the harness (which is what lets tests validate the clock-sync bounds).
+//  - local clock time `C_i(t) = alpha_i + beta_i * t`: what machine i's
+//    hardware clock reads. Local timelines are recorded in local clock time
+//    and only converted to a common (reference) timeline offline.
+//
+// Both are carried as signed 64-bit nanosecond counts. Distinct strong types
+// prevent accidentally mixing the two domains.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace loki {
+
+/// Duration in nanoseconds. Used for both physical and local clock spans.
+struct Duration {
+  std::int64_t ns{0};
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return {ns + o.ns}; }
+  constexpr Duration operator-(Duration o) const { return {ns - o.ns}; }
+  constexpr Duration operator-() const { return {-ns}; }
+  constexpr Duration operator*(std::int64_t k) const { return {ns * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return {ns / k}; }
+  constexpr Duration& operator+=(Duration o) {
+    ns += o.ns;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    ns -= o.ns;
+    return *this;
+  }
+
+  constexpr double seconds() const { return static_cast<double>(ns) / 1e9; }
+  constexpr double millis() const { return static_cast<double>(ns) / 1e6; }
+  constexpr double micros() const { return static_cast<double>(ns) / 1e3; }
+};
+
+constexpr Duration nanoseconds(std::int64_t v) { return {v}; }
+constexpr Duration microseconds(std::int64_t v) { return {v * 1000}; }
+constexpr Duration milliseconds(std::int64_t v) { return {v * 1'000'000}; }
+constexpr Duration seconds(std::int64_t v) { return {v * 1'000'000'000}; }
+/// Duration from a floating-point count of milliseconds (rounded to ns).
+Duration millis_f(double ms);
+/// Duration from a floating-point count of microseconds (rounded to ns).
+Duration micros_f(double us);
+
+/// A point on the simulator's physical timeline.
+struct SimTime {
+  std::int64_t ns{0};
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(Duration d) const { return {ns + d.ns}; }
+  constexpr SimTime operator-(Duration d) const { return {ns - d.ns}; }
+  constexpr Duration operator-(SimTime o) const { return {ns - o.ns}; }
+  constexpr SimTime& operator+=(Duration d) {
+    ns += d.ns;
+    return *this;
+  }
+
+  static constexpr SimTime zero() { return {0}; }
+  static constexpr SimTime max() {
+    return {std::numeric_limits<std::int64_t>::max()};
+  }
+};
+
+/// A point on one machine's local clock. Only comparable with times read
+/// from the same clock; cross-machine comparison requires the offline
+/// conversion of §2.5.
+struct LocalTime {
+  std::int64_t ns{0};
+
+  constexpr auto operator<=>(const LocalTime&) const = default;
+
+  constexpr LocalTime operator+(Duration d) const { return {ns + d.ns}; }
+  constexpr Duration operator-(LocalTime o) const { return {ns - o.ns}; }
+};
+
+/// The local-timeline file format (§3.5.6) stores 64-bit times as two
+/// 32-bit halves (<Time.Hi> <Time.Lo>). These helpers implement that split.
+struct SplitTime {
+  std::uint32_t hi{0};
+  std::uint32_t lo{0};
+};
+
+SplitTime split_time(std::int64_t ns);
+std::int64_t join_time(SplitTime s);
+
+/// Render a duration with an adaptive unit, e.g. "12.5ms"; for logs/benches.
+std::string format_duration(Duration d);
+
+}  // namespace loki

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "analysis/global_timeline.hpp"
+#include "analysis/pipeline.hpp"
+#include "analysis/verification.hpp"
+#include "runtime/timeline.hpp"
+
+namespace loki::analysis {
+namespace {
+
+/// A hand-built two-machine scenario on two hosts with known clock bounds:
+/// hostA is the reference (identity); hostB has alpha in [-w, +w], beta = 1.
+clocksync::AlphaBetaFile two_host_ab(double width_ns) {
+  clocksync::AlphaBetaFile ab;
+  ab.reference = "hostA";
+  ab.bounds.emplace("hostA", clocksync::identity_bounds());
+  clocksync::ClockBounds b;
+  b.alpha_lo = -width_ns / 2;
+  b.alpha_hi = width_ns / 2;
+  b.beta_lo = 1.0;
+  b.beta_hi = 1.0;
+  b.valid = true;
+  ab.bounds.emplace("hostB", b);
+  return ab;
+}
+
+/// Timeline builder helper.
+struct TlBuilder {
+  runtime::LocalTimeline tl;
+
+  TlBuilder(const std::string& nick, const std::string& host,
+            std::vector<std::string> states, std::vector<std::string> events,
+            std::vector<runtime::TimelineFaultEntry> faults = {}) {
+    tl.nickname = nick;
+    tl.initial_host = host;
+    tl.machines = {"m1", "m2"};
+    tl.states = std::move(states);
+    tl.events = std::move(events);
+    tl.faults = std::move(faults);
+  }
+
+  TlBuilder& change(std::uint32_t event, std::uint32_t state, std::int64_t t) {
+    runtime::TimelineRecord r;
+    r.type = runtime::RecordType::StateChange;
+    r.event_index = event;
+    r.state_index = state;
+    r.time = LocalTime{t};
+    tl.records.push_back(r);
+    return *this;
+  }
+
+  TlBuilder& inject(std::uint32_t fault, std::int64_t t) {
+    runtime::TimelineRecord r;
+    r.type = runtime::RecordType::FaultInjection;
+    r.fault_index = fault;
+    r.time = LocalTime{t};
+    tl.records.push_back(r);
+    return *this;
+  }
+
+  TlBuilder& restart(const std::string& host, std::int64_t t) {
+    runtime::TimelineRecord r;
+    r.type = runtime::RecordType::Restart;
+    r.host = host;
+    r.time = LocalTime{t};
+    tl.records.push_back(r);
+    return *this;
+  }
+};
+
+TEST(GlobalTimeline, ProjectsAndSortsEvents) {
+  const auto ab = two_host_ab(10'000);  // +-5us
+  TlBuilder m1("m1", "hostA", {"S", "T"}, {"e"});
+  m1.change(0, 0, 1'000'000).change(0, 1, 3'000'000);
+  TlBuilder m2("m2", "hostB", {"S", "T"}, {"e"});
+  m2.change(0, 0, 2'000'000);
+
+  const GlobalTimeline gt = build_global_timeline({&m1.tl, &m2.tl}, ab);
+  ASSERT_EQ(gt.events.size(), 3u);
+  EXPECT_EQ(gt.reference, "hostA");
+  // Sorted by midpoint: 1ms (m1), 2ms (m2), 3ms (m1).
+  EXPECT_EQ(gt.events[0].machine, "m1");
+  EXPECT_EQ(gt.events[1].machine, "m2");
+  EXPECT_EQ(gt.events[2].machine, "m1");
+  // hostA events are exact; hostB carries the alpha uncertainty.
+  EXPECT_DOUBLE_EQ(gt.events[0].when.width(), 0.0);
+  EXPECT_NEAR(gt.events[1].when.width(), 10'000.0, 1.0);
+  EXPECT_EQ(gt.of_machine("m1").size(), 2u);
+}
+
+TEST(GlobalTimeline, RestartSwitchesHostClock) {
+  auto ab = two_host_ab(10'000);
+  TlBuilder m1("m1", "hostA", {"S", "CRASH"}, {"e", "CRASH"});
+  m1.change(0, 0, 1'000'000)
+      .restart("hostB", 5'000'000)
+      .change(0, 0, 6'000'000);
+  const auto events = project_timeline(m1.tl, ab);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].host, "hostA");
+  EXPECT_DOUBLE_EQ(events[0].when.width(), 0.0);
+  EXPECT_EQ(events[2].host, "hostB");
+  EXPECT_NEAR(events[2].when.width(), 10'000.0, 1.0);
+}
+
+TEST(GlobalTimeline, SerializeContainsEvents) {
+  const auto ab = two_host_ab(0.0);
+  TlBuilder m1("m1", "hostA", {"S"}, {"e"},
+               {{"f1", "(m1:S)", spec::Trigger::Once}});
+  m1.change(0, 0, 1'000'000).inject(0, 1'500'000);
+  const GlobalTimeline gt = build_global_timeline({&m1.tl}, ab);
+  const std::string text = serialize_global_timeline(gt);
+  EXPECT_NE(text.find("STATE_CHANGE"), std::string::npos);
+  EXPECT_NE(text.find("FAULT_INJECTION f1"), std::string::npos);
+}
+
+// --- verification ------------------------------------------------------------
+
+runtime::TimelineFaultEntry fault_entry(const std::string& name,
+                                        const std::string& expr,
+                                        spec::Trigger trig = spec::Trigger::Once) {
+  return {name, expr, trig};
+}
+
+TEST(Verification, SameClockInjectionIsExact) {
+  // Injection 1us after the state entry on the SAME clock must be accepted
+  // even when the projection bounds are much wider than 1us.
+  const auto ab = two_host_ab(1'000'000);  // 1ms wide hostB bounds
+  TlBuilder m1("m1", "hostB", {"S", "T"}, {"e"},
+               {fault_entry("f1", "(m1:S)")});
+  m1.change(0, 0, 1'000'000).inject(0, 1'001'000).change(0, 1, 9'000'000);
+  const auto v = verify_experiment({&m1.tl}, ab);
+  ASSERT_EQ(v.verdicts.size(), 1u);
+  EXPECT_TRUE(v.verdicts[0].correct) << v.verdicts[0].reason;
+  EXPECT_TRUE(v.accepted);
+}
+
+TEST(Verification, SameClockInjectionOutsideStateRejected) {
+  const auto ab = two_host_ab(1'000'000);
+  TlBuilder m1("m1", "hostB", {"S", "T"}, {"e"},
+               {fault_entry("f1", "(m1:S)", spec::Trigger::Always)});
+  m1.change(0, 0, 1'000'000).change(0, 1, 2'000'000).inject(0, 2'500'000);
+  const auto v = verify_experiment({&m1.tl}, ab);
+  ASSERT_EQ(v.verdicts.size(), 1u);
+  EXPECT_FALSE(v.verdicts[0].correct);
+  EXPECT_FALSE(v.accepted);
+}
+
+TEST(Verification, CrossClockCertainlyInsideAccepted) {
+  // m2 (hostB) is in state S from 1ms to 50ms (bounds width 10us); the
+  // injection in m1 at 20ms is certainly inside.
+  const auto ab = two_host_ab(10'000);
+  TlBuilder m1("m1", "hostA", {"S", "T"}, {"e"},
+               {fault_entry("f1", "(m2:S)", spec::Trigger::Always)});
+  m1.change(0, 1, 500'000).inject(0, 20'000'000);
+  TlBuilder m2("m2", "hostB", {"S", "T"}, {"e"});
+  m2.change(0, 0, 1'000'000).change(0, 1, 50'000'000);
+  const auto v = verify_experiment({&m1.tl, &m2.tl}, ab);
+  ASSERT_EQ(v.verdicts.size(), 1u);
+  EXPECT_TRUE(v.verdicts[0].correct) << v.verdicts[0].reason;
+}
+
+TEST(Verification, CrossClockBoundaryOverlapConservativelyRejected) {
+  // Injection at 1.002ms, m2 entered S at 1.000ms on hostB with +-5us
+  // bounds: the containment rule cannot certify it -> rejected, even though
+  // the true ordering may have been fine (the thesis' conservatism).
+  const auto ab = two_host_ab(10'000);
+  TlBuilder m1("m1", "hostA", {"S", "T"}, {"e"},
+               {fault_entry("f1", "(m2:S)", spec::Trigger::Always)});
+  m1.change(0, 1, 500'000).inject(0, 1'002'000);
+  TlBuilder m2("m2", "hostB", {"S", "T"}, {"e"});
+  m2.change(0, 0, 1'000'000).change(0, 1, 50'000'000);
+  const auto v = verify_experiment({&m1.tl, &m2.tl}, ab);
+  ASSERT_EQ(v.verdicts.size(), 1u);
+  EXPECT_FALSE(v.verdicts[0].correct);
+  EXPECT_NE(v.verdicts[0].reason.find("not certainly true"), std::string::npos);
+}
+
+TEST(Verification, CompoundExpressionAllTermsChecked) {
+  const auto ab = two_host_ab(10'000);
+  TlBuilder m1("m1", "hostA", {"S", "T", "CRASH"}, {"e"},
+               {fault_entry("f1", "((m1:T) & (m2:S))", spec::Trigger::Always)});
+  m1.change(0, 0, 500'000).change(0, 1, 10'000'000).inject(0, 20'000'000);
+  TlBuilder m2("m2", "hostB", {"S", "T", "CRASH"}, {"e"});
+  m2.change(0, 0, 1'000'000).change(0, 1, 50'000'000);
+  const auto v = verify_experiment({&m1.tl, &m2.tl}, ab);
+  EXPECT_TRUE(v.verdicts[0].correct) << v.verdicts[0].reason;
+
+  // Negated term: ~(m2:S) while m2 IS in S -> certainly false.
+  TlBuilder m1b("m1", "hostA", {"S", "T", "CRASH"}, {"e"},
+                {fault_entry("f2", "((m1:T) & ~(m2:S))", spec::Trigger::Always)});
+  m1b.change(0, 0, 500'000).change(0, 1, 10'000'000).inject(0, 20'000'000);
+  const auto v2 = verify_experiment({&m1b.tl, &m2.tl}, ab);
+  EXPECT_FALSE(v2.verdicts[0].correct);
+  EXPECT_NE(v2.verdicts[0].reason.find("certainly false"), std::string::npos);
+}
+
+TEST(Verification, TerminalStateExtendsToExperimentEnd) {
+  // m2 crashes into CRASH and never leaves; an injection long after must
+  // still see (m2:CRASH) as certainly true.
+  const auto ab = two_host_ab(10'000);
+  TlBuilder m1("m1", "hostA", {"S", "CRASH"}, {"e"},
+               {fault_entry("f1", "(m2:CRASH)", spec::Trigger::Always)});
+  m1.change(0, 0, 500'000).inject(0, 90'000'000);
+  TlBuilder m2("m2", "hostB", {"S", "CRASH"}, {"e", "CRASH"});
+  m2.change(0, 0, 1'000'000).change(1, 1, 30'000'000);
+  const auto v = verify_experiment({&m1.tl, &m2.tl}, ab);
+  EXPECT_TRUE(v.verdicts[0].correct) << v.verdicts[0].reason;
+}
+
+TEST(Verification, MissedOnceFaultRejectsExperiment) {
+  // (m2:S) certainly became true but f1 never fired.
+  const auto ab = two_host_ab(10'000);
+  TlBuilder m1("m1", "hostA", {"S", "T"}, {"e"}, {fault_entry("f1", "(m2:S)")});
+  m1.change(0, 1, 500'000);
+  TlBuilder m2("m2", "hostB", {"S", "T"}, {"e"});
+  m2.change(0, 0, 1'000'000).change(0, 1, 50'000'000);
+  const auto v = verify_experiment({&m1.tl, &m2.tl}, ab);
+  EXPECT_TRUE(v.verdicts.empty());
+  ASSERT_EQ(v.missed.size(), 1u);
+  EXPECT_EQ(v.missed[0].fault, "f1");
+  EXPECT_FALSE(v.accepted);
+
+  // Non-strict mode keeps the experiment.
+  VerificationOptions lax;
+  lax.strict_missed_once = false;
+  EXPECT_TRUE(verify_experiment({&m1.tl, &m2.tl}, ab, lax).accepted);
+}
+
+TEST(Verification, RestartedMachineOccupanciesSplitAcrossHosts) {
+  const auto ab = two_host_ab(10'000);
+  // m2 runs on hostB, crashes, restarts on hostA, reaches S again. The
+  // injection while the SECOND S occupancy holds must be certified via the
+  // hostA segment.
+  TlBuilder m1("m1", "hostA", {"S", "T", "CRASH"}, {"e"},
+               {fault_entry("f1", "(m2:S)", spec::Trigger::Always)});
+  m1.change(0, 1, 500'000).inject(0, 80'000'000);
+  TlBuilder m2("m2", "hostB", {"S", "T", "CRASH"}, {"e", "CRASH"});
+  m2.change(0, 0, 1'000'000)
+      .change(1, 2, 30'000'000)    // CRASH at 30ms
+      .restart("hostA", 60'000'000)
+      .change(0, 0, 61'000'000);   // S again, stamped by hostA now
+  const auto v = verify_experiment({&m1.tl, &m2.tl}, ab);
+  ASSERT_EQ(v.verdicts.size(), 1u);
+  EXPECT_TRUE(v.verdicts[0].correct) << v.verdicts[0].reason;
+}
+
+TEST(Verification, VerdictSerialization) {
+  VerificationResult v;
+  v.verdicts.push_back({"m1", "f1", 0, true, ""});
+  v.verdicts.push_back({"m1", "f2", 1, false, "late"});
+  v.missed.push_back({"m2", "f3"});
+  const std::string text = serialize_verdicts(v);
+  EXPECT_NE(text.find("m1 f1 0 correct"), std::string::npos);
+  EXPECT_NE(text.find("m1 f2 1 incorrect # late"), std::string::npos);
+  EXPECT_NE(text.find("missed m2 f3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace loki::analysis

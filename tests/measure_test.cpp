@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "measure/campaign_measure.hpp"
+#include "measure/observation.hpp"
+#include "measure/predicate.hpp"
+#include "measure/predicate_timeline.hpp"
+#include "measure/statistics.hpp"
+#include "measure/study_measure.hpp"
+#include "measure/worked_example.hpp"
+#include "util/error.hpp"
+
+namespace loki::measure {
+namespace {
+
+// --- predicate timelines -----------------------------------------------------
+
+TEST(PredicateTimeline, IntervalsAndValueAt) {
+  const auto pt = PredicateTimeline::from_intervals({{10, 20}, {30, 40}});
+  EXPECT_FALSE(pt.value_at(5));
+  EXPECT_TRUE(pt.value_at(10));
+  EXPECT_TRUE(pt.value_at(15));
+  EXPECT_FALSE(pt.value_at(20));  // [lo, hi)
+  EXPECT_TRUE(pt.value_at(35));
+  EXPECT_FALSE(pt.value_at(45));
+}
+
+TEST(PredicateTimeline, OverlappingIntervalsMerge) {
+  const auto pt = PredicateTimeline::from_intervals({{10, 30}, {20, 40}});
+  EXPECT_TRUE(pt.value_at(25));
+  // One continuous true period: exactly one up and one down.
+  EXPECT_EQ(pt.transitions(Edge::Up, Kind::Step, 0, 100).size(), 1u);
+  EXPECT_EQ(pt.transitions(Edge::Down, Kind::Step, 0, 100).size(), 1u);
+}
+
+TEST(PredicateTimeline, ImpulsesAreMomentary) {
+  const auto pt = PredicateTimeline::from_impulses({15, 25});
+  EXPECT_TRUE(pt.value_at(15));
+  EXPECT_FALSE(pt.value_at(15.001));
+  EXPECT_FALSE(pt.base_at(15));
+  EXPECT_DOUBLE_EQ(pt.total_duration(true, 0, 100), 0.0);
+}
+
+TEST(PredicateTimeline, AndOrNot) {
+  const auto a = PredicateTimeline::from_intervals({{10, 30}});
+  const auto b = PredicateTimeline::from_intervals({{20, 40}});
+  const auto both = a & b;
+  EXPECT_FALSE(both.value_at(15));
+  EXPECT_TRUE(both.value_at(25));
+  EXPECT_FALSE(both.value_at(35));
+  const auto either = a | b;
+  EXPECT_TRUE(either.value_at(15));
+  EXPECT_TRUE(either.value_at(35));
+  EXPECT_FALSE(either.value_at(45));
+  const auto neither = ~either;
+  EXPECT_TRUE(neither.value_at(45));
+  EXPECT_FALSE(neither.value_at(15));
+  EXPECT_TRUE(neither.initial());
+}
+
+TEST(PredicateTimeline, ImpulseOnTrueBaseStillCountsAsOccurrence) {
+  const auto steps = PredicateTimeline::from_intervals({{10, 30}});
+  const auto imp = PredicateTimeline::from_impulses({20, 50});
+  const auto combined = steps | imp;
+  // Both occurrence markers survive the OR (Fig 4.2 calibration): the one
+  // at 20 coincides with a true base yet still counts as an impulse event.
+  EXPECT_EQ(combined.overrides().size(), 2u);
+  EXPECT_EQ(combined.transitions(Edge::Up, Kind::Impulse, 0, 100).size(), 2u);
+  // The value function itself is unchanged by the marker at 20.
+  EXPECT_TRUE(combined.value_at(20));
+  EXPECT_TRUE(combined.value_at(21));
+}
+
+TEST(PredicateTimeline, NotTurnsImpulseIntoAntiImpulse) {
+  const auto imp = PredicateTimeline::from_impulses({20});
+  const auto neg = ~imp;
+  EXPECT_TRUE(neg.value_at(10));
+  EXPECT_FALSE(neg.value_at(20));  // momentarily false
+  EXPECT_TRUE(neg.value_at(21));
+}
+
+TEST(PredicateTimeline, TotalDuration) {
+  const auto pt = PredicateTimeline::from_intervals({{10, 20}, {30, 40}});
+  EXPECT_DOUBLE_EQ(pt.total_duration(true, 0, 100), 20.0);
+  EXPECT_DOUBLE_EQ(pt.total_duration(false, 0, 100), 80.0);
+  EXPECT_DOUBLE_EQ(pt.total_duration(true, 15, 35), 10.0);
+}
+
+TEST(PredicateTimeline, TransitionFiltering) {
+  auto pt = PredicateTimeline::from_intervals({{10, 20}});
+  pt = pt | PredicateTimeline::from_impulses({5});
+  EXPECT_EQ(pt.transitions(Edge::Up, Kind::Step, 0, 100).size(), 1u);
+  EXPECT_EQ(pt.transitions(Edge::Up, Kind::Impulse, 0, 100).size(), 1u);
+  EXPECT_EQ(pt.transitions(Edge::Up, Kind::Both, 0, 100).size(), 2u);
+  EXPECT_EQ(pt.transitions(Edge::Both, Kind::Both, 0, 100).size(), 4u);
+  // Window clipping.
+  EXPECT_TRUE(pt.transitions(Edge::Up, Kind::Step, 50, 100).empty());
+}
+
+// --- the Fig 4.2 worked example ------------------------------------------------
+
+class Fig42 : public ::testing::Test {
+ protected:
+  analysis::GlobalTimeline timeline = fig42_timeline();
+  EvalContext ctx = fig42_context(timeline);
+
+  PredicateTimeline eval(int i) {
+    return fig42_predicate(i)->evaluate(ctx);
+  }
+};
+
+TEST_F(Fig42, PredicateTimelineShapes) {
+  const auto p1 = eval(0);
+  // True [18.9, 20] and [34.2, 35.6] and [38.9, 40] (ms -> ns).
+  EXPECT_TRUE(p1.value_at(19.0e6));
+  EXPECT_FALSE(p1.value_at(25.0e6));
+  EXPECT_TRUE(p1.value_at(35.0e6));
+  EXPECT_TRUE(p1.value_at(39.5e6));
+  EXPECT_FALSE(p1.value_at(41.0e6));
+
+  const auto p2 = eval(1);
+  EXPECT_TRUE(p2.value_at(22.3e6));
+  EXPECT_TRUE(p2.value_at(26.3e6));
+  EXPECT_FALSE(p2.value_at(24.0e6));
+
+  const auto p3 = eval(2);
+  EXPECT_TRUE(p3.value_at(11.2e6));   // impulse
+  EXPECT_TRUE(p3.value_at(25.0e6));   // State6 window
+  EXPECT_FALSE(p3.value_at(28.0e6));  // between State6 stays
+  EXPECT_TRUE(p3.value_at(35.0e6));
+}
+
+TEST_F(Fig42, CountMatchesThesis) {
+  const auto count = obs_count(Edge::Up, Kind::Both, TimeArg::literal(10),
+                               TimeArg::literal(35));
+  EXPECT_DOUBLE_EQ(count(eval(0), ctx), 2.0);
+  EXPECT_DOUBLE_EQ(count(eval(1), ctx), 2.0);
+  EXPECT_DOUBLE_EQ(count(eval(2), ctx), 5.0);
+}
+
+TEST_F(Fig42, DurationMatchesThesis) {
+  const auto duration =
+      obs_duration(true, 2, TimeArg::literal(10), TimeArg::literal(40));
+  EXPECT_NEAR(duration(eval(0), ctx), 1.4, 1e-9);
+  EXPECT_NEAR(duration(eval(1), ctx), 0.0, 1e-9);
+  EXPECT_NEAR(duration(eval(2), ctx), 7.0, 1e-9);
+}
+
+TEST_F(Fig42, InstantMatchesThesis) {
+  const auto instant = obs_instant(Edge::Up, Kind::Impulse, 2,
+                                   TimeArg::literal(0), TimeArg::literal(50));
+  EXPECT_NEAR(instant(eval(0), ctx), 0.0, 1e-9);   // no second impulse
+  EXPECT_NEAR(instant(eval(1), ctx), 26.3, 1e-9);
+  EXPECT_NEAR(instant(eval(2), ctx), 21.2, 1e-9);
+}
+
+TEST_F(Fig42, OutcomeAndTotalDuration) {
+  EXPECT_DOUBLE_EQ(obs_outcome(TimeArg::literal(19))(eval(0), ctx), 1.0);
+  EXPECT_DOUBLE_EQ(obs_outcome(TimeArg::literal(25))(eval(0), ctx), 0.0);
+  // P1 total true time in [0,50]: (20-18.9) + (35.6-34.2) + (40-38.9) = 3.6.
+  const auto total = obs_total_duration(true, TimeArg::start_exp(),
+                                        TimeArg::end_exp());
+  EXPECT_NEAR(total(eval(0), ctx), 3.6, 1e-9);
+}
+
+// --- predicate parsing ---------------------------------------------------------
+
+TEST(PredicateParse, TupleForms) {
+  EXPECT_NO_THROW(parse_predicate("(m, S)"));
+  EXPECT_NO_THROW(parse_predicate("(m, S, 10 < t < 20)"));
+  EXPECT_NO_THROW(parse_predicate("(m, S, E)"));
+  EXPECT_NO_THROW(parse_predicate("(m, S, E, 10 < t < 20)"));
+  EXPECT_NO_THROW(parse_predicate("~(m, S) & ((a, B) | (c, D))"));
+  EXPECT_THROW(parse_predicate("(m)"), ParseError);
+  EXPECT_THROW(parse_predicate("(m, S"), ParseError);
+  EXPECT_THROW(parse_predicate("(m, S, E)("), ParseError);
+  // Event tuples need bounded windows.
+  EXPECT_THROW(parse_predicate("(m, S, E, 10 < t)"), ParseError);
+}
+
+TEST(PredicateParse, HalfOpenWindows) {
+  analysis::GlobalTimeline t = fig42_timeline();
+  EvalContext ctx = fig42_context(t);
+  // t < 20 keeps only State1 before 20ms.
+  const auto p = parse_predicate("(StateMachine1, State1, t < 20)");
+  const auto pt = p->evaluate(ctx);
+  EXPECT_TRUE(pt.value_at(19.0e6));
+  EXPECT_FALSE(pt.value_at(21.0e6));
+  const auto p2 = parse_predicate("(StateMachine1, State1, 19 < t)");
+  const auto pt2 = p2->evaluate(ctx);
+  EXPECT_FALSE(pt2.value_at(18.95e6));
+  EXPECT_TRUE(pt2.value_at(30.0e6));  // State1 holds to end
+}
+
+// --- statistics -----------------------------------------------------------------
+
+TEST(Statistics, MomentsOfKnownSample) {
+  // {1, 2, 3, 4}: mean 2.5, mu2 1.25, mu3 0, mu4 2.5625.
+  const MomentSummary m = summarize({1, 2, 3, 4});
+  EXPECT_EQ(m.n, 4u);
+  EXPECT_DOUBLE_EQ(m.mean, 2.5);
+  EXPECT_DOUBLE_EQ(m.mu2, 1.25);
+  EXPECT_NEAR(m.mu3, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.mu4, 2.5625);
+  EXPECT_NEAR(m.beta1, 0.0, 1e-12);
+  EXPECT_NEAR(m.beta2, 2.5625 / (1.25 * 1.25), 1e-12);
+}
+
+TEST(Statistics, SkewedSampleHasPositiveMu3) {
+  const MomentSummary m = summarize({0, 0, 0, 0, 10});
+  EXPECT_GT(m.mu3, 0.0);
+  EXPECT_GT(m.gamma1(), 0.0);
+}
+
+TEST(Statistics, InverseNormalCdf) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-8);
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(0.99), 2.326348, 1e-5);
+  EXPECT_THROW(inverse_normal_cdf(0.0), LogicError);
+}
+
+TEST(Statistics, CornishFisherReducesToNormalForGaussianMoments) {
+  MomentSummary m;
+  m.n = 1000;
+  m.mean = 10.0;
+  m.mu2 = 4.0;  // sd 2
+  m.mu3 = 0.0;
+  m.mu4 = 3.0 * 16.0;  // kurtosis exactly 3
+  m.beta1 = 0.0;
+  m.beta2 = 3.0;
+  EXPECT_NEAR(percentile(m, 0.975), 10.0 + 1.959964 * 2.0, 1e-3);
+  EXPECT_NEAR(percentile(m, 0.5), 10.0, 1e-9);
+}
+
+TEST(Statistics, SkewShiftsUpperPercentile) {
+  MomentSummary sym;
+  sym.mean = 0;
+  sym.mu2 = 1;
+  sym.mu4 = 3;
+  sym.beta2 = 3;
+  MomentSummary skewed = sym;
+  skewed.mu3 = 0.5;  // gamma1 = 0.5
+  EXPECT_GT(percentile(skewed, 0.975), percentile(sym, 0.975));
+  EXPECT_GT(percentile(skewed, 0.025), percentile(sym, 0.025));
+}
+
+TEST(Statistics, EmpiricalPercentile) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(empirical_percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(empirical_percentile(v, 0.25), 2.0);
+  EXPECT_THROW(empirical_percentile({}, 0.5), LogicError);
+}
+
+// --- campaign measures -----------------------------------------------------------
+
+TEST(CampaignMeasure, SimpleSamplingPoolsStudies) {
+  const std::vector<StudySample> studies = {{"s1", {1, 1, 1}}, {"s2", {0, 0, 0}}};
+  const CampaignEstimate e = simple_sampling_measure(studies);
+  EXPECT_EQ(e.moments.n, 6u);
+  EXPECT_DOUBLE_EQ(e.moments.mean, 0.5);
+}
+
+TEST(CampaignMeasure, StratifiedWeightedMatchesClosedForm) {
+  // Coverage combination c = (wb*cb + wg*cg + wy*cy) / (wb+wg+wy)  (§5.8).
+  const std::vector<StudySample> studies = {
+      {"black", {1, 1, 1, 1, 0}},   // cb = 0.8
+      {"green", {1, 1, 0, 0}},      // cg = 0.5
+      {"yellow", {1, 1, 1, 0}},     // cy = 0.75
+  };
+  const std::vector<double> w = {3, 2, 1};
+  const CampaignEstimate e = stratified_weighted_measure(studies, w);
+  const double expected = (3 * 0.8 + 2 * 0.5 + 1 * 0.75) / 6.0;
+  EXPECT_NEAR(e.moments.mean, expected, 1e-12);
+  // Central moments are the weighted sums of per-study central moments.
+  const double mu2 = (3 * summarize(studies[0].values).mu2 +
+                      2 * summarize(studies[1].values).mu2 +
+                      1 * summarize(studies[2].values).mu2) /
+                     6.0;
+  EXPECT_NEAR(e.moments.mu2, mu2, 1e-12);
+}
+
+TEST(CampaignMeasure, StratifiedWeightedValidation) {
+  EXPECT_THROW(stratified_weighted_measure({{"a", {1}}}, {1, 2}), LogicError);
+  EXPECT_THROW(stratified_weighted_measure({{"a", {1}}}, {0}), LogicError);
+  EXPECT_THROW(stratified_weighted_measure({{"a", {1}}}, {-1}), LogicError);
+}
+
+TEST(CampaignMeasure, StratifiedUserAppliesCombiner) {
+  const std::vector<StudySample> studies = {{"s1", {2, 4}}, {"s2", {10}}};
+  const double v = stratified_user_measure(
+      studies, [](const std::vector<double>& means) {
+        return means[0] * means[1];  // arbitrary non-linear combination
+      });
+  EXPECT_DOUBLE_EQ(v, 3.0 * 10.0);
+}
+
+// --- study measures ---------------------------------------------------------------
+
+TEST(StudyMeasure, SubsetSelectionHelpers) {
+  EXPECT_TRUE(subset_default()(0.0));
+  EXPECT_TRUE(subset_greater(1.0)(2.0));
+  EXPECT_FALSE(subset_greater(1.0)(1.0));
+  EXPECT_TRUE(subset_between(2, 10)(2.0));
+  EXPECT_FALSE(subset_between(2, 10)(11.0));
+}
+
+TEST(StudyMeasure, TripleSequenceFiltersAndChains) {
+  // Against the Fig 4.2 timeline: first triple measures SM1-State1 total
+  // time; second triple only runs when that exceeds 1 ms.
+  analysis::ExperimentAnalysis exp;
+  exp.timeline = fig42_timeline();
+  exp.start_ref = 0;
+  exp.end_ref = 50e6;
+  exp.accepted = true;
+
+  StudyMeasure m;
+  m.add(subset_default(), parse_predicate("(StateMachine1, State1)"),
+        obs_total_duration(true, TimeArg::start_exp(), TimeArg::end_exp()));
+  m.add(subset_greater(1.0), parse_predicate("(StateMachine2, State2)"),
+        obs_count(Edge::Up, Kind::Both, TimeArg::start_exp(), TimeArg::end_exp()));
+
+  const auto value = m.apply(exp);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_DOUBLE_EQ(*value, 2.0);  // SM2 enters State2 twice
+
+  // With an impossible filter the experiment is dropped.
+  StudyMeasure strict;
+  strict.add(subset_default(), parse_predicate("(StateMachine1, State1)"),
+             obs_total_duration(true, TimeArg::start_exp(), TimeArg::end_exp()));
+  strict.add(subset_greater(1e9), parse_predicate("(StateMachine2, State2)"),
+             obs_outcome(TimeArg::literal(35)));
+  EXPECT_FALSE(strict.apply(exp).has_value());
+
+  // Rejected experiments never contribute.
+  analysis::ExperimentAnalysis rejected = exp;
+  rejected.accepted = false;
+  EXPECT_TRUE(m.apply_study({rejected}).empty());
+  EXPECT_EQ(m.apply_study({exp, rejected}).size(), 1u);
+}
+
+}  // namespace
+}  // namespace loki::measure

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/load.hpp"
+#include "sim/network.hpp"
+#include "sim/world.hpp"
+#include "util/error.hpp"
+
+namespace loki::sim {
+namespace {
+
+TEST(EventQueue, FifoAtSameInstant) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(SimTime{100}, [&] { order.push_back(1); });
+  q.schedule_at(SimTime{100}, [&] { order.push_back(2); });
+  q.schedule_at(SimTime{50}, [&] { order.push_back(0); });
+  q.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, RunUntilAdvancesClock) {
+  EventQueue q;
+  q.run_until(SimTime{1000});
+  EXPECT_EQ(q.now().ns, 1000);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(SimTime{10}, [&] {
+    q.schedule_in(Duration{5}, [&] { ++fired; });
+  });
+  q.run_to_completion();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now().ns, 15);
+}
+
+TEST(EventQueue, PastSchedulingRejected) {
+  EventQueue q;
+  q.schedule_at(SimTime{10}, [] {});
+  q.run_to_completion();
+  EXPECT_THROW(q.schedule_at(SimTime{5}, [] {}), LogicError);
+}
+
+TEST(Clock, LinearModel) {
+  HostClock clock({Duration{1000}, 2.0, 1});
+  EXPECT_EQ(clock.read(SimTime{0}).ns, 1000);
+  EXPECT_EQ(clock.read(SimTime{500}).ns, 2000);
+}
+
+TEST(Clock, Granularity) {
+  HostClock clock({Duration{0}, 1.0, 1000});
+  EXPECT_EQ(clock.read(SimTime{1234567}).ns, 1234000);
+}
+
+TEST(Clock, InverseRoundTrip) {
+  HostClock clock({Duration{-500}, 1.0001, 1});
+  const SimTime t{123456789};
+  const SimTime back = clock.to_physical(clock.read(t));
+  EXPECT_NEAR(static_cast<double>(back.ns), static_cast<double>(t.ns), 2.0);
+}
+
+TEST(Clock, RandomParamsWithinEnvelope) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const ClockParams p =
+        HostClock::random_params(rng, milliseconds(10), 100.0, 1000);
+    EXPECT_LE(std::abs(p.alpha.ns), milliseconds(10).ns);
+    EXPECT_NEAR(p.beta, 1.0, 100e-6);
+    EXPECT_EQ(p.granularity_ns, 1000);
+  }
+}
+
+TEST(Network, IpcFasterThanTcp) {
+  Network net(NetworkParams{}, Rng(1));
+  const SimTime now{0};
+  double ipc_total = 0, tcp_total = 0;
+  for (int i = 0; i < 200; ++i) {
+    ipc_total +=
+        static_cast<double>((net.delivery_time(now, ProcessId{1}, ProcessId{2},
+                                               ChannelClass::Ipc) -
+                             now).ns);
+    tcp_total +=
+        static_cast<double>((net.delivery_time(now, ProcessId{3}, ProcessId{4},
+                                               ChannelClass::Tcp) -
+                             now).ns);
+  }
+  // The thesis quotes ~20us IPC vs ~150us TCP — nearly an order of magnitude.
+  EXPECT_GT(tcp_total / ipc_total, 4.0);
+}
+
+TEST(Network, FifoPerLink) {
+  Network net(NetworkParams{}, Rng(2));
+  SimTime prev{0};
+  for (int i = 0; i < 100; ++i) {
+    const SimTime d = net.delivery_time(SimTime{i * 10}, ProcessId{1},
+                                        ProcessId{2}, ChannelClass::Tcp);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+World make_world(Duration quantum = milliseconds(10)) {
+  WorldParams wp;
+  wp.seed = 99;
+  return World(wp);
+}
+
+TEST(World, PostRunsWorkWithCpuCost) {
+  World w = make_world();
+  HostParams hp;
+  hp.name = "h0";
+  const HostId h = w.add_host(hp);
+  const ProcessId p = w.spawn(h, "proc");
+  SimTime done{};
+  w.post(p, microseconds(100), [&] { done = w.now(); });
+  w.run_to_completion();
+  // Cost 100us + context switch (default 30us).
+  EXPECT_GE(done.ns, microseconds(100).ns);
+  EXPECT_LE(done.ns, microseconds(200).ns);
+}
+
+TEST(World, KillDropsPendingWorkAndDeliveries) {
+  World w = make_world();
+  HostParams hp;
+  hp.name = "h0";
+  const HostId h = w.add_host(hp);
+  const ProcessId a = w.spawn(h, "a");
+  const ProcessId b = w.spawn(h, "b");
+  int executed = 0;
+  w.send(a, b, Lan::Control, ChannelClass::Ipc, microseconds(5),
+         [&] { ++executed; });
+  w.kill(b);
+  w.run_to_completion();
+  EXPECT_EQ(executed, 0);
+  EXPECT_EQ(w.dropped_deliveries(), 1u);
+}
+
+TEST(World, TimerCancelledByKill) {
+  World w = make_world();
+  HostParams hp;
+  hp.name = "h0";
+  const HostId h = w.add_host(hp);
+  const ProcessId p = w.spawn(h, "p");
+  int fired = 0;
+  w.timer(p, milliseconds(5), microseconds(1), [&] { ++fired; });
+  w.at(SimTime{1}, [&] { w.kill(p); });
+  w.run_to_completion();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(World, CrossHostMessageUsesLatency) {
+  World w = make_world();
+  HostParams hp;
+  hp.name = "h0";
+  const HostId h0 = w.add_host(hp);
+  hp.name = "h1";
+  const HostId h1 = w.add_host(hp);
+  const ProcessId a = w.spawn(h0, "a");
+  const ProcessId b = w.spawn(h1, "b");
+  SimTime arrival{};
+  w.send(a, b, Lan::Control, ChannelClass::Tcp, microseconds(1),
+         [&] { arrival = w.now(); });
+  w.run_to_completion();
+  EXPECT_GE(arrival.ns, microseconds(150).ns);  // base TCP latency
+}
+
+TEST(World, SchedulerQuantumDelaysWakeupUnderLoad) {
+  // A loaded host delays a newly-ready process by up to ~a quantum; an idle
+  // host runs it immediately. This is the Fig 3.2/3.3 mechanism.
+  for (const bool loaded : {false, true}) {
+    WorldParams wp;
+    wp.seed = 7;
+    World w(wp);
+    HostParams hp;
+    hp.name = "h0";
+    hp.sched.quantum = milliseconds(10);
+    const HostId h = w.add_host(hp);
+    if (loaded) add_cpu_load(w, h, LoadParams{1.0, microseconds(200)});
+    const ProcessId p = w.spawn(h, "p");
+    // Give the load a head start so the CPU is mid-quantum.
+    SimTime handled{};
+    w.at(SimTime{milliseconds(7).ns}, [&] {
+      w.post(p, microseconds(10), [&] { handled = w.now(); });
+    });
+    w.run_until(SimTime{milliseconds(40).ns});
+    const Duration wait = handled - SimTime{milliseconds(7).ns};
+    if (loaded) {
+      EXPECT_GT(wait.ns, milliseconds(1).ns) << "load should delay the wakeup";
+      EXPECT_LT(wait.ns, milliseconds(25).ns);
+    } else {
+      EXPECT_LT(wait.ns, milliseconds(1).ns);
+    }
+  }
+}
+
+TEST(World, RoundRobinSharesCpu) {
+  World w = make_world();
+  HostParams hp;
+  hp.name = "h0";
+  hp.sched.quantum = milliseconds(5);
+  const HostId h = w.add_host(hp);
+  const ProcessId l1 = add_cpu_load(w, h, LoadParams{1.0, microseconds(100)});
+  const ProcessId l2 = add_cpu_load(w, h, LoadParams{1.0, microseconds(100)});
+  w.run_until(SimTime{milliseconds(200).ns});
+  const Duration c1 = w.process(l1).cpu_used;
+  const Duration c2 = w.process(l2).cpu_used;
+  EXPECT_GT(c1.ns, 0);
+  EXPECT_GT(c2.ns, 0);
+  const double ratio = static_cast<double>(c1.ns) / static_cast<double>(c2.ns);
+  EXPECT_NEAR(ratio, 1.0, 0.2);  // fair within 20%
+  EXPECT_GT(w.scheduler(h).preemptions(), 10u);
+}
+
+TEST(World, DutyCycleLoadUsesFraction) {
+  World w = make_world();
+  HostParams hp;
+  hp.name = "h0";
+  const HostId h = w.add_host(hp);
+  const ProcessId l = add_cpu_load(w, h, LoadParams{0.5, microseconds(200)});
+  w.run_until(SimTime{milliseconds(500).ns});
+  const double used = static_cast<double>(w.process(l).cpu_used.ns);
+  EXPECT_NEAR(used / milliseconds(500).ns, 0.5, 0.12);
+}
+
+TEST(World, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    WorldParams wp;
+    wp.seed = 123;
+    World w(wp);
+    HostParams hp;
+    hp.name = "h0";
+    const HostId h = w.add_host(hp);
+    hp.name = "h1";
+    const HostId h2 = w.add_host(hp);
+    const ProcessId a = w.spawn(h, "a");
+    const ProcessId b = w.spawn(h2, "b");
+    std::vector<std::int64_t> arrivals;
+    for (int i = 0; i < 20; ++i) {
+      w.at(SimTime{i * 1000}, [&w, a, b, &arrivals] {
+        w.send(a, b, Lan::App, ChannelClass::Tcp, microseconds(5),
+               [&] { arrivals.push_back(w.now().ns); });
+      });
+    }
+    w.run_to_completion();
+    return arrivals;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(World, HostLookup) {
+  World w = make_world();
+  HostParams hp;
+  hp.name = "alpha";
+  const HostId h = w.add_host(hp);
+  EXPECT_EQ(w.host_by_name("alpha"), h);
+  EXPECT_EQ(w.host_name(h), "alpha");
+  EXPECT_THROW(w.host_by_name("nope"), ConfigError);
+  hp.name = "alpha";
+  EXPECT_THROW(w.add_host(hp), LogicError);
+}
+
+TEST(World, EpochPreventsStaleTimerAfterKill) {
+  World w = make_world();
+  HostParams hp;
+  hp.name = "h0";
+  const HostId h = w.add_host(hp);
+  const ProcessId p = w.spawn(h, "p");
+  int fired = 0;
+  w.post(p, microseconds(1), [&] {
+    w.timer(p, milliseconds(10), microseconds(1), [&] { ++fired; });
+  });
+  w.at(SimTime{milliseconds(5).ns}, [&] { w.kill(p); });
+  w.run_to_completion();
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace loki::sim

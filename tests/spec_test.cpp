@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "spec/campaign_files.hpp"
+#include "spec/fault_expr.hpp"
+#include "spec/fault_spec.hpp"
+#include "spec/reserved.hpp"
+#include "spec/state_machine_spec.hpp"
+#include "util/error.hpp"
+
+namespace loki::spec {
+namespace {
+
+const char* kBlackSpec = R"(
+global_state_list
+  BEGIN
+  INIT
+  RESTART_SM
+  ELECT
+  FOLLOW
+  LEAD
+  CRASH
+  EXIT
+end_global_state_list
+event_list
+  START
+  INIT_DONE
+  RESTART
+  RESTART_DONE
+  LEADER
+  FOLLOWER
+  LEADER_CRASH
+  CRASH
+  ERROR
+end_event_list
+state INIT notify green yellow
+  INIT_DONE ELECT
+  ERROR EXIT
+state RESTART_SM notify green, yellow
+  RESTART_DONE FOLLOW
+  ERROR EXIT
+state ELECT notify
+  FOLLOWER FOLLOW
+  LEADER LEAD
+  CRASH CRASH
+  ERROR EXIT
+state LEAD notify
+  CRASH CRASH
+  ERROR EXIT
+state FOLLOW notify
+  LEADER_CRASH ELECT
+  CRASH CRASH
+  ERROR EXIT
+state CRASH notify green yellow
+state EXIT notify
+)";
+
+TEST(StateMachineSpec, ParsesChapter5Example) {
+  StateMachineSpec s = parse_state_machine_spec(kBlackSpec, "black.sm");
+  s.set_name("black");
+  EXPECT_EQ(s.states().size(), 8u);
+  EXPECT_EQ(s.events().size(), 9u);
+  EXPECT_TRUE(s.has_state("LEAD"));
+  EXPECT_FALSE(s.has_state("NOPE"));
+  EXPECT_TRUE(s.has_event("LEADER_CRASH"));
+
+  EXPECT_EQ(s.transition("ELECT", "LEADER").value(), "LEAD");
+  EXPECT_EQ(s.transition("FOLLOW", "LEADER_CRASH").value(), "ELECT");
+  EXPECT_FALSE(s.transition("LEAD", "FOLLOWER").has_value());
+  EXPECT_FALSE(s.transition("UNKNOWN", "LEADER").has_value());
+
+  // Comma-separated notify lists are tolerated.
+  EXPECT_EQ(s.notify_list("RESTART_SM"),
+            (std::vector<std::string>{"green", "yellow"}));
+  EXPECT_TRUE(s.notify_list("LEAD").empty());
+}
+
+TEST(StateMachineSpec, SerializeParseRoundTrip) {
+  StateMachineSpec s = parse_state_machine_spec(kBlackSpec, "black.sm");
+  const std::string text = serialize_state_machine_spec(s);
+  StateMachineSpec s2 = parse_state_machine_spec(text, "rt.sm");
+  EXPECT_EQ(s.states(), s2.states());
+  EXPECT_EQ(s.events(), s2.events());
+  EXPECT_EQ(s.state_defs().size(), s2.state_defs().size());
+  for (const auto& def : s.state_defs()) {
+    const StateDef* other = nullptr;
+    for (const auto& d2 : s2.state_defs())
+      if (d2.name == def.name) other = &d2;
+    ASSERT_NE(other, nullptr) << def.name;
+    EXPECT_EQ(def.notify, other->notify);
+    EXPECT_EQ(def.transitions, other->transitions);
+  }
+}
+
+TEST(StateMachineSpec, DefaultWildcardTransition) {
+  const char* text = R"(
+global_state_list
+  A
+  B
+end_global_state_list
+event_list
+  go
+end_event_list
+state A
+  default B
+state B
+)";
+  StateMachineSpec s = parse_state_machine_spec(text, "wild.sm");
+  EXPECT_EQ(s.transition("A", "anything").value(), "B");
+  EXPECT_EQ(s.transition("A", "go").value(), "B");
+}
+
+TEST(StateMachineSpec, ExplicitArcBeatsDefault) {
+  const char* text = R"(
+global_state_list
+  A
+  B
+  C
+end_global_state_list
+event_list
+  go
+end_event_list
+state A
+  go C
+  default B
+)";
+  StateMachineSpec s = parse_state_machine_spec(text, "wild.sm");
+  EXPECT_EQ(s.transition("A", "go").value(), "C");
+  EXPECT_EQ(s.transition("A", "other").value(), "B");
+}
+
+TEST(StateMachineSpec, RejectsMalformedInput) {
+  EXPECT_THROW(parse_state_machine_spec("state X\n", "x"), ParseError);
+  EXPECT_THROW(parse_state_machine_spec(
+                   "global_state_list\nA\nA\nend_global_state_list\n"
+                   "event_list\ne\nend_event_list\n",
+                   "dup"),
+               ParseError);
+  EXPECT_THROW(parse_state_machine_spec(
+                   "global_state_list\nA\nend_global_state_list\n"
+                   "event_list\ne\nend_event_list\n"
+                   "state B\n",
+                   "unknown-state"),
+               ParseError);
+  EXPECT_THROW(parse_state_machine_spec(
+                   "global_state_list\nA\nB\nend_global_state_list\n"
+                   "event_list\ne\nend_event_list\n"
+                   "state A\n  nope B\n",
+                   "unknown-event"),
+               ParseError);
+  EXPECT_THROW(parse_state_machine_spec(
+                   "global_state_list\nA\nend_global_state_list\n"
+                   "event_list\ne\nend_event_list\n"
+                   "e A\n",
+                   "transition-before-state"),
+               ParseError);
+}
+
+TEST(Reserved, Names) {
+  EXPECT_TRUE(is_reserved_state("BEGIN"));
+  EXPECT_TRUE(is_reserved_state("CRASH"));
+  EXPECT_TRUE(is_reserved_event("default"));
+  EXPECT_TRUE(is_reserved_event("RESTART"));
+  EXPECT_FALSE(is_reserved_event("LEADER"));
+  EXPECT_FALSE(is_reserved_state("LEAD"));
+}
+
+// --- fault expressions -------------------------------------------------------
+
+StateView view_of(const std::map<std::string, std::string>& m) {
+  return [m](const std::string& machine) -> const std::string* {
+    static thread_local std::string held;
+    const auto it = m.find(machine);
+    if (it == m.end()) return nullptr;
+    held = it->second;
+    return &held;
+  };
+}
+
+TEST(FaultExpr, SingleTerm) {
+  const auto e = parse_fault_expr("(black:LEAD)", "t", 1);
+  EXPECT_TRUE(e->eval(view_of({{"black", "LEAD"}})));
+  EXPECT_FALSE(e->eval(view_of({{"black", "FOLLOW"}})));
+  EXPECT_FALSE(e->eval(view_of({})));  // unknown machine is never in a state
+}
+
+TEST(FaultExpr, ThesisExampleExpression) {
+  // F1 ((SM1:ELECT) & (SM2:FOLLOW)) always  (§3.5.5)
+  const auto e = parse_fault_expr("((SM1:ELECT) & (SM2:FOLLOW))", "t", 1);
+  EXPECT_TRUE(e->eval(view_of({{"SM1", "ELECT"}, {"SM2", "FOLLOW"}})));
+  EXPECT_FALSE(e->eval(view_of({{"SM1", "ELECT"}, {"SM2", "LEAD"}})));
+  EXPECT_FALSE(e->eval(view_of({{"SM1", "ELECT"}})));
+}
+
+TEST(FaultExpr, Chapter5Gfault2) {
+  const auto e = parse_fault_expr(
+      "((black:CRASH) & ((green:FOLLOW) | (green:ELECT)))", "t", 1);
+  EXPECT_TRUE(e->eval(view_of({{"black", "CRASH"}, {"green", "FOLLOW"}})));
+  EXPECT_TRUE(e->eval(view_of({{"black", "CRASH"}, {"green", "ELECT"}})));
+  EXPECT_FALSE(e->eval(view_of({{"black", "CRASH"}, {"green", "LEAD"}})));
+  EXPECT_FALSE(e->eval(view_of({{"black", "LEAD"}, {"green", "FOLLOW"}})));
+}
+
+TEST(FaultExpr, NotAndPrecedence) {
+  // AND binds tighter than OR.
+  const auto e = parse_fault_expr("(a:X) | (b:Y) & (c:Z)", "t", 1);
+  EXPECT_TRUE(e->eval(view_of({{"a", "X"}})));
+  EXPECT_FALSE(e->eval(view_of({{"b", "Y"}})));
+  EXPECT_TRUE(e->eval(view_of({{"b", "Y"}, {"c", "Z"}})));
+
+  const auto n = parse_fault_expr("~(a:X)", "t", 1);
+  EXPECT_FALSE(n->eval(view_of({{"a", "X"}})));
+  EXPECT_TRUE(n->eval(view_of({{"a", "Y"}})));
+  EXPECT_TRUE(n->eval(view_of({})));
+}
+
+TEST(FaultExpr, CollectTermsAndMachines) {
+  const auto e = parse_fault_expr(
+      "((black:CRASH) & ((green:FOLLOW) | (green:ELECT)))", "t", 1);
+  const auto terms = expr_terms(*e);
+  EXPECT_EQ(terms.size(), 3u);
+  const auto machines = expr_machines(*e);
+  EXPECT_EQ(machines, (std::set<std::string>{"black", "green"}));
+}
+
+TEST(FaultExpr, ToStringRoundTrip) {
+  const auto e = parse_fault_expr("~((a:X) & (b:Y)) | (c:Z)", "t", 1);
+  const auto e2 = parse_fault_expr(e->to_string(), "t", 1);
+  for (const auto& view :
+       std::vector<std::map<std::string, std::string>>{
+           {}, {{"a", "X"}}, {{"a", "X"}, {"b", "Y"}}, {{"c", "Z"}},
+           {{"a", "X"}, {"b", "Y"}, {"c", "Z"}}}) {
+    EXPECT_EQ(e->eval(view_of(view)), e2->eval(view_of(view)));
+  }
+}
+
+TEST(FaultExpr, RejectsMalformed) {
+  EXPECT_THROW(parse_fault_expr("(black:)", "t", 1), ParseError);
+  EXPECT_THROW(parse_fault_expr("(black LEAD)", "t", 1), ParseError);
+  EXPECT_THROW(parse_fault_expr("(black:LEAD", "t", 1), ParseError);
+  EXPECT_THROW(parse_fault_expr("(black:LEAD) &", "t", 1), ParseError);
+  EXPECT_THROW(parse_fault_expr("", "t", 1), ParseError);
+  EXPECT_THROW(parse_fault_expr("(black:LEAD) (green:X)", "t", 1), ParseError);
+}
+
+// --- fault specs -------------------------------------------------------------
+
+TEST(FaultSpec, ParseChapter5Specs) {
+  const FaultSpec spec = parse_fault_spec(
+      "bfault1 (black:LEAD) always\n"
+      "gfault2 ((black:CRASH) & ((green:FOLLOW) | (green:ELECT))) once\n",
+      "faults");
+  ASSERT_EQ(spec.entries.size(), 2u);
+  EXPECT_EQ(spec.entries[0].name, "bfault1");
+  EXPECT_EQ(spec.entries[0].trigger, Trigger::Always);
+  EXPECT_EQ(spec.entries[1].trigger, Trigger::Once);
+  EXPECT_EQ(spec.referenced_machines(),
+            (std::set<std::string>{"black", "green"}));
+  EXPECT_NE(spec.find("gfault2"), nullptr);
+  EXPECT_EQ(spec.find("nope"), nullptr);
+}
+
+TEST(FaultSpec, RoundTrip) {
+  const FaultSpec spec = parse_fault_spec(
+      "f1 ((a:X) & (b:Y)) once\nf2 ~(c:Z) always\n", "faults");
+  const FaultSpec spec2 = parse_fault_spec(serialize_fault_spec(spec), "rt");
+  ASSERT_EQ(spec2.entries.size(), 2u);
+  EXPECT_EQ(spec2.entries[0].name, "f1");
+  EXPECT_EQ(spec2.entries[1].trigger, Trigger::Always);
+}
+
+TEST(FaultSpec, RejectsMalformed) {
+  EXPECT_THROW(parse_fault_spec("f1 (a:X)\n", "missing-trigger"), ParseError);
+  EXPECT_THROW(parse_fault_spec("f1 (a:X) sometimes\n", "bad-trigger"), ParseError);
+  EXPECT_THROW(parse_fault_spec("f1 (a:X) once\nf1 (b:Y) once\n", "dup"),
+               ParseError);
+}
+
+// --- campaign files ----------------------------------------------------------
+
+TEST(CampaignFiles, NodeFile) {
+  const NodeFile nodes =
+      parse_node_file("black hostA\nyellow hostB\ngreen\n", "nodes");
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes[0].host.value(), "hostA");
+  EXPECT_FALSE(nodes[2].host.has_value());
+  EXPECT_EQ(parse_node_file(serialize_node_file(nodes), "rt").size(), 3u);
+  EXPECT_THROW(parse_node_file("black a b c\n", "bad"), ParseError);
+  EXPECT_THROW(parse_node_file("black\nblack\n", "dup"), ParseError);
+}
+
+TEST(CampaignFiles, DaemonStartupFile) {
+  const auto entries =
+      parse_daemon_startup_file("hostA 9000\nhostB 9001\n", "daemons");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[1].port, 9001);
+  EXPECT_THROW(parse_daemon_startup_file("hostA 70000\n", "port"), ParseError);
+  const auto rt = parse_daemon_contact_file(
+      serialize_daemon_contact_file({{"hostA", 12, 34}}), "rt");
+  EXPECT_EQ(rt[0].semaphore_id, 34);
+}
+
+TEST(CampaignFiles, MachinesFile) {
+  const auto hosts = parse_machines_file("a\nb\nc\n", "machines");
+  EXPECT_EQ(hosts, (MachinesFile{"a", "b", "c"}));
+  EXPECT_THROW(parse_machines_file("a b\n", "two"), ParseError);
+}
+
+TEST(CampaignFiles, StudyFile) {
+  const StudyFile study = parse_study_file(
+      "black\nnodes.txt\nblack.sm\nblack.faults\n/bin/app\n--id black\n",
+      "study");
+  EXPECT_EQ(study.nickname, "black");
+  EXPECT_EQ(study.arguments, "--id black");
+  const StudyFile rt = parse_study_file(serialize_study_file(study), "rt");
+  EXPECT_EQ(rt.executable_path, "/bin/app");
+  // Arguments line is optional (5-line form).
+  const StudyFile no_args =
+      parse_study_file("b\nn\ns\nf\nexe\n", "study5");
+  EXPECT_TRUE(no_args.arguments.empty());
+  EXPECT_THROW(parse_study_file("a\nb\n", "short"), ParseError);
+}
+
+}  // namespace
+}  // namespace loki::spec

@@ -1,0 +1,67 @@
+// lokimeasure — evaluate a predicate over an experiment's timelines (§4.3):
+//
+//   lokimeasure <AlphabetaFile> <predicate> <start_ms> <end_ms>
+//               <LocalTimelineFile>...
+//
+// Prints total_duration(T), count(U,B) and outcome at the window midpoint
+// for the given predicate, e.g.
+//   lokimeasure ab.txt '(black, CRASH)' 0 700 exp0.*.timeline
+#include <cstdio>
+#include <vector>
+
+#include "analysis/global_timeline.hpp"
+#include "measure/observation.hpp"
+#include "measure/predicate.hpp"
+#include "util/strings.hpp"
+#include "util/text_file.hpp"
+
+int main(int argc, char** argv) {
+  using namespace loki;
+  if (argc < 6) {
+    std::fprintf(stderr,
+                 "usage: lokimeasure <AlphabetaFile> <predicate> <start_ms> "
+                 "<end_ms> <LocalTimelineFile>...\n");
+    return 2;
+  }
+  try {
+    const auto ab = clocksync::parse_alphabeta(read_file(argv[1]), argv[1]);
+    const auto pred = measure::parse_predicate(argv[2]);
+    const auto start_ms = parse_f64(argv[3]);
+    const auto end_ms = parse_f64(argv[4]);
+    if (!start_ms || !end_ms || *end_ms <= *start_ms) {
+      std::fprintf(stderr, "lokimeasure: bad window\n");
+      return 2;
+    }
+
+    std::vector<runtime::LocalTimeline> timelines;
+    for (int i = 5; i < argc; ++i)
+      timelines.push_back(runtime::parse_local_timeline(read_file(argv[i]), argv[i]));
+    std::vector<const runtime::LocalTimeline*> ptrs;
+    for (const auto& tl : timelines) ptrs.push_back(&tl);
+    const auto global = analysis::build_global_timeline(ptrs, ab);
+
+    measure::EvalContext ctx;
+    ctx.timeline = &global;
+    ctx.start_ref = *start_ms * 1e6;
+    ctx.end_ref = *end_ms * 1e6;
+
+    const auto pt = pred->evaluate(ctx);
+    const auto total = measure::obs_total_duration(
+        true, measure::TimeArg::start_exp(), measure::TimeArg::end_exp());
+    const auto count =
+        measure::obs_count(measure::Edge::Up, measure::Kind::Both,
+                           measure::TimeArg::start_exp(),
+                           measure::TimeArg::end_exp());
+    const auto mid = measure::obs_outcome(
+        measure::TimeArg::literal((*end_ms - *start_ms) / 2.0));
+
+    std::printf("predicate: %s\n", pred->to_string().c_str());
+    std::printf("total_duration(T) = %.3f ms\n", total(pt, ctx));
+    std::printf("count(U, B)       = %.0f\n", count(pt, ctx));
+    std::printf("outcome(mid)      = %.0f\n", mid(pt, ctx));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lokimeasure: %s\n", e.what());
+    return 1;
+  }
+}
