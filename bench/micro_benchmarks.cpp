@@ -7,6 +7,7 @@
 
 #include "analysis/pipeline.hpp"
 #include "apps/election.hpp"
+#include "campaign/campaign.hpp"
 #include "clocksync/convex_hull.hpp"
 #include "measure/observation.hpp"
 #include "measure/worked_example.hpp"
@@ -153,6 +154,30 @@ void BM_AnalyzeExperiment(benchmark::State& state) {
                  std::to_string(result.timelines.at("black").records.size()));
 }
 BENCHMARK(BM_AnalyzeExperiment)->Unit(benchmark::kMicrosecond);
+
+// Campaign orchestration end to end: the same small election study through
+// the facade with 1, 2, and 4 workers (byte-identical results; wall clock
+// is what varies with the worker count).
+void BM_CampaignElection(benchmark::State& state) {
+  apps::ElectionParams app;
+  app.run_for = milliseconds(300);
+  runtime::StudyParams study;
+  study.name = "bm";
+  study.experiments = 4;
+  study.make_params = [app](int k) {
+    return apps::election_experiment(
+        9000 + static_cast<std::uint64_t>(k), {"hostA", "hostB", "hostC"},
+        {{"black", "hostA"}, {"yellow", "hostB"}, {"green", "hostC"}}, app);
+  };
+  const int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Campaign campaign =
+        CampaignBuilder().add(study).parallelism(workers).build();
+    benchmark::DoNotOptimize(campaign.run().experiments);
+  }
+  state.SetLabel("workers: " + std::to_string(workers));
+}
+BENCHMARK(BM_CampaignElection)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -5,14 +5,20 @@
 //                 c = (wb*cb + wg*cg + wy*cy) / (wb+wg+wy)   (§5.8);
 //   studies 4-5 — correlation between a leader crash and a simultaneous
 //                 error in a follower (gfault2 vs gfault3, second evaluation).
+//
+// Driven through the campaign facade: experiments are deterministic in
+// their seed, so a ThreadPoolRunner fans them out without changing a single
+// number. `tab_ch5_campaign [workers]` selects the worker count (default 4,
+// 1 = serial); a closing section times the same study serial vs parallel
+// and checks the values match.
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
-#include "analysis/pipeline.hpp"
 #include "apps/election.hpp"
+#include "campaign/campaign.hpp"
 #include "measure/campaign_measure.hpp"
 #include "measure/study_measure.hpp"
-#include "runtime/experiment.hpp"
 
 using namespace loki;
 
@@ -80,23 +86,45 @@ struct StudyOutcome {
   int total{0};
   int accepted{0};
   std::vector<double> values;
+  double wall_seconds{0.0};
 };
+
+int g_workers = 4;
+
+/// One study through the facade: the MeasureSink analyzes and measures each
+/// experiment as it completes, so nothing but the final values is retained.
+StudyOutcome run_study(const runtime::StudyParams& study,
+                       const measure::StudyMeasure& m, int workers) {
+  auto sink = std::make_shared<campaign::MeasureSink>();
+  sink->measure(study.name, m);
+  Campaign campaign = CampaignBuilder()
+                          .add(study)
+                          .parallelism(workers)
+                          .sink(sink)
+                          .build();
+  const Campaign::Summary summary = campaign.run();
+
+  StudyOutcome out;
+  const auto* stats = sink->find(study.name);
+  out.total = stats->total;
+  out.accepted = stats->accepted;
+  out.values = *sink->values(study.name);
+  out.wall_seconds = summary.wall_seconds;
+  return out;
+}
 
 StudyOutcome run_study(const runtime::StudyParams& study,
                        const measure::StudyMeasure& m) {
-  const auto campaign = runtime::run_campaign({study});
-  const auto analyses = analysis::analyze_study(campaign.studies[0]);
-  StudyOutcome out;
-  out.total = static_cast<int>(analyses.size());
-  for (const auto& a : analyses) out.accepted += a.accepted ? 1 : 0;
-  out.values = m.apply_study(analyses);
-  return out;
+  return run_study(study, m, g_workers);
 }
 
 }  // namespace
 
-int main() {
-  std::printf("Chapter 5 campaign - leader election, 3 machines, 3 hosts\n\n");
+int main(int argc, char** argv) {
+  if (argc > 1) g_workers = std::atoi(argv[1]);
+  if (g_workers < 1) g_workers = 1;
+  std::printf("Chapter 5 campaign - leader election, 3 machines, 3 hosts\n");
+  std::printf("runner: %s\n\n", campaign::make_runner(g_workers)->name().c_str());
 
   // --- Evaluation 1: coverage (studies 1-3 + stratified weighted) ----------
   const double reliability[3] = {0.9, 0.7, 0.5};
@@ -193,5 +221,22 @@ int main() {
       "probability\n(injected faults behave the same with or without a "
       "concurrent leader crash\nin this protocol - the point of the "
       "comparison is the measurement method).\n");
-  return 0;
+
+  // --- Parallel execution check --------------------------------------------
+  // The same study, serial vs thread pool: wall clock differs, every value
+  // must not.
+  const auto study1 = coverage_study("black", 1, reliability[0]);
+  const auto serial = run_study(study1, coverage_measure("black"), 1);
+  const auto pooled = run_study(study1, coverage_measure("black"), 4);
+  const bool identical = serial.values == pooled.values &&
+                         serial.accepted == pooled.accepted;
+  std::printf("\nserial vs thread-pool(4), study1 (%d experiments):\n",
+              study1.experiments);
+  std::printf("  serial:          %.2f s wall\n", serial.wall_seconds);
+  std::printf("  thread-pool(4):  %.2f s wall  (speedup %.2fx)\n",
+              pooled.wall_seconds,
+              pooled.wall_seconds > 0 ? serial.wall_seconds / pooled.wall_seconds
+                                      : 0.0);
+  std::printf("  results identical: %s\n", identical ? "yes" : "NO - BUG");
+  return identical ? 0 : 1;
 }

@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "runtime/experiment.hpp"
+#include "campaign/campaign.hpp"
 #include "spec/fault_spec.hpp"
 #include "spec/state_machine_spec.hpp"
 
@@ -60,36 +60,43 @@ struct LatencyStats {
   int n{0};
 };
 
+runtime::ExperimentParams latency_params(runtime::TransportDesign design,
+                                         bool same_host, std::uint64_t seed) {
+  runtime::ExperimentParams p;
+  p.seed = seed;
+  p.design = design;
+  for (const char* h : {"hostA", "hostB"}) {
+    runtime::HostConfig hc;
+    hc.name = h;
+    p.hosts.push_back(hc);
+  }
+  runtime::NodeConfig sender;
+  sender.nickname = "sender";
+  sender.sm_spec = two_state_spec("sender", {"receiver"});
+  sender.initial_host = "hostA";
+  sender.app_factory = [] { return std::make_unique<SenderApp>(); };
+  p.nodes.push_back(std::move(sender));
+
+  runtime::NodeConfig receiver;
+  receiver.nickname = "receiver";
+  receiver.sm_spec = two_state_spec("receiver", {});
+  receiver.fault_spec = spec::parse_fault_spec("f (sender:TARGET) once\n", "d");
+  receiver.initial_host = same_host ? "hostA" : "hostB";
+  receiver.app_factory = [] { return std::make_unique<ReceiverApp>(); };
+  p.nodes.push_back(std::move(receiver));
+  return p;
+}
+
 /// Sender on hostA enters TARGET; `receivers` carry (sender:TARGET) faults.
 /// Latency = truth injection instant - truth state-change instant.
+/// The rep sweep is a one-study campaign; a callback sink folds each truth
+/// record into the running mean as results stream in.
 LatencyStats measure_latency(runtime::TransportDesign design, bool same_host,
                              int reps) {
   LatencyStats stats;
-  for (int r = 0; r < reps; ++r) {
-    runtime::ExperimentParams p;
-    p.seed = 100 + static_cast<std::uint64_t>(r);
-    p.design = design;
-    for (const char* h : {"hostA", "hostB"}) {
-      runtime::HostConfig hc;
-      hc.name = h;
-      p.hosts.push_back(hc);
-    }
-    runtime::NodeConfig sender;
-    sender.nickname = "sender";
-    sender.sm_spec = two_state_spec("sender", {"receiver"});
-    sender.initial_host = "hostA";
-    sender.app_factory = [] { return std::make_unique<SenderApp>(); };
-    p.nodes.push_back(std::move(sender));
-
-    runtime::NodeConfig receiver;
-    receiver.nickname = "receiver";
-    receiver.sm_spec = two_state_spec("receiver", {});
-    receiver.fault_spec = spec::parse_fault_spec("f (sender:TARGET) once\n", "d");
-    receiver.initial_host = same_host ? "hostA" : "hostB";
-    receiver.app_factory = [] { return std::make_unique<ReceiverApp>(); };
-    p.nodes.push_back(std::move(receiver));
-
-    const auto result = runtime::run_experiment(p);
+  auto sink = std::make_shared<campaign::CallbackSink>();
+  sink->experiment([&](const campaign::StudyInfo&, int,
+                       const runtime::ExperimentResult& result) {
     SimTime entered{};
     for (const auto& [t, s] : result.truth.state_seq.at("sender"))
       if (s == "TARGET") entered = t;
@@ -97,7 +104,18 @@ LatencyStats measure_latency(runtime::TransportDesign design, bool same_host,
       stats.mean_us += static_cast<double>((inj.at - entered).ns) / 1e3;
       ++stats.n;
     }
-  }
+  });
+  CampaignBuilder()
+      .sink(sink)
+      .study("latency")
+      .experiments(reps)
+      .generator([design, same_host](int r) {
+        return latency_params(design, same_host,
+                              100 + static_cast<std::uint64_t>(r));
+      })
+      .done()
+      .build()
+      .run();
   if (stats.n > 0) stats.mean_us /= stats.n;
   return stats;
 }
@@ -137,8 +155,8 @@ std::uint64_t multicast_messages(runtime::TransportDesign design, int k) {
   // nobody — the difference is exactly the multicast's control traffic.
   runtime::ExperimentParams base = p;
   base.nodes[0].sm_spec = two_state_spec("sender", {});
-  const auto with = runtime::run_experiment(p);
-  const auto without = runtime::run_experiment(base);
+  const auto with = campaign::run_single(p, "multicast");
+  const auto without = campaign::run_single(base, "multicast-baseline");
   return with.control_messages - without.control_messages;
 }
 
@@ -147,39 +165,49 @@ std::uint64_t multicast_messages(runtime::TransportDesign design, int k) {
 double entry_cost_us(runtime::TransportDesign design, int cluster, int reps) {
   double total = 0;
   int n = 0;
-  for (int r = 0; r < reps; ++r) {
-    runtime::ExperimentParams p;
-    p.seed = 7000 + static_cast<std::uint64_t>(r);
-    p.design = design;
-    for (const char* h : {"hostA", "hostB"}) {
-      runtime::HostConfig hc;
-      hc.name = h;
-      p.hosts.push_back(hc);
-    }
-    for (int i = 0; i < cluster; ++i) {
-      runtime::NodeConfig node;
-      node.nickname = "n" + std::to_string(i);
-      node.sm_spec = two_state_spec(node.nickname, {});
-      node.initial_host = i % 2 == 0 ? "hostA" : "hostB";
-      node.app_factory = [] { return std::make_unique<ReceiverApp>(); };
-      p.nodes.push_back(std::move(node));
-    }
-    runtime::NodeConfig late;
-    late.nickname = "late";
-    late.sm_spec = two_state_spec("late", {});
-    late.enter_at = milliseconds(40);
-    late.enter_host = "hostA";
-    late.app_factory = [] { return std::make_unique<ReceiverApp>(); };
-    p.nodes.push_back(std::move(late));
-
-    const auto result = runtime::run_experiment(p);
+  auto sink = std::make_shared<campaign::CallbackSink>();
+  sink->experiment([&](const campaign::StudyInfo&, int,
+                       const runtime::ExperimentResult& result) {
     const auto it = result.truth.state_seq.find("late");
-    if (it == result.truth.state_seq.end() || it->second.empty()) continue;
+    if (it == result.truth.state_seq.end() || it->second.empty()) return;
     const SimTime first = it->second.front().first;
     const SimTime entered = result.start_phys + milliseconds(40);
     total += static_cast<double>((first - entered).ns) / 1e3;
     ++n;
-  }
+  });
+  CampaignBuilder()
+      .sink(sink)
+      .study("entry-cost")
+      .experiments(reps)
+      .generator([design, cluster](int r) {
+        runtime::ExperimentParams p;
+        p.seed = 7000 + static_cast<std::uint64_t>(r);
+        p.design = design;
+        for (const char* h : {"hostA", "hostB"}) {
+          runtime::HostConfig hc;
+          hc.name = h;
+          p.hosts.push_back(hc);
+        }
+        for (int i = 0; i < cluster; ++i) {
+          runtime::NodeConfig node;
+          node.nickname = "n" + std::to_string(i);
+          node.sm_spec = two_state_spec(node.nickname, {});
+          node.initial_host = i % 2 == 0 ? "hostA" : "hostB";
+          node.app_factory = [] { return std::make_unique<ReceiverApp>(); };
+          p.nodes.push_back(std::move(node));
+        }
+        runtime::NodeConfig late;
+        late.nickname = "late";
+        late.sm_spec = two_state_spec("late", {});
+        late.enter_at = milliseconds(40);
+        late.enter_host = "hostA";
+        late.app_factory = [] { return std::make_unique<ReceiverApp>(); };
+        p.nodes.push_back(std::move(late));
+        return p;
+      })
+      .done()
+      .build()
+      .run();
   return n > 0 ? total / n : 0.0;
 }
 

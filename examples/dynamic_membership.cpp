@@ -13,7 +13,7 @@
 
 #include "analysis/pipeline.hpp"
 #include "apps/kvstore.hpp"
-#include "runtime/experiment.hpp"
+#include "campaign/campaign.hpp"
 
 using namespace loki;
 
@@ -38,7 +38,10 @@ int main() {
   params.nodes[0].restart.placement = runtime::RestartPolicy::Placement::NextHost;
   params.nodes[0].restart.delay = milliseconds(80);
 
-  const runtime::ExperimentResult r = runtime::run_experiment(params);
+  // run_single is the facade's validate-then-run path: a typo in a host
+  // name or nickname above would raise ConfigError before anything runs.
+  const runtime::ExperimentResult r =
+      campaign::run_single(params, "dynamic-membership");
   std::printf("experiment %s\n", r.completed ? "completed" : "timed out");
 
   for (const auto& [nick, tl] : r.timelines) {

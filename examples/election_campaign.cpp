@@ -16,11 +16,12 @@
 // files, so the whole §5.6-§5.7 command sequence can be replayed by hand.
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 
 #include "analysis/pipeline.hpp"
 #include "apps/election.hpp"
+#include "campaign/campaign.hpp"
 #include "clocksync/projection.hpp"
-#include "runtime/experiment.hpp"
 #include "spec/campaign_files.hpp"
 #include "util/text_file.hpp"
 
@@ -63,11 +64,15 @@ int main() {
   write_file(out + "/black.study", spec::serialize_study_file(study_file));
 
   // --- runtime + analysis phases, one set of files per experiment ----------
+  // The campaign facade streams each result as it completes; an artifact
+  // sink materializes the thesis' files per experiment instead of holding
+  // the whole campaign in memory. Sink calls arrive in experiment order
+  // even under a parallel runner, so exp<k> numbering is stable.
   const int experiments = 5;
   int accepted = 0;
-  for (int k = 0; k < experiments; ++k) {
-    params.seed = 2024 + static_cast<std::uint64_t>(k);
-    const runtime::ExperimentResult r = runtime::run_experiment(params);
+  auto artifacts = std::make_shared<campaign::CallbackSink>();
+  artifacts->experiment([&](const campaign::StudyInfo&, int k,
+                            const runtime::ExperimentResult& r) {
     const std::string prefix = out + "/exp" + std::to_string(k);
 
     for (const auto& [nick, tl] : r.timelines)
@@ -87,7 +92,16 @@ int main() {
     std::printf("experiment %d: %zu injections, %s\n", k,
                 a.verification.verdicts.size(),
                 a.accepted ? "accepted" : "DISCARDED");
-  }
+  });
+
+  CampaignBuilder()
+      .sink(artifacts)
+      .study("black")
+      .experiments(experiments)
+      .base(params)  // experiment k runs with seed 2024+k
+      .done()
+      .build()
+      .run();
   std::printf("\n%d/%d experiments accepted; artifacts in ./%s/\n", accepted,
               experiments, out.c_str());
   std::printf("replay the analysis by hand:\n");

@@ -2,9 +2,13 @@
 // predicates (all four tuple forms), predicate value timelines, the five
 // predefined observation functions, a user-defined observation function,
 // subset selections, and the three campaign measure types with their
-// statistics (moments, skewness/kurtosis, percentiles).
+// statistics (moments, skewness/kurtosis, percentiles) — closing with the
+// same machinery streamed over a live mini-campaign through the facade.
 #include <cstdio>
+#include <memory>
 
+#include "apps/election.hpp"
+#include "campaign/campaign.hpp"
 #include "measure/campaign_measure.hpp"
 #include "measure/observation.hpp"
 #include "measure/statistics.hpp"
@@ -67,5 +71,38 @@ int main() {
         return means[0] * means[1] * means[2];
       });
   std::printf("stratified user:      pipeline reliability = %.4f\n", user);
+
+  // --- the same measure machinery, streamed over a live campaign -----------
+  // A MeasureSink applies a StudyMeasure to each experiment as it completes
+  // (analysis included), so the campaign never accumulates raw results.
+  std::printf("\n== streaming a study measure through the campaign facade ==\n");
+  apps::ElectionParams app;
+  app.run_for = milliseconds(600);
+  auto params = apps::election_experiment(
+      500, {"hostA", "hostB", "hostC"},
+      {{"black", "hostA"}, {"yellow", "hostB"}, {"green", "hostC"}}, app);
+
+  StudyMeasure elect_time;  // total time black spent electing, per experiment
+  elect_time.add(subset_default(), parse_predicate("(black, ELECT)"),
+                obs_total_duration(true, TimeArg::start_exp(),
+                                   TimeArg::end_exp()));
+
+  auto sink = std::make_shared<campaign::MeasureSink>();
+  sink->measure_all(elect_time);
+  CampaignBuilder()
+      .sink(sink)
+      .study("elect-time")
+      .experiments(4)
+      .base(params)
+      .done()
+      .build()
+      .run();
+
+  for (const auto& sample : sink->samples()) {
+    std::printf("%s: %zu accepted values, total_duration(black:ELECT) =",
+                sample.study.c_str(), sample.values.size());
+    for (const double v : sample.values) std::printf(" %.1f", v);
+    std::printf(" ms\n");
+  }
   return 0;
 }

@@ -1,22 +1,26 @@
-// Quickstart: the complete Loki workflow on the Chapter 5 election app.
+// Quickstart: the complete Loki workflow on the Chapter 5 election app,
+// driven through the unified campaign facade.
 //
 //   1. Describe the deployment (3 hosts, 3 nodes: black, yellow, green).
 //   2. Give `black` the fault  bfault1 (black:LEAD) always  — inject a
 //      fault into black whenever it becomes the leader (§5.4).
-//   3. Run experiments (runtime phase), synchronize clocks offline, build
-//      the global timeline, and discard experiments whose injections were
-//      not performed in the intended global state (analysis phase).
-//   4. Estimate the coverage of a leader error with a study measure and a
-//      campaign-level estimate (measure phase).
+//   3. Build a Campaign: the builder validates the configuration up front
+//      (ConfigError here, not mid-run), a ThreadPoolRunner fans the
+//      deterministic experiments across 4 workers — results are identical
+//      to serial execution — and sinks stream each result through the
+//      analysis phase (offline clock sync + global timeline + verdicts)
+//      and the measure phase as it completes.
+//   4. Read the coverage estimate for a leader error off the MeasureSink
+//      (measure phase, §5.8).
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
+#include <memory>
 
-#include "analysis/pipeline.hpp"
 #include "apps/election.hpp"
+#include "campaign/campaign.hpp"
 #include "measure/campaign_measure.hpp"
 #include "measure/study_measure.hpp"
-#include "runtime/experiment.hpp"
 
 using namespace loki;
 
@@ -29,34 +33,13 @@ int main() {
   apps::ElectionParams app;
   app.run_for = milliseconds(700);
 
-  runtime::StudyParams study;
-  study.name = "coverage-of-black";
-  study.experiments = 20;
-  study.make_params = [&](int k) {
-    auto params = apps::election_experiment(1000 + k, hosts, placement, app);
-    // Fault: inject into black whenever black leads (§5.4).
-    auto& black = params.nodes[0];
-    black.fault_spec = spec::parse_fault_spec(
-        "bfault1 (black:LEAD) always\n", "quickstart");
-    // The "reliable system" restarts black after a crash (possibly here the
-    // same host), modelling the recovery whose coverage we estimate.
-    black.restart.enabled = true;
-    black.restart.delay = milliseconds(60);
-    black.restart.max_restarts = 3;
-    return params;
-  };
+  auto params = apps::election_experiment(1000, hosts, placement, app);
+  // The "reliable system" restarts black after a crash (possibly on the
+  // same host), modelling the recovery whose coverage we estimate.
+  params.nodes[0].restart.enabled = true;
+  params.nodes[0].restart.delay = milliseconds(60);
+  params.nodes[0].restart.max_restarts = 3;
 
-  // --- 3: runtime + analysis phases ----------------------------------------
-  std::printf("running %d experiments...\n", study.experiments);
-  const runtime::CampaignResult campaign = runtime::run_campaign({study});
-
-  const auto analyses = analysis::analyze_study(campaign.studies[0]);
-  int accepted = 0;
-  for (const auto& a : analyses) accepted += a.accepted ? 1 : 0;
-  std::printf("accepted %d/%zu experiments (incorrect injections discarded)\n",
-              accepted, analyses.size());
-
-  // --- 4: measure phase ------------------------------------------------------
   // Study measure from §5.8: did black crash, and if so, was it restarted?
   measure::StudyMeasure coverage;
   coverage.add(measure::subset_default(),
@@ -71,11 +54,33 @@ int main() {
                        measure::TimeArg::end_exp()),
                    0.0));
 
-  const std::vector<double> values = coverage.apply_study(analyses);
-  measure::StudySample sample{"coverage-of-black", values};
-  const auto estimate = measure::simple_sampling_measure({sample});
+  // --- 3: build + run the campaign -----------------------------------------
+  // The MeasureSink analyzes each experiment as it completes (discarding
+  // runs whose injections were incorrect) and keeps only the final
+  // observation values — nothing else stays in memory.
+  auto sink = std::make_shared<campaign::MeasureSink>();
+  sink->measure("coverage-of-black", coverage);
 
-  std::printf("experiments where the fault crashed black: %zu\n", values.size());
+  Campaign campaign = CampaignBuilder()
+                          .sink(std::make_shared<campaign::ProgressSink>())
+                          .sink(sink)
+                          .parallelism(4)
+                          .study("coverage-of-black")
+                          .experiments(20)
+                          .base(params)  // experiment k runs with seed 1000+k
+                          .fault("black", "bfault1 (black:LEAD) always\n")
+                          .done()
+                          .build();
+  campaign.run();
+
+  // --- 4: measure phase ------------------------------------------------------
+  const auto* stats = sink->find("coverage-of-black");
+  std::printf("accepted %d/%d experiments (incorrect injections discarded)\n",
+              stats->accepted, stats->total);
+
+  const auto estimate = measure::simple_sampling_measure(sink->samples());
+  std::printf("experiments where the fault crashed black: %zu\n",
+              sink->values("coverage-of-black")->size());
   std::printf("estimated coverage (P[restart | crash]):   %.3f\n",
               estimate.moments.mean);
   std::printf("std-error: %.3f   skewness beta1: %.3f   kurtosis beta2: %.3f\n",

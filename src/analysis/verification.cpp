@@ -35,22 +35,6 @@ struct InjectionSite {
   clocksync::TimeBounds when;
 };
 
-Tri tri_not(Tri t) {
-  if (t == Tri::True) return Tri::False;
-  if (t == Tri::False) return Tri::True;
-  return Tri::Unknown;
-}
-Tri tri_and(Tri a, Tri b) {
-  if (a == Tri::False || b == Tri::False) return Tri::False;
-  if (a == Tri::True && b == Tri::True) return Tri::True;
-  return Tri::Unknown;
-}
-Tri tri_or(Tri a, Tri b) {
-  if (a == Tri::True || b == Tri::True) return Tri::True;
-  if (a == Tri::False && b == Tri::False) return Tri::False;
-  return Tri::Unknown;
-}
-
 /// Evaluate a term (machine:state) over the injection interval.
 Tri eval_term(const std::map<std::string, std::vector<Occupancy>>& occupancies,
               const std::string& machine, const std::string& state,

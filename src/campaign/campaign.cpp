@@ -1,0 +1,214 @@
+#include "campaign/campaign.hpp"
+
+#include <chrono>
+#include <set>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace loki::campaign {
+
+// --- Campaign ----------------------------------------------------------------
+
+Campaign::Summary Campaign::run() {
+  if (ran_)
+    throw LogicError(
+        "Campaign::run() may only be called once: the sinks have already "
+        "accumulated a full campaign; build a fresh Campaign to run again");
+  ran_ = true;
+  const auto start = std::chrono::steady_clock::now();
+  Summary summary;
+  summary.studies = static_cast<int>(studies_.size());
+
+  for (const auto& sink : sinks_) sink->on_campaign_begin(summary.studies);
+
+  for (std::size_t i = 0; i < studies_.size(); ++i) {
+    const runtime::StudyParams& study = studies_[i];
+    const StudyInfo info{study.name, static_cast<int>(i), study.experiments};
+    for (const auto& sink : sinks_) sink->on_study_begin(info);
+    runner_->run_study(study, [&](int k, runtime::ExperimentResult&& result) {
+      ++summary.experiments;
+      if (result.completed) ++summary.completed;
+      if (result.timed_out) ++summary.timed_out;
+      for (const auto& sink : sinks_) sink->on_experiment(info, k, result);
+    });
+    for (const auto& sink : sinks_) sink->on_study_done(info);
+  }
+
+  for (const auto& sink : sinks_) sink->on_campaign_done();
+  summary.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return summary;
+}
+
+// --- StudyBuilder ------------------------------------------------------------
+
+StudyBuilder::StudyBuilder(CampaignBuilder* parent, std::string name)
+    : parent_(parent), name_(std::move(name)) {}
+
+StudyBuilder& StudyBuilder::experiments(int n) {
+  experiments_ = n;
+  return *this;
+}
+
+StudyBuilder& StudyBuilder::base(runtime::ExperimentParams params) {
+  base_ = std::move(params);
+  return *this;
+}
+
+StudyBuilder& StudyBuilder::generator(
+    std::function<runtime::ExperimentParams(int)> gen) {
+  generator_ = std::move(gen);
+  return *this;
+}
+
+StudyBuilder& StudyBuilder::host(runtime::HostConfig host) {
+  hosts_.push_back(std::move(host));
+  return *this;
+}
+
+StudyBuilder& StudyBuilder::host(const std::string& name) {
+  runtime::HostConfig hc;
+  hc.name = name;
+  return host(std::move(hc));
+}
+
+StudyBuilder& StudyBuilder::node(runtime::NodeConfig node) {
+  nodes_.push_back(std::move(node));
+  return *this;
+}
+
+StudyBuilder& StudyBuilder::fault(const std::string& nickname,
+                                  const std::string& fault_spec_text) {
+  // Parse immediately: a syntax error points at the composition site.
+  faults_.emplace_back(
+      nickname, spec::parse_fault_spec(fault_spec_text, "study '" + name_ + "'"));
+  return *this;
+}
+
+StudyBuilder& StudyBuilder::tweak(
+    std::function<void(runtime::ExperimentParams&, int)> fn) {
+  if (!fn) throw ConfigError("study '" + name_ + "': null tweak");
+  tweaks_.push_back(std::move(fn));
+  return *this;
+}
+
+runtime::StudyParams StudyBuilder::to_study() const {
+  if (!generator_ && !base_ && nodes_.empty())
+    throw ConfigError("study '" + name_ +
+                      "': no base params, generator, or nodes composed");
+
+  runtime::StudyParams study;
+  study.name = name_;
+  study.experiments = experiments_;
+  study.make_params = [name = name_, base = base_, gen = generator_,
+                       hosts = hosts_, nodes = nodes_, faults = faults_,
+                       tweaks = tweaks_](int k) {
+    runtime::ExperimentParams p;
+    if (gen) {
+      p = gen(k);
+    } else if (base.has_value()) {
+      p = *base;
+      p.seed = base->seed + static_cast<std::uint64_t>(k);
+    } else {
+      p.seed = 1 + static_cast<std::uint64_t>(k);
+    }
+    for (const runtime::HostConfig& h : hosts) p.hosts.push_back(h);
+    for (const runtime::NodeConfig& n : nodes) p.nodes.push_back(n);
+    for (const auto& [nickname, fault_spec] : faults) {
+      bool found = false;
+      for (runtime::NodeConfig& n : p.nodes) {
+        if (n.nickname == nickname) {
+          n.fault_spec = fault_spec;
+          found = true;
+          break;
+        }
+      }
+      if (!found)
+        throw ConfigError("study '" + name + "': fault spec targets unknown node '" +
+                          nickname + "'");
+    }
+    for (const auto& tweak : tweaks) tweak(p, k);
+    return p;
+  };
+  return study;
+}
+
+// --- CampaignBuilder ---------------------------------------------------------
+
+StudyBuilder& CampaignBuilder::study(const std::string& name) {
+  Entry entry;
+  entry.builder = std::shared_ptr<StudyBuilder>(new StudyBuilder(this, name));
+  entries_.push_back(std::move(entry));
+  return *entries_.back().builder;
+}
+
+CampaignBuilder& CampaignBuilder::add(runtime::StudyParams study) {
+  Entry entry;
+  entry.prebuilt = std::move(study);
+  entries_.push_back(std::move(entry));
+  return *this;
+}
+
+CampaignBuilder& CampaignBuilder::runner(std::shared_ptr<Runner> runner) {
+  if (!runner) throw ConfigError("null runner");
+  runner_ = std::move(runner);
+  return *this;
+}
+
+CampaignBuilder& CampaignBuilder::parallelism(int workers) {
+  return runner(make_runner(workers));
+}
+
+CampaignBuilder& CampaignBuilder::sink(std::shared_ptr<ResultSink> sink) {
+  if (!sink) throw ConfigError("null sink");
+  sinks_.push_back(std::move(sink));
+  return *this;
+}
+
+Campaign CampaignBuilder::build() const {
+  Campaign campaign;
+  std::set<std::string> names;
+  for (const Entry& entry : entries_) {
+    runtime::StudyParams study =
+        entry.prebuilt.has_value() ? *entry.prebuilt : entry.builder->to_study();
+    validate_study_params(study);
+    if (!names.insert(study.name).second)
+      throw ConfigError("duplicate study name '" + study.name + "'");
+    // Probe experiment 0 so composition mistakes (duplicate nicknames,
+    // unknown hosts, spec-name mismatches...) fail at build time.
+    validate_experiment_params(study.make_params(0),
+                               "study '" + study.name + "'");
+    campaign.studies_.push_back(std::move(study));
+  }
+  campaign.runner_ = runner_ ? runner_ : std::make_shared<SerialRunner>();
+  campaign.sinks_ = sinks_;
+  return campaign;
+}
+
+// --- legacy wrappers ---------------------------------------------------------
+
+runtime::ExperimentResult run_single(const runtime::ExperimentParams& params,
+                                     const std::string& context) {
+  validate_experiment_params(params, context);
+  return runtime::run_experiment(params);
+}
+
+}  // namespace loki::campaign
+
+namespace loki::runtime {
+
+// The legacy double-loop, now a thin wrapper over the facade: validation up
+// front (ConfigError instead of a mid-campaign crash), serial execution,
+// everything buffered.
+CampaignResult run_campaign(const std::vector<StudyParams>& studies) {
+  auto collect = std::make_shared<campaign::CollectSink>();
+  campaign::CampaignBuilder builder;
+  for (const StudyParams& study : studies) builder.add(study);
+  builder.sink(collect);
+  builder.build().run();
+  return collect->take();
+}
+
+}  // namespace loki::runtime

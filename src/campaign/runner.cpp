@@ -1,0 +1,146 @@
+#include "campaign/runner.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "campaign/validate.hpp"
+#include "util/error.hpp"
+
+namespace loki::campaign {
+
+namespace {
+
+std::string experiment_context(const runtime::StudyParams& study, int index) {
+  return "study '" + study.name + "' experiment " + std::to_string(index);
+}
+
+runtime::ExperimentParams checked_params(const runtime::StudyParams& study,
+                                         int index) {
+  runtime::ExperimentParams params = study.make_params(index);
+  validate_experiment_params(params, experiment_context(study, index));
+  return params;
+}
+
+}  // namespace
+
+Runner::~Runner() = default;
+
+void SerialRunner::run_study(const runtime::StudyParams& study,
+                             const EmitFn& emit) {
+  for (int k = 0; k < study.experiments; ++k)
+    emit(k, runtime::run_experiment(checked_params(study, k)));
+}
+
+ThreadPoolRunner::ThreadPoolRunner(int workers) : workers_(workers) {
+  if (workers < 1)
+    throw ConfigError("ThreadPoolRunner: workers must be >= 1, got " +
+                      std::to_string(workers));
+}
+
+std::string ThreadPoolRunner::name() const {
+  return "thread-pool(" + std::to_string(workers_) + ")";
+}
+
+void ThreadPoolRunner::run_study(const runtime::StudyParams& study,
+                                 const EmitFn& emit) {
+  const int n = study.experiments;
+  if (n <= 0) return;
+
+  std::mutex gen_mu;  // serializes make_params (user generators share state)
+  std::mutex mu;      // guards next/emitted/ready/failure
+  std::condition_variable cv;
+  std::map<int, runtime::ExperimentResult> ready;
+  std::exception_ptr failure;
+  int fail_min = n;  // lowest index that threw; failure is its exception
+  int next = 0;      // next index to claim
+  int emitted = 0;   // indices already handed to emit
+  std::atomic<bool> abort{false};
+  // Backpressure: at most `window` experiments past the drain cursor may be
+  // claimed, so `ready` stays O(workers) even when one early experiment is
+  // slow — the streaming-sink memory guarantee survives skewed runtimes.
+  const int window = 2 * workers_;
+
+  auto worker = [&] {
+    for (;;) {
+      int k;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] {
+          return abort.load(std::memory_order_relaxed) || failure != nullptr ||
+                 next >= n || next - emitted < window;
+        });
+        if (abort.load(std::memory_order_relaxed) || failure != nullptr ||
+            next >= n)
+          return;
+        k = next++;
+      }
+      try {
+        runtime::ExperimentParams params;
+        {
+          std::lock_guard<std::mutex> lock(gen_mu);
+          params = study.make_params(k);
+        }
+        validate_experiment_params(params, experiment_context(study, k));
+        runtime::ExperimentResult result = runtime::run_experiment(params);
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          ready.emplace(k, std::move(result));
+        }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (k < fail_min) {
+            fail_min = k;
+            failure = std::current_exception();
+          }
+        }
+        abort.store(true, std::memory_order_relaxed);
+      }
+      cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  const int spawn = workers_ < n ? workers_ : n;
+  pool.reserve(static_cast<std::size_t>(spawn));
+  for (int i = 0; i < spawn; ++i) pool.emplace_back(worker);
+
+  // Drain completions in index order on the calling thread, so sinks see
+  // exactly the sequence SerialRunner would produce — including on failure:
+  // every index below the first failing one was claimed earlier and will
+  // either complete (emitted here) or lower fail_min itself, so waiting on
+  // `ready[k] || k >= fail_min` emits the same prefix serial would before
+  // rethrowing the first failure.
+  try {
+    std::unique_lock<std::mutex> lock(mu);
+    for (int k = 0; k < n; ++k) {
+      cv.wait(lock, [&] { return ready.contains(k) || k >= fail_min; });
+      if (k >= fail_min) break;
+      auto node = ready.extract(k);
+      lock.unlock();
+      emit(k, std::move(node.mapped()));
+      lock.lock();
+      ++emitted;
+      cv.notify_all();  // open the claim window
+    }
+  } catch (...) {
+    abort.store(true, std::memory_order_relaxed);
+    cv.notify_all();
+    for (std::thread& t : pool) t.join();
+    throw;
+  }
+
+  for (std::thread& t : pool) t.join();
+  if (failure) std::rethrow_exception(failure);
+}
+
+std::shared_ptr<Runner> make_runner(int parallelism) {
+  if (parallelism <= 1) return std::make_shared<SerialRunner>();
+  return std::make_shared<ThreadPoolRunner>(parallelism);
+}
+
+}  // namespace loki::campaign

@@ -1,0 +1,79 @@
+// Pluggable experiment execution for the campaign facade.
+//
+// A Runner executes the experiments of one study and hands each result to
+// an emit callback. The contract every implementation must honour:
+//
+//   * emit(k, result) is called exactly once per experiment index k,
+//   * in increasing k order,
+//   * on the thread that called run_study.
+//
+// Because run_experiment is deterministic in params.seed and every
+// experiment builds its own World, experiments are embarrassingly parallel:
+// ThreadPoolRunner produces byte-identical results (and an identical sink
+// event sequence) to SerialRunner for the same studies.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "runtime/experiment.hpp"
+
+namespace loki::campaign {
+
+/// Receives experiment `index`'s result; see the ordering contract above.
+using EmitFn = std::function<void(int index, runtime::ExperimentResult&&)>;
+
+class Runner {
+ public:
+  virtual ~Runner();
+
+  virtual std::string name() const = 0;
+  /// Number of experiments this runner executes concurrently.
+  virtual int parallelism() const = 0;
+
+  /// Execute experiments 0..study.experiments-1. Generated params are
+  /// validated (ConfigError names the study and index) before running.
+  virtual void run_study(const runtime::StudyParams& study,
+                         const EmitFn& emit) = 0;
+};
+
+/// Runs experiments one after another on the calling thread — the reference
+/// implementation the parallel runners are held to.
+class SerialRunner final : public Runner {
+ public:
+  std::string name() const override { return "serial"; }
+  int parallelism() const override { return 1; }
+  void run_study(const runtime::StudyParams& study, const EmitFn& emit) override;
+};
+
+/// Fans experiments out across a fixed pool of worker threads, then
+/// re-orders completions so emit still observes the serial sequence. The
+/// reorder buffer is bounded (O(workers)), so streaming sinks keep their
+/// memory guarantee even when early experiments run long.
+///
+/// study.make_params is invoked under a lock: generators may capture shared
+/// state by reference and are only required to be deterministic per index,
+/// not thread-safe. run_experiment itself runs unlocked on the workers.
+///
+/// Failure semantics match SerialRunner: if experiment k throws (generator,
+/// validation, or run), the completed prefix 0..k-1 is still emitted in
+/// order, then k's exception is rethrown; no index past the first failing
+/// one is emitted.
+class ThreadPoolRunner final : public Runner {
+ public:
+  /// Throws ConfigError when workers < 1.
+  explicit ThreadPoolRunner(int workers);
+
+  std::string name() const override;
+  int parallelism() const override { return workers_; }
+  void run_study(const runtime::StudyParams& study, const EmitFn& emit) override;
+
+ private:
+  int workers_;
+};
+
+/// Convenience: 1 worker selects SerialRunner, more select ThreadPoolRunner.
+std::shared_ptr<Runner> make_runner(int parallelism);
+
+}  // namespace loki::campaign

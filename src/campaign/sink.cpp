@@ -1,0 +1,212 @@
+#include "campaign/sink.hpp"
+
+#include "util/error.hpp"
+
+namespace loki::campaign {
+
+ResultSink::~ResultSink() = default;
+void ResultSink::on_campaign_begin(int) {}
+void ResultSink::on_study_begin(const StudyInfo&) {}
+void ResultSink::on_experiment(const StudyInfo&, int,
+                               const runtime::ExperimentResult&) {}
+void ResultSink::on_study_done(const StudyInfo&) {}
+void ResultSink::on_campaign_done() {}
+
+// --- CollectSink -------------------------------------------------------------
+
+void CollectSink::on_study_begin(const StudyInfo& study) {
+  result_.studies.push_back(runtime::StudyResult{study.name, {}});
+}
+
+void CollectSink::on_experiment(const StudyInfo&, int,
+                                const runtime::ExperimentResult& result) {
+  LOKI_REQUIRE(!result_.studies.empty(), "experiment before study begin");
+  result_.studies.back().experiments.push_back(result);
+}
+
+// --- AnalysisSink ------------------------------------------------------------
+
+AnalysisSink::AnalysisSink(analysis::AnalysisOptions options)
+    : options_(std::move(options)) {}
+
+AnalysisSink& AnalysisSink::keep_analyses(bool keep) {
+  keep_ = keep;
+  return *this;
+}
+
+AnalysisSink& AnalysisSink::on_analysis(Callback callback) {
+  LOKI_REQUIRE(callback != nullptr, "null analysis callback");
+  callbacks_.push_back(std::move(callback));
+  return *this;
+}
+
+const AnalysisSink::StudyAnalyses* AnalysisSink::find(
+    const std::string& study) const {
+  for (const StudyAnalyses& s : studies_)
+    if (s.study == study) return &s;
+  return nullptr;
+}
+
+void AnalysisSink::on_study_begin(const StudyInfo& study) {
+  studies_.push_back(StudyAnalyses{study.name, 0, 0, {}});
+}
+
+void AnalysisSink::on_experiment(const StudyInfo& study, int index,
+                                 const runtime::ExperimentResult& result) {
+  LOKI_REQUIRE(!studies_.empty(), "experiment before study begin");
+  analysis::ExperimentAnalysis a = analysis::analyze_experiment(result, options_);
+  StudyAnalyses& record = studies_.back();
+  ++record.total;
+  if (a.accepted) ++record.accepted;
+  for (const Callback& cb : callbacks_) cb(study, index, a);
+  if (keep_) record.analyses.push_back(std::move(a));
+}
+
+// --- MeasureSink -------------------------------------------------------------
+
+MeasureSink::MeasureSink(analysis::AnalysisOptions options)
+    : AnalysisSink(std::move(options)) {
+  keep_analyses(false);
+  on_analysis([this](const StudyInfo& study, int,
+                     const analysis::ExperimentAnalysis& a) {
+    const measure::StudyMeasure* m = nullptr;
+    const auto it = measures_.find(study.name);
+    if (it != measures_.end()) {
+      m = &it->second;
+    } else if (fallback_.has_value()) {
+      m = &*fallback_;
+    }
+    if (m == nullptr) return;
+    auto [slot, inserted] = values_.try_emplace(study.name);
+    if (inserted) order_.push_back(study.name);
+    if (!a.accepted) return;  // analysis discarded the experiment (§2.5)
+    const std::optional<double> value = m->apply(a);
+    if (value.has_value()) slot->second.push_back(*value);
+  });
+}
+
+MeasureSink& MeasureSink::measure(const std::string& study,
+                                  measure::StudyMeasure m) {
+  measures_[study] = std::move(m);
+  return *this;
+}
+
+MeasureSink& MeasureSink::measure_all(measure::StudyMeasure m) {
+  fallback_ = std::move(m);
+  return *this;
+}
+
+const std::vector<double>* MeasureSink::values(const std::string& study) const {
+  const auto it = values_.find(study);
+  return it == values_.end() ? nullptr : &it->second;
+}
+
+std::vector<measure::StudySample> MeasureSink::samples() const {
+  std::vector<measure::StudySample> out;
+  out.reserve(order_.size());
+  for (const std::string& study : order_)
+    out.push_back(measure::StudySample{study, values_.at(study)});
+  return out;
+}
+
+// --- ProgressSink ------------------------------------------------------------
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+ProgressSink::ProgressSink(std::FILE* out, int every)
+    : out_(out), every_(every) {}
+
+void ProgressSink::on_campaign_begin(int studies) {
+  total_studies_ = studies;
+  campaign_start_ = std::chrono::steady_clock::now();
+}
+
+void ProgressSink::on_study_begin(const StudyInfo& study) {
+  completed_ = 0;
+  timed_out_ = 0;
+  study_start_ = std::chrono::steady_clock::now();
+  std::fprintf(out_, "[%d/%d] study '%s': %d experiments\n", study.index + 1,
+               total_studies_, study.name.c_str(), study.experiments);
+  std::fflush(out_);
+}
+
+void ProgressSink::on_experiment(const StudyInfo& study, int index,
+                                 const runtime::ExperimentResult& result) {
+  if (result.completed) ++completed_;
+  if (result.timed_out) ++timed_out_;
+  if (every_ > 0 && (index + 1) % every_ == 0 && index + 1 < study.experiments) {
+    std::fprintf(out_, "  %s: %d/%d\n", study.name.c_str(), index + 1,
+                 study.experiments);
+    std::fflush(out_);
+  }
+}
+
+void ProgressSink::on_study_done(const StudyInfo& study) {
+  std::fprintf(out_, "  %s: done in %.2f s (%d completed, %d timed out)\n",
+               study.name.c_str(), seconds_since(study_start_), completed_,
+               timed_out_);
+  std::fflush(out_);
+}
+
+void ProgressSink::on_campaign_done() {
+  std::fprintf(out_, "campaign done in %.2f s\n",
+               seconds_since(campaign_start_));
+  std::fflush(out_);
+}
+
+// --- CallbackSink ------------------------------------------------------------
+
+CallbackSink& CallbackSink::experiment(ExperimentFn fn) {
+  experiment_ = std::move(fn);
+  return *this;
+}
+
+CallbackSink& CallbackSink::study_begin(StudyFn fn) {
+  study_begin_ = std::move(fn);
+  return *this;
+}
+
+CallbackSink& CallbackSink::study_done(StudyFn fn) {
+  study_done_ = std::move(fn);
+  return *this;
+}
+
+CallbackSink& CallbackSink::campaign_begin(CampaignBeginFn fn) {
+  campaign_begin_ = std::move(fn);
+  return *this;
+}
+
+CallbackSink& CallbackSink::campaign_done(CampaignDoneFn fn) {
+  campaign_done_ = std::move(fn);
+  return *this;
+}
+
+void CallbackSink::on_campaign_begin(int studies) {
+  if (campaign_begin_) campaign_begin_(studies);
+}
+
+void CallbackSink::on_study_begin(const StudyInfo& study) {
+  if (study_begin_) study_begin_(study);
+}
+
+void CallbackSink::on_experiment(const StudyInfo& study, int index,
+                                 const runtime::ExperimentResult& result) {
+  if (experiment_) experiment_(study, index, result);
+}
+
+void CallbackSink::on_study_done(const StudyInfo& study) {
+  if (study_done_) study_done_(study);
+}
+
+void CallbackSink::on_campaign_done() {
+  if (campaign_done_) campaign_done_();
+}
+
+}  // namespace loki::campaign

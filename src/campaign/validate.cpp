@@ -1,0 +1,97 @@
+#include "campaign/validate.hpp"
+
+#include <set>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace loki::campaign {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& context, const std::string& message) {
+  throw ConfigError(context + ": " + message);
+}
+
+}  // namespace
+
+void validate_experiment_params(const runtime::ExperimentParams& params,
+                                const std::string& context) {
+  if (params.hosts.empty()) fail(context, "no hosts configured");
+
+  std::set<std::string> hosts;
+  for (const runtime::HostConfig& hc : params.hosts) {
+    if (hc.name.empty()) fail(context, "host with empty name");
+    if (!hosts.insert(hc.name).second)
+      fail(context, "duplicate host name '" + hc.name + "'");
+    if (hc.load_duty < 0.0 || hc.load_duty > 1.0)
+      fail(context, "host '" + hc.name + "': load_duty must be in [0,1], got " +
+                        std::to_string(hc.load_duty));
+  }
+
+  if (params.nodes.empty()) fail(context, "no nodes configured");
+
+  std::set<std::string> nicknames;
+  for (const runtime::NodeConfig& nc : params.nodes) {
+    if (nc.nickname.empty()) fail(context, "node with empty nickname");
+    if (!nicknames.insert(nc.nickname).second)
+      fail(context, "duplicate node nickname '" + nc.nickname + "'");
+    if (nc.sm_spec.name() != nc.nickname)
+      fail(context, "node '" + nc.nickname +
+                        "': state machine spec is named '" + nc.sm_spec.name() +
+                        "' (must equal the nickname)");
+    if (nc.initial_host.has_value() && !hosts.contains(*nc.initial_host))
+      fail(context, "node '" + nc.nickname + "': unknown initial host '" +
+                        *nc.initial_host + "'");
+    if (nc.initial_host.has_value() && nc.enter_at.has_value())
+      fail(context, "node '" + nc.nickname +
+                        "': both initial_host and enter_at set (a node either "
+                        "starts at t0 or enters dynamically)");
+    if (!nc.initial_host.has_value() && !nc.enter_at.has_value())
+      fail(context, "node '" + nc.nickname +
+                        "': neither initial_host nor enter_at set (the node "
+                        "would never start)");
+    if (nc.enter_at.has_value()) {
+      if (nc.enter_host.empty())
+        fail(context, "node '" + nc.nickname + "': enter_at set but no enter_host");
+      if (!hosts.contains(nc.enter_host))
+        fail(context, "node '" + nc.nickname + "': unknown enter host '" +
+                          nc.enter_host + "'");
+    }
+    if (nc.restart.enabled) {
+      if (nc.restart.max_restarts < 0)
+        fail(context, "node '" + nc.nickname + "': max_restarts must be >= 0");
+      if (nc.restart.placement == runtime::RestartPolicy::Placement::Fixed &&
+          !hosts.contains(nc.restart.fixed_host))
+        fail(context, "node '" + nc.nickname + "': unknown fixed restart host '" +
+                          nc.restart.fixed_host + "'");
+    }
+  }
+
+  // Fault expressions may watch other machines' global state; every machine
+  // they name must exist in this experiment or its parser can never fire.
+  for (const runtime::NodeConfig& nc : params.nodes) {
+    for (const std::string& machine : nc.fault_spec.referenced_machines()) {
+      if (!nicknames.contains(machine))
+        fail(context, "node '" + nc.nickname +
+                          "': fault expression references unknown machine '" +
+                          machine + "'");
+    }
+  }
+
+  for (const runtime::HostCrashPlan& plan : params.host_crashes) {
+    if (!hosts.contains(plan.host))
+      fail(context, "host crash plan names unknown host '" + plan.host + "'");
+  }
+}
+
+void validate_study_params(const runtime::StudyParams& study) {
+  if (study.name.empty()) throw ConfigError("study with empty name");
+  const std::string context = "study '" + study.name + "'";
+  if (study.experiments <= 0)
+    fail(context, "experiments must be positive, got " +
+                      std::to_string(study.experiments));
+  if (!study.make_params) fail(context, "make_params is null");
+}
+
+}  // namespace loki::campaign

@@ -1,0 +1,24 @@
+// Early validation for the campaign facade (§2.2): configuration mistakes
+// (duplicate nicknames, spec-name mismatches, unknown hosts, malformed
+// studies) surface as ConfigError when the campaign is *built*, not after a
+// few hundred experiments have already run.
+#pragma once
+
+#include <string>
+
+#include "runtime/experiment.hpp"
+#include "util/error.hpp"  // ConfigError — what every check here throws
+
+namespace loki::campaign {
+
+/// Check one experiment's configuration. Throws ConfigError describing the
+/// first violation; `context` (e.g. "study 'black' experiment 3") prefixes
+/// the message so campaign-level errors name their origin.
+void validate_experiment_params(const runtime::ExperimentParams& params,
+                                const std::string& context);
+
+/// Check the study shell itself: non-empty name, experiments > 0, non-null
+/// make_params. Throws ConfigError naming the study.
+void validate_study_params(const runtime::StudyParams& study);
+
+}  // namespace loki::campaign

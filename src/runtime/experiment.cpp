@@ -359,17 +359,4 @@ const StudyResult* CampaignResult::find_study(const std::string& name) const {
   return nullptr;
 }
 
-CampaignResult run_campaign(const std::vector<StudyParams>& studies) {
-  CampaignResult out;
-  for (const StudyParams& sp : studies) {
-    StudyResult sr;
-    sr.name = sp.name;
-    for (int k = 0; k < sp.experiments; ++k) {
-      sr.experiments.push_back(run_experiment(sp.make_params(k)));
-    }
-    out.studies.push_back(std::move(sr));
-  }
-  return out;
-}
-
 }  // namespace loki::runtime

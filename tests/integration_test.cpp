@@ -6,6 +6,7 @@
 #include "apps/election.hpp"
 #include "apps/kvstore.hpp"
 #include "apps/token_ring.hpp"
+#include "campaign/campaign.hpp"
 #include "measure/campaign_measure.hpp"
 #include "measure/study_measure.hpp"
 #include "runtime/experiment.hpp"
@@ -343,22 +344,9 @@ TEST(TokenRingE2E, DuplicateTokenFaultViolatesMutualExclusion) {
 // --- campaign / measure integration ----------------------------------------------
 
 TEST(CampaignE2E, CoverageStudyProducesPlausibleEstimate) {
-  // Study 1 of §5.8 in miniature: coverage of an error in black.
-  runtime::StudyParams study;
-  study.name = "study1";
-  study.experiments = 15;
-  study.make_params = [](int k) {
-    ExperimentParams p = election_params(8000 + static_cast<std::uint64_t>(k),
-                                         milliseconds(700));
-    p.nodes[0].fault_spec =
-        spec::parse_fault_spec("bfault1 (black:LEAD) always\n", "t");
-    p.nodes[0].restart.enabled = true;
-    p.nodes[0].restart.delay = milliseconds(60);
-    return p;
-  };
-  const auto campaign = runtime::run_campaign({study});
-  const auto analyses = analysis::analyze_study(campaign.studies[0]);
-
+  // Study 1 of §5.8 in miniature: coverage of an error in black, driven
+  // through the campaign facade — a parallel runner plus a streaming
+  // MeasureSink instead of buffering and batch analysis.
   measure::StudyMeasure coverage;
   coverage.add(measure::subset_default(),
                measure::parse_predicate("(black, CRASH)"),
@@ -370,11 +358,32 @@ TEST(CampaignE2E, CoverageStudyProducesPlausibleEstimate) {
                    measure::obs_total_duration(true, measure::TimeArg::start_exp(),
                                                measure::TimeArg::end_exp()),
                    0.0));
-  const auto values = coverage.apply_study(analyses);
+
+  auto sink = std::make_shared<campaign::MeasureSink>();
+  sink->measure("study1", coverage);
+  CampaignBuilder()
+      .sink(sink)
+      .parallelism(4)
+      .study("study1")
+      .experiments(15)
+      .generator([](int k) {
+        ExperimentParams p = election_params(8000 + static_cast<std::uint64_t>(k),
+                                             milliseconds(700));
+        p.nodes[0].fault_spec =
+            spec::parse_fault_spec("bfault1 (black:LEAD) always\n", "t");
+        p.nodes[0].restart.enabled = true;
+        p.nodes[0].restart.delay = milliseconds(60);
+        return p;
+      })
+      .done()
+      .build()
+      .run();
+
+  const auto values = *sink->values("study1");
   // Every value is 0 or 1 and with an always-on restart policy they are 1.
   for (const double v : values) EXPECT_TRUE(v == 0.0 || v == 1.0);
   if (!values.empty()) {
-    const auto est = measure::simple_sampling_measure({{"study1", values}});
+    const auto est = measure::simple_sampling_measure(sink->samples());
     EXPECT_GT(est.moments.mean, 0.5);
   }
 }

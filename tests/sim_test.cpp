@@ -104,7 +104,7 @@ TEST(Network, FifoPerLink) {
   }
 }
 
-World make_world(Duration quantum = milliseconds(10)) {
+World make_world() {
   WorldParams wp;
   wp.seed = 99;
   return World(wp);

@@ -6,12 +6,19 @@
 // Prints total_duration(T), count(U,B) and outcome at the window midpoint
 // for the given predicate, e.g.
 //   lokimeasure ab.txt '(black, CRASH)' 0 700 exp0.*.timeline
+//
+// The files are assembled into the same analysis::ExperimentAnalysis the
+// campaign facade streams to its MeasureSink, and each quantity is computed
+// through a StudyMeasure — the hand-run-by-files path and the in-process
+// campaign path share one measure implementation.
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "analysis/global_timeline.hpp"
 #include "measure/observation.hpp"
 #include "measure/predicate.hpp"
+#include "measure/study_measure.hpp"
 #include "util/strings.hpp"
 #include "util/text_file.hpp"
 
@@ -38,27 +45,35 @@ int main(int argc, char** argv) {
       timelines.push_back(runtime::parse_local_timeline(read_file(argv[i]), argv[i]));
     std::vector<const runtime::LocalTimeline*> ptrs;
     for (const auto& tl : timelines) ptrs.push_back(&tl);
-    const auto global = analysis::build_global_timeline(ptrs, ab);
 
-    measure::EvalContext ctx;
-    ctx.timeline = &global;
-    ctx.start_ref = *start_ms * 1e6;
-    ctx.end_ref = *end_ms * 1e6;
+    // The analysis shape the measure phase consumes, reconstructed from the
+    // on-disk artifacts instead of a live ExperimentResult.
+    analysis::ExperimentAnalysis analysis;
+    analysis.alphabeta = ab;
+    analysis.timeline = analysis::build_global_timeline(ptrs, ab);
+    analysis.start_ref = *start_ms * 1e6;
+    analysis.end_ref = *end_ms * 1e6;
+    analysis.accepted = true;
 
-    const auto pt = pred->evaluate(ctx);
-    const auto total = measure::obs_total_duration(
-        true, measure::TimeArg::start_exp(), measure::TimeArg::end_exp());
-    const auto count =
-        measure::obs_count(measure::Edge::Up, measure::Kind::Both,
-                           measure::TimeArg::start_exp(),
-                           measure::TimeArg::end_exp());
-    const auto mid = measure::obs_outcome(
-        measure::TimeArg::literal((*end_ms - *start_ms) / 2.0));
+    const auto evaluate = [&](measure::ObservationFunction obs) {
+      measure::StudyMeasure m;
+      m.add(measure::subset_default(), pred, std::move(obs));
+      return *m.apply(analysis);
+    };
 
     std::printf("predicate: %s\n", pred->to_string().c_str());
-    std::printf("total_duration(T) = %.3f ms\n", total(pt, ctx));
-    std::printf("count(U, B)       = %.0f\n", count(pt, ctx));
-    std::printf("outcome(mid)      = %.0f\n", mid(pt, ctx));
+    std::printf("total_duration(T) = %.3f ms\n",
+                evaluate(measure::obs_total_duration(
+                    true, measure::TimeArg::start_exp(),
+                    measure::TimeArg::end_exp())));
+    std::printf("count(U, B)       = %.0f\n",
+                evaluate(measure::obs_count(
+                    measure::Edge::Up, measure::Kind::Both,
+                    measure::TimeArg::start_exp(),
+                    measure::TimeArg::end_exp())));
+    std::printf("outcome(mid)      = %.0f\n",
+                evaluate(measure::obs_outcome(
+                    measure::TimeArg::literal((*end_ms - *start_ms) / 2.0))));
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "lokimeasure: %s\n", e.what());
