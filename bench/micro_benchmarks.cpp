@@ -169,15 +169,20 @@ void BM_CampaignElection(benchmark::State& state) {
         9000 + static_cast<std::uint64_t>(k), {"hostA", "hostB", "hostC"},
         {{"black", "hostA"}, {"yellow", "hostB"}, {"green", "hostC"}}, app);
   };
-  const int workers = static_cast<int>(state.range(0));
+  // The shared runner grammar, one backend per benchmark arg.
+  static const char* kRunnerSpecs[] = {"serial", "threads:2", "threads:4",
+                                       "procs:2", "procs:4"};
+  const char* spec = kRunnerSpecs[state.range(0)];
   for (auto _ : state) {
-    Campaign campaign =
-        CampaignBuilder().add(study).parallelism(workers).build();
+    Campaign campaign = CampaignBuilder()
+                            .add(study)
+                            .runner(campaign::parse_runner_spec(spec))
+                            .build();
     benchmark::DoNotOptimize(campaign.run().experiments);
   }
-  state.SetLabel("workers: " + std::to_string(workers));
+  state.SetLabel(spec);
 }
-BENCHMARK(BM_CampaignElection)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CampaignElection)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -7,13 +7,15 @@
 //                 error in a follower (gfault2 vs gfault3, second evaluation).
 //
 // Driven through the campaign facade: experiments are deterministic in
-// their seed, so a ThreadPoolRunner fans them out without changing a single
-// number. `tab_ch5_campaign [workers]` selects the worker count (default 4,
-// 1 = serial); a closing section times the same study serial vs parallel
-// and checks the values match.
+// their seed, so parallel runners fan them out without changing a single
+// number. `tab_ch5_campaign [runner]` selects the backend with the shared
+// runner grammar — serial | threads:N | procs:N (default threads:4; a bare
+// integer keeps working). A closing section times the same study on all
+// three backends and checks every value matches.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "apps/election.hpp"
 #include "campaign/campaign.hpp"
@@ -89,17 +91,18 @@ struct StudyOutcome {
   double wall_seconds{0.0};
 };
 
-int g_workers = 4;
+std::string g_runner_spec = "threads:4";
 
 /// One study through the facade: the MeasureSink analyzes and measures each
 /// experiment as it completes, so nothing but the final values is retained.
 StudyOutcome run_study(const runtime::StudyParams& study,
-                       const measure::StudyMeasure& m, int workers) {
+                       const measure::StudyMeasure& m,
+                       const std::string& runner_spec) {
   auto sink = std::make_shared<campaign::MeasureSink>();
   sink->measure(study.name, m);
   Campaign campaign = CampaignBuilder()
                           .add(study)
-                          .parallelism(workers)
+                          .runner(campaign::parse_runner_spec(runner_spec))
                           .sink(sink)
                           .build();
   const Campaign::Summary summary = campaign.run();
@@ -115,16 +118,21 @@ StudyOutcome run_study(const runtime::StudyParams& study,
 
 StudyOutcome run_study(const runtime::StudyParams& study,
                        const measure::StudyMeasure& m) {
-  return run_study(study, m, g_workers);
+  return run_study(study, m, g_runner_spec);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1) g_workers = std::atoi(argv[1]);
-  if (g_workers < 1) g_workers = 1;
+  if (argc > 1) g_runner_spec = argv[1];
   std::printf("Chapter 5 campaign - leader election, 3 machines, 3 hosts\n");
-  std::printf("runner: %s\n\n", campaign::make_runner(g_workers)->name().c_str());
+  try {
+    std::printf("runner: %s\n\n",
+                campaign::parse_runner_spec(g_runner_spec)->name().c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tab_ch5_campaign: %s\n", e.what());
+    return 2;
+  }
 
   // --- Evaluation 1: coverage (studies 1-3 + stratified weighted) ----------
   const double reliability[3] = {0.9, 0.7, 0.5};
@@ -223,20 +231,26 @@ int main(int argc, char** argv) {
       "comparison is the measurement method).\n");
 
   // --- Parallel execution check --------------------------------------------
-  // The same study, serial vs thread pool: wall clock differs, every value
-  // must not.
+  // The same study on every backend: wall clock differs, no value may.
   const auto study1 = coverage_study("black", 1, reliability[0]);
-  const auto serial = run_study(study1, coverage_measure("black"), 1);
-  const auto pooled = run_study(study1, coverage_measure("black"), 4);
-  const bool identical = serial.values == pooled.values &&
-                         serial.accepted == pooled.accepted;
-  std::printf("\nserial vs thread-pool(4), study1 (%d experiments):\n",
+  const auto serial = run_study(study1, coverage_measure("black"), "serial");
+  const auto threaded =
+      run_study(study1, coverage_measure("black"), "threads:4");
+  const auto sharded = run_study(study1, coverage_measure("black"), "procs:4");
+  const bool identical = serial.values == threaded.values &&
+                         serial.values == sharded.values &&
+                         serial.accepted == threaded.accepted &&
+                         serial.accepted == sharded.accepted;
+  const auto speedup = [&](double wall) {
+    return wall > 0 ? serial.wall_seconds / wall : 0.0;
+  };
+  std::printf("\nserial vs threads(4) vs procs(4), study1 (%d experiments):\n",
               study1.experiments);
-  std::printf("  serial:          %.2f s wall\n", serial.wall_seconds);
-  std::printf("  thread-pool(4):  %.2f s wall  (speedup %.2fx)\n",
-              pooled.wall_seconds,
-              pooled.wall_seconds > 0 ? serial.wall_seconds / pooled.wall_seconds
-                                      : 0.0);
+  std::printf("  serial:           %.2f s wall\n", serial.wall_seconds);
+  std::printf("  thread-pool(4):   %.2f s wall  (speedup %.2fx)\n",
+              threaded.wall_seconds, speedup(threaded.wall_seconds));
+  std::printf("  process-pool(4):  %.2f s wall  (speedup %.2fx)\n",
+              sharded.wall_seconds, speedup(sharded.wall_seconds));
   std::printf("  results identical: %s\n", identical ? "yes" : "NO - BUG");
   return identical ? 0 : 1;
 }

@@ -13,9 +13,10 @@
 //   4. Read the coverage estimate for a leader error off the MeasureSink
 //      (measure phase, §5.8).
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/examples/quickstart [serial|threads:N|procs:N]
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "apps/election.hpp"
 #include "campaign/campaign.hpp"
@@ -24,7 +25,16 @@
 
 using namespace loki;
 
-int main() {
+int main(int argc, char** argv) {
+  // Every CLI surface shares one runner grammar (parse_runner_spec).
+  const std::string runner_spec = argc > 1 ? argv[1] : "threads:4";
+  std::shared_ptr<campaign::Runner> runner;
+  try {
+    runner = campaign::parse_runner_spec(runner_spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "quickstart: %s\n", e.what());
+    return 2;
+  }
   // --- 1/2: campaign description -------------------------------------------
   const std::vector<std::string> hosts = {"hostA", "hostB", "hostC"};
   const std::vector<std::pair<std::string, std::string>> placement = {
@@ -64,7 +74,7 @@ int main() {
   Campaign campaign = CampaignBuilder()
                           .sink(std::make_shared<campaign::ProgressSink>())
                           .sink(sink)
-                          .parallelism(4)
+                          .runner(runner)
                           .study("coverage-of-black")
                           .experiments(20)
                           .base(params)  // experiment k runs with seed 1000+k

@@ -1,5 +1,7 @@
 #include "apps/election.hpp"
 
+#include "apps/registry.hpp"
+
 #include <algorithm>
 #include <functional>
 #include <memory>
@@ -233,6 +235,8 @@ runtime::ExperimentParams election_experiment(
     nc.app_factory = [app_params] {
       return std::make_unique<ElectionApp>(app_params);
     };
+    nc.app_name = "election";
+    nc.app_args = encode_election_args(app_params);
     params.nodes.push_back(std::move(nc));
   }
   return params;

@@ -1,5 +1,7 @@
 #include "apps/kvstore.hpp"
 
+#include "apps/registry.hpp"
+
 #include <memory>
 
 namespace loki::apps {
@@ -201,6 +203,8 @@ runtime::ExperimentParams kvstore_experiment(
     nc.app_factory = [app_params] {
       return std::make_unique<KvStoreApp>(app_params);
     };
+    nc.app_name = "kvstore";
+    nc.app_args = encode_kvstore_args(app_params);
     params.nodes.push_back(std::move(nc));
   }
   return params;

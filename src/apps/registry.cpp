@@ -1,0 +1,175 @@
+#include "apps/registry.hpp"
+
+#include <cstdio>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "runtime/app_registry.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace loki::apps {
+
+namespace {
+
+// Args travel as space-separated key=value pairs. Every encoder writes
+// every key; every parser requires every key — a missing or unknown key is
+// a ConfigError, so format drift cannot pass silently.
+
+std::string fmt_i64(std::int64_t v) { return std::to_string(v); }
+
+std::string fmt_f64(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);  // round-trips exactly
+  return buf;
+}
+
+class ArgMap {
+ public:
+  ArgMap(const std::string& args, const std::string& app) : app_(app) {
+    for (const std::string& token : split_ws(args)) {
+      const auto eq = token.find('=');
+      if (eq == std::string::npos || eq == 0)
+        throw ConfigError("app '" + app_ + "': malformed arg token '" + token +
+                          "' (expected key=value)");
+      map_[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+  }
+
+  std::string str(const std::string& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end())
+      throw ConfigError("app '" + app_ + "': missing arg '" + key + "'");
+    consumed_.push_back(key);
+    return it->second;
+  }
+
+  std::int64_t i64(const std::string& key) {
+    const std::string v = str(key);
+    try {
+      return std::stoll(v);
+    } catch (const std::exception&) {
+      throw ConfigError("app '" + app_ + "': arg '" + key +
+                        "' is not an integer: " + v);
+    }
+  }
+
+  Duration duration(const std::string& key) { return Duration{i64(key)}; }
+
+  double f64(const std::string& key) {
+    const auto v = parse_f64(str(key));
+    if (!v)
+      throw ConfigError("app '" + app_ + "': arg '" + key + "' is not a number");
+    return *v;
+  }
+
+  runtime::CrashMode crash_mode(const std::string& key) {
+    const std::int64_t v = i64(key);
+    if (v < 0 || v > static_cast<std::int64_t>(runtime::CrashMode::Silent))
+      throw ConfigError("app '" + app_ + "': crash mode out of range");
+    return static_cast<runtime::CrashMode>(v);
+  }
+
+  /// Every key must have been consumed — unknown keys mean the args came
+  /// from a different (newer?) encoder.
+  void done() const {
+    for (const auto& [key, value] : map_) {
+      bool used = false;
+      for (const auto& c : consumed_)
+        if (c == key) used = true;
+      if (!used)
+        throw ConfigError("app '" + app_ + "': unknown arg '" + key + "'");
+    }
+  }
+
+ private:
+  std::string app_;
+  std::map<std::string, std::string> map_;
+  std::vector<std::string> consumed_;
+};
+
+}  // namespace
+
+std::string encode_election_args(const ElectionParams& p) {
+  return "window=" + fmt_i64(p.election_window.ns) +
+         " heartbeat=" + fmt_i64(p.heartbeat.ns) +
+         " run_for=" + fmt_i64(p.run_for.ns) +
+         " activation=" + fmt_f64(p.fault_activation_prob) +
+         " dormancy=" + fmt_i64(p.dormancy_mean.ns) +
+         " crash_mode=" + fmt_i64(static_cast<std::int64_t>(p.crash_mode));
+}
+
+ElectionParams parse_election_args(const std::string& args) {
+  ArgMap m(args, "election");
+  ElectionParams p;
+  p.election_window = m.duration("window");
+  p.heartbeat = m.duration("heartbeat");
+  p.run_for = m.duration("run_for");
+  p.fault_activation_prob = m.f64("activation");
+  p.dormancy_mean = m.duration("dormancy");
+  p.crash_mode = m.crash_mode("crash_mode");
+  m.done();
+  return p;
+}
+
+std::string encode_kvstore_args(const KvStoreParams& p) {
+  if (p.initial_primary.find_first_of(" \t\n=") != std::string::npos)
+    throw ConfigError("kvstore: initial_primary '" + p.initial_primary +
+                      "' cannot be serialized (whitespace or '=')");
+  return "primary=" + p.initial_primary +
+         " write_interval=" + fmt_i64(p.write_interval_mean.ns) +
+         " heartbeat=" + fmt_i64(p.heartbeat.ns) +
+         " run_for=" + fmt_i64(p.run_for.ns) +
+         " activation=" + fmt_f64(p.fault_activation_prob) +
+         " dormancy=" + fmt_i64(p.dormancy_mean.ns) +
+         " crash_mode=" + fmt_i64(static_cast<std::int64_t>(p.crash_mode));
+}
+
+KvStoreParams parse_kvstore_args(const std::string& args) {
+  ArgMap m(args, "kvstore");
+  KvStoreParams p;
+  p.initial_primary = m.str("primary");
+  p.write_interval_mean = m.duration("write_interval");
+  p.heartbeat = m.duration("heartbeat");
+  p.run_for = m.duration("run_for");
+  p.fault_activation_prob = m.f64("activation");
+  p.dormancy_mean = m.duration("dormancy");
+  p.crash_mode = m.crash_mode("crash_mode");
+  m.done();
+  return p;
+}
+
+std::string encode_token_ring_args(const TokenRingParams& p) {
+  return "critical=" + fmt_i64(p.critical_section.ns) +
+         " pass_delay=" + fmt_i64(p.pass_delay.ns) +
+         " run_for=" + fmt_i64(p.run_for.ns);
+}
+
+TokenRingParams parse_token_ring_args(const std::string& args) {
+  ArgMap m(args, "token-ring");
+  TokenRingParams p;
+  p.critical_section = m.duration("critical");
+  p.pass_delay = m.duration("pass_delay");
+  p.run_for = m.duration("run_for");
+  m.done();
+  return p;
+}
+
+void register_builtin_apps() {
+  runtime::register_application("election", [](const std::string& args) {
+    const ElectionParams p = parse_election_args(args);
+    return [p] { return std::make_unique<ElectionApp>(p); };
+  });
+  runtime::register_application("kvstore", [](const std::string& args) {
+    const KvStoreParams p = parse_kvstore_args(args);
+    return [p] { return std::make_unique<KvStoreApp>(p); };
+  });
+  runtime::register_application("token-ring", [](const std::string& args) {
+    const TokenRingParams p = parse_token_ring_args(args);
+    return [p] { return std::make_unique<TokenRingApp>(p); };
+  });
+}
+
+}  // namespace loki::apps

@@ -1,5 +1,7 @@
 #include "apps/token_ring.hpp"
 
+#include "apps/registry.hpp"
+
 #include <algorithm>
 #include <memory>
 
@@ -136,6 +138,8 @@ runtime::ExperimentParams token_ring_experiment(
     nc.app_factory = [app_params] {
       return std::make_unique<TokenRingApp>(app_params);
     };
+    nc.app_name = "token-ring";
+    nc.app_args = encode_token_ring_args(app_params);
     params.nodes.push_back(std::move(nc));
   }
   return params;

@@ -1,0 +1,123 @@
+#include "campaign/cache.hpp"
+
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "runtime/serialize.hpp"
+#include "util/codec.hpp"
+#include "util/error.hpp"
+
+#include <unistd.h>
+
+namespace loki::campaign {
+
+namespace {
+
+bool is_hex_key(const std::string& key) {
+  if (key.size() != 64) return false;
+  for (const char c : key)
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  return true;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec)
+    throw ConfigError("ResultCache: cannot create directory '" +
+                      dir_.string() + "': " + ec.message());
+}
+
+std::filesystem::path ResultCache::path_of(const std::string& key) const {
+  if (!is_hex_key(key))
+    throw ConfigError("ResultCache: malformed key '" + key +
+                      "' (expected 64 hex chars)");
+  return dir_ / (key + ".result");
+}
+
+bool ResultCache::contains(const std::string& key) {
+  std::error_code ec;
+  const bool present = std::filesystem::exists(path_of(key), ec) && !ec;
+  if (!present) ++stats_.misses;
+  return present;
+}
+
+std::optional<runtime::ExperimentResult> ResultCache::lookup(
+    const std::string& key) {
+  const std::filesystem::path path = path_of(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  try {
+    runtime::ExperimentResult result = runtime::decode_experiment_result(bytes);
+    ++stats_.hits;
+    return result;
+  } catch (const codec::DecodeError&) {
+    // Torn or foreign-version file: a miss, not an error — the store()
+    // after the re-run overwrites it atomically.
+    ++stats_.misses;
+    return std::nullopt;
+  }
+}
+
+void ResultCache::store(const std::string& key,
+                        const runtime::ExperimentResult& result) {
+  const std::filesystem::path path = path_of(key);
+  const std::vector<std::uint8_t> bytes =
+      runtime::encode_experiment_result(result);
+  // Unique temp name per process and store: concurrent writers of the same
+  // key never collide mid-write, and rename() makes the publish atomic.
+  const std::filesystem::path tmp =
+      dir_ / (key + ".tmp." + std::to_string(::getpid()) + "." +
+              std::to_string(temp_counter_++));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw ConfigError("ResultCache: cannot write '" + tmp.string() + "'");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out.good())
+      throw ConfigError("ResultCache: short write to '" + tmp.string() + "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw ConfigError("ResultCache: cannot publish '" + path.string() + "'");
+  }
+  ++stats_.stores;
+}
+
+CacheSink::CacheSink(std::shared_ptr<ResultCache> cache)
+    : cache_(std::move(cache)) {
+  if (!cache_) throw ConfigError("CacheSink: null cache");
+}
+
+CacheSink& CacheSink::study(runtime::StudyParams study) {
+  if (study.name.empty() || !study.make_params)
+    throw ConfigError("CacheSink: study needs a name and make_params");
+  const std::string name = study.name;
+  studies_.insert_or_assign(name, std::move(study));
+  return *this;
+}
+
+void CacheSink::on_experiment(const StudyInfo& study, int index,
+                              const runtime::ExperimentResult& result) {
+  const auto it = studies_.find(study.name);
+  if (it == studies_.end()) return;
+  cache_->store(
+      runtime::experiment_cache_key(it->second.make_params(index)), result);
+}
+
+}  // namespace loki::campaign

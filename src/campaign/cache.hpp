@@ -1,0 +1,99 @@
+// Content-addressed experiment result cache.
+//
+// An experiment is fully determined by its ExperimentParams (run_experiment
+// is deterministic in the seed, which the params carry), so its result can
+// be cached under the SHA-256 of the encoded params — the cache key of
+// runtime/serialize.hpp. The wire version is part of the encoding, so a
+// format bump changes every key and stale entries are simply never found.
+//
+// Two ways in:
+//   * CampaignBuilder::cache(...) — the cache-first path: Campaign looks
+//     every experiment up before running, executes only the misses through
+//     the runner, stores them, and emits hits and fresh results interleaved
+//     in index order. Sinks observe a sequence byte-identical to an
+//     uncached serial run; a fully warm cache performs zero
+//     run_experiment calls.
+//   * CacheSink — a plain ResultSink that writes every result of its
+//     registered studies into the cache, for warming a cache from a
+//     campaign that does not read from it.
+//
+// Storage is one file per key (`<key>.result`, the encoded result),
+// written to a temp name and renamed, so concurrent writers — including
+// campaigns sharded across hosts onto one shared directory — are safe:
+// rename is atomic and any winner's bytes are correct for the key.
+// Unreadable or undecodable entries count as misses at probe/lookup time.
+// One caveat for the cache-first path: hit/miss classification happens at
+// study start, so an entry deleted or corrupted *between* that probe and
+// its emit turn fails the study loudly (a deterministic re-run repairs
+// it) — don't prune a shared cache directory mid-campaign.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "campaign/sink.hpp"
+#include "runtime/experiment.hpp"
+
+namespace loki::campaign {
+
+class ResultCache {
+ public:
+  /// Opens (creating if needed) the cache directory.
+  explicit ResultCache(std::filesystem::path dir);
+
+  /// Cheap existence probe (no read or decode). Records a miss when
+  /// absent; present keys are counted by the lookup() that serves them —
+  /// the cache-first campaign pairs one probe per experiment with one
+  /// lookup per served hit, so Stats reflect what actually happened.
+  bool contains(const std::string& key);
+
+  /// nullopt when absent or undecodable. Counts a hit or a miss.
+  std::optional<runtime::ExperimentResult> lookup(const std::string& key);
+
+  /// Store (or overwrite) the result for `key`. Atomic via rename.
+  void store(const std::string& key, const runtime::ExperimentResult& result);
+
+  struct Stats {
+    std::uint64_t hits{0};
+    std::uint64_t misses{0};
+    std::uint64_t stores{0};
+  };
+  const Stats& stats() const { return stats_; }
+  const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  std::filesystem::path path_of(const std::string& key) const;
+
+  std::filesystem::path dir_;
+  Stats stats_;
+  std::uint64_t temp_counter_{0};
+};
+
+/// Streams every result of its registered studies into a ResultCache.
+/// Studies are matched by name; results of unregistered studies pass
+/// through uncached (register every study you want captured).
+class CacheSink final : public ResultSink {
+ public:
+  explicit CacheSink(std::shared_ptr<ResultCache> cache);
+
+  /// Register a study whose results should be cached. The StudyParams'
+  /// make_params is re-invoked per index to derive the key, so it must be
+  /// deterministic (the standard campaign contract) and its nodes need wire
+  /// identities (NodeConfig::app_name). The sink keeps its own copy of the
+  /// generator and calls it during on_experiment — concurrently with a
+  /// parallel runner's generator calls — so a generator registered here
+  /// must not share mutable state by reference with the running study.
+  CacheSink& study(runtime::StudyParams study);
+
+  void on_experiment(const StudyInfo& study, int index,
+                     const runtime::ExperimentResult& result) override;
+
+ private:
+  std::shared_ptr<ResultCache> cache_;
+  std::map<std::string, runtime::StudyParams> studies_;
+};
+
+}  // namespace loki::campaign

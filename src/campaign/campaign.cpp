@@ -1,12 +1,135 @@
 #include "campaign/campaign.hpp"
 
 #include <chrono>
+#include <optional>
 #include <set>
 #include <utility>
 
+#include "campaign/cache.hpp"
+#include "runtime/serialize.hpp"
 #include "util/error.hpp"
 
 namespace loki::campaign {
+
+namespace {
+
+/// The miss sub-study reports errors with *its* compact indices; append the
+/// original coordinates so a maintainer can reproduce the right experiment.
+/// Worded as "first unemitted" because a runner-infrastructure failure
+/// (fork exhaustion, a dead pipe) also lands here without any experiment
+/// of its own. Preserves the type for the campaign's exception families.
+[[noreturn]] void rethrow_with_original_index(
+    const runtime::StudyParams& study, int original_index) {
+  const auto annotate = [&](const char* what) {
+    return std::string(what) + " [cache-first: first unemitted miss was " +
+           experiment_context(study, original_index) + "]";
+  };
+  try {
+    throw;
+  } catch (const ConfigError& e) {
+    throw ConfigError(annotate(e.what()));
+  } catch (const LogicError& e) {
+    throw LogicError(annotate(e.what()));
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(annotate(e.what()));
+  }
+  // Anything else propagates unannotated via the rethrow above.
+}
+
+/// Cache-first execution of one study: serve hits, run misses as a compact
+/// sub-study through the real runner, and interleave both streams so emit
+/// observes exactly the serial sequence — including the failure-prefix
+/// semantics: if (sub-)experiment k fails, every completed index below k
+/// (cached or fresh) is emitted before the exception propagates.
+///
+/// Memory stays O(1) results: only the 64-char keys and the miss list are
+/// materialized up front; each hit is generated, validated, read, and
+/// emitted lazily at its turn (generators are deterministic per index, the
+/// standard campaign contract).
+void run_study_cache_first(Runner& runner, ResultCache& cache,
+                           const runtime::StudyParams& study,
+                           const EmitFn& emit, int& cache_hits) {
+  const int n = study.experiments;
+  if (n <= 0) return;
+  std::vector<std::string> keys(static_cast<std::size_t>(n));
+  std::vector<int> missing;
+  for (int k = 0; k < n; ++k) {
+    // One generator call per index, all on this thread — emit_cached_below
+    // runs inside the runner's emit callback, where another make_params
+    // call would race the runner's own (gen_mu-serialized) generator use.
+    runtime::ExperimentParams params = study.make_params(k);
+    keys[static_cast<std::size_t>(k)] = runtime::experiment_cache_key(params);
+    if (cache.contains(keys[static_cast<std::size_t>(k)])) {
+      // Hits skip run_experiment, not validation; a config mistake on a
+      // cached index surfaces here, before anything runs, rather than at
+      // its serial emit position.
+      validate_experiment_params(params, experiment_context(study, k));
+    } else {
+      missing.push_back(k);  // the runner validates misses itself
+    }
+  }
+
+  int next_emit = 0;
+  const auto emit_cached_below = [&](int bound) {
+    while (next_emit < bound) {
+      // Advance first: if the read or a sink throws here, the index counts
+      // as delivered and is never re-emitted by a later flush.
+      const int k = next_emit++;
+      std::optional<runtime::ExperimentResult> result =
+          cache.lookup(keys[static_cast<std::size_t>(k)]);
+      if (!result.has_value())
+        throw std::runtime_error(
+            "ResultCache: entry for " + experiment_context(study, k) +
+            " disappeared or went undecodable mid-study (key " +
+            keys[static_cast<std::size_t>(k)] +
+            "); a concurrent eviction? re-run the campaign");
+      ++cache_hits;
+      emit(k, std::move(*result));
+    }
+  };
+
+  if (!missing.empty()) {
+    runtime::StudyParams sub;
+    sub.name = study.name;
+    sub.experiments = static_cast<int>(missing.size());
+    sub.make_params = [&study, &missing](int j) {
+      return study.make_params(missing[static_cast<std::size_t>(j)]);
+    };
+    int fresh_done = 0;
+    bool interleave_failed = false;
+    try {
+      runner.run_study(sub, [&](int j, runtime::ExperimentResult&& result) {
+        const int k = missing[static_cast<std::size_t>(j)];
+        try {
+          emit_cached_below(k);
+          cache.store(keys[static_cast<std::size_t>(k)], result);
+          emit(k, std::move(result));
+        } catch (...) {
+          interleave_failed = true;
+          throw;
+        }
+        next_emit = k + 1;
+        ++fresh_done;
+      });
+    } catch (...) {
+      // A failure of our own interleave (a sink or a cached index) already
+      // delivered the serial prefix; propagate it untouched. A runner
+      // failure is sub-index fresh_done (the runner contract): cached
+      // entries below the failing original index complete the serial
+      // prefix, then the error is annotated with its original coordinates.
+      if (interleave_failed) throw;
+      if (fresh_done < static_cast<int>(missing.size())) {
+        const int failing = missing[static_cast<std::size_t>(fresh_done)];
+        emit_cached_below(failing);
+        rethrow_with_original_index(study, failing);
+      }
+      throw;
+    }
+  }
+  emit_cached_below(n);
+}
+
+}  // namespace
 
 // --- Campaign ----------------------------------------------------------------
 
@@ -26,12 +149,17 @@ Campaign::Summary Campaign::run() {
     const runtime::StudyParams& study = studies_[i];
     const StudyInfo info{study.name, static_cast<int>(i), study.experiments};
     for (const auto& sink : sinks_) sink->on_study_begin(info);
-    runner_->run_study(study, [&](int k, runtime::ExperimentResult&& result) {
+    const EmitFn deliver = [&](int k, runtime::ExperimentResult&& result) {
       ++summary.experiments;
       if (result.completed) ++summary.completed;
       if (result.timed_out) ++summary.timed_out;
       for (const auto& sink : sinks_) sink->on_experiment(info, k, result);
-    });
+    };
+    if (cache_)
+      run_study_cache_first(*runner_, *cache_, study, deliver,
+                            summary.cache_hits);
+    else
+      runner_->run_study(study, deliver);
     for (const auto& sink : sinks_) sink->on_study_done(info);
   }
 
@@ -167,6 +295,16 @@ CampaignBuilder& CampaignBuilder::sink(std::shared_ptr<ResultSink> sink) {
   return *this;
 }
 
+CampaignBuilder& CampaignBuilder::cache(std::shared_ptr<ResultCache> cache) {
+  if (!cache) throw ConfigError("null cache");
+  cache_ = std::move(cache);
+  return *this;
+}
+
+CampaignBuilder& CampaignBuilder::cache_dir(const std::string& dir) {
+  return cache(std::make_shared<ResultCache>(dir));
+}
+
 Campaign CampaignBuilder::build() const {
   Campaign campaign;
   std::set<std::string> names;
@@ -180,9 +318,14 @@ Campaign CampaignBuilder::build() const {
     // unknown hosts, spec-name mismatches...) fail at build time.
     validate_experiment_params(study.make_params(0),
                                "study '" + study.name + "'");
+    // With a cache attached every experiment must be encodable for its
+    // content key; probe that too, so a node without a wire identity
+    // (app_name) fails here and not mid-campaign.
+    if (cache_) runtime::experiment_cache_key(study.make_params(0));
     campaign.studies_.push_back(std::move(study));
   }
   campaign.runner_ = runner_ ? runner_ : std::make_shared<SerialRunner>();
+  campaign.cache_ = cache_;
   campaign.sinks_ = sinks_;
   return campaign;
 }

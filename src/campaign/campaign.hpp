@@ -42,6 +42,7 @@
 namespace loki::campaign {
 
 class CampaignBuilder;
+class ResultCache;
 
 /// A validated, runnable campaign. Built by CampaignBuilder::build().
 class Campaign {
@@ -51,6 +52,8 @@ class Campaign {
     int experiments{0};
     int completed{0};
     int timed_out{0};
+    /// Experiments served from the ResultCache instead of being run.
+    int cache_hits{0};
     double wall_seconds{0.0};
   };
 
@@ -69,6 +72,7 @@ class Campaign {
 
   std::vector<runtime::StudyParams> studies_;
   std::shared_ptr<Runner> runner_;
+  std::shared_ptr<ResultCache> cache_;
   std::vector<std::shared_ptr<ResultSink>> sinks_;
   bool ran_{false};
 };
@@ -138,6 +142,14 @@ class CampaignBuilder {
   /// Attach a streaming observer (any number).
   CampaignBuilder& sink(std::shared_ptr<ResultSink> sink);
 
+  /// Cache-first execution (campaign/cache.hpp): every experiment is looked
+  /// up by its content key before running; only misses go through the
+  /// runner, and fresh results are stored. Requires every node to carry a
+  /// wire identity (NodeConfig::app_name) — checked at build() time.
+  CampaignBuilder& cache(std::shared_ptr<ResultCache> cache);
+  /// Sugar for cache(make_shared<ResultCache>(dir)).
+  CampaignBuilder& cache_dir(const std::string& dir);
+
   /// Validate every study — shell, uniqueness, and experiment 0's full
   /// configuration — and produce a runnable Campaign. Throws ConfigError.
   Campaign build() const;
@@ -150,6 +162,7 @@ class CampaignBuilder {
 
   std::vector<Entry> entries_;
   std::shared_ptr<Runner> runner_;
+  std::shared_ptr<ResultCache> cache_;
   std::vector<std::shared_ptr<ResultSink>> sinks_;
 };
 

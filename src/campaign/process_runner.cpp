@@ -1,0 +1,233 @@
+#include "campaign/process_runner.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "campaign/validate.hpp"
+#include "runtime/serialize.hpp"
+#include "util/codec.hpp"
+#include "util/error.hpp"
+#include "util/pipe_io.hpp"
+
+namespace loki::campaign {
+
+namespace {
+
+// Per-experiment frame payload:
+//   u8 status (0 = ok, 1 = error), u32 experiment index, then
+//   ok:    the encoded ExperimentResult bytes;
+//   error: u8 category (see ErrorCategory), length-prefixed message.
+enum class FrameStatus : std::uint8_t { Ok = 0, Error = 1 };
+enum class ErrorCategory : std::uint8_t { Runtime = 0, Config = 1, Logic = 2 };
+
+[[noreturn]] void rethrow_remote(ErrorCategory category, const std::string& msg) {
+  switch (category) {
+    case ErrorCategory::Config:
+      throw ConfigError(msg);
+    case ErrorCategory::Logic:
+      throw LogicError(msg);
+    case ErrorCategory::Runtime:
+      break;
+  }
+  throw std::runtime_error(msg);
+}
+
+/// Child-side pipes and pids with guaranteed reaping on unwind.
+struct ShardPool {
+  std::vector<int> read_fds;   // parent end, -1 once closed
+  std::vector<pid_t> pids;
+
+  ~ShardPool() {
+    close_all();
+    // Abnormal unwind: make sure no shard outlives the study. On the
+    // normal path the children have already exited and kill() is a no-op
+    // on a reaped pid (pids are cleared by reap()).
+    for (const pid_t pid : pids) ::kill(pid, SIGKILL);
+    for (const pid_t pid : pids) {
+      int status = 0;
+      while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {}
+    }
+  }
+
+  void close_fd(std::size_t w) {
+    if (read_fds[w] >= 0) {
+      ::close(read_fds[w]);
+      read_fds[w] = -1;
+    }
+  }
+  void close_all() {
+    for (std::size_t w = 0; w < read_fds.size(); ++w) close_fd(w);
+  }
+
+  /// Normal-path reap: every child must have exited cleanly. All children
+  /// are waited on before any failure is reported — no zombies on throw.
+  void reap() {
+    std::vector<pid_t> pending = std::move(pids);
+    pids.clear();
+    std::string failure;
+    for (const pid_t pid : pending) {
+      int status = 0;
+      while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {}
+      if ((!WIFEXITED(status) || WEXITSTATUS(status) != 0) && failure.empty())
+        failure =
+            "process runner: shard pid " + std::to_string(pid) +
+            (WIFSIGNALED(status)
+                 ? " killed by signal " + std::to_string(WTERMSIG(status))
+                 : " exited with status " +
+                       std::to_string(WIFEXITED(status) ? WEXITSTATUS(status)
+                                                        : -1));
+    }
+    if (!failure.empty()) throw std::runtime_error(failure);
+  }
+};
+
+}  // namespace
+
+void run_worker_range(const runtime::StudyParams& study, int lo, int hi,
+                      int step, int out_fd) {
+  if (step < 1) throw ConfigError("run_worker_range: step must be >= 1");
+  for (int k = lo; k < hi; k += step) {
+    codec::Writer frame;
+    try {
+      runtime::ExperimentParams params = study.make_params(k);
+      validate_experiment_params(params, experiment_context(study, k));
+      const runtime::ExperimentResult result = runtime::run_experiment(params);
+      frame.u8(static_cast<std::uint8_t>(FrameStatus::Ok));
+      frame.u32(static_cast<std::uint32_t>(k));
+      const std::vector<std::uint8_t> encoded =
+          runtime::encode_experiment_result(result);
+      frame.bytes(encoded.data(), encoded.size());
+    } catch (const std::exception& e) {
+      frame = codec::Writer();
+      frame.u8(static_cast<std::uint8_t>(FrameStatus::Error));
+      frame.u32(static_cast<std::uint32_t>(k));
+      ErrorCategory category = ErrorCategory::Runtime;
+      if (dynamic_cast<const ConfigError*>(&e) != nullptr)
+        category = ErrorCategory::Config;
+      else if (dynamic_cast<const LogicError*>(&e) != nullptr)
+        category = ErrorCategory::Logic;
+      frame.u8(static_cast<std::uint8_t>(category));
+      frame.str(e.what());
+      util::write_frame(out_fd, frame.take());
+      return;  // first failure ends the shard — serial prefix semantics
+    }
+    util::write_frame(out_fd, frame.take());
+  }
+}
+
+ProcessPoolRunner::ProcessPoolRunner(int workers) : workers_(workers) {
+  if (workers < 1)
+    throw ConfigError("ProcessPoolRunner: workers must be >= 1, got " +
+                      std::to_string(workers));
+}
+
+std::string ProcessPoolRunner::name() const {
+  return "process-pool(" + std::to_string(workers_) + ")";
+}
+
+void ProcessPoolRunner::run_study(const runtime::StudyParams& study,
+                                  const EmitFn& emit) {
+  const int n = study.experiments;
+  if (n <= 0) return;
+  const int pool_size = workers_ < n ? workers_ : n;
+
+  ShardPool pool;
+  pool.read_fds.assign(static_cast<std::size_t>(pool_size), -1);
+  std::vector<int> write_fds(static_cast<std::size_t>(pool_size), -1);
+
+  for (int w = 0; w < pool_size; ++w) {
+    int fds[2];
+    if (::pipe(fds) != 0)
+      throw std::runtime_error(std::string("process runner: pipe: ") +
+                               std::strerror(errno));
+    pool.read_fds[static_cast<std::size_t>(w)] = fds[0];
+    write_fds[static_cast<std::size_t>(w)] = fds[1];
+  }
+
+  for (int w = 0; w < pool_size; ++w) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      const int err = errno;
+      for (const int fd : write_fds)
+        if (fd >= 0) ::close(fd);
+      throw std::runtime_error(std::string("process runner: fork: ") +
+                               std::strerror(err));
+    }
+    if (pid == 0) {
+      // Shard w. Drop every pipe end except our own write end, so EOF on a
+      // sibling's pipe means that sibling (and only it) is gone.
+      ::signal(SIGPIPE, SIG_IGN);  // parent death -> EPIPE exception instead
+      for (int v = 0; v < pool_size; ++v) {
+        ::close(pool.read_fds[static_cast<std::size_t>(v)]);
+        if (v != w) ::close(write_fds[static_cast<std::size_t>(v)]);
+      }
+      int exit_code = 0;
+      try {
+        run_worker_range(study, w, n, pool_size,
+                         write_fds[static_cast<std::size_t>(w)]);
+      } catch (...) {
+        exit_code = 1;  // pipe I/O failure; the parent sees truncation
+      }
+      ::close(write_fds[static_cast<std::size_t>(w)]);
+      // _exit, not exit: the child shares the parent's stdio buffers and
+      // must not flush them a second time (nor run atexit handlers).
+      ::_exit(exit_code);
+    }
+    pool.pids.push_back(pid);
+  }
+  for (int& fd : write_fds) {
+    ::close(fd);
+    fd = -1;
+  }
+
+  // Drain frames in global index order: index k comes from shard k mod P,
+  // and each shard writes its own indices in increasing order.
+  for (int k = 0; k < n; ++k) {
+    const auto w = static_cast<std::size_t>(k % pool_size);
+    std::optional<std::vector<std::uint8_t>> frame;
+    try {
+      frame = util::read_frame(pool.read_fds[w]);
+    } catch (const codec::DecodeError& e) {
+      throw std::runtime_error("process runner: " + experiment_context(study, k) +
+                               ": shard died mid-frame (" + e.what() + ")");
+    }
+    if (!frame.has_value())
+      throw std::runtime_error(
+          "process runner: " + experiment_context(study, k) +
+          ": shard exited before delivering its result");
+
+    codec::Reader r(*frame);
+    const auto status = static_cast<FrameStatus>(r.u8());
+    const std::uint32_t index = r.u32();
+    if (index != static_cast<std::uint32_t>(k))
+      throw std::runtime_error("process runner: shard protocol error: expected "
+                               "index " + std::to_string(k) + ", got " +
+                               std::to_string(index));
+    if (status == FrameStatus::Error) {
+      const auto category = static_cast<ErrorCategory>(r.u8());
+      const std::string message = r.str();
+      r.expect_done();
+      // The prefix 0..k-1 has been emitted; destroying `pool` kills the
+      // surviving shards.
+      rethrow_remote(category, message);
+    }
+    if (status != FrameStatus::Ok)
+      throw std::runtime_error("process runner: shard protocol error: bad "
+                               "frame status");
+    const std::size_t header = 1 + 4;  // status byte + index
+    emit(k, runtime::decode_experiment_result(frame->data() + header,
+                                              frame->size() - header));
+  }
+
+  pool.close_all();
+  pool.reap();
+}
+
+}  // namespace loki::campaign

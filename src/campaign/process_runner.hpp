@@ -1,0 +1,57 @@
+// Process-sharded campaign execution.
+//
+// ProcessPoolRunner forks `workers` shard processes per study. Shard w runs
+// experiment indices w, w+P, w+2P, ... (round-robin), encoding each
+// ExperimentResult with the versioned wire format (runtime/serialize.hpp)
+// and streaming it back over a private pipe as length-prefixed frames
+// (util/pipe_io.hpp). The parent reads index k from shard k mod P, so
+// frames arrive exactly in index order and emit observes the serial
+// sequence with O(1) buffered results; pipe capacity provides natural
+// backpressure on shards that run ahead.
+//
+// fork() (no exec) means arbitrary make_params closures and app factories
+// work unchanged — the child inherits them. The exec'd flavour of the same
+// protocol is `lokimeasure --worker`, which reconstructs the study from an
+// encoded StudyParams file instead.
+//
+// Contract (matching SerialRunner / ThreadPoolRunner):
+//   * emit(k, result) exactly once per index, in increasing k, on the
+//     calling thread;
+//   * failure-prefix semantics: if experiment k fails (generator,
+//     validation, run) or its shard dies mid-study, the completed prefix
+//     0..k-1 is emitted first, then an exception is thrown and no index
+//     past k is emitted. Exceptions crossing the process boundary are
+//     rehydrated by category (ConfigError / LogicError / runtime_error)
+//     with the original message.
+#pragma once
+
+#include <string>
+
+#include "campaign/runner.hpp"
+
+namespace loki::campaign {
+
+class ProcessPoolRunner final : public Runner {
+ public:
+  /// Throws ConfigError when workers < 1.
+  explicit ProcessPoolRunner(int workers);
+
+  std::string name() const override;
+  int parallelism() const override { return workers_; }
+  void run_study(const runtime::StudyParams& study, const EmitFn& emit) override;
+
+ private:
+  int workers_;
+};
+
+/// Shard body, shared by the forked children and `lokimeasure --worker`:
+/// run experiment indices lo, lo+step, lo+2*step, ... (< hi) of `study`,
+/// writing one frame per experiment to `out_fd`. A failing experiment
+/// produces an error frame and ends the range (later indices of this shard
+/// are not run — they are past the first failure by construction). Never
+/// throws for per-experiment failures; propagates only I/O errors on
+/// `out_fd` itself.
+void run_worker_range(const runtime::StudyParams& study, int lo, int hi,
+                      int step, int out_fd);
+
+}  // namespace loki::campaign

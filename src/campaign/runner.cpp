@@ -4,19 +4,17 @@
 #include <condition_variable>
 #include <map>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "campaign/process_runner.hpp"
 #include "campaign/validate.hpp"
 #include "util/error.hpp"
 
 namespace loki::campaign {
 
 namespace {
-
-std::string experiment_context(const runtime::StudyParams& study, int index) {
-  return "study '" + study.name + "' experiment " + std::to_string(index);
-}
 
 runtime::ExperimentParams checked_params(const runtime::StudyParams& study,
                                          int index) {
@@ -141,6 +139,31 @@ void ThreadPoolRunner::run_study(const runtime::StudyParams& study,
 std::shared_ptr<Runner> make_runner(int parallelism) {
   if (parallelism <= 1) return std::make_shared<SerialRunner>();
   return std::make_shared<ThreadPoolRunner>(parallelism);
+}
+
+std::shared_ptr<Runner> parse_runner_spec(const std::string& spec) {
+  const auto bad = [&spec]() -> ConfigError {
+    return ConfigError("bad runner spec '" + spec +
+                       "' (expected serial | threads:N | procs:N)");
+  };
+  const auto workers_of = [&](std::string_view text) {
+    int workers = 0;
+    for (const char c : text) {
+      if (c < '0' || c > '9' || workers > 10'000'000) throw bad();
+      workers = workers * 10 + (c - '0');
+    }
+    if (text.empty() || workers < 1) throw bad();
+    return workers;
+  };
+
+  if (spec == "serial") return std::make_shared<SerialRunner>();
+  const std::string_view view(spec);
+  if (view.starts_with("threads:"))
+    return std::make_shared<ThreadPoolRunner>(workers_of(view.substr(8)));
+  if (view.starts_with("procs:"))
+    return std::make_shared<ProcessPoolRunner>(workers_of(view.substr(6)));
+  // Bare integer: the historical `[workers]` CLI argument.
+  return make_runner(workers_of(view));
 }
 
 }  // namespace loki::campaign

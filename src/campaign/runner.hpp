@@ -76,4 +76,15 @@ class ThreadPoolRunner final : public Runner {
 /// Convenience: 1 worker selects SerialRunner, more select ThreadPoolRunner.
 std::shared_ptr<Runner> make_runner(int parallelism);
 
+/// One runner-selection grammar for every CLI surface (lokimeasure,
+/// examples, benches):
+///
+///   "serial"      SerialRunner
+///   "threads:N"   ThreadPoolRunner(N)
+///   "procs:N"     ProcessPoolRunner(N)   (campaign/process_runner.hpp)
+///   "N"           make_runner(N) — the legacy bare-integer spelling
+///
+/// Throws ConfigError on anything else (including N < 1).
+std::shared_ptr<Runner> parse_runner_spec(const std::string& spec);
+
 }  // namespace loki::campaign

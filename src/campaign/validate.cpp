@@ -94,4 +94,8 @@ void validate_study_params(const runtime::StudyParams& study) {
   if (!study.make_params) fail(context, "make_params is null");
 }
 
+std::string experiment_context(const runtime::StudyParams& study, int index) {
+  return "study '" + study.name + "' experiment " + std::to_string(index);
+}
+
 }  // namespace loki::campaign

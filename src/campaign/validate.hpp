@@ -21,4 +21,8 @@ void validate_experiment_params(const runtime::ExperimentParams& params,
 /// make_params. Throws ConfigError naming the study.
 void validate_study_params(const runtime::StudyParams& study);
 
+/// The standard error-context prefix for one experiment of a study, e.g.
+/// "study 'black' experiment 3" — shared by every runner and the cache.
+std::string experiment_context(const runtime::StudyParams& study, int index);
+
 }  // namespace loki::campaign

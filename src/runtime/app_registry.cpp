@@ -1,0 +1,62 @@
+#include "runtime/app_registry.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace loki::runtime {
+
+namespace {
+
+std::mutex g_mutex;
+
+std::map<std::string, ApplicationCtor>& registry() {
+  static std::map<std::string, ApplicationCtor> r;
+  return r;
+}
+
+// Caller must hold g_mutex.
+std::vector<std::string> names_locked() {
+  std::vector<std::string> names;
+  for (const auto& [name, ctor] : registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace
+
+void register_application(const std::string& name, ApplicationCtor ctor) {
+  if (name.empty()) throw ConfigError("register_application: empty name");
+  if (!ctor) throw ConfigError("register_application: null constructor");
+  std::lock_guard<std::mutex> lock(g_mutex);
+  registry()[name] = std::move(ctor);
+}
+
+bool has_application(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return registry().contains(name);
+}
+
+ApplicationFactory make_application_factory(const std::string& name,
+                                            const std::string& args) {
+  ApplicationCtor ctor;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    const auto it = registry().find(name);
+    if (it == registry().end())
+      throw ConfigError(
+          "application '" + name + "' is not registered (known: " +
+          join(names_locked(), ", ") +
+          "); did you forget apps::register_builtin_apps()?");
+    ctor = it->second;
+  }
+  return ctor(args);
+}
+
+std::vector<std::string> registered_applications() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return names_locked();
+}
+
+}  // namespace loki::runtime

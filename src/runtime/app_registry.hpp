@@ -1,0 +1,37 @@
+// Named application constructors, so an ExperimentParams can cross a
+// serialization boundary.
+//
+// NodeConfig::app_factory is an arbitrary closure — perfect in-process (and
+// across fork(), which inherits it), but meaningless on the wire. A node
+// that must be encodable therefore also carries (app_name, app_args): the
+// registry maps app_name to a constructor that rebuilds the factory from
+// the args string. The built-in applications register themselves via
+// apps::register_builtin_apps(); user applications register the same way.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/app.hpp"
+
+namespace loki::runtime {
+
+/// Rebuilds an ApplicationFactory from the serialized `app_args` string.
+/// Must throw (e.g. ConfigError) on malformed args.
+using ApplicationCtor = std::function<ApplicationFactory(const std::string& args)>;
+
+/// Register (or replace) the constructor for `name`. Thread-safe.
+void register_application(const std::string& name, ApplicationCtor ctor);
+
+bool has_application(const std::string& name);
+
+/// Look up `name` and build the factory from `args`. Throws ConfigError
+/// when `name` is not registered.
+ApplicationFactory make_application_factory(const std::string& name,
+                                            const std::string& args);
+
+/// Registered names, sorted — for error messages and tooling.
+std::vector<std::string> registered_applications();
+
+}  // namespace loki::runtime

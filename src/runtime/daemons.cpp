@@ -432,17 +432,18 @@ void CentralDaemon::start(
 
   // Local-daemon liveness: a broken TCP link to a daemon means its host
   // crashed (§3.6.4). The host counts as empty until the daemon returns.
-  const auto poll = std::make_shared<std::function<void()>>();
-  *poll = [this, poll] {
+  // The poll body lives in the daemon (poll_) and timers capture only
+  // `this`; a closure owning itself via shared_ptr would never be freed.
+  poll_ = [this] {
     if (concluded_) return;
     for (const auto& d : fabric_.daemons()) {
       if (!world_.alive(d->pid())) handle_empty_change(d->host(), true);
     }
     world_.timer(pid_, fabric_.params().watchdog_interval,
-                 fabric_.costs().daemon_route, *poll);
+                 fabric_.costs().daemon_route, [this] { poll_(); });
   };
   world_.timer(pid_, fabric_.params().watchdog_interval,
-               fabric_.costs().daemon_route, *poll);
+               fabric_.costs().daemon_route, [this] { poll_(); });
 
   // Instruct the daemons to start the node-file nodes.
   for (const auto& [nickname, host] : initial_nodes) {

@@ -186,6 +186,9 @@ class CentralDaemon {
   Params params_;
   sim::ProcessId pid_{};
   std::map<std::int32_t, bool> host_empty_;
+  /// Daemon-liveness poll body; a member (not a self-owning closure cycle)
+  /// so it is released with the daemon instead of leaking per experiment.
+  std::function<void()> poll_;
   bool saw_any_node_{false};
   bool concluded_{false};
   bool timed_out_{false};

@@ -54,6 +54,9 @@ class ExperimentRun {
   NodeDirectory directory_;
   std::vector<std::unique_ptr<LokiNode>> nodes_;
   std::map<std::string, int> restart_count_;
+  /// Harness completion-poll body (arm_harness_completion_watch); a member
+  /// so the chain is released with the run instead of leaking.
+  std::function<void()> completion_watch_;
   int pending_restarts_{0};
   bool done_{false};
   bool timed_out_{false};
@@ -220,9 +223,11 @@ void ExperimentRun::handle_crash_report(const std::string& nickname,
 void ExperimentRun::arm_harness_completion_watch() {
   // The Centralized/Direct designs have no central-daemon completion
   // protocol (one of their §3.4 shortcomings); the harness itself polls.
+  // The poll body lives in the run (completion_watch_) and the scheduled
+  // events capture only `this` — a closure owning itself via shared_ptr
+  // would leak once per experiment.
   const Duration poll = milliseconds(10);
-  auto poller = std::make_shared<std::function<void()>>();
-  *poller = [this, poll, poller] {
+  completion_watch_ = [this, poll] {
     if (done_) return;
     const bool all_dead = std::all_of(
         nodes_.begin(), nodes_.end(),
@@ -231,9 +236,9 @@ void ExperimentRun::arm_harness_completion_watch() {
       done_ = true;
       return;
     }
-    world_->at(world_->now() + poll, *poller);
+    world_->at(world_->now() + poll, [this] { completion_watch_(); });
   };
-  world_->at(world_->now() + poll, *poller);
+  world_->at(world_->now() + poll, [this] { completion_watch_(); });
 }
 
 ExperimentResult ExperimentRun::run() {

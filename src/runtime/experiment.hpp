@@ -61,6 +61,12 @@ struct NodeConfig {
   spec::StateMachineSpec sm_spec;  // name() must equal nickname
   spec::FaultSpec fault_spec;
   ApplicationFactory app_factory;
+  /// Wire identity of the application (runtime/app_registry.hpp): required
+  /// only when this node must cross a serialization boundary
+  /// (encode_experiment_params, the result cache, `lokimeasure --worker`).
+  /// app_factory alone suffices for in-process and fork()-based execution.
+  std::string app_name;
+  std::string app_args;
   /// Node-file host: present => started by the central daemon at t0.
   std::optional<std::string> initial_host;
   /// Dynamic entry: enter at this time on `enter_host` (§3.6.1 "new nodes

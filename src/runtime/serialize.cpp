@@ -1,0 +1,555 @@
+#include "runtime/serialize.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "runtime/app_registry.hpp"
+#include "util/codec.hpp"
+#include "util/digest.hpp"
+#include "util/error.hpp"
+
+namespace loki::runtime {
+
+namespace {
+
+using codec::DecodeError;
+using codec::Reader;
+using codec::Writer;
+
+constexpr std::uint8_t kKindParams = 1;
+constexpr std::uint8_t kKindResult = 2;
+constexpr std::uint8_t kKindStudy = 3;
+
+const char kMagic[4] = {'L', 'O', 'K', 'I'};
+
+void put_header(Writer& w, std::uint8_t kind) {
+  w.bytes(reinterpret_cast<const std::uint8_t*>(kMagic), 4);
+  w.u16(kWireVersion);
+  w.u8(kind);
+}
+
+void check_header(Reader& r, std::uint8_t kind) {
+  char magic[4];
+  for (char& c : magic) c = static_cast<char>(r.u8());
+  if (magic[0] != 'L' || magic[1] != 'O' || magic[2] != 'K' || magic[3] != 'I')
+    throw DecodeError("wire: bad magic (not a Loki wire message)");
+  const std::uint16_t version = r.u16();
+  if (version != kWireVersion)
+    throw DecodeError("wire: version mismatch: message has v" +
+                      std::to_string(version) + ", this build speaks v" +
+                      std::to_string(kWireVersion));
+  const std::uint8_t got = r.u8();
+  if (got != kind)
+    throw DecodeError("wire: expected message kind " + std::to_string(kind) +
+                      ", got " + std::to_string(got));
+}
+
+// --- shared small structs ----------------------------------------------------
+
+void put_duration(Writer& w, Duration d) { w.i64(d.ns); }
+Duration get_duration(Reader& r) { return Duration{r.i64()}; }
+
+void put_clock(Writer& w, const sim::ClockParams& c) {
+  put_duration(w, c.alpha);
+  w.f64(c.beta);
+  w.i64(c.granularity_ns);
+}
+sim::ClockParams get_clock(Reader& r) {
+  sim::ClockParams c;
+  c.alpha = get_duration(r);
+  c.beta = r.f64();
+  c.granularity_ns = r.i64();
+  return c;
+}
+
+void put_network(Writer& w, const sim::NetworkParams& n) {
+  put_duration(w, n.ipc.base);
+  put_duration(w, n.ipc.jitter_mean);
+  put_duration(w, n.tcp.base);
+  put_duration(w, n.tcp.jitter_mean);
+}
+sim::NetworkParams get_network(Reader& r) {
+  sim::NetworkParams n;
+  n.ipc.base = get_duration(r);
+  n.ipc.jitter_mean = get_duration(r);
+  n.tcp.base = get_duration(r);
+  n.tcp.jitter_mean = get_duration(r);
+  return n;
+}
+
+template <typename T, typename Fn>
+void put_vec(Writer& w, const std::vector<T>& v, Fn put_one) {
+  w.u64(v.size());
+  for (const T& x : v) put_one(x);
+}
+
+std::uint64_t get_count(Reader& r) {
+  const std::uint64_t n = r.u64();
+  // A count can never exceed the bytes remaining (every element takes at
+  // least one byte); reject early instead of attempting a huge reserve.
+  if (n > r.remaining())
+    throw DecodeError("wire: element count " + std::to_string(n) +
+                      " exceeds remaining bytes");
+  return n;
+}
+
+// --- ExperimentParams body ---------------------------------------------------
+
+void put_params_body(Writer& w, const ExperimentParams& p) {
+  w.u64(p.seed);
+
+  put_vec(w, p.hosts, [&](const HostConfig& h) {
+    w.str(h.name);
+    put_duration(w, h.sched.quantum);
+    put_duration(w, h.sched.ctx_switch);
+    w.f64(h.sched.wake_preempt_prob);
+    w.boolean(h.clock.has_value());
+    if (h.clock) put_clock(w, *h.clock);
+    w.f64(h.load_duty);
+    put_duration(w, h.load_chunk);
+  });
+
+  put_vec(w, p.nodes, [&](const NodeConfig& n) {
+    if (n.app_name.empty())
+      throw ConfigError("wire: node '" + n.nickname +
+                        "': app_name is empty — only nodes with a registered "
+                        "application identity can be serialized");
+    w.str(n.nickname);
+    w.str(n.sm_spec.name());
+    w.str(spec::serialize_state_machine_spec(n.sm_spec));
+    w.str(spec::serialize_fault_spec(n.fault_spec));
+    w.str(n.app_name);
+    w.str(n.app_args);
+    w.boolean(n.initial_host.has_value());
+    if (n.initial_host) w.str(*n.initial_host);
+    w.boolean(n.enter_at.has_value());
+    if (n.enter_at) put_duration(w, *n.enter_at);
+    w.str(n.enter_host);
+    w.boolean(n.restart.enabled);
+    put_duration(w, n.restart.delay);
+    w.u8(static_cast<std::uint8_t>(n.restart.placement));
+    w.str(n.restart.fixed_host);
+    w.i64(n.restart.max_restarts);
+  });
+
+  put_vec(w, p.host_crashes, [&](const HostCrashPlan& c) {
+    w.str(c.host);
+    put_duration(w, c.at);
+    put_duration(w, c.reboot_after);
+  });
+
+  w.u8(static_cast<std::uint8_t>(p.design));
+
+  put_duration(w, p.costs.node_notification_handler);
+  put_duration(w, p.costs.daemon_route);
+  put_duration(w, p.costs.register_handshake);
+  put_duration(w, p.costs.watchdog_handler);
+  put_duration(w, p.costs.probe_injection);
+  put_duration(w, p.costs.app_default_handler);
+  put_duration(w, p.costs.sync_stamp_handler);
+
+  put_duration(w, p.fabric.watchdog_interval);
+  put_duration(w, p.fabric.watchdog_timeout);
+
+  put_duration(w, p.central.experiment_timeout);
+  put_duration(w, p.central.end_confirm_grace);
+
+  w.i64(p.sync.messages_per_pair);
+  put_duration(w, p.sync.spacing);
+  put_duration(w, p.sync.stamp_cost);
+
+  put_network(w, p.app_lan);
+  put_network(w, p.control_lan);
+
+  put_duration(w, p.max_clock_offset);
+  w.f64(p.max_drift_ppm);
+  w.i64(p.clock_granularity_ns);
+  put_duration(w, p.hard_limit);
+}
+
+ExperimentParams get_params_body(Reader& r) {
+  ExperimentParams p;
+  p.seed = r.u64();
+
+  const std::uint64_t n_hosts = get_count(r);
+  p.hosts.reserve(n_hosts);
+  for (std::uint64_t i = 0; i < n_hosts; ++i) {
+    HostConfig h;
+    h.name = r.str();
+    h.sched.quantum = get_duration(r);
+    h.sched.ctx_switch = get_duration(r);
+    h.sched.wake_preempt_prob = r.f64();
+    if (r.boolean()) h.clock = get_clock(r);
+    h.load_duty = r.f64();
+    h.load_chunk = get_duration(r);
+    p.hosts.push_back(std::move(h));
+  }
+
+  const std::uint64_t n_nodes = get_count(r);
+  p.nodes.reserve(n_nodes);
+  for (std::uint64_t i = 0; i < n_nodes; ++i) {
+    NodeConfig n;
+    n.nickname = r.str();
+    const std::string sm_name = r.str();
+    n.sm_spec = spec::parse_state_machine_spec(r.str(), "wire:" + n.nickname);
+    n.sm_spec.set_name(sm_name);
+    n.fault_spec = spec::parse_fault_spec(r.str(), "wire:" + n.nickname);
+    n.app_name = r.str();
+    n.app_args = r.str();
+    n.app_factory = make_application_factory(n.app_name, n.app_args);
+    if (r.boolean()) n.initial_host = r.str();
+    if (r.boolean()) n.enter_at = get_duration(r);
+    n.enter_host = r.str();
+    n.restart.enabled = r.boolean();
+    n.restart.delay = get_duration(r);
+    const std::uint8_t placement = r.u8();
+    if (placement > static_cast<std::uint8_t>(RestartPolicy::Placement::Fixed))
+      throw DecodeError("wire: restart placement out of range");
+    n.restart.placement = static_cast<RestartPolicy::Placement>(placement);
+    n.restart.fixed_host = r.str();
+    n.restart.max_restarts = static_cast<int>(r.i64());
+    p.nodes.push_back(std::move(n));
+  }
+
+  const std::uint64_t n_crashes = get_count(r);
+  p.host_crashes.reserve(n_crashes);
+  for (std::uint64_t i = 0; i < n_crashes; ++i) {
+    HostCrashPlan c;
+    c.host = r.str();
+    c.at = get_duration(r);
+    c.reboot_after = get_duration(r);
+    p.host_crashes.push_back(std::move(c));
+  }
+
+  const std::uint8_t design = r.u8();
+  if (design > static_cast<std::uint8_t>(TransportDesign::Direct))
+    throw DecodeError("wire: transport design out of range");
+  p.design = static_cast<TransportDesign>(design);
+
+  p.costs.node_notification_handler = get_duration(r);
+  p.costs.daemon_route = get_duration(r);
+  p.costs.register_handshake = get_duration(r);
+  p.costs.watchdog_handler = get_duration(r);
+  p.costs.probe_injection = get_duration(r);
+  p.costs.app_default_handler = get_duration(r);
+  p.costs.sync_stamp_handler = get_duration(r);
+
+  p.fabric.watchdog_interval = get_duration(r);
+  p.fabric.watchdog_timeout = get_duration(r);
+
+  p.central.experiment_timeout = get_duration(r);
+  p.central.end_confirm_grace = get_duration(r);
+
+  p.sync.messages_per_pair = static_cast<int>(r.i64());
+  p.sync.spacing = get_duration(r);
+  p.sync.stamp_cost = get_duration(r);
+
+  p.app_lan = get_network(r);
+  p.control_lan = get_network(r);
+
+  p.max_clock_offset = get_duration(r);
+  p.max_drift_ppm = r.f64();
+  p.clock_granularity_ns = r.i64();
+  p.hard_limit = get_duration(r);
+  return p;
+}
+
+// --- ExperimentResult body ---------------------------------------------------
+
+void put_timeline(Writer& w, const LocalTimeline& t) {
+  w.str(t.nickname);
+  w.str(t.initial_host);
+  put_vec(w, t.machines, [&](const std::string& s) { w.str(s); });
+  put_vec(w, t.states, [&](const std::string& s) { w.str(s); });
+  put_vec(w, t.events, [&](const std::string& s) { w.str(s); });
+  put_vec(w, t.faults, [&](const TimelineFaultEntry& f) {
+    w.str(f.name);
+    w.str(f.expr_text);
+    w.u8(static_cast<std::uint8_t>(f.trigger));
+  });
+  put_vec(w, t.records, [&](const TimelineRecord& rec) {
+    w.u8(static_cast<std::uint8_t>(rec.type));
+    w.u32(rec.event_index);
+    w.u32(rec.state_index);
+    w.u32(rec.fault_index);
+    w.str(rec.host);
+    w.i64(rec.time.ns);
+  });
+}
+
+std::vector<std::string> get_string_vec(Reader& r) {
+  const std::uint64_t n = get_count(r);
+  std::vector<std::string> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(r.str());
+  return v;
+}
+
+LocalTimeline get_timeline(Reader& r) {
+  LocalTimeline t;
+  t.nickname = r.str();
+  t.initial_host = r.str();
+  t.machines = get_string_vec(r);
+  t.states = get_string_vec(r);
+  t.events = get_string_vec(r);
+  const std::uint64_t n_faults = get_count(r);
+  t.faults.reserve(n_faults);
+  for (std::uint64_t i = 0; i < n_faults; ++i) {
+    TimelineFaultEntry f;
+    f.name = r.str();
+    f.expr_text = r.str();
+    const std::uint8_t trig = r.u8();
+    if (trig > static_cast<std::uint8_t>(spec::Trigger::Always))
+      throw DecodeError("wire: fault trigger out of range");
+    f.trigger = static_cast<spec::Trigger>(trig);
+    t.faults.push_back(std::move(f));
+  }
+  const std::uint64_t n_records = get_count(r);
+  t.records.reserve(n_records);
+  for (std::uint64_t i = 0; i < n_records; ++i) {
+    TimelineRecord rec;
+    const std::uint8_t type = r.u8();
+    if (type > static_cast<std::uint8_t>(RecordType::Restart))
+      throw DecodeError("wire: timeline record type out of range");
+    rec.type = static_cast<RecordType>(type);
+    rec.event_index = r.u32();
+    rec.state_index = r.u32();
+    rec.fault_index = r.u32();
+    rec.host = r.str();
+    rec.time = LocalTime{r.i64()};
+    t.records.push_back(std::move(rec));
+  }
+  return t;
+}
+
+void put_result_body(Writer& w, const ExperimentResult& res) {
+  w.u64(res.timelines.size());
+  for (const auto& [name, timeline] : res.timelines) {
+    w.str(name);
+    put_timeline(w, timeline);
+  }
+
+  w.u64(res.user_messages.size());
+  for (const auto& [name, messages] : res.user_messages) {
+    w.str(name);
+    put_vec(w, messages, [&](const std::string& m) { w.str(m); });
+  }
+
+  put_vec(w, res.sync_samples, [&](const clocksync::SyncSample& s) {
+    w.str(s.from);
+    w.str(s.to);
+    w.i64(s.send.ns);
+    w.i64(s.recv.ns);
+  });
+
+  const auto put_local_map = [&](const std::map<std::string, LocalTime>& m) {
+    w.u64(m.size());
+    for (const auto& [name, t] : m) {
+      w.str(name);
+      w.i64(t.ns);
+    }
+  };
+  put_local_map(res.start_local);
+  put_local_map(res.end_local);
+
+  w.u64(res.truth.state_seq.size());
+  for (const auto& [machine, seq] : res.truth.state_seq) {
+    w.str(machine);
+    put_vec(w, seq, [&](const std::pair<SimTime, std::string>& e) {
+      w.i64(e.first.ns);
+      w.str(e.second);
+    });
+  }
+  put_vec(w, res.truth.injections, [&](const TrueInjection& inj) {
+    w.str(inj.machine);
+    w.str(inj.fault);
+    w.i64(inj.at.ns);
+  });
+  w.u64(res.truth.crashes.size());
+  for (const auto& [machine, times] : res.truth.crashes) {
+    w.str(machine);
+    put_vec(w, times, [&](SimTime t) { w.i64(t.ns); });
+  }
+
+  w.u64(res.true_clocks.size());
+  for (const auto& [host, clock] : res.true_clocks) {
+    w.str(host);
+    put_clock(w, clock);
+  }
+
+  w.i64(res.start_phys.ns);
+  w.i64(res.end_phys.ns);
+  w.boolean(res.completed);
+  w.boolean(res.timed_out);
+  w.u64(res.dropped_notifications);
+  w.u64(res.control_messages);
+  w.u64(res.app_messages);
+}
+
+ExperimentResult get_result_body(Reader& r) {
+  ExperimentResult res;
+
+  const std::uint64_t n_timelines = get_count(r);
+  for (std::uint64_t i = 0; i < n_timelines; ++i) {
+    std::string name = r.str();
+    res.timelines.emplace(std::move(name), get_timeline(r));
+  }
+
+  const std::uint64_t n_msgs = get_count(r);
+  for (std::uint64_t i = 0; i < n_msgs; ++i) {
+    std::string name = r.str();
+    res.user_messages.emplace(std::move(name), get_string_vec(r));
+  }
+
+  const std::uint64_t n_samples = get_count(r);
+  res.sync_samples.reserve(n_samples);
+  for (std::uint64_t i = 0; i < n_samples; ++i) {
+    clocksync::SyncSample s;
+    s.from = r.str();
+    s.to = r.str();
+    s.send = LocalTime{r.i64()};
+    s.recv = LocalTime{r.i64()};
+    res.sync_samples.push_back(std::move(s));
+  }
+
+  const auto get_local_map = [&] {
+    std::map<std::string, LocalTime> m;
+    const std::uint64_t n = get_count(r);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::string name = r.str();
+      m.emplace(std::move(name), LocalTime{r.i64()});
+    }
+    return m;
+  };
+  res.start_local = get_local_map();
+  res.end_local = get_local_map();
+
+  const std::uint64_t n_seq = get_count(r);
+  for (std::uint64_t i = 0; i < n_seq; ++i) {
+    std::string machine = r.str();
+    const std::uint64_t n_entries = get_count(r);
+    std::vector<std::pair<SimTime, std::string>> seq;
+    seq.reserve(n_entries);
+    for (std::uint64_t j = 0; j < n_entries; ++j) {
+      const SimTime t{r.i64()};
+      seq.emplace_back(t, r.str());
+    }
+    res.truth.state_seq.emplace(std::move(machine), std::move(seq));
+  }
+  const std::uint64_t n_inj = get_count(r);
+  res.truth.injections.reserve(n_inj);
+  for (std::uint64_t i = 0; i < n_inj; ++i) {
+    TrueInjection inj;
+    inj.machine = r.str();
+    inj.fault = r.str();
+    inj.at = SimTime{r.i64()};
+    res.truth.injections.push_back(std::move(inj));
+  }
+  const std::uint64_t n_crash = get_count(r);
+  for (std::uint64_t i = 0; i < n_crash; ++i) {
+    std::string machine = r.str();
+    const std::uint64_t n_times = get_count(r);
+    std::vector<SimTime> times;
+    times.reserve(n_times);
+    for (std::uint64_t j = 0; j < n_times; ++j) times.push_back(SimTime{r.i64()});
+    res.truth.crashes.emplace(std::move(machine), std::move(times));
+  }
+
+  const std::uint64_t n_clocks = get_count(r);
+  for (std::uint64_t i = 0; i < n_clocks; ++i) {
+    std::string host = r.str();
+    res.true_clocks.emplace(std::move(host), get_clock(r));
+  }
+
+  res.start_phys = SimTime{r.i64()};
+  res.end_phys = SimTime{r.i64()};
+  res.completed = r.boolean();
+  res.timed_out = r.boolean();
+  res.dropped_notifications = r.u64();
+  res.control_messages = r.u64();
+  res.app_messages = r.u64();
+  return res;
+}
+
+}  // namespace
+
+// --- public API --------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_experiment_params(const ExperimentParams& p) {
+  Writer w;
+  put_header(w, kKindParams);
+  put_params_body(w, p);
+  return w.take();
+}
+
+ExperimentParams decode_experiment_params(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  check_header(r, kKindParams);
+  ExperimentParams p = get_params_body(r);
+  r.expect_done();
+  return p;
+}
+
+std::vector<std::uint8_t> encode_experiment_result(const ExperimentResult& res) {
+  Writer w;
+  put_header(w, kKindResult);
+  put_result_body(w, res);
+  return w.take();
+}
+
+ExperimentResult decode_experiment_result(const std::uint8_t* data,
+                                          std::size_t size) {
+  Reader r(data, size);
+  check_header(r, kKindResult);
+  ExperimentResult res = get_result_body(r);
+  r.expect_done();
+  return res;
+}
+
+ExperimentResult decode_experiment_result(const std::vector<std::uint8_t>& bytes) {
+  return decode_experiment_result(bytes.data(), bytes.size());
+}
+
+std::vector<std::uint8_t> encode_study_params(const StudyParams& study) {
+  if (!study.make_params)
+    throw ConfigError("wire: study '" + study.name + "' has no make_params");
+  Writer w;
+  put_header(w, kKindStudy);
+  w.str(study.name);
+  const int n = study.experiments;
+  w.u32(n < 0 ? 0u : static_cast<std::uint32_t>(n));
+  for (int k = 0; k < n; ++k) put_params_body(w, study.make_params(k));
+  return w.take();
+}
+
+StudyParams decode_study_params(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  check_header(r, kKindStudy);
+  StudyParams study;
+  study.name = r.str();
+  const std::uint32_t n = r.u32();
+  // Same sanity bound as get_count(): every params body takes at least one
+  // byte, so a corrupt count must not become a giant reserve().
+  if (n > r.remaining())
+    throw DecodeError("wire: study experiment count " + std::to_string(n) +
+                      " exceeds remaining bytes");
+  auto materialized = std::make_shared<std::vector<ExperimentParams>>();
+  materialized->reserve(n);
+  for (std::uint32_t k = 0; k < n; ++k)
+    materialized->push_back(get_params_body(r));
+  r.expect_done();
+  study.experiments = static_cast<int>(n);
+  study.make_params = [materialized](int k) {
+    if (k < 0 || static_cast<std::size_t>(k) >= materialized->size())
+      throw ConfigError("wire: replayed study index " + std::to_string(k) +
+                        " out of range");
+    return (*materialized)[static_cast<std::size_t>(k)];
+  };
+  return study;
+}
+
+std::string experiment_cache_key(const ExperimentParams& p) {
+  return util::sha256_hex(encode_experiment_params(p));
+}
+
+}  // namespace loki::runtime

@@ -1,0 +1,63 @@
+// Versioned binary wire format for campaign data.
+//
+// Three message kinds share one envelope — 4-byte magic "LOKI", a u16
+// format version, a u8 kind — followed by a kind-specific body of
+// little-endian scalars and length-prefixed strings (util/codec.hpp):
+//
+//   kind 1  ExperimentParams   full experiment configuration
+//   kind 2  ExperimentResult   timelines, sync samples, ground truth, stats
+//   kind 3  StudyParams        study name + every experiment's params,
+//                              materialized through make_params
+//
+// Versioning rules:
+//   * Any change to an encoded field — layout, meaning, or default — bumps
+//     kWireVersion. There is no in-place field evolution: decoders speak
+//     exactly one version and reject everything else with DecodeError.
+//   * Because the version is part of the encoded bytes, every cache key
+//     (sha256 of an encoded ExperimentParams) changes with it, so a format
+//     bump automatically invalidates stale ResultCache entries instead of
+//     misreading them.
+//
+// StudyParams is a closure (make_params) in memory; on the wire it is the
+// *materialized* study — each index's generated ExperimentParams, in order.
+// Decoding yields a StudyParams whose generator replays those params, which
+// is exactly what a shard worker in another process needs. Generators must
+// be deterministic per index for this to be faithful (the documented
+// campaign contract).
+//
+// ExperimentParams carries an ApplicationFactory closure per node; on the
+// wire a node is identified by (app_name, app_args) instead, resolved
+// against runtime/app_registry.hpp at decode time. Encoding a node with an
+// empty app_name throws ConfigError.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/experiment.hpp"
+
+namespace loki::runtime {
+
+/// Bump on ANY change to the encoding (see versioning rules above).
+inline constexpr std::uint16_t kWireVersion = 1;
+
+std::vector<std::uint8_t> encode_experiment_params(const ExperimentParams& p);
+ExperimentParams decode_experiment_params(const std::vector<std::uint8_t>& bytes);
+
+std::vector<std::uint8_t> encode_experiment_result(const ExperimentResult& r);
+ExperimentResult decode_experiment_result(const std::vector<std::uint8_t>& bytes);
+/// Zero-copy flavour for decoding out of a larger buffer (e.g. a shard
+/// frame) without slicing it into a fresh vector first.
+ExperimentResult decode_experiment_result(const std::uint8_t* data,
+                                          std::size_t size);
+
+std::vector<std::uint8_t> encode_study_params(const StudyParams& study);
+StudyParams decode_study_params(const std::vector<std::uint8_t>& bytes);
+
+/// Content address of one experiment: sha256 hex of the encoded params.
+/// Experiments with equal keys produce byte-identical results (run_experiment
+/// is deterministic in its params, and the seed is part of the encoding).
+std::string experiment_cache_key(const ExperimentParams& p);
+
+}  // namespace loki::runtime

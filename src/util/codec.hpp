@@ -1,0 +1,114 @@
+// Little-endian binary codec underpinning the wire format (runtime/
+// serialize.*) and the framed pipe protocol (util/pipe_io.*).
+//
+// Writer appends fixed-width little-endian scalars and length-prefixed
+// strings to a byte buffer; Reader consumes them and throws DecodeError on
+// any truncation or overrun, so a short or corrupted frame can never be
+// silently misread as valid data. Floating-point values travel as their
+// IEEE-754 bit patterns (std::bit_cast), which round-trips NaN payloads and
+// infinities exactly.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace loki::codec {
+
+/// Malformed wire data: truncation, bad magic, unsupported version,
+/// out-of-range enum values. Deliberately distinct from ParseError (user
+/// spec files) and ConfigError (experiment configuration).
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { unsigned_le(v, 2); }
+  void u32(std::uint32_t v) { unsigned_le(v, 4); }
+  void u64(std::uint64_t v) { unsigned_le(v, 8); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(std::string_view s) {
+    u64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void bytes(const std::uint8_t* data, std::size_t n) {
+    buf_.insert(buf_.end(), data, data + n);
+  }
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  void unsigned_le(std::uint64_t v, int width) {
+    for (int i = 0; i < width; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  explicit Reader(const std::vector<std::uint8_t>& buf)
+      : Reader(buf.data(), buf.size()) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(unsigned_le(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(unsigned_le(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(unsigned_le(4)); }
+  std::uint64_t u64() { return unsigned_le(8); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) throw DecodeError("codec: boolean byte out of range");
+    return v == 1;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    require(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+  /// Every decoder's final check: trailing garbage is as suspect as
+  /// truncation.
+  void expect_done() const {
+    if (!done())
+      throw DecodeError("codec: " + std::to_string(remaining()) +
+                        " unconsumed trailing bytes");
+  }
+
+ private:
+  void require(std::uint64_t n) const {
+    if (n > size_ - pos_)
+      throw DecodeError("codec: truncated input (need " + std::to_string(n) +
+                        " bytes, have " + std::to_string(size_ - pos_) + ")");
+  }
+  std::uint64_t unsigned_le(int width) {
+    require(static_cast<std::uint64_t>(width));
+    std::uint64_t v = 0;
+    for (int i = 0; i < width; ++i)
+      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    pos_ += static_cast<std::size_t>(width);
+    return v;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_{0};
+};
+
+}  // namespace loki::codec

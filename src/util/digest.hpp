@@ -1,0 +1,39 @@
+// SHA-256, for content-addressing cached experiment results.
+//
+// The cache key of an experiment is the SHA-256 of its encoded
+// ExperimentParams (runtime/serialize.*), so the key changes whenever any
+// behaviour-affecting parameter — or the wire format version itself —
+// changes. A cryptographic digest keeps accidental collisions out of the
+// picture even across campaigns of millions of experiments.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace loki::util {
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(const void* data, std::size_t len);
+  /// Finalize and return the 32-byte digest. The object must not be updated
+  /// afterwards.
+  std::array<std::uint8_t, 32> finish();
+
+ private:
+  void compress(const std::uint8_t block[64]);
+
+  std::array<std::uint32_t, 8> state_;
+  std::uint64_t total_len_{0};
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_{0};
+};
+
+/// One-shot digest, rendered as 64 lowercase hex characters.
+std::string sha256_hex(const std::vector<std::uint8_t>& bytes);
+std::string sha256_hex(const void* data, std::size_t len);
+
+}  // namespace loki::util

@@ -1,0 +1,82 @@
+#include "util/pipe_io.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include <unistd.h>
+
+#include "util/codec.hpp"
+
+namespace loki::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* op) {
+  throw std::runtime_error(std::string("pipe_io: ") + op + ": " +
+                           std::strerror(errno));
+}
+
+/// Read exactly `len` bytes. Returns the number actually read, which is
+/// only < len when EOF arrived first.
+std::size_t read_upto(int fd, void* data, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, p + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("read");
+    }
+    if (n == 0) break;  // EOF
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+}  // namespace
+
+void write_exact(int fd, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t written = 0;
+  while (written < len) {
+    const ssize_t n = ::write(fd, p + written, len - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+void write_frame(int fd, const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > kMaxFrameBytes)
+    throw std::runtime_error("pipe_io: frame exceeds kMaxFrameBytes");
+  std::uint8_t header[4];
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i)
+    header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  write_exact(fd, header, 4);
+  if (!payload.empty()) write_exact(fd, payload.data(), payload.size());
+}
+
+std::optional<std::vector<std::uint8_t>> read_frame(int fd) {
+  std::uint8_t header[4];
+  const std::size_t got = read_upto(fd, header, 4);
+  if (got == 0) return std::nullopt;
+  if (got < 4)
+    throw codec::DecodeError("pipe_io: stream ended inside a frame header");
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  if (len > kMaxFrameBytes)
+    throw codec::DecodeError("pipe_io: frame length " + std::to_string(len) +
+                             " exceeds limit (corrupt stream?)");
+  std::vector<std::uint8_t> payload(len);
+  if (read_upto(fd, payload.data(), len) < len)
+    throw codec::DecodeError("pipe_io: stream ended inside a frame payload");
+  return payload;
+}
+
+}  // namespace loki::util

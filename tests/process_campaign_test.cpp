@@ -1,0 +1,386 @@
+// Process-sharded execution and the result cache: ProcessPoolRunner must be
+// indistinguishable from SerialRunner (byte-identical results, identical
+// sink event sequence, identical failure prefix), `run_worker_range` speaks
+// the shard frame protocol, and a warm ResultCache serves a repeated study
+// with zero run_experiment calls.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fcntl.h>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "apps/election.hpp"
+#include "campaign/cache.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/process_runner.hpp"
+#include "runtime/serialize.hpp"
+#include "util/codec.hpp"
+#include "util/error.hpp"
+#include "util/pipe_io.hpp"
+
+namespace loki {
+namespace {
+
+using runtime::ExperimentParams;
+using runtime::ExperimentResult;
+
+const std::vector<std::string> kHosts = {"hostA", "hostB", "hostC"};
+const std::vector<std::pair<std::string, std::string>> kPlacement = {
+    {"black", "hostA"}, {"yellow", "hostB"}, {"green", "hostC"}};
+
+ExperimentParams election_params(std::uint64_t seed) {
+  apps::ElectionParams app;
+  app.run_for = milliseconds(300);
+  app.fault_activation_prob = 0.85;
+  return apps::election_experiment(seed, kHosts, kPlacement, app);
+}
+
+runtime::StudyParams fault_study(const std::string& name, int experiments,
+                                 std::uint64_t base_seed = 3000) {
+  runtime::StudyParams study;
+  study.name = name;
+  study.experiments = experiments;
+  study.make_params = [base_seed](int k) {
+    auto p = election_params(base_seed + static_cast<std::uint64_t>(k));
+    p.nodes[0].fault_spec =
+        spec::parse_fault_spec("bfault1 (black:LEAD) always\n", "t");
+    p.nodes[0].restart.enabled = true;
+    p.nodes[0].restart.delay = milliseconds(60);
+    return p;
+  };
+  return study;
+}
+
+/// One observed sink event, rendered comparable.
+struct Event {
+  std::string kind;
+  std::string study;
+  int index{-1};
+  std::vector<std::uint8_t> result_bytes;
+
+  bool operator==(const Event&) const = default;
+};
+
+/// Run `study` through `runner` via the full Campaign, recording the exact
+/// sink event sequence (results as encoded bytes).
+std::vector<Event> record_events(std::shared_ptr<campaign::Runner> runner,
+                                 const runtime::StudyParams& study,
+                                 std::shared_ptr<campaign::ResultCache> cache =
+                                     nullptr) {
+  std::vector<Event> events;
+  auto sink = std::make_shared<campaign::CallbackSink>();
+  sink->campaign_begin([&](int n) {
+    events.push_back({"campaign_begin", std::to_string(n), -1, {}});
+  });
+  sink->study_begin([&](const campaign::StudyInfo& info) {
+    events.push_back({"study_begin", info.name, -1, {}});
+  });
+  sink->experiment([&](const campaign::StudyInfo& info, int index,
+                       const ExperimentResult& result) {
+    events.push_back({"experiment", info.name, index,
+                      runtime::encode_experiment_result(result)});
+  });
+  sink->study_done([&](const campaign::StudyInfo& info) {
+    events.push_back({"study_done", info.name, -1, {}});
+  });
+  sink->campaign_done(
+      [&] { events.push_back({"campaign_done", "", -1, {}}); });
+
+  CampaignBuilder builder;
+  builder.add(study).runner(std::move(runner)).sink(sink);
+  if (cache) builder.cache(std::move(cache));
+  builder.build().run();
+  return events;
+}
+
+std::string temp_dir(const std::string& tag) {
+  const std::string dir = testing::TempDir() + "loki-" + tag + "-" +
+                          std::to_string(::getpid());
+  // A previous ctest invocation may have left a warm cache here; these
+  // tests assert cold-start stats, so start clean.
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// A runner that must never be asked to run anything — proof that a warm
+/// cache performs zero run_experiment calls.
+class ForbiddenRunner final : public campaign::Runner {
+ public:
+  std::string name() const override { return "forbidden"; }
+  int parallelism() const override { return 1; }
+  void run_study(const runtime::StudyParams& study,
+                 const campaign::EmitFn&) override {
+    throw LogicError("ForbiddenRunner invoked for study '" + study.name + "'");
+  }
+};
+
+// --- serial <-> process identity --------------------------------------------
+
+TEST(ProcessRunner, ByteIdenticalToSerialIncludingSinkSequence) {
+  const auto study = fault_study("identity", 7);
+  const auto serial =
+      record_events(std::make_shared<campaign::SerialRunner>(), study);
+  const auto sharded =
+      record_events(std::make_shared<campaign::ProcessPoolRunner>(3), study);
+  ASSERT_EQ(serial.size(), sharded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(serial[i], sharded[i]) << "event " << i;
+}
+
+TEST(ProcessRunner, MoreWorkersThanExperiments) {
+  const auto study = fault_study("overprovisioned", 2);
+  const auto serial =
+      record_events(std::make_shared<campaign::SerialRunner>(), study);
+  const auto sharded =
+      record_events(std::make_shared<campaign::ProcessPoolRunner>(8), study);
+  EXPECT_EQ(serial, sharded);
+}
+
+TEST(ProcessRunner, RejectsNonPositiveWorkers) {
+  EXPECT_THROW(campaign::ProcessPoolRunner(0), ConfigError);
+}
+
+// --- failure-prefix semantics ------------------------------------------------
+
+/// A study whose generator throws ConfigError at `fail_at`.
+runtime::StudyParams failing_study(int experiments, int fail_at) {
+  runtime::StudyParams study = fault_study("failing", experiments, 4000);
+  auto inner = study.make_params;
+  study.make_params = [inner, fail_at](int k) {
+    if (k == fail_at)
+      throw ConfigError("generator exploded at " + std::to_string(k));
+    return inner(k);
+  };
+  return study;
+}
+
+TEST(ProcessRunner, FailurePrefixMatchesSerial) {
+  const int fail_at = 3;
+  const auto study = failing_study(6, fail_at);
+
+  const auto run_one = [&](std::shared_ptr<campaign::Runner> runner) {
+    std::vector<int> emitted;
+    std::string error;
+    try {
+      runner->run_study(study, [&](int k, ExperimentResult&&) {
+        emitted.push_back(k);
+      });
+    } catch (const ConfigError& e) {
+      error = e.what();
+    }
+    return std::pair(emitted, error);
+  };
+
+  const auto [serial_emitted, serial_error] =
+      run_one(std::make_shared<campaign::SerialRunner>());
+  const auto [proc_emitted, proc_error] =
+      run_one(std::make_shared<campaign::ProcessPoolRunner>(2));
+
+  EXPECT_EQ(serial_emitted, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(proc_emitted, serial_emitted);
+  ASSERT_FALSE(serial_error.empty());
+  ASSERT_FALSE(proc_error.empty());
+  // The remote ConfigError is rehydrated with the original message.
+  EXPECT_NE(proc_error.find("generator exploded at 3"), std::string::npos)
+      << proc_error;
+}
+
+// --- the shard frame protocol ------------------------------------------------
+
+TEST(WorkerRange, FramesDecodeToSerialResults) {
+  const auto study = fault_study("worker", 3, 5000);
+
+  // Write the shard's frames into a temp file (a pipe would need a reader
+  // thread once results exceed its buffer).
+  const std::string path = temp_dir("frames") + ".bin";
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0600);
+  ASSERT_GE(fd, 0);
+  campaign::run_worker_range(study, 0, 3, 1, fd);
+  ASSERT_EQ(::lseek(fd, 0, SEEK_SET), 0);
+
+  for (int k = 0; k < 3; ++k) {
+    const auto frame = util::read_frame(fd);
+    ASSERT_TRUE(frame.has_value()) << "missing frame " << k;
+    codec::Reader r(*frame);
+    EXPECT_EQ(r.u8(), 0) << "status ok";
+    EXPECT_EQ(r.u32(), static_cast<std::uint32_t>(k));
+    const std::vector<std::uint8_t> encoded(frame->begin() + 5, frame->end());
+    const ExperimentResult from_frame =
+        runtime::decode_experiment_result(encoded);
+    const ExperimentResult direct =
+        runtime::run_experiment(study.make_params(k));
+    EXPECT_EQ(runtime::encode_experiment_result(from_frame),
+              runtime::encode_experiment_result(direct));
+  }
+  EXPECT_FALSE(util::read_frame(fd).has_value()) << "clean EOF after range";
+  ::close(fd);
+  std::remove(path.c_str());
+}
+
+// --- the result cache --------------------------------------------------------
+
+TEST(ResultCacheTest, WarmRerunPerformsZeroRuns) {
+  const auto study = fault_study("cached", 5, 6000);
+  const std::string dir = temp_dir("cache-warm");
+
+  auto cache = std::make_shared<campaign::ResultCache>(dir);
+  const auto cold = record_events(std::make_shared<campaign::SerialRunner>(),
+                                  study, cache);
+  EXPECT_EQ(cache->stats().stores, 5u);
+  EXPECT_EQ(cache->stats().hits, 0u);
+
+  // Second, identical study: the runner must never be invoked, and the
+  // sink event sequence must be byte-identical to the cold run.
+  auto cache2 = std::make_shared<campaign::ResultCache>(dir);
+  const auto warm =
+      record_events(std::make_shared<ForbiddenRunner>(), study, cache2);
+  EXPECT_EQ(cache2->stats().hits, 5u);
+  EXPECT_EQ(cache2->stats().misses, 0u);
+  EXPECT_EQ(cold, warm);
+}
+
+TEST(ResultCacheTest, PartialWarmRunsOnlyMissesAndInterleavesInOrder) {
+  const std::string dir = temp_dir("cache-partial");
+
+  // Warm indices 0..2 (a prefix study with the same seeds).
+  auto cache = std::make_shared<campaign::ResultCache>(dir);
+  record_events(std::make_shared<campaign::SerialRunner>(),
+                fault_study("grow", 3, 7000), cache);
+
+  // Extend to 7 experiments: 3 hits + 4 fresh, emitted 0..6 in order and
+  // byte-identical to an uncached serial run.
+  const auto study = fault_study("grow", 7, 7000);
+  auto cache2 = std::make_shared<campaign::ResultCache>(dir);
+  const auto mixed = record_events(std::make_shared<campaign::SerialRunner>(),
+                                   study, cache2);
+  EXPECT_EQ(cache2->stats().hits, 3u);
+  EXPECT_EQ(cache2->stats().stores, 4u);
+
+  const auto uncached =
+      record_events(std::make_shared<campaign::SerialRunner>(), study);
+  EXPECT_EQ(mixed, uncached);
+
+  // And a third run is now fully warm.
+  auto cache3 = std::make_shared<campaign::ResultCache>(dir);
+  const auto warm = record_events(std::make_shared<ForbiddenRunner>(), study,
+                                  cache3);
+  EXPECT_EQ(cache3->stats().hits, 7u);
+  EXPECT_EQ(warm, uncached);
+}
+
+TEST(ResultCacheTest, ProcessRunnerMissesFillTheCacheIdentically) {
+  const std::string dir_proc = temp_dir("cache-proc");
+  const std::string dir_serial = temp_dir("cache-serial");
+  const auto study = fault_study("xrunner", 4, 8000);
+
+  auto cache_proc = std::make_shared<campaign::ResultCache>(dir_proc);
+  const auto via_procs = record_events(
+      std::make_shared<campaign::ProcessPoolRunner>(2), study, cache_proc);
+  auto cache_serial = std::make_shared<campaign::ResultCache>(dir_serial);
+  const auto via_serial = record_events(
+      std::make_shared<campaign::SerialRunner>(), study, cache_serial);
+  EXPECT_EQ(via_procs, via_serial);
+
+  // Caches warmed by different runners serve each other's studies.
+  auto reuse = std::make_shared<campaign::ResultCache>(dir_proc);
+  const auto warm =
+      record_events(std::make_shared<ForbiddenRunner>(), study, reuse);
+  EXPECT_EQ(warm, via_serial);
+}
+
+TEST(ResultCacheTest, SinkFailureDuringCachedEmitDoesNotDoubleEmit) {
+  const std::string dir = temp_dir("cache-sink-throw");
+
+  // Warm indices 0..2, then run 5 experiments with a sink that explodes on
+  // cached index 1 (delivered while interleaving ahead of fresh index 3).
+  auto warmup = std::make_shared<campaign::ResultCache>(dir);
+  record_events(std::make_shared<campaign::SerialRunner>(),
+                fault_study("boom", 3, 11'000), warmup);
+
+  const auto study = fault_study("boom", 5, 11'000);
+  std::vector<int> emitted;
+  auto sink = std::make_shared<campaign::CallbackSink>();
+  sink->experiment([&](const campaign::StudyInfo&, int index,
+                       const ExperimentResult&) {
+    emitted.push_back(index);
+    if (index == 1) throw std::runtime_error("sink exploded");
+  });
+  CampaignBuilder builder;
+  builder.add(study)
+      .runner(std::make_shared<campaign::SerialRunner>())
+      .cache(std::make_shared<campaign::ResultCache>(dir))
+      .sink(sink);
+  Campaign campaign = builder.build();
+  EXPECT_THROW(campaign.run(), std::runtime_error);
+  // Exactly-once even on failure: index 1 was attempted once and is never
+  // re-delivered (with a moved-from result) by the failure-prefix flush.
+  EXPECT_EQ(emitted, (std::vector<int>{0, 1}));
+}
+
+TEST(ResultCacheTest, CorruptEntryIsAMissNotAnError) {
+  const std::string dir = temp_dir("cache-corrupt");
+  campaign::ResultCache cache(dir);
+  const auto params = fault_study("c", 1, 9000).make_params(0);
+  const std::string key = runtime::experiment_cache_key(params);
+
+  cache.store(key, ExperimentResult{});
+  ASSERT_TRUE(cache.lookup(key).has_value());
+
+  // Truncate the stored file; the next lookup must degrade to a miss.
+  {
+    std::FILE* f = std::fopen((dir + "/" + key + ".result").c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("LOKI", f);  // valid magic, nothing else
+    std::fclose(f);
+  }
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_THROW(cache.lookup("not-a-key"), ConfigError);
+}
+
+TEST(CacheSinkTest, WarmsACacheFromAPlainCampaign) {
+  const std::string dir = temp_dir("cache-sink");
+  const auto study = fault_study("sinky", 3, 10'000);
+
+  auto cache = std::make_shared<campaign::ResultCache>(dir);
+  auto sink = std::make_shared<campaign::CacheSink>(cache);
+  sink->study(study);
+  CampaignBuilder builder;
+  builder.add(study).sink(sink);
+  builder.build().run();
+  EXPECT_EQ(cache->stats().stores, 3u);
+
+  // The warmed cache then serves the same study without any runs.
+  auto reuse = std::make_shared<campaign::ResultCache>(dir);
+  const auto warm =
+      record_events(std::make_shared<ForbiddenRunner>(), study, reuse);
+  EXPECT_EQ(reuse->stats().hits, 3u);
+  const auto uncached =
+      record_events(std::make_shared<campaign::SerialRunner>(), study);
+  EXPECT_EQ(warm, uncached);
+}
+
+// --- runner spec grammar -----------------------------------------------------
+
+TEST(RunnerSpec, ParsesEveryBackend) {
+  EXPECT_EQ(campaign::parse_runner_spec("serial")->name(), "serial");
+  EXPECT_EQ(campaign::parse_runner_spec("threads:3")->name(), "thread-pool(3)");
+  EXPECT_EQ(campaign::parse_runner_spec("procs:5")->name(), "process-pool(5)");
+  EXPECT_EQ(campaign::parse_runner_spec("procs:5")->parallelism(), 5);
+  // Legacy bare integers keep working.
+  EXPECT_EQ(campaign::parse_runner_spec("1")->name(), "serial");
+  EXPECT_EQ(campaign::parse_runner_spec("4")->name(), "thread-pool(4)");
+}
+
+TEST(RunnerSpec, RejectsMalformedSpecs) {
+  for (const char* bad : {"", "serial:2", "threads:", "threads:0", "procs:-1",
+                          "procs:x", "fibers:2", "2.5"})
+    EXPECT_THROW(campaign::parse_runner_spec(bad), ConfigError) << bad;
+}
+
+}  // namespace
+}  // namespace loki

@@ -1,0 +1,281 @@
+// The versioned wire format (runtime/serialize.*): round-trip fidelity for
+// ExperimentParams / ExperimentResult / StudyParams — including NaN/inf
+// statistics, empty timelines and long strings — plus envelope hygiene:
+// version-mismatch rejection, bad magic, truncated frames, trailing bytes.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "apps/election.hpp"
+#include "apps/registry.hpp"
+#include "campaign/campaign.hpp"
+#include "runtime/serialize.hpp"
+#include "util/codec.hpp"
+#include "util/digest.hpp"
+#include "util/error.hpp"
+
+namespace loki {
+namespace {
+
+using codec::DecodeError;
+using runtime::ExperimentParams;
+using runtime::ExperimentResult;
+
+const std::vector<std::string> kHosts = {"hostA", "hostB", "hostC"};
+const std::vector<std::pair<std::string, std::string>> kPlacement = {
+    {"black", "hostA"}, {"yellow", "hostB"}, {"green", "hostC"}};
+
+struct RegisterApps {
+  RegisterApps() { apps::register_builtin_apps(); }
+};
+const RegisterApps kRegistered;
+
+ExperimentParams sample_params(std::uint64_t seed = 7) {
+  apps::ElectionParams app;
+  app.run_for = milliseconds(300);
+  app.fault_activation_prob = 0.85;
+  auto p = apps::election_experiment(seed, kHosts, kPlacement, app);
+  p.nodes[0].fault_spec =
+      spec::parse_fault_spec("bfault1 (black:LEAD) always\n", "t");
+  p.nodes[0].restart.enabled = true;
+  p.nodes[0].restart.placement = runtime::RestartPolicy::Placement::Fixed;
+  p.nodes[0].restart.fixed_host = "hostB";
+  p.nodes[1].enter_at = milliseconds(40);
+  p.nodes[1].enter_host = "hostB";
+  p.nodes[1].initial_host.reset();
+  p.hosts[0].clock = sim::ClockParams{microseconds(250), 1.00004, 500};
+  p.hosts[1].load_duty = 0.35;
+  p.host_crashes.push_back({"hostC", milliseconds(120), milliseconds(90)});
+  p.design = runtime::TransportDesign::Centralized;
+  p.sync.messages_per_pair = 7;
+  p.max_drift_ppm = 55.5;
+  return p;
+}
+
+// --- ExperimentParams --------------------------------------------------------
+
+TEST(WireParams, EncodeDecodeEncodeIsIdentity) {
+  const ExperimentParams p = sample_params();
+  const auto bytes = runtime::encode_experiment_params(p);
+  const ExperimentParams decoded = runtime::decode_experiment_params(bytes);
+  EXPECT_EQ(bytes, runtime::encode_experiment_params(decoded));
+}
+
+TEST(WireParams, DecodedParamsRebuildAWorkingAppFactory) {
+  const auto bytes = runtime::encode_experiment_params(sample_params());
+  const ExperimentParams decoded = runtime::decode_experiment_params(bytes);
+  ASSERT_EQ(decoded.nodes.size(), 3u);
+  EXPECT_EQ(decoded.nodes[0].app_name, "election");
+  ASSERT_TRUE(static_cast<bool>(decoded.nodes[0].app_factory));
+  EXPECT_NE(decoded.nodes[0].app_factory(), nullptr);
+  EXPECT_EQ(decoded.nodes[1].enter_at, milliseconds(40));
+  EXPECT_EQ(decoded.hosts[0].clock->granularity_ns, 500);
+  EXPECT_EQ(decoded.design, runtime::TransportDesign::Centralized);
+}
+
+TEST(WireParams, MissingAppNameIsRejectedAtEncode) {
+  ExperimentParams p = sample_params();
+  p.nodes[2].app_name.clear();
+  EXPECT_THROW(runtime::encode_experiment_params(p), ConfigError);
+}
+
+TEST(WireParams, UnregisteredAppNameIsRejectedAtDecode) {
+  ExperimentParams p = sample_params();
+  p.nodes[0].app_name = "no-such-app";
+  const auto bytes = runtime::encode_experiment_params(p);
+  EXPECT_THROW(runtime::decode_experiment_params(bytes), ConfigError);
+}
+
+TEST(WireParams, CacheKeyIsStableAndSeedSensitive) {
+  const std::string a1 = runtime::experiment_cache_key(sample_params(7));
+  const std::string a2 = runtime::experiment_cache_key(sample_params(7));
+  const std::string b = runtime::experiment_cache_key(sample_params(8));
+  EXPECT_EQ(a1.size(), 64u);
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+}
+
+// --- ExperimentResult --------------------------------------------------------
+
+ExperimentResult synthetic_result() {
+  ExperimentResult r;
+  runtime::LocalTimeline empty_tl;  // a node that recorded nothing
+  empty_tl.nickname = "mute";
+  empty_tl.initial_host = "hostA";
+  r.timelines["mute"] = empty_tl;
+
+  runtime::LocalTimeline tl;
+  tl.nickname = "black";
+  tl.initial_host = "hostA";
+  tl.machines = {"black", "green"};
+  tl.states = {"BEGIN", "LEAD"};
+  tl.events = {"START"};
+  tl.faults.push_back({"bfault1", "(black:LEAD)", spec::Trigger::Always});
+  tl.records.push_back({runtime::RecordType::StateChange, 0, 1, 0, "",
+                        LocalTime{123456789}});
+  tl.records.push_back({runtime::RecordType::Restart, 0, 0, 0, "hostB",
+                        LocalTime{-42}});  // negative local clock reading
+  r.timelines["black"] = tl;
+
+  r.user_messages["black"] = {"injected bfault1", std::string(100'000, 'x')};
+  r.user_messages["empty"] = {};
+  r.sync_samples.push_back({"hostA", "hostB", LocalTime{1}, LocalTime{2}});
+  r.start_local["hostA"] = LocalTime{10};
+  r.end_local["hostA"] = LocalTime{20};
+  r.truth.state_seq["black"] = {{SimTime{0}, "BEGIN"}, {SimTime{5}, "LEAD"}};
+  r.truth.injections.push_back({"black", "bfault1", SimTime{77}});
+  r.truth.crashes["black"] = {SimTime{99}};
+  // NaN/inf statistics must survive bit-exactly.
+  r.true_clocks["hostA"] =
+      sim::ClockParams{Duration{0}, std::numeric_limits<double>::quiet_NaN(), 1};
+  r.true_clocks["hostB"] =
+      sim::ClockParams{Duration{0}, std::numeric_limits<double>::infinity(), 1};
+  r.true_clocks["hostC"] =
+      sim::ClockParams{Duration{0}, -std::numeric_limits<double>::infinity(), 1};
+  r.start_phys = SimTime{1000};
+  r.end_phys = SimTime{2000};
+  r.completed = true;
+  r.dropped_notifications = 3;
+  r.control_messages = 17;
+  r.app_messages = 23;
+  return r;
+}
+
+TEST(WireResult, SyntheticRoundTripIsByteIdentical) {
+  const ExperimentResult r = synthetic_result();
+  const auto bytes = runtime::encode_experiment_result(r);
+  const ExperimentResult decoded = runtime::decode_experiment_result(bytes);
+  EXPECT_EQ(bytes, runtime::encode_experiment_result(decoded));
+  // NaN payloads round-trip bit-exactly even though NaN != NaN.
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded.true_clocks.at("hostA").beta),
+            std::bit_cast<std::uint64_t>(r.true_clocks.at("hostA").beta));
+  EXPECT_EQ(decoded.true_clocks.at("hostB").beta,
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(decoded.user_messages.at("black")[1].size(), 100'000u);
+  EXPECT_TRUE(decoded.timelines.at("mute").records.empty());
+}
+
+TEST(WireResult, EmptyResultRoundTrips) {
+  const ExperimentResult r{};
+  const auto bytes = runtime::encode_experiment_result(r);
+  const ExperimentResult decoded = runtime::decode_experiment_result(bytes);
+  EXPECT_EQ(bytes, runtime::encode_experiment_result(decoded));
+  EXPECT_FALSE(decoded.completed);
+}
+
+TEST(WireResult, RealExperimentRoundTrips) {
+  const ExperimentResult r = campaign::run_single(sample_params(11));
+  const auto bytes = runtime::encode_experiment_result(r);
+  const ExperimentResult decoded = runtime::decode_experiment_result(bytes);
+  EXPECT_EQ(bytes, runtime::encode_experiment_result(decoded));
+  EXPECT_EQ(decoded.timelines.size(), r.timelines.size());
+  EXPECT_EQ(decoded.sync_samples.size(), r.sync_samples.size());
+}
+
+// --- StudyParams -------------------------------------------------------------
+
+TEST(WireStudy, MaterializedRoundTripReplaysEveryIndex) {
+  runtime::StudyParams study;
+  study.name = "wire-study";
+  study.experiments = 3;
+  study.make_params = [](int k) {
+    return sample_params(100 + static_cast<std::uint64_t>(k));
+  };
+
+  const auto bytes = runtime::encode_study_params(study);
+  const runtime::StudyParams decoded = runtime::decode_study_params(bytes);
+  EXPECT_EQ(decoded.name, "wire-study");
+  EXPECT_EQ(decoded.experiments, 3);
+  for (int k = 0; k < 3; ++k)
+    EXPECT_EQ(runtime::encode_experiment_params(decoded.make_params(k)),
+              runtime::encode_experiment_params(study.make_params(k)));
+  EXPECT_THROW(decoded.make_params(3), ConfigError);
+  EXPECT_THROW(decoded.make_params(-1), ConfigError);
+}
+
+// --- envelope hygiene --------------------------------------------------------
+
+TEST(WireEnvelope, VersionMismatchIsRejected) {
+  auto bytes = runtime::encode_experiment_result(synthetic_result());
+  bytes[4] ^= 0xff;  // u16 version lives right after the 4-byte magic
+  try {
+    runtime::decode_experiment_result(bytes);
+    FAIL() << "expected DecodeError";
+  } catch (const DecodeError& e) {
+    EXPECT_NE(std::string(e.what()).find("version mismatch"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(WireEnvelope, BadMagicIsRejected) {
+  auto bytes = runtime::encode_experiment_result(synthetic_result());
+  bytes[0] = 'X';
+  EXPECT_THROW(runtime::decode_experiment_result(bytes), DecodeError);
+}
+
+TEST(WireEnvelope, WrongKindIsRejected) {
+  const auto bytes = runtime::encode_experiment_result(synthetic_result());
+  EXPECT_THROW(runtime::decode_experiment_params(bytes), DecodeError);
+}
+
+TEST(WireEnvelope, EveryTruncationIsRejectedNotMisread) {
+  const auto full = runtime::encode_experiment_result(synthetic_result());
+  // Chop at a spread of prefix lengths (every length would be O(n^2) over
+  // a ~100KB message); each must throw DecodeError, never crash or return.
+  for (std::size_t len = 0; len < full.size();
+       len += 1 + full.size() / 257) {
+    const std::vector<std::uint8_t> cut(full.begin(),
+                                        full.begin() +
+                                            static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(runtime::decode_experiment_result(cut), DecodeError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(WireEnvelope, TrailingGarbageIsRejected) {
+  auto bytes = runtime::encode_experiment_result(ExperimentResult{});
+  bytes.push_back(0);
+  EXPECT_THROW(runtime::decode_experiment_result(bytes), DecodeError);
+}
+
+// --- app args + digest -------------------------------------------------------
+
+TEST(AppArgs, ElectionRoundTrips) {
+  apps::ElectionParams p;
+  p.election_window = milliseconds(12);
+  p.fault_activation_prob = 0.3125;
+  p.crash_mode = runtime::CrashMode::Silent;
+  const apps::ElectionParams q =
+      apps::parse_election_args(apps::encode_election_args(p));
+  EXPECT_EQ(q.election_window, p.election_window);
+  EXPECT_EQ(q.fault_activation_prob, p.fault_activation_prob);
+  EXPECT_EQ(q.crash_mode, p.crash_mode);
+  EXPECT_EQ(apps::encode_election_args(q), apps::encode_election_args(p));
+}
+
+TEST(AppArgs, UnknownAndMissingKeysAreRejected) {
+  apps::ElectionParams p;
+  EXPECT_THROW(
+      apps::parse_election_args(apps::encode_election_args(p) + " bogus=1"),
+      ConfigError);
+  EXPECT_THROW(apps::parse_election_args("window=1"), ConfigError);
+}
+
+TEST(Digest, Sha256KnownVectors) {
+  EXPECT_EQ(util::sha256_hex(nullptr, 0),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  const std::string abc = "abc";
+  EXPECT_EQ(util::sha256_hex(abc.data(), abc.size()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  // Multi-block (> 64 bytes) input.
+  const std::string long_input(1000, 'a');
+  EXPECT_EQ(util::sha256_hex(long_input.data(), long_input.size()),
+            "41edece42d63e8d9bf515a9ba6932e1c20cbc9f5a5d134645adb5db1b9737ea3");
+}
+
+}  // namespace
+}  // namespace loki

@@ -1,80 +1,309 @@
-// lokimeasure — evaluate a predicate over an experiment's timelines (§4.3):
+// lokimeasure — the measure-phase CLI, four modes:
 //
-//   lokimeasure <AlphabetaFile> <predicate> <start_ms> <end_ms>
-//               <LocalTimelineFile>...
+// 1. Evaluate a predicate over on-disk timeline artifacts (§4.3):
+//      lokimeasure <AlphabetaFile> <predicate> <start_ms> <end_ms>
+//                  <LocalTimelineFile>...
 //
-// Prints total_duration(T), count(U,B) and outcome at the window midpoint
-// for the given predicate, e.g.
-//   lokimeasure ab.txt '(black, CRASH)' 0 700 exp0.*.timeline
+// 2. Run the built-in demo campaign (a Chapter-5-style election coverage
+//    study) through the campaign facade and print a deterministic analysis
+//    report (stdout carries only seed-determined values; cache/runner
+//    diagnostics go to stderr so re-runs are byte-comparable):
+//      lokimeasure --campaign [--runner serial|threads:N|procs:N]
+//                  [--cache DIR] [--experiments N] [--seed S]
 //
-// The files are assembled into the same analysis::ExperimentAnalysis the
-// campaign facade streams to its MeasureSink, and each quantity is computed
-// through a StudyMeasure — the hand-run-by-files path and the in-process
-// campaign path share one measure implementation.
+// 3. Emit the same demo study in the versioned wire format:
+//      lokimeasure --emit-study <out.bin> [--experiments N] [--seed S]
+//
+// 4. Shard worker: decode an encoded StudyParams, run an index range, and
+//    stream encoded results as length-prefixed frames to stdout — the
+//    exec'd counterpart of ProcessPoolRunner's forked shards:
+//      lokimeasure --worker <study.bin> <lo> <hi>
 #include <cstdio>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include <unistd.h>
+
 #include "analysis/global_timeline.hpp"
+#include "apps/election.hpp"
+#include "apps/registry.hpp"
+#include "campaign/cache.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/process_runner.hpp"
 #include "measure/observation.hpp"
 #include "measure/predicate.hpp"
 #include "measure/study_measure.hpp"
+#include "runtime/serialize.hpp"
 #include "util/strings.hpp"
 #include "util/text_file.hpp"
 
-int main(int argc, char** argv) {
-  using namespace loki;
+namespace {
+
+using namespace loki;
+
+constexpr const char* kUsage =
+    "usage: lokimeasure <AlphabetaFile> <predicate> <start_ms> <end_ms> "
+    "<LocalTimelineFile>...\n"
+    "       lokimeasure --campaign [--runner serial|threads:N|procs:N] "
+    "[--cache DIR] [--experiments N] [--seed S]\n"
+    "       lokimeasure --emit-study <out.bin> [--experiments N] [--seed S]\n"
+    "       lokimeasure --worker <study.bin> <lo> <hi>\n";
+
+/// Options shared by the modes that build the demo study.
+struct DemoOptions {
+  int experiments{12};
+  std::uint64_t seed{9000};
+};
+
+std::string flag_value(const std::vector<std::string>& args, std::size_t& i,
+                       const char* flag) {
+  if (++i >= args.size())
+    throw ConfigError(std::string(flag) + " needs a value");
+  return args[i];
+}
+
+/// stoi/stoull with the flag name in the error instead of a bare "stoi".
+template <typename Fn>
+auto numeric(const char* flag, const std::string& value, Fn convert) {
+  try {
+    return convert(value);
+  } catch (const std::exception&) {
+    throw ConfigError(std::string(flag) + " needs a number, got '" + value +
+                      "'");
+  }
+}
+
+int int_arg(const char* flag, const std::string& value) {
+  return numeric(flag, value, [](const std::string& v) { return std::stoi(v); });
+}
+
+std::uint64_t u64_arg(const char* flag, const std::string& value) {
+  return numeric(flag, value,
+                 [](const std::string& v) { return std::stoull(v); });
+}
+
+/// Consume a demo-study option at args[i] (--experiments | --seed);
+/// false when args[i] is something else.
+bool parse_demo_option(const std::vector<std::string>& args, std::size_t& i,
+                       DemoOptions& opts) {
+  if (args[i] == "--experiments") {
+    opts.experiments =
+        int_arg("--experiments", flag_value(args, i, "--experiments"));
+    return true;
+  }
+  if (args[i] == "--seed") {
+    opts.seed = u64_arg("--seed", flag_value(args, i, "--seed"));
+    return true;
+  }
+  return false;
+}
+
+/// The demo campaign: black's leader fault with restarts, the §5.8
+/// coverage measure. Deterministic in (seed, experiments).
+runtime::StudyParams demo_study(std::uint64_t seed, int experiments) {
+  runtime::StudyParams study;
+  study.name = "demo-coverage";
+  study.experiments = experiments;
+  study.make_params = [seed](int k) {
+    apps::ElectionParams app;
+    app.run_for = milliseconds(700);
+    app.fault_activation_prob = 0.85;
+    auto p = apps::election_experiment(
+        seed + static_cast<std::uint64_t>(k),
+        {"hostA", "hostB", "hostC"},
+        {{"black", "hostA"}, {"yellow", "hostB"}, {"green", "hostC"}}, app);
+    for (auto& node : p.nodes) {
+      if (node.nickname != "black") continue;
+      node.fault_spec =
+          spec::parse_fault_spec("bfault1 (black:LEAD) always\n", "demo");
+      node.restart.enabled = true;
+      node.restart.delay = milliseconds(60);
+      node.restart.max_restarts = 2;
+    }
+    return p;
+  };
+  return study;
+}
+
+measure::StudyMeasure demo_measure() {
+  measure::StudyMeasure m;
+  m.add(measure::subset_default(), measure::parse_predicate("(black, CRASH)"),
+        measure::obs_total_duration(true, measure::TimeArg::start_exp(),
+                                    measure::TimeArg::end_exp()));
+  m.add(measure::subset_greater(0.0),
+        measure::parse_predicate("(black, RESTART_SM)"),
+        measure::obs_greater(
+            measure::obs_total_duration(true, measure::TimeArg::start_exp(),
+                                        measure::TimeArg::end_exp()),
+            0.0));
+  return m;
+}
+
+int run_campaign_mode(const std::vector<std::string>& args) {
+  std::string runner_spec = "serial";
+  std::string cache_dir;
+  DemoOptions opts;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (parse_demo_option(args, i, opts)) continue;
+    if (args[i] == "--runner")
+      runner_spec = flag_value(args, i, "--runner");
+    else if (args[i] == "--cache")
+      cache_dir = flag_value(args, i, "--cache");
+    else
+      throw ConfigError("unknown --campaign option: " + args[i]);
+  }
+
+  apps::register_builtin_apps();
+  const runtime::StudyParams study = demo_study(opts.seed, opts.experiments);
+
+  auto sink = std::make_shared<campaign::MeasureSink>();
+  sink->measure(study.name, demo_measure());
+  sink->on_analysis([](const campaign::StudyInfo&, int index,
+                       const analysis::ExperimentAnalysis& analysis) {
+    std::printf("experiment %2d: accepted=%d events=%zu\n", index,
+                analysis.accepted ? 1 : 0, analysis.timeline.events.size());
+  });
+
+  CampaignBuilder builder;
+  builder.add(study).runner(campaign::parse_runner_spec(runner_spec)).sink(sink);
+  std::shared_ptr<campaign::ResultCache> cache;
+  if (!cache_dir.empty()) {
+    cache = std::make_shared<campaign::ResultCache>(cache_dir);
+    builder.cache(cache);
+  }
+  const Campaign::Summary summary = builder.build().run();
+
+  const auto* stats = sink->find(study.name);
+  const auto* values = sink->values(study.name);
+  std::printf("study %s: experiments=%d accepted=%d crashed=%zu\n",
+              study.name.c_str(), stats->total, stats->accepted,
+              values ? values->size() : 0);
+  double coverage = 0.0;
+  if (values && !values->empty()) {
+    for (const double v : *values) coverage += v;
+    coverage /= static_cast<double>(values->size());
+  }
+  std::printf("coverage=%.6f\n", coverage);
+
+  // Diagnostics that legitimately differ between identical runs (timing,
+  // cache temperature) go to stderr only.
+  std::fprintf(stderr, "runner: %s, wall %.2fs\n", runner_spec.c_str(),
+               summary.wall_seconds);
+  if (cache)
+    std::fprintf(stderr, "cache: hits=%llu misses=%llu stores=%llu\n",
+                 static_cast<unsigned long long>(cache->stats().hits),
+                 static_cast<unsigned long long>(cache->stats().misses),
+                 static_cast<unsigned long long>(cache->stats().stores));
+  std::fprintf(stderr, "cache_hits=%d of %d\n", summary.cache_hits,
+               summary.experiments);
+  return 0;
+}
+
+int run_emit_study_mode(const std::vector<std::string>& args) {
+  if (args.empty()) throw ConfigError("--emit-study needs an output path");
+  const std::string out_path = args[0];
+  DemoOptions opts;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (parse_demo_option(args, i, opts)) continue;
+    throw ConfigError("unknown --emit-study option: " + args[i]);
+  }
+  const std::vector<std::uint8_t> bytes =
+      runtime::encode_study_params(demo_study(opts.seed, opts.experiments));
+  write_file(out_path,
+             std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                              bytes.size()));
+  std::fprintf(stderr, "wrote %zu bytes (%d experiments) to %s\n",
+               bytes.size(), opts.experiments, out_path.c_str());
+  return 0;
+}
+
+int run_worker_mode(const std::vector<std::string>& args) {
+  if (args.size() != 3)
+    throw ConfigError("--worker needs <study.bin> <lo> <hi>");
+  apps::register_builtin_apps();
+  const std::string content = read_file(args[0]);
+  const std::vector<std::uint8_t> bytes(content.begin(), content.end());
+  const runtime::StudyParams study = runtime::decode_study_params(bytes);
+  const int lo = int_arg("--worker <lo>", args[1]);
+  const int hi = int_arg("--worker <hi>", args[2]);
+  if (lo < 0 || hi > study.experiments || lo > hi)
+    throw ConfigError("--worker range [" + args[1] + ", " + args[2] +
+                      ") outside study of " +
+                      std::to_string(study.experiments) + " experiments");
+  campaign::run_worker_range(study, lo, hi, /*step=*/1, STDOUT_FILENO);
+  return 0;
+}
+
+int run_measure_mode(int argc, char** argv) {
   if (argc < 6) {
-    std::fprintf(stderr,
-                 "usage: lokimeasure <AlphabetaFile> <predicate> <start_ms> "
-                 "<end_ms> <LocalTimelineFile>...\n");
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+  const auto ab = clocksync::parse_alphabeta(read_file(argv[1]), argv[1]);
+  const auto pred = measure::parse_predicate(argv[2]);
+  const auto start_ms = parse_f64(argv[3]);
+  const auto end_ms = parse_f64(argv[4]);
+  if (!start_ms || !end_ms || *end_ms <= *start_ms) {
+    std::fprintf(stderr, "lokimeasure: bad window\n");
+    return 2;
+  }
+
+  std::vector<runtime::LocalTimeline> timelines;
+  for (int i = 5; i < argc; ++i)
+    timelines.push_back(runtime::parse_local_timeline(read_file(argv[i]), argv[i]));
+  std::vector<const runtime::LocalTimeline*> ptrs;
+  for (const auto& tl : timelines) ptrs.push_back(&tl);
+
+  // The analysis shape the measure phase consumes, reconstructed from the
+  // on-disk artifacts instead of a live ExperimentResult.
+  analysis::ExperimentAnalysis analysis;
+  analysis.alphabeta = ab;
+  analysis.timeline = analysis::build_global_timeline(ptrs, ab);
+  analysis.start_ref = *start_ms * 1e6;
+  analysis.end_ref = *end_ms * 1e6;
+  analysis.accepted = true;
+
+  const auto evaluate = [&](measure::ObservationFunction obs) {
+    measure::StudyMeasure m;
+    m.add(measure::subset_default(), pred, std::move(obs));
+    return *m.apply(analysis);
+  };
+
+  std::printf("predicate: %s\n", pred->to_string().c_str());
+  std::printf("total_duration(T) = %.3f ms\n",
+              evaluate(measure::obs_total_duration(
+                  true, measure::TimeArg::start_exp(),
+                  measure::TimeArg::end_exp())));
+  std::printf("count(U, B)       = %.0f\n",
+              evaluate(measure::obs_count(
+                  measure::Edge::Up, measure::Kind::Both,
+                  measure::TimeArg::start_exp(),
+                  measure::TimeArg::end_exp())));
+  std::printf("outcome(mid)      = %.0f\n",
+              evaluate(measure::obs_outcome(
+                  measure::TimeArg::literal((*end_ms - *start_ms) / 2.0))));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
   try {
-    const auto ab = clocksync::parse_alphabeta(read_file(argv[1]), argv[1]);
-    const auto pred = measure::parse_predicate(argv[2]);
-    const auto start_ms = parse_f64(argv[3]);
-    const auto end_ms = parse_f64(argv[4]);
-    if (!start_ms || !end_ms || *end_ms <= *start_ms) {
-      std::fprintf(stderr, "lokimeasure: bad window\n");
-      return 2;
-    }
-
-    std::vector<runtime::LocalTimeline> timelines;
-    for (int i = 5; i < argc; ++i)
-      timelines.push_back(runtime::parse_local_timeline(read_file(argv[i]), argv[i]));
-    std::vector<const runtime::LocalTimeline*> ptrs;
-    for (const auto& tl : timelines) ptrs.push_back(&tl);
-
-    // The analysis shape the measure phase consumes, reconstructed from the
-    // on-disk artifacts instead of a live ExperimentResult.
-    analysis::ExperimentAnalysis analysis;
-    analysis.alphabeta = ab;
-    analysis.timeline = analysis::build_global_timeline(ptrs, ab);
-    analysis.start_ref = *start_ms * 1e6;
-    analysis.end_ref = *end_ms * 1e6;
-    analysis.accepted = true;
-
-    const auto evaluate = [&](measure::ObservationFunction obs) {
-      measure::StudyMeasure m;
-      m.add(measure::subset_default(), pred, std::move(obs));
-      return *m.apply(analysis);
-    };
-
-    std::printf("predicate: %s\n", pred->to_string().c_str());
-    std::printf("total_duration(T) = %.3f ms\n",
-                evaluate(measure::obs_total_duration(
-                    true, measure::TimeArg::start_exp(),
-                    measure::TimeArg::end_exp())));
-    std::printf("count(U, B)       = %.0f\n",
-                evaluate(measure::obs_count(
-                    measure::Edge::Up, measure::Kind::Both,
-                    measure::TimeArg::start_exp(),
-                    measure::TimeArg::end_exp())));
-    std::printf("outcome(mid)      = %.0f\n",
-                evaluate(measure::obs_outcome(
-                    measure::TimeArg::literal((*end_ms - *start_ms) / 2.0))));
-    return 0;
+    const std::string mode = argv[1];
+    std::vector<std::string> rest;
+    for (int i = 2; i < argc; ++i) rest.emplace_back(argv[i]);
+    if (mode == "--campaign") return run_campaign_mode(rest);
+    if (mode == "--emit-study") return run_emit_study_mode(rest);
+    if (mode == "--worker") return run_worker_mode(rest);
+    return run_measure_mode(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "lokimeasure: %s\n", e.what());
     return 1;
