@@ -11,6 +11,7 @@
 #include "clocksync/convex_hull.hpp"
 #include "measure/observation.hpp"
 #include "measure/worked_example.hpp"
+#include "runtime/compiled_fault.hpp"
 #include "runtime/dictionary.hpp"
 #include "runtime/fault_parser.hpp"
 #include "runtime/recorder.hpp"
@@ -20,12 +21,46 @@ using namespace loki;
 
 namespace {
 
+/// A study dictionary over machines m0..m7 with the election-style states,
+/// for the expression/parser micro-benchmarks.
+struct SweepStudy {
+  std::vector<spec::StateMachineSpec> specs;
+  spec::FaultSpec faults;
+  runtime::StudyDictionary dict;
+
+  explicit SweepStudy(const std::string& fault_text)
+      : specs(make_specs()), faults(spec::parse_fault_spec(fault_text, "bm")),
+        dict(build_dict()) {}
+
+  static std::vector<spec::StateMachineSpec> make_specs() {
+    std::vector<spec::StateMachineSpec> out;
+    const std::vector<std::string> states = {"BEGIN", "LEAD",  "FOLLOW",
+                                             "ELECT", "CRASH", "EXIT"};
+    for (int i = 0; i < 8; ++i) {
+      out.emplace_back("m" + std::to_string(i), states,
+                       std::vector<std::string>{"go"}, std::vector<spec::StateDef>{});
+    }
+    return out;
+  }
+  runtime::StudyDictionary build_dict() const {
+    std::vector<const spec::StateMachineSpec*> sp;
+    std::vector<const spec::FaultSpec*> fp;
+    static const spec::FaultSpec kNone;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      sp.push_back(&specs[i]);
+      fp.push_back(i == 0 ? &faults : &kNone);
+    }
+    return runtime::StudyDictionary::build(sp, fp);
+  }
+};
+
 void BM_FaultExprEval(benchmark::State& state) {
+  // The spec-layer tree walk (shared_ptr tree + string compares per term) —
+  // kept as the baseline the compiled program is measured against.
   const auto expr = spec::parse_fault_expr(
-      "((black:CRASH) & ((green:FOLLOW) | (green:ELECT))) | ~(yellow:LEAD)",
-      "bm", 1);
+      "((m0:CRASH) & ((m1:FOLLOW) | (m1:ELECT))) | ~(m2:LEAD)", "bm", 1);
   std::map<std::string, std::string> view{
-      {"black", "CRASH"}, {"green", "ELECT"}, {"yellow", "FOLLOW"}};
+      {"m0", "CRASH"}, {"m1", "ELECT"}, {"m2", "FOLLOW"}};
   const spec::StateView sv = [&](const std::string& m) -> const std::string* {
     const auto it = view.find(m);
     return it == view.end() ? nullptr : &it->second;
@@ -36,6 +71,24 @@ void BM_FaultExprEval(benchmark::State& state) {
 }
 BENCHMARK(BM_FaultExprEval);
 
+void BM_CompiledFaultEval(benchmark::State& state) {
+  // The same expression as BM_FaultExprEval, compiled to the flat postfix
+  // program evaluated on every state notification in the live runtime.
+  SweepStudy study(
+      "f ((m0:CRASH) & ((m1:FOLLOW) | (m1:ELECT))) | ~(m2:LEAD) once\n");
+  const auto prog = runtime::CompiledFaultProgram::compile(
+      *study.faults.entries[0].expr, study.dict);
+  std::vector<runtime::StateId> view(study.dict.machine_count(),
+                                     runtime::kNoState);
+  view[study.dict.machine_index("m0")] = study.dict.state_index("CRASH");
+  view[study.dict.machine_index("m1")] = study.dict.state_index("ELECT");
+  view[study.dict.machine_index("m2")] = study.dict.state_index("FOLLOW");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prog.eval(view));
+  }
+}
+BENCHMARK(BM_CompiledFaultEval);
+
 void BM_FaultParserSweep(benchmark::State& state) {
   // N expressions re-evaluated on every view change.
   const int n = static_cast<int>(state.range(0));
@@ -44,18 +97,19 @@ void BM_FaultParserSweep(benchmark::State& state) {
     spec_text += "f" + std::to_string(i) + " ((m" + std::to_string(i % 8) +
                  ":LEAD) & (m" + std::to_string((i + 1) % 8) + ":FOLLOW)) always\n";
   }
-  const auto faults = spec::parse_fault_spec(spec_text, "bm");
-  runtime::FaultParser parser(faults.entries);
-  std::map<std::string, std::string> view;
-  for (int i = 0; i < 8; ++i) view["m" + std::to_string(i)] = "FOLLOW";
-  const spec::StateView sv = [&](const std::string& m) -> const std::string* {
-    const auto it = view.find(m);
-    return it == view.end() ? nullptr : &it->second;
-  };
+  SweepStudy study(spec_text);
+  runtime::FaultParser parser(study.faults.entries, study.dict);
+  std::vector<runtime::StateId> view(study.dict.machine_count(),
+                                     runtime::kNoState);
+  const runtime::StateId lead = study.dict.state_index("LEAD");
+  const runtime::StateId follow = study.dict.state_index("FOLLOW");
+  for (int i = 0; i < 8; ++i)
+    view[study.dict.machine_index("m" + std::to_string(i))] = follow;
+  const runtime::MachineId m0 = study.dict.machine_index("m0");
   int flip = 0;
   for (auto _ : state) {
-    view["m0"] = (++flip % 2) ? "LEAD" : "FOLLOW";
-    benchmark::DoNotOptimize(parser.on_view_change(sv));
+    view[m0] = (++flip % 2) ? lead : follow;
+    benchmark::DoNotOptimize(parser.on_view_change(view));
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
@@ -127,14 +181,23 @@ void BM_FullElectionExperiment(benchmark::State& state) {
   apps::ElectionParams app;
   app.run_for = milliseconds(400);
   std::uint64_t seed = 1;
+  std::uint64_t experiments = 0;
+  std::uint64_t events = 0;
   for (auto _ : state) {
     auto params = apps::election_experiment(
         seed++, {"hostA", "hostB", "hostC"},
         {{"black", "hostA"}, {"yellow", "hostB"}, {"green", "hostC"}}, app);
     params.nodes[0].fault_spec =
         spec::parse_fault_spec("bfault1 (black:LEAD) always\n", "bm");
-    benchmark::DoNotOptimize(runtime::run_experiment(params));
+    const auto result = runtime::run_experiment(params);
+    benchmark::DoNotOptimize(&result);
+    ++experiments;
+    events += result.sim_events;
   }
+  state.counters["experiments/sec"] = benchmark::Counter(
+      static_cast<double>(experiments), benchmark::Counter::kIsRate);
+  state.counters["events/sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FullElectionExperiment)->Unit(benchmark::kMillisecond);
 
@@ -173,14 +236,27 @@ void BM_CampaignElection(benchmark::State& state) {
   static const char* kRunnerSpecs[] = {"serial", "threads:2", "threads:4",
                                        "procs:2", "procs:4"};
   const char* spec = kRunnerSpecs[state.range(0)];
+  std::uint64_t experiments = 0;
+  std::uint64_t events = 0;
   for (auto _ : state) {
+    auto counter_sink = std::make_shared<campaign::CallbackSink>();
+    counter_sink->experiment([&](const campaign::StudyInfo&, int,
+                                 const runtime::ExperimentResult& r) {
+      ++experiments;
+      events += r.sim_events;  // 0 for process-pool shards (not serialized)
+    });
     Campaign campaign = CampaignBuilder()
                             .add(study)
                             .runner(campaign::parse_runner_spec(spec))
+                            .sink(counter_sink)
                             .build();
     benchmark::DoNotOptimize(campaign.run().experiments);
   }
   state.SetLabel(spec);
+  state.counters["experiments/sec"] = benchmark::Counter(
+      static_cast<double>(experiments), benchmark::Counter::kIsRate);
+  state.counters["events/sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CampaignElection)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
 

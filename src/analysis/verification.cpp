@@ -69,21 +69,35 @@ Tri eval_term(const std::map<std::string, std::vector<Occupancy>>& occupancies,
 }
 
 /// Tri-valued expression evaluation by structural recursion over the term
-/// list is not possible through the FaultExpr interface (it is Boolean), so
-/// we re-evaluate through eval() with a three-valued adapter: evaluate the
-/// expression twice, once resolving Unknown terms optimistically and once
-/// pessimistically. expr is monotone in term values only if negation-free;
-/// with NOT present the two-pass trick is unsound. Instead we enumerate the
-/// (at most 2^u for u Unknown terms, capped) assignments.
+/// list is not possible through the FaultExpr interface (it is Boolean).
+/// Instead we flatten the expression to postfix once, pre-evaluate every
+/// distinct term to True/False/Unknown over the injection bounds, and
+/// enumerate the (at most 2^u for u Unknown terms, capped) assignments —
+/// expr is monotone in term values only if negation-free, so with NOT
+/// present the two-pass optimistic/pessimistic trick would be unsound.
+/// Multiple states of the same machine are naturally exclusive in real
+/// views, but an assignment may propose impossible combinations — that
+/// only widens Unknown, keeping the check conservative.
 Tri eval_expr(const spec::FaultExpr& expr,
               const std::map<std::string, std::vector<Occupancy>>& occupancies,
               const InjectionSite& site) {
-  const auto terms = spec::expr_terms(expr);
-  // Deduplicate (machine,state) pairs and pre-evaluate each.
+  const auto postfix = spec::expr_postfix(expr);
+
+  // Deduplicate (machine,state) pairs, pre-evaluate each, and resolve every
+  // postfix Term to its slot in the deduplicated list.
   std::vector<std::pair<std::string, std::string>> uniq;
   std::vector<Tri> values;
-  for (const auto& t : terms) {
-    if (std::find(uniq.begin(), uniq.end(), t) != uniq.end()) continue;
+  std::vector<std::size_t> term_slot(postfix.size(), 0);
+  for (std::size_t p = 0; p < postfix.size(); ++p) {
+    if (postfix[p].kind != spec::PostfixOp::Kind::Term) continue;
+    const std::pair<std::string, std::string> t{postfix[p].machine,
+                                                postfix[p].state};
+    const auto it = std::find(uniq.begin(), uniq.end(), t);
+    if (it != uniq.end()) {
+      term_slot[p] = static_cast<std::size_t>(it - uniq.begin());
+      continue;
+    }
+    term_slot[p] = uniq.size();
     uniq.push_back(t);
     values.push_back(eval_term(occupancies, t.first, t.second, site));
   }
@@ -95,32 +109,38 @@ Tri eval_expr(const spec::FaultExpr& expr,
   // With many unknowns, give up early: Unknown (conservatively incorrect).
   if (unknown_idx.size() > 16) return Tri::Unknown;
 
+  std::vector<char> assignment(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    assignment[i] = values[i] == Tri::True;
+  std::vector<char> stack(postfix.size());
+
   bool seen_true = false;
   bool seen_false = false;
   const std::size_t combos = std::size_t{1} << unknown_idx.size();
   for (std::size_t mask = 0; mask < combos; ++mask) {
-    std::map<std::pair<std::string, std::string>, bool> assignment;
-    for (std::size_t i = 0; i < uniq.size(); ++i)
-      assignment[uniq[i]] = values[i] == Tri::True;
     for (std::size_t b = 0; b < unknown_idx.size(); ++b)
-      assignment[uniq[unknown_idx[b]]] = (mask >> b) & 1;
+      assignment[unknown_idx[b]] = (mask >> b) & 1;
 
-    // Evaluate through the Boolean interface with a synthetic view: a term
-    // (m,S) is true iff assignment says so. Multiple states of the same
-    // machine are naturally exclusive in real views, but the assignment may
-    // propose impossible combinations — that only widens Unknown, keeping
-    // the check conservative.
-    const spec::StateView view = [&](const std::string& machine) -> const std::string* {
-      static thread_local std::string held;
-      for (const auto& [key, val] : assignment) {
-        if (key.first == machine && val) {
-          held = key.second;
-          return &held;
-        }
+    char* sp = stack.data();
+    for (std::size_t p = 0; p < postfix.size(); ++p) {
+      switch (postfix[p].kind) {
+        case spec::PostfixOp::Kind::Term:
+          *sp++ = assignment[term_slot[p]];
+          break;
+        case spec::PostfixOp::Kind::And:
+          --sp;
+          sp[-1] = sp[-1] & sp[0];
+          break;
+        case spec::PostfixOp::Kind::Or:
+          --sp;
+          sp[-1] = sp[-1] | sp[0];
+          break;
+        case spec::PostfixOp::Kind::Not:
+          sp[-1] = static_cast<char>(!sp[-1]);
+          break;
       }
-      return nullptr;
-    };
-    if (expr.eval(view))
+    }
+    if (sp[-1] != 0)
       seen_true = true;
     else
       seen_false = true;

@@ -1,10 +1,63 @@
 #include "clocksync/sync_phase.hpp"
 
-#include <memory>
+#include <vector>
 
 #include "util/error.hpp"
 
 namespace loki::clocksync {
+namespace {
+
+/// Phase-wide context plus per-pair chain state, stack-allocated in
+/// run_sync_phase (which blocks until the phase drains, so raw pointers in
+/// event captures are safe). Each pair schedules its next message from the
+/// previous one instead of pre-queueing every (pair, k) event: the kernel
+/// heap stays a handful of entries deep, and every capture is pointer-sized
+/// (within Task's inline budget) instead of a heap-fallback closure.
+struct SyncCtx {
+  sim::World* world{nullptr};
+  SyncPhaseParams params;
+  SyncData* out{nullptr};
+  int remaining{0};
+};
+
+struct PairChain {
+  SyncCtx* ctx{nullptr};
+  sim::ProcessId from;
+  sim::ProcessId to;
+  sim::HostId from_host;
+  sim::HostId to_host;
+  SimTime first_fire;
+  int sent{0};
+};
+
+void fire_message(PairChain* pair) {
+  SyncCtx* ctx = pair->ctx;
+  // Sender stamps inside its own execution context.
+  ctx->world->post(pair->from, ctx->params.stamp_cost, [pair] {
+    SyncCtx* ctx = pair->ctx;
+    const LocalTime send_stamp = ctx->world->clock_read(pair->from_host);
+    ctx->world->send(pair->from, pair->to, sim::Lan::Control,
+                     sim::ChannelClass::Tcp, ctx->params.stamp_cost,
+                     [pair, send_stamp] {
+                       SyncCtx* ctx = pair->ctx;
+                       const LocalTime recv_stamp =
+                           ctx->world->clock_read(pair->to_host);
+                       ctx->out->push_back(SyncSample{
+                           ctx->world->host_name(pair->from_host),
+                           ctx->world->host_name(pair->to_host), send_stamp,
+                           recv_stamp});
+                       --ctx->remaining;
+                     });
+  });
+  if (++pair->sent < ctx->params.messages_per_pair) {
+    const SimTime next =
+        pair->first_fire +
+        ctx->params.spacing * static_cast<std::int64_t>(pair->sent);
+    ctx->world->at(next, [pair] { fire_message(pair); });
+  }
+}
+
+}  // namespace
 
 SimTime run_sync_phase(sim::World& world, const std::vector<sim::HostId>& hosts,
                        const SyncPhaseParams& params, SyncData& out) {
@@ -17,56 +70,41 @@ SimTime run_sync_phase(sim::World& world, const std::vector<sim::HostId>& hosts,
   for (const sim::HostId h : hosts)
     stampers.push_back(world.spawn(h, "getstamps@" + world.host_name(h)));
 
-  auto remaining = std::make_shared<int>(0);
-  for (std::size_t a = 0; a < hosts.size(); ++a) {
-    for (std::size_t b = 0; b < hosts.size(); ++b) {
-      if (a == b) continue;
-      *remaining += params.messages_per_pair;
-    }
-  }
+  SyncCtx ctx;
+  ctx.world = &world;
+  ctx.params = params;
+  ctx.out = &out;
 
   const SimTime phase_start = world.now();
+  std::vector<PairChain> pairs;
+  pairs.reserve(hosts.size() * (hosts.size() - 1));
   std::size_t pair_index = 0;
   for (std::size_t a = 0; a < hosts.size(); ++a) {
     for (std::size_t b = 0; b < hosts.size(); ++b) {
       if (a == b) continue;
-      const sim::HostId from_host = hosts[a];
-      const sim::HostId to_host = hosts[b];
-      const sim::ProcessId from = stampers[a];
-      const sim::ProcessId to = stampers[b];
       // Stagger pairs so the control LAN is not hit by all pairs at once.
-      const Duration stagger = microseconds(137) * static_cast<std::int64_t>(pair_index++);
-      for (int k = 0; k < params.messages_per_pair; ++k) {
-        const SimTime fire =
-            phase_start + stagger + params.spacing * static_cast<std::int64_t>(k);
-        world.at(fire, [&world, from, to, from_host, to_host, params, &out,
-                        remaining] {
-          // Sender stamps inside its own execution context.
-          world.post(from, params.stamp_cost, [&world, from, to, from_host,
-                                               to_host, params, &out, remaining] {
-            const LocalTime send_stamp = world.clock_read(from_host);
-            world.send(from, to, sim::Lan::Control, sim::ChannelClass::Tcp,
-                       params.stamp_cost,
-                       [&world, to_host, from_host, send_stamp, &out, remaining] {
-                         const LocalTime recv_stamp = world.clock_read(to_host);
-                         out.push_back(SyncSample{world.host_name(from_host),
-                                                  world.host_name(to_host),
-                                                  send_stamp, recv_stamp});
-                         --*remaining;
-                       });
-          });
-        });
-      }
+      const Duration stagger =
+          microseconds(137) * static_cast<std::int64_t>(pair_index++);
+      pairs.push_back(PairChain{&ctx, stampers[a], stampers[b], hosts[a],
+                                hosts[b], phase_start + stagger, 0});
+      ctx.remaining += params.messages_per_pair;
     }
+  }
+  // One sample per message; reserving up front keeps the recording lambdas
+  // above from reallocating mid-phase.
+  out.reserve(out.size() + static_cast<std::size_t>(ctx.remaining));
+  for (PairChain& pair : pairs) {
+    PairChain* p = &pair;
+    world.at(pair.first_fire, [p] { fire_message(p); });
   }
 
   // Drive the world until every sample has been recorded.
   const Duration total_span =
       params.spacing * params.messages_per_pair + milliseconds(200);
   SimTime limit = phase_start + total_span;
-  while (*remaining > 0) {
+  while (ctx.remaining > 0) {
     world.run_until(limit);
-    if (*remaining > 0) limit += milliseconds(100);
+    if (ctx.remaining > 0) limit += milliseconds(100);
     LOKI_REQUIRE(limit < phase_start + seconds(600),
                  "sync phase failed to complete");
   }

@@ -12,16 +12,19 @@
 //  mesh of TCP links (even on the same host). Fast single-hop notifications;
 //  O(n) connection work on entry; static membership (no crash bookkeeping,
 //  no restart support) — exactly the §3.3 shortcomings.
+//
+// Like the production fabric, both trade in dense MachineId/StateId — their
+// node tables are flat vectors indexed by machine id.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "runtime/cost_model.hpp"
 #include "runtime/deployment.hpp"
+#include "runtime/dictionary.hpp"
 #include "runtime/node.hpp"
 #include "sim/world.hpp"
 
@@ -36,10 +39,11 @@ class CentralizedDeployment final : public Deployment {
   };
 
   CentralizedDeployment(sim::World& world, sim::HostId daemon_host,
-                        const CostModel& costs, Params params);
+                        const StudyDictionary& dict, const CostModel& costs,
+                        Params params);
   CentralizedDeployment(sim::World& world, sim::HostId daemon_host,
-                        const CostModel& costs)
-      : CentralizedDeployment(world, daemon_host, costs, Params{}) {}
+                        const StudyDictionary& dict, const CostModel& costs)
+      : CentralizedDeployment(world, daemon_host, dict, costs, Params{}) {}
 
   void start_daemon();
   sim::ProcessId daemon_pid() const { return daemon_pid_; }
@@ -48,38 +52,40 @@ class CentralizedDeployment final : public Deployment {
                     std::function<void()> on_ready) override;
   void node_exited(LokiNode& node) override;
   void node_crashed(LokiNode& node, bool explicit_notice) override;
-  void send_state_notification(LokiNode& from, const std::string& state,
-                               const std::vector<std::string>& recipients) override;
+  void send_state_notification(LokiNode& from, StateId state,
+                               const std::vector<MachineId>& recipients) override;
   void request_state_updates(LokiNode& node) override;
   std::uint64_t dropped_notifications() const override { return dropped_; }
 
   std::uint64_t relayed() const { return relayed_; }
 
  private:
-  void handle_route(const std::string& from, const std::string& state,
-                    const std::vector<std::string>& recipients);
-  void unregister(const std::string& nickname);
+  void handle_route(MachineId from, StateId state,
+                    const std::vector<MachineId>& recipients);
+  void unregister(MachineId machine);
 
   sim::World& world_;
   sim::HostId daemon_host_;
   CostModel costs_;
   Params params_;
+  StateId crash_state_id_{kNoState};
   sim::ProcessId daemon_pid_{};
-  std::map<std::string, LokiNode*> nodes_;
+  std::vector<LokiNode*> nodes_;  // by MachineId; nullptr = not registered
   std::uint64_t dropped_{0};
   std::uint64_t relayed_{0};
 };
 
 class DirectDeployment final : public Deployment {
  public:
-  DirectDeployment(sim::World& world, const CostModel& costs);
+  DirectDeployment(sim::World& world, const StudyDictionary& dict,
+                   const CostModel& costs);
 
   void node_started(LokiNode& node, bool restarted,
                     std::function<void()> on_ready) override;
   void node_exited(LokiNode& node) override;
   void node_crashed(LokiNode& node, bool explicit_notice) override;
-  void send_state_notification(LokiNode& from, const std::string& state,
-                               const std::vector<std::string>& recipients) override;
+  void send_state_notification(LokiNode& from, StateId state,
+                               const std::vector<MachineId>& recipients) override;
   void request_state_updates(LokiNode& node) override;
   std::uint64_t dropped_notifications() const override { return dropped_; }
 
@@ -87,9 +93,12 @@ class DirectDeployment final : public Deployment {
   Duration connect_cost{microseconds(300)};
 
  private:
+  std::size_t peer_count() const;
+
   sim::World& world_;
   CostModel costs_;
-  std::map<std::string, LokiNode*> peers_;
+  StateId exit_state_id_{kNoState};
+  std::vector<LokiNode*> peers_;  // by MachineId; nullptr = not registered
   std::uint64_t dropped_{0};
 };
 

@@ -1,0 +1,57 @@
+// Compiled fault predicates (§3.5.6 applied to §3.5.5).
+//
+// A spec::FaultExpr is a shared_ptr tree evaluated by virtual dispatch with
+// a string map lookup per term — fine at parse time, expensive on every
+// state notification. CompiledFaultProgram flattens the tree once per
+// experiment into a postfix instruction vector over dense ids: a term
+// becomes "view[machine] == state" against the node's std::vector<StateId>
+// partial view, unknown names compile to a constant-false push, and the
+// evaluation stack is preallocated at compile time, so eval() performs no
+// allocation and no string comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/dictionary.hpp"
+#include "spec/fault_expr.hpp"
+
+namespace loki::runtime {
+
+class CompiledFaultProgram {
+ public:
+  CompiledFaultProgram() = default;
+
+  /// Flatten `expr`, interning every (machine:state) term through `dict`.
+  /// Terms naming machines or states outside the study compile to False —
+  /// a machine that never runs is never in any state.
+  static CompiledFaultProgram compile(const spec::FaultExpr& expr,
+                                      const StudyDictionary& dict);
+
+  /// Evaluate against a dense partial view of global state: view[m] is the
+  /// last known StateId of machine m, or kNoState. Allocation-free.
+  bool eval(const std::vector<StateId>& view) const;
+
+  /// Evaluate against the all-unknown view (parser edge initialization).
+  bool eval_empty() const;
+
+  std::size_t size() const { return code_.size(); }
+
+ private:
+  enum class Op : std::uint8_t { Term, False, And, Or, Not };
+  struct Instr {
+    Op op{Op::False};
+    MachineId machine{kInvalidId};
+    StateId state{kInvalidId};
+  };
+
+  bool run(const std::vector<StateId>* view) const;
+
+  std::vector<Instr> code_;
+  /// Evaluation stack, sized to the program's maximum depth at compile
+  /// time. Scratch only — safe because each program belongs to exactly one
+  /// node's fault parser (experiments never share them across threads).
+  mutable std::vector<unsigned char> stack_;
+};
+
+}  // namespace loki::runtime

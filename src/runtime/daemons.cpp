@@ -13,7 +13,12 @@ namespace loki::runtime {
 
 LocalDaemon::LocalDaemon(sim::World& world, sim::HostId host,
                          PartiallyDistributedDeployment& fabric)
-    : world_(world), host_(host), fabric_(fabric) {}
+    : world_(world), host_(host), fabric_(fabric) {
+  const std::size_t machines = fabric_.dict().machine_count();
+  local_nodes_.assign(machines, nullptr);
+  locations_.assign(machines, sim::HostId{});
+  last_reply_.assign(machines, SimTime::zero());
+}
 
 void LocalDaemon::start() {
   pid_ = world_.spawn(host_, "lokid@" + world_.host_name(host_));
@@ -23,8 +28,8 @@ void LocalDaemon::start() {
 }
 
 void LocalDaemon::restart_after_reboot() {
-  local_nodes_.clear();
-  last_reply_.clear();
+  std::fill(local_nodes_.begin(), local_nodes_.end(), nullptr);
+  local_count_ = 0;
   // Machines located on this host died with it.
   handle_host_purge(host_);
   reported_empty_ = true;
@@ -43,38 +48,35 @@ void LocalDaemon::restart_after_reboot() {
 }
 
 void LocalDaemon::handle_host_purge(sim::HostId host) {
-  std::erase_if(locations_,
-                [host](const auto& kv) { return kv.second == host; });
+  for (sim::HostId& loc : locations_) {
+    if (loc == host) loc = sim::HostId{};
+  }
 }
 
 void LocalDaemon::watchdog_tick() {
   const SimTime now = world_.now();
   const Duration timeout = fabric_.params().watchdog_timeout;
+  const auto machines = static_cast<MachineId>(local_nodes_.size());
 
   // Pass 1: nodes that have not answered within the timeout are presumed
   // crashed; the daemon writes the CRASH record on their behalf (§3.5.2).
-  std::vector<std::string> dead;
-  for (const auto& [nick, node] : local_nodes_) {
-    const auto it = last_reply_.find(nick);
-    if (it != last_reply_.end() && now - it->second > timeout)
-      dead.push_back(nick);
+  for (MachineId m = 0; m < machines; ++m) {
+    if (local_nodes_[m] != nullptr && now - last_reply_[m] > timeout)
+      handle_crash_notice(m, /*node_recorded=*/false);
   }
-  for (const std::string& nick : dead)
-    handle_crash_notice(nick, /*node_recorded=*/false);
 
   // Pass 2: ping the survivors (IPC out, IPC back).
-  for (const auto& [nick, node] : local_nodes_) {
-    const std::string nickname = nick;
-    LokiNode* target = node;
+  for (MachineId m = 0; m < machines; ++m) {
+    LokiNode* target = local_nodes_[m];
+    if (target == nullptr) continue;
     world_.send(pid_, target->pid(), sim::Lan::Control, sim::ChannelClass::Ipc,
                 fabric_.costs().watchdog_handler,
-                [this, nickname, target] {
+                [this, m, target] {
                   // Node side: reply.
                   world_.send(target->pid(), pid_, sim::Lan::Control,
                               sim::ChannelClass::Ipc,
-                              fabric_.costs().watchdog_handler, [this, nickname] {
-                                last_reply_[nickname] = world_.now();
-                              });
+                              fabric_.costs().watchdog_handler,
+                              [this, m] { last_reply_[m] = world_.now(); });
                 });
   }
 
@@ -85,11 +87,12 @@ void LocalDaemon::watchdog_tick() {
 void LocalDaemon::handle_register(LokiNode* node, bool restarted,
                                   std::function<void()> ack) {
   (void)restarted;
-  const std::string& nick = node->nickname();
-  local_nodes_[nick] = node;
-  locations_[nick] = host_;
-  last_reply_[nick] = world_.now();
-  broadcast_locations_on_register(nick);
+  const MachineId machine = node->machine_id();
+  if (local_nodes_[machine] == nullptr) ++local_count_;
+  local_nodes_[machine] = node;
+  locations_[machine] = host_;
+  last_reply_[machine] = world_.now();
+  broadcast_locations_on_register(machine);
   if (reported_empty_) {
     reported_empty_ = false;
     if (fabric_.on_host_empty_change) fabric_.on_host_empty_change(host_, false);
@@ -99,67 +102,60 @@ void LocalDaemon::handle_register(LokiNode* node, bool restarted,
               fabric_.costs().register_handshake, std::move(ack));
 }
 
-void LocalDaemon::broadcast_locations_on_register(const std::string& nickname) {
+void LocalDaemon::broadcast_locations_on_register(MachineId machine) {
   for (const auto& d : fabric_.daemons()) {
     if (d.get() == this) continue;
     LocalDaemon* peer = d.get();
     const sim::HostId host = host_;
     world_.send(pid_, peer->pid(), sim::Lan::Control, sim::ChannelClass::Tcp,
                 fabric_.costs().daemon_route,
-                [peer, nickname, host] { peer->handle_location_update(nickname, host); });
+                [peer, machine, host] { peer->handle_location_update(machine, host); });
   }
 }
 
-void LocalDaemon::handle_location_update(const std::string& nickname,
-                                         sim::HostId host) {
-  locations_[nickname] = host;
+void LocalDaemon::handle_location_update(MachineId machine, sim::HostId host) {
+  locations_[machine] = host;
 }
 
-void LocalDaemon::handle_location_remove(const std::string& nickname) {
-  locations_.erase(nickname);
+void LocalDaemon::handle_location_remove(MachineId machine) {
+  locations_[machine] = sim::HostId{};
 }
 
-void LocalDaemon::handle_exit_notice(const std::string& nickname,
-                                     const LokiNode* node) {
-  const auto it = local_nodes_.find(nickname);
-  if (it == local_nodes_.end() || it->second != node) return;  // stale
-  local_nodes_.erase(it);
-  last_reply_.erase(nickname);
-  locations_.erase(nickname);
+void LocalDaemon::handle_exit_notice(MachineId machine, const LokiNode* node) {
+  if (local_nodes_[machine] != node) return;  // stale
+  local_nodes_[machine] = nullptr;
+  --local_count_;
+  locations_[machine] = sim::HostId{};
   for (const auto& d : fabric_.daemons()) {
     if (d.get() == this) continue;
     LocalDaemon* peer = d.get();
     world_.send(pid_, peer->pid(), sim::Lan::Control, sim::ChannelClass::Tcp,
                 fabric_.costs().daemon_route,
-                [peer, nickname] { peer->handle_location_remove(nickname); });
+                [peer, machine] { peer->handle_location_remove(machine); });
   }
   check_experiment_end();
 }
 
-void LocalDaemon::handle_crash_notice(const std::string& nickname,
-                                      bool node_recorded) {
-  if (!local_nodes_.contains(nickname)) return;  // watchdog beat the notice
+void LocalDaemon::handle_crash_notice(MachineId machine, bool node_recorded) {
+  if (local_nodes_[machine] == nullptr) return;  // watchdog beat the notice
   if (!node_recorded) {
     // Write the crash event + state on the node's behalf (§3.5.2), stamped
     // with this host's clock (the node lived here).
-    Recorder* rec = fabric_.recorder_for(nickname);
+    Recorder* rec = fabric_.recorder_for(machine);
     if (rec != nullptr) {
-      const auto& dict = fabric_.dict();
-      rec->record_state_change(
-          dict.event_index(nickname, std::string(spec::kEventCrash)),
-          dict.state_index(std::string(spec::kStateCrash)),
-          world_.clock_read(host_));
+      rec->record_state_change(fabric_.crash_event_index(machine),
+                               fabric_.crash_state_id(),
+                               world_.clock_read(host_));
     }
   }
-  declare_crashed(nickname);
+  declare_crashed(machine);
 }
 
-void LocalDaemon::declare_crashed(const std::string& nickname) {
-  const auto it = local_nodes_.find(nickname);
-  if (it == local_nodes_.end()) return;
-  local_nodes_.erase(it);
-  last_reply_.erase(nickname);
-  locations_.erase(nickname);
+void LocalDaemon::declare_crashed(MachineId machine) {
+  if (local_nodes_[machine] == nullptr) return;
+  local_nodes_[machine] = nullptr;
+  --local_count_;
+  locations_[machine] = sim::HostId{};
 
   // Tell the other daemons; they drop the location and synthesize CRASH
   // view updates for their local machines.
@@ -168,45 +164,50 @@ void LocalDaemon::declare_crashed(const std::string& nickname) {
     LocalDaemon* peer = d.get();
     world_.send(pid_, peer->pid(), sim::Lan::Control, sim::ChannelClass::Tcp,
                 fabric_.costs().daemon_route,
-                [peer, nickname] { peer->handle_crash_broadcast(nickname); });
+                [peer, machine] { peer->handle_crash_broadcast(machine); });
   }
   // And our own local machines.
-  handle_crash_broadcast(nickname);
+  handle_crash_broadcast(machine);
 
-  if (fabric_.on_node_crash) fabric_.on_node_crash(nickname, host_);
+  if (fabric_.on_node_crash)
+    fabric_.on_node_crash(fabric_.dict().machine_name(machine), host_);
   check_experiment_end();
 }
 
-void LocalDaemon::handle_crash_broadcast(const std::string& nickname) {
-  locations_.erase(nickname);
-  const std::string crash_state(spec::kStateCrash);
-  for (const auto& [nick, node] : local_nodes_) {
-    LokiNode* target = node;
+void LocalDaemon::handle_crash_broadcast(MachineId machine) {
+  locations_[machine] = sim::HostId{};
+  const StateId crash_state = fabric_.crash_state_id();
+  for (LokiNode* target : local_nodes_) {
+    if (target == nullptr) continue;
     world_.send(pid_, target->pid(), sim::Lan::Control, sim::ChannelClass::Ipc,
                 fabric_.costs().node_notification_handler,
-                [target, nickname, crash_state] {
-                  target->deliver_remote_state(nickname, crash_state);
+                [target, machine, crash_state] {
+                  target->deliver_remote_state(machine, crash_state);
                 });
   }
 }
 
-void LocalDaemon::handle_route(const std::string& from, const std::string& state,
-                               std::vector<std::string> recipients) {
+void LocalDaemon::handle_route(MachineId from, StateId state,
+                               const std::vector<MachineId>& recipients) {
   ++routed_;
   // Group recipients by host so each remote host gets ONE message (§3.6.1).
-  std::map<std::int32_t, std::vector<std::string>> by_host;
-  for (const std::string& r : recipients) {
-    const auto it = locations_.find(r);
-    if (it == locations_.end()) {
+  for (const MachineId r : recipients) {
+    const sim::HostId loc = r == kInvalidId ? sim::HostId{} : locations_[r];
+    if (!loc.valid()) {
       fabric_.count_drop();  // "discarded with a warning message"
       continue;
     }
-    by_host[it->second.value].push_back(r);
+    const auto hv = static_cast<std::size_t>(loc.value);
+    if (route_scratch_.size() <= hv) route_scratch_.resize(hv + 1);
+    route_scratch_[hv].push_back(r);
   }
-  for (auto& [host_value, targets] : by_host) {
-    const sim::HostId host{host_value};
+  for (std::size_t hv = 0; hv < route_scratch_.size(); ++hv) {
+    std::vector<MachineId>& targets = route_scratch_[hv];
+    if (targets.empty()) continue;
+    const sim::HostId host{static_cast<std::int32_t>(hv)};
     if (host == host_) {
       handle_fanout(from, state, targets);
+      targets.clear();  // keep the capacity for the next route
       continue;
     }
     LocalDaemon* peer = &fabric_.daemon_on(host);
@@ -215,34 +216,36 @@ void LocalDaemon::handle_route(const std::string& from, const std::string& state
                 [peer, from, state, targets = std::move(targets)] {
                   peer->handle_fanout(from, state, targets);
                 });
+    targets = std::vector<MachineId>{};  // moved-from; make the state explicit
   }
 }
 
-void LocalDaemon::handle_fanout(const std::string& from, const std::string& state,
-                                const std::vector<std::string>& targets) {
-  for (const std::string& t : targets) {
-    const auto it = local_nodes_.find(t);
-    if (it == local_nodes_.end()) {
+void LocalDaemon::handle_fanout(MachineId from, StateId state,
+                                const std::vector<MachineId>& targets) {
+  for (const MachineId t : targets) {
+    LokiNode* target = local_nodes_[t];
+    if (target == nullptr) {
       fabric_.count_drop();
       continue;
     }
-    LokiNode* target = it->second;
     world_.send(pid_, target->pid(), sim::Lan::Control, sim::ChannelClass::Ipc,
                 fabric_.costs().node_notification_handler,
                 [target, from, state] { target->deliver_remote_state(from, state); });
   }
 }
 
-std::map<std::string, std::string> LocalDaemon::collect_local_states() const {
-  std::map<std::string, std::string> states;
-  for (const auto& [nick, node] : local_nodes_) {
-    if (node->state_machine().initialized())
-      states.emplace(nick, node->state_machine().current_state());
+std::vector<std::pair<MachineId, StateId>> LocalDaemon::collect_local_states()
+    const {
+  std::vector<std::pair<MachineId, StateId>> states;
+  for (MachineId m = 0; m < local_nodes_.size(); ++m) {
+    const LokiNode* node = local_nodes_[m];
+    if (node != nullptr && node->state_machine().initialized())
+      states.emplace_back(m, node->state_machine().current_state_id());
   }
   return states;
 }
 
-void LocalDaemon::handle_state_request(const std::string& requester) {
+void LocalDaemon::handle_state_request(MachineId requester) {
   // Local states answer immediately; remote daemons are queried in parallel.
   handle_state_reply(requester, collect_local_states());
   for (const auto& d : fabric_.daemons()) {
@@ -256,23 +259,22 @@ void LocalDaemon::handle_state_request(const std::string& requester) {
   }
 }
 
-void LocalDaemon::handle_state_request_remote(const std::string& requester,
+void LocalDaemon::handle_state_request_remote(MachineId requester,
                                               sim::HostId origin) {
   auto states = collect_local_states();
   if (states.empty()) return;
   LocalDaemon* origin_daemon = &fabric_.daemon_on(origin);
   world_.send(pid_, origin_daemon->pid(), sim::Lan::Control,
               sim::ChannelClass::Tcp, fabric_.costs().daemon_route,
-              [origin_daemon, requester, states = std::move(states)] {
-                origin_daemon->handle_state_reply(requester, states);
+              [origin_daemon, requester, states = std::move(states)]() mutable {
+                origin_daemon->handle_state_reply(requester, std::move(states));
               });
 }
 
-void LocalDaemon::handle_state_reply(const std::string& requester,
-                                     std::map<std::string, std::string> states) {
-  const auto it = local_nodes_.find(requester);
-  if (it == local_nodes_.end()) return;  // restarted node died again
-  LokiNode* target = it->second;
+void LocalDaemon::handle_state_reply(
+    MachineId requester, std::vector<std::pair<MachineId, StateId>> states) {
+  LokiNode* target = local_nodes_[requester];
+  if (target == nullptr) return;  // restarted node died again
   world_.send(pid_, target->pid(), sim::Lan::Control, sim::ChannelClass::Ipc,
               fabric_.costs().node_notification_handler,
               [target, states = std::move(states)] {
@@ -282,24 +284,25 @@ void LocalDaemon::handle_state_reply(const std::string& requester,
 
 void LocalDaemon::handle_kill_all() {
   // Abort path (§3.5.1): kill every local state machine outright.
-  auto nodes = local_nodes_;
-  local_nodes_.clear();
-  last_reply_.clear();
-  for (const auto& [nick, node] : nodes) {
-    locations_.erase(nick);
+  for (MachineId m = 0; m < local_nodes_.size(); ++m) {
+    LokiNode* node = local_nodes_[m];
+    if (node == nullptr) continue;
+    local_nodes_[m] = nullptr;
+    locations_[m] = sim::HostId{};
     world_.kill(node->pid());
   }
+  local_count_ = 0;
   check_experiment_end();
 }
 
-void LocalDaemon::handle_start_instruction(const std::string& nickname) {
+void LocalDaemon::handle_start_instruction(MachineId machine) {
   LOKI_REQUIRE(static_cast<bool>(fabric_.node_spawner),
                "no node spawner configured");
-  fabric_.node_spawner(nickname, host_);
+  fabric_.node_spawner(fabric_.dict().machine_name(machine), host_);
 }
 
 void LocalDaemon::check_experiment_end() {
-  const bool now_empty = local_nodes_.empty();
+  const bool now_empty = local_count_ == 0;
   if (now_empty != reported_empty_) {
     reported_empty_ = now_empty;
     if (fabric_.on_host_empty_change) fabric_.on_host_empty_change(host_, now_empty);
@@ -319,6 +322,12 @@ PartiallyDistributedDeployment::PartiallyDistributedDeployment(
       costs_(costs),
       params_(params) {
   LOKI_REQUIRE(!hosts_.empty(), "fabric needs at least one host");
+  crash_state_id_ = dict_.state_index(std::string(spec::kStateCrash));
+  crash_event_idx_.reserve(dict_.machine_count());
+  for (const std::string& machine : dict_.machines())
+    crash_event_idx_.push_back(
+        dict_.event_index(machine, std::string(spec::kEventCrash)));
+  recorders_.assign(dict_.machine_count(), nullptr);
   for (const sim::HostId h : hosts_)
     daemons_.push_back(std::make_unique<LocalDaemon>(world_, h, *this));
 }
@@ -335,12 +344,11 @@ LocalDaemon& PartiallyDistributedDeployment::daemon_on(sim::HostId host) {
 
 void PartiallyDistributedDeployment::set_recorder(const std::string& nickname,
                                                   std::shared_ptr<Recorder> rec) {
-  recorders_[nickname] = std::move(rec);
+  recorders_[dict_.machine_index(nickname)] = std::move(rec);
 }
 
-Recorder* PartiallyDistributedDeployment::recorder_for(const std::string& nickname) {
-  const auto it = recorders_.find(nickname);
-  return it == recorders_.end() ? nullptr : it->second.get();
+Recorder* PartiallyDistributedDeployment::recorder_for(MachineId machine) {
+  return recorders_[machine].get();
 }
 
 void PartiallyDistributedDeployment::node_started(LokiNode& node, bool restarted,
@@ -349,50 +357,53 @@ void PartiallyDistributedDeployment::node_started(LokiNode& node, bool restarted
   LokiNode* node_ptr = &node;
   world_.send(node.pid(), daemon.pid(), sim::Lan::Control, sim::ChannelClass::Ipc,
               costs_.daemon_route,
-              [&daemon, node_ptr, restarted, on_ready = std::move(on_ready)] {
-                daemon.handle_register(node_ptr, restarted, on_ready);
+              [&daemon, node_ptr, restarted, on_ready = std::move(on_ready)]() mutable {
+                daemon.handle_register(node_ptr, restarted, std::move(on_ready));
               });
 }
 
 void PartiallyDistributedDeployment::node_exited(LokiNode& node) {
   LocalDaemon& daemon = daemon_on(node.host());
-  const std::string nick = node.nickname();
+  const MachineId machine = node.machine_id();
   const LokiNode* node_ptr = &node;
   world_.send(node.pid(), daemon.pid(), sim::Lan::Control, sim::ChannelClass::Ipc,
               costs_.daemon_route,
-              [&daemon, nick, node_ptr] { daemon.handle_exit_notice(nick, node_ptr); });
+              [&daemon, machine, node_ptr] { daemon.handle_exit_notice(machine, node_ptr); });
 }
 
 void PartiallyDistributedDeployment::node_crashed(LokiNode& node,
                                                   bool explicit_notice) {
   LocalDaemon& daemon = daemon_on(node.host());
-  const std::string nick = node.nickname();
+  const MachineId machine = node.machine_id();
   // Explicit notifyOnCrash() and the OS shm-teardown notification both reach
   // the daemon as a local (IPC-speed) event; the difference is whether the
   // node already recorded its CRASH state change.
   world_.send(node.pid(), daemon.pid(), sim::Lan::Control, sim::ChannelClass::Ipc,
-              costs_.daemon_route, [&daemon, nick, explicit_notice] {
-                daemon.handle_crash_notice(nick, explicit_notice);
+              costs_.daemon_route, [&daemon, machine, explicit_notice] {
+                daemon.handle_crash_notice(machine, explicit_notice);
               });
 }
 
 void PartiallyDistributedDeployment::send_state_notification(
-    LokiNode& from, const std::string& state,
-    const std::vector<std::string>& recipients) {
+    LokiNode& from, StateId state, const std::vector<MachineId>& recipients) {
   LocalDaemon& daemon = daemon_on(from.host());
-  const std::string nick = from.nickname();
+  const MachineId machine = from.machine_id();
+  // `recipients` is the node's pre-interned notify list — owned by its
+  // state machine and stable for the node's (experiment-long) lifetime, so
+  // the in-flight message may carry a pointer to it instead of a copy.
+  const std::vector<MachineId>* recipients_ptr = &recipients;
   world_.send(from.pid(), daemon.pid(), sim::Lan::Control, sim::ChannelClass::Ipc,
-              costs_.daemon_route, [&daemon, nick, state, recipients] {
-                daemon.handle_route(nick, state, recipients);
+              costs_.daemon_route, [&daemon, machine, state, recipients_ptr] {
+                daemon.handle_route(machine, state, *recipients_ptr);
               });
 }
 
 void PartiallyDistributedDeployment::request_state_updates(LokiNode& node) {
   LocalDaemon& daemon = daemon_on(node.host());
-  const std::string nick = node.nickname();
+  const MachineId machine = node.machine_id();
   world_.send(node.pid(), daemon.pid(), sim::Lan::Control, sim::ChannelClass::Ipc,
               costs_.daemon_route,
-              [&daemon, nick] { daemon.handle_state_request(nick); });
+              [&daemon, machine] { daemon.handle_state_request(machine); });
 }
 
 // ---------------------------------------------------------------------------
@@ -407,7 +418,10 @@ void CentralDaemon::start(
     const std::vector<std::pair<std::string, sim::HostId>>& initial_nodes) {
   pid_ = world_.spawn(host_, "loki-central@" + world_.host_name(host_));
 
-  for (const auto& d : fabric_.daemons()) host_empty_[d->host().value] = true;
+  std::int32_t max_host = 0;
+  for (const auto& d : fabric_.daemons())
+    max_host = std::max(max_host, d->host().value);
+  host_empty_.assign(static_cast<std::size_t>(max_host) + 1, 1);
 
   fabric_.on_host_empty_change = [this](sim::HostId host, bool empty) {
     // Daemon -> central notice (TCP).
@@ -448,15 +462,15 @@ void CentralDaemon::start(
   // Instruct the daemons to start the node-file nodes.
   for (const auto& [nickname, host] : initial_nodes) {
     LocalDaemon* daemon = &fabric_.daemon_on(host);
-    const std::string nick = nickname;
+    const MachineId machine = fabric_.dict().machine_index(nickname);
     world_.send(pid_, daemon->pid(), sim::Lan::Control, sim::ChannelClass::Tcp,
                 fabric_.costs().daemon_route,
-                [daemon, nick] { daemon->handle_start_instruction(nick); });
+                [daemon, machine] { daemon->handle_start_instruction(machine); });
   }
 }
 
 void CentralDaemon::handle_empty_change(sim::HostId host, bool empty) {
-  host_empty_[host.value] = empty;
+  host_empty_[static_cast<std::size_t>(host.value)] = empty ? 1 : 0;
   if (!empty) {
     saw_any_node_ = true;
     ++confirm_epoch_;  // cancel any scheduled confirmation
@@ -469,7 +483,7 @@ void CentralDaemon::maybe_schedule_confirm() {
   if (concluded_ || !saw_any_node_) return;
   const bool all_empty =
       std::all_of(host_empty_.begin(), host_empty_.end(),
-                  [](const auto& kv) { return kv.second; });
+                  [](char e) { return e != 0; });
   if (!all_empty) return;
   const std::uint64_t epoch = ++confirm_epoch_;
   world_.timer(pid_, params_.end_confirm_grace, fabric_.costs().daemon_route,
@@ -482,7 +496,7 @@ void CentralDaemon::confirm_end() {
   if (concluded_) return;
   const bool all_empty =
       std::all_of(host_empty_.begin(), host_empty_.end(),
-                  [](const auto& kv) { return kv.second; });
+                  [](char e) { return e != 0; });
   const bool really_empty = std::all_of(
       fabric_.daemons().begin(), fabric_.daemons().end(),
       [](const std::unique_ptr<LocalDaemon>& d) { return d->empty(); });

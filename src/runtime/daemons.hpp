@@ -11,13 +11,19 @@
 //  CentralDaemon (§3.5.1): starting the configured nodes, experiment
 //  timeout/abort, concluding the experiment when every local daemon reports
 //  it has no executing state machines.
+//
+// All daemon messaging trades in dense ids (§3.5.6 pushed into the live
+// runtime): the node table, location table, last-reply table and crash
+// tracking are flat vectors indexed by MachineId, and routed notifications
+// carry (MachineId, StateId) instead of strings. Names appear only at the
+// harness boundary (node spawning, crash reports) via the study dictionary.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "runtime/cost_model.hpp"
@@ -43,45 +49,48 @@ class LocalDaemon {
   void restart_after_reboot();
   sim::ProcessId pid() const { return pid_; }
   sim::HostId host() const { return host_; }
-  bool empty() const { return local_nodes_.empty(); }
+  bool empty() const { return local_count_ == 0; }
   std::uint64_t routed() const { return routed_; }
 
   void handle_host_purge(sim::HostId host);
 
   // --- handlers: each runs as a work item on this daemon's process ---------
   void handle_register(LokiNode* node, bool restarted, std::function<void()> ack);
-  void handle_exit_notice(const std::string& nickname, const LokiNode* node);
-  void handle_crash_notice(const std::string& nickname, bool node_recorded);
-  void handle_route(const std::string& from, const std::string& state,
-                    std::vector<std::string> recipients);
-  void handle_fanout(const std::string& from, const std::string& state,
-                     const std::vector<std::string>& targets);
-  void handle_location_update(const std::string& nickname, sim::HostId host);
-  void handle_location_remove(const std::string& nickname);
-  void handle_crash_broadcast(const std::string& nickname);
-  void handle_state_request(const std::string& requester);
-  void handle_state_request_remote(const std::string& requester,
-                                   sim::HostId origin);
-  void handle_state_reply(const std::string& requester,
-                          std::map<std::string, std::string> states);
+  void handle_exit_notice(MachineId machine, const LokiNode* node);
+  void handle_crash_notice(MachineId machine, bool node_recorded);
+  void handle_route(MachineId from, StateId state,
+                    const std::vector<MachineId>& recipients);
+  void handle_fanout(MachineId from, StateId state,
+                     const std::vector<MachineId>& targets);
+  void handle_location_update(MachineId machine, sim::HostId host);
+  void handle_location_remove(MachineId machine);
+  void handle_crash_broadcast(MachineId machine);
+  void handle_state_request(MachineId requester);
+  void handle_state_request_remote(MachineId requester, sim::HostId origin);
+  void handle_state_reply(MachineId requester,
+                          std::vector<std::pair<MachineId, StateId>> states);
   void handle_kill_all();
-  void handle_start_instruction(const std::string& nickname);
+  void handle_start_instruction(MachineId machine);
 
  private:
   void watchdog_tick();
-  void declare_crashed(const std::string& nickname);
+  void declare_crashed(MachineId machine);
   void check_experiment_end();
-  void broadcast_locations_on_register(const std::string& nickname);
-  std::map<std::string, std::string> collect_local_states() const;
+  void broadcast_locations_on_register(MachineId machine);
+  std::vector<std::pair<MachineId, StateId>> collect_local_states() const;
 
   sim::World& world_;
   sim::HostId host_;
   PartiallyDistributedDeployment& fabric_;
   sim::ProcessId pid_{};
 
-  std::map<std::string, LokiNode*> local_nodes_;
-  std::map<std::string, sim::HostId> locations_;  // global location table
-  std::map<std::string, SimTime> last_reply_;
+  // Flat per-machine tables, indexed by MachineId (study-dictionary dense).
+  std::vector<LokiNode*> local_nodes_;   // nullptr = not local
+  std::vector<sim::HostId> locations_;   // invalid = unknown; global table
+  std::vector<SimTime> last_reply_;      // meaningful only for local nodes
+  std::size_t local_count_{0};
+  /// Reused per-route grouping scratch: recipients bucketed by host value.
+  std::vector<std::vector<MachineId>> route_scratch_;
   bool reported_empty_{true};
   std::uint64_t routed_{0};
 };
@@ -107,14 +116,14 @@ class PartiallyDistributedDeployment final : public Deployment {
                     std::function<void()> on_ready) override;
   void node_exited(LokiNode& node) override;
   void node_crashed(LokiNode& node, bool explicit_notice) override;
-  void send_state_notification(LokiNode& from, const std::string& state,
-                               const std::vector<std::string>& recipients) override;
+  void send_state_notification(LokiNode& from, StateId state,
+                               const std::vector<MachineId>& recipients) override;
   void request_state_updates(LokiNode& node) override;
   std::uint64_t dropped_notifications() const override { return dropped_; }
 
   // --- wiring ---------------------------------------------------------------
   void set_recorder(const std::string& nickname, std::shared_ptr<Recorder> rec);
-  Recorder* recorder_for(const std::string& nickname);
+  Recorder* recorder_for(MachineId machine);
   LocalDaemon& daemon_on(sim::HostId host);
   const std::vector<std::unique_ptr<LocalDaemon>>& daemons() const {
     return daemons_;
@@ -123,7 +132,13 @@ class PartiallyDistributedDeployment final : public Deployment {
   const CostModel& costs() const { return costs_; }
   const FabricParams& params() const { return params_; }
   sim::World& world() { return world_; }
+  std::size_t host_count() const { return hosts_.size(); }
   void count_drop() { ++dropped_; }
+  /// Pre-interned reserved ids (hot in the crash paths).
+  StateId crash_state_id() const { return crash_state_id_; }
+  std::uint32_t crash_event_index(MachineId machine) const {
+    return crash_event_idx_[machine];
+  }
 
   /// Central-daemon / harness callbacks.
   std::function<void(sim::HostId host, bool empty)> on_host_empty_change;
@@ -138,8 +153,10 @@ class PartiallyDistributedDeployment final : public Deployment {
   const StudyDictionary& dict_;
   CostModel costs_;
   FabricParams params_;
+  StateId crash_state_id_{kNoState};
+  std::vector<std::uint32_t> crash_event_idx_;  // by MachineId
   std::vector<std::unique_ptr<LocalDaemon>> daemons_;
-  std::map<std::string, std::shared_ptr<Recorder>> recorders_;
+  std::vector<std::shared_ptr<Recorder>> recorders_;  // by MachineId
   std::uint64_t dropped_{0};
 };
 
@@ -185,7 +202,7 @@ class CentralDaemon {
   PartiallyDistributedDeployment& fabric_;
   Params params_;
   sim::ProcessId pid_{};
-  std::map<std::int32_t, bool> host_empty_;
+  std::vector<char> host_empty_;  // by host id value
   /// Daemon-liveness poll body; a member (not a self-owning closure cycle)
   /// so it is released with the daemon instead of leaking per experiment.
   std::function<void()> poll_;

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/dictionary.hpp"
 #include "sim/ids.hpp"
 
 namespace loki::runtime {
@@ -49,8 +50,11 @@ class Deployment {
   virtual void node_crashed(LokiNode& node, bool explicit_notice) = 0;
 
   /// Deliver `from`'s new state to the machines on the notify list.
-  virtual void send_state_notification(LokiNode& from, const std::string& state,
-                                       const std::vector<std::string>& recipients) = 0;
+  /// `recipients` is a pre-interned vector owned by the sending node's
+  /// state machine, stable for the node's lifetime; kInvalidId entries
+  /// (notify-list names outside the study) count as drops.
+  virtual void send_state_notification(LokiNode& from, StateId state,
+                                       const std::vector<MachineId>& recipients) = 0;
 
   /// §3.6.3: a restarted node asks all other machines for their current
   /// states to rebuild its partial view.

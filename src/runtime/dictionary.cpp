@@ -77,10 +77,27 @@ std::uint32_t StudyDictionary::state_index(const std::string& name) const {
   return it->second;
 }
 
+MachineId StudyDictionary::try_machine_index(const std::string& name) const {
+  const auto it = machine_idx_.find(name);
+  return it == machine_idx_.end() ? kInvalidId : it->second;
+}
+
+StateId StudyDictionary::try_state_index(const std::string& name) const {
+  const auto it = state_idx_.find(name);
+  return it == state_idx_.end() ? kInvalidId : it->second;
+}
+
 const std::vector<std::string>& StudyDictionary::events_of(
     const std::string& machine) const {
   const auto it = events_.find(machine);
   LOKI_REQUIRE(it != events_.end(), "unknown machine: " + machine);
+  return it->second;
+}
+
+const std::map<std::string, std::uint32_t>& StudyDictionary::event_indices_of(
+    const std::string& machine) const {
+  const auto it = event_idx_.find(machine);
+  LOKI_REQUIRE(it != event_idx_.end(), "unknown machine: " + machine);
   return it->second;
 }
 

@@ -18,6 +18,20 @@
 
 namespace loki::runtime {
 
+/// Dense per-study identifiers: indices into StudyDictionary's machine and
+/// state tables. The whole experiment hot path (state views, daemon routing,
+/// compiled fault programs) trades in these; names survive only at
+/// spec-parse and report boundaries.
+using MachineId = std::uint32_t;
+using StateId = std::uint32_t;
+
+/// "Not interned" — a name outside the study (e.g. a notify-list entry for
+/// a machine that never runs). Routing counts these as drops.
+inline constexpr std::uint32_t kInvalidId = 0xffffffffu;
+/// "State unknown" sentinel in dense state views: the machine has not
+/// reported any state yet.
+inline constexpr StateId kNoState = kInvalidId;
+
 class StudyDictionary {
  public:
   /// Build from the specs of every machine in the study. Machine order
@@ -30,13 +44,28 @@ class StudyDictionary {
   const std::vector<std::string>& machines() const { return machines_; }
   const std::vector<std::string>& states() const { return states_; }
 
+  std::size_t machine_count() const { return machines_.size(); }
+  std::size_t state_count() const { return states_.size(); }
+
+  const std::string& machine_name(MachineId id) const { return machines_.at(id); }
+  const std::string& state_name(StateId id) const { return states_.at(id); }
+
   std::uint32_t machine_index(const std::string& name) const;
   std::uint32_t state_index(const std::string& name) const;
+
+  /// No-throw interning: kInvalidId for names outside the study.
+  MachineId try_machine_index(const std::string& name) const;
+  StateId try_state_index(const std::string& name) const;
 
   /// Per-machine event/fault dictionaries.
   const std::vector<std::string>& events_of(const std::string& machine) const;
   std::uint32_t event_index(const std::string& machine,
                             const std::string& event) const;
+  /// The machine's whole event name -> index map, for callers that intern
+  /// per notification (state machines borrow this instead of rebuilding
+  /// their own lookup table per node per experiment).
+  const std::map<std::string, std::uint32_t>& event_indices_of(
+      const std::string& machine) const;
   const std::vector<spec::FaultSpecEntry>& faults_of(
       const std::string& machine) const;
   std::uint32_t fault_index(const std::string& machine,

@@ -133,13 +133,13 @@ void ExperimentRun::build_deployment() {
     }
     case TransportDesign::Centralized: {
       centralized_ = std::make_unique<CentralizedDeployment>(
-          *world_, host_ids_.front(), params_.costs);
+          *world_, host_ids_.front(), *dict_, params_.costs);
       centralized_->start_daemon();
       deployment_ = centralized_.get();
       break;
     }
     case TransportDesign::Direct: {
-      direct_ = std::make_unique<DirectDeployment>(*world_, params_.costs);
+      direct_ = std::make_unique<DirectDeployment>(*world_, *dict_, params_.costs);
       deployment_ = direct_.get();
       break;
     }
@@ -348,7 +348,10 @@ ExperimentResult ExperimentRun::run() {
   result_.dropped_notifications += world_->dropped_deliveries();
   result_.control_messages = world_->lan(sim::Lan::Control).messages_sent();
   result_.app_messages = world_->lan(sim::Lan::App).messages_sent();
-  return result_;
+  result_.sim_events = world_->events().executed();
+  // The run object dies with this call; hand the (map-heavy) result over
+  // without a deep copy.
+  return std::move(result_);
 }
 
 }  // namespace

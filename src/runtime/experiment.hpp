@@ -141,6 +141,10 @@ struct ExperimentResult {
   std::uint64_t dropped_notifications{0};
   std::uint64_t control_messages{0};
   std::uint64_t app_messages{0};
+  /// Kernel events executed by the run (diagnostic; NOT part of the wire
+  /// format or the cross-backend identity contract — cached/worker results
+  /// carry 0 here).
+  std::uint64_t sim_events{0};
 };
 
 /// Run one experiment to completion. Deterministic in params.seed.

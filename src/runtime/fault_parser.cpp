@@ -1,40 +1,40 @@
 #include "runtime/fault_parser.hpp"
 
 namespace loki::runtime {
-namespace {
 
-const std::string* empty_view(const std::string&) { return nullptr; }
-
-}  // namespace
-
-FaultParser::FaultParser(std::vector<spec::FaultSpecEntry> entries)
-    : entries_(std::move(entries)) {
-  edges_.resize(entries_.size());
+FaultParser::FaultParser(const std::vector<spec::FaultSpecEntry>& entries,
+                         const StudyDictionary& dict)
+    : entries_(&entries) {
+  programs_.reserve(entries.size());
+  for (const spec::FaultSpecEntry& e : entries)
+    programs_.push_back(CompiledFaultProgram::compile(*e.expr, dict));
+  edges_.resize(entries.size());
   reset();
 }
 
 void FaultParser::reset() {
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    edges_[i].prev = entries_[i].expr->eval(empty_view);
+  for (std::size_t i = 0; i < programs_.size(); ++i) {
+    edges_[i].prev = programs_[i].eval_empty();
     edges_[i].fired_once = false;
   }
 }
 
-std::vector<std::uint32_t> FaultParser::on_view_change(
-    const spec::StateView& view) {
-  std::vector<std::uint32_t> fired;
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    const bool value = entries_[i].expr->eval(view);
+const std::vector<std::uint32_t>& FaultParser::on_view_change(
+    const std::vector<StateId>& view) {
+  fired_.clear();
+  const std::vector<spec::FaultSpecEntry>& entries = *entries_;
+  for (std::size_t i = 0; i < programs_.size(); ++i) {
+    const bool value = programs_[i].eval(view);
     ++evaluations_;
     EdgeState& edge = edges_[i];
     const bool rising = value && !edge.prev;
     edge.prev = value;
     if (!rising) continue;
-    if (entries_[i].trigger == spec::Trigger::Once && edge.fired_once) continue;
+    if (entries[i].trigger == spec::Trigger::Once && edge.fired_once) continue;
     edge.fired_once = true;
-    fired.push_back(static_cast<std::uint32_t>(i));
+    fired_.push_back(static_cast<std::uint32_t>(i));
   }
-  return fired;
+  return fired_;
 }
 
 }  // namespace loki::runtime

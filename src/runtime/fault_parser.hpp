@@ -6,6 +6,11 @@
 //   once   — fire only on the first such edge in the experiment;
 //   always — fire on every edge.
 //
+// Expressions are compiled once (CompiledFaultProgram) at construction, so
+// the per-notification sweep is a branch-predictable pass over flat postfix
+// programs against the dense id view — no tree walk, no string compares,
+// no allocation (the fired list is a reused buffer).
+//
 // Previous values are initialized by evaluating each expression against the
 // empty view at reset, so an expression that is vacuously true from the
 // start (e.g. pure negations) does not fire until it first goes false and
@@ -15,22 +20,31 @@
 #include <cstdint>
 #include <vector>
 
+#include "runtime/compiled_fault.hpp"
+#include "runtime/dictionary.hpp"
 #include "spec/fault_spec.hpp"
 
 namespace loki::runtime {
 
 class FaultParser {
  public:
-  explicit FaultParser(std::vector<spec::FaultSpecEntry> entries);
+  /// Compiles every entry's expression through `dict` up front. `entries`
+  /// is borrowed, not copied — the caller (the experiment's fault spec)
+  /// must outlive the parser.
+  FaultParser(const std::vector<spec::FaultSpecEntry>& entries,
+              const StudyDictionary& dict);
 
-  /// Re-evaluate all expressions against `view`; returns the indices (into
-  /// the entry list) of faults that must be injected now, in entry order.
-  std::vector<std::uint32_t> on_view_change(const spec::StateView& view);
+  /// Re-evaluate all expressions against the dense view (indexed by
+  /// MachineId, kNoState for unknown); returns the indices (into the entry
+  /// list) of faults that must be injected now, in entry order. The
+  /// returned reference is into a buffer reused by the next call.
+  const std::vector<std::uint32_t>& on_view_change(
+      const std::vector<StateId>& view);
 
   /// Forget edge/armed state (new experiment).
   void reset();
 
-  const std::vector<spec::FaultSpecEntry>& entries() const { return entries_; }
+  const std::vector<spec::FaultSpecEntry>& entries() const { return *entries_; }
 
   std::uint64_t evaluations() const { return evaluations_; }
 
@@ -40,8 +54,10 @@ class FaultParser {
     bool fired_once{false};
   };
 
-  std::vector<spec::FaultSpecEntry> entries_;
+  const std::vector<spec::FaultSpecEntry>* entries_;
+  std::vector<CompiledFaultProgram> programs_;
   std::vector<EdgeState> edges_;
+  std::vector<std::uint32_t> fired_;
   std::uint64_t evaluations_{0};
 };
 

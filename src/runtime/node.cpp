@@ -14,6 +14,7 @@ LokiNode::LokiNode(sim::World& world, sim::HostId host, std::string nickname,
     : world_(world),
       host_(host),
       nickname_(std::move(nickname)),
+      machine_id_(dict.machine_index(nickname_)),
       dict_(dict),
       recorder_(std::move(recorder)),
       deployment_(deployment),
@@ -24,8 +25,8 @@ LokiNode::LokiNode(sim::World& world, sim::HostId host, std::string nickname,
       hooks_(std::move(hooks)) {
   StateMachine::Hooks sm_hooks;
   sm_hooks.clock = [this] { return world_.clock_read(host_); };
-  sm_hooks.send_notifications = [this](const std::string& state,
-                                       const std::vector<std::string>& recipients) {
+  sm_hooks.send_notifications = [this](StateId state,
+                                       const std::vector<MachineId>& recipients) {
     deployment_.send_state_notification(*this, state, recipients);
   };
   sm_hooks.inject_fault = [this](const std::string& fault) { inject_fault(fault); };
@@ -62,13 +63,12 @@ void LokiNode::start(std::unique_ptr<Application> app) {
   });
 }
 
-void LokiNode::deliver_remote_state(const std::string& machine,
-                                    const std::string& state) {
+void LokiNode::deliver_remote_state(MachineId machine, StateId state) {
   sm_->on_remote_state(machine, state);
 }
 
 void LokiNode::deliver_state_updates(
-    const std::map<std::string, std::string>& states) {
+    const std::vector<std::pair<MachineId, StateId>>& states) {
   sm_->apply_state_updates(states);
 }
 

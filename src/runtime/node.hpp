@@ -9,6 +9,8 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "runtime/app.hpp"
 #include "runtime/cost_model.hpp"
@@ -48,12 +50,14 @@ class LokiNode final : public NodeContext {
   void start(std::unique_ptr<Application> app);
 
   // --- fabric-facing (invoked via work items on this node's process) -------
-  void deliver_remote_state(const std::string& machine, const std::string& state);
-  void deliver_state_updates(const std::map<std::string, std::string>& states);
+  void deliver_remote_state(MachineId machine, StateId state);
+  void deliver_state_updates(
+      const std::vector<std::pair<MachineId, StateId>>& states);
 
   // --- introspection --------------------------------------------------------
   sim::ProcessId pid() const { return pid_; }
   sim::HostId host() const { return host_; }
+  MachineId machine_id() const { return machine_id_; }
   bool process_alive() const { return pid_.valid() && world_.alive(pid_); }
   const StateMachine& state_machine() const { return *sm_; }
   sim::World& world() { return world_; }
@@ -82,6 +86,7 @@ class LokiNode final : public NodeContext {
   sim::World& world_;
   sim::HostId host_;
   std::string nickname_;
+  MachineId machine_id_{kInvalidId};
   const StudyDictionary& dict_;
   std::shared_ptr<Recorder> recorder_;
   Deployment& deployment_;

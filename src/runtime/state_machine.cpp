@@ -13,22 +13,74 @@ StateMachine::StateMachine(const spec::StateMachineSpec& sm_spec,
       dict_(dict),
       recorder_(std::move(recorder)),
       hooks_(std::move(hooks)),
-      parser_(fault_spec.entries),
-      current_state_(spec::kStateBegin) {
+      parser_(fault_spec.entries, dict) {
   LOKI_REQUIRE(recorder_ != nullptr, "state machine needs a recorder");
   LOKI_REQUIRE(static_cast<bool>(hooks_.clock), "state machine needs a clock hook");
+  compile_tables();
+}
+
+const std::uint32_t* StateMachine::find_event(const std::string& name) const {
+  const auto it = event_ids_->find(name);
+  return it == event_ids_->end() ? nullptr : &it->second;
+}
+
+void StateMachine::compile_tables() {
+  self_ = dict_.machine_index(spec_.name());
+  begin_state_ = dict_.state_index(std::string(spec::kStateBegin));
+  current_state_ = begin_state_;
+  view_.assign(dict_.machine_count(), kNoState);
+
+  // Event name -> index: borrow the dictionary's own per-machine map (the
+  // dictionary outlives every node of the study).
+  event_count_ = dict_.events_of(spec_.name()).size();
+  event_ids_ = &dict_.event_indices_of(spec_.name());
+  const std::uint32_t* default_ev = find_event(std::string(spec::kEventDefault));
+  LOKI_REQUIRE(default_ev != nullptr, "dictionary lacks the default event");
+  default_event_ = *default_ev;
+
+  def_of_state_.assign(dict_.state_count(), -1);
+  const auto& defs = spec_.state_defs();
+  compiled_.resize(defs.size());
+  next_matrix_.assign(defs.size() * event_count_, kNoState);
+  for (std::size_t d = 0; d < defs.size(); ++d) {
+    const spec::StateDef& def = defs[d];
+    def_of_state_[dict_.state_index(def.name)] = static_cast<std::int32_t>(d);
+
+    CompiledState& cs = compiled_[d];
+    for (const auto& [event, next] : def.transitions) {
+      const std::uint32_t* ev = find_event(event);
+      LOKI_REQUIRE(ev != nullptr, "transition event not in event list: " + event);
+      next_matrix_[d * event_count_ + *ev] = dict_.state_index(next);
+    }
+    if (def.default_next.has_value())
+      cs.default_next = dict_.state_index(*def.default_next);
+    cs.notify.reserve(def.notify.size());
+    for (const std::string& nick : def.notify)
+      cs.notify.push_back(dict_.try_machine_index(nick));
+  }
+}
+
+const std::string& StateMachine::current_state() const {
+  return dict_.state_name(current_state_);
+}
+
+std::map<std::string, std::string> StateMachine::view() const {
+  std::map<std::string, std::string> out;
+  for (MachineId m = 0; m < view_.size(); ++m) {
+    if (view_[m] != kNoState) out.emplace(dict_.machine_name(m), dict_.state_name(view_[m]));
+  }
+  return out;
 }
 
 std::uint32_t StateMachine::event_index_or_default(const std::string& event) const {
-  const auto& events = dict_.events_of(spec_.name());
-  for (std::uint32_t i = 0; i < events.size(); ++i)
-    if (events[i] == event) return i;
-  return dict_.event_index(spec_.name(), std::string(spec::kEventDefault));
+  const std::uint32_t* ev = find_event(event);
+  return ev == nullptr ? default_event_ : *ev;
 }
 
 void StateMachine::notify_event(const std::string& name) {
   if (!initialized_) {
     // First notification: resolve the initial state (see header comment).
+    // Cold path — string resolution is fine here.
     std::string initial;
     if (const auto next = spec_.transition(std::string(spec::kStateBegin), name);
         next.has_value()) {
@@ -42,48 +94,59 @@ void StateMachine::notify_event(const std::string& name) {
                        spec_.name() + " does not resolve to an initial state");
     }
     initialized_ = true;
-    enter_state(initial, event_index_or_default(name));
+    enter_state(dict_.state_index(initial), event_index_or_default(name));
     return;
   }
 
-  const auto next = spec_.transition(current_state_, name);
-  if (!next.has_value()) {
+  const std::int32_t def = def_of_state_[current_state_];
+  const std::uint32_t* ev = find_event(name);
+  StateId next = kNoState;
+  if (def >= 0) {
+    const auto row = static_cast<std::size_t>(def) * event_count_;
+    if (ev != nullptr) next = next_matrix_[row + *ev];
+    if (next == kNoState) next = compiled_[static_cast<std::size_t>(def)].default_next;
+  }
+  if (next == kNoState) {
     // Event has no arc in the current state; the abstraction does not model
     // it here. Count and continue (strictness is a harness-level choice).
     ++ignored_events_;
     return;
   }
-  enter_state(*next, event_index_or_default(name));
+  // Record with the event's own index; an unknown name means the `default`
+  // wildcard arc was taken, which records as the reserved default event.
+  enter_state(next, ev != nullptr ? *ev : default_event_);
 }
 
-void StateMachine::enter_state(const std::string& new_state,
-                               std::uint32_t event_index) {
+void StateMachine::enter_state(StateId new_state, std::uint32_t event_index) {
   current_state_ = new_state;
   const LocalTime now = hooks_.clock();
-  recorder_->record_state_change(event_index, dict_.state_index(new_state), now);
-  if (hooks_.truth_state_change) hooks_.truth_state_change(new_state);
+  recorder_->record_state_change(event_index, new_state, now);
+  if (hooks_.truth_state_change)
+    hooks_.truth_state_change(dict_.state_name(new_state));
 
   // Update own entry in the partial view before notifying others, so local
   // fault expressions see the new state immediately.
-  view_[spec_.name()] = new_state;
+  view_[self_] = new_state;
 
-  const auto& recipients = spec_.notify_list(new_state);
-  if (!recipients.empty() && hooks_.send_notifications)
-    hooks_.send_notifications(new_state, recipients);
+  const std::int32_t def = def_of_state_[new_state];
+  if (def >= 0) {
+    const CompiledState& cs = compiled_[static_cast<std::size_t>(def)];
+    if (!cs.notify.empty() && hooks_.send_notifications)
+      hooks_.send_notifications(new_state, cs.notify);
+  }
 
   run_fault_parser();
 }
 
-void StateMachine::on_remote_state(const std::string& machine,
-                                   const std::string& state) {
+void StateMachine::on_remote_state(MachineId machine, StateId state) {
   view_[machine] = state;
   run_fault_parser();
 }
 
 void StateMachine::apply_state_updates(
-    const std::map<std::string, std::string>& states) {
+    const std::vector<std::pair<MachineId, StateId>>& states) {
   for (const auto& [machine, state] : states) {
-    if (machine == spec_.name()) continue;  // own state is authoritative
+    if (machine == self_) continue;  // own state is authoritative
     view_[machine] = state;
   }
   run_fault_parser();
@@ -96,11 +159,12 @@ void StateMachine::record_crash_detected_by_daemon(LocalTime when) {
 }
 
 void StateMachine::run_fault_parser() {
-  const spec::StateView view = [this](const std::string& machine) -> const std::string* {
-    const auto it = view_.find(machine);
-    return it == view_.end() ? nullptr : &it->second;
-  };
-  for (const std::uint32_t idx : parser_.on_view_change(view)) {
+  const std::vector<std::uint32_t>& fired_ref = parser_.on_view_change(view_);
+  if (fired_ref.empty()) return;  // steady state: no copy, no allocation
+  // Copy before invoking hooks: an injection may re-enter notify_event()
+  // (probe crashes the app synchronously), which reuses the parser buffer.
+  const std::vector<std::uint32_t> fired = fired_ref;
+  for (const std::uint32_t idx : fired) {
     const spec::FaultSpecEntry& entry = parser_.entries()[idx];
     if (hooks_.inject_fault) hooks_.inject_fault(entry.name);
     recorder_->record_fault_injection(

@@ -1,9 +1,17 @@
-// The runtime state machine (§3.5.3).
+// The runtime state machine (§3.5.3), interned (§3.5.6).
 //
 // One per node. Tracks the node's local state (driven by probe event
 // notifications) and the partial view of global state (driven by remote
 // state notifications), records both local state changes and fault
 // injections, and asks the probe to inject when the fault parser fires.
+//
+// Everything on the notification hot path trades in dense ids: the view is
+// a std::vector<StateId> indexed by MachineId, the transition table is
+// compiled to per-state arrays indexed by event index, notify lists are
+// pre-interned MachineId vectors, and fault expressions are
+// CompiledFaultPrograms. Names appear only at the probe boundary (the
+// notifyEvent() string, interned with one hash lookup) and at the
+// report/test boundary (current_state(), view()).
 //
 // Initial-state resolution for the *first* probe notification (§3.5.7 says
 // "the first event notification that the probe sends is considered as a
@@ -24,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "runtime/dictionary.hpp"
@@ -37,9 +46,12 @@ class StateMachine {
  public:
   struct Hooks {
     /// Send a state notification to the given machines (the notify list of
-    /// the state just entered). Wired to the state machine transport.
-    std::function<void(const std::string& new_state,
-                       const std::vector<std::string>& recipients)>
+    /// the state just entered). Wired to the state machine transport. The
+    /// recipient list is a pre-interned vector owned by this machine and
+    /// stable for its lifetime; entries may be kInvalidId for notify-list
+    /// names outside the study (the transport counts them as drops).
+    std::function<void(StateId new_state,
+                       const std::vector<MachineId>& recipients)>
         send_notifications;
     /// Perform the actual fault injection (wired to the probe).
     std::function<void(const std::string& fault_name)> inject_fault;
@@ -50,43 +62,78 @@ class StateMachine {
     std::function<void(const std::string& fault_name)> truth_injection;
   };
 
+  /// `sm_spec` and `fault_spec` are borrowed, not copied: both must outlive
+  /// the state machine (they live in the experiment's NodeConfig).
   StateMachine(const spec::StateMachineSpec& sm_spec,
                const spec::FaultSpec& fault_spec, const StudyDictionary& dict,
                std::shared_ptr<Recorder> recorder, Hooks hooks);
 
-  /// Probe-facing notifyEvent() (§3.5.7).
+  /// Probe-facing notifyEvent() (§3.5.7). The one string->id interning
+  /// point of the hot path.
   void notify_event(const std::string& name);
 
   /// Transport-facing: a remote machine reports its new state.
-  void on_remote_state(const std::string& machine, const std::string& state);
+  void on_remote_state(MachineId machine, StateId state);
 
   /// Daemon-facing: bulk state update on restart (§3.6.3).
-  void apply_state_updates(const std::map<std::string, std::string>& states);
+  void apply_state_updates(
+      const std::vector<std::pair<MachineId, StateId>>& states);
 
   /// The local daemon detected this node crashed without notifying: write
   /// the crash into the timeline on the node's behalf (§3.5.2).
   void record_crash_detected_by_daemon(LocalTime when);
 
   const std::string& nickname() const { return spec_.name(); }
-  const std::string& current_state() const { return current_state_; }
+  MachineId machine_id() const { return self_; }
+  StateId current_state_id() const { return current_state_; }
+  /// Report boundary: the current state's name.
+  const std::string& current_state() const;
   bool initialized() const { return initialized_; }
-  const std::map<std::string, std::string>& view() const { return view_; }
+  /// Report/test boundary: the dense view materialized as name -> name.
+  std::map<std::string, std::string> view() const;
+  const std::vector<StateId>& view_ids() const { return view_; }
   std::uint64_t ignored_events() const { return ignored_events_; }
 
  private:
-  void enter_state(const std::string& new_state, std::uint32_t event_index);
+  /// Compiled per-defined-state tables (indexed as spec_.state_defs()).
+  /// Transition arcs live in one flat matrix (next_matrix_, defs x events)
+  /// so per-node construction does a single allocation for all of them.
+  struct CompiledState {
+    StateId default_next{kNoState};
+    /// Pre-interned notify list (kInvalidId entries preserved for
+    /// drop-counting at the transport).
+    std::vector<MachineId> notify;
+  };
+
+  void compile_tables();
+  void enter_state(StateId new_state, std::uint32_t event_index);
   void run_fault_parser();
   std::uint32_t event_index_or_default(const std::string& event) const;
+  const std::uint32_t* find_event(const std::string& name) const;
 
-  spec::StateMachineSpec spec_;
+  /// Borrowed from the experiment configuration (NodeConfig), which outlives
+  /// every node of the run — copying the map-heavy spec per node per
+  /// experiment was a measurable share of campaign setup cost.
+  const spec::StateMachineSpec& spec_;
   const StudyDictionary& dict_;
   std::shared_ptr<Recorder> recorder_;
   Hooks hooks_;
   FaultParser parser_;
 
+  MachineId self_{kInvalidId};
+  StateId begin_state_{kNoState};
+  std::uint32_t default_event_{0};
+  std::size_t event_count_{0};
+  std::vector<CompiledState> compiled_;          // by def index
+  std::vector<StateId> next_matrix_;             // def * event_count_ + event
+  std::vector<std::int32_t> def_of_state_;       // StateId -> def index or -1
+  /// Probe-boundary event interning: the dictionary's own per-machine
+  /// name -> index map, borrowed rather than rebuilt per node.
+  const std::map<std::string, std::uint32_t>* event_ids_{nullptr};
+
   bool initialized_{false};
-  std::string current_state_;
-  std::map<std::string, std::string> view_;  // machine -> last known state
+  StateId current_state_{kNoState};
+  std::vector<StateId> view_;  // by MachineId; kNoState = unknown
   std::uint64_t ignored_events_{0};
 };
 

@@ -1,27 +1,101 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/error.hpp"
 
 namespace loki::sim {
 
-void EventQueue::schedule_at(SimTime at, Action action) {
+void EventQueue::schedule_at(SimTime at, Task action) {
   LOKI_REQUIRE(at >= now_, "cannot schedule an event in the past");
-  queue_.push(Entry{at, next_seq_++, std::move(action)});
+  std::uint32_t slot;
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = slab_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  slab_[slot].task = std::move(action);
+  if (at == now_) {
+    // Fast lane (see header): runs after every already-queued event at this
+    // instant, in schedule order — exactly the (time, seq) contract.
+    ++next_seq_;
+    due_.push_back(slot);
+    return;
+  }
+  heap_.push_back(Key{at.ns, next_seq_++, slot});
+  sift_up(heap_.size() - 1);
 }
 
-void EventQueue::schedule_in(Duration delay, Action action) {
+void EventQueue::schedule_in(Duration delay, Task action) {
   LOKI_REQUIRE(delay.ns >= 0, "negative delay");
   schedule_at(now_ + delay, std::move(action));
 }
 
+void EventQueue::sift_up(std::size_t i) {
+  Key k = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(k, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = k;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  Key k = heap_[i];
+  for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], k)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = k;
+}
+
 std::uint64_t EventQueue::run_until(SimTime limit) {
   std::uint64_t count = 0;
-  while (!queue_.empty() && queue_.top().at <= limit) {
-    // Copy out before pop: the action may schedule more events.
-    Entry entry{queue_.top().at, queue_.top().seq, std::move(const_cast<Entry&>(queue_.top()).action)};
-    queue_.pop();
-    now_ = entry.at;
-    entry.action();
+  for (;;) {
+    std::uint32_t slot;
+    if (!due_.empty() && now_ <= limit) {
+      // A heap entry at this same instant predates everything in the fast
+      // lane (smaller seq), so it goes first.
+      if (!heap_.empty() && heap_.front().at == now_.ns) {
+        slot = heap_.front().slot;
+        heap_.front() = heap_.back();
+        heap_.pop_back();
+        if (!heap_.empty()) sift_down(0);
+      } else {
+        slot = due_.front();
+        due_.pop_front();
+      }
+    } else if (!heap_.empty() && heap_.front().at <= limit.ns) {
+      const Key top = heap_.front();
+      heap_.front() = heap_.back();
+      heap_.pop_back();
+      if (!heap_.empty()) sift_down(0);
+      now_ = SimTime{top.at};
+      slot = top.slot;
+    } else {
+      break;
+    }
+
+    // Run the action in place (slot addresses are stable — the slab is a
+    // deque) and recycle the slot afterwards. The single combined
+    // invoke+destroy dispatch is the pop path's only indirect call.
+    slab_[slot].task.run_once();
+    slab_[slot].next_free = free_head_;
+    free_head_ = slot;
     ++count;
     ++executed_;
   }

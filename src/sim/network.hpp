@@ -14,8 +14,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <tuple>
+#include <vector>
 
 #include "sim/ids.hpp"
 #include "util/rng.hpp"
@@ -49,11 +48,35 @@ class Network {
   std::uint64_t messages_sent() const { return messages_sent_; }
 
  private:
+  // The FIFO horizon table is probed once per message send, so it is an
+  // open-addressing hash map over packed (from, to, cls) keys instead of a
+  // node-based std::map: one cache line per probe, no allocation per link.
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+  struct LinkSlot {
+    std::uint64_t key{kEmptyKey};
+    std::int64_t horizon_ns{0};
+  };
+
+  /// Pack (from, to, cls) into one 64-bit key. Process ids are non-negative
+  /// 31-bit values and cls is one bit, so the packing is injective and can
+  /// never produce the all-ones empty sentinel.
+  static std::uint64_t pack_key(ProcessId from, ProcessId to, ChannelClass cls) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from.value))
+            << 33) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(to.value))
+            << 1) |
+           static_cast<std::uint64_t>(cls);
+  }
+
+  LinkSlot& find_slot(std::uint64_t key);
+  void grow();
+
   NetworkParams params_;
   Rng rng_;
   std::uint64_t messages_sent_{0};
-  std::map<std::tuple<std::int32_t, std::int32_t, std::uint8_t>, SimTime>
-      fifo_horizon_;
+  std::vector<LinkSlot> links_{std::vector<LinkSlot>(64)};
+  std::size_t used_links_{0};
 };
 
 }  // namespace loki::sim

@@ -9,11 +9,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
+#include <cstddef>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/ids.hpp"
+#include "sim/task.hpp"
 #include "util/time.hpp"
 
 namespace loki::sim {
@@ -27,8 +29,49 @@ enum class ProcState : std::uint8_t {
 
 struct WorkItem {
   Duration cost{Duration{0}};      // CPU time the item consumes
-  std::function<void()> fn;        // effects, applied when the burst ends
+  Task fn;                         // effects, applied when the burst ends
   SimTime enqueued{SimTime::zero()};
+};
+
+/// FIFO of pending work items, as a power-of-two ring: a deque allocates
+/// and frees a block every handful of 72-byte items, which showed up as
+/// steady-state churn in the event loop. The ring's storage is reused
+/// forever once it covers the process' high-water mark.
+class Mailbox {
+ public:
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+  WorkItem& front() { return buf_[head_]; }
+
+  void push_back(WorkItem&& item) {
+    if (count_ == buf_.size()) grow();
+    buf_[(head_ + count_) & mask_] = std::move(item);
+    ++count_;
+  }
+  void pop_front() {
+    buf_[head_].fn.reset();
+    head_ = (head_ + 1) & mask_;
+    --count_;
+  }
+  void clear() {
+    while (count_ != 0) pop_front();
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<WorkItem> next(cap);
+    for (std::size_t i = 0; i < count_; ++i)
+      next[i] = std::move(buf_[(head_ + i) & mask_]);
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  std::vector<WorkItem> buf_;
+  std::size_t head_{0};
+  std::size_t count_{0};
+  std::size_t mask_{0};
 };
 
 struct Process {
@@ -39,7 +82,7 @@ struct Process {
   /// Incarnation counter; bumped on kill so in-flight timers, deliveries and
   /// CPU-burst completions addressed to a previous life are discarded.
   std::uint32_t epoch{0};
-  std::deque<WorkItem> mailbox;
+  Mailbox mailbox;
 
   // --- statistics (read by benches/tests) ---
   Duration cpu_used{Duration{0}};

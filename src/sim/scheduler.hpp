@@ -68,7 +68,6 @@ class CpuScheduler {
   std::deque<Process*> run_queue_;
   Process* running_{nullptr};
   Duration quantum_left_{Duration{0}};
-  bool dispatch_scheduled_{false};
   bool wake_preempt_pending_{false};
 
   std::uint64_t context_switches_{0};

@@ -1,0 +1,145 @@
+// A move-only callable with small-buffer optimization — the currency of the
+// event kernel.
+//
+// std::function heap-allocates any capture larger than two pointers, which
+// made every scheduled event a malloc/free pair. Task inlines captures up to
+// kInlineSize bytes (48: enough for every closure the runtime itself builds)
+// and falls back to the heap only beyond that. The fallback is counted so
+// tests can assert the steady-state event loop stays allocation-free.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace loki::sim {
+
+class Task {
+ public:
+  /// Captures up to this many bytes are stored inline (no heap allocation).
+  static constexpr std::size_t kInlineSize = 48;
+
+  Task() noexcept = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, Task> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  Task(F&& f) {  // NOLINT(google-explicit-constructor): callable adapter
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vt_ = &kInlineVTable<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      vt_ = &kHeapVTable<D>;
+      heap_allocs_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  Task(Task&& other) noexcept { move_from(other); }
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { reset(); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  /// Invoke and destroy in one virtual dispatch — the event-loop fast path
+  /// (a separate invoke + destroy would be two indirect calls). Leaves the
+  /// task empty. This is deliberately the only invocation API: tasks are
+  /// one-shot by construction, so there is no plain operator() to call on
+  /// an empty/moved-from task by accident.
+  void run_once() {
+    const VTable* vt = vt_;
+    vt_ = nullptr;
+    vt->run(buf_);
+  }
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  /// Cumulative count of captures that exceeded kInlineSize and hit the
+  /// heap. Process-wide; tests snapshot it around a steady-state window.
+  static std::uint64_t heap_allocations() {
+    return heap_allocs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct VTable {
+    /// Invoke, then destroy (single-dispatch pop path).
+    void (*run)(void* buf);
+    /// Move-construct into `dst` from `src`, then destroy `src`.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* buf) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static constexpr VTable kInlineVTable{
+      [](void* buf) {
+        D* f = std::launder(reinterpret_cast<D*>(buf));
+        // Scope guard, not a trailing dtor call: the callable must be
+        // destroyed even when it throws (unwinding out of run_until).
+        struct Guard {
+          D* f;
+          ~Guard() { f->~D(); }
+        } guard{f};
+        (*f)();
+      },
+      [](void* src, void* dst) noexcept {
+        D* s = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* buf) noexcept { std::launder(reinterpret_cast<D*>(buf))->~D(); },
+  };
+
+  template <typename D>
+  static constexpr VTable kHeapVTable{
+      [](void* buf) {
+        D* f = *std::launder(reinterpret_cast<D**>(buf));
+        struct Guard {
+          D* f;
+          ~Guard() { delete f; }
+        } guard{f};
+        (*f)();
+      },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+      },
+      [](void* buf) noexcept { delete *std::launder(reinterpret_cast<D**>(buf)); },
+  };
+
+  void move_from(Task& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(other.buf_, buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const VTable* vt_{nullptr};
+
+  static inline std::atomic<std::uint64_t> heap_allocs_{0};
+};
+
+}  // namespace loki::sim

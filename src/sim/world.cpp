@@ -92,7 +92,7 @@ void World::crash_host(HostId host) {
   for (const ProcessId pid : processes_on(host)) kill(pid);
 }
 
-bool World::post(ProcessId pid, Duration cpu_cost, std::function<void()> fn) {
+bool World::post(ProcessId pid, Duration cpu_cost, Task fn) {
   Process* p = proc_ptr(pid);
   if (p == nullptr || !p->alive()) {
     ++dropped_deliveries_;
@@ -102,28 +102,66 @@ bool World::post(ProcessId pid, Duration cpu_cost, std::function<void()> fn) {
   return true;
 }
 
+std::uint32_t World::stash(Task t) {
+  std::uint32_t slot;
+  if (inflight_free_ != kNoSlot) {
+    slot = inflight_free_;
+    inflight_free_ = inflight_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(inflight_.size());
+    inflight_.emplace_back();
+  }
+  inflight_[slot].task = std::move(t);
+  return slot;
+}
+
+Task World::unstash(std::uint32_t slot) {
+  Task t = std::move(inflight_[slot].task);
+  inflight_[slot].next_free = inflight_free_;
+  inflight_free_ = slot;
+  return t;
+}
+
+void World::deliver_slot(ProcessId pid, Duration cost, std::uint32_t slot) {
+  InflightSlot& in = inflight_[slot];
+  Process* p = proc_ptr(pid);
+  if (p == nullptr || !p->alive()) {
+    ++dropped_deliveries_;
+    in.task.reset();
+  } else {
+    p->mailbox.push_back(WorkItem{cost, std::move(in.task), now()});
+    if (p->state == ProcState::Blocked) scheduler(p->host).make_ready(p);
+  }
+  in.next_free = inflight_free_;
+  inflight_free_ = slot;
+}
+
 void World::send(ProcessId from, ProcessId to, Lan which, ChannelClass cls,
-                 Duration handler_cost, std::function<void()> fn) {
+                 Duration handler_cost, Task fn) {
   const SimTime delivery = lan(which).delivery_time(now(), from, to, cls);
-  events_.schedule_at(delivery, [this, to, handler_cost, fn = std::move(fn)]() mutable {
-    post(to, handler_cost, std::move(fn));
+  const std::uint32_t slot = stash(std::move(fn));
+  events_.schedule_at(delivery, [this, to, handler_cost, slot] {
+    deliver_slot(to, handler_cost, slot);
   });
 }
 
 void World::timer(ProcessId pid, Duration delay, Duration handler_cost,
-                  std::function<void()> fn) {
+                  Task fn) {
   Process* p = proc_ptr(pid);
   LOKI_REQUIRE(p != nullptr, "timer: unknown process");
   const std::uint32_t epoch = p->epoch;
-  events_.schedule_in(delay, [this, pid, epoch, handler_cost,
-                              fn = std::move(fn)]() mutable {
+  const std::uint32_t slot = stash(std::move(fn));
+  events_.schedule_in(delay, [this, pid, epoch, handler_cost, slot] {
     Process* q = proc_ptr(pid);
-    if (q == nullptr || !q->alive() || q->epoch != epoch) return;  // cancelled
-    enqueue_item(q, handler_cost, std::move(fn));
+    if (q == nullptr || !q->alive() || q->epoch != epoch) {
+      unstash(slot).reset();  // cancelled; still reclaim the slot
+      return;
+    }
+    deliver_slot(pid, handler_cost, slot);
   });
 }
 
-void World::at(SimTime when, std::function<void()> fn) {
+void World::at(SimTime when, Task fn) {
   events_.schedule_at(when, std::move(fn));
 }
 
@@ -161,7 +199,7 @@ const Process* World::proc_ptr(ProcessId pid) const {
   return processes_[static_cast<std::size_t>(pid.value)].get();
 }
 
-void World::enqueue_item(Process* p, Duration cost, std::function<void()> fn) {
+void World::enqueue_item(Process* p, Duration cost, Task fn) {
   p->mailbox.push_back(WorkItem{cost, std::move(fn), now()});
   if (p->state == ProcState::Blocked) {
     scheduler(p->host).make_ready(p);

@@ -11,7 +11,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -24,6 +23,7 @@
 #include "sim/network.hpp"
 #include "sim/process.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/task.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -74,20 +74,19 @@ class World {
   /// Post a work item to a process on the same host (function call or local
   /// queue; no network transit). Returns false (dropping the item) if the
   /// process is dead.
-  bool post(ProcessId pid, Duration cpu_cost, std::function<void()> fn);
+  bool post(ProcessId pid, Duration cpu_cost, Task fn);
 
   /// Deliver a work item to `to` after LAN transit. Returns immediately;
   /// the item is dropped (counted) if `to` is dead on arrival.
   void send(ProcessId from, ProcessId to, Lan lan, ChannelClass cls,
-            Duration handler_cost, std::function<void()> fn);
+            Duration handler_cost, Task fn);
 
   /// Fire `fn` as a work item on `pid` after `delay`. The timer is cancelled
   /// implicitly if the process dies first.
-  void timer(ProcessId pid, Duration delay, Duration handler_cost,
-             std::function<void()> fn);
+  void timer(ProcessId pid, Duration delay, Duration handler_cost, Task fn);
 
   /// Raw kernel event not tied to any process/CPU (harness bookkeeping).
-  void at(SimTime when, std::function<void()> fn);
+  void at(SimTime when, Task fn);
 
   std::uint64_t run_until(SimTime limit) { return events_.run_until(limit); }
   std::uint64_t run_to_completion() { return events_.run_to_completion(); }
@@ -118,7 +117,22 @@ class World {
 
   Process* proc_ptr(ProcessId pid);
   const Process* proc_ptr(ProcessId pid) const;
-  void enqueue_item(Process* p, Duration cost, std::function<void()> fn);
+  void enqueue_item(Process* p, Duration cost, Task fn);
+
+  // In-flight task stash: send()/timer() park the user task in a recycled
+  // slot so the scheduled wrapper captures only {this, pid, cost, slot} and
+  // stays within Task's inline budget (a Task nested inside another capture
+  // would always overflow it).
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  struct InflightSlot {
+    Task task;
+    std::uint32_t next_free{kNoSlot};
+  };
+  std::uint32_t stash(Task t);
+  Task unstash(std::uint32_t slot);
+  /// Deliver a stashed task straight into `pid`'s mailbox (one task move
+  /// instead of unstash -> post -> enqueue).
+  void deliver_slot(ProcessId pid, Duration cost, std::uint32_t slot);
 
   WorldParams params_;
   EventQueue events_;
@@ -128,6 +142,8 @@ class World {
   std::vector<HostEntry> hosts_;
   std::unordered_map<std::string, HostId> host_names_;
   std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<InflightSlot> inflight_;
+  std::uint32_t inflight_free_{kNoSlot};
   std::uint64_t dropped_deliveries_{0};
 };
 

@@ -21,6 +21,9 @@ class TermExpr final : public FaultExpr {
       std::vector<std::pair<std::string, std::string>>& out) const override {
     out.emplace_back(machine_, state_);
   }
+  void append_postfix(std::vector<PostfixOp>& out) const override {
+    out.push_back(PostfixOp{PostfixOp::Kind::Term, machine_, state_});
+  }
   std::string to_string() const override {
     return "(" + machine_ + ":" + state_ + ")";
   }
@@ -37,6 +40,10 @@ class NotExpr final : public FaultExpr {
   void collect_terms(
       std::vector<std::pair<std::string, std::string>>& out) const override {
     inner_->collect_terms(out);
+  }
+  void append_postfix(std::vector<PostfixOp>& out) const override {
+    inner_->append_postfix(out);
+    out.push_back(PostfixOp{PostfixOp::Kind::Not, "", ""});
   }
   std::string to_string() const override { return "~" + inner_->to_string(); }
 
@@ -56,6 +63,12 @@ class BinExpr final : public FaultExpr {
       std::vector<std::pair<std::string, std::string>>& out) const override {
     lhs_->collect_terms(out);
     rhs_->collect_terms(out);
+  }
+  void append_postfix(std::vector<PostfixOp>& out) const override {
+    lhs_->append_postfix(out);
+    rhs_->append_postfix(out);
+    out.push_back(PostfixOp{
+        op_ == '&' ? PostfixOp::Kind::And : PostfixOp::Kind::Or, "", ""});
   }
   std::string to_string() const override {
     return "(" + lhs_->to_string() + " " + op_ + " " + rhs_->to_string() + ")";
@@ -210,6 +223,12 @@ FaultExprPtr parse_fault_expr(const std::string& text,
 std::vector<std::pair<std::string, std::string>> expr_terms(const FaultExpr& e) {
   std::vector<std::pair<std::string, std::string>> out;
   e.collect_terms(out);
+  return out;
+}
+
+std::vector<PostfixOp> expr_postfix(const FaultExpr& e) {
+  std::vector<PostfixOp> out;
+  e.append_postfix(out);
   return out;
 }
 

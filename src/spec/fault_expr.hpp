@@ -16,6 +16,7 @@
 // has never reported is treated as not being in any state.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <set>
@@ -29,12 +30,26 @@ namespace loki::spec {
 /// name, or empty string / absence for "unknown".
 using StateView = std::function<const std::string*(const std::string&)>;
 
+/// One instruction of the postfix (reverse-Polish) form of an expression.
+/// Term pushes the truth value of (machine:state); Not replaces the top of
+/// the stack; And/Or combine the top two. Compilers (runtime's
+/// CompiledFaultProgram, the analysis tri-valued evaluator) intern the
+/// string terms into whatever id space they evaluate over.
+struct PostfixOp {
+  enum class Kind : std::uint8_t { Term, And, Or, Not };
+  Kind kind{Kind::Term};
+  std::string machine;  // Term only
+  std::string state;    // Term only
+};
+
 class FaultExpr {
  public:
   virtual ~FaultExpr() = default;
   virtual bool eval(const StateView& view) const = 0;
   virtual void collect_terms(
       std::vector<std::pair<std::string, std::string>>& out) const = 0;
+  /// Append this expression in postfix order (left, right, op).
+  virtual void append_postfix(std::vector<PostfixOp>& out) const = 0;
   virtual std::string to_string() const = 0;
 };
 
@@ -46,6 +61,9 @@ FaultExprPtr parse_fault_expr(const std::string& text,
 
 /// All (machine, state) pairs mentioned by the expression.
 std::vector<std::pair<std::string, std::string>> expr_terms(const FaultExpr& e);
+
+/// The whole expression flattened to postfix order.
+std::vector<PostfixOp> expr_postfix(const FaultExpr& e);
 
 /// All machine nicknames mentioned by the expression.
 std::set<std::string> expr_machines(const FaultExpr& e);

@@ -28,13 +28,13 @@ event_list
 end_event_list
 state BEGIN
   start A
-state A notify other
+state A notify m2
   go B
   CRASH CRASH
 state B notify
   back A
   CRASH CRASH
-state CRASH notify other
+state CRASH notify m2
 state EXIT
 )";
   auto s = spec::parse_state_machine_spec(text, name + ".sm");
@@ -62,6 +62,40 @@ TEST(Dictionary, IndexesAndReservedNames) {
   EXPECT_NO_THROW(dict.event_index("m1", "CRASH"));
   EXPECT_EQ(dict.faults_of("m1").size(), 1u);
   EXPECT_EQ(dict.fault_index("m1", "f1"), 0u);
+}
+
+TEST(Dictionary, NameIdNameRoundTripIdentity) {
+  const auto sm1 = mini_spec("m1");
+  const auto sm2 = mini_spec("m2");
+  const spec::FaultSpec none;
+  const StudyDictionary dict = StudyDictionary::build({&sm1, &sm2}, {&none, &none});
+
+  for (const std::string& m : dict.machines())
+    EXPECT_EQ(dict.machine_name(dict.machine_index(m)), m);
+  for (const std::string& s : dict.states())
+    EXPECT_EQ(dict.state_name(dict.state_index(s)), s);
+  // Dense: ids cover [0, count) exactly.
+  for (MachineId id = 0; id < dict.machine_count(); ++id)
+    EXPECT_EQ(dict.machine_index(dict.machine_name(id)), id);
+  for (StateId id = 0; id < dict.state_count(); ++id)
+    EXPECT_EQ(dict.state_index(dict.state_name(id)), id);
+}
+
+TEST(Dictionary, StableOrderingAndTryLookups) {
+  const auto sm1 = mini_spec("m1");
+  const auto sm2 = mini_spec("m2");
+  const spec::FaultSpec none;
+  // Machine order follows the argument order; states are first-seen order.
+  const StudyDictionary a = StudyDictionary::build({&sm1, &sm2}, {&none, &none});
+  const StudyDictionary b = StudyDictionary::build({&sm1, &sm2}, {&none, &none});
+  EXPECT_EQ(a.machines(), b.machines());
+  EXPECT_EQ(a.states(), b.states());
+  EXPECT_EQ(a.machines(), (std::vector<std::string>{"m1", "m2"}));
+
+  EXPECT_EQ(a.try_machine_index("m2"), a.machine_index("m2"));
+  EXPECT_EQ(a.try_machine_index("ghost"), kInvalidId);
+  EXPECT_EQ(a.try_state_index("A"), a.state_index("A"));
+  EXPECT_EQ(a.try_state_index("NO_SUCH_STATE"), kInvalidId);
 }
 
 TEST(Recorder, TimelineRoundTripThroughFileFormat) {
@@ -121,70 +155,89 @@ TEST(Timeline, ParserRejectsGarbage) {
 
 // --- fault parser ------------------------------------------------------------
 
-spec::StateView view_of(const std::map<std::string, std::string>* m) {
-  return [m](const std::string& machine) -> const std::string* {
-    const auto it = m->find(machine);
-    return it == m->end() ? nullptr : &it->second;
-  };
-}
+/// Harness over the id-based parser API: owns the dictionary and a dense
+/// view, with name-based setters for test readability.
+struct ParserHarness {
+  spec::StateMachineSpec sm = mini_spec("m1");
+  spec::FaultSpec faults;
+  StudyDictionary dict;
+  FaultParser parser;
+  std::vector<StateId> view;
+
+  explicit ParserHarness(const std::string& fault_text)
+      : faults(spec::parse_fault_spec(fault_text, "f")),
+        dict(StudyDictionary::build({&sm}, {&faults})),
+        parser(faults.entries, dict),
+        view(dict.machine_count(), kNoState) {}
+
+  void set(const std::string& machine, const std::string& state) {
+    view[dict.machine_index(machine)] = dict.state_index(state);
+  }
+  std::vector<std::uint32_t> fire() { return parser.on_view_change(view); }
+};
 
 TEST(FaultParser, PositiveEdgeTriggering) {
-  const spec::FaultSpec spec = spec::parse_fault_spec(
-      "once_f (m1:B) once\nalways_f (m1:B) always\n", "f");
-  FaultParser parser(spec.entries);
+  ParserHarness h("once_f (m1:B) once\nalways_f (m1:B) always\n");
 
-  std::map<std::string, std::string> view;
-  view["m1"] = "A";
-  EXPECT_TRUE(parser.on_view_change(view_of(&view)).empty());
+  h.set("m1", "A");
+  EXPECT_TRUE(h.fire().empty());
 
-  view["m1"] = "B";
-  auto fired = parser.on_view_change(view_of(&view));
+  h.set("m1", "B");
+  auto fired = h.fire();
   EXPECT_EQ(fired.size(), 2u);  // both rise
 
   // Staying in B: no new edge.
-  EXPECT_TRUE(parser.on_view_change(view_of(&view)).empty());
+  EXPECT_TRUE(h.fire().empty());
 
   // Leave and re-enter: only `always` fires again.
-  view["m1"] = "A";
-  EXPECT_TRUE(parser.on_view_change(view_of(&view)).empty());
-  view["m1"] = "B";
-  fired = parser.on_view_change(view_of(&view));
+  h.set("m1", "A");
+  EXPECT_TRUE(h.fire().empty());
+  h.set("m1", "B");
+  fired = h.fire();
   ASSERT_EQ(fired.size(), 1u);
-  EXPECT_EQ(parser.entries()[fired[0]].name, "always_f");
+  EXPECT_EQ(h.parser.entries()[fired[0]].name, "always_f");
 }
 
 TEST(FaultParser, InitiallyTrueNegationDoesNotFire) {
   // ~(m1:B) is true against the empty view; it must not fire until it goes
   // false and comes back (documented initialization rule).
-  const spec::FaultSpec spec =
-      spec::parse_fault_spec("neg ~(m1:B) always\n", "f");
-  FaultParser parser(spec.entries);
-  std::map<std::string, std::string> view;
-  view["m1"] = "A";  // still ~B: no edge
-  EXPECT_TRUE(parser.on_view_change(view_of(&view)).empty());
-  view["m1"] = "B";  // now false
-  EXPECT_TRUE(parser.on_view_change(view_of(&view)).empty());
-  view["m1"] = "A";  // false -> true: fire
-  EXPECT_EQ(parser.on_view_change(view_of(&view)).size(), 1u);
+  ParserHarness h("neg ~(m1:B) always\n");
+  h.set("m1", "A");  // still ~B: no edge
+  EXPECT_TRUE(h.fire().empty());
+  h.set("m1", "B");  // now false
+  EXPECT_TRUE(h.fire().empty());
+  h.set("m1", "A");  // false -> true: fire
+  EXPECT_EQ(h.fire().size(), 1u);
 }
 
 TEST(FaultParser, ResetRearmsOnceFaults) {
-  const spec::FaultSpec spec = spec::parse_fault_spec("f (m1:B) once\n", "f");
-  FaultParser parser(spec.entries);
-  std::map<std::string, std::string> view{{"m1", "B"}};
-  EXPECT_EQ(parser.on_view_change(view_of(&view)).size(), 1u);
-  parser.reset();
-  view["m1"] = "A";
-  parser.on_view_change(view_of(&view));
-  view["m1"] = "B";
-  EXPECT_EQ(parser.on_view_change(view_of(&view)).size(), 1u);
+  ParserHarness h("f (m1:B) once\n");
+  h.set("m1", "B");
+  EXPECT_EQ(h.fire().size(), 1u);
+  h.parser.reset();
+  h.set("m1", "A");
+  h.fire();
+  h.set("m1", "B");
+  EXPECT_EQ(h.fire().size(), 1u);
+}
+
+TEST(FaultParser, TermsOutsideTheStudyNeverFire) {
+  // (ghost:B) names a machine that is not in the study dictionary — it
+  // compiles to constant false, so the conjunction can never rise.
+  ParserHarness h("f ((m1:B) & (ghost:B)) always\ng (m1:B) always\n");
+  h.set("m1", "B");
+  const auto fired = h.fire();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(h.parser.entries()[fired[0]].name, "g");
 }
 
 // --- state machine -----------------------------------------------------------
 
 struct SmHarness {
   spec::StateMachineSpec sm_spec = mini_spec("m1");
+  spec::StateMachineSpec peer_spec = mini_spec("m2");
   spec::FaultSpec faults;
+  spec::FaultSpec peer_faults;
   StudyDictionary dict;
   std::shared_ptr<Recorder> recorder;
   std::vector<std::string> injected;
@@ -196,21 +249,28 @@ struct SmHarness {
       : faults(fault_text.empty()
                    ? spec::FaultSpec{}
                    : spec::parse_fault_spec(fault_text, "f")),
-        dict(StudyDictionary::build({&sm_spec}, {&faults})),
+        dict(StudyDictionary::build({&sm_spec, &peer_spec},
+                                    {&faults, &peer_faults})),
         recorder(std::make_shared<Recorder>("m1", "hostA", dict)) {
     StateMachine::Hooks hooks;
     hooks.clock = [this] {
       clock = clock + Duration{10};
       return clock;
     };
-    hooks.send_notifications = [this](const std::string& state,
-                                      const std::vector<std::string>& to) {
-      notified.emplace_back(state, to);
+    hooks.send_notifications = [this](StateId state,
+                                      const std::vector<MachineId>& to) {
+      std::vector<std::string> names;
+      for (const MachineId m : to)
+        names.push_back(m == kInvalidId ? "<invalid>" : dict.machine_name(m));
+      notified.emplace_back(dict.state_name(state), std::move(names));
     };
     hooks.inject_fault = [this](const std::string& f) { injected.push_back(f); };
     sm = std::make_unique<StateMachine>(sm_spec, faults, dict, recorder,
                                         std::move(hooks));
   }
+
+  MachineId mid(const std::string& name) const { return dict.machine_index(name); }
+  StateId sid(const std::string& name) const { return dict.state_index(name); }
 };
 
 TEST(StateMachine, InitializationViaBeginTransition) {
@@ -240,9 +300,9 @@ TEST(StateMachine, InvalidFirstNotificationThrows) {
 TEST(StateMachine, TransitionsNotifyAndRecord) {
   SmHarness h;
   h.sm->notify_event("start");
-  ASSERT_EQ(h.notified.size(), 1u);  // entering A notifies "other"
+  ASSERT_EQ(h.notified.size(), 1u);  // entering A notifies "m2"
   EXPECT_EQ(h.notified[0].first, "A");
-  EXPECT_EQ(h.notified[0].second, (std::vector<std::string>{"other"}));
+  EXPECT_EQ(h.notified[0].second, (std::vector<std::string>{"m2"}));
 
   h.sm->notify_event("go");
   EXPECT_EQ(h.sm->current_state(), "B");
@@ -273,20 +333,21 @@ TEST(StateMachine, LocalFaultFiresOnOwnTransition) {
 }
 
 TEST(StateMachine, RemoteStateTriggersFault) {
-  SmHarness h("f2 ((m1:A) & (m2:LEAD)) once\n");
+  SmHarness h("f2 ((m1:A) & (m2:B)) once\n");
   h.sm->notify_event("start");
   EXPECT_TRUE(h.injected.empty());
-  h.sm->on_remote_state("m2", "LEAD");
+  h.sm->on_remote_state(h.mid("m2"), h.sid("B"));
   ASSERT_EQ(h.injected.size(), 1u);
-  EXPECT_EQ(h.sm->view().at("m2"), "LEAD");
+  EXPECT_EQ(h.sm->view().at("m2"), "B");
 }
 
 TEST(StateMachine, StateUpdatesDoNotOverrideOwnState) {
   SmHarness h;
   h.sm->notify_event("start");
-  h.sm->apply_state_updates({{"m1", "B"}, {"m2", "X"}});
+  h.sm->apply_state_updates(
+      {{h.mid("m1"), h.sid("B")}, {h.mid("m2"), h.sid("CRASH")}});
   EXPECT_EQ(h.sm->view().at("m1"), "A");  // own state authoritative
-  EXPECT_EQ(h.sm->view().at("m2"), "X");
+  EXPECT_EQ(h.sm->view().at("m2"), "CRASH");
 }
 
 TEST(StateMachine, DaemonCrashRecordUsesReservedIndices) {

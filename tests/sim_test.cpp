@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "sim/clock.hpp"
@@ -44,6 +46,80 @@ TEST(EventQueue, PastSchedulingRejected) {
   q.schedule_at(SimTime{10}, [] {});
   q.run_to_completion();
   EXPECT_THROW(q.schedule_at(SimTime{5}, [] {}), LogicError);
+}
+
+TEST(EventQueue, ActionSchedulingIntoOwnTimestampRunsInSeqOrder) {
+  // The (time, seq) contract at one instant: an action that schedules into
+  // its *own* timestamp runs after everything already queued there (it has
+  // a later sequence number), never before.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(SimTime{100}, [&] {
+    order.push_back(1);
+    q.schedule_at(SimTime{100}, [&] { order.push_back(3); });  // same instant
+    q.schedule_in(Duration{0}, [&] { order.push_back(4); });   // now() == 100
+  });
+  q.schedule_at(SimTime{100}, [&] { order.push_back(2); });  // pre-queued
+  q.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(q.now().ns, 100);
+}
+
+TEST(EventQueue, InterleavedScheduleAndRunKeepsDeterministicOrder) {
+  // Mixed timestamps with ties, scheduled both before and during the run:
+  // execution must sort by (time, seq) regardless of heap internals.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(SimTime{30}, [&] { order.push_back(5); });
+  q.schedule_at(SimTime{10}, [&] {
+    order.push_back(1);
+    q.schedule_at(SimTime{20}, [&] { order.push_back(3); });
+    q.schedule_at(SimTime{30}, [&] { order.push_back(6); });
+  });
+  q.schedule_at(SimTime{20}, [&] { order.push_back(2); });
+  q.run_until(SimTime{20});
+  q.schedule_at(SimTime{25}, [&] { order.push_back(4); });
+  q.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(EventQueue, SteadyStateLoopIsAllocationFree) {
+  // A self-rescheduling chain with a capture within Task::kInlineSize: after
+  // warm-up, neither the slab nor the Task heap-fallback counter may move.
+  EventQueue q;
+  struct Chain {
+    EventQueue* q;
+    std::uint64_t remaining;
+    std::uint64_t ticks = 0;
+    void step() {
+      ++ticks;
+      if (remaining-- > 0)
+        q->schedule_in(Duration{10}, [this] { step(); });
+    }
+  };
+  Chain chain{&q, 20000};
+  q.schedule_at(SimTime{0}, [&] { chain.step(); });
+  q.run_until(SimTime{100});  // warm-up
+
+  const std::size_t slab_before = q.slab_capacity();
+  const std::uint64_t heap_before = Task::heap_allocations();
+  q.run_to_completion();
+  EXPECT_EQ(q.slab_capacity(), slab_before) << "slab grew in steady state";
+  EXPECT_EQ(Task::heap_allocations(), heap_before)
+      << "a task capture overflowed the inline buffer";
+  EXPECT_EQ(chain.ticks, 20001u);
+}
+
+TEST(EventQueue, OversizedCapturesStillRunViaHeapFallback) {
+  EventQueue q;
+  std::array<std::uint64_t, 16> big{};  // 128 bytes > kInlineSize
+  big[15] = 42;
+  std::uint64_t got = 0;
+  const std::uint64_t heap_before = Task::heap_allocations();
+  q.schedule_at(SimTime{1}, [big, &got] { got = big[15]; });
+  EXPECT_EQ(Task::heap_allocations(), heap_before + 1);
+  q.run_to_completion();
+  EXPECT_EQ(got, 42u);
 }
 
 TEST(Clock, LinearModel) {
@@ -262,6 +338,41 @@ TEST(World, HostLookup) {
   EXPECT_THROW(w.host_by_name("nope"), ConfigError);
   hp.name = "alpha";
   EXPECT_THROW(w.add_host(hp), LogicError);
+}
+
+TEST(World, SteadyStateMessagingStaysWithinTaskInlineBudget) {
+  // Two processes ping-ponging through send(): the kernel-side wrappers
+  // (delivery, timers, scheduler bursts) must all fit Task's inline buffer,
+  // so the Task heap-fallback counter stays flat across the steady state.
+  World w = make_world();
+  HostParams hp;
+  hp.name = "h0";
+  const HostId h0 = w.add_host(hp);
+  hp.name = "h1";
+  const HostId h1 = w.add_host(hp);
+  const ProcessId a = w.spawn(h0, "a");
+  const ProcessId b = w.spawn(h1, "b");
+
+  struct PingPong {
+    World* w;
+    ProcessId a, b;
+    int remaining;
+    void fire(ProcessId from, ProcessId to) {
+      if (remaining-- <= 0) return;
+      w->send(from, to, Lan::App, ChannelClass::Tcp, microseconds(5),
+              [this, from, to] { fire(to, from); });
+    }
+  };
+  PingPong game{&w, a, b, 3000};
+  w.post(a, microseconds(1), [&] { game.fire(a, b); });
+  w.run_until(SimTime{milliseconds(20).ns});  // warm-up
+
+  const std::uint64_t heap_before = Task::heap_allocations();
+  const std::size_t slab_before = w.events().slab_capacity();
+  w.run_to_completion();
+  EXPECT_EQ(Task::heap_allocations(), heap_before);
+  EXPECT_EQ(w.events().slab_capacity(), slab_before);
+  EXPECT_LE(game.remaining, 0);  // the chain ran to exhaustion
 }
 
 TEST(World, EpochPreventsStaleTimerAfterKill) {

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON outputs and print a delta table.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Prints one line per benchmark present in CURRENT: the baseline time, the
+current time, and the relative delta (negative = faster). Benchmarks missing
+from the baseline are listed as NEW. Exits 0 always by default — the table
+is informational (CI keeps the JSON as an artifact and shows the trend);
+pass --fail-above PCT to turn regressions beyond PCT percent into exit 1.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        return None
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+    return out
+
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def to_ns(value, unit):
+    return value * UNIT_NS.get(unit, 1.0)
+
+
+def fmt(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--fail-above", type=float, default=None, metavar="PCT",
+                    help="exit 1 if any benchmark regressed by more than PCT%%")
+    args = ap.parse_args()
+
+    current = load(args.current)
+    if current is None:
+        print(f"bench_compare: cannot read {args.current}", file=sys.stderr)
+        return 1
+    baseline = load(args.baseline)
+    if baseline is None:
+        print(f"bench_compare: no baseline at {args.baseline} — first run?")
+        for name, (t, unit) in sorted(current.items()):
+            print(f"  NEW       {fmt(to_ns(t, unit)):>12}  {name}")
+        return 0
+
+    worst = 0.0
+    width = max((len(n) for n in current), default=0)
+    print(f"bench_compare: {args.baseline} -> {args.current}")
+    print(f"  {'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  delta")
+    for name, (t, unit) in sorted(current.items()):
+        cur_ns = to_ns(t, unit)
+        if name not in baseline:
+            print(f"  {name:<{width}}  {'—':>12}  {fmt(cur_ns):>12}  NEW")
+            continue
+        base_ns = to_ns(*baseline[name])
+        delta = (cur_ns - base_ns) / base_ns * 100.0 if base_ns > 0 else 0.0
+        worst = max(worst, delta)
+        sign = "+" if delta >= 0 else ""
+        print(f"  {name:<{width}}  {fmt(base_ns):>12}  {fmt(cur_ns):>12}  "
+              f"{sign}{delta:.1f}%")
+    for name in sorted(set(baseline) - set(current)):
+        print(f"  {name:<{width}}  {fmt(to_ns(*baseline[name])):>12}  "
+              f"{'—':>12}  REMOVED")
+
+    if args.fail_above is not None and worst > args.fail_above:
+        print(f"bench_compare: worst regression {worst:.1f}% exceeds "
+              f"--fail-above {args.fail_above}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
