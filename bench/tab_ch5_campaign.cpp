@@ -249,7 +249,7 @@ int main(int argc, char** argv) {
   std::printf("  serial:           %.2f s wall\n", serial.wall_seconds);
   std::printf("  thread-pool(4):   %.2f s wall  (speedup %.2fx)\n",
               threaded.wall_seconds, speedup(threaded.wall_seconds));
-  std::printf("  process-pool(4):  %.2f s wall  (speedup %.2fx)\n",
+  std::printf("  procs(4):         %.2f s wall  (speedup %.2fx)\n",
               sharded.wall_seconds, speedup(sharded.wall_seconds));
   std::printf("  results identical: %s\n", identical ? "yes" : "NO - BUG");
   return identical ? 0 : 1;

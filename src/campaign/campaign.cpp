@@ -142,6 +142,9 @@ Campaign::Summary Campaign::run() {
   const auto start = std::chrono::steady_clock::now();
   Summary summary;
   summary.studies = static_cast<int>(studies_.size());
+  // Telemetry is cumulative on the runner (which may be shared across
+  // campaigns); report this campaign's delta.
+  const RunnerTelemetry telemetry_before = runner_->telemetry();
 
   for (const auto& sink : sinks_) sink->on_campaign_begin(summary.studies);
 
@@ -164,6 +167,10 @@ Campaign::Summary Campaign::run() {
   }
 
   for (const auto& sink : sinks_) sink->on_campaign_done();
+  const RunnerTelemetry telemetry_after = runner_->telemetry();
+  summary.requeued = telemetry_after.requeues - telemetry_before.requeues;
+  summary.workers_lost =
+      telemetry_after.workers_lost - telemetry_before.workers_lost;
   summary.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -54,6 +54,10 @@ class Campaign {
     int timed_out{0};
     /// Experiments served from the ResultCache instead of being run.
     int cache_hits{0};
+    /// Fault recovery on fallible runners (RemoteRunner): lease requeue
+    /// events and worker links lost during this campaign. Zero elsewhere.
+    int requeued{0};
+    int workers_lost{0};
     double wall_seconds{0.0};
   };
 

@@ -23,21 +23,8 @@ namespace {
 // Per-experiment frame payload:
 //   u8 status (0 = ok, 1 = error), u32 experiment index, then
 //   ok:    the encoded ExperimentResult bytes;
-//   error: u8 category (see ErrorCategory), length-prefixed message.
+//   error: u8 category (runtime::WireErrorCategory), length-prefixed message.
 enum class FrameStatus : std::uint8_t { Ok = 0, Error = 1 };
-enum class ErrorCategory : std::uint8_t { Runtime = 0, Config = 1, Logic = 2 };
-
-[[noreturn]] void rethrow_remote(ErrorCategory category, const std::string& msg) {
-  switch (category) {
-    case ErrorCategory::Config:
-      throw ConfigError(msg);
-    case ErrorCategory::Logic:
-      throw LogicError(msg);
-    case ErrorCategory::Runtime:
-      break;
-  }
-  throw std::runtime_error(msg);
-}
 
 /// Child-side pipes and pids with guaranteed reaping on unwind.
 struct ShardPool {
@@ -108,12 +95,7 @@ void run_worker_range(const runtime::StudyParams& study, int lo, int hi,
       frame = codec::Writer();
       frame.u8(static_cast<std::uint8_t>(FrameStatus::Error));
       frame.u32(static_cast<std::uint32_t>(k));
-      ErrorCategory category = ErrorCategory::Runtime;
-      if (dynamic_cast<const ConfigError*>(&e) != nullptr)
-        category = ErrorCategory::Config;
-      else if (dynamic_cast<const LogicError*>(&e) != nullptr)
-        category = ErrorCategory::Logic;
-      frame.u8(static_cast<std::uint8_t>(category));
+      frame.u8(static_cast<std::uint8_t>(runtime::classify_error(e)));
       frame.str(e.what());
       util::write_frame(out_fd, frame.take());
       return;  // first failure ends the shard — serial prefix semantics
@@ -211,12 +193,12 @@ void ProcessPoolRunner::run_study(const runtime::StudyParams& study,
                                "index " + std::to_string(k) + ", got " +
                                std::to_string(index));
     if (status == FrameStatus::Error) {
-      const auto category = static_cast<ErrorCategory>(r.u8());
+      const auto category = static_cast<runtime::WireErrorCategory>(r.u8());
       const std::string message = r.str();
       r.expect_done();
       // The prefix 0..k-1 has been emitted; destroying `pool` kills the
       // surviving shards.
-      rethrow_remote(category, message);
+      runtime::rethrow_wire_error(category, message);
     }
     if (status != FrameStatus::Ok)
       throw std::runtime_error("process runner: shard protocol error: bad "

@@ -1,0 +1,589 @@
+#include "campaign/remote_runner.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "campaign/validate.hpp"
+#include "runtime/serialize.hpp"
+#include "util/codec.hpp"
+#include "util/error.hpp"
+
+namespace loki::campaign {
+
+namespace {
+
+using runtime::WorkerFrame;
+
+constexpr int kNoFailure = std::numeric_limits<int>::max();
+
+/// What a reader thread observed on its link. Eof and Corrupt are terminal:
+/// the reader pushes one and exits.
+struct Event {
+  enum class Kind { Frame, Eof, Timeout, Corrupt };
+  int worker{-1};
+  Kind kind{Kind::Eof};
+  std::vector<std::uint8_t> frame;
+  std::string detail;
+};
+
+class EventQueue {
+ public:
+  void push(Event e) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      events_.push_back(std::move(e));
+    }
+    cv_.notify_all();
+  }
+
+  Event pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !events_.empty(); });
+    Event e = std::move(events_.front());
+    events_.pop_front();
+    return e;
+  }
+
+  std::optional<Event> pop_until(std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!cv_.wait_until(lock, deadline, [&] { return !events_.empty(); }))
+      return std::nullopt;
+    Event e = std::move(events_.front());
+    events_.pop_front();
+    return e;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Event> events_;
+};
+
+/// A contiguous index range [lo, hi) awaiting a worker.
+struct Chunk {
+  int lo{0};
+  int hi{0};
+};
+
+struct WorkerState {
+  std::unique_ptr<WorkerLink> link;
+  std::thread reader;
+  bool alive{false};       // link usable (spawned, not lost)
+  bool handshaken{false};  // HelloAck received
+  bool idle{false};        // handshaken and not holding a lease
+  std::uint32_t lease_id{0};
+  std::set<int> outstanding;    // leased indices without a Result yet
+};
+
+/// One run_study execution: a single-threaded event loop over per-worker
+/// reader threads. All state below is touched only by the calling thread;
+/// readers communicate exclusively through the EventQueue.
+class Engine {
+ public:
+  Engine(Transport& transport, const RemoteOptions& options,
+         const runtime::StudyParams& study, const EmitFn& emit,
+         RunnerTelemetry& telemetry)
+      : transport_(transport),
+        options_(options),
+        study_(study),
+        emit_(emit),
+        telemetry_(telemetry),
+        n_(study.experiments) {}
+
+  void run() {
+    if (n_ <= 0) return;
+    for (int lo = 0; lo < n_; lo += options_.lease_size)
+      queue_.push_back({lo, std::min(lo + options_.lease_size, n_)});
+    const int spawn = std::min(transport_.worker_count(),
+                               static_cast<int>(queue_.size()));
+
+    struct TeardownGuard {
+      Engine& engine;
+      bool armed{true};
+      ~TeardownGuard() {
+        if (armed) engine.teardown();
+      }
+    } guard{*this};
+
+    workers_.resize(static_cast<std::size_t>(spawn));
+    for (int w = 0; w < spawn; ++w) connect_worker(w);
+    if (live_count() == 0)
+      throw std::runtime_error("remote runner: study '" + study_.name +
+                               "': no workers could be started over " +
+                               transport_.name());
+    for (int w = 0; w < spawn; ++w) {
+      WorkerState& ws = workers_[static_cast<std::size_t>(w)];
+      if (!ws.alive) continue;
+      ++readers_started_;
+      ws.reader = std::thread([this, w, link = ws.link.get()] {
+        reader_loop(w, link);
+      });
+    }
+
+    while (!done()) {
+      handle(events_.pop());
+      drain();
+      assign();
+      if (!done() && live_count() == 0)
+        throw std::runtime_error(
+            "remote runner: study '" + study_.name + "': all " +
+            std::to_string(spawn) + " workers lost with " +
+            std::to_string(unfinished()) + " experiments unfinished (" +
+            std::to_string(telemetry_.requeues) + " requeues)");
+    }
+
+    guard.armed = false;
+    teardown();
+    if (fail_min_ != kNoFailure)
+      runtime::rethrow_wire_error(fail_category_, fail_message_);
+  }
+
+ private:
+  // --- spawning --------------------------------------------------------------
+
+  void connect_worker(int w) {
+    WorkerState& ws = workers_[static_cast<std::size_t>(w)];
+    try {
+      ws.link = transport_.connect(w, study_);
+    } catch (const std::exception&) {
+      ++telemetry_.workers_lost;
+      return;
+    }
+    // A study that cannot be encoded for a transport that needs it on the
+    // wire is a configuration error, not a lost worker — let it propagate.
+    const std::vector<std::uint8_t>& hello = ws.link->needs_study_bytes()
+                                                 ? hello_with_study()
+                                                 : hello_inherited();
+    try {
+      ws.link->send(hello);
+      ws.alive = true;
+    } catch (const std::exception&) {
+      ++telemetry_.workers_lost;
+      ws.link->kill();
+    }
+  }
+
+  const std::vector<std::uint8_t>& hello_with_study() {
+    if (hello_with_study_.empty())
+      hello_with_study_ = runtime::encode_hello_frame(&study_);
+    return hello_with_study_;
+  }
+
+  const std::vector<std::uint8_t>& hello_inherited() {
+    if (hello_inherited_.empty())
+      hello_inherited_ = runtime::encode_hello_frame(nullptr);
+    return hello_inherited_;
+  }
+
+  // --- reader threads --------------------------------------------------------
+
+  void reader_loop(int w, WorkerLink* link) {
+    for (;;) {
+      RecvOutcome out;
+      try {
+        out = link->recv(options_.hang_timeout);
+      } catch (const codec::DecodeError& e) {
+        events_.push({w, Event::Kind::Corrupt, {}, e.what()});
+        return;
+      } catch (const std::exception& e) {
+        events_.push({w, Event::Kind::Eof, {}, e.what()});
+        return;
+      }
+      switch (out.status) {
+        case RecvOutcome::Status::Frame:
+          events_.push({w, Event::Kind::Frame, std::move(out.frame), {}});
+          break;
+        case RecvOutcome::Status::Timeout:
+          events_.push({w, Event::Kind::Timeout, {}, {}});
+          break;
+        case RecvOutcome::Status::Eof:
+          events_.push({w, Event::Kind::Eof, {}, {}});
+          return;
+      }
+    }
+  }
+
+  // --- event handling --------------------------------------------------------
+
+  void handle(const Event& event) {
+    switch (event.kind) {
+      case Event::Kind::Frame:
+        on_frame(event.worker, event.frame);
+        break;
+      case Event::Kind::Eof:
+        ++readers_finished_;
+        lose_worker(event.worker, "stream closed" +
+                                      (event.detail.empty()
+                                           ? std::string()
+                                           : " (" + event.detail + ")"));
+        break;
+      case Event::Kind::Corrupt:
+        ++readers_finished_;
+        lose_worker(event.worker, "corrupt stream: " + event.detail);
+        break;
+      case Event::Kind::Timeout:
+        on_timeout(event.worker);
+        break;
+    }
+  }
+
+  void on_frame(int w, const std::vector<std::uint8_t>& frame) {
+    WorkerState& ws = workers_[static_cast<std::size_t>(w)];
+    if (!ws.alive) return;  // a straggler frame from a worker we gave up on
+    try {
+      switch (runtime::worker_frame_type(frame)) {
+        case WorkerFrame::HelloAck: {
+          const runtime::HelloAckFrame ack =
+              runtime::decode_hello_ack_frame(frame);
+          if (ack.protocol_version != runtime::kWorkerProtocolVersion)
+            throw std::runtime_error(
+                "remote runner: " + ws.link->describe() +
+                " speaks worker protocol v" +
+                std::to_string(ack.protocol_version) + ", this build v" +
+                std::to_string(runtime::kWorkerProtocolVersion) +
+                " — refusing to mix");
+          ws.handshaken = true;
+          ws.idle = true;
+          break;
+        }
+        case WorkerFrame::Heartbeat:  // liveness came from the arrival itself
+        case WorkerFrame::Pong:
+          break;
+        case WorkerFrame::Result:
+          on_result(ws, runtime::decode_result_frame(frame));
+          break;
+        case WorkerFrame::LeaseDone:
+          on_lease_done(ws, runtime::decode_lease_done_frame(frame));
+          break;
+        default:
+          // Hello/Lease/Ping/Shutdown never flow worker -> parent.
+          throw codec::DecodeError("unexpected parent-bound frame type");
+      }
+    } catch (const codec::DecodeError& e) {
+      lose_worker(w, std::string("protocol violation: ") + e.what());
+    }
+  }
+
+  void on_result(WorkerState& ws, runtime::ResultFrame&& result) {
+    const int index = static_cast<int>(result.index);
+    if (index < 0 || index >= n_)
+      throw codec::DecodeError("result index " + std::to_string(index) +
+                               " outside study");
+    ws.outstanding.erase(index);
+    if (!result.ok) {
+      if (index < fail_min_) {
+        fail_min_ = index;
+        fail_category_ = result.category;
+        fail_message_ = result.message;
+      }
+      return;
+    }
+    // Exactly-once emission: a requeued lease can reproduce an index that
+    // already arrived from the original worker before it died.
+    if (index < next_emit_ || buffer_.contains(index)) return;
+    buffer_.emplace(index, std::move(result.result));
+  }
+
+  void on_lease_done(WorkerState& ws, std::uint32_t lease_id) {
+    if (lease_id != ws.lease_id) return;  // stale echo of a requeued lease
+    if (!ws.outstanding.empty()) {
+      // A lease that errored legitimately skips its tail (all past the
+      // failing index). Anything else missing was lost in transit: requeue
+      // it and keep the worker — the stream itself is still framed.
+      if (requeue_salvageable(ws) > 0) ++telemetry_.requeues;
+      ws.outstanding.clear();
+    }
+    ws.idle = true;
+  }
+
+  void on_timeout(int w) {
+    WorkerState& ws = workers_[static_cast<std::size_t>(w)];
+    if (!ws.alive) return;
+    // Only an idle worker may legitimately sit silent. Keying on idleness
+    // (not on outstanding results) also catches a worker that wedges in
+    // the gap after its lease's last Result but before LeaseDone — it has
+    // nothing left to requeue, yet it must still be killed, or it would
+    // stay "busy" forever and silently shrink the fleet (or hang a
+    // single-worker campaign outright).
+    if (!ws.handshaken || !ws.idle)
+      lose_worker(w, "no frame within " +
+                         std::to_string(options_.hang_timeout.count()) +
+                         "ms — presumed hung");
+  }
+
+  void lose_worker(int w, const std::string& reason) {
+    WorkerState& ws = workers_[static_cast<std::size_t>(w)];
+    if (!ws.alive) return;
+    ws.alive = false;
+    ws.idle = false;
+    ++telemetry_.workers_lost;
+    // Diagnostics go to stderr (the campaign-output convention): a lost
+    // worker must leave a cause and an identity, not just a counter.
+    std::fprintf(stderr, "remote runner: study '%s': lost %s: %s\n",
+                 study_.name.c_str(), ws.link->describe().c_str(),
+                 reason.c_str());
+    ws.link->kill();  // the reader unblocks with Eof and exits
+    if (!ws.outstanding.empty()) {
+      if (requeue_salvageable(ws) > 0) ++telemetry_.requeues;
+      ws.outstanding.clear();
+    }
+  }
+
+  /// Requeue this worker's outstanding indices that the campaign still
+  /// needs (below any known failure), as contiguous runs at the front of
+  /// the queue. Returns how many indices were salvaged.
+  int requeue_salvageable(WorkerState& ws) {
+    std::vector<int> needed;
+    for (const int k : ws.outstanding)
+      if (k < fail_min_) needed.push_back(k);
+    if (needed.empty()) return 0;
+    std::vector<Chunk> runs;
+    for (const int k : needed) {
+      if (!runs.empty() && runs.back().hi == k) ++runs.back().hi;
+      else runs.push_back({k, k + 1});
+    }
+    // Sorted insertion keeps the queue ordered by lo at all times, so the
+    // head is the globally lowest pending index. assign() only examines
+    // the head; if requeues merely pushed to the front, a later loss's
+    // higher-index chunks could bury an earlier loss's low chunk behind an
+    // out-of-window head and deadlock the campaign.
+    for (const Chunk& run : runs) {
+      const auto pos = std::lower_bound(
+          queue_.begin(), queue_.end(), run,
+          [](const Chunk& a, const Chunk& b) { return a.lo < b.lo; });
+      queue_.insert(pos, run);
+    }
+    return static_cast<int>(needed.size());
+  }
+
+  // --- scheduling ------------------------------------------------------------
+
+  int live_count() const {
+    int live = 0;
+    for (const WorkerState& ws : workers_) live += ws.alive ? 1 : 0;
+    return live;
+  }
+
+  int unfinished() const {
+    const int stop = fail_min_ == kNoFailure ? n_ : fail_min_;
+    int have = 0;
+    for (const auto& entry : buffer_) have += entry.first < stop ? 1 : 0;
+    return stop - next_emit_ - have;
+  }
+
+  bool done() const {
+    return next_emit_ >= (fail_min_ == kNoFailure ? n_ : fail_min_);
+  }
+
+  void drain() {
+    const int stop = fail_min_ == kNoFailure ? n_ : fail_min_;
+    while (next_emit_ < stop) {
+      auto it = buffer_.find(next_emit_);
+      if (it == buffer_.end()) break;
+      auto node = buffer_.extract(it);
+      const int k = next_emit_++;
+      emit_(k, std::move(node.mapped()));
+    }
+  }
+
+  void assign() {
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      WorkerState& ws = workers_[w];
+      if (!ws.alive || !ws.idle) continue;
+      // Drop work at/past a known failure before looking at the head.
+      while (!queue_.empty() && queue_.front().lo >= fail_min_)
+        queue_.pop_front();
+      if (queue_.empty()) return;
+      Chunk chunk = queue_.front();
+      // Backpressure: never lease further than `window` past the drain
+      // cursor, so the reorder buffer stays O(workers * lease_size) even
+      // when one early lease is slow. Requeued chunks always sit within
+      // the window (they were leased inside it and the cursor only grows).
+      const int window =
+          std::max(2 * live_count() * options_.lease_size, options_.lease_size);
+      if (chunk.lo >= next_emit_ + window) continue;
+      queue_.pop_front();
+      chunk.hi = std::min(chunk.hi, fail_min_ == kNoFailure ? n_ : fail_min_);
+      if (chunk.hi <= chunk.lo) continue;
+      ws.lease_id = ++lease_seq_;
+      for (int k = chunk.lo; k < chunk.hi; ++k) ws.outstanding.insert(k);
+      try {
+        ws.link->send(runtime::encode_lease_frame(
+            {ws.lease_id, static_cast<std::uint32_t>(chunk.lo),
+             static_cast<std::uint32_t>(chunk.hi), 1}));
+        ws.idle = false;
+      } catch (const std::exception& e) {
+        lose_worker(static_cast<int>(w),
+                    std::string("lease send failed: ") + e.what());
+      }
+    }
+  }
+
+  // --- teardown --------------------------------------------------------------
+
+  void teardown() noexcept {
+    if (torn_down_) return;
+    torn_down_ = true;
+    try {
+      const std::vector<std::uint8_t> shutdown = runtime::encode_shutdown_frame();
+      for (WorkerState& ws : workers_) {
+        if (!ws.alive || !ws.link) continue;
+        try {
+          ws.link->send(shutdown);
+        } catch (const std::exception&) {
+        }
+      }
+      // Grace period for clean exits, then hard-stop the stragglers. Every
+      // reader terminates with one Eof/Corrupt event; kill() guarantees a
+      // blocked recv resolves to Eof promptly.
+      const auto deadline =
+          std::chrono::steady_clock::now() + options_.shutdown_grace;
+      while (readers_finished_ < readers_started_) {
+        std::optional<Event> event = events_.pop_until(deadline);
+        if (!event.has_value()) break;
+        if (event->kind == Event::Kind::Eof ||
+            event->kind == Event::Kind::Corrupt)
+          ++readers_finished_;
+      }
+      for (WorkerState& ws : workers_)
+        if (ws.link) ws.link->kill();
+      while (readers_finished_ < readers_started_) {
+        const Event event = events_.pop();
+        if (event.kind == Event::Kind::Eof ||
+            event.kind == Event::Kind::Corrupt)
+          ++readers_finished_;
+      }
+      for (WorkerState& ws : workers_)
+        if (ws.reader.joinable()) ws.reader.join();
+      workers_.clear();  // link destructors reap subprocess children
+    } catch (...) {
+      // Teardown must never mask the in-flight exception.
+    }
+  }
+
+  Transport& transport_;
+  const RemoteOptions& options_;
+  const runtime::StudyParams& study_;
+  const EmitFn& emit_;
+  RunnerTelemetry& telemetry_;
+  const int n_;
+
+  EventQueue events_;
+  std::vector<WorkerState> workers_;
+  std::deque<Chunk> queue_;
+  std::map<int, runtime::ExperimentResult> buffer_;
+  std::vector<std::uint8_t> hello_with_study_;
+  std::vector<std::uint8_t> hello_inherited_;
+  std::uint32_t lease_seq_{0};
+  int next_emit_{0};
+  int fail_min_{kNoFailure};
+  runtime::WireErrorCategory fail_category_{runtime::WireErrorCategory::Runtime};
+  std::string fail_message_;
+  int readers_started_{0};
+  int readers_finished_{0};
+  bool torn_down_{false};
+};
+
+}  // namespace
+
+// --- RemoteRunner ------------------------------------------------------------
+
+RemoteRunner::RemoteRunner(std::shared_ptr<Transport> transport,
+                           RemoteOptions options)
+    : transport_(std::move(transport)), options_(options) {
+  if (!transport_) throw ConfigError("RemoteRunner: null transport");
+  if (options_.lease_size < 1)
+    throw ConfigError("RemoteRunner: lease_size must be >= 1, got " +
+                      std::to_string(options_.lease_size));
+  if (options_.hang_timeout.count() <= 0)
+    throw ConfigError("RemoteRunner: hang_timeout must be positive");
+}
+
+std::string RemoteRunner::name() const {
+  return "remote(" + transport_->name() + ")";
+}
+
+int RemoteRunner::parallelism() const { return transport_->worker_count(); }
+
+void RemoteRunner::run_study(const runtime::StudyParams& study,
+                             const EmitFn& emit) {
+  Engine engine(*transport_, options_, study, emit, telemetry_);
+  engine.run();
+}
+
+// --- serve_worker ------------------------------------------------------------
+
+void serve_worker(FrameChannel& channel,
+                  const runtime::StudyParams* inherited_study) {
+  std::optional<std::vector<std::uint8_t>> first = channel.read();
+  if (!first.has_value()) return;  // parent vanished before the handshake
+  if (runtime::worker_frame_type(*first) != WorkerFrame::Hello)
+    throw std::runtime_error("serve_worker: expected Hello, got frame type " +
+                             std::to_string(static_cast<int>((*first)[0])));
+  runtime::HelloFrame hello = runtime::decode_hello_frame(*first);
+  if (hello.protocol_version != runtime::kWorkerProtocolVersion)
+    throw std::runtime_error(
+        "serve_worker: parent speaks worker protocol v" +
+        std::to_string(hello.protocol_version) + ", this build v" +
+        std::to_string(runtime::kWorkerProtocolVersion));
+  const runtime::StudyParams* study =
+      hello.study.has_value() ? &*hello.study : inherited_study;
+  channel.write(runtime::encode_hello_ack_frame(
+      static_cast<std::uint64_t>(::getpid())));
+
+  for (;;) {
+    std::optional<std::vector<std::uint8_t>> frame = channel.read();
+    if (!frame.has_value()) return;  // parent gone: exit quietly
+    switch (runtime::worker_frame_type(*frame)) {
+      case WorkerFrame::Lease: {
+        const runtime::LeaseFrame lease = runtime::decode_lease_frame(*frame);
+        channel.write(runtime::encode_heartbeat_frame(lease.id));
+        for (std::uint32_t k = lease.lo; k < lease.hi; k += lease.step) {
+          const int index = static_cast<int>(k);
+          try {
+            if (study == nullptr)
+              throw ConfigError(
+                  "serve_worker: no study — the Hello frame carried none and "
+                  "none was inherited");
+            runtime::ExperimentParams params = study->make_params(index);
+            validate_experiment_params(params,
+                                       experiment_context(*study, index));
+            const runtime::ExperimentResult result =
+                runtime::run_experiment(params);
+            channel.write(runtime::encode_result_ok_frame(k, result));
+          } catch (const std::exception& e) {
+            channel.write(runtime::encode_result_error_frame(
+                k, runtime::classify_error(e), e.what()));
+            break;  // serial prefix semantics: nothing past the failure
+          }
+        }
+        channel.write(runtime::encode_lease_done_frame(lease.id));
+        break;
+      }
+      case WorkerFrame::Ping:
+        channel.write(
+            runtime::encode_pong_frame(runtime::decode_ping_frame(*frame)));
+        break;
+      case WorkerFrame::Shutdown:
+        return;
+      default:
+        throw std::runtime_error("serve_worker: unexpected worker-bound frame");
+    }
+  }
+}
+
+}  // namespace loki::campaign

@@ -1,0 +1,81 @@
+// Crash-tolerant multi-worker campaign execution over a pluggable
+// Transport (campaign/transport.hpp).
+//
+// RemoteRunner replaces static round-robin sharding with dynamic work-queue
+// sharding: the study's indices are split into small leases, idle workers
+// pull the next lease, and the parent reassembles results into the serial
+// emit order. Because run_experiment is deterministic in its params, a
+// lease that is re-run after a worker died produces byte-identical results,
+// so crash recovery never perturbs the campaign's output — the
+// serial == threads == procs == remote identity invariant survives faults.
+//
+// Failure handling, per worker:
+//   * stream EOF (crash, SIGKILL, ssh drop) -> outstanding lease indices
+//     are requeued to the survivors;
+//   * silence past Options::hang_timeout    -> the worker is killed and its
+//     lease requeued (heartbeat + result frames are the liveness signal);
+//   * a corrupt frame                       -> ditto (the stream cannot be
+//     resynchronized after a framing error);
+//   * a LeaseDone with unaccounted indices  -> the missing indices are
+//     requeued, the worker stays in rotation.
+// Requeue/lost counts surface through Runner::telemetry() and
+// Campaign::Summary. When the last worker dies with work remaining, the
+// runner throws std::runtime_error.
+//
+// Contract (matching SerialRunner / ThreadPoolRunner / ProcessPoolRunner):
+//   * emit(k, result) exactly once per index, in increasing k, on the
+//     calling thread;
+//   * failure-prefix semantics: if experiment k itself fails (generator,
+//     validation, run), the completed prefix 0..k-1 is emitted, then k's
+//     exception is rehydrated by wire category and rethrown; no index past
+//     k is emitted. Worker *loss* is not an experiment failure — it is
+//     recovered by requeueing.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "campaign/runner.hpp"
+#include "campaign/transport.hpp"
+
+namespace loki::campaign {
+
+struct RemoteOptions {
+  /// Indices per lease. Small leases spread load and shrink the requeue
+  /// blast radius; large leases amortize frame round-trips.
+  int lease_size{2};
+  /// A worker silent for longer than this while holding a lease (or during
+  /// the handshake) is declared hung, killed, and its lease requeued. Must
+  /// comfortably exceed the slowest single experiment.
+  std::chrono::milliseconds hang_timeout{30'000};
+  /// How long to wait for workers to exit after Shutdown before killing
+  /// them at teardown.
+  std::chrono::milliseconds shutdown_grace{2'000};
+};
+
+class RemoteRunner final : public Runner {
+ public:
+  explicit RemoteRunner(std::shared_ptr<Transport> transport,
+                        RemoteOptions options = {});
+
+  std::string name() const override;
+  int parallelism() const override;
+  void run_study(const runtime::StudyParams& study, const EmitFn& emit) override;
+  RunnerTelemetry telemetry() const override { return telemetry_; }
+
+ private:
+  std::shared_ptr<Transport> transport_;
+  RemoteOptions options_;
+  RunnerTelemetry telemetry_;
+};
+
+/// Worker-side protocol loop, shared by every backend: handshake on Hello
+/// (adopting the framed study, or `inherited_study` for fork()ed children),
+/// then serve Lease/Ping frames until Shutdown or EOF. Experiment failures
+/// travel back as error Result frames (ending the lease early); a protocol
+/// violation throws — the caller turns that into a nonzero exit.
+void serve_worker(FrameChannel& channel,
+                  const runtime::StudyParams* inherited_study);
+
+}  // namespace loki::campaign

@@ -9,8 +9,11 @@
 #include <vector>
 
 #include "campaign/process_runner.hpp"
+#include "campaign/remote_runner.hpp"
+#include "campaign/transport.hpp"
 #include "campaign/validate.hpp"
 #include "util/error.hpp"
+#include "util/text_file.hpp"
 
 namespace loki::campaign {
 
@@ -143,8 +146,10 @@ std::shared_ptr<Runner> make_runner(int parallelism) {
 
 std::shared_ptr<Runner> parse_runner_spec(const std::string& spec) {
   const auto bad = [&spec]() -> ConfigError {
-    return ConfigError("bad runner spec '" + spec +
-                       "' (expected serial | threads:N | procs:N)");
+    return ConfigError(
+        "bad runner spec '" + spec +
+        "' (expected serial | threads:N | procs:N | static-procs:N | "
+        "remote:HOSTFILE)");
   };
   const auto workers_of = [&](std::string_view text) {
     int workers = 0;
@@ -161,7 +166,19 @@ std::shared_ptr<Runner> parse_runner_spec(const std::string& spec) {
   if (view.starts_with("threads:"))
     return std::make_shared<ThreadPoolRunner>(workers_of(view.substr(8)));
   if (view.starts_with("procs:"))
-    return std::make_shared<ProcessPoolRunner>(workers_of(view.substr(6)));
+    // Dynamic work-queue sharding over local worker processes; crash-
+    // tolerant, byte-identical to serial (campaign/remote_runner.hpp).
+    return std::make_shared<RemoteRunner>(
+        std::make_shared<SubprocessTransport>(workers_of(view.substr(6))));
+  if (view.starts_with("static-procs:"))
+    // PR 2's fixed round-robin shards — kept as the static reference.
+    return std::make_shared<ProcessPoolRunner>(workers_of(view.substr(13)));
+  if (view.starts_with("remote:")) {
+    const std::string path(view.substr(7));
+    if (path.empty()) throw bad();
+    return std::make_shared<RemoteRunner>(std::make_shared<SshTransport>(
+        parse_hostfile(read_file(path), path)));
+  }
   // Bare integer: the historical `[workers]` CLI argument.
   return make_runner(workers_of(view));
 }

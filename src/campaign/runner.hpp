@@ -24,6 +24,16 @@ namespace loki::campaign {
 /// Receives experiment `index`'s result; see the ordering contract above.
 using EmitFn = std::function<void(int index, runtime::ExperimentResult&&)>;
 
+/// Cumulative fault-recovery counters for runners that execute work on
+/// fallible backends (campaign/remote_runner.hpp). Counts only recoverable
+/// infrastructure events — experiment failures throw instead.
+struct RunnerTelemetry {
+  /// Lease requeue events after a lost, hung, or lossy worker.
+  int requeues{0};
+  /// Worker links that died mid-study (crash, hang-kill, corrupt stream).
+  int workers_lost{0};
+};
+
 class Runner {
  public:
   virtual ~Runner();
@@ -36,6 +46,10 @@ class Runner {
   /// validated (ConfigError names the study and index) before running.
   virtual void run_study(const runtime::StudyParams& study,
                          const EmitFn& emit) = 0;
+
+  /// Fault-recovery counters, cumulative across run_study calls. Runners
+  /// on infallible backends keep the zero default.
+  virtual RunnerTelemetry telemetry() const { return {}; }
 };
 
 /// Runs experiments one after another on the calling thread — the reference
@@ -79,10 +93,16 @@ std::shared_ptr<Runner> make_runner(int parallelism);
 /// One runner-selection grammar for every CLI surface (lokimeasure,
 /// examples, benches):
 ///
-///   "serial"      SerialRunner
-///   "threads:N"   ThreadPoolRunner(N)
-///   "procs:N"     ProcessPoolRunner(N)   (campaign/process_runner.hpp)
-///   "N"           make_runner(N) — the legacy bare-integer spelling
+///   "serial"         SerialRunner
+///   "threads:N"      ThreadPoolRunner(N)
+///   "procs:N"        RemoteRunner over SubprocessTransport(N) — N local
+///                    worker processes pulling leases from a dynamic work
+///                    queue (campaign/remote_runner.hpp)
+///   "static-procs:N" ProcessPoolRunner(N) — PR 2's static round-robin
+///                    sharding (campaign/process_runner.hpp)
+///   "remote:FILE"    RemoteRunner over SshTransport, one worker per
+///                    hostfile line ('#' comments, blanks ignored)
+///   "N"              make_runner(N) — the legacy bare-integer spelling
 ///
 /// Throws ConfigError on anything else (including N < 1).
 std::shared_ptr<Runner> parse_runner_spec(const std::string& spec);

@@ -1,0 +1,558 @@
+#include "campaign/transport.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "campaign/remote_runner.hpp"
+#include "runtime/serialize.hpp"
+#include "util/error.hpp"
+#include "util/pipe_io.hpp"
+#include "util/text_file.hpp"
+
+namespace loki::campaign {
+
+WorkerLink::~WorkerLink() = default;
+Transport::~Transport() = default;
+FrameChannel::~FrameChannel() = default;
+
+std::optional<std::vector<std::uint8_t>> FdFrameChannel::read() {
+  return util::read_frame(in_fd_);
+}
+
+void FdFrameChannel::write(const std::vector<std::uint8_t>& frame) {
+  util::write_frame(out_fd_, frame);
+}
+
+namespace detail {
+
+/// Every parent-side pipe fd currently open for a transport. A fork()ed
+/// child closes all of them (minus its own pair, which is not registered
+/// yet at fork time) so a SIGKILLed sibling's EOF is never masked by a
+/// write end surviving in another child.
+struct FdRegistry {
+  std::mutex mu;
+  std::vector<int> fds;
+
+  void add(int a, int b) {
+    std::lock_guard<std::mutex> lock(mu);
+    fds.push_back(a);
+    fds.push_back(b);
+  }
+  void remove(int a, int b) {
+    std::lock_guard<std::mutex> lock(mu);
+    std::erase(fds, a);
+    std::erase(fds, b);
+  }
+  std::vector<int> snapshot() {
+    std::lock_guard<std::mutex> lock(mu);
+    return fds;
+  }
+};
+
+}  // namespace detail
+
+namespace {
+
+/// Writing to a worker that just died must surface as EPIPE (an exception),
+/// not a process-killing SIGPIPE. Installed once, by the first pipe-backed
+/// transport; a process that runs campaigns over subprocesses cannot
+/// usefully keep SIGPIPE's default-terminate behaviour anyway.
+void ignore_sigpipe_once() {
+  static const bool done = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+}
+
+[[noreturn]] void throw_errno(const std::string& op) {
+  throw std::runtime_error("transport: " + op + ": " + std::strerror(errno));
+}
+
+/// Parent side of one spawned worker process.
+class PipeLink final : public WorkerLink {
+ public:
+  PipeLink(pid_t pid, int send_fd, int recv_fd, std::string describe,
+           bool needs_study, std::shared_ptr<detail::FdRegistry> registry)
+      : pid_(pid),
+        send_fd_(send_fd),
+        recv_fd_(recv_fd),
+        describe_(std::move(describe)),
+        needs_study_(needs_study),
+        registry_(std::move(registry)) {
+    registry_->add(send_fd_, recv_fd_);
+  }
+
+  ~PipeLink() override {
+    kill();
+    int status = 0;
+    while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {}
+    registry_->remove(send_fd_, recv_fd_);
+    ::close(send_fd_);
+    ::close(recv_fd_);
+  }
+
+  void send(const std::vector<std::uint8_t>& frame) override {
+    util::write_frame(send_fd_, frame);
+  }
+
+  RecvOutcome recv(std::chrono::milliseconds timeout) override {
+    if (!util::wait_readable(recv_fd_, timeout))
+      return {RecvOutcome::Status::Timeout, {}};
+    // Deadline inside the frame too: a worker frozen mid-write (partial
+    // header/payload) must become a DecodeError — which the runner treats
+    // as a lost worker — not an unbounded blocking read.
+    std::optional<std::vector<std::uint8_t>> frame =
+        util::read_frame_deadline(recv_fd_, timeout);
+    if (!frame.has_value()) return {RecvOutcome::Status::Eof, {}};
+    return {RecvOutcome::Status::Frame, std::move(*frame)};
+  }
+
+  /// SIGKILL only — the fds stay open so a reader blocked in recv() is
+  /// woken by the resulting EOF rather than racing a close() from another
+  /// thread. The destructor reaps and closes.
+  void kill() override { ::kill(pid_, SIGKILL); }
+
+  std::string describe() const override { return describe_; }
+  bool needs_study_bytes() const override { return needs_study_; }
+
+ private:
+  pid_t pid_;
+  int send_fd_;
+  int recv_fd_;
+  std::string describe_;
+  bool needs_study_;
+  std::shared_ptr<detail::FdRegistry> registry_;
+};
+
+struct Pipes {
+  int parent_send{-1}, child_recv{-1};  // parent -> child
+  int child_send{-1}, parent_recv{-1};  // child -> parent
+};
+
+Pipes make_pipes() {
+  int down[2], up[2];
+  if (::pipe(down) != 0) throw_errno("pipe");
+  if (::pipe(up) != 0) {
+    ::close(down[0]);
+    ::close(down[1]);
+    throw_errno("pipe");
+  }
+  return {down[1], down[0], up[1], up[0]};
+}
+
+void close_parent_side_in_child(const Pipes& p,
+                                const std::vector<int>& sibling_fds) {
+  ::close(p.parent_send);
+  ::close(p.parent_recv);
+  for (const int fd : sibling_fds) ::close(fd);
+}
+
+/// fork()+exec() a worker command with the frame stream on stdin/stdout.
+std::unique_ptr<WorkerLink> spawn_exec(
+    const std::vector<std::string>& argv, const std::string& describe,
+    const std::shared_ptr<detail::FdRegistry>& registry) {
+  if (argv.empty()) throw ConfigError("transport: empty worker argv");
+  ignore_sigpipe_once();
+  const Pipes p = make_pipes();
+  const std::vector<int> siblings = registry->snapshot();
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int err = errno;
+    ::close(p.parent_send);
+    ::close(p.parent_recv);
+    ::close(p.child_send);
+    ::close(p.child_recv);
+    errno = err;
+    throw_errno("fork");
+  }
+  if (pid == 0) {
+    close_parent_side_in_child(p, siblings);
+    if (::dup2(p.child_recv, STDIN_FILENO) < 0 ||
+        ::dup2(p.child_send, STDOUT_FILENO) < 0)
+      ::_exit(127);
+    ::close(p.child_recv);
+    ::close(p.child_send);
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+    ::execvp(cargv[0], cargv.data());
+    ::_exit(127);  // exec failed; the parent sees EOF at handshake time
+  }
+  ::close(p.child_recv);
+  ::close(p.child_send);
+  return std::make_unique<PipeLink>(pid, p.parent_send, p.parent_recv,
+                                    describe + " pid " + std::to_string(pid),
+                                    /*needs_study=*/true, registry);
+}
+
+/// fork() a worker that serves the inherited study in-process — no exec,
+/// no wire identity requirement.
+std::unique_ptr<WorkerLink> spawn_fork(
+    const runtime::StudyParams& study, const std::string& describe,
+    const std::shared_ptr<detail::FdRegistry>& registry) {
+  ignore_sigpipe_once();
+  const Pipes p = make_pipes();
+  const std::vector<int> siblings = registry->snapshot();
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int err = errno;
+    ::close(p.parent_send);
+    ::close(p.parent_recv);
+    ::close(p.child_send);
+    ::close(p.child_recv);
+    errno = err;
+    throw_errno("fork");
+  }
+  if (pid == 0) {
+    close_parent_side_in_child(p, siblings);
+    int exit_code = 0;
+    try {
+      FdFrameChannel channel(p.child_recv, p.child_send);
+      serve_worker(channel, &study);
+    } catch (...) {
+      exit_code = 1;  // protocol violation or dead parent pipe
+    }
+    ::close(p.child_recv);
+    ::close(p.child_send);
+    // _exit, not exit: the child shares the parent's stdio buffers and must
+    // not flush them a second time (nor run atexit handlers).
+    ::_exit(exit_code);
+  }
+  ::close(p.child_recv);
+  ::close(p.child_send);
+  return std::make_unique<PipeLink>(pid, p.parent_send, p.parent_recv,
+                                    describe + " pid " + std::to_string(pid),
+                                    /*needs_study=*/false, registry);
+}
+
+}  // namespace
+
+// --- SubprocessTransport -----------------------------------------------------
+
+SubprocessTransport::SubprocessTransport(int workers)
+    : workers_(workers), registry_(std::make_shared<detail::FdRegistry>()) {
+  if (workers < 1)
+    throw ConfigError("SubprocessTransport: workers must be >= 1, got " +
+                      std::to_string(workers));
+}
+
+SubprocessTransport::SubprocessTransport(int workers,
+                                         std::vector<std::string> argv)
+    : SubprocessTransport(workers) {
+  if (argv.empty())
+    throw ConfigError("SubprocessTransport: exec mode needs a non-empty argv");
+  argv_ = std::move(argv);
+}
+
+std::string SubprocessTransport::name() const {
+  return (argv_.empty() ? "subprocess:" : "subprocess-exec:") +
+         std::to_string(workers_);
+}
+
+std::unique_ptr<WorkerLink> SubprocessTransport::connect(
+    int index, const runtime::StudyParams& study) {
+  const std::string describe = "subprocess worker " + std::to_string(index);
+  if (argv_.empty()) return spawn_fork(study, describe, registry_);
+  return spawn_exec(argv_, describe, registry_);
+}
+
+// --- SshTransport ------------------------------------------------------------
+
+std::vector<std::string> parse_hostfile(const std::string& text,
+                                        const std::string& origin) {
+  std::vector<std::string> hosts;
+  for (const TextLine& line : logical_lines(text)) {
+    const std::string& host = line.text;
+    if (host.find_first_of(" \t") != std::string::npos)
+      throw ConfigError(origin + ":" + std::to_string(line.number) +
+                        ": a hostfile line holds exactly one host, got '" +
+                        host + "'");
+    hosts.push_back(host);
+  }
+  if (hosts.empty())
+    throw ConfigError(origin + ": hostfile lists no hosts");
+  return hosts;
+}
+
+SshTransport::SshTransport(std::vector<std::string> hosts,
+                           std::vector<std::string> remote_command,
+                           std::string ssh_binary)
+    : hosts_(std::move(hosts)),
+      remote_command_(std::move(remote_command)),
+      ssh_binary_(std::move(ssh_binary)),
+      registry_(std::make_shared<detail::FdRegistry>()) {
+  if (hosts_.empty()) throw ConfigError("SshTransport: no hosts");
+  if (remote_command_.empty())
+    throw ConfigError("SshTransport: empty remote command");
+}
+
+std::string SshTransport::name() const {
+  return "ssh:" + std::to_string(hosts_.size());
+}
+
+std::vector<std::string> SshTransport::worker_argv(int index) const {
+  std::vector<std::string> argv;
+  argv.reserve(remote_command_.size() + 2);
+  argv.push_back(ssh_binary_);
+  argv.push_back(hosts_.at(static_cast<std::size_t>(index)));
+  for (const std::string& word : remote_command_) argv.push_back(word);
+  return argv;
+}
+
+std::unique_ptr<WorkerLink> SshTransport::connect(
+    int index, const runtime::StudyParams&) {
+  return spawn_exec(worker_argv(index),
+                    "ssh worker " + hosts_.at(static_cast<std::size_t>(index)),
+                    registry_);
+}
+
+// --- FakeTransport -----------------------------------------------------------
+
+namespace detail {
+
+/// Shared state of one in-process fake worker: two frame queues and the
+/// scripted fault plan, guarded by one mutex.
+struct FakeWorker {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::vector<std::uint8_t>> to_worker;
+  std::deque<std::vector<std::uint8_t>> to_parent;
+  bool parent_closed{false};  // worker-side reads return EOF
+  bool stream_eof{false};     // parent-side recv returns Eof
+  bool hanging{false};        // parent-side recv delivers nothing (no Eof)
+  bool worker_done{false};    // serve_worker returned
+  int results_seen{0};        // Result frames delivered (or dropped) so far
+  FakeFaults faults;
+  std::thread thread;
+
+  /// Close both directions and wait for the worker thread. Safe from any
+  /// thread: the serving thread itself detaches instead of self-joining
+  /// (it can end up running this when its captured shared_ptr is the last
+  /// reference).
+  void stop_and_join() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      parent_closed = true;
+      stream_eof = true;
+    }
+    cv.notify_all();
+    if (!thread.joinable()) return;
+    if (thread.get_id() == std::this_thread::get_id()) thread.detach();
+    else thread.join();
+  }
+
+  ~FakeWorker() { stop_and_join(); }
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::FakeWorker;
+
+class QueueFrameChannel final : public FrameChannel {
+ public:
+  explicit QueueFrameChannel(const std::shared_ptr<FakeWorker>& w) : w_(w) {}
+
+  std::optional<std::vector<std::uint8_t>> read() override {
+    std::unique_lock<std::mutex> lock(w_->mu);
+    w_->cv.wait(lock,
+                [&] { return !w_->to_worker.empty() || w_->parent_closed; });
+    if (w_->to_worker.empty()) return std::nullopt;
+    std::vector<std::uint8_t> frame = std::move(w_->to_worker.front());
+    w_->to_worker.pop_front();
+    return frame;
+  }
+
+  void write(const std::vector<std::uint8_t>& frame) override {
+    {
+      std::lock_guard<std::mutex> lock(w_->mu);
+      if (w_->parent_closed)
+        throw std::runtime_error("fake transport: parent is gone (EPIPE)");
+      w_->to_parent.push_back(frame);
+    }
+    w_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<FakeWorker> w_;
+};
+
+class FakeLink final : public WorkerLink {
+ public:
+  FakeLink(std::shared_ptr<FakeWorker> w, int index)
+      : w_(std::move(w)), index_(index) {}
+
+  ~FakeLink() override {
+    // Closing the link closes the worker's stdin: it exits at next read.
+    {
+      std::lock_guard<std::mutex> lock(w_->mu);
+      w_->parent_closed = true;
+    }
+    w_->cv.notify_all();
+  }
+
+  void send(const std::vector<std::uint8_t>& frame) override {
+    {
+      std::lock_guard<std::mutex> lock(w_->mu);
+      if (w_->stream_eof)
+        throw std::runtime_error("fake transport: worker " +
+                                 std::to_string(index_) + " is gone (EPIPE)");
+      w_->to_worker.push_back(frame);
+    }
+    w_->cv.notify_all();
+  }
+
+  RecvOutcome recv(std::chrono::milliseconds timeout) override {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::unique_lock<std::mutex> lock(w_->mu);
+    for (;;) {
+      if (w_->stream_eof) return {RecvOutcome::Status::Eof, {}};
+      const detail::FakeFaults& f = w_->faults;
+      // Threshold faults fire between deliveries: after `n` results made it
+      // to the parent, the stream dies (kill/eof) or goes silent (hang).
+      if (!w_->hanging && f.hang_after >= 0 && w_->results_seen >= f.hang_after)
+        w_->hanging = true;
+      if ((f.kill_after >= 0 && w_->results_seen >= f.kill_after) ||
+          (f.eof_after >= 0 && w_->results_seen >= f.eof_after)) {
+        w_->stream_eof = true;
+        w_->parent_closed = true;  // a dead worker's stdin is gone too
+        w_->cv.notify_all();
+        return {RecvOutcome::Status::Eof, {}};
+      }
+      if (!w_->hanging && !w_->to_parent.empty()) {
+        std::vector<std::uint8_t> frame = std::move(w_->to_parent.front());
+        w_->to_parent.pop_front();
+        const bool is_result =
+            !frame.empty() &&
+            frame[0] ==
+                static_cast<std::uint8_t>(runtime::WorkerFrame::Result);
+        if (!is_result) return {RecvOutcome::Status::Frame, std::move(frame)};
+        const int nth = ++w_->results_seen;
+        if (nth == f.drop_nth) continue;  // vanished in transit
+        // Truncation is corruption the decoder is *guaranteed* to reject;
+        // a flipped payload byte might decode as different-but-valid data.
+        if (nth == f.corrupt_nth && !frame.empty())
+          frame.resize(frame.size() - 1);
+        if (nth == f.delay_nth && f.delay.count() > 0) {
+          lock.unlock();
+          std::this_thread::sleep_for(f.delay);
+          lock.lock();
+        }
+        return {RecvOutcome::Status::Frame, std::move(frame)};
+      }
+      if (w_->worker_done && w_->to_parent.empty() && !w_->hanging)
+        return {RecvOutcome::Status::Eof, {}};
+      if (w_->cv.wait_until(lock, deadline) == std::cv_status::timeout)
+        return {RecvOutcome::Status::Timeout, {}};
+    }
+  }
+
+  void kill() override {
+    {
+      std::lock_guard<std::mutex> lock(w_->mu);
+      w_->stream_eof = true;
+      w_->parent_closed = true;
+    }
+    w_->cv.notify_all();
+  }
+
+  std::string describe() const override {
+    return "fake worker " + std::to_string(index_);
+  }
+
+ private:
+  std::shared_ptr<FakeWorker> w_;
+  int index_;
+};
+
+}  // namespace
+
+FakeTransport::FakeTransport(int workers)
+    : workers_(workers),
+      faults_(static_cast<std::size_t>(workers)),
+      live_(static_cast<std::size_t>(workers)) {
+  if (workers < 1)
+    throw ConfigError("FakeTransport: workers must be >= 1, got " +
+                      std::to_string(workers));
+}
+
+FakeTransport::~FakeTransport() {
+  // Join every worker thread from here (the owning thread) so destruction
+  // order can never leave a thread to destroy its own FakeWorker.
+  for (auto& worker : live_)
+    if (worker) worker->stop_and_join();
+}
+
+std::string FakeTransport::name() const {
+  return "fake:" + std::to_string(workers_);
+}
+
+std::unique_ptr<WorkerLink> FakeTransport::connect(
+    int index, const runtime::StudyParams&) {
+  if (index < 0 || index >= workers_)
+    throw ConfigError("FakeTransport: worker index " + std::to_string(index) +
+                      " out of range");
+  if (auto& old = live_[static_cast<std::size_t>(index)]; old)
+    old->stop_and_join();  // a reconnect replaces the previous worker
+  auto worker = std::make_shared<FakeWorker>();
+  worker->faults = faults_[static_cast<std::size_t>(index)];
+  worker->thread = std::thread([worker] {
+    QueueFrameChannel channel(worker);
+    try {
+      serve_worker(channel, nullptr);
+    } catch (...) {
+      // Killed mid-write or a protocol violation; the parent sees EOF.
+    }
+    {
+      std::lock_guard<std::mutex> lock(worker->mu);
+      worker->worker_done = true;
+    }
+    worker->cv.notify_all();
+  });
+  live_[static_cast<std::size_t>(index)] = worker;
+  return std::make_unique<FakeLink>(worker, index);
+}
+
+detail::FakeFaults& FakeTransport::fault_slot(int worker) {
+  if (worker < 0 || worker >= workers_)
+    throw ConfigError("FakeTransport: worker index " + std::to_string(worker) +
+                      " out of range");
+  return faults_[static_cast<std::size_t>(worker)];
+}
+
+void FakeTransport::kill_after_results(int worker, int n) {
+  fault_slot(worker).kill_after = n;
+}
+void FakeTransport::eof_after_results(int worker, int n) {
+  fault_slot(worker).eof_after = n;
+}
+void FakeTransport::hang_after_results(int worker, int n) {
+  fault_slot(worker).hang_after = n;
+}
+void FakeTransport::corrupt_result(int worker, int nth) {
+  fault_slot(worker).corrupt_nth = nth;
+}
+void FakeTransport::drop_result(int worker, int nth) {
+  fault_slot(worker).drop_nth = nth;
+}
+void FakeTransport::delay_result(int worker, int nth,
+                                 std::chrono::milliseconds by) {
+  detail::FakeFaults& f = fault_slot(worker);
+  f.delay_nth = nth;
+  f.delay = by;
+}
+
+}  // namespace loki::campaign

@@ -1,0 +1,224 @@
+// Pluggable byte transports between a campaign parent and its workers.
+//
+// A Transport spawns (or attaches to) workers and hands back one WorkerLink
+// per worker: a full-duplex, frame-oriented channel. Transports move bytes
+// only — the worker *protocol* (Hello/Lease/Result/..., see
+// runtime/serialize.hpp and campaign/remote_runner.hpp) is layered on top
+// by RemoteRunner on the parent side and serve_worker on the worker side,
+// so every backend shares one protocol implementation and one conformance
+// test suite.
+//
+// Backends:
+//   SubprocessTransport   fork() (inherits the study closure — no wire
+//                         identity needed) or fork()+exec() of a worker
+//                         command such as `lokimeasure --worker --serve`,
+//                         framed over pipes (util/pipe_io.hpp).
+//   SshTransport          exec's `ssh <host> <worker command>` per host —
+//                         the same frame protocol over an ssh stdio tunnel.
+//   FakeTransport         in-process worker threads over in-memory frame
+//                         queues, with scripted fault injection (kill,
+//                         hang, EOF, corrupt, drop, delay) so runner
+//                         crash-tolerance is testable deterministically.
+//
+// Threading contract: send() and recv() may be called concurrently from
+// different threads (RemoteRunner sends leases from its main thread while a
+// reader thread blocks in recv), but each direction has a single caller.
+// kill() may be called from any thread and must promptly unblock a pending
+// recv() with Eof. Links must not outlive their Transport.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/experiment.hpp"
+
+namespace loki::campaign {
+
+struct RecvOutcome {
+  enum class Status {
+    Frame,    // one whole frame arrived
+    Eof,      // the worker closed its stream (exit, crash, kill)
+    Timeout,  // no frame within the deadline — the hung-worker signal
+  };
+  Status status{Status::Eof};
+  std::vector<std::uint8_t> frame;  // Status::Frame only
+};
+
+/// One worker's duplex frame channel, parent side.
+class WorkerLink {
+ public:
+  virtual ~WorkerLink();
+
+  /// Ship one frame to the worker. Throws std::runtime_error when the
+  /// worker is gone (EPIPE et al.).
+  virtual void send(const std::vector<std::uint8_t>& frame) = 0;
+
+  /// Wait up to `timeout` for the next frame. Throws codec::DecodeError
+  /// when the stream is corrupt (bad length prefix, mid-frame EOF).
+  virtual RecvOutcome recv(std::chrono::milliseconds timeout) = 0;
+
+  /// Idempotent hard-stop (SIGKILL or equivalent). A blocked recv() returns
+  /// Eof promptly afterwards; buffered-but-undelivered frames may be lost.
+  virtual void kill() = 0;
+
+  /// Human-readable identity for error messages ("pid 4242", "host db3").
+  virtual std::string describe() const = 0;
+
+  /// True when the worker needs the study inside the Hello frame (exec'd
+  /// and remote workers). fork()-based workers inherit it in memory, which
+  /// keeps arbitrary closures working without a wire identity.
+  virtual bool needs_study_bytes() const { return true; }
+};
+
+class Transport {
+ public:
+  virtual ~Transport();
+
+  virtual std::string name() const = 0;
+  virtual int worker_count() const = 0;
+
+  /// Spawn/attach worker `index` (0-based, < worker_count()) for `study`.
+  /// fork()-based transports capture the study in the child; the caller
+  /// still performs the Hello handshake over the returned link. Throws on
+  /// spawn failure (the caller decides whether losing one worker is fatal).
+  virtual std::unique_ptr<WorkerLink> connect(
+      int index, const runtime::StudyParams& study) = 0;
+};
+
+/// Worker-side view of the same duplex channel — what serve_worker speaks,
+/// so the protocol loop runs identically in an exec'd process (fds), a
+/// forked child (fds), and a FakeTransport thread (queues).
+class FrameChannel {
+ public:
+  virtual ~FrameChannel();
+  /// Next frame from the parent; std::nullopt once the parent is gone.
+  virtual std::optional<std::vector<std::uint8_t>> read() = 0;
+  virtual void write(const std::vector<std::uint8_t>& frame) = 0;
+};
+
+/// FrameChannel over a pair of file descriptors (not owned).
+class FdFrameChannel final : public FrameChannel {
+ public:
+  FdFrameChannel(int in_fd, int out_fd) : in_fd_(in_fd), out_fd_(out_fd) {}
+  std::optional<std::vector<std::uint8_t>> read() override;
+  void write(const std::vector<std::uint8_t>& frame) override;
+
+ private:
+  int in_fd_;
+  int out_fd_;
+};
+
+namespace detail {
+struct FdRegistry;  // open parent-side fds, closed inside fork()ed children
+struct FakeWorker;
+
+/// Scripted fault plan for one FakeTransport worker. Result-frame counters
+/// are 1-based; -1 disables a fault.
+struct FakeFaults {
+  int kill_after{-1};
+  int eof_after{-1};
+  int hang_after{-1};
+  int corrupt_nth{-1};
+  int drop_nth{-1};
+  int delay_nth{-1};
+  std::chrono::milliseconds delay{0};
+};
+}  // namespace detail
+
+class SubprocessTransport final : public Transport {
+ public:
+  /// fork() mode: each worker is a forked child running serve_worker on the
+  /// inherited study — arbitrary make_params closures work unchanged.
+  explicit SubprocessTransport(int workers);
+
+  /// fork()+exec() mode: each worker runs `argv` (e.g. {"lokimeasure",
+  /// "--worker", "--serve"}) with the frame stream on stdin/stdout. The
+  /// study crosses inside the Hello frame, so it needs a wire identity.
+  SubprocessTransport(int workers, std::vector<std::string> argv);
+
+  std::string name() const override;
+  int worker_count() const override { return workers_; }
+  std::unique_ptr<WorkerLink> connect(int index,
+                                      const runtime::StudyParams& study) override;
+
+ private:
+  int workers_;
+  std::vector<std::string> argv_;  // empty => fork() mode
+  std::shared_ptr<detail::FdRegistry> registry_;
+};
+
+/// Parse a hostfile: one host per line, '#' comments and blanks ignored.
+/// Throws ConfigError when empty or when a host contains whitespace.
+std::vector<std::string> parse_hostfile(const std::string& text,
+                                        const std::string& origin);
+
+class SshTransport final : public Transport {
+ public:
+  /// One worker per hostfile line (list a host twice for two workers).
+  /// `ssh_binary` is overridable so tests can substitute a local shim.
+  explicit SshTransport(
+      std::vector<std::string> hosts,
+      std::vector<std::string> remote_command = {"lokimeasure", "--worker",
+                                                 "--serve"},
+      std::string ssh_binary = "ssh");
+
+  std::string name() const override;
+  int worker_count() const override { return static_cast<int>(hosts_.size()); }
+  std::unique_ptr<WorkerLink> connect(int index,
+                                      const runtime::StudyParams& study) override;
+
+  /// The exec argv for worker `index` — exposed for tests.
+  std::vector<std::string> worker_argv(int index) const;
+
+ private:
+  std::vector<std::string> hosts_;
+  std::vector<std::string> remote_command_;
+  std::string ssh_binary_;
+  std::shared_ptr<detail::FdRegistry> registry_;
+};
+
+/// In-process transport for tests: each worker is a thread speaking the
+/// worker protocol over in-memory frame queues (including the Hello-framed
+/// study, so wire encode/decode is exercised end to end). Faults are
+/// scripted per worker before the campaign runs; `n` counts Result frames
+/// as the parent receives them (1-based for the *_result faults).
+class FakeTransport final : public Transport {
+ public:
+  explicit FakeTransport(int workers);
+  ~FakeTransport() override;
+
+  std::string name() const override;
+  int worker_count() const override { return workers_; }
+  std::unique_ptr<WorkerLink> connect(int index,
+                                      const runtime::StudyParams& study) override;
+
+  /// SIGKILL equivalent: after `n` results were delivered, the stream ends
+  /// (Eof) and the worker thread is torn down; queued frames are lost.
+  void kill_after_results(int worker, int n);
+  /// Clean mid-lease close: the stream reports Eof after `n` results while
+  /// the worker may still be running.
+  void eof_after_results(int worker, int n);
+  /// The worker goes silent after `n` results: no frames, no Eof — the
+  /// parent must detect it via recv timeouts.
+  void hang_after_results(int worker, int n);
+  /// The `nth` result frame (1-based) arrives corrupted (truncated mid-
+  /// payload, which the wire decoder must reject with a typed error).
+  void corrupt_result(int worker, int nth);
+  /// The `nth` result frame (1-based) vanishes in transit.
+  void drop_result(int worker, int nth);
+  /// The `nth` result frame (1-based) is delayed by `by` before delivery.
+  void delay_result(int worker, int nth, std::chrono::milliseconds by);
+
+ private:
+  detail::FakeFaults& fault_slot(int worker);
+
+  int workers_;
+  std::vector<detail::FakeFaults> faults_;
+  std::vector<std::shared_ptr<detail::FakeWorker>> live_;
+};
+
+}  // namespace loki::campaign

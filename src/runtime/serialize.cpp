@@ -552,4 +552,237 @@ std::string experiment_cache_key(const ExperimentParams& p) {
   return util::sha256_hex(encode_experiment_params(p));
 }
 
+// --- worker frame protocol ---------------------------------------------------
+
+namespace {
+
+Writer frame_writer(WorkerFrame type) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  return w;
+}
+
+/// Reader positioned after the type byte, which must match `expected`.
+Reader frame_reader(const std::vector<std::uint8_t>& frame, WorkerFrame expected) {
+  if (worker_frame_type(frame) != expected)
+    throw DecodeError("worker frame: expected frame type " +
+                      std::to_string(static_cast<int>(expected)) + ", got " +
+                      std::to_string(static_cast<int>(frame[0])));
+  Reader r(frame);
+  r.u8();  // consume the type byte
+  return r;
+}
+
+/// Rest-of-frame raw bytes (Ping/Pong payloads, the embedded study).
+std::vector<std::uint8_t> remaining_bytes(Reader& r,
+                                          const std::vector<std::uint8_t>& frame) {
+  const std::size_t start = frame.size() - r.remaining();
+  return std::vector<std::uint8_t>(frame.begin() + static_cast<std::ptrdiff_t>(start),
+                                   frame.end());
+}
+
+}  // namespace
+
+WireErrorCategory classify_error(const std::exception& e) {
+  if (dynamic_cast<const ConfigError*>(&e) != nullptr)
+    return WireErrorCategory::Config;
+  if (dynamic_cast<const LogicError*>(&e) != nullptr)
+    return WireErrorCategory::Logic;
+  return WireErrorCategory::Runtime;
+}
+
+void rethrow_wire_error(WireErrorCategory category, const std::string& message) {
+  switch (category) {
+    case WireErrorCategory::Config:
+      throw ConfigError(message);
+    case WireErrorCategory::Logic:
+      throw LogicError(message);
+    case WireErrorCategory::Runtime:
+      break;
+  }
+  throw std::runtime_error(message);
+}
+
+WorkerFrame worker_frame_type(const std::vector<std::uint8_t>& frame) {
+  if (frame.empty()) throw DecodeError("worker frame: empty frame");
+  const std::uint8_t type = frame[0];
+  if (type < static_cast<std::uint8_t>(WorkerFrame::Hello) ||
+      type > static_cast<std::uint8_t>(WorkerFrame::Pong))
+    throw DecodeError("worker frame: unknown frame type " + std::to_string(type));
+  return static_cast<WorkerFrame>(type);
+}
+
+std::vector<std::uint8_t> encode_hello_frame(const StudyParams* study) {
+  Writer w = frame_writer(WorkerFrame::Hello);
+  w.u16(kWorkerProtocolVersion);
+  w.boolean(study != nullptr);
+  if (study != nullptr) {
+    const std::vector<std::uint8_t> encoded = encode_study_params(*study);
+    w.bytes(encoded.data(), encoded.size());
+  }
+  return w.take();
+}
+
+HelloFrame decode_hello_frame(const std::vector<std::uint8_t>& frame) {
+  Reader r = frame_reader(frame, WorkerFrame::Hello);
+  HelloFrame hello;
+  hello.protocol_version = r.u16();
+  if (r.boolean()) hello.study = decode_study_params(remaining_bytes(r, frame));
+  else r.expect_done();
+  return hello;
+}
+
+std::vector<std::uint8_t> encode_hello_ack_frame(std::uint64_t worker_pid) {
+  Writer w = frame_writer(WorkerFrame::HelloAck);
+  w.u16(kWorkerProtocolVersion);
+  w.u64(worker_pid);
+  return w.take();
+}
+
+HelloAckFrame decode_hello_ack_frame(const std::vector<std::uint8_t>& frame) {
+  Reader r = frame_reader(frame, WorkerFrame::HelloAck);
+  HelloAckFrame ack;
+  ack.protocol_version = r.u16();
+  ack.worker_pid = r.u64();
+  r.expect_done();
+  return ack;
+}
+
+std::vector<std::uint8_t> encode_lease_frame(const LeaseFrame& lease) {
+  Writer w = frame_writer(WorkerFrame::Lease);
+  w.u32(lease.id);
+  w.u32(lease.lo);
+  w.u32(lease.hi);
+  w.u32(lease.step);
+  return w.take();
+}
+
+LeaseFrame decode_lease_frame(const std::vector<std::uint8_t>& frame) {
+  Reader r = frame_reader(frame, WorkerFrame::Lease);
+  LeaseFrame lease;
+  lease.id = r.u32();
+  lease.lo = r.u32();
+  lease.hi = r.u32();
+  lease.step = r.u32();
+  r.expect_done();
+  if (lease.step < 1)
+    throw DecodeError("worker frame: lease stride must be >= 1");
+  return lease;
+}
+
+namespace {
+
+std::vector<std::uint8_t> encode_lease_id_frame(WorkerFrame type,
+                                                std::uint32_t lease_id) {
+  Writer w = frame_writer(type);
+  w.u32(lease_id);
+  return w.take();
+}
+
+std::uint32_t decode_lease_id_frame(const std::vector<std::uint8_t>& frame,
+                                    WorkerFrame type) {
+  Reader r = frame_reader(frame, type);
+  const std::uint32_t id = r.u32();
+  r.expect_done();
+  return id;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_heartbeat_frame(std::uint32_t lease_id) {
+  return encode_lease_id_frame(WorkerFrame::Heartbeat, lease_id);
+}
+
+std::uint32_t decode_heartbeat_frame(const std::vector<std::uint8_t>& frame) {
+  return decode_lease_id_frame(frame, WorkerFrame::Heartbeat);
+}
+
+std::vector<std::uint8_t> encode_lease_done_frame(std::uint32_t lease_id) {
+  return encode_lease_id_frame(WorkerFrame::LeaseDone, lease_id);
+}
+
+std::uint32_t decode_lease_done_frame(const std::vector<std::uint8_t>& frame) {
+  return decode_lease_id_frame(frame, WorkerFrame::LeaseDone);
+}
+
+std::vector<std::uint8_t> encode_result_ok_frame(std::uint32_t index,
+                                                 const ExperimentResult& result) {
+  Writer w = frame_writer(WorkerFrame::Result);
+  w.u8(0);  // ok
+  w.u32(index);
+  const std::vector<std::uint8_t> encoded = encode_experiment_result(result);
+  w.bytes(encoded.data(), encoded.size());
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_result_error_frame(std::uint32_t index,
+                                                    WireErrorCategory category,
+                                                    const std::string& message) {
+  Writer w = frame_writer(WorkerFrame::Result);
+  w.u8(1);  // error
+  w.u32(index);
+  w.u8(static_cast<std::uint8_t>(category));
+  w.str(message);
+  return w.take();
+}
+
+ResultFrame decode_result_frame(const std::vector<std::uint8_t>& frame) {
+  Reader r = frame_reader(frame, WorkerFrame::Result);
+  ResultFrame result;
+  const std::uint8_t status = r.u8();
+  if (status > 1)
+    throw DecodeError("worker frame: result status byte out of range");
+  result.ok = status == 0;
+  result.index = r.u32();
+  if (result.ok) {
+    const std::vector<std::uint8_t> encoded = remaining_bytes(r, frame);
+    result.result = decode_experiment_result(encoded);
+  } else {
+    const std::uint8_t category = r.u8();
+    if (category > static_cast<std::uint8_t>(WireErrorCategory::Logic))
+      throw DecodeError("worker frame: error category byte out of range");
+    result.category = static_cast<WireErrorCategory>(category);
+    result.message = r.str();
+    r.expect_done();
+  }
+  return result;
+}
+
+std::vector<std::uint8_t> encode_shutdown_frame() {
+  return frame_writer(WorkerFrame::Shutdown).take();
+}
+
+namespace {
+
+std::vector<std::uint8_t> encode_payload_frame(
+    WorkerFrame type, const std::vector<std::uint8_t>& payload) {
+  Writer w = frame_writer(type);
+  if (!payload.empty()) w.bytes(payload.data(), payload.size());
+  return w.take();
+}
+
+std::vector<std::uint8_t> decode_payload_frame(
+    const std::vector<std::uint8_t>& frame, WorkerFrame type) {
+  Reader r = frame_reader(frame, type);
+  return remaining_bytes(r, frame);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_ping_frame(const std::vector<std::uint8_t>& payload) {
+  return encode_payload_frame(WorkerFrame::Ping, payload);
+}
+
+std::vector<std::uint8_t> encode_pong_frame(const std::vector<std::uint8_t>& payload) {
+  return encode_payload_frame(WorkerFrame::Pong, payload);
+}
+
+std::vector<std::uint8_t> decode_ping_frame(const std::vector<std::uint8_t>& frame) {
+  return decode_payload_frame(frame, WorkerFrame::Ping);
+}
+
+std::vector<std::uint8_t> decode_pong_frame(const std::vector<std::uint8_t>& frame) {
+  return decode_payload_frame(frame, WorkerFrame::Pong);
+}
+
 }  // namespace loki::runtime

@@ -18,6 +18,26 @@
 //     bump automatically invalidates stale ResultCache entries instead of
 //     misreading them.
 //
+// Alongside the three envelope kinds, this header defines the *worker frame
+// protocol*: the typed frames a campaign parent and a `lokimeasure --worker
+// --serve` process (or any campaign::Transport worker) exchange over framed
+// pipes (util/pipe_io.hpp). Every frame payload starts with a WorkerFrame
+// type byte:
+//
+//   parent -> worker   Hello      protocol version + optionally the study
+//                      Lease      an index range [lo, hi) with a stride
+//                      Ping       liveness/diagnostic probe (echoed back)
+//                      Shutdown   no more work; exit cleanly
+//   worker -> parent   HelloAck   protocol version + worker pid
+//                      Heartbeat  lease accepted; liveness while it runs
+//                      Result     one experiment's outcome (ok or error)
+//                      LeaseDone  lease finished (possibly early, on error)
+//                      Pong       Ping echo
+//
+// The protocol is versioned independently of the envelope: the Hello /
+// HelloAck exchange carries kWorkerProtocolVersion and each side rejects a
+// mismatch, so a fleet can never silently mix incompatible workers.
+//
 // StudyParams is a closure (make_params) in memory; on the wire it is the
 // *materialized* study — each index's generated ExperimentParams, in order.
 // Decoding yields a StudyParams whose generator replays those params, which
@@ -32,6 +52,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -59,5 +80,90 @@ StudyParams decode_study_params(const std::vector<std::uint8_t>& bytes);
 /// Experiments with equal keys produce byte-identical results (run_experiment
 /// is deterministic in its params, and the seed is part of the encoding).
 std::string experiment_cache_key(const ExperimentParams& p);
+
+// --- worker frame protocol ---------------------------------------------------
+
+/// Bump on ANY change to a worker frame layout or meaning. Checked by the
+/// Hello / HelloAck handshake; a mismatch is a hard error on both sides.
+inline constexpr std::uint16_t kWorkerProtocolVersion = 1;
+
+/// First byte of every worker frame payload.
+enum class WorkerFrame : std::uint8_t {
+  Hello = 1,
+  HelloAck = 2,
+  Lease = 3,
+  Heartbeat = 4,
+  Result = 5,
+  LeaseDone = 6,
+  Shutdown = 7,
+  Ping = 8,
+  Pong = 9,
+};
+
+/// Exception families that survive a process boundary. A worker classifies
+/// the exception it caught; the parent rehydrates the same family so
+/// campaign failure semantics are runner-independent.
+enum class WireErrorCategory : std::uint8_t { Runtime = 0, Config = 1, Logic = 2 };
+
+WireErrorCategory classify_error(const std::exception& e);
+[[noreturn]] void rethrow_wire_error(WireErrorCategory category,
+                                     const std::string& message);
+
+/// Peek a frame's type byte. Throws DecodeError on an empty frame or an
+/// unknown type — a corrupt stream must never dispatch as a valid frame.
+WorkerFrame worker_frame_type(const std::vector<std::uint8_t>& frame);
+
+/// Hello: pass nullptr when the worker already holds the study in memory
+/// (a fork()ed child); exec'd and remote workers get it inside the frame.
+std::vector<std::uint8_t> encode_hello_frame(const StudyParams* study);
+struct HelloFrame {
+  std::uint16_t protocol_version{0};
+  std::optional<StudyParams> study;
+};
+HelloFrame decode_hello_frame(const std::vector<std::uint8_t>& frame);
+
+std::vector<std::uint8_t> encode_hello_ack_frame(std::uint64_t worker_pid);
+struct HelloAckFrame {
+  std::uint16_t protocol_version{0};
+  std::uint64_t worker_pid{0};
+};
+HelloAckFrame decode_hello_ack_frame(const std::vector<std::uint8_t>& frame);
+
+/// One unit of leased work: experiment indices lo, lo+step, ... (< hi).
+struct LeaseFrame {
+  std::uint32_t id{0};
+  std::uint32_t lo{0};
+  std::uint32_t hi{0};
+  std::uint32_t step{1};
+};
+std::vector<std::uint8_t> encode_lease_frame(const LeaseFrame& lease);
+LeaseFrame decode_lease_frame(const std::vector<std::uint8_t>& frame);
+
+std::vector<std::uint8_t> encode_heartbeat_frame(std::uint32_t lease_id);
+std::uint32_t decode_heartbeat_frame(const std::vector<std::uint8_t>& frame);
+
+std::vector<std::uint8_t> encode_lease_done_frame(std::uint32_t lease_id);
+std::uint32_t decode_lease_done_frame(const std::vector<std::uint8_t>& frame);
+
+std::vector<std::uint8_t> encode_result_ok_frame(std::uint32_t index,
+                                                 const ExperimentResult& result);
+std::vector<std::uint8_t> encode_result_error_frame(std::uint32_t index,
+                                                    WireErrorCategory category,
+                                                    const std::string& message);
+struct ResultFrame {
+  std::uint32_t index{0};
+  bool ok{false};
+  ExperimentResult result;  // ok frames only
+  WireErrorCategory category{WireErrorCategory::Runtime};  // error frames only
+  std::string message;                                     // error frames only
+};
+ResultFrame decode_result_frame(const std::vector<std::uint8_t>& frame);
+
+std::vector<std::uint8_t> encode_shutdown_frame();
+
+std::vector<std::uint8_t> encode_ping_frame(const std::vector<std::uint8_t>& payload);
+std::vector<std::uint8_t> encode_pong_frame(const std::vector<std::uint8_t>& payload);
+std::vector<std::uint8_t> decode_ping_frame(const std::vector<std::uint8_t>& frame);
+std::vector<std::uint8_t> decode_pong_frame(const std::vector<std::uint8_t>& frame);
 
 }  // namespace loki::runtime

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include <poll.h>
 #include <unistd.h>
 
 #include "util/codec.hpp"
@@ -75,6 +76,73 @@ std::optional<std::vector<std::uint8_t>> read_frame(int fd) {
                              " exceeds limit (corrupt stream?)");
   std::vector<std::uint8_t> payload(len);
   if (read_upto(fd, payload.data(), len) < len)
+    throw codec::DecodeError("pipe_io: stream ended inside a frame payload");
+  return payload;
+}
+
+namespace {
+
+bool wait_readable_until(int fd, std::chrono::steady_clock::time_point deadline) {
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    const int wait_ms = left.count() <= 0 ? 0 : static_cast<int>(left.count());
+    struct pollfd pfd{fd, POLLIN, 0};
+    const int n = ::poll(&pfd, 1, wait_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (n > 0) return true;  // readable, EOF, or error — a read will resolve it
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+  }
+}
+
+/// read_upto, but every read first waits for readability with a sliding
+/// per-progress deadline: a stall is `stall_timeout` with no bytes at all,
+/// so a large frame that keeps trickling is never misdiagnosed. Returns
+/// bytes read (< len only on EOF); throws DecodeError on a stall.
+std::size_t read_upto_stall(int fd, void* data, std::size_t len,
+                            std::chrono::milliseconds stall_timeout) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    if (!wait_readable_until(fd,
+                             std::chrono::steady_clock::now() + stall_timeout))
+      throw codec::DecodeError(
+          "pipe_io: stream stalled mid-frame (peer frozen?)");
+    const ssize_t n = ::read(fd, p + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("read");
+    }
+    if (n == 0) break;  // EOF
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+}  // namespace
+
+bool wait_readable(int fd, std::chrono::milliseconds timeout) {
+  return wait_readable_until(fd, std::chrono::steady_clock::now() + timeout);
+}
+
+std::optional<std::vector<std::uint8_t>> read_frame_deadline(
+    int fd, std::chrono::milliseconds stall_timeout) {
+  std::uint8_t header[4];
+  const std::size_t got = read_upto_stall(fd, header, 4, stall_timeout);
+  if (got == 0) return std::nullopt;
+  if (got < 4)
+    throw codec::DecodeError("pipe_io: stream ended inside a frame header");
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  if (len > kMaxFrameBytes)
+    throw codec::DecodeError("pipe_io: frame length " + std::to_string(len) +
+                             " exceeds limit (corrupt stream?)");
+  std::vector<std::uint8_t> payload(len);
+  if (read_upto_stall(fd, payload.data(), len, stall_timeout) < len)
     throw codec::DecodeError("pipe_io: stream ended inside a frame payload");
   return payload;
 }

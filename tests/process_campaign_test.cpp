@@ -369,17 +369,27 @@ TEST(CacheSinkTest, WarmsACacheFromAPlainCampaign) {
 TEST(RunnerSpec, ParsesEveryBackend) {
   EXPECT_EQ(campaign::parse_runner_spec("serial")->name(), "serial");
   EXPECT_EQ(campaign::parse_runner_spec("threads:3")->name(), "thread-pool(3)");
-  EXPECT_EQ(campaign::parse_runner_spec("procs:5")->name(), "process-pool(5)");
+  // procs:N is the crash-tolerant dynamic work queue over local worker
+  // processes; the static round-robin sharder stays reachable by name.
+  EXPECT_EQ(campaign::parse_runner_spec("procs:5")->name(),
+            "remote(subprocess:5)");
   EXPECT_EQ(campaign::parse_runner_spec("procs:5")->parallelism(), 5);
+  EXPECT_EQ(campaign::parse_runner_spec("static-procs:5")->name(),
+            "process-pool(5)");
+  EXPECT_EQ(campaign::parse_runner_spec("static-procs:5")->parallelism(), 5);
   // Legacy bare integers keep working.
   EXPECT_EQ(campaign::parse_runner_spec("1")->name(), "serial");
   EXPECT_EQ(campaign::parse_runner_spec("4")->name(), "thread-pool(4)");
 }
 
 TEST(RunnerSpec, RejectsMalformedSpecs) {
-  for (const char* bad : {"", "serial:2", "threads:", "threads:0", "procs:-1",
-                          "procs:x", "fibers:2", "2.5"})
+  for (const char* bad :
+       {"", "serial:2", "threads:", "threads:0", "procs:-1", "procs:x",
+        "static-procs:", "static-procs:0", "remote:", "fibers:2", "2.5"})
     EXPECT_THROW(campaign::parse_runner_spec(bad), ConfigError) << bad;
+  // remote: with a missing hostfile fails with the path in the message.
+  EXPECT_THROW(campaign::parse_runner_spec("remote:/no/such/hostfile"),
+               ConfigError);
 }
 
 }  // namespace

@@ -1,0 +1,663 @@
+// Runner fault injection: RemoteRunner must survive workers that are
+// SIGKILLed, hang, close their stream, corrupt frames, or drop results
+// mid-campaign — completing the campaign with results and a sink event
+// sequence byte-identical to SerialRunner, every experiment emitted exactly
+// once, and the recovery visible in Campaign::Summary (requeued /
+// workers_lost). Also covers the `remote:`/`procs:` runner specs, hostfile
+// parsing, SshTransport argv construction (plus an end-to-end run through a
+// local ssh shim), and the `lokimeasure --worker` stride CLI.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fcntl.h>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "apps/election.hpp"
+#include "apps/registry.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/process_runner.hpp"
+#include "campaign/remote_runner.hpp"
+#include "campaign/transport.hpp"
+#include "runtime/serialize.hpp"
+#include "util/codec.hpp"
+#include "util/error.hpp"
+#include "util/pipe_io.hpp"
+#include "util/text_file.hpp"
+
+namespace loki {
+namespace {
+
+using runtime::ExperimentParams;
+using runtime::ExperimentResult;
+
+struct RegisterApps {
+  RegisterApps() { apps::register_builtin_apps(); }
+};
+const RegisterApps kRegistered;
+
+const std::vector<std::string> kHosts = {"hostA", "hostB", "hostC"};
+const std::vector<std::pair<std::string, std::string>> kPlacement = {
+    {"black", "hostA"}, {"yellow", "hostB"}, {"green", "hostC"}};
+
+ExperimentParams election_params(std::uint64_t seed) {
+  apps::ElectionParams app;
+  app.run_for = milliseconds(300);
+  app.fault_activation_prob = 0.85;
+  return apps::election_experiment(seed, kHosts, kPlacement, app);
+}
+
+runtime::StudyParams fault_study(const std::string& name, int experiments,
+                                 std::uint64_t base_seed = 21'000) {
+  runtime::StudyParams study;
+  study.name = name;
+  study.experiments = experiments;
+  study.make_params = [base_seed](int k) {
+    auto p = election_params(base_seed + static_cast<std::uint64_t>(k));
+    p.nodes[0].fault_spec =
+        spec::parse_fault_spec("bfault1 (black:LEAD) always\n", "t");
+    p.nodes[0].restart.enabled = true;
+    p.nodes[0].restart.delay = milliseconds(60);
+    return p;
+  };
+  return study;
+}
+
+/// One observed sink event, rendered comparable.
+struct Event {
+  std::string kind;
+  std::string study;
+  int index{-1};
+  std::vector<std::uint8_t> result_bytes;
+
+  bool operator==(const Event&) const = default;
+};
+
+struct CampaignRun {
+  std::vector<Event> events;
+  Campaign::Summary summary;
+};
+
+/// Run `study` through `runner` via the full Campaign, recording the exact
+/// sink event sequence (results as encoded bytes) and the summary.
+CampaignRun run_recorded(std::shared_ptr<campaign::Runner> runner,
+                         const runtime::StudyParams& study) {
+  CampaignRun run;
+  auto sink = std::make_shared<campaign::CallbackSink>();
+  sink->campaign_begin([&](int n) {
+    run.events.push_back({"campaign_begin", std::to_string(n), -1, {}});
+  });
+  sink->study_begin([&](const campaign::StudyInfo& info) {
+    run.events.push_back({"study_begin", info.name, -1, {}});
+  });
+  sink->experiment([&](const campaign::StudyInfo& info, int index,
+                       const ExperimentResult& result) {
+    run.events.push_back({"experiment", info.name, index,
+                          runtime::encode_experiment_result(result)});
+  });
+  sink->study_done([&](const campaign::StudyInfo& info) {
+    run.events.push_back({"study_done", info.name, -1, {}});
+  });
+  sink->campaign_done(
+      [&] { run.events.push_back({"campaign_done", "", -1, {}}); });
+
+  CampaignBuilder builder;
+  builder.add(study).runner(std::move(runner)).sink(sink);
+  run.summary = builder.build().run();
+  return run;
+}
+
+void expect_identical_events(const std::vector<Event>& expected,
+                             const std::vector<Event>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(expected[i], actual[i]) << "event " << i;
+}
+
+/// Every index emitted exactly once, in order.
+void expect_exactly_once(const std::vector<Event>& events, int experiments) {
+  std::map<int, int> seen;
+  for (const Event& e : events)
+    if (e.kind == "experiment") ++seen[e.index];
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(experiments));
+  for (const auto& [index, count] : seen)
+    EXPECT_EQ(count, 1) << "experiment " << index;
+}
+
+std::string temp_dir(const std::string& tag) {
+  const std::string dir = testing::TempDir() + "loki-remote-" + tag + "-" +
+                          std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Options tuned for tests: tiny leases (more scheduling edges) and a hang
+/// timeout far above one experiment's runtime but small enough to keep
+/// hang-detection tests quick.
+campaign::RemoteOptions test_options(int lease_size = 2) {
+  campaign::RemoteOptions options;
+  options.lease_size = lease_size;
+  options.hang_timeout = std::chrono::milliseconds(5'000);
+  options.shutdown_grace = std::chrono::milliseconds(500);
+  return options;
+}
+
+// --- byte-identity with SerialRunner ----------------------------------------
+
+TEST(RemoteRunner, FakeTransportIdenticalToSerial) {
+  const auto study = fault_study("fake-identity", 9);
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+  auto transport = std::make_shared<campaign::FakeTransport>(3);
+  const auto remote = run_recorded(
+      std::make_shared<campaign::RemoteRunner>(transport, test_options()),
+      study);
+  expect_identical_events(serial.events, remote.events);
+  EXPECT_EQ(remote.summary.requeued, 0);
+  EXPECT_EQ(remote.summary.workers_lost, 0);
+}
+
+// The acceptance check: a SubprocessTransport campaign over >= 2 real
+// worker processes is byte-identical to SerialRunner, sink order included.
+TEST(RemoteRunner, SubprocessIdenticalToSerial) {
+  const auto study = fault_study("subprocess-identity", 9);
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+  const auto remote = run_recorded(
+      std::make_shared<campaign::RemoteRunner>(
+          std::make_shared<campaign::SubprocessTransport>(2), test_options()),
+      study);
+  expect_identical_events(serial.events, remote.events);
+}
+
+TEST(RemoteRunner, SingleIndexLeasesIdenticalToSerial) {
+  const auto study = fault_study("lease1-identity", 7);
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+  const auto remote = run_recorded(
+      std::make_shared<campaign::RemoteRunner>(
+          std::make_shared<campaign::FakeTransport>(2), test_options(1)),
+      study);
+  expect_identical_events(serial.events, remote.events);
+}
+
+TEST(RemoteRunner, MoreWorkersThanLeases) {
+  const auto study = fault_study("overprovisioned", 2);
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+  const auto remote = run_recorded(
+      std::make_shared<campaign::RemoteRunner>(
+          std::make_shared<campaign::FakeTransport>(8), test_options()),
+      study);
+  expect_identical_events(serial.events, remote.events);
+}
+
+TEST(RemoteRunner, TwoStudiesReconnectWorkers) {
+  auto transport = std::make_shared<campaign::FakeTransport>(2);
+  auto runner =
+      std::make_shared<campaign::RemoteRunner>(transport, test_options());
+  auto collect = std::make_shared<campaign::CollectSink>();
+  CampaignBuilder builder;
+  builder.add(fault_study("first", 4, 31'000))
+      .add(fault_study("second", 4, 32'000))
+      .runner(runner)
+      .sink(collect);
+  builder.build().run();
+  const runtime::CampaignResult got = collect->take();
+  const runtime::CampaignResult want = runtime::run_campaign(
+      {fault_study("first", 4, 31'000), fault_study("second", 4, 32'000)});
+  ASSERT_EQ(got.studies.size(), want.studies.size());
+  for (std::size_t s = 0; s < got.studies.size(); ++s) {
+    ASSERT_EQ(got.studies[s].experiments.size(),
+              want.studies[s].experiments.size());
+    for (std::size_t k = 0; k < got.studies[s].experiments.size(); ++k)
+      EXPECT_EQ(
+          runtime::encode_experiment_result(got.studies[s].experiments[k]),
+          runtime::encode_experiment_result(want.studies[s].experiments[k]));
+  }
+}
+
+// --- fault injection: the runner under its own medicine ----------------------
+
+TEST(RemoteRunnerFaults, FakeWorkerKilledMidCampaign) {
+  const auto study = fault_study("fake-kill", 9);
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+
+  auto transport = std::make_shared<campaign::FakeTransport>(2);
+  // 3-index leases, killed after 2 results: the fault always lands
+  // mid-lease, so at least one index is left outstanding to requeue.
+  transport->kill_after_results(0, 2);
+  const auto remote = run_recorded(
+      std::make_shared<campaign::RemoteRunner>(transport, test_options(3)),
+      study);
+  expect_identical_events(serial.events, remote.events);
+  expect_exactly_once(remote.events, study.experiments);
+  EXPECT_GE(remote.summary.requeued, 1);
+  EXPECT_GE(remote.summary.workers_lost, 1);
+}
+
+TEST(RemoteRunnerFaults, SubprocessWorkerSigkilledMidCampaign) {
+  // A decorator transport that SIGKILLs the victim's real process after n
+  // Result frames were delivered — a genuine mid-campaign worker crash.
+  class ChaosLink final : public campaign::WorkerLink {
+   public:
+    ChaosLink(std::unique_ptr<campaign::WorkerLink> inner, int kill_after)
+        : inner_(std::move(inner)), kill_after_(kill_after) {}
+    void send(const std::vector<std::uint8_t>& frame) override {
+      inner_->send(frame);
+    }
+    campaign::RecvOutcome recv(std::chrono::milliseconds timeout) override {
+      campaign::RecvOutcome out = inner_->recv(timeout);
+      if (out.status == campaign::RecvOutcome::Status::Frame &&
+          !out.frame.empty() &&
+          out.frame[0] ==
+              static_cast<std::uint8_t>(runtime::WorkerFrame::Result) &&
+          ++seen_ == kill_after_)
+        inner_->kill();
+      return out;
+    }
+    void kill() override { inner_->kill(); }
+    std::string describe() const override { return inner_->describe(); }
+    bool needs_study_bytes() const override {
+      return inner_->needs_study_bytes();
+    }
+
+   private:
+    std::unique_ptr<campaign::WorkerLink> inner_;
+    int kill_after_;
+    int seen_{0};
+  };
+  class ChaosTransport final : public campaign::Transport {
+   public:
+    ChaosTransport(std::shared_ptr<campaign::Transport> inner, int victim,
+                   int kill_after)
+        : inner_(std::move(inner)), victim_(victim), kill_after_(kill_after) {}
+    std::string name() const override { return "chaos(" + inner_->name() + ")"; }
+    int worker_count() const override { return inner_->worker_count(); }
+    std::unique_ptr<campaign::WorkerLink> connect(
+        int index, const runtime::StudyParams& study) override {
+      auto link = inner_->connect(index, study);
+      if (index != victim_) return link;
+      return std::make_unique<ChaosLink>(std::move(link), kill_after_);
+    }
+
+   private:
+    std::shared_ptr<campaign::Transport> inner_;
+    int victim_;
+    int kill_after_;
+  };
+
+  const auto study = fault_study("subprocess-kill", 10);
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+
+  auto transport = std::make_shared<ChaosTransport>(
+      std::make_shared<campaign::SubprocessTransport>(2), /*victim=*/0,
+      /*kill_after=*/1);
+  const auto remote = run_recorded(
+      std::make_shared<campaign::RemoteRunner>(transport, test_options()),
+      study);
+  expect_identical_events(serial.events, remote.events);
+  expect_exactly_once(remote.events, study.experiments);
+  EXPECT_GE(remote.summary.requeued, 1);
+  EXPECT_GE(remote.summary.workers_lost, 1);
+}
+
+TEST(RemoteRunnerFaults, HungWorkerIsTimedOutAndRequeued) {
+  const auto study = fault_study("fake-hang", 8);
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+
+  // Three workers: even if CPU starvation on a loaded machine makes a
+  // *healthy* worker cross the hang threshold too (a spurious but
+  // legitimate kill+requeue), a survivor remains and the campaign still
+  // completes identically. The timeout itself stays well above any
+  // plausible single-experiment latency.
+  auto transport = std::make_shared<campaign::FakeTransport>(3);
+  transport->hang_after_results(0, 1);  // goes silent, no EOF
+  campaign::RemoteOptions options = test_options();
+  options.hang_timeout = std::chrono::milliseconds(2'000);
+  const auto remote = run_recorded(
+      std::make_shared<campaign::RemoteRunner>(transport, options), study);
+  expect_identical_events(serial.events, remote.events);
+  expect_exactly_once(remote.events, study.experiments);
+  EXPECT_GE(remote.summary.requeued, 1);
+  EXPECT_GE(remote.summary.workers_lost, 1);
+}
+
+TEST(RemoteRunnerFaults, WedgeBetweenLastResultAndLeaseDoneIsStillHung) {
+  // The nastiest hang: the worker delivers every Result of its lease, then
+  // freezes before LeaseDone. Nothing is outstanding to requeue, but the
+  // worker is not idle either — it must still be declared hung and killed,
+  // or it would silently shrink the fleet (and hang a 1-worker campaign).
+  const auto study = fault_study("fake-wedge", 8);
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+
+  auto transport = std::make_shared<campaign::FakeTransport>(1);
+  // lease_size 2 => worker 0's first lease is exactly 2 indices; hanging
+  // after 2 results withholds precisely the LeaseDone frame.
+  transport->hang_after_results(0, 2);
+  campaign::RemoteOptions options = test_options();
+  options.hang_timeout = std::chrono::milliseconds(1'000);
+  auto runner = std::make_shared<campaign::RemoteRunner>(transport, options);
+
+  // A single worker that is lost cannot finish the study — the campaign
+  // must fail loudly (all workers lost), not hang. With >1 workers the
+  // same detection instead keeps the fleet at full strength.
+  std::vector<int> emitted;
+  EXPECT_THROW(runner->run_study(
+                   study, [&](int k, ExperimentResult&&) { emitted.push_back(k); }),
+               std::runtime_error);
+  EXPECT_EQ(emitted, (std::vector<int>{0, 1}));
+  EXPECT_EQ(runner->telemetry().workers_lost, 1);
+
+  // With survivors, the same wedge is harmless: the rest of the fleet
+  // finishes first (the wedged worker's results all arrived, so nothing
+  // needs requeueing) and teardown reaps it — identity intact either way.
+  auto transport2 = std::make_shared<campaign::FakeTransport>(3);
+  transport2->hang_after_results(0, 2);
+  const auto remote = run_recorded(
+      std::make_shared<campaign::RemoteRunner>(transport2, options), study);
+  expect_identical_events(serial.events, remote.events);
+  expect_exactly_once(remote.events, study.experiments);
+}
+
+TEST(RemoteRunnerFaults, StreamEofMidLeaseIsRequeued) {
+  const auto study = fault_study("fake-eof", 8);
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+
+  auto transport = std::make_shared<campaign::FakeTransport>(2);
+  transport->eof_after_results(0, 1);
+  const auto remote = run_recorded(
+      std::make_shared<campaign::RemoteRunner>(transport, test_options()),
+      study);
+  expect_identical_events(serial.events, remote.events);
+  expect_exactly_once(remote.events, study.experiments);
+  EXPECT_GE(remote.summary.requeued, 1);
+}
+
+TEST(RemoteRunnerFaults, CorruptResultFrameKillsWorkerNotCampaign) {
+  const auto study = fault_study("fake-corrupt", 8);
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+
+  auto transport = std::make_shared<campaign::FakeTransport>(2);
+  transport->corrupt_result(0, 1);
+  const auto remote = run_recorded(
+      std::make_shared<campaign::RemoteRunner>(transport, test_options()),
+      study);
+  expect_identical_events(serial.events, remote.events);
+  expect_exactly_once(remote.events, study.experiments);
+  EXPECT_GE(remote.summary.workers_lost, 1);
+}
+
+TEST(RemoteRunnerFaults, DroppedResultIsRequeuedWithoutLosingTheWorker) {
+  const auto study = fault_study("fake-drop", 8);
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+
+  auto transport = std::make_shared<campaign::FakeTransport>(2);
+  transport->drop_result(0, 2);
+  const auto remote = run_recorded(
+      std::make_shared<campaign::RemoteRunner>(transport, test_options()),
+      study);
+  expect_identical_events(serial.events, remote.events);
+  expect_exactly_once(remote.events, study.experiments);
+  EXPECT_GE(remote.summary.requeued, 1);
+  EXPECT_EQ(remote.summary.workers_lost, 0);
+}
+
+TEST(RemoteRunnerFaults, DelayedResultIsJustSlow) {
+  const auto study = fault_study("fake-delay", 6);
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+
+  auto transport = std::make_shared<campaign::FakeTransport>(2);
+  transport->delay_result(0, 1, std::chrono::milliseconds(50));
+  const auto remote = run_recorded(
+      std::make_shared<campaign::RemoteRunner>(transport, test_options()),
+      study);
+  expect_identical_events(serial.events, remote.events);
+  EXPECT_EQ(remote.summary.requeued, 0);
+  EXPECT_EQ(remote.summary.workers_lost, 0);
+}
+
+TEST(RemoteRunnerFaults, AllWorkersLostThrows) {
+  const auto study = fault_study("fake-apocalypse", 8);
+  auto transport = std::make_shared<campaign::FakeTransport>(2);
+  transport->kill_after_results(0, 1);
+  transport->kill_after_results(1, 1);
+
+  std::vector<int> emitted;
+  campaign::RemoteRunner runner(transport, test_options());
+  try {
+    runner.run_study(study, [&](int k, ExperimentResult&&) {
+      emitted.push_back(k);
+    });
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("all 2 workers lost"),
+              std::string::npos)
+        << e.what();
+  }
+  // Whatever prefix was emitted arrived in order, each index at most once.
+  for (std::size_t i = 0; i < emitted.size(); ++i)
+    EXPECT_EQ(emitted[i], static_cast<int>(i));
+  EXPECT_EQ(runner.telemetry().workers_lost, 2);
+}
+
+// --- failure-prefix semantics across the wire --------------------------------
+
+TEST(RemoteRunnerFaults, ExperimentFailurePrefixMatchesSerial) {
+  // Index 3 fails *validation* (duplicate nickname) inside the worker —
+  // generation must survive encode_study_params for wire transports.
+  runtime::StudyParams study = fault_study("failing", 6, 41'000);
+  auto inner = study.make_params;
+  study.make_params = [inner](int k) {
+    auto p = inner(k);
+    if (k == 3) p.nodes.push_back(p.nodes[0]);
+    return p;
+  };
+
+  const auto run_one = [&](std::shared_ptr<campaign::Runner> runner) {
+    std::vector<int> emitted;
+    std::string error;
+    try {
+      runner->run_study(study, [&](int k, ExperimentResult&&) {
+        emitted.push_back(k);
+      });
+    } catch (const ConfigError& e) {
+      error = e.what();
+    }
+    return std::pair(emitted, error);
+  };
+
+  const auto [serial_emitted, serial_error] =
+      run_one(std::make_shared<campaign::SerialRunner>());
+  const auto [remote_emitted, remote_error] =
+      run_one(std::make_shared<campaign::RemoteRunner>(
+          std::make_shared<campaign::FakeTransport>(2), test_options(1)));
+
+  EXPECT_EQ(serial_emitted, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(remote_emitted, serial_emitted);
+  ASSERT_FALSE(serial_error.empty());
+  ASSERT_FALSE(remote_error.empty());
+  EXPECT_NE(remote_error.find("experiment 3"), std::string::npos)
+      << remote_error;
+}
+
+TEST(RemoteRunnerFaults, GeneratorThrowInForkedWorkerIsRehydrated) {
+  // fork()-mode workers inherit the closure, so even generator failures
+  // happen worker-side and must come back as the original ConfigError.
+  runtime::StudyParams study = fault_study("genfail", 6, 42'000);
+  auto inner = study.make_params;
+  study.make_params = [inner](int k) {
+    if (k == 3) throw ConfigError("generator exploded at " + std::to_string(k));
+    return inner(k);
+  };
+
+  std::vector<int> emitted;
+  std::string error;
+  campaign::RemoteRunner runner(
+      std::make_shared<campaign::SubprocessTransport>(2), test_options(1));
+  try {
+    runner.run_study(study, [&](int k, ExperimentResult&&) {
+      emitted.push_back(k);
+    });
+  } catch (const ConfigError& e) {
+    error = e.what();
+  }
+  EXPECT_EQ(emitted, (std::vector<int>{0, 1, 2}));
+  EXPECT_NE(error.find("generator exploded at 3"), std::string::npos) << error;
+}
+
+// --- options and construction ------------------------------------------------
+
+TEST(RemoteRunnerConfig, RejectsBadConstruction) {
+  EXPECT_THROW(campaign::RemoteRunner(nullptr), ConfigError);
+  campaign::RemoteOptions bad_lease;
+  bad_lease.lease_size = 0;
+  EXPECT_THROW(campaign::RemoteRunner(
+                   std::make_shared<campaign::FakeTransport>(1), bad_lease),
+               ConfigError);
+  EXPECT_THROW(campaign::FakeTransport(0), ConfigError);
+  EXPECT_THROW(campaign::SubprocessTransport(0), ConfigError);
+  EXPECT_THROW(campaign::SubprocessTransport(2, {}), ConfigError);
+}
+
+// --- runner specs, hostfiles, ssh argv ---------------------------------------
+
+TEST(RemoteSpec, HostfileParsing) {
+  const std::string text =
+      "# fleet\n"
+      "db1.example\n"
+      "\n"
+      "db2.example   # trailing comment\n";
+  const auto hosts = campaign::parse_hostfile(text, "hosts.txt");
+  EXPECT_EQ(hosts, (std::vector<std::string>{"db1.example", "db2.example"}));
+  EXPECT_THROW(campaign::parse_hostfile("", "empty.txt"), ConfigError);
+  EXPECT_THROW(campaign::parse_hostfile("one two\n", "bad.txt"), ConfigError);
+}
+
+TEST(RemoteSpec, RemoteRunnerSpecReadsHostfile) {
+  const std::string dir = temp_dir("hostfile");
+  const std::string path = dir + "/hosts";
+  write_file(path, "# two workers\nalpha\nbeta\n");
+  const auto runner = campaign::parse_runner_spec("remote:" + path);
+  EXPECT_EQ(runner->name(), "remote(ssh:2)");
+  EXPECT_EQ(runner->parallelism(), 2);
+}
+
+TEST(RemoteSpec, SshWorkerArgv) {
+  campaign::SshTransport transport({"db1", "db2"});
+  EXPECT_EQ(transport.worker_argv(1),
+            (std::vector<std::string>{"ssh", "db2", "lokimeasure", "--worker",
+                                      "--serve"}));
+}
+
+// --- end-to-end through the real CLI (needs the built lokimeasure) -----------
+
+std::string lokimeasure_bin() {
+  const char* bin = std::getenv("LOKIMEASURE_BIN");
+  return bin == nullptr ? std::string() : std::string(bin);
+}
+
+TEST(SshTransportEndToEnd, IdenticalToSerialThroughSshShim) {
+  const std::string bin = lokimeasure_bin();
+  if (bin.empty()) GTEST_SKIP() << "LOKIMEASURE_BIN not set";
+
+  // A local stand-in for ssh: drop the host argument, run the remote
+  // command on this machine. Exercises SshTransport's real spawn path.
+  const std::string dir = temp_dir("sshshim");
+  const std::string shim = dir + "/fake-ssh";
+  write_file(shim,
+             "#!/bin/sh\n"
+             "# fake ssh: ignore the host, exec the command locally\n"
+             "shift\n"
+             "exec \"$@\"\n");
+  ASSERT_EQ(::chmod(shim.c_str(), 0755), 0);
+
+  const auto study = fault_study("ssh-identity", 6, 51'000);
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+  auto transport = std::make_shared<campaign::SshTransport>(
+      std::vector<std::string>{"hostA", "hostB"},
+      std::vector<std::string>{bin, "--worker", "--serve"}, shim);
+  const auto remote = run_recorded(
+      std::make_shared<campaign::RemoteRunner>(transport, test_options()),
+      study);
+  expect_identical_events(serial.events, remote.events);
+}
+
+// --- `lokimeasure --worker` stride CLI ---------------------------------------
+
+int run_command(const std::string& command) {
+  const int status = std::system(command.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(WorkerStrideCli, InterleavedShardMatchesDirectExecution) {
+  const std::string bin = lokimeasure_bin();
+  if (bin.empty()) GTEST_SKIP() << "LOKIMEASURE_BIN not set";
+
+  const std::string dir = temp_dir("stride");
+  const auto study = fault_study("stride", 6, 61'000);
+  const std::vector<std::uint8_t> bytes = runtime::encode_study_params(study);
+  write_file(dir + "/study.bin",
+             std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                              bytes.size()));
+
+  ASSERT_EQ(run_command("'" + bin + "' --worker '" + dir +
+                        "/study.bin' 1 6 2 > '" + dir + "/frames.bin' 2>'" +
+                        dir + "/err.txt'"),
+            0);
+
+  // Stride 2 from 1: indices 1, 3, 5 — byte-identical to running them here.
+  const int fd = ::open((dir + "/frames.bin").c_str(), O_RDONLY);
+  ASSERT_GE(fd, 0);
+  for (const int k : {1, 3, 5}) {
+    const auto frame = util::read_frame(fd);
+    ASSERT_TRUE(frame.has_value()) << "missing frame for index " << k;
+    codec::Reader r(*frame);
+    EXPECT_EQ(r.u8(), 0) << "status ok";
+    EXPECT_EQ(r.u32(), static_cast<std::uint32_t>(k));
+    const std::vector<std::uint8_t> encoded(frame->begin() + 5, frame->end());
+    EXPECT_EQ(encoded, runtime::encode_experiment_result(
+                           runtime::run_experiment(study.make_params(k))));
+  }
+  EXPECT_FALSE(util::read_frame(fd).has_value()) << "clean EOF after range";
+  ::close(fd);
+}
+
+TEST(WorkerStrideCli, RejectsNonPositiveStride) {
+  const std::string bin = lokimeasure_bin();
+  if (bin.empty()) GTEST_SKIP() << "LOKIMEASURE_BIN not set";
+
+  const std::string dir = temp_dir("stride-bad");
+  const auto study = fault_study("stride-bad", 3, 62'000);
+  const std::vector<std::uint8_t> bytes = runtime::encode_study_params(study);
+  write_file(dir + "/study.bin",
+             std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                              bytes.size()));
+  EXPECT_NE(run_command("'" + bin + "' --worker '" + dir +
+                        "/study.bin' 0 3 0 > /dev/null 2>&1"),
+            0);
+}
+
+}  // namespace
+}  // namespace loki

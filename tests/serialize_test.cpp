@@ -2,13 +2,23 @@
 // ExperimentParams / ExperimentResult / StudyParams — including NaN/inf
 // statistics, empty timelines and long strings — plus envelope hygiene:
 // version-mismatch rejection, bad magic, truncated frames, trailing bytes.
+// Also the worker frame protocol codecs (Hello/Lease/Result/...) and
+// util/pipe_io framing under corruption: truncated, bit-flipped, and
+// oversized length prefixes must surface as typed DecodeErrors, never a
+// hang, a crash, or a giant allocation.
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <fcntl.h>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "apps/election.hpp"
 #include "apps/registry.hpp"
@@ -17,6 +27,7 @@
 #include "util/codec.hpp"
 #include "util/digest.hpp"
 #include "util/error.hpp"
+#include "util/pipe_io.hpp"
 
 namespace loki {
 namespace {
@@ -263,6 +274,274 @@ TEST(AppArgs, UnknownAndMissingKeysAreRejected) {
       apps::parse_election_args(apps::encode_election_args(p) + " bogus=1"),
       ConfigError);
   EXPECT_THROW(apps::parse_election_args("window=1"), ConfigError);
+}
+
+// --- worker frame protocol ---------------------------------------------------
+
+TEST(WorkerFrames, HelloCarriesOrOmitsTheStudy) {
+  runtime::StudyParams study;
+  study.name = "framed";
+  study.experiments = 2;
+  study.make_params = [](int k) {
+    return sample_params(300 + static_cast<std::uint64_t>(k));
+  };
+
+  const auto with = runtime::encode_hello_frame(&study);
+  EXPECT_EQ(runtime::worker_frame_type(with), runtime::WorkerFrame::Hello);
+  const runtime::HelloFrame hello = runtime::decode_hello_frame(with);
+  EXPECT_EQ(hello.protocol_version, runtime::kWorkerProtocolVersion);
+  ASSERT_TRUE(hello.study.has_value());
+  EXPECT_EQ(hello.study->name, "framed");
+  EXPECT_EQ(hello.study->experiments, 2);
+  for (int k = 0; k < 2; ++k)
+    EXPECT_EQ(runtime::encode_experiment_params(hello.study->make_params(k)),
+              runtime::encode_experiment_params(study.make_params(k)));
+
+  const auto without = runtime::encode_hello_frame(nullptr);
+  EXPECT_FALSE(runtime::decode_hello_frame(without).study.has_value());
+}
+
+TEST(WorkerFrames, ScalarFramesRoundTrip) {
+  const auto ack = runtime::encode_hello_ack_frame(4242);
+  const runtime::HelloAckFrame decoded = runtime::decode_hello_ack_frame(ack);
+  EXPECT_EQ(decoded.protocol_version, runtime::kWorkerProtocolVersion);
+  EXPECT_EQ(decoded.worker_pid, 4242u);
+
+  const runtime::LeaseFrame lease{7, 10, 20, 3};
+  const runtime::LeaseFrame back =
+      runtime::decode_lease_frame(runtime::encode_lease_frame(lease));
+  EXPECT_EQ(back.id, 7u);
+  EXPECT_EQ(back.lo, 10u);
+  EXPECT_EQ(back.hi, 20u);
+  EXPECT_EQ(back.step, 3u);
+
+  EXPECT_EQ(runtime::decode_heartbeat_frame(runtime::encode_heartbeat_frame(9)),
+            9u);
+  EXPECT_EQ(
+      runtime::decode_lease_done_frame(runtime::encode_lease_done_frame(11)),
+      11u);
+  EXPECT_EQ(runtime::worker_frame_type(runtime::encode_shutdown_frame()),
+            runtime::WorkerFrame::Shutdown);
+
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 250};
+  EXPECT_EQ(runtime::decode_ping_frame(runtime::encode_ping_frame(payload)),
+            payload);
+  EXPECT_EQ(runtime::decode_pong_frame(runtime::encode_pong_frame(payload)),
+            payload);
+}
+
+TEST(WorkerFrames, ResultFramesRoundTripBothArms) {
+  const auto ok =
+      runtime::encode_result_ok_frame(5, campaign::run_single(sample_params(13)));
+  const runtime::ResultFrame decoded_ok = runtime::decode_result_frame(ok);
+  EXPECT_TRUE(decoded_ok.ok);
+  EXPECT_EQ(decoded_ok.index, 5u);
+  EXPECT_EQ(runtime::encode_result_ok_frame(5, decoded_ok.result), ok);
+
+  const auto err = runtime::encode_result_error_frame(
+      8, runtime::WireErrorCategory::Config, "bad host 'zeppelin'");
+  const runtime::ResultFrame decoded_err = runtime::decode_result_frame(err);
+  EXPECT_FALSE(decoded_err.ok);
+  EXPECT_EQ(decoded_err.index, 8u);
+  EXPECT_EQ(decoded_err.category, runtime::WireErrorCategory::Config);
+  EXPECT_EQ(decoded_err.message, "bad host 'zeppelin'");
+}
+
+TEST(WorkerFrames, ErrorClassificationSurvivesTheWire) {
+  EXPECT_EQ(runtime::classify_error(ConfigError("x")),
+            runtime::WireErrorCategory::Config);
+  EXPECT_EQ(runtime::classify_error(LogicError("x")),
+            runtime::WireErrorCategory::Logic);
+  EXPECT_EQ(runtime::classify_error(std::runtime_error("x")),
+            runtime::WireErrorCategory::Runtime);
+  EXPECT_THROW(
+      runtime::rethrow_wire_error(runtime::WireErrorCategory::Config, "m"),
+      ConfigError);
+  EXPECT_THROW(
+      runtime::rethrow_wire_error(runtime::WireErrorCategory::Logic, "m"),
+      LogicError);
+  EXPECT_THROW(
+      runtime::rethrow_wire_error(runtime::WireErrorCategory::Runtime, "m"),
+      std::runtime_error);
+}
+
+TEST(WorkerFrames, MalformedFramesAreRejected) {
+  EXPECT_THROW(runtime::worker_frame_type({}), DecodeError);
+  EXPECT_THROW(runtime::worker_frame_type({0}), DecodeError);
+  EXPECT_THROW(runtime::worker_frame_type({0x7f}), DecodeError);
+  // A frame of the wrong type for the decoder at hand.
+  EXPECT_THROW(runtime::decode_lease_frame(runtime::encode_heartbeat_frame(1)),
+               DecodeError);
+  // Truncations of structured frames.
+  auto lease = runtime::encode_lease_frame({1, 0, 4, 1});
+  lease.resize(lease.size() - 3);
+  EXPECT_THROW(runtime::decode_lease_frame(lease), DecodeError);
+  auto ok = runtime::encode_result_ok_frame(0, ExperimentResult{});
+  ok.resize(ok.size() - 1);
+  EXPECT_THROW(runtime::decode_result_frame(ok), DecodeError);
+  // Trailing garbage.
+  auto heartbeat = runtime::encode_heartbeat_frame(2);
+  heartbeat.push_back(0);
+  EXPECT_THROW(runtime::decode_heartbeat_frame(heartbeat), DecodeError);
+  // A zero lease stride can never round (every index would repeat forever).
+  runtime::LeaseFrame zero_step{1, 0, 4, 0};
+  EXPECT_THROW(runtime::decode_lease_frame(
+                   runtime::encode_lease_frame(zero_step)),
+               DecodeError);
+}
+
+// --- util/pipe_io framing under corruption -----------------------------------
+
+/// Write raw bytes to a temp file and return a read fd positioned at 0.
+/// File-backed (not a pipe) so a decoding bug can only fail, never block.
+class RawStream {
+ public:
+  explicit RawStream(const std::vector<std::uint8_t>& bytes) {
+    path_ = testing::TempDir() + "loki-pipeio-" + std::to_string(::getpid()) +
+            "-" + std::to_string(counter_++);
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    if (f == nullptr) throw std::runtime_error("RawStream: fopen");
+    if (!bytes.empty()) std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    fd_ = ::open(path_.c_str(), O_RDONLY);
+  }
+  ~RawStream() {
+    if (fd_ >= 0) ::close(fd_);
+    std::remove(path_.c_str());
+  }
+  int fd() const { return fd_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::string path_;
+  int fd_{-1};
+};
+
+std::vector<std::uint8_t> frame_bytes(const std::vector<std::uint8_t>& payload) {
+  // Reuse write_frame itself to produce a well-formed frame on disk.
+  const std::string path = testing::TempDir() + "loki-pipeio-mk-" +
+                           std::to_string(::getpid());
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0600);
+  EXPECT_GE(fd, 0);
+  util::write_frame(fd, payload);
+  ::close(fd);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::vector<std::uint8_t> bytes;
+  int c;
+  while ((c = std::fgetc(f)) != EOF) bytes.push_back(static_cast<std::uint8_t>(c));
+  std::fclose(f);
+  std::remove(path.c_str());
+  return bytes;
+}
+
+TEST(PipeIoCorruption, WellFormedFrameRoundTrips) {
+  const std::vector<std::uint8_t> payload = {9, 8, 7, 6, 5};
+  RawStream stream(frame_bytes(payload));
+  EXPECT_EQ(util::read_frame(stream.fd()), payload);
+  EXPECT_FALSE(util::read_frame(stream.fd()).has_value()) << "clean EOF";
+}
+
+TEST(PipeIoCorruption, EmptyPayloadFrameIsValid) {
+  RawStream stream(frame_bytes({}));
+  const auto frame = util::read_frame(stream.fd());
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(frame->empty());
+}
+
+TEST(PipeIoCorruption, TruncatedHeaderIsRejected) {
+  for (std::size_t keep : {1u, 2u, 3u}) {
+    auto bytes = frame_bytes({1, 2, 3});
+    bytes.resize(keep);
+    RawStream stream(bytes);
+    EXPECT_THROW(util::read_frame(stream.fd()), codec::DecodeError)
+        << "header bytes kept: " << keep;
+  }
+}
+
+TEST(PipeIoCorruption, TruncatedPayloadIsRejected) {
+  auto bytes = frame_bytes(std::vector<std::uint8_t>(100, 0xab));
+  bytes.resize(bytes.size() - 40);
+  RawStream stream(bytes);
+  EXPECT_THROW(util::read_frame(stream.fd()), codec::DecodeError);
+}
+
+TEST(PipeIoCorruption, BitFlippedLengthIsRejectedNotMisread) {
+  // Flipping a high bit of the length prefix turns a 4-byte payload into a
+  // claimed ~64MB one; the stream ends long before that, so the reader must
+  // reject it instead of blocking or fabricating data.
+  auto bytes = frame_bytes({1, 2, 3, 4});
+  bytes[3] ^= 0x04;  // length prefix is little-endian bytes [0,4)
+  RawStream stream(bytes);
+  EXPECT_THROW(util::read_frame(stream.fd()), codec::DecodeError);
+}
+
+TEST(PipeIoCorruption, OversizedLengthIsRejectedBeforeAllocating) {
+  // Length prefix far beyond kMaxFrameBytes: must throw immediately (no
+  // 3GB reserve attempt).
+  std::vector<std::uint8_t> bytes = {0xff, 0xff, 0xff, 0xff, 0x00};
+  RawStream stream(bytes);
+  try {
+    util::read_frame(stream.fd());
+    FAIL() << "expected DecodeError";
+  } catch (const codec::DecodeError& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds limit"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PipeIoCorruption, MidFrameStallIsDetectedNotBlocked) {
+  // A peer that freezes after a partial frame (here: header promises 10
+  // bytes, only 2 arrive, no EOF) must surface as a typed error within the
+  // stall timeout — this is what hung-worker detection rides on.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::uint8_t partial[] = {10, 0, 0, 0, 0xaa, 0xbb};
+  ASSERT_EQ(::write(fds[1], partial, sizeof partial),
+            static_cast<ssize_t>(sizeof partial));
+  const auto before = std::chrono::steady_clock::now();
+  try {
+    util::read_frame_deadline(fds[0], std::chrono::milliseconds(150));
+    FAIL() << "expected DecodeError";
+  } catch (const codec::DecodeError& e) {
+    EXPECT_NE(std::string(e.what()).find("stalled"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_GE(std::chrono::steady_clock::now() - before,
+            std::chrono::milliseconds(140));
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(PipeIoCorruption, SlowButSteadyFrameIsNotAStall) {
+  // The stall deadline slides on progress: a frame trickling in slower
+  // than the timeout in total — but never silent that long at once — must
+  // still be read whole.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5, 6};
+  const std::vector<std::uint8_t> bytes = frame_bytes(payload);
+  std::thread dribbler([&] {
+    for (const std::uint8_t b : bytes) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      ASSERT_EQ(::write(fds[1], &b, 1), 1);
+    }
+    ::close(fds[1]);
+  });
+  const auto frame = util::read_frame_deadline(fds[0],
+                                               std::chrono::milliseconds(120));
+  dribbler.join();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(*frame, payload);
+  ::close(fds[0]);
+}
+
+TEST(PipeIoCorruption, GarbageBetweenFramesIsRejected) {
+  auto good = frame_bytes({5, 5, 5});
+  std::vector<std::uint8_t> bytes = good;
+  bytes.push_back(0x4c);  // one stray byte, then EOF
+  RawStream stream(bytes);
+  EXPECT_EQ(util::read_frame(stream.fd()), (std::vector<std::uint8_t>{5, 5, 5}));
+  EXPECT_THROW(util::read_frame(stream.fd()), codec::DecodeError);
 }
 
 TEST(Digest, Sha256KnownVectors) {

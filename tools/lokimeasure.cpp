@@ -14,14 +14,23 @@
 // 3. Emit the same demo study in the versioned wire format:
 //      lokimeasure --emit-study <out.bin> [--experiments N] [--seed S]
 //
-// 4. Shard worker: decode an encoded StudyParams, run an index range, and
-//    stream encoded results as length-prefixed frames to stdout — the
-//    exec'd counterpart of ProcessPoolRunner's forked shards:
-//      lokimeasure --worker <study.bin> <lo> <hi>
+// 4. Shard worker, two flavours:
+//    a. Fixed range: decode an encoded StudyParams, run indices lo, lo+step,
+//       ... (< hi), and stream encoded results as length-prefixed frames to
+//       stdout — the exec'd counterpart of ProcessPoolRunner's forked
+//       shards:
+//         lokimeasure --worker <study.bin> <lo> <hi> [step]
+//    b. Serve mode: speak the full worker frame protocol (Hello/Lease/
+//       Result/..., runtime/serialize.hpp) on stdin/stdout — what
+//       RemoteRunner's SubprocessTransport and SshTransport exec. The study
+//       normally arrives inside the Hello frame; an optional study file is
+//       the fallback for pre-shipped studies:
+//         lokimeasure --worker --serve [study.bin]
 #include <cstdio>
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,6 +43,8 @@
 #include "campaign/cache.hpp"
 #include "campaign/campaign.hpp"
 #include "campaign/process_runner.hpp"
+#include "campaign/remote_runner.hpp"
+#include "campaign/transport.hpp"
 #include "measure/observation.hpp"
 #include "measure/predicate.hpp"
 #include "measure/study_measure.hpp"
@@ -48,10 +59,12 @@ using namespace loki;
 constexpr const char* kUsage =
     "usage: lokimeasure <AlphabetaFile> <predicate> <start_ms> <end_ms> "
     "<LocalTimelineFile>...\n"
-    "       lokimeasure --campaign [--runner serial|threads:N|procs:N] "
+    "       lokimeasure --campaign "
+    "[--runner serial|threads:N|procs:N|static-procs:N|remote:HOSTFILE] "
     "[--cache DIR] [--experiments N] [--seed S]\n"
     "       lokimeasure --emit-study <out.bin> [--experiments N] [--seed S]\n"
-    "       lokimeasure --worker <study.bin> <lo> <hi>\n";
+    "       lokimeasure --worker <study.bin> <lo> <hi> [step]\n"
+    "       lokimeasure --worker --serve [study.bin]\n";
 
 /// Options shared by the modes that build the demo study.
 struct DemoOptions {
@@ -200,6 +213,9 @@ int run_campaign_mode(const std::vector<std::string>& args) {
                  static_cast<unsigned long long>(cache->stats().stores));
   std::fprintf(stderr, "cache_hits=%d of %d\n", summary.cache_hits,
                summary.experiments);
+  if (summary.requeued > 0 || summary.workers_lost > 0)
+    std::fprintf(stderr, "fault recovery: requeued=%d workers_lost=%d\n",
+                 summary.requeued, summary.workers_lost);
   return 0;
 }
 
@@ -221,20 +237,39 @@ int run_emit_study_mode(const std::vector<std::string>& args) {
   return 0;
 }
 
-int run_worker_mode(const std::vector<std::string>& args) {
-  if (args.size() != 3)
-    throw ConfigError("--worker needs <study.bin> <lo> <hi>");
-  apps::register_builtin_apps();
-  const std::string content = read_file(args[0]);
+runtime::StudyParams load_study_file(const std::string& path) {
+  const std::string content = read_file(path);
   const std::vector<std::uint8_t> bytes(content.begin(), content.end());
-  const runtime::StudyParams study = runtime::decode_study_params(bytes);
+  return runtime::decode_study_params(bytes);
+}
+
+int run_worker_mode(const std::vector<std::string>& args) {
+  apps::register_builtin_apps();
+
+  if (!args.empty() && args[0] == "--serve") {
+    if (args.size() > 2)
+      throw ConfigError("--worker --serve takes at most one study file");
+    std::optional<runtime::StudyParams> fallback;
+    if (args.size() == 2) fallback = load_study_file(args[1]);
+    campaign::FdFrameChannel channel(STDIN_FILENO, STDOUT_FILENO);
+    // stdout carries frames only; everything diagnostic goes to stderr.
+    campaign::serve_worker(channel, fallback ? &*fallback : nullptr);
+    return 0;
+  }
+
+  if (args.size() < 3 || args.size() > 4)
+    throw ConfigError("--worker needs <study.bin> <lo> <hi> [step]");
+  const runtime::StudyParams study = load_study_file(args[0]);
   const int lo = int_arg("--worker <lo>", args[1]);
   const int hi = int_arg("--worker <hi>", args[2]);
+  const int step = args.size() == 4 ? int_arg("--worker <step>", args[3]) : 1;
   if (lo < 0 || hi > study.experiments || lo > hi)
     throw ConfigError("--worker range [" + args[1] + ", " + args[2] +
                       ") outside study of " +
                       std::to_string(study.experiments) + " experiments");
-  campaign::run_worker_range(study, lo, hi, /*step=*/1, STDOUT_FILENO);
+  if (step < 1)
+    throw ConfigError("--worker stride must be >= 1, got " + args[3]);
+  campaign::run_worker_range(study, lo, hi, step, STDOUT_FILENO);
   return 0;
 }
 
