@@ -13,6 +13,7 @@
 #include "measure/worked_example.hpp"
 #include "runtime/compiled_fault.hpp"
 #include "runtime/dictionary.hpp"
+#include "runtime/experiment_context.hpp"
 #include "runtime/fault_parser.hpp"
 #include "runtime/recorder.hpp"
 #include "runtime/experiment.hpp"
@@ -200,6 +201,35 @@ void BM_FullElectionExperiment(benchmark::State& state) {
       static_cast<double>(events), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FullElectionExperiment)->Unit(benchmark::kMillisecond);
+
+void BM_ContextElectionExperiment(benchmark::State& state) {
+  // BM_FullElectionExperiment through a reused ExperimentContext: identical
+  // per-iteration work (params regenerated, fault spec reparsed, seed
+  // varies) except the study compiles once and the world resets in place —
+  // the steady-state cost of the compile-once campaign loop.
+  apps::ElectionParams app;
+  app.run_for = milliseconds(400);
+  runtime::ExperimentContext context;
+  std::uint64_t seed = 1;
+  std::uint64_t experiments = 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    auto params = apps::election_experiment(
+        seed++, {"hostA", "hostB", "hostC"},
+        {{"black", "hostA"}, {"yellow", "hostB"}, {"green", "hostC"}}, app);
+    params.nodes[0].fault_spec =
+        spec::parse_fault_spec("bfault1 (black:LEAD) always\n", "bm");
+    const auto result = context.run(params);
+    benchmark::DoNotOptimize(&result);
+    ++experiments;
+    events += result.sim_events;
+  }
+  state.counters["experiments/sec"] = benchmark::Counter(
+      static_cast<double>(experiments), benchmark::Counter::kIsRate);
+  state.counters["events/sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ContextElectionExperiment)->Unit(benchmark::kMillisecond);
 
 void BM_AnalyzeExperiment(benchmark::State& state) {
   apps::ElectionParams app;

@@ -11,11 +11,14 @@
 // number. `tab_ch5_campaign [runner]` selects the backend with the shared
 // runner grammar — serial | threads:N | procs:N (default threads:4; a bare
 // integer keeps working). A closing section times the same study on all
-// three backends and checks every value matches.
+// three backends and checks every value matches; `--bench-json PATH` also
+// records those timings in google-benchmark JSON so the perf CI job can
+// trend them with tools/bench_compare.py.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "apps/election.hpp"
 #include "campaign/campaign.hpp"
@@ -121,10 +124,40 @@ StudyOutcome run_study(const runtime::StudyParams& study,
   return run_study(study, m, g_runner_spec);
 }
 
+/// Write the backend timings as google-benchmark JSON (the subset
+/// bench_compare.py reads: name / run_type / real_time / time_unit).
+void write_bench_json(const std::string& path,
+                      const std::vector<std::pair<std::string, double>>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "tab_ch5_campaign: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"run_type\": \"iteration\", "
+                 "\"real_time\": %.3f, \"time_unit\": \"ms\"}%s\n",
+                 rows[i].first.c_str(), rows[i].second * 1e3,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+std::string g_bench_json_path;
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1) g_runner_spec = argv[1];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--bench-json" && i + 1 < argc) {
+      g_bench_json_path = argv[++i];
+    } else {
+      g_runner_spec = arg;
+    }
+  }
   std::printf("Chapter 5 campaign - leader election, 3 machines, 3 hosts\n");
   try {
     std::printf("runner: %s\n\n",
@@ -252,5 +285,13 @@ int main(int argc, char** argv) {
   std::printf("  procs(4):         %.2f s wall  (speedup %.2fx)\n",
               sharded.wall_seconds, speedup(sharded.wall_seconds));
   std::printf("  results identical: %s\n", identical ? "yes" : "NO - BUG");
+
+  if (!g_bench_json_path.empty()) {
+    write_bench_json(g_bench_json_path,
+                     {{"campaign_study1/serial", serial.wall_seconds},
+                      {"campaign_study1/threads:4", threaded.wall_seconds},
+                      {"campaign_study1/procs:4", sharded.wall_seconds}});
+    std::fprintf(stderr, "wrote %s\n", g_bench_json_path.c_str());
+  }
   return identical ? 0 : 1;
 }

@@ -9,6 +9,7 @@ ExperimentAnalysis analyze_experiment(const runtime::ExperimentResult& result,
   ExperimentAnalysis out;
 
   std::vector<std::string> hosts;
+  hosts.reserve(result.start_local.size());
   for (const auto& [host, t] : result.start_local) hosts.push_back(host);
   LOKI_REQUIRE(!hosts.empty(), "experiment result has no hosts");
   const std::string reference =
@@ -18,6 +19,7 @@ ExperimentAnalysis analyze_experiment(const runtime::ExperimentResult& result,
       clocksync::compute_alphabeta(result.sync_samples, hosts, reference);
 
   std::vector<const runtime::LocalTimeline*> timelines;
+  timelines.reserve(result.timelines.size());
   for (const auto& [nick, tl] : result.timelines) timelines.push_back(&tl);
 
   out.timeline = build_global_timeline(timelines, out.alphabeta);
@@ -42,16 +44,37 @@ std::vector<ExperimentAnalysis> analyze_study(const runtime::StudyResult& study,
 }
 
 std::string serialize_verdicts(const VerificationResult& v) {
-  std::string out;
-  for (const InjectionVerdict& verdict : v.verdicts) {
-    out += verdict.machine + " " + verdict.fault + " " +
-           std::to_string(verdict.injection_index) + " " +
-           (verdict.correct ? "correct" : "incorrect");
-    if (!verdict.reason.empty()) out += " # " + verdict.reason;
-    out += "\n";
-  }
+  // Size the buffer once and append in place: the operator+ chains this
+  // used to build allocated one temporary string per fragment per verdict.
+  std::size_t bytes = 0;
+  for (const InjectionVerdict& verdict : v.verdicts)
+    bytes += verdict.machine.size() + verdict.fault.size() +
+             verdict.reason.size() + 32;
   for (const MissedFault& m : v.missed)
-    out += "missed " + m.machine + " " + m.fault + "\n";
+    bytes += m.machine.size() + m.fault.size() + 16;
+
+  std::string out;
+  out.reserve(bytes);
+  for (const InjectionVerdict& verdict : v.verdicts) {
+    out.append(verdict.machine);
+    out.push_back(' ');
+    out.append(verdict.fault);
+    out.push_back(' ');
+    out.append(std::to_string(verdict.injection_index));
+    out.append(verdict.correct ? " correct" : " incorrect");
+    if (!verdict.reason.empty()) {
+      out.append(" # ");
+      out.append(verdict.reason);
+    }
+    out.push_back('\n');
+  }
+  for (const MissedFault& m : v.missed) {
+    out.append("missed ");
+    out.append(m.machine);
+    out.push_back(' ');
+    out.append(m.fault);
+    out.push_back('\n');
+  }
   return out;
 }
 

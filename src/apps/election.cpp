@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 
 #include "util/error.hpp"
 
@@ -132,7 +134,7 @@ void ElectionApp::become_follower(runtime::NodeContext& ctx,
 void ElectionApp::heartbeat_loop(runtime::NodeContext& ctx) {
   if (exiting_ || role_ != Role::Leader) return;
   for (const std::string& peer : ctx.peer_nicknames())
-    ctx.app_send(peer, Heartbeat{round_, ctx.nickname()});
+    ctx.app_send(peer, Heartbeat{round_});
   ctx.app_timer(params_.heartbeat,
                 [this](runtime::NodeContext& c) { heartbeat_loop(c); });
 }
@@ -168,6 +170,27 @@ void ElectionApp::on_inject_fault(runtime::NodeContext& ctx,
 
 spec::StateMachineSpec election_spec(const std::string& nickname,
                                      const std::vector<std::string>& peers) {
+  // Campaign generators call this once per node per experiment with a
+  // handful of distinct (nickname, peers) shapes: memoize the built spec.
+  // Specs are copy-on-write, so the cached return is a reference-count
+  // bump — and every experiment of a study shares one storage block, which
+  // is exactly the identity fast path the compile-once campaign's
+  // compatibility check wants to see.
+  struct CacheKey {
+    std::string nickname;
+    std::vector<std::string> peers;
+    bool operator<(const CacheKey& o) const {
+      return nickname != o.nickname ? nickname < o.nickname : peers < o.peers;
+    }
+  };
+  static std::mutex cache_mu;
+  static std::map<CacheKey, spec::StateMachineSpec> cache;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu);
+    const auto it = cache.find(CacheKey{nickname, peers});
+    if (it != cache.end()) return it->second;
+  }
+
   std::vector<std::string> states = {"BEGIN", "INIT",   "RESTART_SM", "ELECT",
                                      "FOLLOW", "LEAD",  "CRASH",      "EXIT"};
   std::vector<std::string> events = {"START",        "INIT_DONE", "RESTART",
@@ -205,7 +228,13 @@ spec::StateMachineSpec election_spec(const std::string& nickname,
 
   spec::StateMachineSpec spec(nickname, std::move(states), std::move(events),
                               std::move(defs));
-  return spec;
+  std::lock_guard<std::mutex> lock(cache_mu);
+  // Bound the cache for long-lived processes (a serve_worker crossing many
+  // studies, or generators minting unique shapes): real campaigns use a
+  // handful of shapes, so a rare wholesale flush costs one rebuild each.
+  if (cache.size() >= 64) cache.clear();
+  return cache.emplace(CacheKey{nickname, peers}, std::move(spec))
+      .first->second;
 }
 
 runtime::ExperimentParams election_experiment(

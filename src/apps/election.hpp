@@ -60,9 +60,11 @@ class ElectionApp final : public runtime::Application {
     std::int64_t number{0};
     std::string from;
   };
+  /// Round only — receivers never read a leader name, and a payload this
+  /// small stays in std::any's inline buffer, so the (heartbeat-dominated)
+  /// app LAN traffic allocates nothing per message.
   struct Heartbeat {
     int round{0};
-    std::string leader;
   };
 
   void start_election(runtime::NodeContext& ctx, int round, bool from_follow);

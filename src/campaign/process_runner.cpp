@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include "campaign/validate.hpp"
+#include "runtime/experiment_context.hpp"
 #include "runtime/serialize.hpp"
 #include "util/codec.hpp"
 #include "util/error.hpp"
@@ -80,12 +81,15 @@ struct ShardPool {
 void run_worker_range(const runtime::StudyParams& study, int lo, int hi,
                       int step, int out_fd) {
   if (step < 1) throw ConfigError("run_worker_range: step must be >= 1");
+  // The shard compiles its study once and reuses the context for every
+  // index of its stride.
+  runtime::ExperimentContext context;
   for (int k = lo; k < hi; k += step) {
     codec::Writer frame;
     try {
       runtime::ExperimentParams params = study.make_params(k);
       validate_experiment_params(params, experiment_context(study, k));
-      const runtime::ExperimentResult result = runtime::run_experiment(params);
+      const runtime::ExperimentResult result = context.run(params);
       frame.u8(static_cast<std::uint8_t>(FrameStatus::Ok));
       frame.u32(static_cast<std::uint32_t>(k));
       const std::vector<std::uint8_t> encoded =

@@ -18,6 +18,7 @@
 #include <unistd.h>
 
 #include "campaign/validate.hpp"
+#include "runtime/experiment_context.hpp"
 #include "runtime/serialize.hpp"
 #include "util/codec.hpp"
 #include "util/error.hpp"
@@ -87,6 +88,10 @@ struct WorkerState {
   bool idle{false};        // handshaken and not holding a lease
   std::uint32_t lease_id{0};
   std::set<int> outstanding;    // leased indices without a Result yet
+  /// Autotuner inputs: when the current lease went out and how many
+  /// indices it spans.
+  std::chrono::steady_clock::time_point lease_sent;
+  int lease_span{0};
 };
 
 /// One run_study execution: a single-threaded event loop over per-worker
@@ -102,14 +107,20 @@ class Engine {
         study_(study),
         emit_(emit),
         telemetry_(telemetry),
-        n_(study.experiments) {}
+        n_(study.experiments),
+        lease_now_(options.autotune_lease
+                       ? std::min(options.lease_size, options.max_lease_size)
+                       : options.lease_size) {}
 
   void run() {
     if (n_ <= 0) return;
-    for (int lo = 0; lo < n_; lo += options_.lease_size)
-      queue_.push_back({lo, std::min(lo + options_.lease_size, n_)});
+    // One contiguous range; assign() slices leases of the current span off
+    // its head, so the autotuner can retarget the span between leases.
+    queue_.push_back({0, n_});
+    // lease_now_ (not options_.lease_size) so an oversized configured span
+    // clamped by the autotuner still spawns every useful worker.
     const int spawn = std::min(transport_.worker_count(),
-                               static_cast<int>(queue_.size()));
+                               (n_ + lease_now_ - 1) / lease_now_);
 
     struct TeardownGuard {
       Engine& engine;
@@ -148,6 +159,7 @@ class Engine {
 
     guard.armed = false;
     teardown();
+    telemetry_.final_lease_size = lease_now_;
     if (fail_min_ != kNoFailure)
       runtime::rethrow_wire_error(fail_category_, fail_message_);
   }
@@ -306,8 +318,27 @@ class Engine {
       // it and keep the worker — the stream itself is still framed.
       if (requeue_salvageable(ws) > 0) ++telemetry_.requeues;
       ws.outstanding.clear();
+    } else {
+      autotune(ws);  // clean completion: usable latency sample
     }
     ws.idle = true;
+  }
+
+  /// Multiplicative lease-span adaptation from observed per-experiment
+  /// latency: project how long the *current* span would take at this
+  /// worker's measured rate, then double while the projection undershoots
+  /// half the target and halve when it overshoots it twofold. Bounded to
+  /// [1, max_lease_size]; leases already in flight are unaffected, and
+  /// results are byte-identical for every span (the safety argument for
+  /// tuning at all).
+  void autotune(const WorkerState& ws) {
+    if (!options_.autotune_lease || ws.lease_span <= 0) return;
+    const auto elapsed = std::chrono::steady_clock::now() - ws.lease_sent;
+    const auto projected = elapsed * lease_now_ / ws.lease_span;
+    if (projected * 2 < options_.lease_target)
+      lease_now_ = std::min(lease_now_ * 2, options_.max_lease_size);
+    else if (projected > options_.lease_target * 2)
+      lease_now_ = std::max(lease_now_ / 2, 1);
   }
 
   void on_timeout(int w) {
@@ -408,17 +439,25 @@ class Engine {
       while (!queue_.empty() && queue_.front().lo >= fail_min_)
         queue_.pop_front();
       if (queue_.empty()) return;
-      Chunk chunk = queue_.front();
       // Backpressure: never lease further than `window` past the drain
-      // cursor, so the reorder buffer stays O(workers * lease_size) even
-      // when one early lease is slow. Requeued chunks always sit within
-      // the window (they were leased inside it and the cursor only grows).
-      const int window =
-          std::max(2 * live_count() * options_.lease_size, options_.lease_size);
-      if (chunk.lo >= next_emit_ + window) continue;
-      queue_.pop_front();
-      chunk.hi = std::min(chunk.hi, fail_min_ == kNoFailure ? n_ : fail_min_);
-      if (chunk.hi <= chunk.lo) continue;
+      // cursor, so the reorder buffer stays O(workers * lease span) even
+      // when one early lease is slow. A stale out-of-window head cannot
+      // stall the campaign: once the busy workers drain, next_emit has
+      // caught up to the lowest pending index, which is the head.
+      const int window = std::max(2 * live_count() * lease_now_, lease_now_);
+      if (queue_.front().lo >= next_emit_ + window) continue;
+      // Slice one lease of the current span off the head chunk. The slice
+      // is validated before the queue is touched, so an empty slice can
+      // never silently drop indices from the queue.
+      Chunk& head = queue_.front();
+      const Chunk chunk{head.lo,
+                        std::min({head.hi, head.lo + lease_now_,
+                                  fail_min_ == kNoFailure ? n_ : fail_min_})};
+      if (chunk.hi <= chunk.lo) return;  // unreachable: head.lo < fail_min_
+      if (chunk.hi >= head.hi)
+        queue_.pop_front();
+      else
+        head.lo = chunk.hi;
       ws.lease_id = ++lease_seq_;
       for (int k = chunk.lo; k < chunk.hi; ++k) ws.outstanding.insert(k);
       try {
@@ -426,6 +465,8 @@ class Engine {
             {ws.lease_id, static_cast<std::uint32_t>(chunk.lo),
              static_cast<std::uint32_t>(chunk.hi), 1}));
         ws.idle = false;
+        ws.lease_sent = std::chrono::steady_clock::now();
+        ws.lease_span = chunk.hi - chunk.lo;
       } catch (const std::exception& e) {
         lose_worker(static_cast<int>(w),
                     std::string("lease send failed: ") + e.what());
@@ -481,6 +522,9 @@ class Engine {
   const EmitFn& emit_;
   RunnerTelemetry& telemetry_;
   const int n_;
+  /// Current lease span — fixed at options.lease_size, or adapted by
+  /// autotune() between leases.
+  int lease_now_;
 
   EventQueue events_;
   std::vector<WorkerState> workers_;
@@ -511,6 +555,13 @@ RemoteRunner::RemoteRunner(std::shared_ptr<Transport> transport,
                       std::to_string(options_.lease_size));
   if (options_.hang_timeout.count() <= 0)
     throw ConfigError("RemoteRunner: hang_timeout must be positive");
+  if (options_.autotune_lease) {
+    if (options_.max_lease_size < 1)
+      throw ConfigError("RemoteRunner: max_lease_size must be >= 1, got " +
+                        std::to_string(options_.max_lease_size));
+    if (options_.lease_target.count() <= 0)
+      throw ConfigError("RemoteRunner: lease_target must be positive");
+  }
 }
 
 std::string RemoteRunner::name() const {
@@ -545,6 +596,11 @@ void serve_worker(FrameChannel& channel,
   channel.write(runtime::encode_hello_ack_frame(
       static_cast<std::uint64_t>(::getpid())));
 
+  // The worker's study is fixed at Hello time, so one resettable context
+  // serves every lease: the first experiment compiles the study, all later
+  // ones (across all leases) reuse the compiled tables and the world slabs.
+  runtime::ExperimentContext context;
+
   for (;;) {
     std::optional<std::vector<std::uint8_t>> frame = channel.read();
     if (!frame.has_value()) return;  // parent gone: exit quietly
@@ -562,8 +618,7 @@ void serve_worker(FrameChannel& channel,
             runtime::ExperimentParams params = study->make_params(index);
             validate_experiment_params(params,
                                        experiment_context(*study, index));
-            const runtime::ExperimentResult result =
-                runtime::run_experiment(params);
+            const runtime::ExperimentResult result = context.run(params);
             channel.write(runtime::encode_result_ok_frame(k, result));
           } catch (const std::exception& e) {
             channel.write(runtime::encode_result_error_frame(

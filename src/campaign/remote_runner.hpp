@@ -42,9 +42,20 @@
 namespace loki::campaign {
 
 struct RemoteOptions {
-  /// Indices per lease. Small leases spread load and shrink the requeue
+  /// Indices per lease — the *initial* span when autotuning is on, the
+  /// fixed span otherwise. Small leases spread load and shrink the requeue
   /// blast radius; large leases amortize frame round-trips.
   int lease_size{2};
+  /// Adapt the lease span to observed per-experiment latency: after each
+  /// completed lease the span doubles while a lease finishes in under half
+  /// of lease_target, and halves when one overruns it twofold — a bounded
+  /// multiplicative rule ([1, max_lease_size]) that converges within a few
+  /// leases. Fast experiments stop paying a frame round-trip every other
+  /// experiment; slow ones keep the requeue blast radius small. Byte-
+  /// identity is unaffected (lease geometry never reaches the results).
+  bool autotune_lease{true};
+  std::chrono::milliseconds lease_target{250};
+  int max_lease_size{64};
   /// A worker silent for longer than this while holding a lease (or during
   /// the handshake) is declared hung, killed, and its lease requeued. Must
   /// comfortably exceed the slowest single experiment.

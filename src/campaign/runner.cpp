@@ -12,6 +12,7 @@
 #include "campaign/remote_runner.hpp"
 #include "campaign/transport.hpp"
 #include "campaign/validate.hpp"
+#include "runtime/experiment_context.hpp"
 #include "util/error.hpp"
 #include "util/text_file.hpp"
 
@@ -26,14 +27,28 @@ runtime::ExperimentParams checked_params(const runtime::StudyParams& study,
   return params;
 }
 
+/// Compile the study-invariant machinery from experiment 0, for runners
+/// that share one CompiledStudy across worker contexts. Generators are
+/// deterministic per index (the standard campaign contract; build() probes
+/// index 0 the same way), so the extra make_params(0) call is safe. A
+/// failure here is exactly the failure experiment 0 would have produced —
+/// same exception, same empty emitted prefix.
+std::shared_ptr<const runtime::CompiledStudy> compile_study_front(
+    const runtime::StudyParams& study) {
+  return runtime::CompiledStudy::compile(checked_params(study, 0));
+}
+
 }  // namespace
 
 Runner::~Runner() = default;
 
 void SerialRunner::run_study(const runtime::StudyParams& study,
                              const EmitFn& emit) {
+  // One context for the whole study: experiment 0 compiles the study, every
+  // later index reuses the compiled tables and the world's slabs.
+  runtime::ExperimentContext context;
   for (int k = 0; k < study.experiments; ++k)
-    emit(k, runtime::run_experiment(checked_params(study, k)));
+    emit(k, context.run(checked_params(study, k)));
 }
 
 ThreadPoolRunner::ThreadPoolRunner(int workers) : workers_(workers) {
@@ -51,6 +66,11 @@ void ThreadPoolRunner::run_study(const runtime::StudyParams& study,
   const int n = study.experiments;
   if (n <= 0) return;
 
+  // Compile once on the calling thread; every worker context borrows the
+  // same immutable CompiledStudy (its tables are shared read-only).
+  const std::shared_ptr<const runtime::CompiledStudy> compiled =
+      compile_study_front(study);
+
   std::mutex gen_mu;  // serializes make_params (user generators share state)
   std::mutex mu;      // guards next/emitted/ready/failure
   std::condition_variable cv;
@@ -66,6 +86,8 @@ void ThreadPoolRunner::run_study(const runtime::StudyParams& study,
   const int window = 2 * workers_;
 
   auto worker = [&] {
+    // One resettable context per worker thread, alive for the whole study.
+    runtime::ExperimentContext context(compiled);
     for (;;) {
       int k;
       {
@@ -86,7 +108,7 @@ void ThreadPoolRunner::run_study(const runtime::StudyParams& study,
           params = study.make_params(k);
         }
         validate_experiment_params(params, experiment_context(study, k));
-        runtime::ExperimentResult result = runtime::run_experiment(params);
+        runtime::ExperimentResult result = context.run(params);
         {
           std::lock_guard<std::mutex> lock(mu);
           ready.emplace(k, std::move(result));

@@ -32,6 +32,10 @@ struct RunnerTelemetry {
   int requeues{0};
   /// Worker links that died mid-study (crash, hang-kill, corrupt stream).
   int workers_lost{0};
+  /// Lease span in effect when the last study finished — where the
+  /// autotuner (campaign/remote_runner.hpp) converged from observed
+  /// per-experiment latency. 0 for runners without leases.
+  int final_lease_size{0};
 };
 
 class Runner {

@@ -14,12 +14,15 @@ namespace loki::runtime {
 CentralizedDeployment::CentralizedDeployment(sim::World& world,
                                              sim::HostId daemon_host,
                                              const StudyDictionary& dict,
-                                             const CostModel& costs, Params params)
+                                             const CostModel& costs, Params params,
+                                             const ReservedStudyIds* reserved)
     : world_(world),
       daemon_host_(daemon_host),
       costs_(costs),
       params_(params),
-      crash_state_id_(dict.state_index(std::string(spec::kStateCrash))),
+      crash_state_id_(reserved != nullptr
+                          ? reserved->crash_state
+                          : dict.state_index(std::string(spec::kStateCrash))),
       nodes_(dict.machine_count(), nullptr) {}
 
 void CentralizedDeployment::start_daemon() {
@@ -128,10 +131,13 @@ void CentralizedDeployment::request_state_updates(LokiNode& node) {
 
 DirectDeployment::DirectDeployment(sim::World& world,
                                    const StudyDictionary& dict,
-                                   const CostModel& costs)
+                                   const CostModel& costs,
+                                   const ReservedStudyIds* reserved)
     : world_(world),
       costs_(costs),
-      exit_state_id_(dict.state_index(std::string(spec::kStateExit))),
+      exit_state_id_(reserved != nullptr
+                         ? reserved->exit_state
+                         : dict.state_index(std::string(spec::kStateExit))),
       peers_(dict.machine_count(), nullptr) {}
 
 std::size_t DirectDeployment::peer_count() const {

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/compiled_study.hpp"
 #include "runtime/cost_model.hpp"
 #include "runtime/deployment.hpp"
 #include "runtime/dictionary.hpp"
@@ -38,9 +39,11 @@ class CentralizedDeployment final : public Deployment {
     Duration crash_detection_delay{milliseconds(250)};
   };
 
+  /// `reserved` is the study's pre-interned reserved-id block
+  /// (CompiledStudy::reserved()); nullptr interns the crash state here.
   CentralizedDeployment(sim::World& world, sim::HostId daemon_host,
                         const StudyDictionary& dict, const CostModel& costs,
-                        Params params);
+                        Params params, const ReservedStudyIds* reserved = nullptr);
   CentralizedDeployment(sim::World& world, sim::HostId daemon_host,
                         const StudyDictionary& dict, const CostModel& costs)
       : CentralizedDeployment(world, daemon_host, dict, costs, Params{}) {}
@@ -78,7 +81,8 @@ class CentralizedDeployment final : public Deployment {
 class DirectDeployment final : public Deployment {
  public:
   DirectDeployment(sim::World& world, const StudyDictionary& dict,
-                   const CostModel& costs);
+                   const CostModel& costs,
+                   const ReservedStudyIds* reserved = nullptr);
 
   void node_started(LokiNode& node, bool restarted,
                     std::function<void()> on_ready) override;

@@ -47,8 +47,9 @@ CompiledFaultProgram CompiledFaultProgram::compile(const spec::FaultExpr& expr,
   return prog;
 }
 
-bool CompiledFaultProgram::run(const std::vector<StateId>* view) const {
-  unsigned char* sp = stack_.data();
+bool CompiledFaultProgram::run(const std::vector<StateId>* view,
+                               unsigned char* stack) const {
+  unsigned char* sp = stack;
   for (const Instr& instr : code_) {
     switch (instr.op) {
       case Op::Term:
@@ -74,9 +75,20 @@ bool CompiledFaultProgram::run(const std::vector<StateId>* view) const {
 }
 
 bool CompiledFaultProgram::eval(const std::vector<StateId>& view) const {
-  return run(&view);
+  return run(&view, stack_.data());
 }
 
-bool CompiledFaultProgram::eval_empty() const { return run(nullptr); }
+bool CompiledFaultProgram::eval_empty() const {
+  return run(nullptr, stack_.data());
+}
+
+bool CompiledFaultProgram::eval(const std::vector<StateId>& view,
+                                unsigned char* stack) const {
+  return run(&view, stack);
+}
+
+bool CompiledFaultProgram::eval_empty(unsigned char* stack) const {
+  return run(nullptr, stack);
+}
 
 }  // namespace loki::runtime

@@ -35,7 +35,17 @@ class CompiledFaultProgram {
   /// Evaluate against the all-unknown view (parser edge initialization).
   bool eval_empty() const;
 
+  /// Re-entrant variants over caller-provided scratch of at least
+  /// stack_depth() bytes. These never touch the program's own stack, so one
+  /// compiled program may be shared read-only by any number of contexts
+  /// (the CompiledStudy case: worker threads share the compiled study and
+  /// each FaultParser brings its own scratch).
+  bool eval(const std::vector<StateId>& view, unsigned char* stack) const;
+  bool eval_empty(unsigned char* stack) const;
+
   std::size_t size() const { return code_.size(); }
+  /// Maximum evaluation-stack depth, fixed at compile time.
+  std::size_t stack_depth() const { return stack_.size(); }
 
  private:
   enum class Op : std::uint8_t { Term, False, And, Or, Not };
@@ -45,12 +55,13 @@ class CompiledFaultProgram {
     StateId state{kInvalidId};
   };
 
-  bool run(const std::vector<StateId>* view) const;
+  bool run(const std::vector<StateId>* view, unsigned char* stack) const;
 
   std::vector<Instr> code_;
-  /// Evaluation stack, sized to the program's maximum depth at compile
-  /// time. Scratch only — safe because each program belongs to exactly one
-  /// node's fault parser (experiments never share them across threads).
+  /// Evaluation stack for the scratch-less eval() overloads, sized to the
+  /// program's maximum depth at compile time. Only safe when the program
+  /// is private to one thread; shared programs must use the external-stack
+  /// overloads.
   mutable std::vector<unsigned char> stack_;
 };
 

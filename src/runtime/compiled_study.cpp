@@ -1,0 +1,153 @@
+#include "runtime/compiled_study.hpp"
+
+#include <algorithm>
+
+#include "runtime/experiment.hpp"
+#include "spec/reserved.hpp"
+#include "util/error.hpp"
+
+namespace loki::runtime {
+
+ReservedStudyIds ReservedStudyIds::build(const StudyDictionary& dict) {
+  ReservedStudyIds ids;
+  ids.crash_state = dict.state_index(std::string(spec::kStateCrash));
+  ids.exit_state = dict.state_index(std::string(spec::kStateExit));
+  ids.crash_event_idx.reserve(dict.machine_count());
+  for (const std::string& machine : dict.machines())
+    ids.crash_event_idx.push_back(
+        dict.event_index(machine, std::string(spec::kEventCrash)));
+  return ids;
+}
+
+CompiledMachine CompiledMachine::compile(const spec::StateMachineSpec& sm_spec,
+                                         const spec::FaultSpec& fault_spec,
+                                         const StudyDictionary& dict) {
+  CompiledMachine m;
+  m.spec_ = &sm_spec;
+  m.fault_spec_ = &fault_spec;
+  m.dict_ = &dict;
+  m.self_ = dict.machine_index(sm_spec.name());
+  m.begin_state_ = dict.state_index(std::string(spec::kStateBegin));
+
+  m.event_count_ = dict.events_of(sm_spec.name()).size();
+  m.event_ids_ = &dict.event_indices_of(sm_spec.name());
+  const auto default_it = m.event_ids_->find(std::string(spec::kEventDefault));
+  LOKI_REQUIRE(default_it != m.event_ids_->end(),
+               "dictionary lacks the default event");
+  m.default_event_ = default_it->second;
+
+  m.def_of_state_.assign(dict.state_count(), -1);
+  const auto& defs = sm_spec.state_defs();
+  m.compiled_.resize(defs.size());
+  m.next_matrix_.assign(defs.size() * m.event_count_, kNoState);
+  for (std::size_t d = 0; d < defs.size(); ++d) {
+    const spec::StateDef& def = defs[d];
+    m.def_of_state_[dict.state_index(def.name)] = static_cast<std::int32_t>(d);
+
+    CompiledState& cs = m.compiled_[d];
+    for (const auto& [event, next] : def.transitions) {
+      const auto ev = m.event_ids_->find(event);
+      LOKI_REQUIRE(ev != m.event_ids_->end(),
+                   "transition event not in event list: " + event);
+      m.next_matrix_[d * m.event_count_ + ev->second] = dict.state_index(next);
+    }
+    if (def.default_next.has_value())
+      cs.default_next = dict.state_index(*def.default_next);
+    cs.notify.reserve(def.notify.size());
+    for (const std::string& nick : def.notify)
+      cs.notify.push_back(dict.try_machine_index(nick));
+  }
+
+  m.fault_programs_.reserve(fault_spec.entries.size());
+  for (const spec::FaultSpecEntry& e : fault_spec.entries) {
+    m.fault_programs_.push_back(CompiledFaultProgram::compile(*e.expr, dict));
+    m.fault_stack_depth_ =
+        std::max(m.fault_stack_depth_, m.fault_programs_.back().stack_depth());
+  }
+  return m;
+}
+
+namespace {
+
+bool same_state_machine_spec(const spec::StateMachineSpec& a,
+                             const spec::StateMachineSpec& b) {
+  // Specs are copy-on-write: a generator that copies a base spec (or the
+  // CompiledStudy's own copy of a previous experiment's spec) shares its
+  // storage, so the common case is one pointer compare.
+  if (a.identity() == b.identity()) return true;
+  if (a.name() != b.name() || a.states() != b.states() ||
+      a.events() != b.events())
+    return false;
+  const auto& da = a.state_defs();
+  const auto& db = b.state_defs();
+  if (da.size() != db.size()) return false;
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    if (da[i].name != db[i].name || da[i].notify != db[i].notify ||
+        da[i].transitions != db[i].transitions ||
+        da[i].default_next != db[i].default_next)
+      return false;
+  }
+  return true;
+}
+
+bool same_fault_expr(const spec::FaultExprPtr& a, const spec::FaultExprPtr& b) {
+  if (a == b) return true;  // shared — the StudyBuilder::base() fast path
+  if (a == nullptr || b == nullptr) return false;
+  // Reparsed-per-experiment specs land here: the printed form is canonical
+  // (deterministic parenthesization), so textual equality is tree equality.
+  return a->to_string() == b->to_string();
+}
+
+bool same_fault_spec(const spec::FaultSpec& a, const spec::FaultSpec& b) {
+  if (&a == &b) return true;
+  if (a.entries.size() != b.entries.size()) return false;
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    if (a.entries[i].name != b.entries[i].name ||
+        a.entries[i].trigger != b.entries[i].trigger ||
+        !same_fault_expr(a.entries[i].expr, b.entries[i].expr))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::shared_ptr<const CompiledStudy> CompiledStudy::compile(
+    const ExperimentParams& params) {
+  auto study = std::shared_ptr<CompiledStudy>(new CompiledStudy());
+  for (const NodeConfig& nc : params.nodes) {
+    LOKI_REQUIRE(nc.sm_spec.name() == nc.nickname,
+                 "state machine spec name must equal the node nickname");
+    study->nodes_.push_back(
+        NodeEntry{nc.nickname, nc.sm_spec, nc.fault_spec, CompiledMachine{}});
+  }
+  std::vector<const spec::StateMachineSpec*> specs;
+  std::vector<const spec::FaultSpec*> faults;
+  specs.reserve(study->nodes_.size());
+  faults.reserve(study->nodes_.size());
+  for (const NodeEntry& entry : study->nodes_) {
+    specs.push_back(&entry.sm_spec);
+    faults.push_back(&entry.fault_spec);
+  }
+  study->dict_ = StudyDictionary::build(specs, faults);
+  study->reserved_ = ReservedStudyIds::build(study->dict_);
+  for (NodeEntry& entry : study->nodes_) {
+    entry.machine =
+        CompiledMachine::compile(entry.sm_spec, entry.fault_spec, study->dict_);
+  }
+  return study;
+}
+
+bool CompiledStudy::compatible_with(const ExperimentParams& params) const {
+  if (params.nodes.size() != nodes_.size()) return false;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const NodeConfig& nc = params.nodes[i];
+    const NodeEntry& entry = nodes_[i];
+    if (nc.nickname != entry.nickname) return false;
+    if (!same_state_machine_spec(nc.sm_spec, entry.sm_spec)) return false;
+    if (!same_fault_spec(nc.fault_spec, entry.fault_spec)) return false;
+  }
+  return true;
+}
+
+}  // namespace loki::runtime

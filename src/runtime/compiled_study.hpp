@@ -1,0 +1,169 @@
+// Study-invariant compilation for compile-once campaigns (§3.5.6 applied
+// campaign-wide).
+//
+// A measure-phase campaign runs thousands of experiments over one fixed
+// study: the specs, the name<->index dictionaries, the flattened transition
+// matrices, the pre-interned notify lists, and the compiled fault programs
+// are identical in every experiment — only the seed (and other dynamic
+// knobs: clocks, loads, crash plans) varies. CompiledStudy hoists all of
+// that invariant machinery out of the per-experiment loop:
+//
+//   CompiledStudy   everything derivable from the specs alone, built once —
+//                   the StudyDictionary, one CompiledMachine per node
+//                   (transition matrix, notify lists, fault programs), and
+//                   the pre-interned reserved ids the deployments need.
+//                   Immutable after compile(); safe to share across worker
+//                   threads through shared_ptr<const CompiledStudy>.
+//   CompiledMachine the per-node compiled tables previously rebuilt by
+//                   every StateMachine construction. StateMachine now
+//                   borrows one of these; only its dynamic state (current
+//                   state, view, parser edges) lives per incarnation.
+//
+// compatible_with() is the safety valve: a per-experiment structural check
+// (node list + deep spec equality) that decides whether an existing
+// CompiledStudy may serve a new ExperimentParams. Generators that vary
+// structure between experiments simply trigger a recompile — byte-identity
+// with the compile-per-experiment path is preserved either way, because
+// equal specs compile to equal tables.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/compiled_fault.hpp"
+#include "runtime/dictionary.hpp"
+#include "spec/fault_spec.hpp"
+#include "spec/state_machine_spec.hpp"
+
+namespace loki::runtime {
+
+struct ExperimentParams;
+
+/// Reserved ids every deployment needs (crash/exit bookkeeping), interned
+/// once per study instead of once per experiment.
+struct ReservedStudyIds {
+  StateId crash_state{kNoState};
+  StateId exit_state{kNoState};
+  /// Per-machine CRASH event index, by MachineId.
+  std::vector<std::uint32_t> crash_event_idx;
+
+  static ReservedStudyIds build(const StudyDictionary& dict);
+};
+
+/// The compiled, immutable tables of one state machine. Borrowed by every
+/// StateMachine incarnation of the node (restarts included — previously
+/// each restart recompiled them).
+class CompiledMachine {
+ public:
+  struct CompiledState {
+    StateId default_next{kNoState};
+    /// Pre-interned notify list (kInvalidId entries preserved for
+    /// drop-counting at the transport).
+    std::vector<MachineId> notify;
+  };
+
+  /// `sm_spec`, `fault_spec`, and `dict` are borrowed and must outlive the
+  /// compiled machine (CompiledStudy owns all three together).
+  static CompiledMachine compile(const spec::StateMachineSpec& sm_spec,
+                                 const spec::FaultSpec& fault_spec,
+                                 const StudyDictionary& dict);
+
+  const spec::StateMachineSpec& spec() const { return *spec_; }
+  const spec::FaultSpec& fault_spec() const { return *fault_spec_; }
+  const StudyDictionary& dict() const { return *dict_; }
+
+  MachineId self() const { return self_; }
+  StateId begin_state() const { return begin_state_; }
+  std::uint32_t default_event() const { return default_event_; }
+  std::size_t event_count() const { return event_count_; }
+
+  const CompiledState& state(std::size_t def) const { return compiled_[def]; }
+  StateId next(std::size_t def, std::uint32_t event) const {
+    return next_matrix_[def * event_count_ + event];
+  }
+  /// StateId -> def index, or -1 when the state has no `state` block here.
+  std::int32_t def_of(StateId state) const {
+    return def_of_state_[state];
+  }
+  /// The dictionary's per-machine event name -> index map (borrowed).
+  const std::map<std::string, std::uint32_t>& event_ids() const {
+    return *event_ids_;
+  }
+
+  /// One compiled program per fault-spec entry, in entry order. Shared
+  /// read-only; evaluate with an external stack of fault_stack_depth().
+  const std::vector<CompiledFaultProgram>& fault_programs() const {
+    return fault_programs_;
+  }
+  /// Maximum stack depth over all fault programs.
+  std::size_t fault_stack_depth() const { return fault_stack_depth_; }
+
+ private:
+  const spec::StateMachineSpec* spec_{nullptr};
+  const spec::FaultSpec* fault_spec_{nullptr};
+  const StudyDictionary* dict_{nullptr};
+  MachineId self_{kInvalidId};
+  StateId begin_state_{kNoState};
+  std::uint32_t default_event_{0};
+  std::size_t event_count_{0};
+  std::vector<CompiledState> compiled_;     // by def index
+  std::vector<StateId> next_matrix_;        // def * event_count_ + event
+  std::vector<std::int32_t> def_of_state_;  // StateId -> def index or -1
+  const std::map<std::string, std::uint32_t>* event_ids_{nullptr};
+  std::vector<CompiledFaultProgram> fault_programs_;
+  std::size_t fault_stack_depth_{0};
+};
+
+class CompiledStudy {
+ public:
+  /// Compile the study-invariant machinery from a representative
+  /// experiment's params. Copies the specs (so the compiled study outlives
+  /// the params), builds the dictionary, and compiles every machine.
+  /// Throws ConfigError on structural mistakes (spec-name mismatches).
+  static std::shared_ptr<const CompiledStudy> compile(
+      const ExperimentParams& params);
+
+  /// True iff `params` has the same structural shape this study was
+  /// compiled from: same node list (count, order, nicknames) with deeply
+  /// equal state machine and fault specs. Dynamic per-experiment fields
+  /// (seed, hosts, clocks, loads, crash plans, costs, timeouts) are free to
+  /// differ. Deep spec equality is what makes reuse sound: equal specs
+  /// compile to equal tables, so reuse is byte-identical to recompiling.
+  bool compatible_with(const ExperimentParams& params) const;
+
+  const StudyDictionary& dict() const { return dict_; }
+  const ReservedStudyIds& reserved() const { return reserved_; }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  /// Compiled tables of node `index` (ExperimentParams::nodes order, which
+  /// is also MachineId order).
+  const CompiledMachine& machine_of(std::size_t index) const {
+    return nodes_[index].machine;
+  }
+  const std::string& nickname_of(std::size_t index) const {
+    return nodes_[index].nickname;
+  }
+
+ private:
+  CompiledStudy() = default;
+
+  /// One node's owned spec copies plus the tables compiled against them.
+  /// Entries live in a deque so their addresses stay stable while the
+  /// machines compile against them.
+  struct NodeEntry {
+    std::string nickname;
+    spec::StateMachineSpec sm_spec;
+    spec::FaultSpec fault_spec;
+    CompiledMachine machine;
+  };
+
+  StudyDictionary dict_;
+  ReservedStudyIds reserved_;
+  std::deque<NodeEntry> nodes_;
+};
+
+}  // namespace loki::runtime

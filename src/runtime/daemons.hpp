@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/compiled_study.hpp"
 #include "runtime/cost_model.hpp"
 #include "runtime/deployment.hpp"
 #include "runtime/dictionary.hpp"
@@ -103,10 +104,14 @@ struct FabricParams {
 
 class PartiallyDistributedDeployment final : public Deployment {
  public:
+  /// `reserved` points at the study's pre-interned reserved ids
+  /// (CompiledStudy::reserved()); nullptr interns them here — the
+  /// compile-per-experiment compatibility path.
   PartiallyDistributedDeployment(sim::World& world,
                                  std::vector<sim::HostId> hosts,
                                  const StudyDictionary& dict,
-                                 const CostModel& costs, FabricParams params);
+                                 const CostModel& costs, FabricParams params,
+                                 const ReservedStudyIds* reserved = nullptr);
 
   /// Start the local daemons (spawn + interconnect). Must run before nodes.
   void start_daemons();

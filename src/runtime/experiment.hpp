@@ -148,6 +148,11 @@ struct ExperimentResult {
 };
 
 /// Run one experiment to completion. Deterministic in params.seed.
+/// One-shot: compiles the study machinery, runs, and throws it away.
+/// Campaign loops should hold a runtime::ExperimentContext
+/// (runtime/experiment_context.hpp) instead — byte-identical results, with
+/// the study-invariant compilation and the simulation backbone amortized
+/// across experiments.
 ExperimentResult run_experiment(const ExperimentParams& params);
 
 // --- campaign structure ----------------------------------------------------

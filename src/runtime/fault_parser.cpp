@@ -1,20 +1,37 @@
 #include "runtime/fault_parser.hpp"
 
+#include <algorithm>
+
 namespace loki::runtime {
 
 FaultParser::FaultParser(const std::vector<spec::FaultSpecEntry>& entries,
                          const StudyDictionary& dict)
     : entries_(&entries) {
-  programs_.reserve(entries.size());
-  for (const spec::FaultSpecEntry& e : entries)
-    programs_.push_back(CompiledFaultProgram::compile(*e.expr, dict));
+  owned_programs_.reserve(entries.size());
+  std::size_t depth = 0;
+  for (const spec::FaultSpecEntry& e : entries) {
+    owned_programs_.push_back(CompiledFaultProgram::compile(*e.expr, dict));
+    depth = std::max(depth, owned_programs_.back().stack_depth());
+  }
+  programs_ = &owned_programs_;
+  scratch_.resize(depth);
+  edges_.resize(entries.size());
+  reset();
+}
+
+FaultParser::FaultParser(const std::vector<spec::FaultSpecEntry>& entries,
+                         const std::vector<CompiledFaultProgram>& programs,
+                         std::size_t stack_depth)
+    : entries_(&entries), programs_(&programs) {
+  scratch_.resize(stack_depth);
   edges_.resize(entries.size());
   reset();
 }
 
 void FaultParser::reset() {
-  for (std::size_t i = 0; i < programs_.size(); ++i) {
-    edges_[i].prev = programs_[i].eval_empty();
+  const std::vector<CompiledFaultProgram>& programs = *programs_;
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    edges_[i].prev = programs[i].eval_empty(scratch_.data());
     edges_[i].fired_once = false;
   }
 }
@@ -23,8 +40,9 @@ const std::vector<std::uint32_t>& FaultParser::on_view_change(
     const std::vector<StateId>& view) {
   fired_.clear();
   const std::vector<spec::FaultSpecEntry>& entries = *entries_;
-  for (std::size_t i = 0; i < programs_.size(); ++i) {
-    const bool value = programs_[i].eval(view);
+  const std::vector<CompiledFaultProgram>& programs = *programs_;
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    const bool value = programs[i].eval(view, scratch_.data());
     ++evaluations_;
     EdgeState& edge = edges_[i];
     const bool rising = value && !edge.prev;

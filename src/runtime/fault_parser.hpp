@@ -34,6 +34,17 @@ class FaultParser {
   FaultParser(const std::vector<spec::FaultSpecEntry>& entries,
               const StudyDictionary& dict);
 
+  /// Borrow programs compiled once per study (runtime/compiled_study.hpp)
+  /// instead of recompiling per node per experiment. `entries` and
+  /// `programs` must be parallel vectors (same length, same order) and
+  /// outlive the parser; `stack_depth` is the scratch size needed by the
+  /// deepest program. The parser evaluates shared programs with its own
+  /// scratch, so any number of parsers (across experiments and threads)
+  /// may borrow the same programs concurrently.
+  FaultParser(const std::vector<spec::FaultSpecEntry>& entries,
+              const std::vector<CompiledFaultProgram>& programs,
+              std::size_t stack_depth);
+
   /// Re-evaluate all expressions against the dense view (indexed by
   /// MachineId, kNoState for unknown); returns the indices (into the entry
   /// list) of faults that must be injected now, in entry order. The
@@ -55,7 +66,13 @@ class FaultParser {
   };
 
   const std::vector<spec::FaultSpecEntry>* entries_;
-  std::vector<CompiledFaultProgram> programs_;
+  /// Owned only by the compile-here constructor; the borrow constructor
+  /// leaves this empty and points programs_ at the study's shared vector.
+  std::vector<CompiledFaultProgram> owned_programs_;
+  const std::vector<CompiledFaultProgram>* programs_;
+  /// Evaluation scratch for the shared programs (see CompiledFaultProgram's
+  /// external-stack eval).
+  std::vector<unsigned char> scratch_;
   std::vector<EdgeState> edges_;
   std::vector<std::uint32_t> fired_;
   std::uint64_t evaluations_{0};

@@ -6,16 +6,14 @@
 namespace loki::runtime {
 
 LokiNode::LokiNode(sim::World& world, sim::HostId host, std::string nickname,
-                   const spec::StateMachineSpec& sm_spec,
-                   const spec::FaultSpec& fault_spec, const StudyDictionary& dict,
+                   const CompiledMachine& tables,
                    std::shared_ptr<Recorder> recorder, Deployment& deployment,
                    NodeDirectory& directory, const CostModel& costs, Rng rng,
                    bool restarted, Hooks hooks)
     : world_(world),
       host_(host),
       nickname_(std::move(nickname)),
-      machine_id_(dict.machine_index(nickname_)),
-      dict_(dict),
+      machine_id_(tables.self()),
       recorder_(std::move(recorder)),
       deployment_(deployment),
       directory_(directory),
@@ -36,8 +34,7 @@ LokiNode::LokiNode(sim::World& world, sim::HostId host, std::string nickname,
   sm_hooks.truth_injection = [this](const std::string& fault) {
     if (hooks_.truth_injection) hooks_.truth_injection(nickname_, fault);
   };
-  sm_ = std::make_unique<StateMachine>(sm_spec, fault_spec, dict_, recorder_,
-                                       std::move(sm_hooks));
+  sm_ = std::make_unique<StateMachine>(tables, recorder_, std::move(sm_hooks));
 }
 
 const std::string& LokiNode::host_name() const { return world_.host_name(host_); }

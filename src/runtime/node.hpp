@@ -37,12 +37,13 @@ class LokiNode final : public NodeContext {
     std::function<void(const std::string& nick)> truth_exit;
   };
 
+  /// `tables` is the node's study-compiled machine
+  /// (runtime/compiled_study.hpp), borrowed — it must outlive every
+  /// incarnation (the experiment context keeps the CompiledStudy alive).
   LokiNode(sim::World& world, sim::HostId host, std::string nickname,
-           const spec::StateMachineSpec& sm_spec,
-           const spec::FaultSpec& fault_spec, const StudyDictionary& dict,
-           std::shared_ptr<Recorder> recorder, Deployment& deployment,
-           NodeDirectory& directory, const CostModel& costs, Rng rng,
-           bool restarted, Hooks hooks);
+           const CompiledMachine& tables, std::shared_ptr<Recorder> recorder,
+           Deployment& deployment, NodeDirectory& directory,
+           const CostModel& costs, Rng rng, bool restarted, Hooks hooks);
 
   /// Spawn the simulated process, run the registration handshake, then
   /// appMain. Restarted nodes first write the RESTART record and request
@@ -87,7 +88,6 @@ class LokiNode final : public NodeContext {
   sim::HostId host_;
   std::string nickname_;
   MachineId machine_id_{kInvalidId};
-  const StudyDictionary& dict_;
   std::shared_ptr<Recorder> recorder_;
   Deployment& deployment_;
   NodeDirectory& directory_;

@@ -15,6 +15,12 @@ Recorder::Recorder(std::string nickname, std::string initial_host,
   }
 }
 
+void Recorder::reset(std::string initial_host) {
+  timeline_.initial_host = std::move(initial_host);
+  timeline_.records.clear();
+  user_messages_.clear();
+}
+
 void Recorder::record_state_change(std::uint32_t event_index,
                                    std::uint32_t state_index, LocalTime when) {
   TimelineRecord r;

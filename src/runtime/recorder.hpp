@@ -22,6 +22,13 @@ class Recorder {
   Recorder(std::string nickname, std::string initial_host,
            const StudyDictionary& dict);
 
+  /// Clear-and-refill for compile-once campaigns: drop the records and user
+  /// messages, keep the (study-invariant) dictionary header, and rebind the
+  /// initial host for the next experiment. Equivalent to constructing a
+  /// fresh Recorder with the same nickname/dict — without rebuilding the
+  /// header's name tables.
+  void reset(std::string initial_host);
+
   void record_state_change(std::uint32_t event_index, std::uint32_t state_index,
                            LocalTime when);
   void record_fault_injection(std::uint32_t fault_index, LocalTime when);

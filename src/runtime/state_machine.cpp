@@ -5,106 +5,91 @@
 
 namespace loki::runtime {
 
+StateMachine::StateMachine(const CompiledMachine& tables,
+                           std::shared_ptr<Recorder> recorder, Hooks hooks)
+    : tables_(&tables),
+      recorder_(std::move(recorder)),
+      hooks_(std::move(hooks)),
+      parser_(tables.fault_spec().entries, tables.fault_programs(),
+              tables.fault_stack_depth()) {
+  LOKI_REQUIRE(recorder_ != nullptr, "state machine needs a recorder");
+  LOKI_REQUIRE(static_cast<bool>(hooks_.clock), "state machine needs a clock hook");
+  current_state_ = tables_->begin_state();
+  view_.assign(tables_->dict().machine_count(), kNoState);
+}
+
 StateMachine::StateMachine(const spec::StateMachineSpec& sm_spec,
                            const spec::FaultSpec& fault_spec,
                            const StudyDictionary& dict,
                            std::shared_ptr<Recorder> recorder, Hooks hooks)
-    : spec_(sm_spec),
-      dict_(dict),
+    : owned_tables_(std::make_shared<CompiledMachine>(
+          CompiledMachine::compile(sm_spec, fault_spec, dict))),
+      tables_(owned_tables_.get()),
       recorder_(std::move(recorder)),
       hooks_(std::move(hooks)),
-      parser_(fault_spec.entries, dict) {
+      parser_(tables_->fault_spec().entries, tables_->fault_programs(),
+              tables_->fault_stack_depth()) {
   LOKI_REQUIRE(recorder_ != nullptr, "state machine needs a recorder");
   LOKI_REQUIRE(static_cast<bool>(hooks_.clock), "state machine needs a clock hook");
-  compile_tables();
+  current_state_ = tables_->begin_state();
+  view_.assign(tables_->dict().machine_count(), kNoState);
 }
 
 const std::uint32_t* StateMachine::find_event(const std::string& name) const {
-  const auto it = event_ids_->find(name);
-  return it == event_ids_->end() ? nullptr : &it->second;
-}
-
-void StateMachine::compile_tables() {
-  self_ = dict_.machine_index(spec_.name());
-  begin_state_ = dict_.state_index(std::string(spec::kStateBegin));
-  current_state_ = begin_state_;
-  view_.assign(dict_.machine_count(), kNoState);
-
-  // Event name -> index: borrow the dictionary's own per-machine map (the
-  // dictionary outlives every node of the study).
-  event_count_ = dict_.events_of(spec_.name()).size();
-  event_ids_ = &dict_.event_indices_of(spec_.name());
-  const std::uint32_t* default_ev = find_event(std::string(spec::kEventDefault));
-  LOKI_REQUIRE(default_ev != nullptr, "dictionary lacks the default event");
-  default_event_ = *default_ev;
-
-  def_of_state_.assign(dict_.state_count(), -1);
-  const auto& defs = spec_.state_defs();
-  compiled_.resize(defs.size());
-  next_matrix_.assign(defs.size() * event_count_, kNoState);
-  for (std::size_t d = 0; d < defs.size(); ++d) {
-    const spec::StateDef& def = defs[d];
-    def_of_state_[dict_.state_index(def.name)] = static_cast<std::int32_t>(d);
-
-    CompiledState& cs = compiled_[d];
-    for (const auto& [event, next] : def.transitions) {
-      const std::uint32_t* ev = find_event(event);
-      LOKI_REQUIRE(ev != nullptr, "transition event not in event list: " + event);
-      next_matrix_[d * event_count_ + *ev] = dict_.state_index(next);
-    }
-    if (def.default_next.has_value())
-      cs.default_next = dict_.state_index(*def.default_next);
-    cs.notify.reserve(def.notify.size());
-    for (const std::string& nick : def.notify)
-      cs.notify.push_back(dict_.try_machine_index(nick));
-  }
+  const auto& ids = tables_->event_ids();
+  const auto it = ids.find(name);
+  return it == ids.end() ? nullptr : &it->second;
 }
 
 const std::string& StateMachine::current_state() const {
-  return dict_.state_name(current_state_);
+  return tables_->dict().state_name(current_state_);
 }
 
 std::map<std::string, std::string> StateMachine::view() const {
+  const StudyDictionary& dict = tables_->dict();
   std::map<std::string, std::string> out;
   for (MachineId m = 0; m < view_.size(); ++m) {
-    if (view_[m] != kNoState) out.emplace(dict_.machine_name(m), dict_.state_name(view_[m]));
+    if (view_[m] != kNoState)
+      out.emplace(dict.machine_name(m), dict.state_name(view_[m]));
   }
   return out;
 }
 
 std::uint32_t StateMachine::event_index_or_default(const std::string& event) const {
   const std::uint32_t* ev = find_event(event);
-  return ev == nullptr ? default_event_ : *ev;
+  return ev == nullptr ? tables_->default_event() : *ev;
 }
 
 void StateMachine::notify_event(const std::string& name) {
   if (!initialized_) {
     // First notification: resolve the initial state (see header comment).
     // Cold path — string resolution is fine here.
+    const spec::StateMachineSpec& spec = tables_->spec();
     std::string initial;
-    if (const auto next = spec_.transition(std::string(spec::kStateBegin), name);
+    if (const auto next = spec.transition(std::string(spec::kStateBegin), name);
         next.has_value()) {
       initial = *next;
-    } else if (spec_.has_state(name)) {
+    } else if (spec.has_state(name)) {
       initial = name;
-    } else if (name == spec::kEventRestart && spec_.has_state("RESTART_SM")) {
+    } else if (name == spec::kEventRestart && spec.has_state("RESTART_SM")) {
       initial = "RESTART_SM";
     } else {
       throw LogicError("first probe notification '" + name + "' of machine " +
-                       spec_.name() + " does not resolve to an initial state");
+                       spec.name() + " does not resolve to an initial state");
     }
     initialized_ = true;
-    enter_state(dict_.state_index(initial), event_index_or_default(name));
+    enter_state(tables_->dict().state_index(initial),
+                event_index_or_default(name));
     return;
   }
 
-  const std::int32_t def = def_of_state_[current_state_];
+  const std::int32_t def = tables_->def_of(current_state_);
   const std::uint32_t* ev = find_event(name);
   StateId next = kNoState;
   if (def >= 0) {
-    const auto row = static_cast<std::size_t>(def) * event_count_;
-    if (ev != nullptr) next = next_matrix_[row + *ev];
-    if (next == kNoState) next = compiled_[static_cast<std::size_t>(def)].default_next;
+    const auto d = static_cast<std::size_t>(def);
+    if (ev != nullptr) next = tables_->next(d, *ev);
+    if (next == kNoState) next = tables_->state(d).default_next;
   }
   if (next == kNoState) {
     // Event has no arc in the current state; the abstraction does not model
@@ -114,7 +99,7 @@ void StateMachine::notify_event(const std::string& name) {
   }
   // Record with the event's own index; an unknown name means the `default`
   // wildcard arc was taken, which records as the reserved default event.
-  enter_state(next, ev != nullptr ? *ev : default_event_);
+  enter_state(next, ev != nullptr ? *ev : tables_->default_event());
 }
 
 void StateMachine::enter_state(StateId new_state, std::uint32_t event_index) {
@@ -122,15 +107,16 @@ void StateMachine::enter_state(StateId new_state, std::uint32_t event_index) {
   const LocalTime now = hooks_.clock();
   recorder_->record_state_change(event_index, new_state, now);
   if (hooks_.truth_state_change)
-    hooks_.truth_state_change(dict_.state_name(new_state));
+    hooks_.truth_state_change(tables_->dict().state_name(new_state));
 
   // Update own entry in the partial view before notifying others, so local
   // fault expressions see the new state immediately.
-  view_[self_] = new_state;
+  view_[tables_->self()] = new_state;
 
-  const std::int32_t def = def_of_state_[new_state];
+  const std::int32_t def = tables_->def_of(new_state);
   if (def >= 0) {
-    const CompiledState& cs = compiled_[static_cast<std::size_t>(def)];
+    const CompiledMachine::CompiledState& cs =
+        tables_->state(static_cast<std::size_t>(def));
     if (!cs.notify.empty() && hooks_.send_notifications)
       hooks_.send_notifications(new_state, cs.notify);
   }
@@ -146,7 +132,7 @@ void StateMachine::on_remote_state(MachineId machine, StateId state) {
 void StateMachine::apply_state_updates(
     const std::vector<std::pair<MachineId, StateId>>& states) {
   for (const auto& [machine, state] : states) {
-    if (machine == self_) continue;  // own state is authoritative
+    if (machine == tables_->self()) continue;  // own state is authoritative
     view_[machine] = state;
   }
   run_fault_parser();
@@ -155,7 +141,7 @@ void StateMachine::apply_state_updates(
 void StateMachine::record_crash_detected_by_daemon(LocalTime when) {
   recorder_->record_state_change(
       event_index_or_default(std::string(spec::kEventCrash)),
-      dict_.state_index(std::string(spec::kStateCrash)), when);
+      tables_->dict().state_index(std::string(spec::kStateCrash)), when);
 }
 
 void StateMachine::run_fault_parser() {
@@ -168,7 +154,7 @@ void StateMachine::run_fault_parser() {
     const spec::FaultSpecEntry& entry = parser_.entries()[idx];
     if (hooks_.inject_fault) hooks_.inject_fault(entry.name);
     recorder_->record_fault_injection(
-        dict_.fault_index(spec_.name(), entry.name), hooks_.clock());
+        tables_->dict().fault_index(nickname(), entry.name), hooks_.clock());
     if (hooks_.truth_injection) hooks_.truth_injection(entry.name);
   }
 }

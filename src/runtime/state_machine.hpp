@@ -13,6 +13,12 @@
 // notifyEvent() string, interned with one hash lookup) and at the
 // report/test boundary (current_state(), view()).
 //
+// The compiled tables themselves live in a CompiledMachine
+// (runtime/compiled_study.hpp), built once per *study* and borrowed by
+// every incarnation of the node across every experiment of a campaign —
+// only the dynamic state (current state, partial view, parser edge state)
+// is constructed per incarnation.
+//
 // Initial-state resolution for the *first* probe notification (§3.5.7 says
 // "the first event notification that the probe sends is considered as a
 // state and is used to initialize the state of the state machine"; the
@@ -35,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/compiled_study.hpp"
 #include "runtime/dictionary.hpp"
 #include "runtime/fault_parser.hpp"
 #include "runtime/recorder.hpp"
@@ -62,7 +69,15 @@ class StateMachine {
     std::function<void(const std::string& fault_name)> truth_injection;
   };
 
-  /// `sm_spec` and `fault_spec` are borrowed, not copied: both must outlive
+  /// Borrow the study-compiled tables (runtime/compiled_study.hpp): no
+  /// compilation happens here, only the dynamic state (current state, view,
+  /// parser edges) is initialized. `tables` must outlive the machine (it
+  /// lives in the CompiledStudy the experiment context holds).
+  StateMachine(const CompiledMachine& tables, std::shared_ptr<Recorder> recorder,
+               Hooks hooks);
+
+  /// Compile-here convenience (tests, single-shot tools): compiles a
+  /// private CompiledMachine from the borrowed specs, which must outlive
   /// the state machine (they live in the experiment's NodeConfig).
   StateMachine(const spec::StateMachineSpec& sm_spec,
                const spec::FaultSpec& fault_spec, const StudyDictionary& dict,
@@ -83,8 +98,8 @@ class StateMachine {
   /// the crash into the timeline on the node's behalf (§3.5.2).
   void record_crash_detected_by_daemon(LocalTime when);
 
-  const std::string& nickname() const { return spec_.name(); }
-  MachineId machine_id() const { return self_; }
+  const std::string& nickname() const { return tables_->spec().name(); }
+  MachineId machine_id() const { return tables_->self(); }
   StateId current_state_id() const { return current_state_; }
   /// Report boundary: the current state's name.
   const std::string& current_state() const;
@@ -95,41 +110,21 @@ class StateMachine {
   std::uint64_t ignored_events() const { return ignored_events_; }
 
  private:
-  /// Compiled per-defined-state tables (indexed as spec_.state_defs()).
-  /// Transition arcs live in one flat matrix (next_matrix_, defs x events)
-  /// so per-node construction does a single allocation for all of them.
-  struct CompiledState {
-    StateId default_next{kNoState};
-    /// Pre-interned notify list (kInvalidId entries preserved for
-    /// drop-counting at the transport).
-    std::vector<MachineId> notify;
-  };
-
-  void compile_tables();
   void enter_state(StateId new_state, std::uint32_t event_index);
   void run_fault_parser();
   std::uint32_t event_index_or_default(const std::string& event) const;
   const std::uint32_t* find_event(const std::string& name) const;
 
-  /// Borrowed from the experiment configuration (NodeConfig), which outlives
-  /// every node of the run — copying the map-heavy spec per node per
-  /// experiment was a measurable share of campaign setup cost.
-  const spec::StateMachineSpec& spec_;
-  const StudyDictionary& dict_;
+  /// Set only by the compile-here constructor; the study path borrows the
+  /// tables from the CompiledStudy instead.
+  std::shared_ptr<const CompiledMachine> owned_tables_;
+  /// The immutable compiled tables (transition matrix, notify lists, fault
+  /// programs) — everything that used to be rebuilt per node per
+  /// experiment, now compiled once per study.
+  const CompiledMachine* tables_;
   std::shared_ptr<Recorder> recorder_;
   Hooks hooks_;
   FaultParser parser_;
-
-  MachineId self_{kInvalidId};
-  StateId begin_state_{kNoState};
-  std::uint32_t default_event_{0};
-  std::size_t event_count_{0};
-  std::vector<CompiledState> compiled_;          // by def index
-  std::vector<StateId> next_matrix_;             // def * event_count_ + event
-  std::vector<std::int32_t> def_of_state_;       // StateId -> def index or -1
-  /// Probe-boundary event interning: the dictionary's own per-machine
-  /// name -> index map, borrowed rather than rebuilt per node.
-  const std::map<std::string, std::uint32_t>* event_ids_{nullptr};
 
   bool initialized_{false};
   StateId current_state_{kNoState};

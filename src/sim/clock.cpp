@@ -4,17 +4,6 @@
 
 namespace loki::sim {
 
-LocalTime HostClock::read(SimTime t) const {
-  const double raw = static_cast<double>(params_.alpha.ns) +
-                     params_.beta * static_cast<double>(t.ns);
-  auto ticks = static_cast<std::int64_t>(std::floor(raw));
-  if (params_.granularity_ns > 1) {
-    ticks -= ((ticks % params_.granularity_ns) + params_.granularity_ns) %
-             params_.granularity_ns;
-  }
-  return LocalTime{ticks};
-}
-
 SimTime HostClock::to_physical(LocalTime local) const {
   const double t = (static_cast<double>(local.ns) -
                     static_cast<double>(params_.alpha.ns)) /

@@ -30,8 +30,24 @@ class HostClock {
  public:
   explicit HostClock(ClockParams params) : params_(params) {}
 
-  /// Local clock reading at physical time `t`.
-  LocalTime read(SimTime t) const;
+  /// Local clock reading at physical time `t`. Inline — every timeline
+  /// record and sync stamp reads the clock.
+  LocalTime read(SimTime t) const {
+    const double raw = static_cast<double>(params_.alpha.ns) +
+                       params_.beta * static_cast<double>(t.ns);
+    auto ticks = static_cast<std::int64_t>(__builtin_floor(raw));
+    const std::int64_t g = params_.granularity_ns;
+    if (g > 1) {
+      // Floor to a granularity multiple with one division; a negative
+      // remainder needs one correction. The default microsecond
+      // granularity takes a dedicated branch so the compiler strength-
+      // reduces the division to a multiply.
+      std::int64_t rem = g == 1000 ? ticks % 1000 : ticks % g;
+      if (rem < 0) rem += g;
+      ticks -= rem;
+    }
+    return LocalTime{ticks};
+  }
 
   /// Physical time at which this clock reads `local` (inverse of read(),
   /// ignoring granularity). Used by the substrate only, never by the

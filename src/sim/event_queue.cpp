@@ -7,31 +7,23 @@
 
 namespace loki::sim {
 
-void EventQueue::schedule_at(SimTime at, Task action) {
-  LOKI_REQUIRE(at >= now_, "cannot schedule an event in the past");
-  std::uint32_t slot;
-  if (free_head_ != kNoSlot) {
-    slot = free_head_;
-    free_head_ = slab_[slot].next_free;
-  } else {
-    slot = static_cast<std::uint32_t>(slab_.size());
-    slab_.emplace_back();
-  }
-  slab_[slot].task = std::move(action);
-  if (at == now_) {
-    // Fast lane (see header): runs after every already-queued event at this
-    // instant, in schedule order — exactly the (time, seq) contract.
-    ++next_seq_;
-    due_.push_back(slot);
-    return;
-  }
-  heap_.push_back(Key{at.ns, next_seq_++, slot});
+void EventQueue::heap_push(const Key& k) {
+  heap_.push_back(k);
   sift_up(heap_.size() - 1);
 }
 
-void EventQueue::schedule_in(Duration delay, Task action) {
-  LOKI_REQUIRE(delay.ns >= 0, "negative delay");
-  schedule_at(now_ + delay, std::move(action));
+std::uint32_t EventQueue::take_next() {
+  const auto slot =
+      static_cast<std::uint32_t>(next_.seq_slot & ((1u << kSlotBits) - 1));
+  if (heap_.empty()) {
+    has_next_ = false;
+  } else {
+    next_ = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+  return slot;
 }
 
 void EventQueue::sift_up(std::size_t i) {
@@ -67,25 +59,22 @@ std::uint64_t EventQueue::run_until(SimTime limit) {
   std::uint64_t count = 0;
   for (;;) {
     std::uint32_t slot;
-    if (!due_.empty() && now_ <= limit) {
-      // A heap entry at this same instant predates everything in the fast
-      // lane (smaller seq), so it goes first.
-      if (!heap_.empty() && heap_.front().at == now_.ns) {
-        slot = heap_.front().slot;
-        heap_.front() = heap_.back();
-        heap_.pop_back();
-        if (!heap_.empty()) sift_down(0);
+    if (due_.empty()) {
+      // Hot path: no same-instant fast-lane entries, the next event is the
+      // cached minimum.
+      if (!has_next_ || next_.at > limit.ns) break;
+      now_ = SimTime{next_.at};
+      slot = take_next();
+    } else if (now_ <= limit) {
+      // A non-due entry at this same instant predates everything in the
+      // fast lane (smaller seq), so it goes first. next_ is the minimum of
+      // all heap-side keys, so checking it alone suffices.
+      if (has_next_ && next_.at == now_.ns) {
+        slot = take_next();
       } else {
         slot = due_.front();
         due_.pop_front();
       }
-    } else if (!heap_.empty() && heap_.front().at <= limit.ns) {
-      const Key top = heap_.front();
-      heap_.front() = heap_.back();
-      heap_.pop_back();
-      if (!heap_.empty()) sift_down(0);
-      now_ = SimTime{top.at};
-      slot = top.slot;
     } else {
       break;
     }
@@ -107,6 +96,24 @@ std::uint64_t EventQueue::run_until(SimTime limit) {
 
 std::uint64_t EventQueue::run_to_completion() {
   return run_until(SimTime::max());
+}
+
+void EventQueue::reset() {
+  // Experiments stop at done_ without draining, so live tasks (watchdog
+  // timers, in-flight deliveries) may still occupy slots: destroy them all,
+  // free and occupied alike (resetting an empty Task is a no-op).
+  for (Slot& slot : slab_) slot.task.reset();
+  heap_.clear();
+  due_.clear();
+  has_next_ = false;
+  free_head_ = kNoSlot;
+  for (std::size_t i = slab_.size(); i-- > 0;) {
+    slab_[i].next_free = free_head_;
+    free_head_ = static_cast<std::uint32_t>(i);
+  }
+  now_ = SimTime::zero();
+  next_seq_ = 0;
+  executed_ = 0;
 }
 
 }  // namespace loki::sim

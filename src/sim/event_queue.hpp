@@ -5,7 +5,7 @@
 // execution order is a pure function of the schedule calls — the substrate
 // is deterministic by construction.
 //
-// The heap sifts 24-byte POD keys only; the tasks themselves never move
+// The heap sifts 16-byte POD keys only; the tasks themselves never move
 // after insertion. Slots are recycled through a free list, so the
 // steady-state loop (events scheduling further events) performs no heap
 // allocation at all: the slab stops growing once it covers the high-water
@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/task.hpp"
+#include "util/error.hpp"
 #include "util/time.hpp"
 
 namespace loki::sim {
@@ -30,11 +31,45 @@ class EventQueue {
 
   /// Schedule `action` at absolute time `at` (must be >= now()). Actions
   /// scheduled at the same instant run in schedule order (seq order), even
-  /// when an action schedules into its own timestamp.
-  void schedule_at(SimTime at, Task action);
+  /// when an action schedules into its own timestamp. Inline: this runs
+  /// once per kernel event and inlining lets callers fuse the Task
+  /// construction with the slab store.
+  void schedule_at(SimTime at, Task action) {
+    LOKI_REQUIRE(at >= now_, "cannot schedule an event in the past");
+    std::uint32_t slot;
+    if (free_head_ != kNoSlot) {
+      slot = free_head_;
+      free_head_ = slab_[slot].next_free;
+    } else {
+      slot = static_cast<std::uint32_t>(slab_.size());
+      slab_.emplace_back();
+    }
+    slab_[slot].task = std::move(action);
+    if (at == now_) {
+      // Fast lane (see below): runs after every already-queued event at
+      // this instant, in schedule order — exactly the (time, seq) contract.
+      ++next_seq_;
+      due_.push_back(slot);
+      return;
+    }
+    LOKI_REQUIRE(slot < (1u << kSlotBits), "event slab exceeded 2^20 slots");
+    const Key k{at.ns, (next_seq_++ << kSlotBits) | slot};
+    if (!has_next_) {
+      next_ = k;
+      has_next_ = true;
+    } else if (before(k, next_)) {
+      heap_push(next_);
+      next_ = k;
+    } else {
+      heap_push(k);
+    }
+  }
 
   /// Schedule `action` `delay` from now (delay >= 0).
-  void schedule_in(Duration delay, Task action);
+  void schedule_in(Duration delay, Task action) {
+    LOKI_REQUIRE(delay.ns >= 0, "negative delay");
+    schedule_at(now_ + delay, std::move(action));
+  }
 
   /// Run events until the queue is empty or `limit` is passed. Events at
   /// exactly `limit` still run. Returns the number of events executed.
@@ -43,7 +78,15 @@ class EventQueue {
   /// Run until the queue drains completely.
   std::uint64_t run_to_completion();
 
-  bool empty() const { return heap_.empty() && due_.empty(); }
+  /// Return to the just-constructed state (now == 0, seq == 0, nothing
+  /// pending) while keeping the slab: pending tasks are destroyed, every
+  /// slot is re-threaded onto the free list, and the heap/FIFO storage
+  /// keeps its capacity. Execution order is a pure function of (time, seq),
+  /// never of slot indices, so a reset queue behaves identically to a fresh
+  /// one — minus the slab regrowth. The backbone of ExperimentContext reuse.
+  void reset();
+
+  bool empty() const { return !has_next_ && heap_.empty() && due_.empty(); }
   std::uint64_t executed() const { return executed_; }
 
   /// Number of task slots ever created (high-water mark of pending events).
@@ -60,18 +103,24 @@ class EventQueue {
     Task task;
     std::uint32_t next_free{kNoSlot};
   };
-  /// Heap entry: ordering key + slab index. POD, cheap to sift.
+  /// Heap entry: ordering key + slab index packed into 16 bytes (sifting
+  /// moves two words instead of three). The sequence number occupies the
+  /// high bits, so comparing seq_slot compares seq — the slot bits can
+  /// never decide an ordering because sequence numbers are unique.
+  static constexpr unsigned kSlotBits = 20;  // up to ~1M pending events
   struct Key {
     std::int64_t at;
-    std::uint64_t seq;
-    std::uint32_t slot;
+    std::uint64_t seq_slot;  // (seq << kSlotBits) | slot
   };
   static bool before(const Key& a, const Key& b) {
-    return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+    return a.at != b.at ? a.at < b.at : a.seq_slot < b.seq_slot;
   }
 
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
+  void heap_push(const Key& k);
+  /// Consume next_ and refill it from the heap root (if any).
+  std::uint32_t take_next();
 
   SimTime now_{SimTime::zero()};
   std::uint64_t next_seq_{0};
@@ -79,6 +128,15 @@ class EventQueue {
   std::deque<Slot> slab_;
   std::uint32_t free_head_{kNoSlot};
   std::vector<Key> heap_;
+  /// Min-event cache: the smallest future (non-due_) key lives here, not in
+  /// heap_. The dominant kernel pattern — an event schedules its successor,
+  /// which is the next thing to run (burst completions, chained timers) —
+  /// then never touches the heap at all: schedule fills next_, pop drains
+  /// it, zero sifts. The heap only sees keys displaced by a smaller
+  /// arrival, and ordering stays the pure (time, seq) function because
+  /// next_ is by construction the minimum of all heap-side keys.
+  Key next_{};
+  bool has_next_{false};
   /// Fast lane for events scheduled at exactly now(): zero-delay dispatches
   /// are ~a third of all kernel traffic and never need the heap. Ordering
   /// stays correct because any heap entry with at == now() was necessarily

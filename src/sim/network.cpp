@@ -1,31 +1,6 @@
 #include "sim/network.hpp"
 
-#include <algorithm>
-
-#include "util/error.hpp"
-
 namespace loki::sim {
-namespace {
-
-/// Deterministic 64-bit mix (splitmix64 finalizer) — spreads the packed
-/// link key over the table independently of machine layout.
-std::uint64_t mix(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
-
-Network::LinkSlot& Network::find_slot(std::uint64_t key) {
-  const std::size_t mask = links_.size() - 1;
-  std::size_t i = static_cast<std::size_t>(mix(key)) & mask;
-  while (links_[i].key != key && links_[i].key != kEmptyKey) {
-    i = (i + 1) & mask;
-  }
-  return links_[i];
-}
 
 void Network::grow() {
   std::vector<LinkSlot> old = std::move(links_);
@@ -36,34 +11,12 @@ void Network::grow() {
   }
 }
 
-SimTime Network::delivery_time(SimTime now, ProcessId from, ProcessId to,
-                               ChannelClass cls) {
-  // pack_key's injectivity (and the all-ones empty sentinel) depends on
-  // non-negative ids; fail fast instead of silently losing FIFO ordering.
-  LOKI_REQUIRE(from.valid() && to.valid(), "delivery between invalid processes");
-  const LatencyParams& lat =
-      cls == ChannelClass::Ipc ? params_.ipc : params_.tcp;
-  const auto jitter = Duration{static_cast<std::int64_t>(
-      rng_.exponential(static_cast<double>(lat.jitter_mean.ns)))};
-  SimTime delivery = now + lat.base + jitter;
-
-  LinkSlot* slot = &find_slot(pack_key(from, to, cls));
-  if (slot->key == kEmptyKey) {
-    if ((used_links_ + 1) * 4 > links_.size() * 3) {  // load factor 3/4
-      grow();
-      slot = &find_slot(pack_key(from, to, cls));
-    }
-    ++used_links_;
-    slot->key = pack_key(from, to, cls);
-    slot->horizon_ns = delivery.ns;
-  } else {
-    // FIFO: never deliver before (or at the same instant as) the previous
-    // message on this link.
-    delivery = std::max(delivery, SimTime{slot->horizon_ns} + nanoseconds(1));
-    slot->horizon_ns = delivery.ns;
-  }
-  ++messages_sent_;
-  return delivery;
+void Network::reset(NetworkParams params, Rng rng) {
+  params_ = params;
+  rng_ = rng;
+  messages_sent_ = 0;
+  used_links_ = 0;
+  std::fill(links_.begin(), links_.end(), LinkSlot{});
 }
 
 }  // namespace loki::sim

@@ -48,6 +48,16 @@ class Mailbox {
     buf_[(head_ + count_) & mask_] = std::move(item);
     ++count_;
   }
+  /// Write the fields straight into the ring slot — one task move instead
+  /// of temporary-WorkItem + move-assign (the delivery hot path).
+  void emplace_back(Duration cost, Task&& fn, SimTime enqueued) {
+    if (count_ == buf_.size()) grow();
+    WorkItem& slot = buf_[(head_ + count_) & mask_];
+    slot.cost = cost;
+    slot.fn = std::move(fn);
+    slot.enqueued = enqueued;
+    ++count_;
+  }
   void pop_front() {
     buf_[head_].fn.reset();
     head_ = (head_ + 1) & mask_;
@@ -91,6 +101,19 @@ struct Process {
   Duration max_sched_wait{Duration{0}};
 
   bool alive() const { return state != ProcState::Dead; }
+
+  /// Return to just-spawned state, keeping the mailbox ring's storage.
+  /// World::reset pools process objects across experiments so the rings'
+  /// high-water allocations are paid once per context, not per experiment.
+  void recycle() {
+    state = ProcState::Blocked;
+    epoch = 0;
+    mailbox.clear();
+    cpu_used = Duration{0};
+    items_run = 0;
+    total_sched_wait = Duration{0};
+    max_sched_wait = Duration{0};
+  }
 };
 
 }  // namespace loki::sim

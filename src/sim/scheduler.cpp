@@ -6,21 +6,6 @@
 
 namespace loki::sim {
 
-void CpuScheduler::make_ready(Process* p) {
-  LOKI_REQUIRE(p->state == ProcState::Blocked, "make_ready on non-blocked process");
-  p->state = ProcState::Ready;
-  if (running_ != nullptr && rng_.bernoulli(params_.wake_preempt_prob)) {
-    // Wakeup preemption: the woken process outranks the current runner
-    // (Linux 2.2 goodness); it jumps the queue and the runner yields at its
-    // current burst boundary.
-    run_queue_.push_front(p);
-    wake_preempt_pending_ = true;
-  } else {
-    run_queue_.push_back(p);
-  }
-  maybe_dispatch();
-}
-
 void CpuScheduler::on_killed(Process* p) {
   // Lazy removal: dispatch() skips dead entries; finish_burst() detects a
   // dead running process via the epoch check. Nothing to do eagerly except
@@ -28,17 +13,6 @@ void CpuScheduler::on_killed(Process* p) {
   // live work behind the corpse.
   (void)p;
   maybe_dispatch();
-}
-
-void CpuScheduler::maybe_dispatch() {
-  // Dispatch inline: the running_ guard makes this safe against re-entry
-  // (a burst that wakes a same-host process defers to its own finish path),
-  // and an idle CPU picks up work at the same simulated instant a deferred
-  // zero-delay event would have — without paying for a kernel event per
-  // wakeup, which used to be ~a third of all event traffic.
-  if (running_ != nullptr) return;
-  if (run_queue_.empty()) return;
-  dispatch();
 }
 
 void CpuScheduler::dispatch() {

@@ -20,6 +20,7 @@
 
 #include "sim/event_queue.hpp"
 #include "sim/process.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -43,8 +44,37 @@ class CpuScheduler {
   CpuScheduler(EventQueue& events, SchedParams params, Rng rng)
       : events_(events), params_(params), rng_(rng) {}
 
-  /// A blocked process gained work: queue it for the CPU.
-  void make_ready(Process* p);
+  /// Return to just-constructed state for new (params, rng), keeping the
+  /// run-queue storage. Only valid over the same EventQueue (World::reset
+  /// pools schedulers within one World).
+  void reset(SchedParams params, Rng rng) {
+    params_ = params;
+    rng_ = rng;
+    run_queue_.clear();
+    running_ = nullptr;
+    quantum_left_ = Duration{0};
+    wake_preempt_pending_ = false;
+    context_switches_ = 0;
+    preemptions_ = 0;
+    busy_time_ = Duration{0};
+  }
+
+  /// A blocked process gained work: queue it for the CPU. Inline — this
+  /// runs once per delivered work item.
+  void make_ready(Process* p) {
+    LOKI_REQUIRE(p->state == ProcState::Blocked, "make_ready on non-blocked process");
+    p->state = ProcState::Ready;
+    if (running_ != nullptr && rng_.bernoulli(params_.wake_preempt_prob)) {
+      // Wakeup preemption: the woken process outranks the current runner
+      // (Linux 2.2 goodness); it jumps the queue and the runner yields at
+      // its current burst boundary.
+      run_queue_.push_front(p);
+      wake_preempt_pending_ = true;
+    } else {
+      run_queue_.push_back(p);
+    }
+    maybe_dispatch();
+  }
 
   /// Remove any scheduling claim a killed process holds. Run-queue entries
   /// are skipped lazily; a victim on the CPU frees it when its current burst
@@ -57,7 +87,16 @@ class CpuScheduler {
   Duration busy_time() const { return busy_time_; }
 
  private:
-  void maybe_dispatch();
+  void maybe_dispatch() {
+    // Dispatch inline: the running_ guard makes this safe against re-entry
+    // (a burst that wakes a same-host process defers to its own finish
+    // path), and an idle CPU picks up work at the same simulated instant a
+    // deferred zero-delay event would have — without paying for a kernel
+    // event per wakeup.
+    if (running_ != nullptr) return;
+    if (run_queue_.empty()) return;
+    dispatch();
+  }
   void dispatch();
   void begin_item(Duration overhead);
   void finish_burst(Process* p, std::uint32_t epoch, Duration cost);

@@ -32,6 +32,7 @@ class Task {
     if constexpr (fits_inline<D>()) {
       ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
       vt_ = &kInlineVTable<D>;
+      trivial_ = trivially_relocatable<D>();
     } else {
       ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
       vt_ = &kHeapVTable<D>;
@@ -66,7 +67,7 @@ class Task {
 
   void reset() noexcept {
     if (vt_ != nullptr) {
-      vt_->destroy(buf_);
+      if (!trivial_) vt_->destroy(buf_);
       vt_ = nullptr;
     }
   }
@@ -90,6 +91,18 @@ class Task {
   static constexpr bool fits_inline() {
     return sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
            std::is_nothrow_move_constructible_v<D>;
+  }
+
+  /// Captures of PODs and raw pointers — the bulk of what the kernel
+  /// schedules — move by plain memcpy and destroy by doing nothing. The
+  /// flag turns the per-move relocate dispatch (tasks relocate several
+  /// times per event: into the slab, through the in-flight stash, into and
+  /// out of mailboxes) into a fixed-size copy, and lets reset() skip the
+  /// destroy dispatch entirely.
+  template <typename D>
+  static constexpr bool trivially_relocatable() {
+    return std::is_trivially_copyable_v<D> &&
+           std::is_trivially_destructible_v<D>;
   }
 
   template <typename D>
@@ -130,14 +143,22 @@ class Task {
 
   void move_from(Task& other) noexcept {
     vt_ = other.vt_;
+    trivial_ = other.trivial_;
     if (vt_ != nullptr) {
-      vt_->relocate(other.buf_, buf_);
+      if (trivial_) {
+        // Whole-buffer copy: branch-free size, no indirect call. Only the
+        // capture bytes are meaningful; copying the tail is harmless.
+        __builtin_memcpy(buf_, other.buf_, kInlineSize);
+      } else {
+        vt_->relocate(other.buf_, buf_);
+      }
       other.vt_ = nullptr;
     }
   }
 
   alignas(std::max_align_t) unsigned char buf_[kInlineSize];
   const VTable* vt_{nullptr};
+  bool trivial_{false};
 
   static inline std::atomic<std::uint64_t> heap_allocs_{0};
 };

@@ -10,13 +10,48 @@ World::World(WorldParams params)
       app_lan_(params.app_lan, rng_.split("app-lan")),
       control_lan_(params.control_lan, rng_.split("control-lan")) {}
 
+void World::reset(WorldParams params) {
+  params_ = params;
+  // Mirror the constructor exactly: the LAN streams are splits of the
+  // freshly-seeded root rng, so a reset World draws the same jitter
+  // sequence a new World would.
+  rng_ = Rng(params.seed);
+  app_lan_.reset(params.app_lan, rng_.split("app-lan"));
+  control_lan_.reset(params.control_lan, rng_.split("control-lan"));
+  events_.reset();
+  // Recycle processes and schedulers instead of destroying them: their
+  // mailbox rings and run queues keep the previous experiments' high-water
+  // storage. recycle() drops any leftover work items (their tasks die
+  // here, exactly as ~Process would have destroyed them).
+  for (auto& p : processes_) {
+    p->recycle();
+    process_pool_.push_back(std::move(p));
+  }
+  processes_.clear();
+  for (HostEntry& host : hosts_) sched_pool_.push_back(std::move(host.sched));
+  hosts_.clear();
+  host_names_.clear();
+  // clear() keeps the slot vector's capacity; the tasks inside were already
+  // reclaimed (stash/deliver recycle eagerly) or die with their slots here.
+  inflight_.clear();
+  inflight_free_ = kNoSlot;
+  dropped_deliveries_ = 0;
+}
+
 HostId World::add_host(const HostParams& params) {
   LOKI_REQUIRE(!host_names_.contains(params.name), "duplicate host name");
   const HostId id{static_cast<std::int32_t>(hosts_.size())};
-  hosts_.push_back(HostEntry{
-      params.name, HostClock(params.clock),
-      std::make_unique<CpuScheduler>(events_, params.sched,
-                                     rng_.split("sched-" + params.name))});
+  std::unique_ptr<CpuScheduler> sched;
+  if (!sched_pool_.empty()) {
+    sched = std::move(sched_pool_.back());
+    sched_pool_.pop_back();
+    sched->reset(params.sched, rng_.split("sched-" + params.name));
+  } else {
+    sched = std::make_unique<CpuScheduler>(events_, params.sched,
+                                           rng_.split("sched-" + params.name));
+  }
+  hosts_.push_back(
+      HostEntry{params.name, HostClock(params.clock), std::move(sched)});
   host_names_.emplace(params.name, id);
   return id;
 }
@@ -27,17 +62,17 @@ HostId World::host_by_name(const std::string& name) const {
   return it->second;
 }
 
-const std::string& World::host_name(HostId host) const {
-  LOKI_REQUIRE(host.valid() && host.value < static_cast<std::int32_t>(hosts_.size()),
-               "bad host id");
-  return hosts_[static_cast<std::size_t>(host.value)].name;
-}
-
 ProcessId World::spawn(HostId host, std::string name) {
   LOKI_REQUIRE(host.valid() && host.value < static_cast<std::int32_t>(hosts_.size()),
                "spawn on unknown host");
   const ProcessId id{static_cast<std::int32_t>(processes_.size())};
-  auto p = std::make_unique<Process>();
+  std::unique_ptr<Process> p;
+  if (!process_pool_.empty()) {
+    p = std::move(process_pool_.back());
+    process_pool_.pop_back();
+  } else {
+    p = std::make_unique<Process>();
+  }
   p->id = id;
   p->name = std::move(name);
   p->host = host;
@@ -92,29 +127,6 @@ void World::crash_host(HostId host) {
   for (const ProcessId pid : processes_on(host)) kill(pid);
 }
 
-bool World::post(ProcessId pid, Duration cpu_cost, Task fn) {
-  Process* p = proc_ptr(pid);
-  if (p == nullptr || !p->alive()) {
-    ++dropped_deliveries_;
-    return false;
-  }
-  enqueue_item(p, cpu_cost, std::move(fn));
-  return true;
-}
-
-std::uint32_t World::stash(Task t) {
-  std::uint32_t slot;
-  if (inflight_free_ != kNoSlot) {
-    slot = inflight_free_;
-    inflight_free_ = inflight_[slot].next_free;
-  } else {
-    slot = static_cast<std::uint32_t>(inflight_.size());
-    inflight_.emplace_back();
-  }
-  inflight_[slot].task = std::move(t);
-  return slot;
-}
-
 Task World::unstash(std::uint32_t slot) {
   Task t = std::move(inflight_[slot].task);
   inflight_[slot].next_free = inflight_free_;
@@ -129,20 +141,11 @@ void World::deliver_slot(ProcessId pid, Duration cost, std::uint32_t slot) {
     ++dropped_deliveries_;
     in.task.reset();
   } else {
-    p->mailbox.push_back(WorkItem{cost, std::move(in.task), now()});
+    p->mailbox.emplace_back(cost, std::move(in.task), now());
     if (p->state == ProcState::Blocked) scheduler(p->host).make_ready(p);
   }
   in.next_free = inflight_free_;
   inflight_free_ = slot;
-}
-
-void World::send(ProcessId from, ProcessId to, Lan which, ChannelClass cls,
-                 Duration handler_cost, Task fn) {
-  const SimTime delivery = lan(which).delivery_time(now(), from, to, cls);
-  const std::uint32_t slot = stash(std::move(fn));
-  events_.schedule_at(delivery, [this, to, handler_cost, slot] {
-    deliver_slot(to, handler_cost, slot);
-  });
 }
 
 void World::timer(ProcessId pid, Duration delay, Duration handler_cost,
@@ -161,16 +164,6 @@ void World::timer(ProcessId pid, Duration delay, Duration handler_cost,
   });
 }
 
-void World::at(SimTime when, Task fn) {
-  events_.schedule_at(when, std::move(fn));
-}
-
-LocalTime World::clock_read(HostId host) const {
-  LOKI_REQUIRE(host.valid() && host.value < static_cast<std::int32_t>(hosts_.size()),
-               "clock_read: bad host");
-  return hosts_[static_cast<std::size_t>(host.value)].clock.read(now());
-}
-
 LocalTime World::clock_read_of(ProcessId pid) const {
   return clock_read(host_of(pid));
 }
@@ -179,31 +172,6 @@ const HostClock& World::clock(HostId host) const {
   LOKI_REQUIRE(host.valid() && host.value < static_cast<std::int32_t>(hosts_.size()),
                "clock: bad host");
   return hosts_[static_cast<std::size_t>(host.value)].clock;
-}
-
-CpuScheduler& World::scheduler(HostId host) {
-  LOKI_REQUIRE(host.valid() && host.value < static_cast<std::int32_t>(hosts_.size()),
-               "scheduler: bad host");
-  return *hosts_[static_cast<std::size_t>(host.value)].sched;
-}
-
-Process* World::proc_ptr(ProcessId pid) {
-  if (!pid.valid() || pid.value >= static_cast<std::int32_t>(processes_.size()))
-    return nullptr;
-  return processes_[static_cast<std::size_t>(pid.value)].get();
-}
-
-const Process* World::proc_ptr(ProcessId pid) const {
-  if (!pid.valid() || pid.value >= static_cast<std::int32_t>(processes_.size()))
-    return nullptr;
-  return processes_[static_cast<std::size_t>(pid.value)].get();
-}
-
-void World::enqueue_item(Process* p, Duration cost, Task fn) {
-  p->mailbox.push_back(WorkItem{cost, std::move(fn), now()});
-  if (p->state == ProcState::Blocked) {
-    scheduler(p->host).make_ready(p);
-  }
 }
 
 }  // namespace loki::sim

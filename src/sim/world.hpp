@@ -19,6 +19,7 @@
 
 #include "sim/clock.hpp"
 #include "sim/event_queue.hpp"
+#include "util/error.hpp"
 #include "sim/ids.hpp"
 #include "sim/network.hpp"
 #include "sim/process.hpp"
@@ -47,10 +48,23 @@ class World {
  public:
   explicit World(WorldParams params = {});
 
+  /// Rebuild this World as if freshly constructed from `params`, reusing
+  /// the heavy allocations (event-queue slab, network link tables, in-
+  /// flight task slots). Hosts and processes are dropped; pending events
+  /// are destroyed unexecuted; all counters and rng streams restart from
+  /// the seed. Observationally identical to constructing a new World —
+  /// this is what lets an ExperimentContext run thousands of experiments
+  /// without reallocating the simulation backbone.
+  void reset(WorldParams params);
+
   // --- topology -----------------------------------------------------------
   HostId add_host(const HostParams& params);
   HostId host_by_name(const std::string& name) const;
-  const std::string& host_name(HostId host) const;
+  const std::string& host_name(HostId host) const {
+    LOKI_REQUIRE(host.valid() && host.value < static_cast<std::int32_t>(hosts_.size()),
+                 "bad host id");
+    return hosts_[static_cast<std::size_t>(host.value)].name;
+  }
   std::size_t host_count() const { return hosts_.size(); }
 
   /// Create a process on `host`, initially blocked with an empty mailbox.
@@ -73,33 +87,56 @@ class World {
   // --- execution ----------------------------------------------------------
   /// Post a work item to a process on the same host (function call or local
   /// queue; no network transit). Returns false (dropping the item) if the
-  /// process is dead.
-  bool post(ProcessId pid, Duration cpu_cost, Task fn);
+  /// process is dead. Inline — once per locally-queued work item.
+  bool post(ProcessId pid, Duration cpu_cost, Task fn) {
+    Process* p = proc_ptr(pid);
+    if (p == nullptr || !p->alive()) {
+      ++dropped_deliveries_;
+      return false;
+    }
+    enqueue_item(p, cpu_cost, std::move(fn));
+    return true;
+  }
 
   /// Deliver a work item to `to` after LAN transit. Returns immediately;
-  /// the item is dropped (counted) if `to` is dead on arrival.
-  void send(ProcessId from, ProcessId to, Lan lan, ChannelClass cls,
-            Duration handler_cost, Task fn);
+  /// the item is dropped (counted) if `to` is dead on arrival. Inline —
+  /// once per simulated message.
+  void send(ProcessId from, ProcessId to, Lan which, ChannelClass cls,
+            Duration handler_cost, Task fn) {
+    const SimTime delivery = lan(which).delivery_time(now(), from, to, cls);
+    const std::uint32_t slot = stash(std::move(fn));
+    events_.schedule_at(delivery, [this, to, handler_cost, slot] {
+      deliver_slot(to, handler_cost, slot);
+    });
+  }
 
   /// Fire `fn` as a work item on `pid` after `delay`. The timer is cancelled
   /// implicitly if the process dies first.
   void timer(ProcessId pid, Duration delay, Duration handler_cost, Task fn);
 
   /// Raw kernel event not tied to any process/CPU (harness bookkeeping).
-  void at(SimTime when, Task fn);
+  void at(SimTime when, Task fn) { events_.schedule_at(when, std::move(fn)); }
 
   std::uint64_t run_until(SimTime limit) { return events_.run_until(limit); }
   std::uint64_t run_to_completion() { return events_.run_to_completion(); }
 
   // --- clocks -------------------------------------------------------------
   SimTime now() const { return events_.now(); }
-  LocalTime clock_read(HostId host) const;
+  LocalTime clock_read(HostId host) const {
+    LOKI_REQUIRE(host.valid() && host.value < static_cast<std::int32_t>(hosts_.size()),
+                 "clock_read: bad host");
+    return hosts_[static_cast<std::size_t>(host.value)].clock.read(now());
+  }
   LocalTime clock_read_of(ProcessId pid) const;
   const HostClock& clock(HostId host) const;
 
   // --- introspection ------------------------------------------------------
   EventQueue& events() { return events_; }
-  CpuScheduler& scheduler(HostId host);
+  CpuScheduler& scheduler(HostId host) {
+    LOKI_REQUIRE(host.valid() && host.value < static_cast<std::int32_t>(hosts_.size()),
+                 "scheduler: bad host");
+    return *hosts_[static_cast<std::size_t>(host.value)].sched;
+  }
   Network& lan(Lan lan) {
     return lan == Lan::App ? app_lan_ : control_lan_;
   }
@@ -115,9 +152,22 @@ class World {
     std::unique_ptr<CpuScheduler> sched;
   };
 
-  Process* proc_ptr(ProcessId pid);
-  const Process* proc_ptr(ProcessId pid) const;
-  void enqueue_item(Process* p, Duration cost, Task fn);
+  Process* proc_ptr(ProcessId pid) {
+    if (!pid.valid() || pid.value >= static_cast<std::int32_t>(processes_.size()))
+      return nullptr;
+    return processes_[static_cast<std::size_t>(pid.value)].get();
+  }
+  const Process* proc_ptr(ProcessId pid) const {
+    if (!pid.valid() || pid.value >= static_cast<std::int32_t>(processes_.size()))
+      return nullptr;
+    return processes_[static_cast<std::size_t>(pid.value)].get();
+  }
+  void enqueue_item(Process* p, Duration cost, Task fn) {
+    p->mailbox.emplace_back(cost, std::move(fn), now());
+    if (p->state == ProcState::Blocked) {
+      scheduler(p->host).make_ready(p);
+    }
+  }
 
   // In-flight task stash: send()/timer() park the user task in a recycled
   // slot so the scheduled wrapper captures only {this, pid, cost, slot} and
@@ -128,7 +178,18 @@ class World {
     Task task;
     std::uint32_t next_free{kNoSlot};
   };
-  std::uint32_t stash(Task t);
+  std::uint32_t stash(Task t) {
+    std::uint32_t slot;
+    if (inflight_free_ != kNoSlot) {
+      slot = inflight_free_;
+      inflight_free_ = inflight_[slot].next_free;
+    } else {
+      slot = static_cast<std::uint32_t>(inflight_.size());
+      inflight_.emplace_back();
+    }
+    inflight_[slot].task = std::move(t);
+    return slot;
+  }
   Task unstash(std::uint32_t slot);
   /// Deliver a stashed task straight into `pid`'s mailbox (one task move
   /// instead of unstash -> post -> enqueue).
@@ -142,6 +203,11 @@ class World {
   std::vector<HostEntry> hosts_;
   std::unordered_map<std::string, HostId> host_names_;
   std::vector<std::unique_ptr<Process>> processes_;
+  /// Recycled Process/CpuScheduler objects from previous experiments of
+  /// this World (reset() refills them): spawn/add_host reuse the objects —
+  /// and their mailbox/run-queue storage — instead of allocating.
+  std::vector<std::unique_ptr<Process>> process_pool_;
+  std::vector<std::unique_ptr<CpuScheduler>> sched_pool_;
   std::vector<InflightSlot> inflight_;
   std::uint32_t inflight_free_{kNoSlot};
   std::uint64_t dropped_deliveries_{0};

@@ -9,31 +9,50 @@
 
 namespace loki::spec {
 
+StateMachineSpec::StateMachineSpec() {
+  // The default-constructed spec's storage, shared by every empty instance
+  // (NodeConfig value-initializes one per node per generated experiment).
+  static const std::shared_ptr<const Data> kEmpty =
+      std::make_shared<const Data>();
+  data_ = kEmpty;
+}
+
 StateMachineSpec::StateMachineSpec(std::string name,
                                    std::vector<std::string> states,
                                    std::vector<std::string> events,
-                                   std::vector<StateDef> defs)
-    : name_(std::move(name)),
-      states_(std::move(states)),
-      events_(std::move(events)),
-      defs_(std::move(defs)) {
-  for (std::size_t i = 0; i < defs_.size(); ++i) {
-    LOKI_REQUIRE(!def_index_.contains(defs_[i].name), "duplicate state def");
-    def_index_.emplace(defs_[i].name, i);
+                                   std::vector<StateDef> defs) {
+  auto data = std::make_shared<Data>();
+  data->name = std::move(name);
+  data->states = std::move(states);
+  data->events = std::move(events);
+  data->defs = std::move(defs);
+  for (std::size_t i = 0; i < data->defs.size(); ++i) {
+    LOKI_REQUIRE(!data->def_index.contains(data->defs[i].name),
+                 "duplicate state def");
+    data->def_index.emplace(data->defs[i].name, i);
   }
+  data_ = std::move(data);
+}
+
+void StateMachineSpec::set_name(std::string n) {
+  auto data = std::make_shared<Data>(*data_);  // detach: copy-on-write
+  data->name = std::move(n);
+  data_ = std::move(data);
 }
 
 bool StateMachineSpec::has_state(const std::string& s) const {
-  return std::find(states_.begin(), states_.end(), s) != states_.end();
+  const auto& states = data_->states;
+  return std::find(states.begin(), states.end(), s) != states.end();
 }
 
 bool StateMachineSpec::has_event(const std::string& e) const {
-  return std::find(events_.begin(), events_.end(), e) != events_.end();
+  const auto& events = data_->events;
+  return std::find(events.begin(), events.end(), e) != events.end();
 }
 
 const StateDef* StateMachineSpec::find_state(const std::string& s) const {
-  const auto it = def_index_.find(s);
-  return it == def_index_.end() ? nullptr : &defs_[it->second];
+  const auto it = data_->def_index.find(s);
+  return it == data_->def_index.end() ? nullptr : &data_->defs[it->second];
 }
 
 std::optional<std::string> StateMachineSpec::transition(

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -36,25 +37,32 @@ struct StateDef {
   std::optional<std::string> default_next;
 };
 
+/// Immutable-by-sharing: the parsed tables live behind one shared block, so
+/// copying a spec — which generators, campaign base-params, NodeConfig and
+/// CompiledStudy all do per experiment — is a reference-count bump instead
+/// of re-allocating every string, map node and def. The only mutator,
+/// set_name(), detaches (copy-on-write). Two copies of one spec also
+/// compare equal by pointer (identity()), which is the per-experiment
+/// compatibility fast path of compile-once campaigns.
 class StateMachineSpec {
  public:
-  StateMachineSpec() = default;
+  StateMachineSpec();
   StateMachineSpec(std::string name, std::vector<std::string> states,
                    std::vector<std::string> events,
                    std::vector<StateDef> defs);
 
-  const std::string& name() const { return name_; }
-  void set_name(std::string n) { name_ = std::move(n); }
+  const std::string& name() const { return data_->name; }
+  void set_name(std::string n);
 
-  const std::vector<std::string>& states() const { return states_; }
-  const std::vector<std::string>& events() const { return events_; }
+  const std::vector<std::string>& states() const { return data_->states; }
+  const std::vector<std::string>& events() const { return data_->events; }
 
   bool has_state(const std::string& s) const;
   bool has_event(const std::string& e) const;
 
   /// The defined states (a subset of states(): only those with a `state`
   /// block belong to this machine).
-  const std::vector<StateDef>& state_defs() const { return defs_; }
+  const std::vector<StateDef>& state_defs() const { return data_->defs; }
   const StateDef* find_state(const std::string& s) const;
 
   /// Next state for (state, event), honouring the `default` wildcard.
@@ -65,12 +73,21 @@ class StateMachineSpec {
   /// Notify list on entering `state` (empty if state undefined).
   const std::vector<std::string>& notify_list(const std::string& state) const;
 
+  /// Shared-storage token: equal tokens imply deeply equal specs (copies
+  /// share one block until set_name detaches). Used as the equality fast
+  /// path; unequal tokens say nothing.
+  const void* identity() const { return data_.get(); }
+
  private:
-  std::string name_;
-  std::vector<std::string> states_;
-  std::vector<std::string> events_;
-  std::vector<StateDef> defs_;
-  std::map<std::string, std::size_t> def_index_;
+  struct Data {
+    std::string name;
+    std::vector<std::string> states;
+    std::vector<std::string> events;
+    std::vector<StateDef> defs;
+    std::map<std::string, std::size_t> def_index;
+  };
+
+  std::shared_ptr<const Data> data_;
 };
 
 /// Parse the textual format. `source_name` is used in error messages.

@@ -14,8 +14,6 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
 std::uint64_t fnv1a(std::string_view s) {
   std::uint64_t h = 0xcbf29ce484222325ull;
   for (const char c : s) {
@@ -41,22 +39,6 @@ Rng Rng::split(std::uint64_t salt) const {
 
 Rng Rng::split(std::string_view name) const { return split(fnv1a(name)); }
 
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::next_double() {
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
   if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
@@ -71,12 +53,6 @@ double Rng::uniform_real(double lo, double hi) {
   return lo + (hi - lo) * next_double();
 }
 
-double Rng::exponential(double mean) {
-  double u = next_double();
-  while (u <= 0.0) u = next_double();
-  return -mean * std::log(u);
-}
-
 double Rng::normal(double mean, double stddev) {
   double u1 = next_double();
   while (u1 <= 0.0) u1 = next_double();
@@ -85,7 +61,5 @@ double Rng::normal(double mean, double stddev) {
       std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
   return mean + stddev * z;
 }
-
-bool Rng::bernoulli(double p) { return next_double() < p; }
 
 }  // namespace loki

@@ -8,6 +8,7 @@
 // is small, fast, and well understood.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <string_view>
 
@@ -23,21 +24,43 @@ class Rng {
   Rng split(std::uint64_t salt) const;
   Rng split(std::string_view name) const;
 
-  std::uint64_t next_u64();
+  // The draw primitives are inline: network jitter and scheduler decisions
+  // draw once per simulated message/work item.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
   /// Uniform in [0, 1).
-  double next_double();
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
   /// Uniform real in [lo, hi).
   double uniform_real(double lo, double hi);
   /// Exponential with the given mean (> 0).
-  double exponential(double mean);
+  double exponential(double mean) {
+    double u = next_double();
+    while (u <= 0.0) u = next_double();
+    return -mean * std::log(u);
+  }
   /// Standard normal via Box-Muller (no cached spare: keeps state minimal).
   double normal(double mean, double stddev);
   /// Bernoulli with probability p of true.
-  bool bernoulli(double p);
+  bool bernoulli(double p) { return next_double() < p; }
 
  private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
 };
 

@@ -526,6 +526,64 @@ TEST(RemoteRunnerFaults, GeneratorThrowInForkedWorkerIsRehydrated) {
   EXPECT_NE(error.find("generator exploded at 3"), std::string::npos) << error;
 }
 
+// --- lease autotuning --------------------------------------------------------
+
+TEST(RemoteRunnerAutotune, GrowsLeasesForFastExperimentsAndStaysIdentical) {
+  const auto study = fault_study("autotune-grow", 24);
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+
+  campaign::RemoteOptions options = test_options(1);  // start at span 1
+  options.autotune_lease = true;
+  options.lease_target = std::chrono::milliseconds(250);
+  options.max_lease_size = 8;
+  auto runner = std::make_shared<campaign::RemoteRunner>(
+      std::make_shared<campaign::FakeTransport>(2), options);
+  const auto remote = run_recorded(runner, study);
+
+  // Lease geometry must never reach the results: byte-identical to serial,
+  // exactly-once, in order.
+  expect_identical_events(serial.events, remote.events);
+  expect_exactly_once(remote.events, study.experiments);
+
+  // Millisecond experiments against a 250ms target: the multiplicative
+  // rule has to have grown the span, and the bound has to have held.
+  const campaign::RunnerTelemetry telemetry = runner->telemetry();
+  EXPECT_GT(telemetry.final_lease_size, 1);
+  EXPECT_LE(telemetry.final_lease_size, options.max_lease_size);
+}
+
+TEST(RemoteRunnerAutotune, DisabledKeepsTheConfiguredSpan) {
+  const auto study = fault_study("autotune-off", 6);
+  campaign::RemoteOptions options = test_options(2);
+  options.autotune_lease = false;
+  auto runner = std::make_shared<campaign::RemoteRunner>(
+      std::make_shared<campaign::FakeTransport>(2), options);
+  run_recorded(runner, study);
+  EXPECT_EQ(runner->telemetry().final_lease_size, 2);
+}
+
+TEST(RemoteRunnerAutotune, SurvivesWorkerLossMidCampaign) {
+  const auto study = fault_study("autotune-faults", 20);
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+
+  // Two workers so the faulty one cannot be starved of leases; it dies at
+  // its very first delivered result, mid-lease or not.
+  auto transport = std::make_shared<campaign::FakeTransport>(2);
+  transport->kill_after_results(1, 1);
+  campaign::RemoteOptions options = test_options(1);
+  options.max_lease_size = 8;
+  auto runner = std::make_shared<campaign::RemoteRunner>(transport, options);
+  const auto remote = run_recorded(runner, study);
+
+  expect_identical_events(serial.events, remote.events);
+  expect_exactly_once(remote.events, study.experiments);
+  EXPECT_GE(remote.summary.workers_lost, 1);
+  EXPECT_GE(runner->telemetry().final_lease_size, 1);
+  EXPECT_LE(runner->telemetry().final_lease_size, options.max_lease_size);
+}
+
 // --- options and construction ------------------------------------------------
 
 TEST(RemoteRunnerConfig, RejectsBadConstruction) {
@@ -538,6 +596,16 @@ TEST(RemoteRunnerConfig, RejectsBadConstruction) {
   EXPECT_THROW(campaign::FakeTransport(0), ConfigError);
   EXPECT_THROW(campaign::SubprocessTransport(0), ConfigError);
   EXPECT_THROW(campaign::SubprocessTransport(2, {}), ConfigError);
+  campaign::RemoteOptions bad_max;
+  bad_max.max_lease_size = 0;
+  EXPECT_THROW(campaign::RemoteRunner(
+                   std::make_shared<campaign::FakeTransport>(1), bad_max),
+               ConfigError);
+  campaign::RemoteOptions bad_target;
+  bad_target.lease_target = std::chrono::milliseconds(0);
+  EXPECT_THROW(campaign::RemoteRunner(
+                   std::make_shared<campaign::FakeTransport>(1), bad_target),
+               ConfigError);
 }
 
 // --- runner specs, hostfiles, ssh argv ---------------------------------------

@@ -9,10 +9,14 @@ current time, and the relative delta (negative = faster). Benchmarks missing
 from the baseline are listed as NEW. Exits 0 always by default — the table
 is informational (CI keeps the JSON as an artifact and shows the trend);
 pass --fail-above PCT to turn regressions beyond PCT percent into exit 1.
+With --hot REGEX only the named hot benchmarks gate the exit status: the
+perf CI job fails on a hot-path regression while everything else stays a
+report-only comment in the table (marked "(hot)").
 """
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -50,7 +54,11 @@ def main():
     ap.add_argument("current")
     ap.add_argument("--fail-above", type=float, default=None, metavar="PCT",
                     help="exit 1 if any benchmark regressed by more than PCT%%")
+    ap.add_argument("--hot", default=None, metavar="REGEX",
+                    help="only benchmarks matching REGEX count toward "
+                         "--fail-above; the rest are report-only")
     args = ap.parse_args()
+    hot = re.compile(args.hot) if args.hot else None
 
     current = load(args.current)
     if current is None:
@@ -74,16 +82,20 @@ def main():
             continue
         base_ns = to_ns(*baseline[name])
         delta = (cur_ns - base_ns) / base_ns * 100.0 if base_ns > 0 else 0.0
-        worst = max(worst, delta)
+        gated = hot is None or hot.search(name) is not None
+        if gated:
+            worst = max(worst, delta)
         sign = "+" if delta >= 0 else ""
+        tag = "  (hot)" if hot is not None and gated else ""
         print(f"  {name:<{width}}  {fmt(base_ns):>12}  {fmt(cur_ns):>12}  "
-              f"{sign}{delta:.1f}%")
+              f"{sign}{delta:.1f}%{tag}")
     for name in sorted(set(baseline) - set(current)):
         print(f"  {name:<{width}}  {fmt(to_ns(*baseline[name])):>12}  "
               f"{'—':>12}  REMOVED")
 
     if args.fail_above is not None and worst > args.fail_above:
-        print(f"bench_compare: worst regression {worst:.1f}% exceeds "
+        scope = f" among hot benchmarks ({args.hot})" if args.hot else ""
+        print(f"bench_compare: worst regression {worst:.1f}%{scope} exceeds "
               f"--fail-above {args.fail_above}%", file=sys.stderr)
         return 1
     return 0
