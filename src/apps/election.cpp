@@ -6,9 +6,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "util/error.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace loki::apps {
 
@@ -183,12 +184,15 @@ spec::StateMachineSpec election_spec(const std::string& nickname,
       return nickname != o.nickname ? nickname < o.nickname : peers < o.peers;
     }
   };
-  static std::mutex cache_mu;
-  static std::map<CacheKey, spec::StateMachineSpec> cache;
+  struct SpecCache {
+    util::Mutex mu;
+    std::map<CacheKey, spec::StateMachineSpec> by_shape LOKI_GUARDED_BY(mu);
+  };
+  static SpecCache cache;
   {
-    std::lock_guard<std::mutex> lock(cache_mu);
-    const auto it = cache.find(CacheKey{nickname, peers});
-    if (it != cache.end()) return it->second;
+    util::MutexLock lock(cache.mu);
+    const auto it = cache.by_shape.find(CacheKey{nickname, peers});
+    if (it != cache.by_shape.end()) return it->second;
   }
 
   std::vector<std::string> states = {"BEGIN", "INIT",   "RESTART_SM", "ELECT",
@@ -228,12 +232,12 @@ spec::StateMachineSpec election_spec(const std::string& nickname,
 
   spec::StateMachineSpec spec(nickname, std::move(states), std::move(events),
                               std::move(defs));
-  std::lock_guard<std::mutex> lock(cache_mu);
+  util::MutexLock lock(cache.mu);
   // Bound the cache for long-lived processes (a serve_worker crossing many
   // studies, or generators minting unique shapes): real campaigns use a
   // handful of shapes, so a rare wholesale flush costs one rebuild each.
-  if (cache.size() >= 64) cache.clear();
-  return cache.emplace(CacheKey{nickname, peers}, std::move(spec))
+  if (cache.by_shape.size() >= 64) cache.by_shape.clear();
+  return cache.by_shape.emplace(CacheKey{nickname, peers}, std::move(spec))
       .first->second;
 }
 

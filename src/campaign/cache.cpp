@@ -41,32 +41,42 @@ std::filesystem::path ResultCache::path_of(const std::string& key) const {
 bool ResultCache::contains(const std::string& key) {
   std::error_code ec;
   const bool present = std::filesystem::exists(path_of(key), ec) && !ec;
-  if (!present) ++stats_.misses;
+  if (!present) {
+    util::MutexLock lock(mu_);
+    ++stats_.misses;
+  }
   return present;
 }
 
 std::optional<runtime::ExperimentResult> ResultCache::lookup(
     const std::string& key) {
+  const auto miss = [this] {
+    util::MutexLock lock(mu_);
+    ++stats_.misses;
+  };
   const std::filesystem::path path = path_of(key);
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    ++stats_.misses;
+    miss();
     return std::nullopt;
   }
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
                                   std::istreambuf_iterator<char>());
   if (!in.good() && !in.eof()) {
-    ++stats_.misses;
+    miss();
     return std::nullopt;
   }
   try {
     runtime::ExperimentResult result = runtime::decode_experiment_result(bytes);
-    ++stats_.hits;
+    {
+      util::MutexLock lock(mu_);
+      ++stats_.hits;
+    }
     return result;
   } catch (const codec::DecodeError&) {
     // Torn or foreign-version file: a miss, not an error — the store()
     // after the re-run overwrites it atomically.
-    ++stats_.misses;
+    miss();
     return std::nullopt;
   }
 }
@@ -78,9 +88,14 @@ void ResultCache::store(const std::string& key,
       runtime::encode_experiment_result(result);
   // Unique temp name per process and store: concurrent writers of the same
   // key never collide mid-write, and rename() makes the publish atomic.
+  std::uint64_t serial = 0;
+  {
+    util::MutexLock lock(mu_);
+    serial = temp_counter_++;
+  }
   const std::filesystem::path tmp =
       dir_ / (key + ".tmp." + std::to_string(::getpid()) + "." +
-              std::to_string(temp_counter_++));
+              std::to_string(serial));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out)
@@ -96,6 +111,7 @@ void ResultCache::store(const std::string& key,
     std::filesystem::remove(tmp, ec);
     throw ConfigError("ResultCache: cannot publish '" + path.string() + "'");
   }
+  util::MutexLock lock(mu_);
   ++stats_.stores;
 }
 

@@ -36,6 +36,8 @@
 
 #include "campaign/sink.hpp"
 #include "runtime/experiment.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace loki::campaign {
 
@@ -61,15 +63,24 @@ class ResultCache {
     std::uint64_t misses{0};
     std::uint64_t stores{0};
   };
-  const Stats& stats() const { return stats_; }
+  /// A snapshot, by value: one cache may be shared by a parallel runner's
+  /// CacheSink and the campaign's cache-first probe loop, so counters are
+  /// mutated concurrently and a reference would be a data race to read.
+  Stats stats() const LOKI_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return stats_;
+  }
   const std::filesystem::path& dir() const { return dir_; }
 
  private:
   std::filesystem::path path_of(const std::string& key) const;
 
   std::filesystem::path dir_;
-  Stats stats_;
-  std::uint64_t temp_counter_{0};
+  /// Guards the counters only. Filesystem state needs no lock: writes
+  /// publish via atomic rename, and readers treat torn files as misses.
+  mutable util::Mutex mu_;
+  Stats stats_ LOKI_GUARDED_BY(mu_);
+  std::uint64_t temp_counter_ LOKI_GUARDED_BY(mu_){0};
 };
 
 /// Streams every result of its registered studies into a ResultCache.

@@ -1,13 +1,11 @@
 #include "campaign/remote_runner.hpp"
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <deque>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -22,6 +20,8 @@
 #include "runtime/serialize.hpp"
 #include "util/codec.hpp"
 #include "util/error.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace loki::campaign {
 
@@ -43,35 +43,39 @@ struct Event {
 
 class EventQueue {
  public:
-  void push(Event e) {
+  void push(Event e) LOKI_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       events_.push_back(std::move(e));
     }
     cv_.notify_all();
   }
 
-  Event pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return !events_.empty(); });
+  Event pop() LOKI_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    while (events_.empty()) cv_.wait(mu_);
     Event e = std::move(events_.front());
     events_.pop_front();
     return e;
   }
 
-  std::optional<Event> pop_until(std::chrono::steady_clock::time_point deadline) {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (!cv_.wait_until(lock, deadline, [&] { return !events_.empty(); }))
-      return std::nullopt;
+  std::optional<Event> pop_until(std::chrono::steady_clock::time_point deadline)
+      LOKI_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    while (events_.empty()) {
+      if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout &&
+          events_.empty())
+        return std::nullopt;
+    }
     Event e = std::move(events_.front());
     events_.pop_front();
     return e;
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Event> events_;
+  util::Mutex mu_;
+  util::CondVar cv_;
+  std::deque<Event> events_ LOKI_GUARDED_BY(mu_);
 };
 
 /// A contiguous index range [lo, hi) awaiting a worker.

@@ -1,9 +1,7 @@
 #include "campaign/runner.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <string_view>
 #include <thread>
 #include <vector>
@@ -14,7 +12,9 @@
 #include "campaign/validate.hpp"
 #include "runtime/experiment_context.hpp"
 #include "util/error.hpp"
+#include "util/mutex.hpp"
 #include "util/text_file.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace loki::campaign {
 
@@ -37,6 +37,26 @@ std::shared_ptr<const runtime::CompiledStudy> compile_study_front(
     const runtime::StudyParams& study) {
   return runtime::CompiledStudy::compile(checked_params(study, 0));
 }
+
+/// Everything ThreadPoolRunner's workers and drain loop share. The mutex
+/// discipline is declared so clang -Wthread-safety can prove it: `mu`
+/// guards claim/complete/drain state, `gen_mu` only serializes user
+/// parameter generators (which may share hidden state across indices).
+struct PoolShared {
+  explicit PoolShared(int n) : fail_min(n) {}
+
+  util::Mutex gen_mu;  // serializes make_params; never held with `mu`
+  util::Mutex mu;
+  util::CondVar cv;
+  std::map<int, runtime::ExperimentResult> ready LOKI_GUARDED_BY(mu);
+  std::exception_ptr failure LOKI_GUARDED_BY(mu);
+  int fail_min LOKI_GUARDED_BY(mu);    // lowest index that threw
+  int next LOKI_GUARDED_BY(mu){0};     // next index to claim
+  int emitted LOKI_GUARDED_BY(mu){0};  // indices already handed to emit
+  /// Not guarded: a latch raced only in the safe direction. Workers that
+  /// miss a newly-set abort claim at most one extra experiment.
+  std::atomic<bool> abort{false};
+};
 
 }  // namespace
 
@@ -71,15 +91,7 @@ void ThreadPoolRunner::run_study(const runtime::StudyParams& study,
   const std::shared_ptr<const runtime::CompiledStudy> compiled =
       compile_study_front(study);
 
-  std::mutex gen_mu;  // serializes make_params (user generators share state)
-  std::mutex mu;      // guards next/emitted/ready/failure
-  std::condition_variable cv;
-  std::map<int, runtime::ExperimentResult> ready;
-  std::exception_ptr failure;
-  int fail_min = n;  // lowest index that threw; failure is its exception
-  int next = 0;      // next index to claim
-  int emitted = 0;   // indices already handed to emit
-  std::atomic<bool> abort{false};
+  PoolShared s(n);
   // Backpressure: at most `window` experiments past the drain cursor may be
   // claimed, so `ready` stays O(workers) even when one early experiment is
   // slow — the streaming-sink memory guarantee survives skewed runtimes.
@@ -91,39 +103,39 @@ void ThreadPoolRunner::run_study(const runtime::StudyParams& study,
     for (;;) {
       int k;
       {
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [&] {
-          return abort.load(std::memory_order_relaxed) || failure != nullptr ||
-                 next >= n || next - emitted < window;
-        });
-        if (abort.load(std::memory_order_relaxed) || failure != nullptr ||
-            next >= n)
+        util::MutexLock lock(s.mu);
+        while (!(s.abort.load(std::memory_order_relaxed) ||
+                 s.failure != nullptr || s.next >= n ||
+                 s.next - s.emitted < window))
+          s.cv.wait(s.mu);
+        if (s.abort.load(std::memory_order_relaxed) || s.failure != nullptr ||
+            s.next >= n)
           return;
-        k = next++;
+        k = s.next++;
       }
       try {
         runtime::ExperimentParams params;
         {
-          std::lock_guard<std::mutex> lock(gen_mu);
+          util::MutexLock lock(s.gen_mu);
           params = study.make_params(k);
         }
         validate_experiment_params(params, experiment_context(study, k));
         runtime::ExperimentResult result = context.run(params);
         {
-          std::lock_guard<std::mutex> lock(mu);
-          ready.emplace(k, std::move(result));
+          util::MutexLock lock(s.mu);
+          s.ready.emplace(k, std::move(result));
         }
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(mu);
-          if (k < fail_min) {
-            fail_min = k;
-            failure = std::current_exception();
+          util::MutexLock lock(s.mu);
+          if (k < s.fail_min) {
+            s.fail_min = k;
+            s.failure = std::current_exception();
           }
         }
-        abort.store(true, std::memory_order_relaxed);
+        s.abort.store(true, std::memory_order_relaxed);
       }
-      cv.notify_all();
+      s.cv.notify_all();
     }
   };
 
@@ -139,26 +151,31 @@ void ThreadPoolRunner::run_study(const runtime::StudyParams& study,
   // `ready[k] || k >= fail_min` emits the same prefix serial would before
   // rethrowing the first failure.
   try {
-    std::unique_lock<std::mutex> lock(mu);
+    util::MutexLock lock(s.mu);
     for (int k = 0; k < n; ++k) {
-      cv.wait(lock, [&] { return ready.contains(k) || k >= fail_min; });
-      if (k >= fail_min) break;
-      auto node = ready.extract(k);
+      while (!(s.ready.contains(k) || k >= s.fail_min)) s.cv.wait(s.mu);
+      if (k >= s.fail_min) break;
+      auto node = s.ready.extract(k);
       lock.unlock();
       emit(k, std::move(node.mapped()));
       lock.lock();
-      ++emitted;
-      cv.notify_all();  // open the claim window
+      ++s.emitted;
+      s.cv.notify_all();  // open the claim window
     }
   } catch (...) {
-    abort.store(true, std::memory_order_relaxed);
-    cv.notify_all();
+    s.abort.store(true, std::memory_order_relaxed);
+    s.cv.notify_all();
     for (std::thread& t : pool) t.join();
     throw;
   }
 
   for (std::thread& t : pool) t.join();
-  if (failure) std::rethrow_exception(failure);
+  {
+    // Workers are joined: sole owner now, but the analysis still wants the
+    // lock for the guarded reads (and it documents the rethrow contract).
+    util::MutexLock lock(s.mu);
+    if (s.failure) std::rethrow_exception(s.failure);
+  }
 }
 
 std::shared_ptr<Runner> make_runner(int parallelism) {

@@ -1,12 +1,11 @@
 #include "campaign/transport.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
-#include <condition_variable>
 #include <csignal>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -16,8 +15,10 @@
 #include "campaign/remote_runner.hpp"
 #include "runtime/serialize.hpp"
 #include "util/error.hpp"
+#include "util/mutex.hpp"
 #include "util/pipe_io.hpp"
 #include "util/text_file.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace loki::campaign {
 
@@ -40,21 +41,21 @@ namespace detail {
 /// yet at fork time) so a SIGKILLed sibling's EOF is never masked by a
 /// write end surviving in another child.
 struct FdRegistry {
-  std::mutex mu;
-  std::vector<int> fds;
+  util::Mutex mu;
+  std::vector<int> fds LOKI_GUARDED_BY(mu);
 
-  void add(int a, int b) {
-    std::lock_guard<std::mutex> lock(mu);
+  void add(int a, int b) LOKI_EXCLUDES(mu) {
+    util::MutexLock lock(mu);
     fds.push_back(a);
     fds.push_back(b);
   }
-  void remove(int a, int b) {
-    std::lock_guard<std::mutex> lock(mu);
+  void remove(int a, int b) LOKI_EXCLUDES(mu) {
+    util::MutexLock lock(mu);
     std::erase(fds, a);
     std::erase(fds, b);
   }
-  std::vector<int> snapshot() {
-    std::lock_guard<std::mutex> lock(mu);
+  std::vector<int> snapshot() LOKI_EXCLUDES(mu) {
+    util::MutexLock lock(mu);
     return fds;
   }
 };
@@ -322,35 +323,50 @@ std::unique_ptr<WorkerLink> SshTransport::connect(
 
 namespace detail {
 
+namespace {
+std::atomic<std::uint64_t> self_detaches{0};
+}  // namespace
+
+std::uint64_t fake_worker_self_detaches() { return self_detaches.load(); }
+
 /// Shared state of one in-process fake worker: two frame queues and the
 /// scripted fault plan, guarded by one mutex.
 struct FakeWorker {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<std::vector<std::uint8_t>> to_worker;
-  std::deque<std::vector<std::uint8_t>> to_parent;
-  bool parent_closed{false};  // worker-side reads return EOF
-  bool stream_eof{false};     // parent-side recv returns Eof
-  bool hanging{false};        // parent-side recv delivers nothing (no Eof)
-  bool worker_done{false};    // serve_worker returned
-  int results_seen{0};        // Result frames delivered (or dropped) so far
-  FakeFaults faults;
+  util::Mutex mu;
+  util::CondVar cv;
+  std::deque<std::vector<std::uint8_t>> to_worker LOKI_GUARDED_BY(mu);
+  std::deque<std::vector<std::uint8_t>> to_parent LOKI_GUARDED_BY(mu);
+  bool parent_closed LOKI_GUARDED_BY(mu){false};  // worker reads return EOF
+  bool stream_eof LOKI_GUARDED_BY(mu){false};     // parent recv returns Eof
+  bool hanging LOKI_GUARDED_BY(mu){false};  // parent recv delivers nothing
+  bool worker_done LOKI_GUARDED_BY(mu){false};  // serve_worker returned
+  int results_seen LOKI_GUARDED_BY(mu){0};  // Result frames delivered so far
+  FakeFaults faults;  // written before the thread starts, read-only after
+  /// Deliberately NOT guarded_by(mu): the thread handle follows a lifecycle
+  /// protocol, not a lock — written once at spawn (before any concurrent
+  /// access exists) and joined/detached only via stop_and_join.
   std::thread thread;
 
   /// Close both directions and wait for the worker thread. Safe from any
   /// thread: the serving thread itself detaches instead of self-joining
   /// (it can end up running this when its captured shared_ptr is the last
   /// reference).
-  void stop_and_join() {
+  void stop_and_join() LOKI_EXCLUDES(mu) {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      util::MutexLock lock(mu);
       parent_closed = true;
       stream_eof = true;
     }
     cv.notify_all();
     if (!thread.joinable()) return;
-    if (thread.get_id() == std::this_thread::get_id()) thread.detach();
-    else thread.join();
+    if (thread.get_id() == std::this_thread::get_id()) {
+      // Last-resort escape hatch, never the intended path: counted so the
+      // join-discipline regression test can assert it stays unused.
+      ++self_detaches;
+      thread.detach();
+    } else {
+      thread.join();
+    }
   }
 
   ~FakeWorker() { stop_and_join(); }
@@ -367,9 +383,8 @@ class QueueFrameChannel final : public FrameChannel {
   explicit QueueFrameChannel(const std::shared_ptr<FakeWorker>& w) : w_(w) {}
 
   std::optional<std::vector<std::uint8_t>> read() override {
-    std::unique_lock<std::mutex> lock(w_->mu);
-    w_->cv.wait(lock,
-                [&] { return !w_->to_worker.empty() || w_->parent_closed; });
+    util::MutexLock lock(w_->mu);
+    while (w_->to_worker.empty() && !w_->parent_closed) w_->cv.wait(w_->mu);
     if (w_->to_worker.empty()) return std::nullopt;
     std::vector<std::uint8_t> frame = std::move(w_->to_worker.front());
     w_->to_worker.pop_front();
@@ -378,7 +393,7 @@ class QueueFrameChannel final : public FrameChannel {
 
   void write(const std::vector<std::uint8_t>& frame) override {
     {
-      std::lock_guard<std::mutex> lock(w_->mu);
+      util::MutexLock lock(w_->mu);
       if (w_->parent_closed)
         throw std::runtime_error("fake transport: parent is gone (EPIPE)");
       w_->to_parent.push_back(frame);
@@ -398,7 +413,7 @@ class FakeLink final : public WorkerLink {
   ~FakeLink() override {
     // Closing the link closes the worker's stdin: it exits at next read.
     {
-      std::lock_guard<std::mutex> lock(w_->mu);
+      util::MutexLock lock(w_->mu);
       w_->parent_closed = true;
     }
     w_->cv.notify_all();
@@ -406,7 +421,7 @@ class FakeLink final : public WorkerLink {
 
   void send(const std::vector<std::uint8_t>& frame) override {
     {
-      std::lock_guard<std::mutex> lock(w_->mu);
+      util::MutexLock lock(w_->mu);
       if (w_->stream_eof)
         throw std::runtime_error("fake transport: worker " +
                                  std::to_string(index_) + " is gone (EPIPE)");
@@ -417,7 +432,7 @@ class FakeLink final : public WorkerLink {
 
   RecvOutcome recv(std::chrono::milliseconds timeout) override {
     const auto deadline = std::chrono::steady_clock::now() + timeout;
-    std::unique_lock<std::mutex> lock(w_->mu);
+    util::MutexLock lock(w_->mu);
     for (;;) {
       if (w_->stream_eof) return {RecvOutcome::Status::Eof, {}};
       const detail::FakeFaults& f = w_->faults;
@@ -455,14 +470,14 @@ class FakeLink final : public WorkerLink {
       }
       if (w_->worker_done && w_->to_parent.empty() && !w_->hanging)
         return {RecvOutcome::Status::Eof, {}};
-      if (w_->cv.wait_until(lock, deadline) == std::cv_status::timeout)
+      if (w_->cv.wait_until(w_->mu, deadline) == std::cv_status::timeout)
         return {RecvOutcome::Status::Timeout, {}};
     }
   }
 
   void kill() override {
     {
-      std::lock_guard<std::mutex> lock(w_->mu);
+      util::MutexLock lock(w_->mu);
       w_->stream_eof = true;
       w_->parent_closed = true;
     }
@@ -517,7 +532,7 @@ std::unique_ptr<WorkerLink> FakeTransport::connect(
       // Killed mid-write or a protocol violation; the parent sees EOF.
     }
     {
-      std::lock_guard<std::mutex> lock(worker->mu);
+      util::MutexLock lock(worker->mu);
       worker->worker_done = true;
     }
     worker->cv.notify_all();

@@ -127,6 +127,13 @@ struct FakeFaults {
   int delay_nth{-1};
   std::chrono::milliseconds delay{0};
 };
+
+/// Process-wide count of FakeWorker threads that had to detach because
+/// their own teardown ran the join (the thread held the last reference to
+/// its own worker). The join discipline — owners join via stop_and_join,
+/// a serving thread never destroys its own FakeWorker — keeps this at 0;
+/// the regression test in transport_test.cpp pins that down.
+std::uint64_t fake_worker_self_detaches();
 }  // namespace detail
 
 class SubprocessTransport final : public Transport {

@@ -25,6 +25,22 @@ CentralizedDeployment::CentralizedDeployment(sim::World& world,
                           : dict.state_index(std::string(spec::kStateCrash))),
       nodes_(dict.machine_count(), nullptr) {}
 
+void CentralizedDeployment::reset(sim::HostId daemon_host,
+                                  const StudyDictionary& dict,
+                                  const CostModel& costs, Params params,
+                                  const ReservedStudyIds* reserved) {
+  daemon_host_ = daemon_host;
+  costs_ = costs;
+  params_ = params;
+  crash_state_id_ = reserved != nullptr
+                        ? reserved->crash_state
+                        : dict.state_index(std::string(spec::kStateCrash));
+  daemon_pid_ = sim::ProcessId{};
+  nodes_.assign(dict.machine_count(), nullptr);
+  dropped_ = 0;
+  relayed_ = 0;
+}
+
 void CentralizedDeployment::start_daemon() {
   daemon_pid_ = world_.spawn(daemon_host_,
                              "loki-global@" + world_.host_name(daemon_host_));
@@ -139,6 +155,18 @@ DirectDeployment::DirectDeployment(sim::World& world,
                          ? reserved->exit_state
                          : dict.state_index(std::string(spec::kStateExit))),
       peers_(dict.machine_count(), nullptr) {}
+
+void DirectDeployment::reset(const StudyDictionary& dict,
+                             const CostModel& costs,
+                             const ReservedStudyIds* reserved) {
+  costs_ = costs;
+  exit_state_id_ = reserved != nullptr
+                       ? reserved->exit_state
+                       : dict.state_index(std::string(spec::kStateExit));
+  peers_.assign(dict.machine_count(), nullptr);
+  dropped_ = 0;
+  connect_cost = microseconds(300);  // the declaration's default initializer
+}
 
 std::size_t DirectDeployment::peer_count() const {
   return static_cast<std::size_t>(

@@ -1,27 +1,34 @@
 #include "runtime/app_registry.hpp"
 
 #include <map>
-#include <mutex>
 
 #include "util/error.hpp"
+#include "util/mutex.hpp"
 #include "util/strings.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace loki::runtime {
 
 namespace {
 
-std::mutex g_mutex;
+/// The process-wide application registry. One annotated object instead of a
+/// bare global mutex beside a bare global map, so -Wthread-safety proves
+/// every access goes through the lock (registration may race lookups when
+/// worker threads build factories while a test registers late).
+struct Registry {
+  util::Mutex mu;
+  std::map<std::string, ApplicationCtor> by_name LOKI_GUARDED_BY(mu);
 
-std::map<std::string, ApplicationCtor>& registry() {
-  static std::map<std::string, ApplicationCtor> r;
+  std::vector<std::string> names() LOKI_REQUIRES(mu) {
+    std::vector<std::string> out;
+    for (const auto& [name, ctor] : by_name) out.push_back(name);
+    return out;
+  }
+};
+
+Registry& registry() {
+  static Registry r;
   return r;
-}
-
-// Caller must hold g_mutex.
-std::vector<std::string> names_locked() {
-  std::vector<std::string> names;
-  for (const auto& [name, ctor] : registry()) names.push_back(name);
-  return names;
 }
 
 }  // namespace
@@ -29,25 +36,28 @@ std::vector<std::string> names_locked() {
 void register_application(const std::string& name, ApplicationCtor ctor) {
   if (name.empty()) throw ConfigError("register_application: empty name");
   if (!ctor) throw ConfigError("register_application: null constructor");
-  std::lock_guard<std::mutex> lock(g_mutex);
-  registry()[name] = std::move(ctor);
+  Registry& r = registry();
+  util::MutexLock lock(r.mu);
+  r.by_name[name] = std::move(ctor);
 }
 
 bool has_application(const std::string& name) {
-  std::lock_guard<std::mutex> lock(g_mutex);
-  return registry().contains(name);
+  Registry& r = registry();
+  util::MutexLock lock(r.mu);
+  return r.by_name.contains(name);
 }
 
 ApplicationFactory make_application_factory(const std::string& name,
                                             const std::string& args) {
   ApplicationCtor ctor;
   {
-    std::lock_guard<std::mutex> lock(g_mutex);
-    const auto it = registry().find(name);
-    if (it == registry().end())
+    Registry& r = registry();
+    util::MutexLock lock(r.mu);
+    const auto it = r.by_name.find(name);
+    if (it == r.by_name.end())
       throw ConfigError(
           "application '" + name + "' is not registered (known: " +
-          join(names_locked(), ", ") +
+          join(r.names(), ", ") +
           "); did you forget apps::register_builtin_apps()?");
     ctor = it->second;
   }
@@ -55,8 +65,9 @@ ApplicationFactory make_application_factory(const std::string& name,
 }
 
 std::vector<std::string> registered_applications() {
-  std::lock_guard<std::mutex> lock(g_mutex);
-  return names_locked();
+  Registry& r = registry();
+  util::MutexLock lock(r.mu);
+  return r.names();
 }
 
 }  // namespace loki::runtime

@@ -39,6 +39,11 @@
 
 namespace loki::runtime {
 
+/// Pooled per-run deployment/daemon objects (defined in the .cpp): built on
+/// the first run of a study, reset in place by every later run, dropped on
+/// recompile. The last per-experiment heap churn of the campaign hot loop.
+struct DeploymentPool;
+
 class ExperimentContext {
  public:
   /// Empty context: the first run() compiles its study.
@@ -65,6 +70,9 @@ class ExperimentContext {
   /// Introspection for tests and benches.
   std::uint64_t runs() const { return runs_; }
   std::uint64_t recompiles() const { return recompiles_; }
+  /// Deployment/daemon objects constructed (not reused from the pool);
+  /// steady-state reuse keeps this flat while runs() climbs.
+  std::uint64_t deployment_builds() const { return deployment_builds_; }
 
  private:
   void prepare(const ExperimentParams& params);
@@ -75,8 +83,12 @@ class ExperimentContext {
   /// order), persisting across runs (reset per experiment) and across the
   /// crash/restart incarnations within a run (§3.6.3).
   std::vector<std::shared_ptr<Recorder>> recorders_;
+  /// Cleared whenever study_ is recompiled: the pooled objects hold a
+  /// reference to the compiled study's dictionary.
+  std::unique_ptr<DeploymentPool> pool_;
   std::uint64_t runs_{0};
   std::uint64_t recompiles_{0};
+  std::uint64_t deployment_builds_{0};
 };
 
 }  // namespace loki::runtime

@@ -1,0 +1,75 @@
+// Clang Thread Safety Analysis annotations (no-ops elsewhere).
+//
+// These macros let a class *declare* its mutex discipline — which fields a
+// mutex guards, which methods require or acquire it — so `clang
+// -Wthread-safety` proves at compile time what the identity tests can only
+// sample at run time: that no thread touches guarded state outside its
+// lock. The strict-warnings (clang) CI job builds with
+// -Wthread-safety -Werror, turning a forgotten lock_guard into a build
+// break instead of a once-a-month flaky byte-identity failure.
+//
+// Usage pattern (see campaign/transport.cpp's FakeWorker for a real one):
+//
+//   struct Queue {
+//     util::Mutex mu;                     // annotated wrapper (util/mutex.hpp);
+//     std::deque<Frame> frames LOKI_GUARDED_BY(mu);  // libstdc++'s std::mutex
+//     void push(Frame f) {                           // carries no attributes
+//       util::MutexLock lock(mu);
+//       frames.push_back(std::move(f));   // without the lock: build error
+//     }
+//   };
+//
+// Only annotate what the analysis can check: fields guarded by a mutex
+// member of the same object, and methods whose callers hold (or must not
+// hold) that mutex. State handed off between threads by other protocols
+// (thread start/join, queue ownership transfer) stays unannotated with a
+// comment explaining the protocol — a false GUARDED_BY is worse than none.
+//
+// The macro set follows the canonical Clang documentation names with a
+// LOKI_ prefix so they can never collide with a platform header.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define LOKI_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define LOKI_THREAD_ANNOTATION_(x)  // no-op on GCC/MSVC
+#endif
+
+/// The annotated type is a lock (util::Mutex is the one in this tree;
+/// libstdc++'s std::mutex carries no such attribute, which is why the
+/// wrapper exists).
+#define LOKI_CAPABILITY(x) LOKI_THREAD_ANNOTATION_(capability(x))
+
+/// RAII type that acquires a capability for its scope (util::MutexLock).
+#define LOKI_SCOPED_CAPABILITY LOKI_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field access requires holding `x`.
+#define LOKI_GUARDED_BY(x) LOKI_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointee access requires holding `x` (the pointer itself is free).
+#define LOKI_PT_GUARDED_BY(x) LOKI_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The function must be called with `...` held.
+#define LOKI_REQUIRES(...) \
+  LOKI_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// The function must be called with `...` NOT held (it will lock them).
+#define LOKI_EXCLUDES(...) LOKI_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// The function acquires `...` and returns holding them.
+#define LOKI_ACQUIRE(...) \
+  LOKI_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// The function releases `...` (entered holding them).
+#define LOKI_RELEASE(...) \
+  LOKI_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `result`.
+#define LOKI_TRY_ACQUIRE(result, ...) \
+  LOKI_THREAD_ANNOTATION_(try_acquire_capability(result, __VA_ARGS__))
+
+/// Escape hatch: the function's locking cannot be expressed to the
+/// analysis (e.g. lock ownership handed across a condition-variable wait).
+/// Every use must carry a comment saying why.
+#define LOKI_NO_THREAD_SAFETY_ANALYSIS \
+  LOKI_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -198,6 +198,30 @@ TEST(ExperimentContext, EveryRunnerBackendMatchesSerial) {
             serial);
 }
 
+TEST(ExperimentContext, DeploymentPoolReusedInSteadyState) {
+  // The deployment/daemon pool is the last per-experiment heap churn: built
+  // on the first run of a study, reset in place for every later run. In
+  // steady state (same structure) the build counter must stay flat while
+  // runs() climbs — and the bytes must still match the fresh path, which
+  // the identity tests above already pin down.
+  runtime::ExperimentContext context;
+  (void)context.run(election_params(1));
+  const std::uint64_t after_first = context.deployment_builds();
+  EXPECT_GT(after_first, 0u);
+  for (std::uint64_t seed = 2; seed <= 8; ++seed)
+    (void)context.run(election_params(seed));
+  EXPECT_EQ(context.deployment_builds(), after_first)
+      << "steady-state runs must reuse the pooled deployment objects";
+  EXPECT_EQ(context.runs(), 8u);
+  EXPECT_EQ(context.recompiles(), 1u);
+
+  // A structure change recompiles, which drops the pool (the pooled objects
+  // reference the old study's dictionary) and rebuilds on the next run.
+  (void)context.run(small_params(9));
+  EXPECT_GT(context.deployment_builds(), after_first);
+  EXPECT_EQ(context.recompiles(), 2u);
+}
+
 TEST(ExperimentContext, SerialRunnerReusesOneCompileAcrossAStudy) {
   // Two studies back to back through one runner object: each run_study gets
   // a fresh context (different studies may differ structurally), and within

@@ -1,0 +1,53 @@
+// lint-fixture-path: src/campaign/clean_example.cpp
+// Golden fixture: none of these may fire. Pins the precision half of the
+// lint — comments/strings are stripped, allows with reasons suppress, and
+// safe idioms (sorted drain, dense-id keys, value-position pointers) pass.
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Node {};
+
+struct CleanExample {
+  // Pointers in VALUE position are fine; only keys order a container.
+  std::unordered_map<int, Node*> by_id;
+  std::map<std::string, std::unique_ptr<Node>> by_name;
+  std::unordered_map<std::string, int> hosts;
+
+  // Lookup-only use of an unordered container never iterates it.
+  int lookup(const std::string& h) const { return hosts.at(h); }
+
+  // The deterministic drain idiom: copy keys, sort, then walk.
+  std::vector<int> ordered_ids() const {
+    std::vector<int> ids;
+    ids.reserve(by_id.size());
+    // loki-lint: allow(unordered-iter, keys copied then sorted below)
+    for (const auto& [id, node] : by_id) {
+      (void)node;
+      ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
+  // Mentions of rand(), getenv("X"), system_clock or mt19937 inside
+  // comments and string literals must never fire.
+  std::string doc() const {
+    return "never call rand() or getenv(\"SEED\") here; see mt19937 note";
+  }
+
+  // Campaign-layer (host-side) code may read the environment and the
+  // clock: the wall-clock and env rules scope to src/sim + src/runtime.
+  const char* shard_hint() const { return getenv("LOKI_SHARD"); }
+};
+
+// Iterating a std::map (ordered) is fine anywhere.
+inline int sum(const std::map<int, int>& m) {
+  int total = 0;
+  for (const auto& [k, v] : m) total += k + v;
+  return total;
+}

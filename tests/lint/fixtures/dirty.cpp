@@ -1,0 +1,52 @@
+// lint-fixture-path: src/sim/dirty_example.cpp
+// Golden fixture: every rule must fire exactly where expected.txt says.
+// This file never compiles or ships — it exists to pin loki_lint behavior.
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Node {};
+struct Result {};
+
+struct DirtyExample {
+  std::unordered_map<int, Result> results;
+  std::unordered_set<int> pending;
+  std::map<Node*, int> by_node;          // pointer-key (line 18)
+  std::unordered_map<const Node*, int> seen;  // pointer-key (line 19)
+
+  void emit_all() {
+    for (const auto& [id, r] : results) {  // unordered-iter (line 22)
+      (void)id;
+      (void)r;
+    }
+    for (auto it = pending.begin(); it != pending.end(); ++it) {  // (line 26)
+      (void)*it;
+    }
+  }
+
+  long stamp() {
+    auto wall = std::chrono::system_clock::now();  // wall-clock (line 32)
+    auto mono = std::chrono::steady_clock::now();  // wall-clock (line 33)
+    (void)mono;
+    return wall.time_since_epoch().count();
+  }
+
+  int host_config() {
+    const char* level = getenv("LOKI_LEVEL");  // env-read (line 39)
+    return level ? 1 : 0;
+  }
+
+  int roll() {
+    std::mt19937 gen(42);               // raw-random (line 44)
+    std::random_device rd;              // raw-random (line 45)
+    (void)rd;
+    return rand() + static_cast<int>(gen());  // raw-random (line 47)
+  }
+
+  // loki-lint: allow(unordered-iter)
+  void reasonless() {}  // the reasonless allow above is itself a finding
+};

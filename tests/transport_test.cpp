@@ -286,6 +286,45 @@ TEST_P(TransportConformance, TwoWorkersAreIndependent) {
             (std::vector<std::uint8_t>{42}));
 }
 
+TEST(FakeTransportJoinDiscipline, OwnerJoinsEveryWorkerThread) {
+  // Regression for the PR-4 FakeWorker trap: the worker thread must be
+  // joined by its owner via stop_and_join (reconnect, kill, transport
+  // destruction), never torn down by its own lambda's last shared_ptr
+  // release — a thread destroying its own FakeWorker can only detach,
+  // leaving an unsynchronized thread behind (the pattern the TSan job
+  // exists to catch). Every teardown ordering below must therefore leave
+  // the self-detach escape hatch unused.
+  const std::uint64_t before = campaign::detail::fake_worker_self_detaches();
+  const runtime::StudyParams study = tiny_study();
+  {
+    campaign::FakeTransport transport(2);
+
+    // Ordering 1: the link dies first, while the worker thread may still
+    // be serving; the transport (owner) must join it on reconnect.
+    auto link = transport.connect(0, study);
+    link->send(runtime::encode_hello_frame(&study));
+    link.reset();  // closes the worker's stdin mid-conversation
+    link = transport.connect(0, study);  // joins the predecessor thread
+
+    // Ordering 2: kill() ends the stream but the thread outlives the link;
+    // again the owner joins at reconnect time.
+    link->kill();
+    EXPECT_EQ(link->recv(kRecvTimeout).status, RecvOutcome::Status::Eof);
+    link.reset();
+    link = transport.connect(0, study);
+
+    // Ordering 3: a second worker is spun up and both links are released
+    // before the transport goes away; ~FakeTransport joins both threads.
+    auto other = transport.connect(1, study);
+    other->send(runtime::encode_hello_frame(&study));
+    link.reset();
+    other.reset();
+  }  // ~FakeTransport: owner-side join of every live worker thread
+  EXPECT_EQ(campaign::detail::fake_worker_self_detaches(), before)
+      << "a FakeWorker thread tore itself down via detach — worker threads "
+         "must be joined by the owning FakeTransport (stop_and_join)";
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBackends, TransportConformance,
                          testing::ValuesIn(factories()),
                          [](const testing::TestParamInfo<TransportFactory>& i) {

@@ -20,17 +20,34 @@ import re
 import sys
 
 
+class MalformedBenchmarkJson(Exception):
+    """Raised with a one-line, path-prefixed description of what's wrong."""
+
+
 def load(path):
     try:
         with open(path) as f:
             doc = json.load(f)
     except FileNotFoundError:
         return None
+    except OSError as e:
+        raise MalformedBenchmarkJson(f"{path}: cannot read: {e.strerror}")
+    except json.JSONDecodeError as e:
+        raise MalformedBenchmarkJson(f"{path}: not valid JSON ({e})")
+    if not isinstance(doc, dict) or not isinstance(doc.get("benchmarks"), list):
+        raise MalformedBenchmarkJson(
+            f"{path}: not google-benchmark output (no 'benchmarks' array; "
+            "run the bench binary with --benchmark_out_format=json)")
     out = {}
-    for b in doc.get("benchmarks", []):
+    for b in doc["benchmarks"]:
         if b.get("run_type") == "aggregate":
             continue
-        out[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+        try:
+            out[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+        except (KeyError, TypeError, ValueError):
+            raise MalformedBenchmarkJson(
+                f"{path}: benchmark entry missing a usable name/real_time: "
+                f"{b!r:.120}")
     return out
 
 
@@ -60,11 +77,16 @@ def main():
     args = ap.parse_args()
     hot = re.compile(args.hot) if args.hot else None
 
-    current = load(args.current)
-    if current is None:
-        print(f"bench_compare: cannot read {args.current}", file=sys.stderr)
+    try:
+        current = load(args.current)
+        if current is None:
+            print(f"bench_compare: cannot read {args.current}",
+                  file=sys.stderr)
+            return 1
+        baseline = load(args.baseline)
+    except MalformedBenchmarkJson as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
         return 1
-    baseline = load(args.baseline)
     if baseline is None:
         print(f"bench_compare: no baseline at {args.baseline} — first run?")
         for name, (t, unit) in sorted(current.items()):
