@@ -244,7 +244,7 @@ void BM_AnalyzeExperiment(benchmark::State& state) {
     benchmark::DoNotOptimize(analysis::analyze_experiment(result));
   }
   state.SetLabel("timeline events: " +
-                 std::to_string(result.timelines.at("black").records.size()));
+                 std::to_string(result.timeline_of("black").records.size()));
 }
 BENCHMARK(BM_AnalyzeExperiment)->Unit(benchmark::kMicrosecond);
 

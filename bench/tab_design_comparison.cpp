@@ -98,7 +98,7 @@ LatencyStats measure_latency(runtime::TransportDesign design, bool same_host,
   sink->experiment([&](const campaign::StudyInfo&, int,
                        const runtime::ExperimentResult& result) {
     SimTime entered{};
-    for (const auto& [t, s] : result.truth.state_seq.at("sender"))
+    for (const auto& [t, s] : *result.truth.find_state_seq("sender"))
       if (s == "TARGET") entered = t;
     for (const auto& inj : result.truth.injections) {
       stats.mean_us += static_cast<double>((inj.at - entered).ns) / 1e3;
@@ -168,9 +168,9 @@ double entry_cost_us(runtime::TransportDesign design, int cluster, int reps) {
   auto sink = std::make_shared<campaign::CallbackSink>();
   sink->experiment([&](const campaign::StudyInfo&, int,
                        const runtime::ExperimentResult& result) {
-    const auto it = result.truth.state_seq.find("late");
-    if (it == result.truth.state_seq.end() || it->second.empty()) return;
-    const SimTime first = it->second.front().first;
+    const auto* seq = result.truth.find_state_seq("late");
+    if (seq == nullptr || seq->empty()) return;
+    const SimTime first = seq->front().first;
     const SimTime entered = result.start_phys + milliseconds(40);
     total += static_cast<double>((first - entered).ns) / 1e3;
     ++n;

@@ -88,7 +88,7 @@ Decomposition measure(Duration quantum, double load, int reps) {
 
     const auto result = runtime::run_experiment(p);
     SimTime entered{};
-    for (const auto& [t, s] : result.truth.state_seq.at("sender"))
+    for (const auto& [t, s] : *result.truth.find_state_seq("sender"))
       if (s == "TARGET") entered = t;
     for (const auto& inj : result.truth.injections)
       latencies.push_back(static_cast<double>((inj.at - entered).ns) / 1e3);

@@ -44,8 +44,9 @@ int main() {
       campaign::run_single(params, "dynamic-membership");
   std::printf("experiment %s\n", r.completed ? "completed" : "timed out");
 
-  for (const auto& [nick, tl] : r.timelines) {
-    std::printf("\n%s (started on %s):\n", nick.c_str(), tl.initial_host.c_str());
+  for (const auto& tl : r.timelines) {
+    std::printf("\n%s (started on %s):\n", tl.nickname.c_str(),
+                tl.initial_host.c_str());
     std::string host = tl.initial_host;
     for (const auto& rec : tl.records) {
       switch (rec.type) {

@@ -75,8 +75,9 @@ int main() {
                             const runtime::ExperimentResult& r) {
     const std::string prefix = out + "/exp" + std::to_string(k);
 
-    for (const auto& [nick, tl] : r.timelines)
-      write_file(prefix + "." + nick + ".timeline", serialize_local_timeline(tl));
+    for (const auto& tl : r.timelines)
+      write_file(prefix + "." + tl.nickname + ".timeline",
+                 serialize_local_timeline(tl));
     write_file(prefix + ".timestamps",
                clocksync::serialize_timestamps(r.sync_samples));
 

@@ -8,9 +8,8 @@ ExperimentAnalysis analyze_experiment(const runtime::ExperimentResult& result,
                                       const AnalysisOptions& options) {
   ExperimentAnalysis out;
 
-  std::vector<std::string> hosts;
-  hosts.reserve(result.start_local.size());
-  for (const auto& [host, t] : result.start_local) hosts.push_back(host);
+  // Host order is the result's host table (params.hosts order).
+  const std::vector<std::string>& hosts = result.hosts;
   LOKI_REQUIRE(!hosts.empty(), "experiment result has no hosts");
   const std::string reference =
       options.reference.empty() ? hosts.front() : options.reference;
@@ -20,15 +19,16 @@ ExperimentAnalysis analyze_experiment(const runtime::ExperimentResult& result,
 
   std::vector<const runtime::LocalTimeline*> timelines;
   timelines.reserve(result.timelines.size());
-  for (const auto& [nick, tl] : result.timelines) timelines.push_back(&tl);
+  for (const runtime::LocalTimeline& tl : result.timelines)
+    timelines.push_back(&tl);
 
   out.timeline = build_global_timeline(timelines, out.alphabeta);
   out.verification =
       verify_experiment(timelines, out.alphabeta, options.verification);
 
   // The reference machine's own readings ARE the global timeline's axis.
-  out.start_ref = static_cast<double>(result.start_local.at(reference).ns);
-  out.end_ref = static_cast<double>(result.end_local.at(reference).ns);
+  out.start_ref = static_cast<double>(result.start_local_of(reference).ns);
+  out.end_ref = static_cast<double>(result.end_local_of(reference).ns);
 
   out.accepted = out.verification.accepted && result.completed;
   return out;

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <deque>
 #include <string>
 #include <utility>
 #include <vector>
@@ -21,11 +22,11 @@ namespace loki::campaign {
 
 namespace {
 
-// Per-experiment frame payload:
-//   u8 status (0 = ok, 1 = error), u32 experiment index, then
-//   ok:    the encoded ExperimentResult bytes;
-//   error: u8 category (runtime::WireErrorCategory), length-prefixed message.
-enum class FrameStatus : std::uint8_t { Ok = 0, Error = 1 };
+// Shards speak genuine ResultBatch frames (runtime/serialize.hpp) — the
+// same batch layout the worker protocol uses — so the result plane has one
+// framing everywhere. Each shard accumulates its stride's results and
+// flushes when the batch crosses this soft byte bound (or on error/end).
+constexpr std::size_t kBatchSoftBytes = 64 * 1024;
 
 /// Child-side pipes and pids with guaranteed reaping on unwind.
 struct ShardPool {
@@ -82,30 +83,31 @@ void run_worker_range(const runtime::StudyParams& study, int lo, int hi,
                       int step, int out_fd) {
   if (step < 1) throw ConfigError("run_worker_range: step must be >= 1");
   // The shard compiles its study once and reuses the context for every
-  // index of its stride.
+  // index of its stride. One batch buffer for the whole shard: results are
+  // encoded straight into it, and it stops reallocating once it has grown
+  // to the largest flush.
   runtime::ExperimentContext context;
+  std::vector<std::uint8_t> batch;
+  runtime::begin_result_batch(batch);
   for (int k = lo; k < hi; k += step) {
-    codec::Writer frame;
     try {
       runtime::ExperimentParams params = study.make_params(k);
       validate_experiment_params(params, experiment_context(study, k));
       const runtime::ExperimentResult result = context.run(params);
-      frame.u8(static_cast<std::uint8_t>(FrameStatus::Ok));
-      frame.u32(static_cast<std::uint32_t>(k));
-      const std::vector<std::uint8_t> encoded =
-          runtime::encode_experiment_result(result);
-      frame.bytes(encoded.data(), encoded.size());
+      runtime::append_result_ok_entry(batch, static_cast<std::uint32_t>(k),
+                                      result);
     } catch (const std::exception& e) {
-      frame = codec::Writer();
-      frame.u8(static_cast<std::uint8_t>(FrameStatus::Error));
-      frame.u32(static_cast<std::uint32_t>(k));
-      frame.u8(static_cast<std::uint8_t>(runtime::classify_error(e)));
-      frame.str(e.what());
-      util::write_frame(out_fd, frame.take());
+      runtime::append_result_error_entry(batch, static_cast<std::uint32_t>(k),
+                                         runtime::classify_error(e), e.what());
+      util::write_frame(out_fd, batch);
       return;  // first failure ends the shard — serial prefix semantics
     }
-    util::write_frame(out_fd, frame.take());
+    if (batch.size() >= kBatchSoftBytes) {
+      util::write_frame(out_fd, batch);
+      runtime::begin_result_batch(batch);
+    }
   }
+  if (!runtime::result_batch_empty(batch)) util::write_frame(out_fd, batch);
 }
 
 ProcessPoolRunner::ProcessPoolRunner(int workers) : workers_(workers) {
@@ -173,43 +175,52 @@ void ProcessPoolRunner::run_study(const runtime::StudyParams& study,
     fd = -1;
   }
 
-  // Drain frames in global index order: index k comes from shard k mod P,
-  // and each shard writes its own indices in increasing order.
+  // Drain results in global index order: index k comes from shard k mod P,
+  // and each shard writes its own indices in increasing order. Batches are
+  // decoded whole into per-shard queues; the merge loop refills a shard's
+  // queue by reading its next frame only when k's turn arrives, so memory
+  // stays bounded by P batches plus the reorder-free merge.
+  std::vector<std::deque<runtime::ResultFrame>> pending(
+      static_cast<std::size_t>(pool_size));
   for (int k = 0; k < n; ++k) {
     const auto w = static_cast<std::size_t>(k % pool_size);
-    std::optional<std::vector<std::uint8_t>> frame;
-    try {
-      frame = util::read_frame(pool.read_fds[w]);
-    } catch (const codec::DecodeError& e) {
-      throw std::runtime_error("process runner: " + experiment_context(study, k) +
-                               ": shard died mid-frame (" + e.what() + ")");
+    while (pending[w].empty()) {
+      std::optional<std::vector<std::uint8_t>> frame;
+      try {
+        frame = util::read_frame(pool.read_fds[w]);
+      } catch (const codec::DecodeError& e) {
+        throw std::runtime_error(
+            "process runner: " + experiment_context(study, k) +
+            ": shard died mid-frame (" + e.what() + ")");
+      }
+      if (!frame.has_value())
+        throw std::runtime_error(
+            "process runner: " + experiment_context(study, k) +
+            ": shard exited before delivering its result");
+      std::vector<runtime::ResultFrame> entries;
+      try {
+        entries = runtime::decode_result_batch_frame(*frame);
+      } catch (const codec::DecodeError& e) {
+        throw std::runtime_error(
+            "process runner: " + experiment_context(study, k) +
+            ": shard sent a malformed result batch (" + e.what() + ")");
+      }
+      for (runtime::ResultFrame& entry : entries)
+        pending[w].push_back(std::move(entry));
     }
-    if (!frame.has_value())
-      throw std::runtime_error(
-          "process runner: " + experiment_context(study, k) +
-          ": shard exited before delivering its result");
 
-    codec::Reader r(*frame);
-    const auto status = static_cast<FrameStatus>(r.u8());
-    const std::uint32_t index = r.u32();
-    if (index != static_cast<std::uint32_t>(k))
+    runtime::ResultFrame entry = std::move(pending[w].front());
+    pending[w].pop_front();
+    if (entry.index != static_cast<std::uint32_t>(k))
       throw std::runtime_error("process runner: shard protocol error: expected "
                                "index " + std::to_string(k) + ", got " +
-                               std::to_string(index));
-    if (status == FrameStatus::Error) {
-      const auto category = static_cast<runtime::WireErrorCategory>(r.u8());
-      const std::string message = r.str();
-      r.expect_done();
+                               std::to_string(entry.index));
+    if (!entry.ok) {
       // The prefix 0..k-1 has been emitted; destroying `pool` kills the
       // surviving shards.
-      runtime::rethrow_wire_error(category, message);
+      runtime::rethrow_wire_error(entry.category, entry.message);
     }
-    if (status != FrameStatus::Ok)
-      throw std::runtime_error("process runner: shard protocol error: bad "
-                               "frame status");
-    const std::size_t header = 1 + 4;  // status byte + index
-    emit(k, runtime::decode_experiment_result(frame->data() + header,
-                                              frame->size() - header));
+    emit(k, std::move(entry.result));
   }
 
   pool.close_all();

@@ -282,6 +282,16 @@ class Engine {
         case WorkerFrame::Result:
           on_result(ws, runtime::decode_result_frame(frame));
           break;
+        case WorkerFrame::ResultBatch: {
+          // All-or-nothing: decode_result_batch_frame throws on any
+          // malformed entry before a single result escapes, so a corrupt
+          // batch ends up in the catch below and the whole lease requeues.
+          std::vector<runtime::ResultFrame> entries =
+              runtime::decode_result_batch_frame(frame);
+          for (runtime::ResultFrame& entry : entries)
+            on_result(ws, std::move(entry));
+          break;
+        }
         case WorkerFrame::LeaseDone:
           on_lease_done(ws, runtime::decode_lease_done_frame(frame));
           break;
@@ -583,7 +593,8 @@ void RemoteRunner::run_study(const runtime::StudyParams& study,
 // --- serve_worker ------------------------------------------------------------
 
 void serve_worker(FrameChannel& channel,
-                  const runtime::StudyParams* inherited_study) {
+                  const runtime::StudyParams* inherited_study,
+                  const ServeOptions& options) {
   std::optional<std::vector<std::uint8_t>> first = channel.read();
   if (!first.has_value()) return;  // parent vanished before the handshake
   if (runtime::worker_frame_type(*first) != WorkerFrame::Hello)
@@ -604,6 +615,10 @@ void serve_worker(FrameChannel& channel,
   // serves every lease: the first experiment compiles the study, all later
   // ones (across all leases) reuse the compiled tables and the world slabs.
   runtime::ExperimentContext context;
+  // One batch buffer for the whole serve loop: results are encoded straight
+  // into it (no per-result temporary), and once it has grown to the largest
+  // flush it never reallocates again.
+  std::vector<std::uint8_t> batch;
 
   for (;;) {
     std::optional<std::vector<std::uint8_t>> frame = channel.read();
@@ -612,8 +627,10 @@ void serve_worker(FrameChannel& channel,
       case WorkerFrame::Lease: {
         const runtime::LeaseFrame lease = runtime::decode_lease_frame(*frame);
         channel.write(runtime::encode_heartbeat_frame(lease.id));
+        runtime::begin_result_batch(batch);
         for (std::uint32_t k = lease.lo; k < lease.hi; k += lease.step) {
           const int index = static_cast<int>(k);
+          bool failed = false;
           try {
             if (study == nullptr)
               throw ConfigError(
@@ -623,13 +640,19 @@ void serve_worker(FrameChannel& channel,
             validate_experiment_params(params,
                                        experiment_context(*study, index));
             const runtime::ExperimentResult result = context.run(params);
-            channel.write(runtime::encode_result_ok_frame(k, result));
+            runtime::append_result_ok_entry(batch, k, result);
           } catch (const std::exception& e) {
-            channel.write(runtime::encode_result_error_frame(
-                k, runtime::classify_error(e), e.what()));
-            break;  // serial prefix semantics: nothing past the failure
+            runtime::append_result_error_entry(
+                batch, k, runtime::classify_error(e), e.what());
+            failed = true;
           }
+          if (batch.size() >= options.batch_soft_bytes || failed) {
+            channel.write(batch);
+            runtime::begin_result_batch(batch);
+          }
+          if (failed) break;  // serial prefix semantics: nothing past failure
         }
+        if (!runtime::result_batch_empty(batch)) channel.write(batch);
         channel.write(runtime::encode_lease_done_frame(lease.id));
         break;
       }

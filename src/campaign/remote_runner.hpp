@@ -33,6 +33,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstddef>
 #include <memory>
 #include <string>
 
@@ -81,12 +82,26 @@ class RemoteRunner final : public Runner {
   RunnerTelemetry telemetry_;
 };
 
+/// Worker-side knobs for serve_worker.
+struct ServeOptions {
+  /// Flush the accumulated ResultBatch frame once it reaches this many
+  /// bytes. The bound is soft: the entry that crosses it still joins the
+  /// batch, then the batch is sent. 1 yields one result per batch (the
+  /// fault-injection harness uses this to keep per-result scripts exact);
+  /// a lease always flushes whatever remains before LeaseDone.
+  std::size_t batch_soft_bytes{64 * 1024};
+};
+
 /// Worker-side protocol loop, shared by every backend: handshake on Hello
 /// (adopting the framed study, or `inherited_study` for fork()ed children),
-/// then serve Lease/Ping frames until Shutdown or EOF. Experiment failures
-/// travel back as error Result frames (ending the lease early); a protocol
-/// violation throws — the caller turns that into a nonzero exit.
+/// then serve Lease/Ping frames until Shutdown or EOF. A lease's results
+/// accumulate into ResultBatch frames in a buffer reused across leases
+/// (bounded by ServeOptions::batch_soft_bytes, flushed at lease end).
+/// Experiment failures travel back as error batch entries (ending the lease
+/// early); a protocol violation throws — the caller turns that into a
+/// nonzero exit.
 void serve_worker(FrameChannel& channel,
-                  const runtime::StudyParams* inherited_study);
+                  const runtime::StudyParams* inherited_study,
+                  const ServeOptions& options = {});
 
 }  // namespace loki::campaign

@@ -340,7 +340,8 @@ struct FakeWorker {
   bool stream_eof LOKI_GUARDED_BY(mu){false};     // parent recv returns Eof
   bool hanging LOKI_GUARDED_BY(mu){false};  // parent recv delivers nothing
   bool worker_done LOKI_GUARDED_BY(mu){false};  // serve_worker returned
-  int results_seen LOKI_GUARDED_BY(mu){0};  // Result frames delivered so far
+  int results_seen LOKI_GUARDED_BY(mu){0};  // result entries delivered so far
+  int result_frames_seen LOKI_GUARDED_BY(mu){0};  // result-bearing frames
   FakeFaults faults;  // written before the thread starts, read-only after
   /// Deliberately NOT guarded_by(mu): the thread handle follows a lifecycle
   /// protocol, not a lock — written once at spawn (before any concurrent
@@ -378,9 +379,11 @@ namespace {
 
 using detail::FakeWorker;
 
-class QueueFrameChannel final : public FrameChannel {
+/// Worker-thread side of a FakeWorker's queues — the threaded counterpart
+/// of the public single-threaded QueueFrameChannel (transport.hpp).
+class WorkerQueueChannel final : public FrameChannel {
  public:
-  explicit QueueFrameChannel(const std::shared_ptr<FakeWorker>& w) : w_(w) {}
+  explicit WorkerQueueChannel(const std::shared_ptr<FakeWorker>& w) : w_(w) {}
 
   std::optional<std::vector<std::uint8_t>> read() override {
     util::MutexLock lock(w_->mu);
@@ -450,17 +453,34 @@ class FakeLink final : public WorkerLink {
       if (!w_->hanging && !w_->to_parent.empty()) {
         std::vector<std::uint8_t> frame = std::move(w_->to_parent.front());
         w_->to_parent.pop_front();
-        const bool is_result =
+        const bool is_batch =
             !frame.empty() &&
             frame[0] ==
-                static_cast<std::uint8_t>(runtime::WorkerFrame::Result);
+                static_cast<std::uint8_t>(runtime::WorkerFrame::ResultBatch);
+        const bool is_result =
+            is_batch ||
+            (!frame.empty() &&
+             frame[0] ==
+                 static_cast<std::uint8_t>(runtime::WorkerFrame::Result));
         if (!is_result) return {RecvOutcome::Status::Frame, std::move(frame)};
-        const int nth = ++w_->results_seen;
+        // Count entries on the pristine frame (serve_worker produced it) so
+        // the *_after_results thresholds keep experiment granularity even
+        // when several results share one batch; the Nth-frame faults count
+        // result-bearing frames.
+        const int entries = is_batch
+                                ? static_cast<int>(
+                                      runtime::result_batch_entry_count(frame))
+                                : 1;
+        const int nth = ++w_->result_frames_seen;
+        w_->results_seen += entries;
         if (nth == f.drop_nth) continue;  // vanished in transit
-        // Truncation is corruption the decoder is *guaranteed* to reject;
-        // a flipped payload byte might decode as different-but-valid data.
-        if (nth == f.corrupt_nth && !frame.empty())
-          frame.resize(frame.size() - 1);
+        // Both corruption flavours must be rejects the decoder *guarantees*:
+        // an out-of-range status byte (corrupt) and a tail cut mid-payload
+        // (truncate). A flipped payload byte deeper in could decode as
+        // different-but-valid data.
+        if (nth == f.corrupt_nth && frame.size() > 1) frame[1] = 0xff;
+        if (nth == f.truncate_nth && frame.size() > 3)
+          frame.resize(frame.size() - 3);
         if (nth == f.delay_nth && f.delay.count() > 0) {
           lock.unlock();
           std::this_thread::sleep_for(f.delay);
@@ -524,10 +544,11 @@ std::unique_ptr<WorkerLink> FakeTransport::connect(
     old->stop_and_join();  // a reconnect replaces the previous worker
   auto worker = std::make_shared<FakeWorker>();
   worker->faults = faults_[static_cast<std::size_t>(index)];
-  worker->thread = std::thread([worker] {
-    QueueFrameChannel channel(worker);
+  const ServeOptions serve_options{batch_soft_bytes_};
+  worker->thread = std::thread([worker, serve_options] {
+    WorkerQueueChannel channel(worker);
     try {
-      serve_worker(channel, nullptr);
+      serve_worker(channel, nullptr, serve_options);
     } catch (...) {
       // Killed mid-write or a protocol violation; the parent sees EOF.
     }
@@ -557,14 +578,17 @@ void FakeTransport::eof_after_results(int worker, int n) {
 void FakeTransport::hang_after_results(int worker, int n) {
   fault_slot(worker).hang_after = n;
 }
-void FakeTransport::corrupt_result(int worker, int nth) {
+void FakeTransport::corrupt_batch(int worker, int nth) {
   fault_slot(worker).corrupt_nth = nth;
 }
-void FakeTransport::drop_result(int worker, int nth) {
+void FakeTransport::truncate_batch(int worker, int nth) {
+  fault_slot(worker).truncate_nth = nth;
+}
+void FakeTransport::drop_batch(int worker, int nth) {
   fault_slot(worker).drop_nth = nth;
 }
-void FakeTransport::delay_result(int worker, int nth,
-                                 std::chrono::milliseconds by) {
+void FakeTransport::delay_batch(int worker, int nth,
+                                std::chrono::milliseconds by) {
   detail::FakeFaults& f = fault_slot(worker);
   f.delay_nth = nth;
   f.delay = by;

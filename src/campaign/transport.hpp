@@ -17,8 +17,9 @@
 //                         the same frame protocol over an ssh stdio tunnel.
 //   FakeTransport         in-process worker threads over in-memory frame
 //                         queues, with scripted fault injection (kill,
-//                         hang, EOF, corrupt, drop, delay) so runner
-//                         crash-tolerance is testable deterministically.
+//                         hang, EOF, corrupt, truncate, drop, delay) so
+//                         runner crash-tolerance is testable
+//                         deterministically.
 //
 // Threading contract: send() and recv() may be called concurrently from
 // different threads (RemoteRunner sends leases from its main thread while a
@@ -28,7 +29,9 @@
 #pragma once
 
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
@@ -112,17 +115,60 @@ class FdFrameChannel final : public FrameChannel {
   int out_fd_;
 };
 
+/// Single-threaded FrameChannel over in-memory queues: preload the
+/// parent->worker frames with push(), drive serve_worker inline on the
+/// calling thread, then inspect written(). No locking — this is the
+/// benchmark/unit-test harness for the worker protocol loop (BM_WorkerLoop
+/// measures serve_worker's steady-state floor through it); FakeTransport
+/// has its own threaded channel for cross-thread fault injection.
+class QueueFrameChannel final : public FrameChannel {
+ public:
+  /// Enqueue one parent->worker frame; read() consumes them in order and
+  /// reports end-of-stream once the queue is drained.
+  void push(std::vector<std::uint8_t> frame) {
+    inbox_.push_back(std::move(frame));
+  }
+
+  std::optional<std::vector<std::uint8_t>> read() override {
+    if (inbox_.empty()) return std::nullopt;
+    std::vector<std::uint8_t> frame = std::move(inbox_.front());
+    inbox_.pop_front();
+    return frame;
+  }
+
+  void write(const std::vector<std::uint8_t>& frame) override {
+    written_.push_back(frame);
+  }
+
+  /// Every worker->parent frame, in write order.
+  const std::vector<std::vector<std::uint8_t>>& written() const {
+    return written_;
+  }
+  /// Drop both queues (benchmark iterations reuse one channel).
+  void reset() {
+    inbox_.clear();
+    written_.clear();
+  }
+
+ private:
+  std::deque<std::vector<std::uint8_t>> inbox_;
+  std::vector<std::vector<std::uint8_t>> written_;
+};
+
 namespace detail {
 struct FdRegistry;  // open parent-side fds, closed inside fork()ed children
 struct FakeWorker;
 
-/// Scripted fault plan for one FakeTransport worker. Result-frame counters
-/// are 1-based; -1 disables a fault.
+/// Scripted fault plan for one FakeTransport worker. The *_after thresholds
+/// count delivered result *entries* (experiments); the *_nth counters are
+/// 1-based over result-bearing *frames* (ResultBatch or legacy Result) as
+/// the parent receives them. -1 disables a fault.
 struct FakeFaults {
   int kill_after{-1};
   int eof_after{-1};
   int hang_after{-1};
   int corrupt_nth{-1};
+  int truncate_nth{-1};
   int drop_nth{-1};
   int delay_nth{-1};
   std::chrono::milliseconds delay{0};
@@ -191,8 +237,12 @@ class SshTransport final : public Transport {
 /// In-process transport for tests: each worker is a thread speaking the
 /// worker protocol over in-memory frame queues (including the Hello-framed
 /// study, so wire encode/decode is exercised end to end). Faults are
-/// scripted per worker before the campaign runs; `n` counts Result frames
-/// as the parent receives them (1-based for the *_result faults).
+/// scripted per worker before the campaign runs. The *_after_results
+/// thresholds count result entries as the parent receives them; the
+/// Nth-batch faults count result-bearing frames (1-based). Workers default
+/// to one result per batch (batch_soft_bytes = 1), so entry counts and
+/// frame counts coincide unless a test raises the batch bound via
+/// set_batch_soft_bytes to exercise multi-result batches.
 class FakeTransport final : public Transport {
  public:
   explicit FakeTransport(int workers);
@@ -203,6 +253,10 @@ class FakeTransport final : public Transport {
   std::unique_ptr<WorkerLink> connect(int index,
                                       const runtime::StudyParams& study) override;
 
+  /// Worker-side ResultBatch flush bound for subsequently connected
+  /// workers. Default 1: every result flushes its own batch.
+  void set_batch_soft_bytes(std::size_t bytes) { batch_soft_bytes_ = bytes; }
+
   /// SIGKILL equivalent: after `n` results were delivered, the stream ends
   /// (Eof) and the worker thread is torn down; queued frames are lost.
   void kill_after_results(int worker, int n);
@@ -212,18 +266,23 @@ class FakeTransport final : public Transport {
   /// The worker goes silent after `n` results: no frames, no Eof — the
   /// parent must detect it via recv timeouts.
   void hang_after_results(int worker, int n);
-  /// The `nth` result frame (1-based) arrives corrupted (truncated mid-
-  /// payload, which the wire decoder must reject with a typed error).
-  void corrupt_result(int worker, int nth);
-  /// The `nth` result frame (1-based) vanishes in transit.
-  void drop_result(int worker, int nth);
-  /// The `nth` result frame (1-based) is delayed by `by` before delivery.
-  void delay_result(int worker, int nth, std::chrono::milliseconds by);
+  /// The `nth` result-bearing frame (1-based) arrives corrupted: its first
+  /// status byte is clobbered to an out-of-range value, which the batch
+  /// decoder must reject with a typed error before any entry escapes.
+  void corrupt_batch(int worker, int nth);
+  /// The `nth` result-bearing frame (1-based) arrives truncated (its tail
+  /// cut mid-payload) — a framing-layer short read the decoder must reject.
+  void truncate_batch(int worker, int nth);
+  /// The `nth` result-bearing frame (1-based) vanishes in transit.
+  void drop_batch(int worker, int nth);
+  /// The `nth` result-bearing frame (1-based) is delayed by `by`.
+  void delay_batch(int worker, int nth, std::chrono::milliseconds by);
 
  private:
   detail::FakeFaults& fault_slot(int worker);
 
   int workers_;
+  std::size_t batch_soft_bytes_{1};
   std::vector<detail::FakeFaults> faults_;
   std::vector<std::shared_ptr<detail::FakeWorker>> live_;
 };

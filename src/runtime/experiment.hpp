@@ -15,10 +15,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "clocksync/sync_data.hpp"
@@ -112,28 +113,67 @@ struct TrueInjection {
   SimTime at{};
 };
 
+/// One machine's state history: (physical enter time, state) in order. A
+/// machine's state holds until the next entry (or forever if it died there).
+using TrueStateSeq = std::vector<std::pair<SimTime, std::string>>;
+
+/// Ground truth in dense per-machine slots (node/dictionary order, matching
+/// the PR-3 interning convention): `machines[i]` names slot i, and
+/// `state_seq[i]` / `crashes[i]` are that machine's histories. String keys
+/// appear only at the report boundary (the *_of / find_* accessors); the
+/// hot population path indexes by slot, so an experiment never pays a
+/// map-node allocation or a string compare per state change.
 struct GroundTruth {
-  /// Per machine: (physical enter time, state) in order. A machine's state
-  /// holds until the next entry (or forever if it died there).
-  std::map<std::string, std::vector<std::pair<SimTime, std::string>>> state_seq;
+  std::vector<std::string> machines;            // slot -> nickname
+  std::vector<TrueStateSeq> state_seq;          // parallel to machines
   std::vector<TrueInjection> injections;
-  std::map<std::string, std::vector<SimTime>> crashes;  // per machine
+  std::vector<std::vector<SimTime>> crashes;    // parallel to machines
+
+  /// Slot of `machine`, appending a fresh slot when absent. Population and
+  /// test construction only; lookups use the const accessors below.
+  std::size_t slot_of(std::string_view machine);
+  TrueStateSeq& state_seq_of(std::string_view machine) {
+    return state_seq[slot_of(machine)];
+  }
+  std::vector<SimTime>& crashes_of(std::string_view machine) {
+    return crashes[slot_of(machine)];
+  }
+
+  /// nullptr when the machine is unknown.
+  const TrueStateSeq* find_state_seq(std::string_view machine) const;
+  const std::vector<SimTime>* find_crashes(std::string_view machine) const;
+  bool crashed(std::string_view machine) const {
+    const std::vector<SimTime>* c = find_crashes(machine);
+    return c != nullptr && !c->empty();
+  }
 
   /// True iff `machine` was in `state` at physical time `t`.
   bool in_state(const std::string& machine, const std::string& state,
                 SimTime t) const;
+
+  friend bool operator==(const GroundTruth& a, const GroundTruth& b) {
+    return a.machines == b.machines && a.state_seq == b.state_seq &&
+           a.crashes == b.crashes;
+  }
 };
 
+/// Experiment outcome in dense-id layout (wire format v2): timelines and
+/// user messages sit in node order, host-keyed readings sit in host order
+/// with one shared `hosts` name table instead of three string-keyed maps.
+/// Strings are resolved only at report boundaries via the accessors.
 struct ExperimentResult {
-  std::map<std::string, LocalTimeline> timelines;
-  std::map<std::string, std::vector<std::string>> user_messages;
+  std::vector<LocalTimeline> timelines;  // node order; nickname inside
+  /// Parallel to `timelines`; a node without messages holds an empty slot.
+  std::vector<std::vector<std::string>> user_messages;
   clocksync::SyncData sync_samples;
-  /// Local clock readings at experiment start/end per host — START_EXP /
-  /// END_EXP anchors for the measure phase.
-  std::map<std::string, LocalTime> start_local;
-  std::map<std::string, LocalTime> end_local;
+  /// Host name table (params.hosts order); the three vectors below are
+  /// parallel to it. start/end are the local clock readings at experiment
+  /// start/end — START_EXP / END_EXP anchors for the measure phase.
+  std::vector<std::string> hosts;
+  std::vector<LocalTime> start_local;
+  std::vector<LocalTime> end_local;
   GroundTruth truth;
-  std::map<std::string, sim::ClockParams> true_clocks;  // substrate-only
+  std::vector<sim::ClockParams> true_clocks;  // substrate-only
   SimTime start_phys{};
   SimTime end_phys{};
   bool completed{false};
@@ -145,6 +185,32 @@ struct ExperimentResult {
   /// format or the cross-backend identity contract — cached/worker results
   /// carry 0 here).
   std::uint64_t sim_events{0};
+
+  // --- report-boundary accessors (string keys resolved here only) ------------
+
+  /// nullptr when no node of that nickname recorded a timeline.
+  const LocalTimeline* find_timeline(std::string_view nickname) const;
+  /// Throws LogicError when absent — the .at() of the dense layout.
+  const LocalTimeline& timeline_of(std::string_view nickname) const;
+  /// nullptr when the node is unknown or recorded no messages.
+  const std::vector<std::string>* find_user_messages(
+      std::string_view nickname) const;
+
+  /// Slot of `host` in the host table; throws LogicError when unknown.
+  std::size_t host_slot(std::string_view host) const;
+  LocalTime start_local_of(std::string_view host) const {
+    return start_local[host_slot(host)];
+  }
+  LocalTime end_local_of(std::string_view host) const {
+    return end_local[host_slot(host)];
+  }
+  const sim::ClockParams& true_clock_of(std::string_view host) const {
+    return true_clocks[host_slot(host)];
+  }
+
+  /// Find-or-add a host slot, extending the parallel vectors with zeroed
+  /// entries. Population and test construction only.
+  std::size_t add_host(std::string_view host);
 };
 
 /// Run one experiment to completion. Deterministic in params.seed.

@@ -106,8 +106,17 @@ void ExperimentRun::build_hosts() {
                          params_.max_drift_ppm, params_.clock_granularity_ns);
     const sim::HostId id = world_.add_host(hp);
     host_ids_.push_back(id);
-    result_.true_clocks.emplace(hc.name, hp.clock);
+    result_.hosts.push_back(hc.name);
+    result_.true_clocks.push_back(hp.clock);
   }
+  // Ground-truth slots in node order — the same dense convention the study
+  // dictionary uses, so the per-state-change hooks index by slot instead of
+  // paying a map lookup on the nickname.
+  result_.truth.machines.reserve(params_.nodes.size());
+  for (const NodeConfig& nc : params_.nodes)
+    result_.truth.machines.push_back(nc.nickname);
+  result_.truth.state_seq.resize(params_.nodes.size());
+  result_.truth.crashes.resize(params_.nodes.size());
 }
 
 void ExperimentRun::build_deployment() {
@@ -194,19 +203,24 @@ void ExperimentRun::spawn_node(const std::string& nickname, sim::HostId host,
   saw_any_node_ = true;
 
   LokiNode::Hooks hooks;
-  hooks.truth_state_change = [this](const std::string& nick, const std::string& s) {
-    result_.truth.state_seq[nick].emplace_back(world_.now(), s);
+  // The node's truth slot is its node index (node order == slot order), so
+  // the hot hooks append by slot; the nickname argument is only there for
+  // the injection record, which keeps strings (injections are rare).
+  hooks.truth_state_change = [this, index](const std::string& /*nick*/,
+                                           const std::string& s) {
+    result_.truth.state_seq[index].emplace_back(world_.now(), s);
   };
   hooks.truth_injection = [this](const std::string& nick, const std::string& f) {
     result_.truth.injections.push_back(TrueInjection{nick, f, world_.now()});
   };
-  hooks.truth_crash = [this](const std::string& nick, CrashMode mode) {
-    result_.truth.crashes[nick].push_back(world_.now());
+  hooks.truth_crash = [this, index](const std::string& /*nick*/,
+                                    CrashMode mode) {
+    result_.truth.crashes[index].push_back(world_.now());
     // For unhandled/silent crashes the machine never reported CRASH itself;
     // the true state still becomes CRASH at the death instant.
     if (mode != CrashMode::HandledSignal)
-      result_.truth.state_seq[nick].emplace_back(world_.now(),
-                                                 std::string(spec::kStateCrash));
+      result_.truth.state_seq[index].emplace_back(
+          world_.now(), std::string(spec::kStateCrash));
   };
   hooks.truth_exit = [this](const std::string& nick) {
     (void)nick;  // EXIT transitions are app-driven and already recorded.
@@ -295,8 +309,9 @@ ExperimentResult ExperimentRun::run() {
 
   // --- runtime phase --------------------------------------------------------
   result_.start_phys = world_.now();
+  result_.start_local.reserve(params_.hosts.size());
   for (std::size_t i = 0; i < params_.hosts.size(); ++i)
-    result_.start_local.emplace(params_.hosts[i].name, world_.clock_read(host_ids_[i]));
+    result_.start_local.push_back(world_.clock_read(host_ids_[i]));
 
   build_deployment();
 
@@ -358,8 +373,9 @@ ExperimentResult ExperimentRun::run() {
   if (!done_) timed_out_ = true;
 
   result_.end_phys = world_.now();
+  result_.end_local.reserve(params_.hosts.size());
   for (std::size_t i = 0; i < params_.hosts.size(); ++i)
-    result_.end_local.emplace(params_.hosts[i].name, world_.clock_read(host_ids_[i]));
+    result_.end_local.push_back(world_.clock_read(host_ids_[i]));
 
   // Tear down whatever still runs so phase 2 sees a quiet system (the sync
   // mini-phases run while the application is not, §2.5).
@@ -371,12 +387,12 @@ ExperimentResult ExperimentRun::run() {
   clocksync::run_sync_phase(world_, host_ids_, params_.sync, result_.sync_samples);
 
   // --- collect ---------------------------------------------------------------
+  result_.timelines.reserve(params_.nodes.size());
+  result_.user_messages.reserve(params_.nodes.size());
   for (std::size_t i = 0; i < params_.nodes.size(); ++i) {
     const Recorder& rec = *recorders_[i];
-    result_.timelines.emplace(params_.nodes[i].nickname, rec.timeline());
-    if (!rec.user_messages().empty())
-      result_.user_messages.emplace(params_.nodes[i].nickname,
-                                    rec.user_messages());
+    result_.timelines.push_back(rec.timeline());
+    result_.user_messages.push_back(rec.user_messages());
   }
   result_.completed = !timed_out_;
   result_.timed_out = timed_out_;
@@ -386,8 +402,8 @@ ExperimentResult ExperimentRun::run() {
   result_.control_messages = world_.lan(sim::Lan::Control).messages_sent();
   result_.app_messages = world_.lan(sim::Lan::App).messages_sent();
   result_.sim_events = world_.events().executed();
-  // The run object dies with this call; hand the (map-heavy) result over
-  // without a deep copy.
+  // The run object dies with this call; hand the result over without a
+  // deep copy.
   return std::move(result_);
 }
 

@@ -322,16 +322,18 @@ LocalTimeline get_timeline(Reader& r) {
   return t;
 }
 
+// v2 layout: dense tables, no string-keyed maps. Nodes travel interleaved
+// (timeline + its user messages), hosts as one table with parallel columns
+// (name, start, end, true clock), ground-truth machines likewise (name,
+// state sequence, crash times). Parallel invariants hold by construction on
+// decode — there is no per-column count to mismatch.
 void put_result_body(Writer& w, const ExperimentResult& res) {
+  static const std::vector<std::string> kNoMessages;
   w.u64(res.timelines.size());
-  for (const auto& [name, timeline] : res.timelines) {
-    w.str(name);
-    put_timeline(w, timeline);
-  }
-
-  w.u64(res.user_messages.size());
-  for (const auto& [name, messages] : res.user_messages) {
-    w.str(name);
+  for (std::size_t i = 0; i < res.timelines.size(); ++i) {
+    put_timeline(w, res.timelines[i]);
+    const std::vector<std::string>& messages =
+        i < res.user_messages.size() ? res.user_messages[i] : kNoMessages;
     put_vec(w, messages, [&](const std::string& m) { w.str(m); });
   }
 
@@ -342,40 +344,29 @@ void put_result_body(Writer& w, const ExperimentResult& res) {
     w.i64(s.recv.ns);
   });
 
-  const auto put_local_map = [&](const std::map<std::string, LocalTime>& m) {
-    w.u64(m.size());
-    for (const auto& [name, t] : m) {
-      w.str(name);
-      w.i64(t.ns);
-    }
-  };
-  put_local_map(res.start_local);
-  put_local_map(res.end_local);
+  w.u64(res.hosts.size());
+  for (std::size_t i = 0; i < res.hosts.size(); ++i) {
+    w.str(res.hosts[i]);
+    w.i64(res.start_local[i].ns);
+    w.i64(res.end_local[i].ns);
+    put_clock(w, res.true_clocks[i]);
+  }
 
-  w.u64(res.truth.state_seq.size());
-  for (const auto& [machine, seq] : res.truth.state_seq) {
-    w.str(machine);
-    put_vec(w, seq, [&](const std::pair<SimTime, std::string>& e) {
-      w.i64(e.first.ns);
-      w.str(e.second);
-    });
+  w.u64(res.truth.machines.size());
+  for (std::size_t i = 0; i < res.truth.machines.size(); ++i) {
+    w.str(res.truth.machines[i]);
+    put_vec(w, res.truth.state_seq[i],
+            [&](const std::pair<SimTime, std::string>& e) {
+              w.i64(e.first.ns);
+              w.str(e.second);
+            });
+    put_vec(w, res.truth.crashes[i], [&](SimTime t) { w.i64(t.ns); });
   }
   put_vec(w, res.truth.injections, [&](const TrueInjection& inj) {
     w.str(inj.machine);
     w.str(inj.fault);
     w.i64(inj.at.ns);
   });
-  w.u64(res.truth.crashes.size());
-  for (const auto& [machine, times] : res.truth.crashes) {
-    w.str(machine);
-    put_vec(w, times, [&](SimTime t) { w.i64(t.ns); });
-  }
-
-  w.u64(res.true_clocks.size());
-  for (const auto& [host, clock] : res.true_clocks) {
-    w.str(host);
-    put_clock(w, clock);
-  }
 
   w.i64(res.start_phys.ns);
   w.i64(res.end_phys.ns);
@@ -389,16 +380,12 @@ void put_result_body(Writer& w, const ExperimentResult& res) {
 ExperimentResult get_result_body(Reader& r) {
   ExperimentResult res;
 
-  const std::uint64_t n_timelines = get_count(r);
-  for (std::uint64_t i = 0; i < n_timelines; ++i) {
-    std::string name = r.str();
-    res.timelines.emplace(std::move(name), get_timeline(r));
-  }
-
-  const std::uint64_t n_msgs = get_count(r);
-  for (std::uint64_t i = 0; i < n_msgs; ++i) {
-    std::string name = r.str();
-    res.user_messages.emplace(std::move(name), get_string_vec(r));
+  const std::uint64_t n_nodes = get_count(r);
+  res.timelines.reserve(n_nodes);
+  res.user_messages.reserve(n_nodes);
+  for (std::uint64_t i = 0; i < n_nodes; ++i) {
+    res.timelines.push_back(get_timeline(r));
+    res.user_messages.push_back(get_string_vec(r));
   }
 
   const std::uint64_t n_samples = get_count(r);
@@ -412,21 +399,24 @@ ExperimentResult get_result_body(Reader& r) {
     res.sync_samples.push_back(std::move(s));
   }
 
-  const auto get_local_map = [&] {
-    std::map<std::string, LocalTime> m;
-    const std::uint64_t n = get_count(r);
-    for (std::uint64_t i = 0; i < n; ++i) {
-      std::string name = r.str();
-      m.emplace(std::move(name), LocalTime{r.i64()});
-    }
-    return m;
-  };
-  res.start_local = get_local_map();
-  res.end_local = get_local_map();
+  const std::uint64_t n_hosts = get_count(r);
+  res.hosts.reserve(n_hosts);
+  res.start_local.reserve(n_hosts);
+  res.end_local.reserve(n_hosts);
+  res.true_clocks.reserve(n_hosts);
+  for (std::uint64_t i = 0; i < n_hosts; ++i) {
+    res.hosts.push_back(r.str());
+    res.start_local.push_back(LocalTime{r.i64()});
+    res.end_local.push_back(LocalTime{r.i64()});
+    res.true_clocks.push_back(get_clock(r));
+  }
 
-  const std::uint64_t n_seq = get_count(r);
-  for (std::uint64_t i = 0; i < n_seq; ++i) {
-    std::string machine = r.str();
+  const std::uint64_t n_machines = get_count(r);
+  res.truth.machines.reserve(n_machines);
+  res.truth.state_seq.reserve(n_machines);
+  res.truth.crashes.reserve(n_machines);
+  for (std::uint64_t i = 0; i < n_machines; ++i) {
+    res.truth.machines.push_back(r.str());
     const std::uint64_t n_entries = get_count(r);
     std::vector<std::pair<SimTime, std::string>> seq;
     seq.reserve(n_entries);
@@ -434,7 +424,13 @@ ExperimentResult get_result_body(Reader& r) {
       const SimTime t{r.i64()};
       seq.emplace_back(t, r.str());
     }
-    res.truth.state_seq.emplace(std::move(machine), std::move(seq));
+    res.truth.state_seq.push_back(std::move(seq));
+    const std::uint64_t n_times = get_count(r);
+    std::vector<SimTime> times;
+    times.reserve(n_times);
+    for (std::uint64_t j = 0; j < n_times; ++j)
+      times.push_back(SimTime{r.i64()});
+    res.truth.crashes.push_back(std::move(times));
   }
   const std::uint64_t n_inj = get_count(r);
   res.truth.injections.reserve(n_inj);
@@ -444,21 +440,6 @@ ExperimentResult get_result_body(Reader& r) {
     inj.fault = r.str();
     inj.at = SimTime{r.i64()};
     res.truth.injections.push_back(std::move(inj));
-  }
-  const std::uint64_t n_crash = get_count(r);
-  for (std::uint64_t i = 0; i < n_crash; ++i) {
-    std::string machine = r.str();
-    const std::uint64_t n_times = get_count(r);
-    std::vector<SimTime> times;
-    times.reserve(n_times);
-    for (std::uint64_t j = 0; j < n_times; ++j) times.push_back(SimTime{r.i64()});
-    res.truth.crashes.emplace(std::move(machine), std::move(times));
-  }
-
-  const std::uint64_t n_clocks = get_count(r);
-  for (std::uint64_t i = 0; i < n_clocks; ++i) {
-    std::string host = r.str();
-    res.true_clocks.emplace(std::move(host), get_clock(r));
   }
 
   res.start_phys = SimTime{r.i64()};
@@ -495,6 +476,13 @@ std::vector<std::uint8_t> encode_experiment_result(const ExperimentResult& res) 
   put_header(w, kKindResult);
   put_result_body(w, res);
   return w.take();
+}
+
+void encode_experiment_result(const ExperimentResult& res,
+                              std::vector<std::uint8_t>& out) {
+  Writer w(out);
+  put_header(w, kKindResult);
+  put_result_body(w, res);
 }
 
 ExperimentResult decode_experiment_result(const std::uint8_t* data,
@@ -607,7 +595,7 @@ WorkerFrame worker_frame_type(const std::vector<std::uint8_t>& frame) {
   if (frame.empty()) throw DecodeError("worker frame: empty frame");
   const std::uint8_t type = frame[0];
   if (type < static_cast<std::uint8_t>(WorkerFrame::Hello) ||
-      type > static_cast<std::uint8_t>(WorkerFrame::Pong))
+      type > static_cast<std::uint8_t>(WorkerFrame::ResultBatch))
     throw DecodeError("worker frame: unknown frame type " + std::to_string(type));
   return static_cast<WorkerFrame>(type);
 }
@@ -707,12 +695,21 @@ std::uint32_t decode_lease_done_frame(const std::vector<std::uint8_t>& frame) {
 
 std::vector<std::uint8_t> encode_result_ok_frame(std::uint32_t index,
                                                  const ExperimentResult& result) {
-  Writer w = frame_writer(WorkerFrame::Result);
+  std::vector<std::uint8_t> out;
+  encode_result_ok_frame(index, result, out);
+  return out;
+}
+
+void encode_result_ok_frame(std::uint32_t index, const ExperimentResult& result,
+                            std::vector<std::uint8_t>& out) {
+  out.clear();
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(WorkerFrame::Result));
   w.u8(0);  // ok
   w.u32(index);
-  const std::vector<std::uint8_t> encoded = encode_experiment_result(result);
-  w.bytes(encoded.data(), encoded.size());
-  return w.take();
+  // The embedded envelope is encoded in place — no per-result temporary.
+  put_header(w, kKindResult);
+  put_result_body(w, result);
 }
 
 std::vector<std::uint8_t> encode_result_error_frame(std::uint32_t index,
@@ -735,8 +732,9 @@ ResultFrame decode_result_frame(const std::vector<std::uint8_t>& frame) {
   result.ok = status == 0;
   result.index = r.u32();
   if (result.ok) {
-    const std::vector<std::uint8_t> encoded = remaining_bytes(r, frame);
-    result.result = decode_experiment_result(encoded);
+    // Decode the embedded envelope in place — no slicing copy.
+    result.result =
+        decode_experiment_result(frame.data() + r.position(), r.remaining());
   } else {
     const std::uint8_t category = r.u8();
     if (category > static_cast<std::uint8_t>(WireErrorCategory::Logic))
@@ -746,6 +744,89 @@ ResultFrame decode_result_frame(const std::vector<std::uint8_t>& frame) {
     r.expect_done();
   }
   return result;
+}
+
+// --- batched results ---------------------------------------------------------
+
+void begin_result_batch(std::vector<std::uint8_t>& batch) {
+  batch.clear();
+  batch.push_back(static_cast<std::uint8_t>(WorkerFrame::ResultBatch));
+}
+
+bool result_batch_empty(const std::vector<std::uint8_t>& batch) {
+  return batch.size() <= 1;
+}
+
+void append_result_ok_entry(std::vector<std::uint8_t>& batch,
+                            std::uint32_t index,
+                            const ExperimentResult& result) {
+  Writer w(batch);
+  w.u8(0);  // ok
+  w.u32(index);
+  // Length prefix is only known after the envelope is written: reserve the
+  // slot, encode in place, patch.
+  const std::size_t len_pos = w.size();
+  w.u64(0);
+  put_header(w, kKindResult);
+  put_result_body(w, result);
+  w.patch_u64(len_pos, w.size() - len_pos - 8);
+}
+
+void append_result_error_entry(std::vector<std::uint8_t>& batch,
+                               std::uint32_t index, WireErrorCategory category,
+                               const std::string& message) {
+  Writer w(batch);
+  w.u8(1);  // error
+  w.u32(index);
+  w.u8(static_cast<std::uint8_t>(category));
+  w.str(message);
+}
+
+namespace {
+
+/// Shared walk over a batch's entries. decode=false is count-only mode:
+/// envelope bytes are skipped, not decoded.
+std::vector<ResultFrame> walk_result_batch(
+    const std::vector<std::uint8_t>& frame, bool decode) {
+  Reader r = frame_reader(frame, WorkerFrame::ResultBatch);
+  std::vector<ResultFrame> entries;
+  while (!r.done()) {
+    ResultFrame entry;
+    const std::uint8_t status = r.u8();
+    if (status > 1)
+      throw DecodeError("worker frame: batch entry status byte out of range");
+    entry.ok = status == 0;
+    entry.index = r.u32();
+    if (entry.ok) {
+      const std::uint64_t len = r.u64();
+      if (len > r.remaining())
+        throw DecodeError("worker frame: batch entry length " +
+                          std::to_string(len) + " exceeds remaining bytes");
+      if (decode)
+        entry.result = decode_experiment_result(frame.data() + r.position(),
+                                                static_cast<std::size_t>(len));
+      r.skip(len);
+    } else {
+      const std::uint8_t category = r.u8();
+      if (category > static_cast<std::uint8_t>(WireErrorCategory::Logic))
+        throw DecodeError("worker frame: error category byte out of range");
+      entry.category = static_cast<WireErrorCategory>(category);
+      entry.message = r.str();
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace
+
+std::vector<ResultFrame> decode_result_batch_frame(
+    const std::vector<std::uint8_t>& frame) {
+  return walk_result_batch(frame, /*decode=*/true);
+}
+
+std::size_t result_batch_entry_count(const std::vector<std::uint8_t>& frame) {
+  return walk_result_batch(frame, /*decode=*/false).size();
 }
 
 std::vector<std::uint8_t> encode_shutdown_frame() {

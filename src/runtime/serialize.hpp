@@ -24,15 +24,28 @@
 // pipes (util/pipe_io.hpp). Every frame payload starts with a WorkerFrame
 // type byte:
 //
-//   parent -> worker   Hello      protocol version + optionally the study
-//                      Lease      an index range [lo, hi) with a stride
-//                      Ping       liveness/diagnostic probe (echoed back)
-//                      Shutdown   no more work; exit cleanly
-//   worker -> parent   HelloAck   protocol version + worker pid
-//                      Heartbeat  lease accepted; liveness while it runs
-//                      Result     one experiment's outcome (ok or error)
-//                      LeaseDone  lease finished (possibly early, on error)
-//                      Pong       Ping echo
+//   parent -> worker   Hello        protocol version + optionally the study
+//                      Lease        an index range [lo, hi) with a stride
+//                      Ping         liveness/diagnostic probe (echoed back)
+//                      Shutdown     no more work; exit cleanly
+//   worker -> parent   HelloAck     protocol version + worker pid
+//                      Heartbeat    lease accepted; liveness while it runs
+//                      Result       one experiment's outcome (ok or error)
+//                      ResultBatch  several outcomes of one lease in one frame
+//                      LeaseDone    lease finished (possibly early, on error)
+//                      Pong         Ping echo
+//
+// A ResultBatch body is a sequence of self-delimiting entries (no count):
+//
+//   entry := u8 status (0 ok | 1 error), u32 experiment index, then
+//            ok:    u64 byte length + an encoded ExperimentResult envelope
+//            error: u8 category + length-prefixed message
+//
+// Batches amortize the per-frame syscall/copy cost of the result plane; a
+// worker flushes when the accumulated bytes cross a soft bound or the lease
+// ends. decode_result_batch_frame decodes the whole batch up front (strong
+// exception safety), so a corrupt or truncated batch yields no partial
+// results — the runner requeues the batch's experiments as a unit.
 //
 // The protocol is versioned independently of the envelope: the Hello /
 // HelloAck exchange carries kWorkerProtocolVersion and each side rejects a
@@ -61,12 +74,19 @@
 namespace loki::runtime {
 
 /// Bump on ANY change to the encoding (see versioning rules above).
-inline constexpr std::uint16_t kWireVersion = 1;
+/// v2: dense-id ExperimentResult layout — timelines/user_messages in node
+/// order, one shared host table with parallel start/end/clock columns, and
+/// ground truth in machine slots (v1 encoded string-keyed maps).
+inline constexpr std::uint16_t kWireVersion = 2;
 
 std::vector<std::uint8_t> encode_experiment_params(const ExperimentParams& p);
 ExperimentParams decode_experiment_params(const std::vector<std::uint8_t>& bytes);
 
 std::vector<std::uint8_t> encode_experiment_result(const ExperimentResult& r);
+/// Append flavour: encodes into `out` (appending) instead of allocating a
+/// fresh vector — the zero-copy path for reusable per-worker frame buffers.
+void encode_experiment_result(const ExperimentResult& r,
+                              std::vector<std::uint8_t>& out);
 ExperimentResult decode_experiment_result(const std::vector<std::uint8_t>& bytes);
 /// Zero-copy flavour for decoding out of a larger buffer (e.g. a shard
 /// frame) without slicing it into a fresh vector first.
@@ -85,7 +105,8 @@ std::string experiment_cache_key(const ExperimentParams& p);
 
 /// Bump on ANY change to a worker frame layout or meaning. Checked by the
 /// Hello / HelloAck handshake; a mismatch is a hard error on both sides.
-inline constexpr std::uint16_t kWorkerProtocolVersion = 1;
+/// v2: ResultBatch frames + the v2 result envelope inside ok entries.
+inline constexpr std::uint16_t kWorkerProtocolVersion = 2;
 
 /// First byte of every worker frame payload.
 enum class WorkerFrame : std::uint8_t {
@@ -98,6 +119,7 @@ enum class WorkerFrame : std::uint8_t {
   Shutdown = 7,
   Ping = 8,
   Pong = 9,
+  ResultBatch = 10,
 };
 
 /// Exception families that survive a process boundary. A worker classifies
@@ -147,6 +169,11 @@ std::uint32_t decode_lease_done_frame(const std::vector<std::uint8_t>& frame);
 
 std::vector<std::uint8_t> encode_result_ok_frame(std::uint32_t index,
                                                  const ExperimentResult& result);
+/// Zero-copy flavour: clears `out` and encodes the frame into it, reusing
+/// its capacity. A worker loop keeps one buffer and never reallocates once
+/// it has seen its largest result.
+void encode_result_ok_frame(std::uint32_t index, const ExperimentResult& result,
+                            std::vector<std::uint8_t>& out);
 std::vector<std::uint8_t> encode_result_error_frame(std::uint32_t index,
                                                     WireErrorCategory category,
                                                     const std::string& message);
@@ -158,6 +185,30 @@ struct ResultFrame {
   std::string message;                                     // error frames only
 };
 ResultFrame decode_result_frame(const std::vector<std::uint8_t>& frame);
+
+// --- batched results ---------------------------------------------------------
+// Builder-style API over a caller-owned buffer: begin_result_batch resets it
+// to the ResultBatch type byte, the append_* functions encode entries in
+// place (no intermediate per-result vector), and the caller sends the buffer
+// when its size crosses the flush bound or the lease ends.
+
+/// Reset `batch` to an empty ResultBatch frame (just the type byte).
+void begin_result_batch(std::vector<std::uint8_t>& batch);
+/// True iff the batch holds no entries yet (nothing worth flushing).
+bool result_batch_empty(const std::vector<std::uint8_t>& batch);
+void append_result_ok_entry(std::vector<std::uint8_t>& batch, std::uint32_t index,
+                            const ExperimentResult& result);
+void append_result_error_entry(std::vector<std::uint8_t>& batch,
+                               std::uint32_t index, WireErrorCategory category,
+                               const std::string& message);
+/// Decode every entry, in order. All-or-nothing: any malformed entry throws
+/// DecodeError and yields no results, so runners requeue whole batches.
+std::vector<ResultFrame> decode_result_batch_frame(
+    const std::vector<std::uint8_t>& frame);
+/// Entry count by skipping over the length prefixes — no result decode.
+/// Throws DecodeError on a malformed batch. Fault-injection harnesses use
+/// this to count results inside batch frames cheaply.
+std::size_t result_batch_entry_count(const std::vector<std::uint8_t>& frame);
 
 std::vector<std::uint8_t> encode_shutdown_frame();
 

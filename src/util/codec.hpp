@@ -28,7 +28,16 @@ class DecodeError : public std::runtime_error {
 
 class Writer {
  public:
-  void u8(std::uint8_t v) { buf_.push_back(v); }
+  /// Owning mode: appends into an internal buffer, retrieved via take().
+  Writer() = default;
+  /// External-storage mode: appends to `out`, which the caller owns and
+  /// which must outlive the Writer. This is the zero-copy framing path —
+  /// a frame is encoded straight into a reusable buffer instead of being
+  /// built in a temporary vector and copied over. take() is meaningless
+  /// here; the caller already holds the bytes.
+  explicit Writer(std::vector<std::uint8_t>& out) : ext_(&out) {}
+
+  void u8(std::uint8_t v) { buf().push_back(v); }
   void u16(std::uint16_t v) { unsigned_le(v, 2); }
   void u32(std::uint32_t v) { unsigned_le(v, 4); }
   void u64(std::uint64_t v) { unsigned_le(v, 8); }
@@ -37,21 +46,44 @@ class Writer {
   void boolean(bool v) { u8(v ? 1 : 0); }
   void str(std::string_view s) {
     u64(s.size());
-    buf_.insert(buf_.end(), s.begin(), s.end());
+    buf().insert(buf().end(), s.begin(), s.end());
   }
   void bytes(const std::uint8_t* data, std::size_t n) {
-    buf_.insert(buf_.end(), data, data + n);
+    buf().insert(buf().end(), data, data + n);
   }
 
-  const std::vector<std::uint8_t>& data() const { return buf_; }
-  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  /// Current append position — pair with patch_u64 for length prefixes
+  /// whose value is only known after the payload is written.
+  std::size_t size() const { return buf().size(); }
+  /// Overwrite 8 bytes at `pos` (a slot previously written with u64).
+  void patch_u64(std::size_t pos, std::uint64_t v) {
+    std::vector<std::uint8_t>& b = buf();
+    for (int i = 0; i < 8; ++i)
+      b[pos + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (8 * i));
+  }
+
+  const std::vector<std::uint8_t>& data() const { return buf(); }
+  std::vector<std::uint8_t> take() { return std::move(buf()); }
 
  private:
+  std::vector<std::uint8_t>& buf() { return ext_ != nullptr ? *ext_ : own_; }
+  const std::vector<std::uint8_t>& buf() const {
+    return ext_ != nullptr ? *ext_ : own_;
+  }
   void unsigned_le(std::uint64_t v, int width) {
-    for (int i = 0; i < width; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    // One bulk insert instead of per-byte push_back: the capacity check
+    // happens once per scalar, not once per byte — measurable on the
+    // result-plane hot path (BM_ResultBatchRoundTrip).
+    std::uint8_t le[8];
+    for (int i = 0; i < width; ++i)
+      le[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    std::vector<std::uint8_t>& b = buf();
+    b.insert(b.end(), le, le + width);
   }
 
-  std::vector<std::uint8_t> buf_;
+  std::vector<std::uint8_t> own_;
+  std::vector<std::uint8_t>* ext_{nullptr};
 };
 
 class Reader {
@@ -80,6 +112,15 @@ class Reader {
     return s;
   }
 
+  /// Advance past `n` bytes without interpreting them — for length-prefixed
+  /// blobs handed to a nested decoder. Throws DecodeError on truncation.
+  void skip(std::uint64_t n) {
+    require(n);
+    pos_ += static_cast<std::size_t>(n);
+  }
+  /// Bytes consumed so far — the offset of the next unread byte.
+  std::size_t position() const { return pos_; }
+
   std::size_t remaining() const { return size_ - pos_; }
   bool done() const { return pos_ == size_; }
   /// Every decoder's final check: trailing garbage is as suspect as
@@ -98,10 +139,10 @@ class Reader {
   }
   std::uint64_t unsigned_le(int width) {
     require(static_cast<std::uint64_t>(width));
+    const std::uint8_t* p = data_ + pos_;
     std::uint64_t v = 0;
     for (int i = 0; i < width; ++i)
-      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
-           << (8 * i);
+      v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
     pos_ += static_cast<std::size_t>(width);
     return v;
   }

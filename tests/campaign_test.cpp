@@ -210,11 +210,12 @@ TEST(RunCampaignWrapper, StillRunsValidStudies) {
 void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
   // Timelines and sync samples byte-identical via their file serializations.
   ASSERT_EQ(a.timelines.size(), b.timelines.size());
-  for (const auto& [nick, tl] : a.timelines) {
-    ASSERT_TRUE(b.timelines.contains(nick)) << nick;
+  for (const auto& tl : a.timelines) {
+    const auto* other = b.find_timeline(tl.nickname);
+    ASSERT_NE(other, nullptr) << tl.nickname;
     EXPECT_EQ(runtime::serialize_local_timeline(tl),
-              runtime::serialize_local_timeline(b.timelines.at(nick)))
-        << nick;
+              runtime::serialize_local_timeline(*other))
+        << tl.nickname;
   }
   EXPECT_EQ(clocksync::serialize_timestamps(a.sync_samples),
             clocksync::serialize_timestamps(b.sync_samples));
@@ -449,8 +450,8 @@ TEST(Builder, ComposedStudyRunsAndInjects) {
   ASSERT_EQ(experiments.size(), 3u);
   for (const auto& r : experiments) EXPECT_TRUE(r.completed);
   // base(seed) varies the seed per experiment: runs differ.
-  EXPECT_NE(runtime::serialize_local_timeline(experiments[0].timelines.at("black")),
-            runtime::serialize_local_timeline(experiments[1].timelines.at("black")));
+  EXPECT_NE(runtime::serialize_local_timeline(experiments[0].timeline_of("black")),
+            runtime::serialize_local_timeline(experiments[1].timeline_of("black")));
 }
 
 TEST(Builder, SummaryCountsExperiments) {

@@ -69,10 +69,10 @@ std::vector<std::uint8_t> bytes_of(const ExperimentResult& result) {
 
 TEST(GroundTruth, InStateBinarySearchBoundaries) {
   runtime::GroundTruth truth;
-  truth.state_seq["m"] = {{SimTime{100}, "A"},
-                          {SimTime{200}, "B"},
-                          {SimTime{200}, "C"},  // same-instant re-entry
-                          {SimTime{300}, "D"}};
+  truth.state_seq_of("m") = {{SimTime{100}, "A"},
+                             {SimTime{200}, "B"},
+                             {SimTime{200}, "C"},  // same-instant re-entry
+                             {SimTime{300}, "D"}};
 
   EXPECT_FALSE(truth.in_state("m", "A", SimTime{99}));   // before first entry
   EXPECT_TRUE(truth.in_state("m", "A", SimTime{100}));   // exact enter time
@@ -90,7 +90,7 @@ TEST(GroundTruth, InStateBinarySearchBoundaries) {
 
 TEST(GroundTruth, InStateEmptySequence) {
   runtime::GroundTruth truth;
-  truth.state_seq["m"] = {};
+  truth.state_seq_of("m") = {};
   EXPECT_FALSE(truth.in_state("m", "A", SimTime{0}));
 }
 

@@ -57,13 +57,13 @@ ExperimentParams templated_params(std::uint64_t seed,
 }
 
 bool black_crashed(const ExperimentResult& r) {
-  return r.truth.crashes.contains("black");
+  return r.truth.crashed("black");
 }
 
 bool saw_message(const ExperimentResult& r, const std::string& needle) {
-  const auto it = r.user_messages.find("black");
-  if (it == r.user_messages.end()) return false;
-  for (const auto& m : it->second)
+  const auto* messages = r.find_user_messages("black");
+  if (messages == nullptr) return false;
+  for (const auto& m : *messages)
     if (m.find(needle) != std::string::npos) return true;
   return false;
 }
@@ -104,7 +104,7 @@ TEST(ProbeTemplates, MemoryFaultCrashIsDaemonRecorded) {
     const auto r = runtime::run_experiment(templated_params(
         500 + static_cast<std::uint64_t>(seed), runtime::memory_fault(mf)));
     if (!black_crashed(r)) continue;
-    const auto& tl = r.timelines.at("black");
+    const auto& tl = r.timeline_of("black");
     bool has_crash_record = false;
     for (const auto& rec : tl.records) {
       if (rec.type == runtime::RecordType::StateChange &&
@@ -198,11 +198,11 @@ TEST(HostCrash, ExperimentSurvivesHostCrashAndReboot) {
   EXPECT_TRUE(r.completed) << "survivors should finish despite the host crash";
   EXPECT_FALSE(r.timed_out);
   // green lived on hostC: its records stop at/before the crash.
-  const auto& tl = r.timelines.at("green");
+  const auto& tl = r.timeline_of("green");
   EXPECT_FALSE(tl.records.empty());
   // black and yellow ran to completion and kept recording afterwards.
   for (const auto* nick : {"black", "yellow"}) {
-    const auto& other = r.timelines.at(nick);
+    const auto& other = r.timeline_of(nick);
     EXPECT_GE(other.records.size(), 3u) << nick;
   }
 }
@@ -219,18 +219,18 @@ TEST(HostCrash, SurvivorsReElectAfterLeaderHostDies) {
   EXPECT_TRUE(r.completed);
   // If black led and died with its host, a survivor must have re-elected.
   const bool black_led = [&] {
-    const auto it = r.truth.state_seq.find("black");
-    if (it == r.truth.state_seq.end()) return false;
-    for (const auto& [t, s] : it->second)
+    const auto* seq = r.truth.find_state_seq("black");
+    if (seq == nullptr) return false;
+    for (const auto& [t, s] : *seq)
       if (s == "LEAD") return true;
     return false;
   }();
   if (black_led) {
     int survivor_leads = 0;
     for (const auto* nick : {"yellow", "green"}) {
-      const auto it = r.truth.state_seq.find(nick);
-      if (it == r.truth.state_seq.end()) continue;
-      for (const auto& [t, s] : it->second)
+      const auto* seq = r.truth.find_state_seq(nick);
+      if (seq == nullptr) continue;
+      for (const auto& [t, s] : *seq)
         if (s == "LEAD") ++survivor_leads;
     }
     EXPECT_GE(survivor_leads, 1);

@@ -33,22 +33,22 @@ TEST(ElectionE2E, CompletesAndElectsExactlyOneLeader) {
   EXPECT_TRUE(r.completed);
   EXPECT_FALSE(r.timed_out);
   int leaders = 0;
-  for (const auto& [nick, seq] : r.truth.state_seq) {
+  for (const auto& seq : r.truth.state_seq) {
     for (const auto& [t, s] : seq)
       if (s == "LEAD") ++leaders;
   }
   EXPECT_EQ(leaders, 1) << "exactly one node should win the election";
   // All three produced local timelines with state changes.
   EXPECT_EQ(r.timelines.size(), 3u);
-  for (const auto& [nick, tl] : r.timelines) EXPECT_GE(tl.records.size(), 3u);
+  for (const auto& tl : r.timelines) EXPECT_GE(tl.records.size(), 3u);
 }
 
 TEST(ElectionE2E, DeterministicForSameSeed) {
   const ExperimentResult a = runtime::run_experiment(election_params(7));
   const ExperimentResult b = runtime::run_experiment(election_params(7));
   ASSERT_EQ(a.timelines.size(), b.timelines.size());
-  for (const auto& [nick, tl] : a.timelines) {
-    const auto& tl2 = b.timelines.at(nick);
+  for (const auto& tl : a.timelines) {
+    const auto& tl2 = b.timeline_of(tl.nickname);
     ASSERT_EQ(tl.records.size(), tl2.records.size());
     for (std::size_t i = 0; i < tl.records.size(); ++i)
       EXPECT_EQ(tl.records[i].time.ns, tl2.records[i].time.ns);
@@ -76,15 +76,15 @@ TEST(ElectionE2E, FaultOnLeaderFiresAndRecovers) {
       // Ground truth: at the injection instant black really was the leader.
       EXPECT_TRUE(r.truth.in_state("black", "LEAD", inj.at));
     }
-    if (r.truth.crashes.contains("black")) ++crashed;
-    const auto& tl = r.timelines.at("black");
+    if (r.truth.crashed("black")) ++crashed;
+    const auto& tl = r.timeline_of("black");
     for (const auto& rec : tl.records)
       if (rec.type == runtime::RecordType::Restart) ++restarted;
     // After black's crash some survivor must re-elect (reach LEAD).
     for (const auto& nick : {"yellow", "green"}) {
-      const auto it = r.truth.state_seq.find(nick);
-      if (it == r.truth.state_seq.end()) continue;
-      for (const auto& [t, s] : it->second)
+      const auto* seq = r.truth.find_state_seq(nick);
+      if (seq == nullptr) continue;
+      for (const auto& [t, s] : *seq)
         if (s == "LEAD") ++survivors_reelected;
     }
   }
@@ -106,7 +106,7 @@ TEST(ElectionE2E, RestartOnDifferentHostRecordsHostName) {
   for (int seed = 0; seed < 15 && !saw_cross_host_restart; ++seed) {
     params.seed = 500 + static_cast<std::uint64_t>(seed);
     const ExperimentResult r = runtime::run_experiment(params);
-    const auto& tl = r.timelines.at("black");
+    const auto& tl = r.timeline_of("black");
     for (const auto& rec : tl.records) {
       if (rec.type == runtime::RecordType::Restart) {
         EXPECT_EQ(rec.host, "hostB");  // next host after hostA
@@ -131,10 +131,10 @@ TEST(ElectionE2E, SilentCrashDetectedByWatchdog) {
   for (int seed = 0; seed < 10 && !saw_daemon_crash_record; ++seed) {
     params.seed = 900 + static_cast<std::uint64_t>(seed);
     const ExperimentResult r = runtime::run_experiment(params);
-    if (!r.truth.crashes.contains("black")) continue;
+    if (!r.truth.crashed("black")) continue;
     // The node died silently; only the local daemon can have written the
     // CRASH record (§3.5.2), stamped with the CRASH event index.
-    const auto& tl = r.timelines.at("black");
+    const auto& tl = r.timeline_of("black");
     for (const auto& rec : tl.records) {
       if (rec.type == runtime::RecordType::StateChange &&
           tl.state_name(rec.state_index) == "CRASH") {
@@ -227,13 +227,13 @@ TEST(ElectionE2E, DynamicEntryJoinsMidExperiment) {
   green.enter_host = "hostC";
   const ExperimentResult r = runtime::run_experiment(params);
   EXPECT_TRUE(r.completed);
-  const auto& tl = r.timelines.at("green");
+  const auto& tl = r.timeline_of("green");
   EXPECT_FALSE(tl.records.empty());
   // green's first record must be strictly later than the others' first.
   const auto first_ms = [&](const std::string& nick) {
-    return r.timelines.at(nick).records.front().time.ns;
+    return r.timeline_of(nick).records.front().time.ns;
   };
-  EXPECT_GT(first_ms("green") - r.start_local.at("hostC").ns,
+  EXPECT_GT(first_ms("green") - r.start_local_of("hostC").ns,
             milliseconds(150).ns);
 }
 
@@ -246,7 +246,7 @@ TEST(ElectionE2E, AlternativeDesignsRunToCompletion) {
     EXPECT_TRUE(r.completed) << static_cast<int>(design);
     EXPECT_EQ(r.timelines.size(), 3u);
     int leads = 0;
-    for (const auto& [nick, seq] : r.truth.state_seq)
+    for (const auto& seq : r.truth.state_seq)
       for (const auto& [t, s] : seq)
         if (s == "LEAD") ++leads;
     EXPECT_EQ(leads, 1) << static_cast<int>(design);
@@ -278,9 +278,9 @@ TEST(KvStoreE2E, ReplicatesAndPromotesAfterPrimaryCrash) {
     const ExperimentResult r = runtime::run_experiment(params);
     EXPECT_TRUE(r.completed);
     for (const auto& nick : {"kv2", "kv3"}) {
-      const auto it = r.truth.state_seq.find(nick);
-      if (it == r.truth.state_seq.end()) continue;
-      for (const auto& [t, s] : it->second)
+      const auto* seq = r.truth.find_state_seq(nick);
+      if (seq == nullptr) continue;
+      for (const auto& [t, s] : *seq)
         if (s == "PRIMARY") promoted = true;
     }
   }
@@ -298,7 +298,9 @@ TEST(TokenRingE2E, MutualExclusionHoldsWithoutFaults) {
   // Ground truth: never two machines in CRITICAL simultaneously.
   for (const auto& inj : r.truth.injections) (void)inj;
   std::vector<std::pair<SimTime, std::pair<std::string, bool>>> edges;
-  for (const auto& [nick, seq] : r.truth.state_seq) {
+  for (std::size_t m = 0; m < r.truth.machines.size(); ++m) {
+    const std::string& nick = r.truth.machines[m];
+    const auto& seq = r.truth.state_seq[m];
     for (std::size_t i = 0; i < seq.size(); ++i) {
       if (seq[i].second == "CRITICAL") {
         edges.push_back({seq[i].first, {nick, true}});

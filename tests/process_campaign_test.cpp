@@ -203,21 +203,25 @@ TEST(WorkerRange, FramesDecodeToSerialResults) {
   campaign::run_worker_range(study, 0, 3, 1, fd);
   ASSERT_EQ(::lseek(fd, 0, SEEK_SET), 0);
 
+  // The shard emits ResultBatch frames; entries across all batches cover
+  // the range in order.
+  std::vector<runtime::ResultFrame> entries;
+  while (const auto frame = util::read_frame(fd)) {
+    EXPECT_EQ(runtime::worker_frame_type(*frame),
+              runtime::WorkerFrame::ResultBatch);
+    auto batch = runtime::decode_result_batch_frame(*frame);
+    EXPECT_FALSE(batch.empty()) << "a flushed batch is never empty";
+    for (auto& entry : batch) entries.push_back(std::move(entry));
+  }
+  ASSERT_EQ(entries.size(), 3u);
   for (int k = 0; k < 3; ++k) {
-    const auto frame = util::read_frame(fd);
-    ASSERT_TRUE(frame.has_value()) << "missing frame " << k;
-    codec::Reader r(*frame);
-    EXPECT_EQ(r.u8(), 0) << "status ok";
-    EXPECT_EQ(r.u32(), static_cast<std::uint32_t>(k));
-    const std::vector<std::uint8_t> encoded(frame->begin() + 5, frame->end());
-    const ExperimentResult from_frame =
-        runtime::decode_experiment_result(encoded);
+    EXPECT_TRUE(entries[k].ok) << "status ok";
+    EXPECT_EQ(entries[k].index, static_cast<std::uint32_t>(k));
     const ExperimentResult direct =
         runtime::run_experiment(study.make_params(k));
-    EXPECT_EQ(runtime::encode_experiment_result(from_frame),
+    EXPECT_EQ(runtime::encode_experiment_result(entries[k].result),
               runtime::encode_experiment_result(direct));
   }
-  EXPECT_FALSE(util::read_frame(fd).has_value()) << "clean EOF after range";
   ::close(fd);
   std::remove(path.c_str());
 }

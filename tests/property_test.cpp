@@ -63,10 +63,11 @@ TEST_P(CrossAppProperty, AnalysisInvariantsHold) {
   const auto a = analysis::analyze_experiment(result);
 
   // 1. Clock bounds of every host contain the true relative parameters.
-  const auto& ref_clock = result.true_clocks.begin()->second;
+  ASSERT_FALSE(result.true_clocks.empty());
+  const auto& ref_clock = result.true_clocks.front();
   for (const auto& [host, bounds] : a.alphabeta.bounds) {
     ASSERT_TRUE(bounds.valid) << host;
-    const auto& clock = result.true_clocks.at(host);
+    const auto& clock = result.true_clock_of(host);
     const double beta_true = clock.beta / ref_clock.beta;
     const double alpha_true = static_cast<double>(clock.alpha.ns) -
                               static_cast<double>(ref_clock.alpha.ns) * beta_true;
@@ -82,7 +83,7 @@ TEST_P(CrossAppProperty, AnalysisInvariantsHold) {
   //    alpha/beta, so compare against the reference-clock reading).
   //    Spot-check via the global timeline ordering instead: intervals of
   //    events from ONE machine on one host must be ordered by local time.
-  for (const auto& [nick, tl] : result.timelines) {
+  for (const auto& tl : result.timelines) {
     const auto events = analysis::project_timeline(tl, a.alphabeta);
     for (std::size_t i = 1; i < events.size(); ++i) {
       if (events[i].host != events[i - 1].host) continue;
@@ -96,7 +97,7 @@ TEST_P(CrossAppProperty, AnalysisInvariantsHold) {
   //    via the experiment's ground truth state sequences.
   if (a.accepted) {
     for (const auto& inj : result.truth.injections) {
-      const auto& tl = result.timelines.at(inj.machine);
+      const auto& tl = result.timeline_of(inj.machine);
       const runtime::TimelineFaultEntry* entry = nullptr;
       for (const auto& f : tl.faults)
         if (f.name == inj.fault) entry = &f;
@@ -105,10 +106,10 @@ TEST_P(CrossAppProperty, AnalysisInvariantsHold) {
       const spec::StateView truth_view =
           [&](const std::string& machine) -> const std::string* {
         static thread_local std::string held;
-        const auto it = result.truth.state_seq.find(machine);
-        if (it == result.truth.state_seq.end()) return nullptr;
+        const auto* seq = result.truth.find_state_seq(machine);
+        if (seq == nullptr) return nullptr;
         const std::string* current = nullptr;
-        for (const auto& [t, s] : it->second) {
+        for (const auto& [t, s] : *seq) {
           if (t > inj.at) break;
           current = &s;
         }
@@ -123,7 +124,7 @@ TEST_P(CrossAppProperty, AnalysisInvariantsHold) {
   }
 
   // 4. Timelines parse back from their own file format losslessly.
-  for (const auto& [nick, tl] : result.timelines) {
+  for (const auto& tl : result.timelines) {
     const auto rt = runtime::parse_local_timeline(
         runtime::serialize_local_timeline(tl), "prop");
     ASSERT_EQ(rt.records.size(), tl.records.size());

@@ -250,8 +250,11 @@ TEST(RemoteRunnerFaults, FakeWorkerKilledMidCampaign) {
 }
 
 TEST(RemoteRunnerFaults, SubprocessWorkerSigkilledMidCampaign) {
-  // A decorator transport that SIGKILLs the victim's real process after n
-  // Result frames were delivered — a genuine mid-campaign worker crash.
+  // A decorator transport that SIGKILLs the victim's real process when the
+  // nth result-bearing frame (Result or ResultBatch) arrives — and swallows
+  // that frame, as if the worker died mid-send. With batching a whole lease
+  // can share one frame, so delivering it first would leave nothing
+  // outstanding to requeue.
   class ChaosLink final : public campaign::WorkerLink {
    public:
     ChaosLink(std::unique_ptr<campaign::WorkerLink> inner, int kill_after)
@@ -261,12 +264,18 @@ TEST(RemoteRunnerFaults, SubprocessWorkerSigkilledMidCampaign) {
     }
     campaign::RecvOutcome recv(std::chrono::milliseconds timeout) override {
       campaign::RecvOutcome out = inner_->recv(timeout);
-      if (out.status == campaign::RecvOutcome::Status::Frame &&
-          !out.frame.empty() &&
-          out.frame[0] ==
-              static_cast<std::uint8_t>(runtime::WorkerFrame::Result) &&
-          ++seen_ == kill_after_)
+      const auto carries_results = [](const campaign::RecvOutcome& o) {
+        return o.status == campaign::RecvOutcome::Status::Frame &&
+               !o.frame.empty() &&
+               (o.frame[0] ==
+                    static_cast<std::uint8_t>(runtime::WorkerFrame::Result) ||
+                o.frame[0] == static_cast<std::uint8_t>(
+                                  runtime::WorkerFrame::ResultBatch));
+      };
+      if (carries_results(out) && ++seen_ == kill_after_) {
         inner_->kill();
+        out = inner_->recv(timeout);  // the killed worker's frame is lost
+      }
       return out;
     }
     void kill() override { inner_->kill(); }
@@ -397,7 +406,7 @@ TEST(RemoteRunnerFaults, CorruptResultFrameKillsWorkerNotCampaign) {
       run_recorded(std::make_shared<campaign::SerialRunner>(), study);
 
   auto transport = std::make_shared<campaign::FakeTransport>(2);
-  transport->corrupt_result(0, 1);
+  transport->corrupt_batch(0, 1);
   const auto remote = run_recorded(
       std::make_shared<campaign::RemoteRunner>(transport, test_options()),
       study);
@@ -412,7 +421,7 @@ TEST(RemoteRunnerFaults, DroppedResultIsRequeuedWithoutLosingTheWorker) {
       run_recorded(std::make_shared<campaign::SerialRunner>(), study);
 
   auto transport = std::make_shared<campaign::FakeTransport>(2);
-  transport->drop_result(0, 2);
+  transport->drop_batch(0, 2);
   const auto remote = run_recorded(
       std::make_shared<campaign::RemoteRunner>(transport, test_options()),
       study);
@@ -428,13 +437,97 @@ TEST(RemoteRunnerFaults, DelayedResultIsJustSlow) {
       run_recorded(std::make_shared<campaign::SerialRunner>(), study);
 
   auto transport = std::make_shared<campaign::FakeTransport>(2);
-  transport->delay_result(0, 1, std::chrono::milliseconds(50));
+  transport->delay_batch(0, 1, std::chrono::milliseconds(50));
   const auto remote = run_recorded(
       std::make_shared<campaign::RemoteRunner>(transport, test_options()),
       study);
   expect_identical_events(serial.events, remote.events);
   EXPECT_EQ(remote.summary.requeued, 0);
   EXPECT_EQ(remote.summary.workers_lost, 0);
+}
+
+// --- multi-result batch faults ----------------------------------------------
+// With a large soft bound every lease travels as ONE ResultBatch frame, so
+// these scripts damage several results at once. All-or-nothing decoding must
+// requeue the whole batch — byte-identity and exactly-once still hold.
+
+TEST(RemoteRunnerBatchFaults, MultiResultBatchesIdenticalToSerial) {
+  const auto study = fault_study("batch-identity", 9);
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+  auto transport = std::make_shared<campaign::FakeTransport>(2);
+  transport->set_batch_soft_bytes(8u << 20);  // a whole lease per frame
+  const auto remote = run_recorded(
+      std::make_shared<campaign::RemoteRunner>(transport, test_options(3)),
+      study);
+  expect_identical_events(serial.events, remote.events);
+  expect_exactly_once(remote.events, study.experiments);
+  EXPECT_EQ(remote.summary.requeued, 0);
+  EXPECT_EQ(remote.summary.workers_lost, 0);
+}
+
+TEST(RemoteRunnerBatchFaults, CorruptBatchRequeuesWholeBatch) {
+  const auto study = fault_study("batch-corrupt", 9);
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+  auto transport = std::make_shared<campaign::FakeTransport>(2);
+  transport->set_batch_soft_bytes(8u << 20);
+  transport->corrupt_batch(0, 1);  // first batch: 3 results, all damaged
+  const auto remote = run_recorded(
+      std::make_shared<campaign::RemoteRunner>(transport, test_options(3)),
+      study);
+  expect_identical_events(serial.events, remote.events);
+  expect_exactly_once(remote.events, study.experiments);
+  EXPECT_GE(remote.summary.workers_lost, 1);
+  EXPECT_GE(remote.summary.requeued, 1) << "the damaged lease was requeued";
+}
+
+TEST(RemoteRunnerBatchFaults, TruncatedBatchRequeuesWholeBatch) {
+  const auto study = fault_study("batch-truncate", 9);
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+  auto transport = std::make_shared<campaign::FakeTransport>(2);
+  transport->set_batch_soft_bytes(8u << 20);
+  transport->truncate_batch(0, 1);  // tail cut mid-entry
+  const auto remote = run_recorded(
+      std::make_shared<campaign::RemoteRunner>(transport, test_options(3)),
+      study);
+  expect_identical_events(serial.events, remote.events);
+  expect_exactly_once(remote.events, study.experiments);
+  EXPECT_GE(remote.summary.workers_lost, 1);
+  EXPECT_GE(remote.summary.requeued, 1);
+}
+
+TEST(RemoteRunnerBatchFaults, DroppedBatchIsRequeuedWithoutLosingTheWorker) {
+  const auto study = fault_study("batch-drop", 9);
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+  auto transport = std::make_shared<campaign::FakeTransport>(2);
+  transport->set_batch_soft_bytes(8u << 20);
+  transport->drop_batch(0, 2);  // second batch vanishes; LeaseDone arrives
+  const auto remote = run_recorded(
+      std::make_shared<campaign::RemoteRunner>(transport, test_options(3)),
+      study);
+  expect_identical_events(serial.events, remote.events);
+  expect_exactly_once(remote.events, study.experiments);
+  EXPECT_GE(remote.summary.requeued, 1);
+  EXPECT_EQ(remote.summary.workers_lost, 0);
+}
+
+TEST(RemoteRunnerBatchFaults, TruncatedSingleResultBatchStaysIdentical) {
+  // The per-result shape (soft bound 1) under the new truncate fault: one
+  // entry per frame, tail cut — same whole-batch requeue contract.
+  const auto study = fault_study("batch-truncate-1", 8);
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+  auto transport = std::make_shared<campaign::FakeTransport>(2);
+  transport->truncate_batch(0, 1);
+  const auto remote = run_recorded(
+      std::make_shared<campaign::RemoteRunner>(transport, test_options()),
+      study);
+  expect_identical_events(serial.events, remote.events);
+  expect_exactly_once(remote.events, study.experiments);
+  EXPECT_GE(remote.summary.workers_lost, 1);
 }
 
 TEST(RemoteRunnerFaults, AllWorkersLostThrows) {
@@ -696,20 +789,27 @@ TEST(WorkerStrideCli, InterleavedShardMatchesDirectExecution) {
             0);
 
   // Stride 2 from 1: indices 1, 3, 5 — byte-identical to running them here.
+  // The shard emits ResultBatch frames; flatten them in arrival order.
   const int fd = ::open((dir + "/frames.bin").c_str(), O_RDONLY);
   ASSERT_GE(fd, 0);
-  for (const int k : {1, 3, 5}) {
-    const auto frame = util::read_frame(fd);
-    ASSERT_TRUE(frame.has_value()) << "missing frame for index " << k;
-    codec::Reader r(*frame);
-    EXPECT_EQ(r.u8(), 0) << "status ok";
-    EXPECT_EQ(r.u32(), static_cast<std::uint32_t>(k));
-    const std::vector<std::uint8_t> encoded(frame->begin() + 5, frame->end());
-    EXPECT_EQ(encoded, runtime::encode_experiment_result(
-                           runtime::run_experiment(study.make_params(k))));
+  std::vector<runtime::ResultFrame> entries;
+  while (const auto frame = util::read_frame(fd)) {
+    ASSERT_EQ(runtime::worker_frame_type(*frame),
+              runtime::WorkerFrame::ResultBatch);
+    for (auto& entry : runtime::decode_result_batch_frame(*frame))
+      entries.push_back(std::move(entry));
   }
-  EXPECT_FALSE(util::read_frame(fd).has_value()) << "clean EOF after range";
   ::close(fd);
+  ASSERT_EQ(entries.size(), 3u);
+  std::size_t at = 0;
+  for (const int k : {1, 3, 5}) {
+    EXPECT_TRUE(entries[at].ok) << "status ok";
+    EXPECT_EQ(entries[at].index, static_cast<std::uint32_t>(k));
+    EXPECT_EQ(runtime::encode_experiment_result(entries[at].result),
+              runtime::encode_experiment_result(
+                  runtime::run_experiment(study.make_params(k))));
+    ++at;
+  }
 }
 
 TEST(WorkerStrideCli, RejectsNonPositiveStride) {

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fcntl.h>
 #include <limits>
 #include <string>
@@ -117,7 +118,8 @@ ExperimentResult synthetic_result() {
   runtime::LocalTimeline empty_tl;  // a node that recorded nothing
   empty_tl.nickname = "mute";
   empty_tl.initial_host = "hostA";
-  r.timelines["mute"] = empty_tl;
+  r.timelines.push_back(empty_tl);
+  r.user_messages.emplace_back();  // "mute" printed nothing
 
   runtime::LocalTimeline tl;
   tl.nickname = "black";
@@ -130,22 +132,24 @@ ExperimentResult synthetic_result() {
                         LocalTime{123456789}});
   tl.records.push_back({runtime::RecordType::Restart, 0, 0, 0, "hostB",
                         LocalTime{-42}});  // negative local clock reading
-  r.timelines["black"] = tl;
+  r.timelines.push_back(tl);
+  r.user_messages.push_back({"injected bfault1", std::string(100'000, 'x')});
 
-  r.user_messages["black"] = {"injected bfault1", std::string(100'000, 'x')};
-  r.user_messages["empty"] = {};
   r.sync_samples.push_back({"hostA", "hostB", LocalTime{1}, LocalTime{2}});
-  r.start_local["hostA"] = LocalTime{10};
-  r.end_local["hostA"] = LocalTime{20};
-  r.truth.state_seq["black"] = {{SimTime{0}, "BEGIN"}, {SimTime{5}, "LEAD"}};
+  const std::size_t a = r.add_host("hostA");
+  const std::size_t b = r.add_host("hostB");
+  const std::size_t c = r.add_host("hostC");
+  r.start_local[a] = LocalTime{10};
+  r.end_local[a] = LocalTime{20};
+  r.truth.state_seq_of("black") = {{SimTime{0}, "BEGIN"}, {SimTime{5}, "LEAD"}};
   r.truth.injections.push_back({"black", "bfault1", SimTime{77}});
-  r.truth.crashes["black"] = {SimTime{99}};
+  r.truth.crashes_of("black") = {SimTime{99}};
   // NaN/inf statistics must survive bit-exactly.
-  r.true_clocks["hostA"] =
+  r.true_clocks[a] =
       sim::ClockParams{Duration{0}, std::numeric_limits<double>::quiet_NaN(), 1};
-  r.true_clocks["hostB"] =
+  r.true_clocks[b] =
       sim::ClockParams{Duration{0}, std::numeric_limits<double>::infinity(), 1};
-  r.true_clocks["hostC"] =
+  r.true_clocks[c] =
       sim::ClockParams{Duration{0}, -std::numeric_limits<double>::infinity(), 1};
   r.start_phys = SimTime{1000};
   r.end_phys = SimTime{2000};
@@ -162,12 +166,15 @@ TEST(WireResult, SyntheticRoundTripIsByteIdentical) {
   const ExperimentResult decoded = runtime::decode_experiment_result(bytes);
   EXPECT_EQ(bytes, runtime::encode_experiment_result(decoded));
   // NaN payloads round-trip bit-exactly even though NaN != NaN.
-  EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded.true_clocks.at("hostA").beta),
-            std::bit_cast<std::uint64_t>(r.true_clocks.at("hostA").beta));
-  EXPECT_EQ(decoded.true_clocks.at("hostB").beta,
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded.true_clock_of("hostA").beta),
+            std::bit_cast<std::uint64_t>(r.true_clock_of("hostA").beta));
+  EXPECT_EQ(decoded.true_clock_of("hostB").beta,
             std::numeric_limits<double>::infinity());
-  EXPECT_EQ(decoded.user_messages.at("black")[1].size(), 100'000u);
-  EXPECT_TRUE(decoded.timelines.at("mute").records.empty());
+  ASSERT_NE(decoded.find_user_messages("black"), nullptr);
+  EXPECT_EQ(decoded.find_user_messages("black")->at(1).size(), 100'000u);
+  EXPECT_TRUE(decoded.timeline_of("mute").records.empty());
+  EXPECT_EQ(decoded.find_user_messages("mute"), nullptr) << "empty slot";
+  EXPECT_EQ(decoded.hosts, r.hosts) << "host table order is preserved";
 }
 
 TEST(WireResult, EmptyResultRoundTrips) {
@@ -185,6 +192,85 @@ TEST(WireResult, RealExperimentRoundTrips) {
   EXPECT_EQ(bytes, runtime::encode_experiment_result(decoded));
   EXPECT_EQ(decoded.timelines.size(), r.timelines.size());
   EXPECT_EQ(decoded.sync_samples.size(), r.sync_samples.size());
+}
+
+// --- golden wire fixtures ----------------------------------------------------
+// Checked-in v2 byte streams (tests/data/). Any encoder change that alters
+// the bytes fails here; the fix is to bump kWireVersion AND regenerate with
+//   LOKI_REGEN_WIRE_FIXTURES=1 ./serialize_test
+// (never to silently accept drifted bytes under the same version).
+
+std::string fixture_path(const std::string& name) {
+  return std::string(LOKI_TEST_DATA_DIR) + "/" + name;
+}
+
+std::vector<std::uint8_t> read_fixture(const std::string& name) {
+  std::FILE* f = std::fopen(fixture_path(name).c_str(), "rb");
+  if (f == nullptr) return {};
+  std::vector<std::uint8_t> bytes;
+  int c;
+  while ((c = std::fgetc(f)) != EOF) bytes.push_back(static_cast<std::uint8_t>(c));
+  std::fclose(f);
+  return bytes;
+}
+
+void write_fixture(const std::string& name, const std::vector<std::uint8_t>& bytes) {
+  std::FILE* f = std::fopen(fixture_path(name).c_str(), "wb");
+  ASSERT_NE(f, nullptr) << fixture_path(name);
+  if (!bytes.empty()) std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+}
+
+/// Compare current bytes against the checked-in fixture, or rewrite the
+/// fixture when LOKI_REGEN_WIRE_FIXTURES is set.
+void check_golden(const std::string& name, const std::vector<std::uint8_t>& bytes) {
+  if (std::getenv("LOKI_REGEN_WIRE_FIXTURES") != nullptr) {
+    write_fixture(name, bytes);
+    return;
+  }
+  const std::vector<std::uint8_t> golden = read_fixture(name);
+  ASSERT_FALSE(golden.empty())
+      << "missing fixture " << fixture_path(name)
+      << "; regenerate with LOKI_REGEN_WIRE_FIXTURES=1";
+  ASSERT_EQ(bytes.size(), golden.size())
+      << name << ": encoded size drifted without a kWireVersion bump";
+  EXPECT_EQ(bytes, golden)
+      << name << ": wire bytes drifted without a kWireVersion bump";
+}
+
+TEST(WireGolden, ResultEnvelopeMatchesCheckedInBytes) {
+  const auto bytes = runtime::encode_experiment_result(synthetic_result());
+  check_golden("result_v2.bin", bytes);
+  // The fixture must also still decode and re-encode identically.
+  const auto golden = std::getenv("LOKI_REGEN_WIRE_FIXTURES") != nullptr
+                          ? bytes
+                          : read_fixture("result_v2.bin");
+  const ExperimentResult decoded = runtime::decode_experiment_result(golden);
+  EXPECT_EQ(runtime::encode_experiment_result(decoded), golden);
+}
+
+TEST(WireGolden, ResultBatchFrameMatchesCheckedInBytes) {
+  std::vector<std::uint8_t> batch;
+  runtime::begin_result_batch(batch);
+  runtime::append_result_ok_entry(batch, 4, synthetic_result());
+  runtime::append_result_ok_entry(batch, 6, ExperimentResult{});
+  runtime::append_result_error_entry(batch, 8, runtime::WireErrorCategory::Config,
+                                     "bad host 'zeppelin'");
+  check_golden("result_batch_v2.bin", batch);
+  const auto golden = std::getenv("LOKI_REGEN_WIRE_FIXTURES") != nullptr
+                          ? batch
+                          : read_fixture("result_batch_v2.bin");
+  const auto entries = runtime::decode_result_batch_frame(golden);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_TRUE(entries[0].ok);
+  EXPECT_EQ(entries[0].index, 4u);
+  EXPECT_FALSE(entries[2].ok);
+  EXPECT_EQ(entries[2].message, "bad host 'zeppelin'");
+}
+
+TEST(WireGolden, ParamsEnvelopeMatchesCheckedInBytes) {
+  check_golden("params_v2.bin",
+               runtime::encode_experiment_params(sample_params()));
 }
 
 // --- StudyParams -------------------------------------------------------------
@@ -345,6 +431,85 @@ TEST(WorkerFrames, ResultFramesRoundTripBothArms) {
   EXPECT_EQ(decoded_err.index, 8u);
   EXPECT_EQ(decoded_err.category, runtime::WireErrorCategory::Config);
   EXPECT_EQ(decoded_err.message, "bad host 'zeppelin'");
+}
+
+TEST(WorkerFrames, ZeroCopyResultFrameMatchesAllocatingFlavour) {
+  const ExperimentResult r = synthetic_result();
+  const auto fresh = runtime::encode_result_ok_frame(5, r);
+  std::vector<std::uint8_t> reused = {0xde, 0xad};  // stale bytes get cleared
+  runtime::encode_result_ok_frame(5, r, reused);
+  EXPECT_EQ(reused, fresh);
+  // Re-encoding into the same buffer reuses its capacity: no reallocation
+  // once the buffer has seen its largest frame.
+  const std::size_t cap = reused.capacity();
+  runtime::encode_result_ok_frame(5, r, reused);
+  EXPECT_EQ(reused, fresh);
+  EXPECT_EQ(reused.capacity(), cap);
+}
+
+TEST(WorkerFrames, ResultBatchRoundTripsMixedEntries) {
+  std::vector<std::uint8_t> batch;
+  runtime::begin_result_batch(batch);
+  EXPECT_TRUE(runtime::result_batch_empty(batch));
+  EXPECT_EQ(runtime::worker_frame_type(batch), runtime::WorkerFrame::ResultBatch);
+  EXPECT_EQ(runtime::result_batch_entry_count(batch), 0u);
+
+  const ExperimentResult r = synthetic_result();
+  runtime::append_result_ok_entry(batch, 3, r);
+  runtime::append_result_ok_entry(batch, 4, ExperimentResult{});
+  runtime::append_result_error_entry(batch, 5, runtime::WireErrorCategory::Logic,
+                                     "boom");
+  EXPECT_FALSE(runtime::result_batch_empty(batch));
+  EXPECT_EQ(runtime::result_batch_entry_count(batch), 3u);
+
+  const std::vector<runtime::ResultFrame> entries =
+      runtime::decode_result_batch_frame(batch);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_TRUE(entries[0].ok);
+  EXPECT_EQ(entries[0].index, 3u);
+  EXPECT_EQ(runtime::encode_experiment_result(entries[0].result),
+            runtime::encode_experiment_result(r));
+  EXPECT_TRUE(entries[1].ok);
+  EXPECT_EQ(entries[1].index, 4u);
+  EXPECT_FALSE(entries[1].result.completed);
+  EXPECT_FALSE(entries[2].ok);
+  EXPECT_EQ(entries[2].index, 5u);
+  EXPECT_EQ(entries[2].category, runtime::WireErrorCategory::Logic);
+  EXPECT_EQ(entries[2].message, "boom");
+}
+
+TEST(WorkerFrames, BeginResultBatchReusesTheBuffer) {
+  std::vector<std::uint8_t> batch;
+  runtime::begin_result_batch(batch);
+  runtime::append_result_ok_entry(batch, 0, synthetic_result());
+  const std::size_t cap = batch.capacity();
+  runtime::begin_result_batch(batch);
+  EXPECT_TRUE(runtime::result_batch_empty(batch));
+  EXPECT_EQ(batch.capacity(), cap) << "reset must keep the allocation";
+}
+
+TEST(WorkerFrames, MalformedBatchYieldsNoPartialResults) {
+  // All-or-nothing decoding is what makes whole-batch requeue safe: a batch
+  // whose SECOND entry is damaged must not leak its intact first entry.
+  std::vector<std::uint8_t> batch;
+  runtime::begin_result_batch(batch);
+  runtime::append_result_ok_entry(batch, 0, ExperimentResult{});
+  const std::size_t first_end = batch.size();
+  runtime::append_result_ok_entry(batch, 1, ExperimentResult{});
+
+  auto corrupt = batch;
+  corrupt[first_end] = 0xff;  // second entry's status byte
+  EXPECT_THROW(runtime::decode_result_batch_frame(corrupt), DecodeError);
+  EXPECT_THROW(runtime::result_batch_entry_count(corrupt), DecodeError);
+
+  auto truncated = batch;
+  truncated.resize(truncated.size() - 3);
+  EXPECT_THROW(runtime::decode_result_batch_frame(truncated), DecodeError);
+  EXPECT_THROW(runtime::result_batch_entry_count(truncated), DecodeError);
+
+  // A Result frame is not a ResultBatch frame.
+  const auto single = runtime::encode_result_ok_frame(0, ExperimentResult{});
+  EXPECT_THROW(runtime::decode_result_batch_frame(single), DecodeError);
 }
 
 TEST(WorkerFrames, ErrorClassificationSurvivesTheWire) {

@@ -153,6 +153,21 @@ class TransportConformance : public testing::TestWithParam<TransportFactory> {
     return std::move(out.frame);
   }
 
+  /// Read result-bearing frames (v2 workers emit ResultBatch) until `count`
+  /// entries arrived, returned in arrival order.
+  std::vector<runtime::ResultFrame> expect_results(std::size_t count) {
+    std::vector<runtime::ResultFrame> entries;
+    while (entries.size() < count) {
+      const auto frame = expect_frame();
+      EXPECT_EQ(runtime::worker_frame_type(frame), WorkerFrame::ResultBatch);
+      auto batch = runtime::decode_result_batch_frame(frame);
+      EXPECT_FALSE(batch.empty()) << "a flushed batch is never empty";
+      for (auto& entry : batch) entries.push_back(std::move(entry));
+    }
+    EXPECT_EQ(entries.size(), count) << "batches must not overrun the lease";
+    return entries;
+  }
+
   std::shared_ptr<campaign::Transport> transport_;
   runtime::StudyParams study_;
   std::unique_ptr<campaign::WorkerLink> link_;
@@ -170,12 +185,12 @@ TEST_P(TransportConformance, LeaseRoundTripInOrder) {
   handshake();
   link_->send(runtime::encode_lease_frame({/*id=*/7, 0, 2, 1}));
   EXPECT_EQ(runtime::decode_heartbeat_frame(expect_frame()), 7u);
+  const std::vector<runtime::ResultFrame> results = expect_results(2);
   for (std::uint32_t k = 0; k < 2; ++k) {
-    runtime::ResultFrame result = runtime::decode_result_frame(expect_frame());
-    EXPECT_TRUE(result.ok);
-    EXPECT_EQ(result.index, k);
+    EXPECT_TRUE(results[k].ok);
+    EXPECT_EQ(results[k].index, k);
     // The transport's worker must compute exactly what we compute here.
-    EXPECT_EQ(runtime::encode_experiment_result(result.result),
+    EXPECT_EQ(runtime::encode_experiment_result(results[k].result),
               runtime::encode_experiment_result(runtime::run_experiment(
                   study_.make_params(static_cast<int>(k)))));
   }
@@ -189,11 +204,12 @@ TEST_P(TransportConformance, StridedLeaseRunsInterleavedIndices) {
   handshake();
   link_->send(runtime::encode_lease_frame({/*id=*/9, 1, 4, 2}));
   EXPECT_EQ(runtime::decode_heartbeat_frame(expect_frame()), 9u);
+  const std::vector<runtime::ResultFrame> results = expect_results(2);
+  std::size_t at = 0;
   for (const std::uint32_t k : {1u, 3u}) {
-    const runtime::ResultFrame result =
-        runtime::decode_result_frame(expect_frame());
-    EXPECT_TRUE(result.ok);
-    EXPECT_EQ(result.index, k);
+    EXPECT_TRUE(results[at].ok);
+    EXPECT_EQ(results[at].index, k);
+    ++at;
   }
   EXPECT_EQ(runtime::decode_lease_done_frame(expect_frame()), 9u);
 }
