@@ -168,7 +168,10 @@ Campaign::Summary Campaign::run() {
 
   for (const auto& sink : sinks_) sink->on_campaign_done();
   const RunnerTelemetry telemetry_after = runner_->telemetry();
-  summary.requeued = telemetry_after.requeues - telemetry_before.requeues;
+  summary.requeue_events =
+      telemetry_after.requeues - telemetry_before.requeues;
+  summary.requeued_indices =
+      telemetry_after.requeued_indices - telemetry_before.requeued_indices;
   summary.workers_lost =
       telemetry_after.workers_lost - telemetry_before.workers_lost;
   summary.wall_seconds =

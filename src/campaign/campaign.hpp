@@ -55,8 +55,11 @@ class Campaign {
     /// Experiments served from the ResultCache instead of being run.
     int cache_hits{0};
     /// Fault recovery on fallible runners (RemoteRunner): lease requeue
-    /// events and worker links lost during this campaign. Zero elsewhere.
-    int requeued{0};
+    /// events, the experiment indices those events sent back to the queue
+    /// (one event salvaging 5 indices counts 1 event, 5 indices), and
+    /// worker links lost during this campaign. Zero elsewhere.
+    int requeue_events{0};
+    int requeued_indices{0};
     int workers_lost{0};
     double wall_seconds{0.0};
   };

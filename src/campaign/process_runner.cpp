@@ -182,6 +182,10 @@ void ProcessPoolRunner::run_study(const runtime::StudyParams& study,
   // stays bounded by P batches plus the reorder-free merge.
   std::vector<std::deque<runtime::ResultFrame>> pending(
       static_cast<std::size_t>(pool_size));
+  // One interner for the whole study: shards share the study's timeline
+  // headers, so the decode hot path pays the dictionary-string allocations
+  // once per distinct header instead of once per result.
+  runtime::ResultInterner interner;
   for (int k = 0; k < n; ++k) {
     const auto w = static_cast<std::size_t>(k % pool_size);
     while (pending[w].empty()) {
@@ -199,7 +203,7 @@ void ProcessPoolRunner::run_study(const runtime::StudyParams& study,
             ": shard exited before delivering its result");
       std::vector<runtime::ResultFrame> entries;
       try {
-        entries = runtime::decode_result_batch_frame(*frame);
+        entries = runtime::decode_result_batch_frame(*frame, &interner);
       } catch (const codec::DecodeError& e) {
         throw std::runtime_error(
             "process runner: " + experiment_context(study, k) +

@@ -96,6 +96,11 @@ struct WorkerState {
   /// indices it spans.
   std::chrono::steady_clock::time_point lease_sent;
   int lease_span{0};
+  /// Worker-reported EWMA per-experiment latency from the latest Heartbeat
+  /// (µs; 0 until the first heartbeat carries stats). The autotuner prefers
+  /// this over whole-lease projection: it reflects only experiment time,
+  /// not queueing or transit, and is fresh even mid-lease.
+  double ewma_latency_us{0.0};
 };
 
 /// One run_study execution: a single-threaded event loop over per-worker
@@ -125,6 +130,11 @@ class Engine {
     // clamped by the autotuner still spawns every useful worker.
     const int spawn = std::min(transport_.worker_count(),
                                (n_ + lease_now_ - 1) / lease_now_);
+    // Fresh per-worker telemetry slots for this study; the cumulative
+    // counters (requeues, requeued_indices, workers_lost) carry over so
+    // Campaign::Summary's before/after delta stays meaningful.
+    telemetry_.workers.assign(static_cast<std::size_t>(spawn),
+                              WorkerTelemetry{});
 
     struct TeardownGuard {
       Engine& engine;
@@ -173,12 +183,16 @@ class Engine {
 
   void connect_worker(int w) {
     WorkerState& ws = workers_[static_cast<std::size_t>(w)];
+    WorkerTelemetry& wt = telemetry_.workers[static_cast<std::size_t>(w)];
     try {
       ws.link = transport_.connect(w, study_);
     } catch (const std::exception&) {
       ++telemetry_.workers_lost;
+      wt.lost = true;
       return;
     }
+    wt.describe = ws.link->describe();
+    wt.last_seen = std::chrono::steady_clock::now();
     // A study that cannot be encoded for a transport that needs it on the
     // wire is a configuration error, not a lost worker — let it propagate.
     const std::vector<std::uint8_t>& hello = ws.link->needs_study_bytes()
@@ -189,19 +203,33 @@ class Engine {
       ws.alive = true;
     } catch (const std::exception&) {
       ++telemetry_.workers_lost;
+      wt.lost = true;
       ws.link->kill();
     }
   }
 
+  /// Heartbeat cadence shipped to workers in the Hello frame: the
+  /// configured interval, or hang_timeout / 4 when unset — several
+  /// heartbeat opportunities per timeout window.
+  std::uint32_t heartbeat_interval_ms() const {
+    const std::chrono::milliseconds interval =
+        options_.heartbeat_interval.count() > 0 ? options_.heartbeat_interval
+                                                : options_.hang_timeout / 4;
+    return static_cast<std::uint32_t>(std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(interval.count())));
+  }
+
   const std::vector<std::uint8_t>& hello_with_study() {
     if (hello_with_study_.empty())
-      hello_with_study_ = runtime::encode_hello_frame(&study_);
+      hello_with_study_ =
+          runtime::encode_hello_frame(&study_, heartbeat_interval_ms());
     return hello_with_study_;
   }
 
   const std::vector<std::uint8_t>& hello_inherited() {
     if (hello_inherited_.empty())
-      hello_inherited_ = runtime::encode_hello_frame(nullptr);
+      hello_inherited_ =
+          runtime::encode_hello_frame(nullptr, heartbeat_interval_ms());
     return hello_inherited_;
   }
 
@@ -260,6 +288,10 @@ class Engine {
   void on_frame(int w, const std::vector<std::uint8_t>& frame) {
     WorkerState& ws = workers_[static_cast<std::size_t>(w)];
     if (!ws.alive) return;  // a straggler frame from a worker we gave up on
+    // Any frame is a liveness signal; the --status view renders this as a
+    // last-seen age.
+    telemetry_.workers[static_cast<std::size_t>(w)].last_seen =
+        std::chrono::steady_clock::now();
     try {
       switch (runtime::worker_frame_type(frame)) {
         case WorkerFrame::HelloAck: {
@@ -276,24 +308,28 @@ class Engine {
           ws.idle = true;
           break;
         }
-        case WorkerFrame::Heartbeat:  // liveness came from the arrival itself
+        case WorkerFrame::Heartbeat:
+          // Liveness came from the arrival itself; the payload is the
+          // worker's cumulative stats snapshot.
+          on_heartbeat(w, runtime::decode_heartbeat_frame(frame));
+          break;
         case WorkerFrame::Pong:
           break;
         case WorkerFrame::Result:
-          on_result(ws, runtime::decode_result_frame(frame));
+          on_result(ws, runtime::decode_result_frame(frame, &interner_));
           break;
         case WorkerFrame::ResultBatch: {
           // All-or-nothing: decode_result_batch_frame throws on any
           // malformed entry before a single result escapes, so a corrupt
           // batch ends up in the catch below and the whole lease requeues.
           std::vector<runtime::ResultFrame> entries =
-              runtime::decode_result_batch_frame(frame);
+              runtime::decode_result_batch_frame(frame, &interner_);
           for (runtime::ResultFrame& entry : entries)
             on_result(ws, std::move(entry));
           break;
         }
         case WorkerFrame::LeaseDone:
-          on_lease_done(ws, runtime::decode_lease_done_frame(frame));
+          on_lease_done(w, runtime::decode_lease_done_frame(frame));
           break;
         default:
           // Hello/Lease/Ping/Shutdown never flow worker -> parent.
@@ -324,18 +360,43 @@ class Engine {
     buffer_.emplace(index, std::move(result.result));
   }
 
-  void on_lease_done(WorkerState& ws, std::uint32_t lease_id) {
+  /// Fold one heartbeat's stats into this worker's telemetry slot: latest
+  /// snapshot, ring-buffered time series, and the autotuner's EWMA input.
+  void on_heartbeat(int w, const runtime::HeartbeatFrame& heartbeat) {
+    WorkerTelemetry& wt = telemetry_.workers[static_cast<std::size_t>(w)];
+    wt.latest = heartbeat.stats;
+    wt.recent.push_back(
+        {std::chrono::steady_clock::now(), heartbeat.stats});
+    if (wt.recent.size() > WorkerTelemetry::kSnapshotRing)
+      wt.recent.erase(wt.recent.begin());
+    workers_[static_cast<std::size_t>(w)].ewma_latency_us =
+        heartbeat.stats.ewma_latency_us;
+  }
+
+  void on_lease_done(int w, std::uint32_t lease_id) {
+    WorkerState& ws = workers_[static_cast<std::size_t>(w)];
     if (lease_id != ws.lease_id) return;  // stale echo of a requeued lease
     if (!ws.outstanding.empty()) {
       // A lease that errored legitimately skips its tail (all past the
       // failing index). Anything else missing was lost in transit: requeue
       // it and keep the worker — the stream itself is still framed.
-      if (requeue_salvageable(ws) > 0) ++telemetry_.requeues;
+      note_requeue(w, requeue_salvageable(ws));
       ws.outstanding.clear();
     } else {
       autotune(ws);  // clean completion: usable latency sample
     }
     ws.idle = true;
+    telemetry_.workers[static_cast<std::size_t>(w)].busy = false;
+  }
+
+  /// Record one requeue event salvaging `salvaged` indices, attributed to
+  /// worker `w`. No-op when nothing was salvageable (e.g. every missing
+  /// index sits past a known failure).
+  void note_requeue(int w, int salvaged) {
+    if (salvaged <= 0) return;
+    ++telemetry_.requeues;
+    telemetry_.requeued_indices += salvaged;
+    ++telemetry_.workers[static_cast<std::size_t>(w)].requeues;
   }
 
   /// Multiplicative lease-span adaptation from observed per-experiment
@@ -345,10 +406,24 @@ class Engine {
   /// [1, max_lease_size]; leases already in flight are unaffected, and
   /// results are byte-identical for every span (the safety argument for
   /// tuning at all).
+  ///
+  /// The rate comes from the worker's self-reported EWMA latency (v3
+  /// heartbeats) when available: it measures pure experiment time and
+  /// smooths over outliers, where the old whole-lease projection folded
+  /// frame transit and coordinator queueing into the estimate and could
+  /// see one slow lease as a persistently slow worker. Workers that have
+  /// not yet reported stats fall back to the whole-lease projection.
   void autotune(const WorkerState& ws) {
     if (!options_.autotune_lease || ws.lease_span <= 0) return;
-    const auto elapsed = std::chrono::steady_clock::now() - ws.lease_sent;
-    const auto projected = elapsed * lease_now_ / ws.lease_span;
+    std::chrono::nanoseconds projected{};
+    if (ws.ewma_latency_us > 0.0) {
+      projected = std::chrono::nanoseconds(static_cast<std::int64_t>(
+          ws.ewma_latency_us * 1000.0 * static_cast<double>(lease_now_)));
+    } else {
+      const auto elapsed = std::chrono::steady_clock::now() - ws.lease_sent;
+      projected = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          elapsed * lease_now_ / ws.lease_span);
+    }
     if (projected * 2 < options_.lease_target)
       lease_now_ = std::min(lease_now_ * 2, options_.max_lease_size);
     else if (projected > options_.lease_target * 2)
@@ -376,6 +451,9 @@ class Engine {
     ws.alive = false;
     ws.idle = false;
     ++telemetry_.workers_lost;
+    WorkerTelemetry& wt = telemetry_.workers[static_cast<std::size_t>(w)];
+    wt.lost = true;
+    wt.busy = false;
     // Diagnostics go to stderr (the campaign-output convention): a lost
     // worker must leave a cause and an identity, not just a counter.
     std::fprintf(stderr, "remote runner: study '%s': lost %s: %s\n",
@@ -383,7 +461,7 @@ class Engine {
                  reason.c_str());
     ws.link->kill();  // the reader unblocks with Eof and exits
     if (!ws.outstanding.empty()) {
-      if (requeue_salvageable(ws) > 0) ++telemetry_.requeues;
+      note_requeue(w, requeue_salvageable(ws));
       ws.outstanding.clear();
     }
   }
@@ -431,7 +509,18 @@ class Engine {
   }
 
   bool done() const {
-    return next_emit_ >= (fail_min_ == kNoFailure ? n_ : fail_min_);
+    // A failure aborts as soon as the serial prefix is emitted — workers
+    // still mid-lease are torn down, not awaited.
+    if (fail_min_ != kNoFailure) return next_emit_ >= fail_min_;
+    if (next_emit_ < n_) return false;
+    // Every result is in; now wait for each live worker's trailing
+    // Heartbeat + LeaseDone so the telemetry ledger is exact at study end
+    // (per-worker experiments_completed sums to the study total). A worker
+    // wedged before its LeaseDone is still bounded by the hang timeout —
+    // the loop keeps handling Timeout events until the fleet is idle.
+    for (const WorkerState& ws : workers_)
+      if (ws.alive && !ws.idle) return false;
+    return true;
   }
 
   void drain() {
@@ -481,6 +570,9 @@ class Engine {
         ws.idle = false;
         ws.lease_sent = std::chrono::steady_clock::now();
         ws.lease_span = chunk.hi - chunk.lo;
+        WorkerTelemetry& wt = telemetry_.workers[w];
+        wt.lease_size = ws.lease_span;
+        wt.busy = true;
       } catch (const std::exception& e) {
         lose_worker(static_cast<int>(w),
                     std::string("lease send failed: ") + e.what());
@@ -546,6 +638,10 @@ class Engine {
   std::map<int, runtime::ExperimentResult> buffer_;
   std::vector<std::uint8_t> hello_with_study_;
   std::vector<std::uint8_t> hello_inherited_;
+  /// Memoizes decoded timeline headers across this study's results: most
+  /// experiments share machine/state/event dictionaries, so the decode hot
+  /// path pays the string allocations once per distinct header.
+  runtime::ResultInterner interner_;
   std::uint32_t lease_seq_{0};
   int next_emit_{0};
   int fail_min_{kNoFailure};
@@ -620,17 +716,39 @@ void serve_worker(FrameChannel& channel,
   // flush it never reallocates again.
   std::vector<std::uint8_t> batch;
 
+  // Liveness cadence: every write resets the silence clock; between
+  // experiments and between batch flushes, a Heartbeat goes out whenever
+  // `interval` has elapsed without one. The old behaviour — one heartbeat
+  // at lease start only — let a worker grinding through a slow, autotuned
+  // lease sit silent past the parent's hang_timeout and get killed while
+  // healthy. The Hello-supplied interval (hang_timeout / 4 by default)
+  // wins over the local ServeOptions fallback.
+  using Clock = std::chrono::steady_clock;
+  const std::chrono::milliseconds interval =
+      hello.heartbeat_interval_ms > 0
+          ? std::chrono::milliseconds(hello.heartbeat_interval_ms)
+          : options.heartbeat_interval;
+  Clock::time_point last_write = Clock::now();
+  const auto write = [&](const std::vector<std::uint8_t>& bytes) {
+    channel.write(bytes);
+    last_write = Clock::now();
+  };
+  // Cumulative stats for this worker process, carried by every heartbeat.
+  runtime::WorkerStatsSnapshot stats;
+
   for (;;) {
     std::optional<std::vector<std::uint8_t>> frame = channel.read();
     if (!frame.has_value()) return;  // parent gone: exit quietly
     switch (runtime::worker_frame_type(*frame)) {
       case WorkerFrame::Lease: {
         const runtime::LeaseFrame lease = runtime::decode_lease_frame(*frame);
-        channel.write(runtime::encode_heartbeat_frame(lease.id));
+        write(runtime::encode_heartbeat_frame(lease.id, stats));
         runtime::begin_result_batch(batch);
         for (std::uint32_t k = lease.lo; k < lease.hi; k += lease.step) {
           const int index = static_cast<int>(k);
           bool failed = false;
+          const Clock::time_point started = Clock::now();
+          const std::size_t batch_before = batch.size();
           try {
             if (study == nullptr)
               throw ConfigError(
@@ -646,14 +764,30 @@ void serve_worker(FrameChannel& channel,
                 batch, k, runtime::classify_error(e), e.what());
             failed = true;
           }
+          const Clock::time_point finished = Clock::now();
+          stats.bytes_encoded += batch.size() - batch_before;
+          if (!failed)
+            stats.record_experiment_us(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    finished - started)
+                    .count()));
           if (batch.size() >= options.batch_soft_bytes || failed) {
-            channel.write(batch);
+            write(batch);
+            ++stats.batches_flushed;
             runtime::begin_result_batch(batch);
           }
           if (failed) break;  // serial prefix semantics: nothing past failure
+          if (finished - last_write >= interval)
+            write(runtime::encode_heartbeat_frame(lease.id, stats));
         }
-        if (!runtime::result_batch_empty(batch)) channel.write(batch);
-        channel.write(runtime::encode_lease_done_frame(lease.id));
+        if (!runtime::result_batch_empty(batch)) {
+          write(batch);
+          ++stats.batches_flushed;
+        }
+        // Final heartbeat so the parent's telemetry (and the autotuner's
+        // EWMA input) is current at every lease boundary.
+        write(runtime::encode_heartbeat_frame(lease.id, stats));
+        write(runtime::encode_lease_done_frame(lease.id));
         break;
       }
       case WorkerFrame::Ping:

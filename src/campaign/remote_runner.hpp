@@ -61,6 +61,13 @@ struct RemoteOptions {
   /// the handshake) is declared hung, killed, and its lease requeued. Must
   /// comfortably exceed the slowest single experiment.
   std::chrono::milliseconds hang_timeout{30'000};
+  /// How often a busy worker must emit a Heartbeat frame (between
+  /// experiments and between batch flushes), shipped to workers in the
+  /// Hello frame. 0 (the default) resolves to hang_timeout / 4, so a
+  /// healthy worker always has several heartbeat opportunities per timeout
+  /// window — a slow-but-alive worker grinding through a long autotuned
+  /// lease is never mistaken for a hung one.
+  std::chrono::milliseconds heartbeat_interval{0};
   /// How long to wait for workers to exit after Shutdown before killing
   /// them at teardown.
   std::chrono::milliseconds shutdown_grace{2'000};
@@ -90,6 +97,11 @@ struct ServeOptions {
   /// fault-injection harness uses this to keep per-result scripts exact);
   /// a lease always flushes whatever remains before LeaseDone.
   std::size_t batch_soft_bytes{64 * 1024};
+  /// Fallback heartbeat cadence when the parent's Hello carries no interval
+  /// (heartbeat_interval_ms == 0, e.g. a v3 parent keeping the field at its
+  /// default or a hand-built handshake). A Hello-supplied interval always
+  /// wins.
+  std::chrono::milliseconds heartbeat_interval{7'500};
 };
 
 /// Worker-side protocol loop, shared by every backend: handshake on Hello
@@ -97,6 +109,11 @@ struct ServeOptions {
 /// then serve Lease/Ping frames until Shutdown or EOF. A lease's results
 /// accumulate into ResultBatch frames in a buffer reused across leases
 /// (bounded by ServeOptions::batch_soft_bytes, flushed at lease end).
+/// While a lease runs, the loop emits a Heartbeat frame — carrying this
+/// worker's cumulative WorkerStatsSnapshot — whenever the resolved
+/// heartbeat interval elapses without any other write, plus one at lease
+/// start and one right before LeaseDone, so a slow-but-healthy worker is
+/// never silent for longer than the interval.
 /// Experiment failures travel back as error batch entries (ending the lease
 /// early); a protocol violation throws — the caller turns that into a
 /// nonzero exit.

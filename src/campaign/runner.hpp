@@ -13,30 +13,88 @@
 // event sequence) to SerialRunner for the same studies.
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "runtime/experiment.hpp"
+#include "runtime/worker_stats.hpp"
 
 namespace loki::campaign {
 
 /// Receives experiment `index`'s result; see the ordering contract above.
 using EmitFn = std::function<void(int index, runtime::ExperimentResult&&)>;
 
-/// Cumulative fault-recovery counters for runners that execute work on
-/// fallible backends (campaign/remote_runner.hpp). Counts only recoverable
-/// infrastructure events — experiment failures throw instead.
-struct RunnerTelemetry {
+/// One heartbeat's worth of one worker's stats, as seen by the coordinator.
+/// The arrival timestamp is coordinator-side (steady clock), so last-seen
+/// ages and throughput windows need no cross-host clock agreement.
+struct WorkerSnapshotSample {
+  std::chrono::steady_clock::time_point arrived{};
+  runtime::WorkerStatsSnapshot stats;
+};
+
+/// Per-worker telemetry slot inside FleetTelemetry: the latest cumulative
+/// snapshot, a short ring buffer of recent snapshots (time-series for
+/// throughput windows and the --status view), and this worker's share of
+/// the fault-recovery counters.
+struct WorkerTelemetry {
+  /// Transport description (e.g. "fake:0", "fork:12345", "ssh host").
+  std::string describe;
+  /// Most recent snapshot received; supersedes the ring's older entries.
+  runtime::WorkerStatsSnapshot latest;
+  /// Recent snapshots, oldest first, capped at kSnapshotRing entries.
+  std::vector<WorkerSnapshotSample> recent;
+  /// Coordinator-side arrival time of the last frame (any type) from this
+  /// worker — the liveness signal the --status view renders as an age.
+  std::chrono::steady_clock::time_point last_seen{};
+  /// Current lease span assigned to this worker (autotuned).
+  int lease_size{0};
+  /// Requeue events attributed to this worker's leases.
+  int requeues{0};
+  /// True once the coordinator declared this worker lost.
+  bool lost{false};
+  /// True while the worker holds an active lease.
+  bool busy{false};
+
+  static constexpr std::size_t kSnapshotRing = 32;
+};
+
+/// Fleet-wide telemetry for runners that execute work on fallible backends
+/// (campaign/remote_runner.hpp). The cumulative counters (requeues,
+/// requeued_indices, workers_lost) survive across run_study calls — the
+/// Campaign::Summary delta depends on that — while `workers` describes the
+/// most recent (or in-flight) study's fleet.
+struct FleetTelemetry {
   /// Lease requeue events after a lost, hung, or lossy worker.
   int requeues{0};
+  /// Experiment indices sent back to the queue across those events (one
+  /// event covering 5 unfinished indices counts 1 requeue, 5 indices).
+  int requeued_indices{0};
   /// Worker links that died mid-study (crash, hang-kill, corrupt stream).
   int workers_lost{0};
   /// Lease span in effect when the last study finished — where the
   /// autotuner (campaign/remote_runner.hpp) converged from observed
   /// per-experiment latency. 0 for runners without leases.
   int final_lease_size{0};
+  /// Per-worker slots for the current/most recent study, indexed by the
+  /// transport's worker order. Reset at each run_study start.
+  std::vector<WorkerTelemetry> workers;
+
+  /// Campaign-wide aggregate of every worker's latest snapshot (merged
+  /// histograms, completed-count-weighted EWMA).
+  runtime::WorkerStatsSnapshot fleet_snapshot() const {
+    runtime::WorkerStatsSnapshot merged;
+    for (const WorkerTelemetry& w : workers)
+      merged = runtime::merge_snapshots(merged, w.latest);
+    return merged;
+  }
 };
+
+/// Pre-fleet name for the counter subset; kept as an alias so existing
+/// call sites (and the Campaign::Summary delta) read unchanged.
+using RunnerTelemetry = FleetTelemetry;
 
 class Runner {
  public:

@@ -1,5 +1,9 @@
 #include "campaign/sink.hpp"
 
+#include <cstddef>
+
+#include <unistd.h>
+
 #include "util/error.hpp"
 
 namespace loki::campaign {
@@ -159,6 +163,100 @@ void ProgressSink::on_campaign_done() {
   std::fprintf(out_, "campaign done in %.2f s\n",
                seconds_since(campaign_start_));
   std::fflush(out_);
+}
+
+// --- StatusSink --------------------------------------------------------------
+
+namespace {
+
+/// Human-scale latency: µs below 1 ms, ms below 1 s, seconds above.
+std::string format_us(double us) {
+  char buf[32];
+  if (us >= 1e6)
+    std::snprintf(buf, sizeof buf, "%.1fs", us / 1e6);
+  else if (us >= 1e3)
+    std::snprintf(buf, sizeof buf, "%.1fms", us / 1e3);
+  else
+    std::snprintf(buf, sizeof buf, "%.0fus", us);
+  return buf;
+}
+
+}  // namespace
+
+StatusSink::StatusSink(std::shared_ptr<Runner> runner, std::FILE* out,
+                       std::chrono::milliseconds refresh)
+    : runner_(std::move(runner)), out_(out), refresh_(refresh) {
+  LOKI_REQUIRE(runner_ != nullptr, "StatusSink: null runner");
+  LOKI_REQUIRE(out_ != nullptr, "StatusSink: null output stream");
+  tty_ = ::isatty(::fileno(out_)) == 1;
+}
+
+void StatusSink::on_experiment(const StudyInfo&, int,
+                               const runtime::ExperimentResult&) {
+  if (rendered_ && std::chrono::steady_clock::now() - last_render_ < refresh_)
+    return;
+  render(false);
+}
+
+void StatusSink::on_campaign_done() { render(true); }
+
+void StatusSink::render(bool final_view) {
+  const auto now = std::chrono::steady_clock::now();
+  const RunnerTelemetry fleet = runner_->telemetry();
+  if (tty_ && lines_up_ > 0) std::fprintf(out_, "\x1b[%dA", lines_up_);
+  int lines = 0;
+  const auto line = [&](const char* fmt, auto... args) {
+    if (tty_) std::fputs("\x1b[2K", out_);  // clear the stale frame's tail
+    std::fprintf(out_, fmt, args...);
+    std::fputc('\n', out_);
+    ++lines;
+  };
+
+  if (fleet.workers.empty()) {
+    line("status: runner '%s' reports no per-worker telemetry",
+         runner_->name().c_str());
+  } else {
+    for (std::size_t w = 0; w < fleet.workers.size(); ++w) {
+      const WorkerTelemetry& wt = fleet.workers[w];
+      // Throughput over the snapshot ring's window: completed delta over
+      // arrival-time delta, all coordinator-side clocks.
+      double rate = 0.0;
+      if (wt.recent.size() >= 2) {
+        const WorkerSnapshotSample& first = wt.recent.front();
+        const WorkerSnapshotSample& last = wt.recent.back();
+        const double window =
+            std::chrono::duration<double>(last.arrived - first.arrived).count();
+        if (window > 0.0)
+          rate = static_cast<double>(last.stats.experiments_completed -
+                                     first.stats.experiments_completed) /
+                 window;
+      }
+      const runtime::LatencyHistogram& h = wt.latest.histogram;
+      const char* state = wt.lost ? "lost" : (wt.busy ? "busy" : "idle");
+      line("  w%zu %-16s %4s  %6llu done %7.1f/s  p50 %s p95 %s p99 %s  "
+           "lease %d  requeues %d  seen %.1fs ago",
+           w, wt.describe.empty() ? "(unconnected)" : wt.describe.c_str(),
+           state,
+           static_cast<unsigned long long>(wt.latest.experiments_completed),
+           rate, format_us(h.quantile_us(0.50)).c_str(),
+           format_us(h.quantile_us(0.95)).c_str(),
+           format_us(h.quantile_us(0.99)).c_str(), wt.lease_size, wt.requeues,
+           std::chrono::duration<double>(now - wt.last_seen).count());
+    }
+  }
+  const runtime::WorkerStatsSnapshot merged = fleet.fleet_snapshot();
+  line("fleet%s: %llu done  p50 %s p95 %s p99 %s  requeues %d (%d indices)  "
+       "lost %d  lease %d",
+       final_view ? " (final)" : "",
+       static_cast<unsigned long long>(merged.experiments_completed),
+       format_us(merged.histogram.quantile_us(0.50)).c_str(),
+       format_us(merged.histogram.quantile_us(0.95)).c_str(),
+       format_us(merged.histogram.quantile_us(0.99)).c_str(), fleet.requeues,
+       fleet.requeued_indices, fleet.workers_lost, fleet.final_lease_size);
+  std::fflush(out_);
+  lines_up_ = lines;
+  last_render_ = now;
+  rendered_ = true;
 }
 
 // --- CallbackSink ------------------------------------------------------------

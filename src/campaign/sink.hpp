@@ -9,6 +9,7 @@
 //   MeasureSink   — AnalysisSink that also applies a StudyMeasure (§4.3.4),
 //                   keeping only the final observation values.
 //   ProgressSink  — human-readable progress lines.
+//   StatusSink    — live per-worker fleet view over Runner::telemetry().
 //   CallbackSink  — ad-hoc lambdas, for tests and custom pipelines.
 #pragma once
 
@@ -16,11 +17,13 @@
 #include <cstdio>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "analysis/pipeline.hpp"
+#include "campaign/runner.hpp"
 #include "measure/campaign_measure.hpp"
 #include "measure/study_measure.hpp"
 #include "runtime/experiment.hpp"
@@ -143,6 +146,39 @@ class ProgressSink final : public ResultSink {
   int timed_out_{0};
   std::chrono::steady_clock::time_point campaign_start_{};
   std::chrono::steady_clock::time_point study_start_{};
+};
+
+/// Live fleet view over a fallible runner's FleetTelemetry: one line per
+/// worker — throughput over the snapshot ring, p50/p95/p99 from the latency
+/// histogram, lease span, last-seen age — plus a fleet summary line with
+/// the merged histogram and the fault-recovery counters.
+///
+/// Refreshes are rate-limited (default 250 ms) and driven by experiment
+/// arrivals; on_campaign_done always renders one final view, so a CI log
+/// can grep the end state without racing the limiter. When `out` is a tty
+/// the view redraws in place (ANSI cursor-up); otherwise each refresh
+/// appends a plain block. Runners without fleet telemetry (serial, threads)
+/// render a single note instead.
+class StatusSink final : public ResultSink {
+ public:
+  explicit StatusSink(
+      std::shared_ptr<Runner> runner, std::FILE* out = stderr,
+      std::chrono::milliseconds refresh = std::chrono::milliseconds(250));
+
+  void on_experiment(const StudyInfo& study, int index,
+                     const runtime::ExperimentResult& result) override;
+  void on_campaign_done() override;
+
+ private:
+  void render(bool final_view);
+
+  std::shared_ptr<Runner> runner_;
+  std::FILE* out_;
+  std::chrono::milliseconds refresh_;
+  std::chrono::steady_clock::time_point last_render_{};
+  bool rendered_{false};   // limiter state: first render fires immediately
+  int lines_up_{0};        // lines to rewind on a tty redraw
+  bool tty_{false};
 };
 
 /// Adapts plain lambdas to the sink interface.

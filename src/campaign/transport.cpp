@@ -342,6 +342,7 @@ struct FakeWorker {
   bool worker_done LOKI_GUARDED_BY(mu){false};  // serve_worker returned
   int results_seen LOKI_GUARDED_BY(mu){0};  // result entries delivered so far
   int result_frames_seen LOKI_GUARDED_BY(mu){0};  // result-bearing frames
+  int heartbeats_seen LOKI_GUARDED_BY(mu){0};  // heartbeat frames delivered
   FakeFaults faults;  // written before the thread starts, read-only after
   /// Deliberately NOT guarded_by(mu): the thread handle follows a lifecycle
   /// protocol, not a lock — written once at spawn (before any concurrent
@@ -453,6 +454,24 @@ class FakeLink final : public WorkerLink {
       if (!w_->hanging && !w_->to_parent.empty()) {
         std::vector<std::uint8_t> frame = std::move(w_->to_parent.front());
         w_->to_parent.pop_front();
+        // Heartbeat scripting: a worker whose heartbeats vanish (or crawl)
+        // in transit looks hung to the parent even though it is computing —
+        // exactly the liveness-cadence regression the runner tests script.
+        const bool is_heartbeat =
+            !frame.empty() &&
+            frame[0] ==
+                static_cast<std::uint8_t>(runtime::WorkerFrame::Heartbeat);
+        if (is_heartbeat) {
+          const int seen = ++w_->heartbeats_seen;
+          if (f.drop_heartbeats_after >= 0 && seen > f.drop_heartbeats_after)
+            continue;  // vanished in transit
+          if (f.heartbeat_delay.count() > 0) {
+            lock.unlock();
+            std::this_thread::sleep_for(f.heartbeat_delay);
+            lock.lock();
+          }
+          return {RecvOutcome::Status::Frame, std::move(frame)};
+        }
         const bool is_batch =
             !frame.empty() &&
             frame[0] ==
@@ -592,6 +611,12 @@ void FakeTransport::delay_batch(int worker, int nth,
   detail::FakeFaults& f = fault_slot(worker);
   f.delay_nth = nth;
   f.delay = by;
+}
+void FakeTransport::drop_heartbeats_after(int worker, int n) {
+  fault_slot(worker).drop_heartbeats_after = n;
+}
+void FakeTransport::delay_heartbeats(int worker, std::chrono::milliseconds by) {
+  fault_slot(worker).heartbeat_delay = by;
 }
 
 }  // namespace loki::campaign

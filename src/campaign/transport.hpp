@@ -172,6 +172,13 @@ struct FakeFaults {
   int drop_nth{-1};
   int delay_nth{-1};
   std::chrono::milliseconds delay{0};
+  /// Heartbeat transit faults: after `drop_heartbeats_after` heartbeat
+  /// frames were delivered (0 = none ever arrive), later ones vanish;
+  /// heartbeat_delay stalls each delivered heartbeat in transit. -1/0
+  /// disable. Result frames are unaffected — these script a worker whose
+  /// liveness signal (not its work) is lost.
+  int drop_heartbeats_after{-1};
+  std::chrono::milliseconds heartbeat_delay{0};
 };
 
 /// Process-wide count of FakeWorker threads that had to detach because
@@ -277,6 +284,12 @@ class FakeTransport final : public Transport {
   void drop_batch(int worker, int nth);
   /// The `nth` result-bearing frame (1-based) is delayed by `by`.
   void delay_batch(int worker, int nth, std::chrono::milliseconds by);
+  /// Heartbeats past the first `n` vanish in transit (0 = all of them);
+  /// result frames still flow. With a large batch bound this makes a busy,
+  /// healthy worker look silent — the hung-worker drill.
+  void drop_heartbeats_after(int worker, int n);
+  /// Every delivered heartbeat is stalled by `by` in transit.
+  void delay_heartbeats(int worker, std::chrono::milliseconds by);
 
  private:
   detail::FakeFaults& fault_slot(int worker);

@@ -285,8 +285,10 @@ std::vector<std::string> get_string_vec(Reader& r) {
   return v;
 }
 
-LocalTimeline get_timeline(Reader& r) {
-  LocalTimeline t;
+/// The study-invariant prefix of a timeline: everything before the records.
+/// This is the unit the ResultInterner memoizes — within a study it is
+/// byte-identical across every result from the same node.
+void get_timeline_header(Reader& r, LocalTimeline& t) {
   t.nickname = r.str();
   t.initial_host = r.str();
   t.machines = get_string_vec(r);
@@ -304,6 +306,27 @@ LocalTimeline get_timeline(Reader& r) {
     f.trigger = static_cast<spec::Trigger>(trig);
     t.faults.push_back(std::move(f));
   }
+}
+
+/// Advance past a timeline header without materializing any strings —
+/// the interner's cheap scan to delimit the memo key span.
+void skip_timeline_header(Reader& r) {
+  const auto skip_str = [&r] { r.skip(r.u64()); };
+  skip_str();  // nickname
+  skip_str();  // initial_host
+  for (int vec = 0; vec < 3; ++vec) {  // machines, states, events
+    const std::uint64_t n = get_count(r);
+    for (std::uint64_t i = 0; i < n; ++i) skip_str();
+  }
+  const std::uint64_t n_faults = get_count(r);
+  for (std::uint64_t i = 0; i < n_faults; ++i) {
+    skip_str();  // name
+    skip_str();  // expr_text
+    r.u8();      // trigger (validated on the decode pass)
+  }
+}
+
+void get_timeline_records(Reader& r, LocalTimeline& t) {
   const std::uint64_t n_records = get_count(r);
   t.records.reserve(n_records);
   for (std::uint64_t i = 0; i < n_records; ++i) {
@@ -319,8 +342,44 @@ LocalTimeline get_timeline(Reader& r) {
     rec.time = LocalTime{r.i64()};
     t.records.push_back(std::move(rec));
   }
+}
+
+LocalTimeline get_timeline(Reader& r) {
+  LocalTimeline t;
+  get_timeline_header(r, t);
+  get_timeline_records(r, t);
   return t;
 }
+
+}  // namespace
+
+/// The interner hot path (friend of ResultInterner): delimit the header
+/// span with a string-free skip scan, probe the memo with a string_view
+/// over the frame bytes, and only parse (and cache) on the first miss.
+/// Cached entries hold empty record vectors — records always decode live.
+LocalTimeline interned_timeline(Reader& r, ResultInterner& interner) {
+  const std::size_t start = r.position();
+  skip_timeline_header(r);
+  const std::size_t end = r.position();
+  const std::string_view key(reinterpret_cast<const char*>(r.data() + start),
+                             end - start);
+  LocalTimeline t;
+  const auto it = interner.headers_.find(key);
+  if (it != interner.headers_.end()) {
+    ++interner.hits_;
+    t = it->second;
+  } else {
+    ++interner.misses_;
+    Reader header(r.data() + start, end - start);
+    get_timeline_header(header, t);
+    header.expect_done();
+    interner.headers_.emplace(std::string(key), t);
+  }
+  get_timeline_records(r, t);
+  return t;
+}
+
+namespace {
 
 // v2 layout: dense tables, no string-keyed maps. Nodes travel interleaved
 // (timeline + its user messages), hosts as one table with parallel columns
@@ -377,14 +436,15 @@ void put_result_body(Writer& w, const ExperimentResult& res) {
   w.u64(res.app_messages);
 }
 
-ExperimentResult get_result_body(Reader& r) {
+ExperimentResult get_result_body(Reader& r, ResultInterner* interner) {
   ExperimentResult res;
 
   const std::uint64_t n_nodes = get_count(r);
   res.timelines.reserve(n_nodes);
   res.user_messages.reserve(n_nodes);
   for (std::uint64_t i = 0; i < n_nodes; ++i) {
-    res.timelines.push_back(get_timeline(r));
+    res.timelines.push_back(interner != nullptr ? interned_timeline(r, *interner)
+                                                : get_timeline(r));
     res.user_messages.push_back(get_string_vec(r));
   }
 
@@ -486,16 +546,22 @@ void encode_experiment_result(const ExperimentResult& res,
 }
 
 ExperimentResult decode_experiment_result(const std::uint8_t* data,
-                                          std::size_t size) {
+                                          std::size_t size,
+                                          ResultInterner* interner) {
   Reader r(data, size);
   check_header(r, kKindResult);
-  ExperimentResult res = get_result_body(r);
+  ExperimentResult res = get_result_body(r, interner);
   r.expect_done();
   return res;
 }
 
+ExperimentResult decode_experiment_result(const std::uint8_t* data,
+                                          std::size_t size) {
+  return decode_experiment_result(data, size, nullptr);
+}
+
 ExperimentResult decode_experiment_result(const std::vector<std::uint8_t>& bytes) {
-  return decode_experiment_result(bytes.data(), bytes.size());
+  return decode_experiment_result(bytes.data(), bytes.size(), nullptr);
 }
 
 std::vector<std::uint8_t> encode_study_params(const StudyParams& study) {
@@ -600,9 +666,11 @@ WorkerFrame worker_frame_type(const std::vector<std::uint8_t>& frame) {
   return static_cast<WorkerFrame>(type);
 }
 
-std::vector<std::uint8_t> encode_hello_frame(const StudyParams* study) {
+std::vector<std::uint8_t> encode_hello_frame(const StudyParams* study,
+                                             std::uint32_t heartbeat_interval_ms) {
   Writer w = frame_writer(WorkerFrame::Hello);
   w.u16(kWorkerProtocolVersion);
+  w.u32(heartbeat_interval_ms);
   w.boolean(study != nullptr);
   if (study != nullptr) {
     const std::vector<std::uint8_t> encoded = encode_study_params(*study);
@@ -615,6 +683,7 @@ HelloFrame decode_hello_frame(const std::vector<std::uint8_t>& frame) {
   Reader r = frame_reader(frame, WorkerFrame::Hello);
   HelloFrame hello;
   hello.protocol_version = r.u16();
+  hello.heartbeat_interval_ms = r.u32();
   if (r.boolean()) hello.study = decode_study_params(remaining_bytes(r, frame));
   else r.expect_done();
   return hello;
@@ -677,12 +746,29 @@ std::uint32_t decode_lease_id_frame(const std::vector<std::uint8_t>& frame,
 
 }  // namespace
 
-std::vector<std::uint8_t> encode_heartbeat_frame(std::uint32_t lease_id) {
-  return encode_lease_id_frame(WorkerFrame::Heartbeat, lease_id);
+std::vector<std::uint8_t> encode_heartbeat_frame(std::uint32_t lease_id,
+                                                 const WorkerStatsSnapshot& stats) {
+  Writer w = frame_writer(WorkerFrame::Heartbeat);
+  w.u32(lease_id);
+  w.u64(stats.experiments_completed);
+  w.f64(stats.ewma_latency_us);
+  for (const std::uint32_t bucket : stats.histogram.buckets) w.u32(bucket);
+  w.u64(stats.bytes_encoded);
+  w.u64(stats.batches_flushed);
+  return w.take();
 }
 
-std::uint32_t decode_heartbeat_frame(const std::vector<std::uint8_t>& frame) {
-  return decode_lease_id_frame(frame, WorkerFrame::Heartbeat);
+HeartbeatFrame decode_heartbeat_frame(const std::vector<std::uint8_t>& frame) {
+  Reader r = frame_reader(frame, WorkerFrame::Heartbeat);
+  HeartbeatFrame hb;
+  hb.lease_id = r.u32();
+  hb.stats.experiments_completed = r.u64();
+  hb.stats.ewma_latency_us = r.f64();
+  for (std::uint32_t& bucket : hb.stats.histogram.buckets) bucket = r.u32();
+  hb.stats.bytes_encoded = r.u64();
+  hb.stats.batches_flushed = r.u64();
+  r.expect_done();
+  return hb;
 }
 
 std::vector<std::uint8_t> encode_lease_done_frame(std::uint32_t lease_id) {
@@ -723,7 +809,8 @@ std::vector<std::uint8_t> encode_result_error_frame(std::uint32_t index,
   return w.take();
 }
 
-ResultFrame decode_result_frame(const std::vector<std::uint8_t>& frame) {
+ResultFrame decode_result_frame(const std::vector<std::uint8_t>& frame,
+                                ResultInterner* interner) {
   Reader r = frame_reader(frame, WorkerFrame::Result);
   ResultFrame result;
   const std::uint8_t status = r.u8();
@@ -733,8 +820,8 @@ ResultFrame decode_result_frame(const std::vector<std::uint8_t>& frame) {
   result.index = r.u32();
   if (result.ok) {
     // Decode the embedded envelope in place — no slicing copy.
-    result.result =
-        decode_experiment_result(frame.data() + r.position(), r.remaining());
+    result.result = decode_experiment_result(frame.data() + r.position(),
+                                             r.remaining(), interner);
   } else {
     const std::uint8_t category = r.u8();
     if (category > static_cast<std::uint8_t>(WireErrorCategory::Logic))
@@ -744,6 +831,10 @@ ResultFrame decode_result_frame(const std::vector<std::uint8_t>& frame) {
     r.expect_done();
   }
   return result;
+}
+
+ResultFrame decode_result_frame(const std::vector<std::uint8_t>& frame) {
+  return decode_result_frame(frame, nullptr);
 }
 
 // --- batched results ---------------------------------------------------------
@@ -787,7 +878,8 @@ namespace {
 /// Shared walk over a batch's entries. decode=false is count-only mode:
 /// envelope bytes are skipped, not decoded.
 std::vector<ResultFrame> walk_result_batch(
-    const std::vector<std::uint8_t>& frame, bool decode) {
+    const std::vector<std::uint8_t>& frame, bool decode,
+    ResultInterner* interner = nullptr) {
   Reader r = frame_reader(frame, WorkerFrame::ResultBatch);
   std::vector<ResultFrame> entries;
   while (!r.done()) {
@@ -804,7 +896,8 @@ std::vector<ResultFrame> walk_result_batch(
                           std::to_string(len) + " exceeds remaining bytes");
       if (decode)
         entry.result = decode_experiment_result(frame.data() + r.position(),
-                                                static_cast<std::size_t>(len));
+                                                static_cast<std::size_t>(len),
+                                                interner);
       r.skip(len);
     } else {
       const std::uint8_t category = r.u8();
@@ -823,6 +916,11 @@ std::vector<ResultFrame> walk_result_batch(
 std::vector<ResultFrame> decode_result_batch_frame(
     const std::vector<std::uint8_t>& frame) {
   return walk_result_batch(frame, /*decode=*/true);
+}
+
+std::vector<ResultFrame> decode_result_batch_frame(
+    const std::vector<std::uint8_t>& frame, ResultInterner* interner) {
+  return walk_result_batch(frame, /*decode=*/true, interner);
 }
 
 std::size_t result_batch_entry_count(const std::vector<std::uint8_t>& frame) {

@@ -24,16 +24,29 @@
 // pipes (util/pipe_io.hpp). Every frame payload starts with a WorkerFrame
 // type byte:
 //
-//   parent -> worker   Hello        protocol version + optionally the study
+//   parent -> worker   Hello        protocol version, heartbeat interval,
+//                                   optionally the study
 //                      Lease        an index range [lo, hi) with a stride
 //                      Ping         liveness/diagnostic probe (echoed back)
 //                      Shutdown     no more work; exit cleanly
 //   worker -> parent   HelloAck     protocol version + worker pid
-//                      Heartbeat    lease accepted; liveness while it runs
+//                      Heartbeat    periodic liveness while a lease runs,
+//                                   carrying a WorkerStatsSnapshot
 //                      Result       one experiment's outcome (ok or error)
 //                      ResultBatch  several outcomes of one lease in one frame
 //                      LeaseDone    lease finished (possibly early, on error)
 //                      Pong         Ping echo
+//
+// Heartbeat cadence rule (protocol v3): a worker emits a heartbeat whenever
+// `heartbeat_interval` has elapsed since its last write on the channel —
+// between experiments and between batch flushes — so a healthy worker
+// grinding through a slow lease is never silent past the coordinator's
+// hang_timeout. The interval is chosen by the coordinator (default
+// hang_timeout / 4) and shipped in the Hello frame; 0 means "worker
+// default". Every Heartbeat carries the worker's cumulative stats snapshot
+// (experiments completed, EWMA latency, log-scale latency histogram, bytes
+// encoded, batches flushed — runtime/worker_stats.hpp), which the
+// coordinator folds into campaign::FleetTelemetry.
 //
 // A ResultBatch body is a sequence of self-delimiting entries (no count):
 //
@@ -65,11 +78,14 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "runtime/experiment.hpp"
+#include "runtime/worker_stats.hpp"
+#include "util/codec.hpp"
 
 namespace loki::runtime {
 
@@ -92,6 +108,12 @@ ExperimentResult decode_experiment_result(const std::vector<std::uint8_t>& bytes
 /// frame) without slicing it into a fresh vector first.
 ExperimentResult decode_experiment_result(const std::uint8_t* data,
                                           std::size_t size);
+/// Interned flavour (class ResultInterner below): memoizes the per-study
+/// timeline headers across calls. nullptr behaves like the plain decode.
+class ResultInterner;
+ExperimentResult decode_experiment_result(const std::uint8_t* data,
+                                          std::size_t size,
+                                          ResultInterner* interner);
 
 std::vector<std::uint8_t> encode_study_params(const StudyParams& study);
 StudyParams decode_study_params(const std::vector<std::uint8_t>& bytes);
@@ -101,12 +123,40 @@ StudyParams decode_study_params(const std::vector<std::uint8_t>& bytes);
 /// is deterministic in its params, and the seed is part of the encoding).
 std::string experiment_cache_key(const ExperimentParams& p);
 
+/// Decode-side string interner for the coordinator result path. Within one
+/// study every result's timeline *headers* (nickname, initial host, the
+/// machine/state/event dictionaries, fault entries) are identical — only
+/// the records differ — yet a plain decode re-parses and re-allocates them
+/// per result (~16us/result, allocation-bound). The interner memoizes the
+/// decoded header keyed on its raw encoded byte span: a hit skips the
+/// parse and copies the cached header (short dictionary names stay in SSO
+/// storage, so the copy is a handful of vector clones, not one allocation
+/// per string). Hold one per study; it is NOT thread-safe, matching the
+/// single-threaded decode loops in RemoteRunner and ProcessPoolRunner.
+class ResultInterner {
+ public:
+  std::size_t header_hits() const { return hits_; }
+  std::size_t header_misses() const { return misses_; }
+
+ private:
+  friend LocalTimeline interned_timeline(codec::Reader& r,
+                                         ResultInterner& interner);
+  // Heterogeneous lookup (std::less<>) lets the hot path probe with a
+  // string_view over the frame bytes; a std::string key is built only on
+  // the first miss per distinct header.
+  std::map<std::string, LocalTimeline, std::less<>> headers_;
+  std::size_t hits_{0};
+  std::size_t misses_{0};
+};
+
 // --- worker frame protocol ---------------------------------------------------
 
 /// Bump on ANY change to a worker frame layout or meaning. Checked by the
 /// Hello / HelloAck handshake; a mismatch is a hard error on both sides.
 /// v2: ResultBatch frames + the v2 result envelope inside ok entries.
-inline constexpr std::uint16_t kWorkerProtocolVersion = 2;
+/// v3: Hello carries the heartbeat interval; Heartbeat carries a
+/// WorkerStatsSnapshot (the fleet-telemetry plane).
+inline constexpr std::uint16_t kWorkerProtocolVersion = 3;
 
 /// First byte of every worker frame payload.
 enum class WorkerFrame : std::uint8_t {
@@ -137,9 +187,13 @@ WorkerFrame worker_frame_type(const std::vector<std::uint8_t>& frame);
 
 /// Hello: pass nullptr when the worker already holds the study in memory
 /// (a fork()ed child); exec'd and remote workers get it inside the frame.
-std::vector<std::uint8_t> encode_hello_frame(const StudyParams* study);
+/// `heartbeat_interval_ms` sets the worker's liveness cadence; 0 keeps the
+/// worker's own default (ServeOptions::heartbeat_interval).
+std::vector<std::uint8_t> encode_hello_frame(
+    const StudyParams* study, std::uint32_t heartbeat_interval_ms = 0);
 struct HelloFrame {
   std::uint16_t protocol_version{0};
+  std::uint32_t heartbeat_interval_ms{0};
   std::optional<StudyParams> study;
 };
 HelloFrame decode_hello_frame(const std::vector<std::uint8_t>& frame);
@@ -161,8 +215,17 @@ struct LeaseFrame {
 std::vector<std::uint8_t> encode_lease_frame(const LeaseFrame& lease);
 LeaseFrame decode_lease_frame(const std::vector<std::uint8_t>& frame);
 
-std::vector<std::uint8_t> encode_heartbeat_frame(std::uint32_t lease_id);
-std::uint32_t decode_heartbeat_frame(const std::vector<std::uint8_t>& frame);
+/// Heartbeat (v3): liveness plus the worker's cumulative stats snapshot.
+/// Layout: u32 lease id, u64 experiments completed, f64 EWMA latency (us),
+/// LatencyHistogram::kBuckets x u32 buckets, u64 bytes encoded, u64 batches
+/// flushed. Fixed-size, ~120 bytes — cheap enough to send every interval.
+struct HeartbeatFrame {
+  std::uint32_t lease_id{0};
+  WorkerStatsSnapshot stats;
+};
+std::vector<std::uint8_t> encode_heartbeat_frame(
+    std::uint32_t lease_id, const WorkerStatsSnapshot& stats = {});
+HeartbeatFrame decode_heartbeat_frame(const std::vector<std::uint8_t>& frame);
 
 std::vector<std::uint8_t> encode_lease_done_frame(std::uint32_t lease_id);
 std::uint32_t decode_lease_done_frame(const std::vector<std::uint8_t>& frame);
@@ -185,6 +248,10 @@ struct ResultFrame {
   std::string message;                                     // error frames only
 };
 ResultFrame decode_result_frame(const std::vector<std::uint8_t>& frame);
+/// Interned flavour: the embedded envelope decodes through the per-study
+/// interner. nullptr behaves like the plain decode.
+ResultFrame decode_result_frame(const std::vector<std::uint8_t>& frame,
+                                ResultInterner* interner);
 
 // --- batched results ---------------------------------------------------------
 // Builder-style API over a caller-owned buffer: begin_result_batch resets it
@@ -205,6 +272,10 @@ void append_result_error_entry(std::vector<std::uint8_t>& batch,
 /// DecodeError and yields no results, so runners requeue whole batches.
 std::vector<ResultFrame> decode_result_batch_frame(
     const std::vector<std::uint8_t>& frame);
+/// Interned flavour: ok entries decode through the per-study interner.
+/// nullptr behaves like the plain decode.
+std::vector<ResultFrame> decode_result_batch_frame(
+    const std::vector<std::uint8_t>& frame, ResultInterner* interner);
 /// Entry count by skipping over the length prefixes — no result decode.
 /// Throws DecodeError on a malformed batch. Fault-injection harnesses use
 /// this to count results inside batch frames cheaply.

@@ -1,0 +1,76 @@
+#include "runtime/worker_stats.hpp"
+
+#include <bit>
+
+namespace loki::runtime {
+
+int LatencyHistogram::bucket_of(std::uint64_t us) {
+  if (us < 2) return 0;
+  const int log2 = 63 - std::countl_zero(us);
+  return log2 >= kBuckets ? kBuckets - 1 : log2;
+}
+
+double LatencyHistogram::bucket_mid_us(int b) {
+  // Geometric midpoint of [2^b, 2^(b+1)): sqrt(2) * 2^b, i.e. ~1.414 * 2^b.
+  return 1.4142135623730951 * static_cast<double>(std::uint64_t{1} << b);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (int b = 0; b < kBuckets; ++b)
+    buckets[static_cast<std::size_t>(b)] +=
+        other.buckets[static_cast<std::size_t>(b)];
+}
+
+std::uint64_t LatencyHistogram::total_count() const {
+  std::uint64_t total = 0;
+  for (const std::uint32_t c : buckets) total += c;
+  return total;
+}
+
+double LatencyHistogram::quantile_us(double q) const {
+  const std::uint64_t total = total_count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile sample, 1-based; ceil without floating error.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(total) + 0.5);
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets[static_cast<std::size_t>(b)];
+    if (seen >= rank) return bucket_mid_us(b);
+  }
+  return bucket_mid_us(kBuckets - 1);
+}
+
+void WorkerStatsSnapshot::record_experiment_us(std::uint64_t latency_us) {
+  const double sample = static_cast<double>(latency_us);
+  ewma_latency_us = experiments_completed == 0
+                        ? sample
+                        : kEwmaAlpha * sample +
+                              (1.0 - kEwmaAlpha) * ewma_latency_us;
+  ++experiments_completed;
+  histogram.record(latency_us);
+}
+
+WorkerStatsSnapshot merge_snapshots(const WorkerStatsSnapshot& a,
+                                    const WorkerStatsSnapshot& b) {
+  WorkerStatsSnapshot out;
+  out.experiments_completed = a.experiments_completed + b.experiments_completed;
+  const double total = static_cast<double>(out.experiments_completed);
+  out.ewma_latency_us =
+      out.experiments_completed == 0
+          ? 0.0
+          : (a.ewma_latency_us * static_cast<double>(a.experiments_completed) +
+             b.ewma_latency_us * static_cast<double>(b.experiments_completed)) /
+                total;
+  out.histogram = a.histogram;
+  out.histogram.merge(b.histogram);
+  out.bytes_encoded = a.bytes_encoded + b.bytes_encoded;
+  out.batches_flushed = a.batches_flushed + b.batches_flushed;
+  return out;
+}
+
+}  // namespace loki::runtime

@@ -1,0 +1,80 @@
+// Per-worker execution statistics carried inside protocol-v3 Heartbeat
+// frames (runtime/serialize.*) and merged fleet-wide by the coordinator
+// (campaign::FleetTelemetry).
+//
+// Everything here is pure arithmetic over values handed in by the caller:
+// latencies arrive as microsecond counts measured in the campaign layer.
+// This header must never read a clock itself — src/runtime is inside the
+// deterministic core, and tools/loki_lint.py flags wall-clock reads here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace loki::runtime {
+
+/// Fixed-size log-scale latency histogram: bucket b counts experiment
+/// latencies in [2^b, 2^(b+1)) microseconds (bucket 0 additionally absorbs
+/// 0us; the top bucket absorbs everything above ~2.3 hours). 24 u32 buckets
+/// keep a heartbeat frame under 100 bytes free of any allocation, while the
+/// log-2 resolution is plenty for p50/p95/p99 over experiment latencies
+/// that themselves vary by orders of magnitude.
+struct LatencyHistogram {
+  static constexpr int kBuckets = 24;
+
+  std::array<std::uint32_t, kBuckets> buckets{};
+
+  /// Bucket index for a latency in microseconds: floor(log2(us)) clamped
+  /// to [0, kBuckets-1].
+  static int bucket_of(std::uint64_t us);
+
+  /// Geometric midpoint of bucket b in microseconds (the value a sample in
+  /// the bucket is reported as by the quantile estimator).
+  static double bucket_mid_us(int b);
+
+  void record(std::uint64_t us) { ++buckets[static_cast<std::size_t>(bucket_of(us))]; }
+
+  /// Bucket-wise sum; commutative and associative, so fleet merges are
+  /// order-independent.
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t total_count() const;
+
+  /// Estimated q-quantile (q in [0,1]) in microseconds: the midpoint of the
+  /// first bucket whose cumulative count reaches q * total. 0 when empty.
+  double quantile_us(double q) const;
+
+  bool operator==(const LatencyHistogram&) const = default;
+};
+
+/// One worker's cumulative view of its own execution, snapshotted into
+/// every heartbeat. Counters are cumulative over the connection (not per
+/// lease), so a lost or reordered heartbeat never under-counts: the latest
+/// snapshot supersedes all earlier ones.
+struct WorkerStatsSnapshot {
+  std::uint64_t experiments_completed{0};
+  /// Exponentially weighted moving average of per-experiment latency.
+  double ewma_latency_us{0.0};
+  LatencyHistogram histogram;
+  /// Result-plane bytes appended to batch buffers so far.
+  std::uint64_t bytes_encoded{0};
+  std::uint64_t batches_flushed{0};
+
+  /// Fold one completed experiment into the snapshot. The first sample
+  /// seeds the EWMA exactly; later samples blend with kEwmaAlpha.
+  void record_experiment_us(std::uint64_t latency_us);
+
+  bool operator==(const WorkerStatsSnapshot&) const = default;
+};
+
+/// EWMA smoothing factor: ~0.2 converges within a handful of experiments
+/// while still damping one-off outliers (GC pause, cold cache).
+inline constexpr double kEwmaAlpha = 0.2;
+
+/// Merge two snapshots into a fleet aggregate: counts and histograms sum;
+/// the EWMA merges weighted by experiments_completed, which makes the merge
+/// commutative and (count-weighted) order-independent.
+WorkerStatsSnapshot merge_snapshots(const WorkerStatsSnapshot& a,
+                                    const WorkerStatsSnapshot& b);
+
+}  // namespace loki::runtime

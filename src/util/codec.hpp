@@ -120,6 +120,10 @@ class Reader {
   }
   /// Bytes consumed so far — the offset of the next unread byte.
   std::size_t position() const { return pos_; }
+  /// The underlying buffer (offset 0, not the cursor) — lets a caller key
+  /// a memo table on the raw byte span between two positions (the decode
+  /// interner in runtime/serialize.*).
+  const std::uint8_t* data() const { return data_; }
 
   std::size_t remaining() const { return size_ - pos_; }
   bool done() const { return pos_ == size_; }

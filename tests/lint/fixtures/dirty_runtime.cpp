@@ -1,0 +1,23 @@
+// lint-fixture-path: src/runtime/dirty_runtime_example.cpp
+// Golden fixture for the src/runtime clock rule: telemetry-flavoured code
+// that reads a clock inside the deterministic runtime layer must be
+// flagged — latencies are measured in the campaign layer and passed into
+// runtime/worker_stats.hpp as plain values. Never compiled or shipped.
+#include <chrono>
+#include <cstdint>
+
+struct RuntimeStats {
+  std::uint64_t experiments_completed{0};
+
+  void record_now() {
+    auto t = std::chrono::steady_clock::now();  // wall-clock (line 13)
+    (void)t;
+    ++experiments_completed;
+  }
+
+  // An allow with a reason suppresses the rule, same as everywhere else.
+  long allowed() {
+    // loki-lint: allow(wall-clock, fixture proves the escape hatch works)
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+  }
+};

@@ -2,8 +2,11 @@
 // SIGKILLed, hang, close their stream, corrupt frames, or drop results
 // mid-campaign — completing the campaign with results and a sink event
 // sequence byte-identical to SerialRunner, every experiment emitted exactly
-// once, and the recovery visible in Campaign::Summary (requeued /
-// workers_lost). Also covers the `remote:`/`procs:` runner specs, hostfile
+// once, and the recovery visible in Campaign::Summary (requeue_events /
+// requeued_indices / workers_lost). Also covers the liveness cadence:
+// heartbeats flow *during* a lease, so a slow-but-healthy worker is never
+// mistaken for a hung one, while a worker whose heartbeats stop (and whose
+// batches never flush) is still killed within hang_timeout. Also covers the `remote:`/`procs:` runner specs, hostfile
 // parsing, SshTransport argv construction (plus an end-to-end run through a
 // local ssh shim), and the `lokimeasure --worker` stride CLI.
 #include <gtest/gtest.h>
@@ -65,6 +68,29 @@ runtime::StudyParams fault_study(const std::string& name, int experiments,
   study.experiments = experiments;
   study.make_params = [base_seed](int k) {
     auto p = election_params(base_seed + static_cast<std::uint64_t>(k));
+    p.nodes[0].fault_spec =
+        spec::parse_fault_spec("bfault1 (black:LEAD) always\n", "t");
+    p.nodes[0].restart.enabled = true;
+    p.nodes[0].restart.delay = milliseconds(60);
+    return p;
+  };
+  return study;
+}
+
+/// A study whose per-experiment wall time is as large as the simulator
+/// allows (a long horizon plus a crash/restart loop keeps the event queue
+/// busy), for tests that need a *lease* to outlast a short hang_timeout.
+runtime::StudyParams slow_study(const std::string& name, int experiments,
+                                std::uint64_t base_seed = 47'000) {
+  runtime::StudyParams study;
+  study.name = name;
+  study.experiments = experiments;
+  study.make_params = [base_seed](int k) {
+    apps::ElectionParams app;
+    app.run_for = milliseconds(30'000);
+    app.fault_activation_prob = 0.85;
+    auto p = apps::election_experiment(
+        base_seed + static_cast<std::uint64_t>(k), kHosts, kPlacement, app);
     p.nodes[0].fault_spec =
         spec::parse_fault_spec("bfault1 (black:LEAD) always\n", "t");
     p.nodes[0].restart.enabled = true;
@@ -165,7 +191,8 @@ TEST(RemoteRunner, FakeTransportIdenticalToSerial) {
       std::make_shared<campaign::RemoteRunner>(transport, test_options()),
       study);
   expect_identical_events(serial.events, remote.events);
-  EXPECT_EQ(remote.summary.requeued, 0);
+  EXPECT_EQ(remote.summary.requeue_events, 0);
+  EXPECT_EQ(remote.summary.requeued_indices, 0);
   EXPECT_EQ(remote.summary.workers_lost, 0);
 }
 
@@ -245,7 +272,10 @@ TEST(RemoteRunnerFaults, FakeWorkerKilledMidCampaign) {
       study);
   expect_identical_events(serial.events, remote.events);
   expect_exactly_once(remote.events, study.experiments);
-  EXPECT_GE(remote.summary.requeued, 1);
+  EXPECT_GE(remote.summary.requeue_events, 1);
+  // Each event salvages at least one index; the kill lands mid-lease, so
+  // the event/index split is visible (indices >= events).
+  EXPECT_GE(remote.summary.requeued_indices, remote.summary.requeue_events);
   EXPECT_GE(remote.summary.workers_lost, 1);
 }
 
@@ -321,7 +351,7 @@ TEST(RemoteRunnerFaults, SubprocessWorkerSigkilledMidCampaign) {
       study);
   expect_identical_events(serial.events, remote.events);
   expect_exactly_once(remote.events, study.experiments);
-  EXPECT_GE(remote.summary.requeued, 1);
+  EXPECT_GE(remote.summary.requeue_events, 1);
   EXPECT_GE(remote.summary.workers_lost, 1);
 }
 
@@ -343,7 +373,7 @@ TEST(RemoteRunnerFaults, HungWorkerIsTimedOutAndRequeued) {
       std::make_shared<campaign::RemoteRunner>(transport, options), study);
   expect_identical_events(serial.events, remote.events);
   expect_exactly_once(remote.events, study.experiments);
-  EXPECT_GE(remote.summary.requeued, 1);
+  EXPECT_GE(remote.summary.requeue_events, 1);
   EXPECT_GE(remote.summary.workers_lost, 1);
 }
 
@@ -397,7 +427,7 @@ TEST(RemoteRunnerFaults, StreamEofMidLeaseIsRequeued) {
       study);
   expect_identical_events(serial.events, remote.events);
   expect_exactly_once(remote.events, study.experiments);
-  EXPECT_GE(remote.summary.requeued, 1);
+  EXPECT_GE(remote.summary.requeue_events, 1);
 }
 
 TEST(RemoteRunnerFaults, CorruptResultFrameKillsWorkerNotCampaign) {
@@ -427,7 +457,7 @@ TEST(RemoteRunnerFaults, DroppedResultIsRequeuedWithoutLosingTheWorker) {
       study);
   expect_identical_events(serial.events, remote.events);
   expect_exactly_once(remote.events, study.experiments);
-  EXPECT_GE(remote.summary.requeued, 1);
+  EXPECT_GE(remote.summary.requeue_events, 1);
   EXPECT_EQ(remote.summary.workers_lost, 0);
 }
 
@@ -442,8 +472,90 @@ TEST(RemoteRunnerFaults, DelayedResultIsJustSlow) {
       std::make_shared<campaign::RemoteRunner>(transport, test_options()),
       study);
   expect_identical_events(serial.events, remote.events);
-  EXPECT_EQ(remote.summary.requeued, 0);
+  EXPECT_EQ(remote.summary.requeue_events, 0);
   EXPECT_EQ(remote.summary.workers_lost, 0);
+}
+
+// --- liveness cadence --------------------------------------------------------
+// The regression at the heart of this protocol revision: serve_worker used
+// to write nothing between a lease's start and its first batch flush, so a
+// slow-but-healthy worker grinding through a long lease went silent past
+// hang_timeout and was killed. Heartbeats now flow on a wall-clock cadence
+// *inside* the lease. Both tests build the silent-lease geometry directly:
+// one lease spans many experiments and the batch bound is large enough
+// that no ResultBatch flushes early — without heartbeats the coordinator
+// would hear nothing for the whole lease. hang_timeout is calibrated from
+// the measured serial wall time, so the lease provably outlasts it.
+
+TEST(RemoteRunnerLiveness, SlowLeaseHealthyWorkerOutlivesHangTimeout) {
+  const auto study = slow_study("slow-healthy", 320);
+  const auto serial_t0 = std::chrono::steady_clock::now();
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+  const auto serial_wall =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - serial_t0);
+
+  // A single worker: if the coordinator ever mistakes it for hung, the
+  // campaign dies with "all workers lost" — this test fails loudly rather
+  // than quietly recovering through a survivor.
+  auto transport = std::make_shared<campaign::FakeTransport>(1);
+  transport->set_batch_soft_bytes(8u << 20);  // one flush, at lease end
+  campaign::RemoteOptions options;
+  options.lease_size = study.experiments;  // the whole study in one lease
+  options.autotune_lease = false;
+  options.shutdown_grace = std::chrono::milliseconds(500);
+  // The lease's wall time tracks the serial run (same machine, same
+  // experiments), so a timeout of a quarter of it is comfortably inside
+  // the lease, and the heartbeat interval sits far below the timeout. The
+  // floor keeps scheduler noise from starving a genuinely healthy beat.
+  options.hang_timeout = std::max(std::chrono::milliseconds(150),
+                                  std::chrono::milliseconds(serial_wall / 4));
+  options.heartbeat_interval =
+      std::max(std::chrono::milliseconds(10), options.hang_timeout / 8);
+  const auto remote = run_recorded(
+      std::make_shared<campaign::RemoteRunner>(transport, options), study);
+  expect_identical_events(serial.events, remote.events);
+  EXPECT_EQ(remote.summary.workers_lost, 0);
+  EXPECT_EQ(remote.summary.requeue_events, 0);
+  EXPECT_EQ(remote.summary.requeued_indices, 0);
+}
+
+TEST(RemoteRunnerLiveness, HeartbeatStarvedWorkerIsStillKilledWithinTimeout) {
+  // The dual guarantee: the cadence must not *hide* genuinely hung
+  // workers. Worker 0 computes happily but its heartbeats all vanish in
+  // transit, and its batch never flushes early — from the coordinator's
+  // chair it is indistinguishable from a wedge, and must be killed within
+  // hang_timeout and its whole lease requeued to the survivor.
+  const auto study = slow_study("heartbeat-starved", 320);
+  const auto serial_t0 = std::chrono::steady_clock::now();
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+  const auto serial_wall =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - serial_t0);
+
+  auto transport = std::make_shared<campaign::FakeTransport>(2);
+  transport->set_batch_soft_bytes(8u << 20);
+  transport->drop_heartbeats_after(0, 0);  // no heartbeat ever arrives
+  campaign::RemoteOptions options;
+  options.lease_size = study.experiments / 2;  // one lease per worker
+  options.autotune_lease = false;
+  options.shutdown_grace = std::chrono::milliseconds(500);
+  // Each worker's lease is about half the serial wall; an eighth of the
+  // serial wall leaves the silent worker several timeouts short of its
+  // lease end while the healthy one beats every hang_timeout / 8.
+  options.hang_timeout = std::max(std::chrono::milliseconds(150),
+                                  std::chrono::milliseconds(serial_wall / 8));
+  options.heartbeat_interval =
+      std::max(std::chrono::milliseconds(10), options.hang_timeout / 8);
+  const auto remote = run_recorded(
+      std::make_shared<campaign::RemoteRunner>(transport, options), study);
+  expect_identical_events(serial.events, remote.events);
+  expect_exactly_once(remote.events, study.experiments);
+  EXPECT_GE(remote.summary.workers_lost, 1);
+  EXPECT_GE(remote.summary.requeue_events, 1);
+  EXPECT_GE(remote.summary.requeued_indices, 1);
 }
 
 // --- multi-result batch faults ----------------------------------------------
@@ -462,7 +574,7 @@ TEST(RemoteRunnerBatchFaults, MultiResultBatchesIdenticalToSerial) {
       study);
   expect_identical_events(serial.events, remote.events);
   expect_exactly_once(remote.events, study.experiments);
-  EXPECT_EQ(remote.summary.requeued, 0);
+  EXPECT_EQ(remote.summary.requeue_events, 0);
   EXPECT_EQ(remote.summary.workers_lost, 0);
 }
 
@@ -479,7 +591,7 @@ TEST(RemoteRunnerBatchFaults, CorruptBatchRequeuesWholeBatch) {
   expect_identical_events(serial.events, remote.events);
   expect_exactly_once(remote.events, study.experiments);
   EXPECT_GE(remote.summary.workers_lost, 1);
-  EXPECT_GE(remote.summary.requeued, 1) << "the damaged lease was requeued";
+  EXPECT_GE(remote.summary.requeue_events, 1) << "the damaged lease was requeued";
 }
 
 TEST(RemoteRunnerBatchFaults, TruncatedBatchRequeuesWholeBatch) {
@@ -495,7 +607,7 @@ TEST(RemoteRunnerBatchFaults, TruncatedBatchRequeuesWholeBatch) {
   expect_identical_events(serial.events, remote.events);
   expect_exactly_once(remote.events, study.experiments);
   EXPECT_GE(remote.summary.workers_lost, 1);
-  EXPECT_GE(remote.summary.requeued, 1);
+  EXPECT_GE(remote.summary.requeue_events, 1);
 }
 
 TEST(RemoteRunnerBatchFaults, DroppedBatchIsRequeuedWithoutLosingTheWorker) {
@@ -504,13 +616,18 @@ TEST(RemoteRunnerBatchFaults, DroppedBatchIsRequeuedWithoutLosingTheWorker) {
       run_recorded(std::make_shared<campaign::SerialRunner>(), study);
   auto transport = std::make_shared<campaign::FakeTransport>(2);
   transport->set_batch_soft_bytes(8u << 20);
-  transport->drop_batch(0, 2);  // second batch vanishes; LeaseDone arrives
+  // Worker 0's FIRST lease batch vanishes (its heartbeats and LeaseDone
+  // still arrive) — deterministic, unlike a later batch, which depends on
+  // the lease-scheduling race between the two workers.
+  transport->drop_batch(0, 1);
   const auto remote = run_recorded(
       std::make_shared<campaign::RemoteRunner>(transport, test_options(3)),
       study);
   expect_identical_events(serial.events, remote.events);
   expect_exactly_once(remote.events, study.experiments);
-  EXPECT_GE(remote.summary.requeued, 1);
+  EXPECT_GE(remote.summary.requeue_events, 1);
+  // One drop of a whole-lease batch loses several indices in one event.
+  EXPECT_GE(remote.summary.requeued_indices, 2);
   EXPECT_EQ(remote.summary.workers_lost, 0);
 }
 

@@ -25,6 +25,7 @@
 #include "apps/registry.hpp"
 #include "campaign/campaign.hpp"
 #include "runtime/serialize.hpp"
+#include "runtime/worker_stats.hpp"
 #include "util/codec.hpp"
 #include "util/digest.hpp"
 #include "util/error.hpp"
@@ -376,6 +377,7 @@ TEST(WorkerFrames, HelloCarriesOrOmitsTheStudy) {
   EXPECT_EQ(runtime::worker_frame_type(with), runtime::WorkerFrame::Hello);
   const runtime::HelloFrame hello = runtime::decode_hello_frame(with);
   EXPECT_EQ(hello.protocol_version, runtime::kWorkerProtocolVersion);
+  EXPECT_EQ(hello.heartbeat_interval_ms, 0u);  // 0 = worker-side default
   ASSERT_TRUE(hello.study.has_value());
   EXPECT_EQ(hello.study->name, "framed");
   EXPECT_EQ(hello.study->experiments, 2);
@@ -385,6 +387,27 @@ TEST(WorkerFrames, HelloCarriesOrOmitsTheStudy) {
 
   const auto without = runtime::encode_hello_frame(nullptr);
   EXPECT_FALSE(runtime::decode_hello_frame(without).study.has_value());
+
+  // The coordinator's heartbeat cadence rides inside the Hello.
+  const auto paced = runtime::encode_hello_frame(nullptr, 1250);
+  EXPECT_EQ(runtime::decode_hello_frame(paced).heartbeat_interval_ms, 1250u);
+}
+
+TEST(WorkerFrames, HeartbeatCarriesWorkerStats) {
+  runtime::WorkerStatsSnapshot stats;
+  stats.record_experiment_us(180.0);
+  stats.record_experiment_us(2'500.0);
+  stats.record_experiment_us(900'000.0);
+  stats.bytes_encoded = 123'456;
+  stats.batches_flushed = 7;
+
+  const auto frame = runtime::encode_heartbeat_frame(42, stats);
+  EXPECT_EQ(runtime::worker_frame_type(frame), runtime::WorkerFrame::Heartbeat);
+  const runtime::HeartbeatFrame back = runtime::decode_heartbeat_frame(frame);
+  EXPECT_EQ(back.lease_id, 42u);
+  EXPECT_EQ(back.stats, stats);
+  EXPECT_EQ(back.stats.experiments_completed, 3u);
+  EXPECT_EQ(back.stats.histogram.total_count(), 3u);
 }
 
 TEST(WorkerFrames, ScalarFramesRoundTrip) {
@@ -401,8 +424,10 @@ TEST(WorkerFrames, ScalarFramesRoundTrip) {
   EXPECT_EQ(back.hi, 20u);
   EXPECT_EQ(back.step, 3u);
 
-  EXPECT_EQ(runtime::decode_heartbeat_frame(runtime::encode_heartbeat_frame(9)),
-            9u);
+  const runtime::HeartbeatFrame bare =
+      runtime::decode_heartbeat_frame(runtime::encode_heartbeat_frame(9));
+  EXPECT_EQ(bare.lease_id, 9u);
+  EXPECT_EQ(bare.stats, runtime::WorkerStatsSnapshot{});
   EXPECT_EQ(
       runtime::decode_lease_done_frame(runtime::encode_lease_done_frame(11)),
       11u);
@@ -476,6 +501,43 @@ TEST(WorkerFrames, ResultBatchRoundTripsMixedEntries) {
   EXPECT_EQ(entries[2].index, 5u);
   EXPECT_EQ(entries[2].category, runtime::WireErrorCategory::Logic);
   EXPECT_EQ(entries[2].message, "boom");
+}
+
+TEST(WorkerFrames, InternedBatchDecodeMatchesPlainDecode) {
+  // Results from one study share their timeline headers, so the interner
+  // must hit on every timeline after the first result — and interning must
+  // be invisible in the decoded bytes.
+  std::vector<std::uint8_t> batch;
+  runtime::begin_result_batch(batch);
+  std::vector<ExperimentResult> sources;
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    sources.push_back(campaign::run_single(sample_params(13 + k)));
+    runtime::append_result_ok_entry(batch, k, sources.back());
+  }
+
+  runtime::ResultInterner interner;
+  const std::vector<runtime::ResultFrame> interned =
+      runtime::decode_result_batch_frame(batch, &interner);
+  const std::vector<runtime::ResultFrame> plain =
+      runtime::decode_result_batch_frame(batch);
+  ASSERT_EQ(interned.size(), plain.size());
+  for (std::size_t k = 0; k < interned.size(); ++k)
+    EXPECT_EQ(runtime::encode_experiment_result(interned[k].result),
+              runtime::encode_experiment_result(plain[k].result))
+        << "entry " << k;
+
+  const std::size_t timelines = sources.front().timelines.size();
+  ASSERT_GT(timelines, 0u);
+  EXPECT_EQ(interner.header_misses(), timelines);
+  EXPECT_EQ(interner.header_hits(), (sources.size() - 1) * timelines);
+
+  // nullptr interner must behave exactly like the plain overload.
+  const std::vector<runtime::ResultFrame> null_interned =
+      runtime::decode_result_batch_frame(batch, nullptr);
+  ASSERT_EQ(null_interned.size(), plain.size());
+  for (std::size_t k = 0; k < plain.size(); ++k)
+    EXPECT_EQ(runtime::encode_experiment_result(null_interned[k].result),
+              runtime::encode_experiment_result(plain[k].result));
 }
 
 TEST(WorkerFrames, BeginResultBatchReusesTheBuffer) {

@@ -184,7 +184,10 @@ TEST_P(TransportConformance, LeaseRoundTripInOrder) {
   if (!start()) return;
   handshake();
   link_->send(runtime::encode_lease_frame({/*id=*/7, 0, 2, 1}));
-  EXPECT_EQ(runtime::decode_heartbeat_frame(expect_frame()), 7u);
+  const runtime::HeartbeatFrame opening =
+      runtime::decode_heartbeat_frame(expect_frame());
+  EXPECT_EQ(opening.lease_id, 7u);
+  EXPECT_EQ(opening.stats.experiments_completed, 0u);  // fresh worker
   const std::vector<runtime::ResultFrame> results = expect_results(2);
   for (std::uint32_t k = 0; k < 2; ++k) {
     EXPECT_TRUE(results[k].ok);
@@ -194,6 +197,12 @@ TEST_P(TransportConformance, LeaseRoundTripInOrder) {
               runtime::encode_experiment_result(runtime::run_experiment(
                   study_.make_params(static_cast<int>(k)))));
   }
+  // Every lease closes with a stats-bearing heartbeat, then LeaseDone.
+  const runtime::HeartbeatFrame closing =
+      runtime::decode_heartbeat_frame(expect_frame());
+  EXPECT_EQ(closing.lease_id, 7u);
+  EXPECT_EQ(closing.stats.experiments_completed, 2u);
+  EXPECT_GE(closing.stats.batches_flushed, 1u);
   EXPECT_EQ(runtime::decode_lease_done_frame(expect_frame()), 7u);
   link_->send(runtime::encode_shutdown_frame());
   EXPECT_EQ(link_->recv(kRecvTimeout).status, RecvOutcome::Status::Eof);
@@ -203,7 +212,7 @@ TEST_P(TransportConformance, StridedLeaseRunsInterleavedIndices) {
   if (!start()) return;
   handshake();
   link_->send(runtime::encode_lease_frame({/*id=*/9, 1, 4, 2}));
-  EXPECT_EQ(runtime::decode_heartbeat_frame(expect_frame()), 9u);
+  EXPECT_EQ(runtime::decode_heartbeat_frame(expect_frame()).lease_id, 9u);
   const std::vector<runtime::ResultFrame> results = expect_results(2);
   std::size_t at = 0;
   for (const std::uint32_t k : {1u, 3u}) {
@@ -211,6 +220,10 @@ TEST_P(TransportConformance, StridedLeaseRunsInterleavedIndices) {
     EXPECT_EQ(results[at].index, k);
     ++at;
   }
+  const runtime::HeartbeatFrame closing =
+      runtime::decode_heartbeat_frame(expect_frame());
+  EXPECT_EQ(closing.lease_id, 9u);
+  EXPECT_EQ(closing.stats.experiments_completed, 2u);
   EXPECT_EQ(runtime::decode_lease_done_frame(expect_frame()), 9u);
 }
 

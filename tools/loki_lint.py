@@ -241,6 +241,7 @@ def scan_file(path, rel):
 
     in_core = rel.startswith(SIM_RUNTIME)
     in_sim = rel.startswith("src/sim")
+    in_runtime = rel.startswith("src/runtime")
     in_rng = rel.startswith("src/util/rng")
 
     unordered_names = declared_unordered_names(code)
@@ -300,6 +301,12 @@ def scan_file(path, rel):
             report(lineno, "wall-clock",
                    "steady_clock inside src/sim: the simulator owns all "
                    "time; use sim::World::now()")
+        if in_runtime and STEADY_CLOCK_RE.search(line):
+            report(lineno, "wall-clock",
+                   "steady_clock inside src/runtime: runtime code is "
+                   "replayed deterministically; measure latencies in the "
+                   "campaign layer and pass them in as values "
+                   "(runtime/worker_stats.hpp)")
 
         # --- raw-random ------------------------------------------------------
         if not in_rng:

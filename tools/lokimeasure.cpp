@@ -61,7 +61,7 @@ constexpr const char* kUsage =
     "<LocalTimelineFile>...\n"
     "       lokimeasure --campaign "
     "[--runner serial|threads:N|procs:N|static-procs:N|remote:HOSTFILE] "
-    "[--cache DIR] [--experiments N] [--seed S]\n"
+    "[--cache DIR] [--experiments N] [--seed S] [--status]\n"
     "       lokimeasure --emit-study <out.bin> [--experiments N] [--seed S]\n"
     "       lokimeasure --worker <study.bin> <lo> <hi> [step]\n"
     "       lokimeasure --worker --serve [study.bin]\n";
@@ -159,6 +159,7 @@ measure::StudyMeasure demo_measure() {
 int run_campaign_mode(const std::vector<std::string>& args) {
   std::string runner_spec = "serial";
   std::string cache_dir;
+  bool status = false;
   DemoOptions opts;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (parse_demo_option(args, i, opts)) continue;
@@ -166,6 +167,8 @@ int run_campaign_mode(const std::vector<std::string>& args) {
       runner_spec = flag_value(args, i, "--runner");
     else if (args[i] == "--cache")
       cache_dir = flag_value(args, i, "--cache");
+    else if (args[i] == "--status")
+      status = true;
     else
       throw ConfigError("unknown --campaign option: " + args[i]);
   }
@@ -181,8 +184,14 @@ int run_campaign_mode(const std::vector<std::string>& args) {
                 analysis.accepted ? 1 : 0, analysis.timeline.events.size());
   });
 
+  std::shared_ptr<campaign::Runner> runner =
+      campaign::parse_runner_spec(runner_spec);
   CampaignBuilder builder;
-  builder.add(study).runner(campaign::parse_runner_spec(runner_spec)).sink(sink);
+  builder.add(study).runner(runner).sink(sink);
+  // The live fleet view is stderr-only, like every nondeterministic
+  // diagnostic: stdout stays byte-comparable across runs.
+  if (status)
+    builder.sink(std::make_shared<campaign::StatusSink>(runner, stderr));
   std::shared_ptr<campaign::ResultCache> cache;
   if (!cache_dir.empty()) {
     cache = std::make_shared<campaign::ResultCache>(cache_dir);
@@ -213,9 +222,12 @@ int run_campaign_mode(const std::vector<std::string>& args) {
                  static_cast<unsigned long long>(cache->stats().stores));
   std::fprintf(stderr, "cache_hits=%d of %d\n", summary.cache_hits,
                summary.experiments);
-  if (summary.requeued > 0 || summary.workers_lost > 0)
-    std::fprintf(stderr, "fault recovery: requeued=%d workers_lost=%d\n",
-                 summary.requeued, summary.workers_lost);
+  if (summary.requeue_events > 0 || summary.workers_lost > 0)
+    std::fprintf(stderr,
+                 "fault recovery: requeue_events=%d requeued_indices=%d "
+                 "workers_lost=%d\n",
+                 summary.requeue_events, summary.requeued_indices,
+                 summary.workers_lost);
   return 0;
 }
 
