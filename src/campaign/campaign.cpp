@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "campaign/cache.hpp"
+#include "campaign/journal.hpp"
 #include "runtime/serialize.hpp"
 #include "util/error.hpp"
 
@@ -46,14 +47,21 @@ namespace {
 /// materialized up front; each hit is generated, validated, read, and
 /// emitted lazily at its turn (generators are deterministic per index, the
 /// standard campaign contract).
+///
+/// `start` skips indices below it entirely (no probe, no validation) — the
+/// resume path replays those from the journal before calling in here. When
+/// `journal` is set, every index is journaled (IndexDone, write-ahead of
+/// its emit); for fresh results this sits *after* the durable cache store,
+/// the ordering the whole resume guarantee rests on.
 void run_study_cache_first(Runner& runner, ResultCache& cache,
                            const runtime::StudyParams& study,
-                           const EmitFn& emit, int& cache_hits) {
+                           const EmitFn& emit, int& cache_hits, int start,
+                           CampaignJournal* journal, std::uint32_t ordinal) {
   const int n = study.experiments;
-  if (n <= 0) return;
+  if (n <= 0 || start >= n) return;
   std::vector<std::string> keys(static_cast<std::size_t>(n));
   std::vector<int> missing;
-  for (int k = 0; k < n; ++k) {
+  for (int k = start; k < n; ++k) {
     // One generator call per index, all on this thread — emit_cached_below
     // runs inside the runner's emit callback, where another make_params
     // call would race the runner's own (gen_mu-serialized) generator use.
@@ -69,7 +77,16 @@ void run_study_cache_first(Runner& runner, ResultCache& cache,
     }
   }
 
-  int next_emit = 0;
+  // Write-ahead emit: the journal learns about an index before any sink
+  // does, so a crash mid-emit resumes by re-emitting it from the cache.
+  const auto journal_and_emit = [&](int k, runtime::ExperimentResult&& result) {
+    if (journal != nullptr)
+      journal->index_done(ordinal, static_cast<std::uint32_t>(k),
+                          keys[static_cast<std::size_t>(k)]);
+    emit(k, std::move(result));
+  };
+
+  int next_emit = start;
   const auto emit_cached_below = [&](int bound) {
     while (next_emit < bound) {
       // Advance first: if the read or a sink throws here, the index counts
@@ -84,7 +101,7 @@ void run_study_cache_first(Runner& runner, ResultCache& cache,
             keys[static_cast<std::size_t>(k)] +
             "); a concurrent eviction? re-run the campaign");
       ++cache_hits;
-      emit(k, std::move(*result));
+      journal_and_emit(k, std::move(*result));
     }
   };
 
@@ -102,8 +119,10 @@ void run_study_cache_first(Runner& runner, ResultCache& cache,
         const int k = missing[static_cast<std::size_t>(j)];
         try {
           emit_cached_below(k);
+          // Ordering contract: durable store (fsync + rename inside), then
+          // the journal record, then the sinks. See campaign/journal.hpp.
           cache.store(keys[static_cast<std::size_t>(k)], result);
-          emit(k, std::move(result));
+          journal_and_emit(k, std::move(result));
         } catch (...) {
           interleave_failed = true;
           throw;
@@ -129,6 +148,31 @@ void run_study_cache_first(Runner& runner, ResultCache& cache,
   emit_cached_below(n);
 }
 
+/// Check one journaled study against the campaign it is being resumed into.
+/// Name, experiment count, and content digest must all agree — a journal
+/// from a different campaign (or the same campaign with edited studies)
+/// must fail loudly, not silently replay the wrong results.
+void validate_resumed_study(const JournalState::StudyProgress& journaled,
+                            const runtime::StudyParams& study,
+                            std::size_t ordinal) {
+  const auto mismatch = [&](const std::string& what, const std::string& want,
+                            const std::string& got) {
+    throw ConfigError("campaign resume: journaled study " +
+                      std::to_string(ordinal) + " " + what + " mismatch: journal has " +
+                      got + ", campaign has " + want +
+                      " — this journal belongs to a different campaign");
+  };
+  if (journaled.name != study.name)
+    mismatch("name", "'" + study.name + "'", "'" + journaled.name + "'");
+  if (journaled.experiments !=
+      static_cast<std::uint32_t>(study.experiments))
+    mismatch("experiment count", std::to_string(study.experiments),
+             std::to_string(journaled.experiments));
+  const std::string digest = study_digest(study);
+  if (journaled.digest != digest)
+    mismatch("digest", digest, journaled.digest);
+}
+
 }  // namespace
 
 // --- Campaign ----------------------------------------------------------------
@@ -146,26 +190,109 @@ Campaign::Summary Campaign::run() {
   // campaigns); report this campaign's delta.
   const RunnerTelemetry telemetry_before = runner_->telemetry();
 
+  // Journal/resume setup. A resume first loads and validates the existing
+  // journal: the campaign must have the same number of studies and each
+  // journaled study must match by name, count, and digest. A journal killed
+  // before its CampaignBegin made it to disk carries no identity to check —
+  // it is recreated as a fresh journal.
+  JournalState state;
+  std::optional<CampaignJournal> journal;
+  if (!journal_path_.empty()) {
+    const CampaignJournal::Options jopts(journal_group_);
+    bool fresh = !resume_;
+    if (resume_) {
+      state = CampaignJournal::load(journal_path_);
+      if (!state.campaign_begun) {
+        fresh = true;  // killed at birth: nothing usable, start over
+        state = JournalState{};
+      } else {
+        if (state.studies != studies_.size())
+          throw ConfigError(
+              "campaign resume: journal records " +
+              std::to_string(state.studies) + " studies, campaign has " +
+              std::to_string(studies_.size()) +
+              " — this journal belongs to a different campaign");
+        for (std::size_t i = 0; i < state.progress.size(); ++i)
+          validate_resumed_study(state.progress[i], studies_[i], i);
+      }
+    }
+    if (fresh) {
+      journal.emplace(CampaignJournal::create(journal_path_, jopts));
+      journal->campaign_begin(runner_->name(), journal_seed_,
+                              static_cast<std::uint32_t>(studies_.size()));
+    } else {
+      journal.emplace(CampaignJournal::append_to(journal_path_, jopts));
+    }
+  }
+  CampaignJournal* const jptr = journal ? &*journal : nullptr;
+
   for (const auto& sink : sinks_) sink->on_campaign_begin(summary.studies);
 
-  for (std::size_t i = 0; i < studies_.size(); ++i) {
-    const runtime::StudyParams& study = studies_[i];
-    const StudyInfo info{study.name, static_cast<int>(i), study.experiments};
-    for (const auto& sink : sinks_) sink->on_study_begin(info);
-    const EmitFn deliver = [&](int k, runtime::ExperimentResult&& result) {
-      ++summary.experiments;
-      if (result.completed) ++summary.completed;
-      if (result.timed_out) ++summary.timed_out;
-      for (const auto& sink : sinks_) sink->on_experiment(info, k, result);
-    };
-    if (cache_)
-      run_study_cache_first(*runner_, *cache_, study, deliver,
-                            summary.cache_hits);
-    else
-      runner_->run_study(study, deliver);
-    for (const auto& sink : sinks_) sink->on_study_done(info);
+  try {
+    for (std::size_t i = 0; i < studies_.size(); ++i) {
+      const runtime::StudyParams& study = studies_[i];
+      const StudyInfo info{study.name, static_cast<int>(i), study.experiments};
+      for (const auto& sink : sinks_) sink->on_study_begin(info);
+      const EmitFn deliver = [&](int k, runtime::ExperimentResult&& result) {
+        ++summary.experiments;
+        if (result.completed) ++summary.completed;
+        if (result.timed_out) ++summary.timed_out;
+        for (const auto& sink : sinks_) sink->on_experiment(info, k, result);
+      };
+      const JournalState::StudyProgress* journaled =
+          i < state.progress.size() ? &state.progress[i] : nullptr;
+      if (jptr != nullptr && journaled == nullptr)
+        jptr->study_begin(static_cast<std::uint32_t>(i), study.name,
+                          study_digest(study),
+                          static_cast<std::uint32_t>(study.experiments));
+      int replay_from = 0;
+      if (journaled != nullptr) {
+        // Replay the journaled prefix straight from the cache by journaled
+        // key: no probing, no re-validation, no re-journaling — these
+        // records are already durable. The entries MUST exist: IndexDone is
+        // only ever written after the durable store, so a miss here means
+        // the cache was pruned behind the journal's back.
+        replay_from = static_cast<int>(journaled->done_keys.size());
+        for (int k = 0; k < replay_from; ++k) {
+          std::optional<runtime::ExperimentResult> result = cache_->lookup(
+              journaled->done_keys[static_cast<std::size_t>(k)]);
+          if (!result.has_value())
+            throw std::runtime_error(
+                "campaign resume: journaled " + experiment_context(study, k) +
+                " is missing from the cache (key " +
+                journaled->done_keys[static_cast<std::size_t>(k)] +
+                "); journal and cache have diverged — delete the journal to "
+                "start over");
+          ++summary.replayed;
+          deliver(k, std::move(*result));
+        }
+      }
+      if (cache_)
+        run_study_cache_first(*runner_, *cache_, study, deliver,
+                              summary.cache_hits, replay_from, jptr,
+                              static_cast<std::uint32_t>(i));
+      else
+        runner_->run_study(study, deliver);
+      if (jptr != nullptr && !(journaled != nullptr && journaled->ended))
+        jptr->study_end(static_cast<std::uint32_t>(i));
+      for (const auto& sink : sinks_) sink->on_study_done(info);
+    }
+  } catch (...) {
+    // An aborting campaign (a throwing sink, a lost fleet, a full disk)
+    // still flushes its buffered IndexDone records: the maximal journaled
+    // prefix is exactly what makes the subsequent resume cheap.
+    if (jptr != nullptr) {
+      try {
+        jptr->flush();
+      } catch (...) {
+        // The original exception is the story; a failing flush only costs
+        // resume some cache hits.
+      }
+    }
+    throw;
   }
 
+  if (jptr != nullptr && !state.campaign_done) jptr->campaign_end();
   for (const auto& sink : sinks_) sink->on_campaign_done();
   const RunnerTelemetry telemetry_after = runner_->telemetry();
   summary.requeue_events =
@@ -174,6 +301,8 @@ Campaign::Summary Campaign::run() {
       telemetry_after.requeued_indices - telemetry_before.requeued_indices;
   summary.workers_lost =
       telemetry_after.workers_lost - telemetry_before.workers_lost;
+  summary.reconnects =
+      telemetry_after.reconnects - telemetry_before.reconnects;
   summary.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -315,6 +444,30 @@ CampaignBuilder& CampaignBuilder::cache_dir(const std::string& dir) {
   return cache(std::make_shared<ResultCache>(dir));
 }
 
+CampaignBuilder& CampaignBuilder::journal(const std::string& path,
+                                          std::uint64_t seed) {
+  if (path.empty()) throw ConfigError("journal: empty path");
+  journal_path_ = path;
+  journal_seed_ = seed;
+  resume_ = false;
+  return *this;
+}
+
+CampaignBuilder& CampaignBuilder::resume(const std::string& path) {
+  if (path.empty()) throw ConfigError("resume: empty journal path");
+  journal_path_ = path;
+  resume_ = true;
+  return *this;
+}
+
+CampaignBuilder& CampaignBuilder::journal_group(int records) {
+  if (records < 1)
+    throw ConfigError("journal_group: need at least 1 record per commit, got " +
+                      std::to_string(records));
+  journal_group_ = records;
+  return *this;
+}
+
 Campaign CampaignBuilder::build() const {
   Campaign campaign;
   std::set<std::string> names;
@@ -334,9 +487,19 @@ Campaign CampaignBuilder::build() const {
     if (cache_) runtime::experiment_cache_key(study.make_params(0));
     campaign.studies_.push_back(std::move(study));
   }
+  // The journal's whole replay guarantee rests on the cache's durable store
+  // ordering: no cache, no journal.
+  if (!journal_path_.empty() && !cache_)
+    throw ConfigError(
+        "a journaled campaign requires a result cache (cache_dir/cache): "
+        "resume replays journaled indices from the cache");
   campaign.runner_ = runner_ ? runner_ : std::make_shared<SerialRunner>();
   campaign.cache_ = cache_;
   campaign.sinks_ = sinks_;
+  campaign.journal_path_ = journal_path_;
+  campaign.resume_ = resume_;
+  campaign.journal_group_ = journal_group_;
+  campaign.journal_seed_ = journal_seed_;
   return campaign;
 }
 

@@ -27,6 +27,8 @@
 // validate-then-run_experiment.
 #pragma once
 
+#include <cstdint>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -54,6 +56,13 @@ class Campaign {
     int timed_out{0};
     /// Experiments served from the ResultCache instead of being run.
     int cache_hits{0};
+    /// Experiments replayed from the campaign journal on resume: emitted
+    /// straight from the cache by journaled key, without probing, running,
+    /// or re-validating. Zero on a non-resumed run.
+    int replayed{0};
+    /// Worker links reconnected after a loss (RemoteRunner with reconnect
+    /// enabled). Zero elsewhere.
+    int reconnects{0};
     /// Fault recovery on fallible runners (RemoteRunner): lease requeue
     /// events, the experiment indices those events sent back to the queue
     /// (one event salvaging 5 indices counts 1 event, 5 indices), and
@@ -81,6 +90,10 @@ class Campaign {
   std::shared_ptr<Runner> runner_;
   std::shared_ptr<ResultCache> cache_;
   std::vector<std::shared_ptr<ResultSink>> sinks_;
+  std::filesystem::path journal_path_;  // empty => no journal
+  bool resume_{false};
+  int journal_group_{32};
+  std::uint64_t journal_seed_{0};
   bool ran_{false};
 };
 
@@ -157,6 +170,24 @@ class CampaignBuilder {
   /// Sugar for cache(make_shared<ResultCache>(dir)).
   CampaignBuilder& cache_dir(const std::string& dir);
 
+  /// Crash-safe coordination (campaign/journal.hpp): write-ahead journal
+  /// every emitted index to `path` (truncating any previous journal), so a
+  /// killed coordinator can resume() instead of starting over. Requires a
+  /// cache — the journal's replay guarantee rests on the cache's durable
+  /// store ordering — checked at build(). `seed` is recorded in the
+  /// CampaignBegin record for operators (not validated on resume; the
+  /// study digests carry the real identity).
+  CampaignBuilder& journal(const std::string& path, std::uint64_t seed = 0);
+  /// Resume from the journal at `path`: validate each journaled study's
+  /// digest against this campaign, replay the journaled prefix from the
+  /// cache (zero re-execution), run only the tail, and keep appending to
+  /// the same journal. A journal whose campaign already completed replays
+  /// everything; one killed before CampaignBegin behaves like journal().
+  CampaignBuilder& resume(const std::string& path);
+  /// IndexDone records per journal group commit (default 32); 1 fsyncs
+  /// every record — what the crash-resume tests use for exact kill points.
+  CampaignBuilder& journal_group(int records);
+
   /// Validate every study — shell, uniqueness, and experiment 0's full
   /// configuration — and produce a runnable Campaign. Throws ConfigError.
   Campaign build() const;
@@ -171,6 +202,10 @@ class CampaignBuilder {
   std::shared_ptr<Runner> runner_;
   std::shared_ptr<ResultCache> cache_;
   std::vector<std::shared_ptr<ResultSink>> sinks_;
+  std::filesystem::path journal_path_;
+  bool resume_{false};
+  int journal_group_{32};
+  std::uint64_t journal_seed_{0};
 };
 
 /// Validate `params` (ConfigError on mistakes), then run one experiment.

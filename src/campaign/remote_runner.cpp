@@ -21,6 +21,7 @@
 #include "util/codec.hpp"
 #include "util/error.hpp"
 #include "util/mutex.hpp"
+#include "util/rng.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace loki::campaign {
@@ -32,11 +33,15 @@ using runtime::WorkerFrame;
 constexpr int kNoFailure = std::numeric_limits<int>::max();
 
 /// What a reader thread observed on its link. Eof and Corrupt are terminal:
-/// the reader pushes one and exits.
+/// the reader pushes one and exits. `epoch` is the link generation the
+/// reader was spawned for — a reconnect bumps the worker's epoch, so late
+/// events from the replaced link's reader are recognized as stale instead
+/// of being charged against the fresh link.
 struct Event {
   enum class Kind { Frame, Eof, Timeout, Corrupt };
   int worker{-1};
   Kind kind{Kind::Eof};
+  int epoch{0};
   std::vector<std::uint8_t> frame;
   std::string detail;
 };
@@ -84,12 +89,28 @@ struct Chunk {
   int hi{0};
 };
 
+/// One lost worker awaiting its next reopen attempt (exponential backoff
+/// with jitter). Lives on the engine's scheduling thread only.
+struct PendingReconnect {
+  int worker{0};
+  int attempts_left{0};
+  std::chrono::milliseconds delay{0};
+  std::chrono::steady_clock::time_point next_try;
+};
+
 struct WorkerState {
   std::unique_ptr<WorkerLink> link;
   std::thread reader;
   bool alive{false};       // link usable (spawned, not lost)
   bool handshaken{false};  // HelloAck received
   bool idle{false};        // handshaken and not holding a lease
+  /// Link generation: bumped by every reconnect; events stamped with an
+  /// older epoch belong to a replaced link and are ignored (except for
+  /// reader-exit accounting).
+  int epoch{0};
+  /// Set while a reopened link's HelloAck is pending, so the ack site can
+  /// count the reconnect as complete.
+  bool rejoining{false};
   std::uint32_t lease_id{0};
   std::set<int> outstanding;    // leased indices without a Result yet
   /// Autotuner inputs: when the current lease went out and how many
@@ -119,7 +140,8 @@ class Engine {
         n_(study.experiments),
         lease_now_(options.autotune_lease
                        ? std::min(options.lease_size, options.max_lease_size)
-                       : options.lease_size) {}
+                       : options.lease_size),
+        reconnect_rng_(options.reconnect_jitter_seed) {}
 
   void run() {
     if (n_ <= 0) return;
@@ -154,21 +176,33 @@ class Engine {
       WorkerState& ws = workers_[static_cast<std::size_t>(w)];
       if (!ws.alive) continue;
       ++readers_started_;
-      ws.reader = std::thread([this, w, link = ws.link.get()] {
-        reader_loop(w, link);
+      ws.reader = std::thread([this, w, link = ws.link.get(),
+                               epoch = ws.epoch] {
+        reader_loop(w, link, epoch);
       });
     }
 
     while (!done()) {
-      handle(events_.pop());
+      attempt_due_reconnects();
       drain();
       assign();
-      if (!done() && live_count() == 0)
+      // Losing the whole fleet is fatal only once no reconnect is pending:
+      // with attempts left, the campaign stalls (the queue holds everything
+      // requeued) and resumes the moment one reopen succeeds.
+      if (!done() && live_count() == 0 && reconnects_pending_.empty())
         throw std::runtime_error(
             "remote runner: study '" + study_.name + "': all " +
             std::to_string(spawn) + " workers lost with " +
             std::to_string(unfinished()) + " experiments unfinished (" +
             std::to_string(telemetry_.requeues) + " requeues)");
+      if (done()) break;
+      // With a reconnect scheduled, wake at its deadline even if no worker
+      // ever produces another event (the zero-survivors stall).
+      std::optional<Event> event =
+          reconnects_pending_.empty()
+              ? std::optional<Event>(events_.pop())
+              : events_.pop_until(earliest_reconnect());
+      if (event.has_value()) handle(*event);
     }
 
     guard.armed = false;
@@ -235,27 +269,27 @@ class Engine {
 
   // --- reader threads --------------------------------------------------------
 
-  void reader_loop(int w, WorkerLink* link) {
+  void reader_loop(int w, WorkerLink* link, int epoch) {
     for (;;) {
       RecvOutcome out;
       try {
         out = link->recv(options_.hang_timeout);
       } catch (const codec::DecodeError& e) {
-        events_.push({w, Event::Kind::Corrupt, {}, e.what()});
+        events_.push({w, Event::Kind::Corrupt, epoch, {}, e.what()});
         return;
       } catch (const std::exception& e) {
-        events_.push({w, Event::Kind::Eof, {}, e.what()});
+        events_.push({w, Event::Kind::Eof, epoch, {}, e.what()});
         return;
       }
       switch (out.status) {
         case RecvOutcome::Status::Frame:
-          events_.push({w, Event::Kind::Frame, std::move(out.frame), {}});
+          events_.push({w, Event::Kind::Frame, epoch, std::move(out.frame), {}});
           break;
         case RecvOutcome::Status::Timeout:
-          events_.push({w, Event::Kind::Timeout, {}, {}});
+          events_.push({w, Event::Kind::Timeout, epoch, {}, {}});
           break;
         case RecvOutcome::Status::Eof:
-          events_.push({w, Event::Kind::Eof, {}, {}});
+          events_.push({w, Event::Kind::Eof, epoch, {}, {}});
           return;
       }
     }
@@ -264,6 +298,16 @@ class Engine {
   // --- event handling --------------------------------------------------------
 
   void handle(const Event& event) {
+    if (event.epoch !=
+        workers_[static_cast<std::size_t>(event.worker)].epoch) {
+      // A replaced link's reader speaking after the reconnect took the
+      // slot. Its terminal event still closes out the reader accounting;
+      // everything else is noise from a link already given up on.
+      if (event.kind == Event::Kind::Eof ||
+          event.kind == Event::Kind::Corrupt)
+        ++readers_finished_;
+      return;
+    }
     switch (event.kind) {
       case Event::Kind::Frame:
         on_frame(event.worker, event.frame);
@@ -306,6 +350,16 @@ class Engine {
                 " — refusing to mix");
           ws.handshaken = true;
           ws.idle = true;
+          if (ws.rejoining) {
+            // The reconnect is complete only now — a reopened link whose
+            // worker never acks is just another loss, not a reconnect.
+            ws.rejoining = false;
+            ++telemetry_.reconnects;
+            WorkerTelemetry& wt =
+                telemetry_.workers[static_cast<std::size_t>(w)];
+            ++wt.reconnects;
+            wt.lost = false;
+          }
           break;
         }
         case WorkerFrame::Heartbeat:
@@ -464,6 +518,111 @@ class Engine {
       note_requeue(w, requeue_salvageable(ws));
       ws.outstanding.clear();
     }
+    // Requeue first, then (maybe) schedule the reopen: survivors start on
+    // the salvaged indices immediately; the slot rejoins whenever the
+    // backoff schedule lands a successful reopen.
+    if (options_.reconnect_attempts > 0) schedule_reconnect(w);
+  }
+
+  // --- reconnect -------------------------------------------------------------
+
+  /// 75%..125% of `delay`, so a fleet lost to one blip does not hammer the
+  /// transport in lockstep. Deterministic in reconnect_jitter_seed.
+  std::chrono::milliseconds jittered(std::chrono::milliseconds delay) {
+    const double factor = 0.75 + 0.5 * reconnect_rng_.next_double();
+    return std::chrono::milliseconds(std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(static_cast<double>(delay.count()) *
+                                     factor)));
+  }
+
+  void schedule_reconnect(int w) {
+    PendingReconnect pending;
+    pending.worker = w;
+    pending.attempts_left = options_.reconnect_attempts;
+    pending.delay = options_.reconnect_backoff;
+    pending.next_try = std::chrono::steady_clock::now() + jittered(pending.delay);
+    reconnects_pending_.push_back(pending);
+  }
+
+  std::chrono::steady_clock::time_point earliest_reconnect() const {
+    auto earliest = reconnects_pending_.front().next_try;
+    for (const PendingReconnect& pending : reconnects_pending_)
+      earliest = std::min(earliest, pending.next_try);
+    return earliest;
+  }
+
+  void attempt_due_reconnects() {
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = reconnects_pending_.begin();
+         it != reconnects_pending_.end();) {
+      if (it->next_try > now) {
+        ++it;
+        continue;
+      }
+      if (try_reconnect(it->worker)) {
+        it = reconnects_pending_.erase(it);
+        continue;
+      }
+      if (--it->attempts_left <= 0) {
+        std::fprintf(stderr,
+                     "remote runner: study '%s': giving up on worker %d "
+                     "after %d reconnect attempts\n",
+                     study_.name.c_str(), it->worker,
+                     options_.reconnect_attempts);
+        it = reconnects_pending_.erase(it);
+        continue;
+      }
+      it->delay = std::min(
+          std::chrono::milliseconds(static_cast<std::int64_t>(
+              static_cast<double>(it->delay.count()) *
+              options_.reconnect_multiplier)),
+          options_.reconnect_backoff_max);
+      it->next_try = now + jittered(it->delay);
+      ++it;
+    }
+  }
+
+  /// One reopen attempt for worker `w`'s slot. On success the slot holds a
+  /// fresh link with a fresh reader (new epoch) and a pending handshake;
+  /// on failure the slot is left dead for the caller's backoff loop.
+  bool try_reconnect(int w) {
+    WorkerState& ws = workers_[static_cast<std::size_t>(w)];
+    // The old reader exited promptly after lose_worker's kill(); join it so
+    // the replacement can take the slot.
+    if (ws.reader.joinable()) ws.reader.join();
+    std::unique_ptr<WorkerLink> link;
+    try {
+      link = transport_.reopen(w, study_);
+    } catch (const std::exception&) {
+      return false;  // refused: the caller backs off and retries
+    }
+    ws.link = std::move(link);
+    try {
+      ws.link->send(ws.link->needs_study_bytes() ? hello_with_study()
+                                                 : hello_inherited());
+    } catch (const std::exception&) {
+      ws.link->kill();
+      return false;
+    }
+    ws.alive = true;
+    ws.handshaken = false;
+    ws.idle = false;
+    ws.rejoining = true;
+    ws.outstanding.clear();
+    ws.lease_id = 0;
+    ws.ewma_latency_us = 0.0;
+    ++ws.epoch;
+    WorkerTelemetry& wt = telemetry_.workers[static_cast<std::size_t>(w)];
+    wt.describe = ws.link->describe();
+    wt.last_seen = std::chrono::steady_clock::now();
+    std::fprintf(stderr, "remote runner: study '%s': reconnected %s\n",
+                 study_.name.c_str(), ws.link->describe().c_str());
+    ++readers_started_;
+    ws.reader = std::thread([this, w, link = ws.link.get(),
+                             epoch = ws.epoch] {
+      reader_loop(w, link, epoch);
+    });
+    return true;
   }
 
   /// Requeue this worker's outstanding indices that the campaign still
@@ -642,6 +801,9 @@ class Engine {
   /// experiments share machine/state/event dictionaries, so the decode hot
   /// path pays the string allocations once per distinct header.
   runtime::ResultInterner interner_;
+  /// Lost workers awaiting reopen attempts; engine thread only.
+  std::vector<PendingReconnect> reconnects_pending_;
+  Rng reconnect_rng_{0};
   std::uint32_t lease_seq_{0};
   int next_emit_{0};
   int fail_min_{kNoFailure};
@@ -671,6 +833,18 @@ RemoteRunner::RemoteRunner(std::shared_ptr<Transport> transport,
                         std::to_string(options_.max_lease_size));
     if (options_.lease_target.count() <= 0)
       throw ConfigError("RemoteRunner: lease_target must be positive");
+  }
+  if (options_.reconnect_attempts < 0)
+    throw ConfigError("RemoteRunner: reconnect_attempts must be >= 0, got " +
+                      std::to_string(options_.reconnect_attempts));
+  if (options_.reconnect_attempts > 0) {
+    if (options_.reconnect_backoff.count() <= 0)
+      throw ConfigError("RemoteRunner: reconnect_backoff must be positive");
+    if (options_.reconnect_multiplier < 1.0)
+      throw ConfigError("RemoteRunner: reconnect_multiplier must be >= 1");
+    if (options_.reconnect_backoff_max < options_.reconnect_backoff)
+      throw ConfigError(
+          "RemoteRunner: reconnect_backoff_max must be >= reconnect_backoff");
   }
 }
 

@@ -19,8 +19,11 @@
 //   * a LeaseDone with unaccounted indices  -> the missing indices are
 //     requeued, the worker stays in rotation.
 // Requeue/lost counts surface through Runner::telemetry() and
-// Campaign::Summary. When the last worker dies with work remaining, the
-// runner throws std::runtime_error.
+// Campaign::Summary. With Options::reconnect_attempts > 0, a lost worker's
+// slot is reopened through the transport (exponential backoff with jitter);
+// a rejoined worker re-handshakes and pulls leases again. When the last
+// worker dies with work remaining and no reconnect is pending, the runner
+// throws std::runtime_error.
 //
 // Contract (matching SerialRunner / ThreadPoolRunner / ProcessPoolRunner):
 //   * emit(k, result) exactly once per index, in increasing k, on the
@@ -34,6 +37,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -71,6 +75,26 @@ struct RemoteOptions {
   /// How long to wait for workers to exit after Shutdown before killing
   /// them at teardown.
   std::chrono::milliseconds shutdown_grace{2'000};
+  /// Reconnect policy: after a worker link is lost (EOF, hang-kill, corrupt
+  /// stream), try Transport::reopen up to this many times before writing
+  /// the slot off. 0 (the default) disables reconnection — a lost worker
+  /// stays lost, the pre-reconnect behaviour. The budget is per loss: a
+  /// worker that rejoins and dies again gets a fresh set of attempts.
+  /// Requeued indices are NOT held back for the reconnect — survivors keep
+  /// draining the queue, and the rejoined worker simply pulls the next
+  /// lease; with no survivors the campaign stalls (rather than aborting)
+  /// until an attempt succeeds or the budget runs out.
+  int reconnect_attempts{0};
+  /// Delay before the first reopen attempt; doubles (reconnect_multiplier)
+  /// after each failure up to reconnect_backoff_max. Each wait is jittered
+  /// to 75%..125% so a fleet lost to one network blip does not retry in
+  /// lockstep (util::Rng seeded with reconnect_jitter_seed: deterministic
+  /// in the options, byte-identity of campaign output is unaffected either
+  /// way — reconnect timing never reaches the results).
+  std::chrono::milliseconds reconnect_backoff{100};
+  double reconnect_multiplier{2.0};
+  std::chrono::milliseconds reconnect_backoff_max{5'000};
+  std::uint64_t reconnect_jitter_seed{0};
 };
 
 class RemoteRunner final : public Runner {

@@ -53,7 +53,11 @@ struct WorkerTelemetry {
   int lease_size{0};
   /// Requeue events attributed to this worker's leases.
   int requeues{0};
-  /// True once the coordinator declared this worker lost.
+  /// Times this worker's link was reopened after a loss (reconnect policy,
+  /// campaign/remote_runner.hpp).
+  int reconnects{0};
+  /// True once the coordinator declared this worker lost. Cleared again by
+  /// a successful reconnect.
   bool lost{false};
   /// True while the worker holds an active lease.
   bool busy{false};
@@ -73,7 +77,11 @@ struct FleetTelemetry {
   /// event covering 5 unfinished indices counts 1 requeue, 5 indices).
   int requeued_indices{0};
   /// Worker links that died mid-study (crash, hang-kill, corrupt stream).
+  /// A reconnected worker still counts here — the link really was lost.
   int workers_lost{0};
+  /// Worker links reopened after a loss (Transport::reopen succeeded and
+  /// the replacement completed its handshake).
+  int reconnects{0};
   /// Lease span in effect when the last study finished — where the
   /// autotuner (campaign/remote_runner.hpp) converged from observed
   /// per-experiment latency. 0 for runners without leases.

@@ -537,6 +537,7 @@ class FakeLink final : public WorkerLink {
 FakeTransport::FakeTransport(int workers)
     : workers_(workers),
       faults_(static_cast<std::size_t>(workers)),
+      refuse_(static_cast<std::size_t>(workers), 0),
       live_(static_cast<std::size_t>(workers)) {
   if (workers < 1)
     throw ConfigError("FakeTransport: workers must be >= 1, got " +
@@ -579,6 +580,25 @@ std::unique_ptr<WorkerLink> FakeTransport::connect(
   });
   live_[static_cast<std::size_t>(index)] = worker;
   return std::make_unique<FakeLink>(worker, index);
+}
+
+std::unique_ptr<WorkerLink> FakeTransport::reopen(
+    int index, const runtime::StudyParams& study) {
+  fault_slot(index);  // range check with the standard message
+  if (int& left = refuse_[static_cast<std::size_t>(index)]; left > 0) {
+    --left;
+    throw std::runtime_error("FakeTransport: worker " + std::to_string(index) +
+                             " refused reconnect (scripted)");
+  }
+  // The scripted fault belonged to the process that died; its replacement
+  // spawns fault-free, so a flap test converges instead of re-tripping.
+  faults_[static_cast<std::size_t>(index)] = detail::FakeFaults{};
+  return connect(index, study);
+}
+
+void FakeTransport::refuse_reconnects(int worker, int n) {
+  fault_slot(worker);  // range check
+  refuse_[static_cast<std::size_t>(worker)] = n;
 }
 
 detail::FakeFaults& FakeTransport::fault_slot(int worker) {

@@ -90,6 +90,16 @@ class Transport {
   /// spawn failure (the caller decides whether losing one worker is fatal).
   virtual std::unique_ptr<WorkerLink> connect(
       int index, const runtime::StudyParams& study) = 0;
+
+  /// Re-establish worker `index`'s link after a loss: a fresh spawn of the
+  /// same worker slot (new process, new handshake). The default simply
+  /// connect()s again — right for subprocess and ssh backends, where the
+  /// old process is gone and a respawn IS the reconnect. Throws on failure;
+  /// the caller (RemoteRunner's reconnect policy) retries with backoff.
+  virtual std::unique_ptr<WorkerLink> reopen(
+      int index, const runtime::StudyParams& study) {
+    return connect(index, study);
+  }
 };
 
 /// Worker-side view of the same duplex channel — what serve_worker speaks,
@@ -259,10 +269,21 @@ class FakeTransport final : public Transport {
   int worker_count() const override { return workers_; }
   std::unique_ptr<WorkerLink> connect(int index,
                                       const runtime::StudyParams& study) override;
+  /// Honours the refuse_reconnects script, then respawns the worker with a
+  /// CLEAN fault slot: the scripted fault described the process that died,
+  /// and its replacement is a fresh one — which is also what keeps flap
+  /// tests deterministic (the replacement cannot re-trip the same fault).
+  std::unique_ptr<WorkerLink> reopen(int index,
+                                     const runtime::StudyParams& study) override;
 
   /// Worker-side ResultBatch flush bound for subsequently connected
   /// workers. Default 1: every result flushes its own batch.
   void set_batch_soft_bytes(std::size_t bytes) { batch_soft_bytes_ = bytes; }
+
+  /// Script a flapping link: the next `n` reopen() calls for `worker` throw
+  /// (connection refused), later ones succeed — "refuse twice, then
+  /// accept" exercises the runner's backoff without any real sockets.
+  void refuse_reconnects(int worker, int n);
 
   /// SIGKILL equivalent: after `n` results were delivered, the stream ends
   /// (Eof) and the worker thread is torn down; queued frames are lost.
@@ -297,6 +318,7 @@ class FakeTransport final : public Transport {
   int workers_;
   std::size_t batch_soft_bytes_{1};
   std::vector<detail::FakeFaults> faults_;
+  std::vector<int> refuse_;
   std::vector<std::shared_ptr<detail::FakeWorker>> live_;
 };
 

@@ -283,6 +283,66 @@ std::size_t result_batch_entry_count(const std::vector<std::uint8_t>& frame);
 
 std::vector<std::uint8_t> encode_shutdown_frame();
 
+// --- campaign journal records ------------------------------------------------
+// The write-ahead journal a crash-safe campaign coordinator keeps
+// (campaign/journal.hpp): a 6-byte file header — magic "LOKJ" + u16
+// kJournalVersion — followed by a stream of self-checking records:
+//
+//   u8 type, u32 payload length, payload, u64 FNV-1a checksum
+//
+// The checksum covers the type byte, the length prefix, and the payload, so
+// a torn tail (the crash case the journal exists for) or a flipped bit is
+// detected at the record boundary: decode_journal_record throws DecodeError
+// and the reader treats everything from there on as unwritten. Records are
+// versioned by the header, not individually — any layout change bumps
+// kJournalVersion and old journals are rejected rather than misread.
+
+/// Bump on ANY change to the journal header or a record layout.
+inline constexpr std::uint16_t kJournalVersion = 1;
+
+enum class JournalRecord : std::uint8_t {
+  CampaignBegin = 1,  // runner spec, seed, study count
+  StudyBegin = 2,     // ordinal, name, content digest, experiment count
+  IndexDone = 3,      // ordinal, experiment index, result cache key
+  StudyEnd = 4,       // ordinal
+  CampaignEnd = 5,    // (no payload)
+};
+
+/// One journal record, tagged by `type`; only that record's fields are
+/// meaningful (the rest keep their defaults).
+struct JournalEntry {
+  JournalRecord type{JournalRecord::CampaignBegin};
+  // CampaignBegin
+  std::string runner_spec;
+  std::uint64_t seed{0};
+  std::uint32_t studies{0};
+  // StudyBegin / IndexDone / StudyEnd
+  std::uint32_t study{0};
+  // StudyBegin
+  std::string study_name;
+  std::string study_digest;
+  std::uint32_t experiments{0};
+  // IndexDone
+  std::uint32_t index{0};
+  std::string result_key;
+};
+
+/// The 6-byte file header ("LOKJ" + u16 version).
+std::vector<std::uint8_t> encode_journal_header();
+/// Validate the header at the start of `data`; returns the bytes consumed.
+/// Throws codec::DecodeError on a short buffer, bad magic, or any version
+/// other than kJournalVersion.
+std::size_t decode_journal_header(const std::uint8_t* data, std::size_t size);
+
+/// Append one framed record (type, length, payload, checksum) to `out`.
+void encode_journal_record(const JournalEntry& entry,
+                           std::vector<std::uint8_t>& out);
+/// Decode the record at `data` (up to `size` bytes); `consumed` receives its
+/// framed length. Throws codec::DecodeError on truncation, a checksum
+/// mismatch, an unknown type, or payload/type disagreement.
+JournalEntry decode_journal_record(const std::uint8_t* data, std::size_t size,
+                                   std::size_t& consumed);
+
 std::vector<std::uint8_t> encode_ping_frame(const std::vector<std::uint8_t>& payload);
 std::vector<std::uint8_t> encode_pong_frame(const std::vector<std::uint8_t>& payload);
 std::vector<std::uint8_t> decode_ping_frame(const std::vector<std::uint8_t>& frame);

@@ -1,0 +1,27 @@
+// lint-fixture-path: src/campaign/dirty_campaign_example.cpp
+// Golden fixture for the raw-write rule: campaign-layer code touching
+// durable files without the atomic-publish helpers. Not compiled — the
+// lint self-test scans it and compares against tests/lint/expected.txt.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+void bad_persist(const std::string& path) {
+  std::ofstream out(path);  // torn file if the coordinator dies mid-write
+  out << "index-v1";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fclose(f);
+  std::filesystem::rename(path + ".tmp", path);  // rename without fsync
+}
+
+void fine_read(const std::string& path) {
+  std::ifstream in(path);  // reads are outside the durability contract
+  std::string line;
+  std::getline(in, line);
+}
+
+void justified(const std::string& path) {
+  // loki-lint: allow(raw-write, debug dump only; never read back or resumed)
+  std::ofstream dump(path + ".debug");
+}

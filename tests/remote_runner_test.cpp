@@ -671,6 +671,125 @@ TEST(RemoteRunnerFaults, AllWorkersLostThrows) {
   EXPECT_EQ(runner.telemetry().workers_lost, 2);
 }
 
+// --- transport reconnect ------------------------------------------------------
+
+/// Backoff tuned for tests: quick first retry, quick growth cap.
+campaign::RemoteOptions reconnect_options(int attempts, int lease_size = 3) {
+  campaign::RemoteOptions options = test_options(lease_size);
+  options.reconnect_attempts = attempts;
+  options.reconnect_backoff = std::chrono::milliseconds(20);
+  options.reconnect_backoff_max = std::chrono::milliseconds(200);
+  return options;
+}
+
+// A worker dies mid-lease, the link flaps (two refused reopens), then the
+// replacement rejoins, re-handshakes, and pulls leases again — campaign
+// byte-identical to serial, reconnect visible in the telemetry.
+TEST(RemoteRunnerReconnect, FlappingWorkerRejoins) {
+  const auto study = fault_study("fake-flap", 12);
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+
+  auto transport = std::make_shared<campaign::FakeTransport>(2);
+  // Both original processes die before the study can complete (2 + 4 < 12
+  // results), so finishing at all REQUIRES at least one successful rejoin —
+  // the reconnect assertion below cannot race the survivor finishing first.
+  transport->kill_after_results(0, 2);
+  transport->kill_after_results(1, 4);
+  transport->refuse_reconnects(0, 2);  // and worker 0's link flaps first
+  const auto remote = run_recorded(
+      std::make_shared<campaign::RemoteRunner>(transport,
+                                               reconnect_options(5)),
+      study);
+  expect_identical_events(serial.events, remote.events);
+  expect_exactly_once(remote.events, study.experiments);
+  EXPECT_GE(remote.summary.workers_lost, 1);
+  EXPECT_GE(remote.summary.reconnects, 1);
+}
+
+// Every reopen refused: the campaign degrades to the surviving worker and
+// still completes byte-identically, with zero successful reconnects.
+TEST(RemoteRunnerReconnect, RefuseAllDegradesToSurvivors) {
+  const auto study = fault_study("fake-refused", 10);
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+
+  auto transport = std::make_shared<campaign::FakeTransport>(2);
+  transport->kill_after_results(0, 2);
+  transport->refuse_reconnects(0, 1'000'000);  // more than any budget
+  const auto remote = run_recorded(
+      std::make_shared<campaign::RemoteRunner>(transport,
+                                               reconnect_options(3)),
+      study);
+  expect_identical_events(serial.events, remote.events);
+  EXPECT_GE(remote.summary.workers_lost, 1);
+  EXPECT_EQ(remote.summary.reconnects, 0);
+}
+
+// Sole worker lost and every reopen refused: once the attempt budget runs
+// dry the fleet really is gone, and the campaign aborts like it always did.
+TEST(RemoteRunnerReconnect, SingleWorkerRefuseAllThrows) {
+  const auto study = fault_study("fake-lonely-flap", 8);
+  auto transport = std::make_shared<campaign::FakeTransport>(1);
+  transport->kill_after_results(0, 1);
+  transport->refuse_reconnects(0, 1'000'000);
+  campaign::RemoteRunner runner(transport, reconnect_options(2));
+  try {
+    runner.run_study(study, [](int, ExperimentResult&&) {});
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("all 1 workers lost"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// Sole worker lost, reopen refused twice, then accepted: the campaign
+// *stalls* through the flap instead of aborting, then completes
+// byte-identically — the zero-survivors reconnect path.
+TEST(RemoteRunnerReconnect, SoleWorkerFlapRecovers) {
+  const auto study = fault_study("fake-lonely-rejoin", 6);
+  const auto serial =
+      run_recorded(std::make_shared<campaign::SerialRunner>(), study);
+
+  auto transport = std::make_shared<campaign::FakeTransport>(1);
+  transport->kill_after_results(0, 2);
+  transport->refuse_reconnects(0, 2);
+  const auto remote = run_recorded(
+      std::make_shared<campaign::RemoteRunner>(transport,
+                                               reconnect_options(5)),
+      study);
+  expect_identical_events(serial.events, remote.events);
+  EXPECT_GE(remote.summary.reconnects, 1);
+}
+
+TEST(RemoteRunnerReconnect, RejectsBadReconnectOptions) {
+  campaign::RemoteOptions negative;
+  negative.reconnect_attempts = -1;
+  EXPECT_THROW(campaign::RemoteRunner(
+                   std::make_shared<campaign::FakeTransport>(1), negative),
+               ConfigError);
+  campaign::RemoteOptions zero_backoff;
+  zero_backoff.reconnect_attempts = 3;
+  zero_backoff.reconnect_backoff = std::chrono::milliseconds(0);
+  EXPECT_THROW(campaign::RemoteRunner(
+                   std::make_shared<campaign::FakeTransport>(1), zero_backoff),
+               ConfigError);
+  campaign::RemoteOptions shrinking;
+  shrinking.reconnect_attempts = 3;
+  shrinking.reconnect_multiplier = 0.5;
+  EXPECT_THROW(campaign::RemoteRunner(
+                   std::make_shared<campaign::FakeTransport>(1), shrinking),
+               ConfigError);
+  campaign::RemoteOptions inverted_cap;
+  inverted_cap.reconnect_attempts = 3;
+  inverted_cap.reconnect_backoff = std::chrono::milliseconds(500);
+  inverted_cap.reconnect_backoff_max = std::chrono::milliseconds(100);
+  EXPECT_THROW(campaign::RemoteRunner(
+                   std::make_shared<campaign::FakeTransport>(1), inverted_cap),
+               ConfigError);
+}
+
 // --- failure-prefix semantics across the wire --------------------------------
 
 TEST(RemoteRunnerFaults, ExperimentFailurePrefixMatchesSerial) {

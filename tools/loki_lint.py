@@ -21,6 +21,11 @@ instead of waiting for an identity CI job to sample them:
   raw-random       rand()/random()/drand48/std::random_device/std::mt19937
                    outside util/rng: all randomness flows through the
                    seeded util::Rng streams or replay breaks
+  raw-write        ofstream/fopen/rename inside src/campaign: the crash-
+                   safety story (journal replay, cache store ordering)
+                   rests on durable files being published temp + fsync +
+                   atomic rename via util::atomic_write_file or
+                   util::rename_path; anything else can tear on SIGKILL
   bad-allow        a loki-lint allow() with no written reason
 
 Suppressing a finding requires a written justification, on the same line or
@@ -78,6 +83,18 @@ RANDOM_PATTERNS = [
     (re.compile(r"\bminstd_rand0?\b"), "std::minstd_rand"),
 ]
 
+# Writes that can leave a torn or unsynced file behind a crash. Scoped to
+# src/campaign, where the durability contract lives: every durable file
+# (cache entries, cache.index, anything renamed into place) must go through
+# util::atomic_write_file / util::rename_path. The journal's append-only fd
+# writer (::open/::write/::fsync in journal.cpp) is deliberately not matched:
+# append-only + checksummed records IS its torn-write story.
+RAW_WRITE_PATTERNS = [
+    (re.compile(r"\bofstream\b"), "std::ofstream"),
+    (re.compile(r"\bfopen\s*\("), "fopen"),
+    (re.compile(r"\brename\s*\("), "rename"),
+]
+
 RULES = {
     "unordered-iter":
         "iteration over an unordered container (hash order is not stable)",
@@ -89,6 +106,8 @@ RULES = {
         "environment read inside the deterministic core (src/sim, src/runtime)",
     "raw-random":
         "randomness not drawn from the seeded util::Rng streams",
+    "raw-write":
+        "non-atomic file write/rename inside src/campaign (torn on crash)",
     "bad-allow":
         "loki-lint allow() without a written reason",
 }
@@ -243,6 +262,7 @@ def scan_file(path, rel):
     in_sim = rel.startswith("src/sim")
     in_runtime = rel.startswith("src/runtime")
     in_rng = rel.startswith("src/util/rng")
+    in_campaign = rel.startswith("src/campaign")
 
     unordered_names = declared_unordered_names(code)
 
@@ -307,6 +327,16 @@ def scan_file(path, rel):
                    "replayed deterministically; measure latencies in the "
                    "campaign layer and pass them in as values "
                    "(runtime/worker_stats.hpp)")
+
+        # --- raw-write (durable campaign state only) -------------------------
+        if in_campaign:
+            for pattern, what in RAW_WRITE_PATTERNS:
+                if pattern.search(line):
+                    report(lineno, "raw-write",
+                           f"{what} inside src/campaign: durable state must "
+                           "be published via util::atomic_write_file / "
+                           "util::rename_path (temp file, fsync, atomic "
+                           "rename) so a mid-write crash cannot tear it")
 
         # --- raw-random ------------------------------------------------------
         if not in_rng:

@@ -61,7 +61,9 @@ constexpr const char* kUsage =
     "<LocalTimelineFile>...\n"
     "       lokimeasure --campaign "
     "[--runner serial|threads:N|procs:N|static-procs:N|remote:HOSTFILE] "
-    "[--cache DIR] [--experiments N] [--seed S] [--status]\n"
+    "[--cache DIR] [--cache-max-bytes B] [--cache-max-entries N]\n"
+    "                   [--journal FILE | --resume FILE] [--journal-group N] "
+    "[--experiments N] [--seed S] [--status]\n"
     "       lokimeasure --emit-study <out.bin> [--experiments N] [--seed S]\n"
     "       lokimeasure --worker <study.bin> <lo> <hi> [step]\n"
     "       lokimeasure --worker --serve [study.bin]\n";
@@ -159,6 +161,10 @@ measure::StudyMeasure demo_measure() {
 int run_campaign_mode(const std::vector<std::string>& args) {
   std::string runner_spec = "serial";
   std::string cache_dir;
+  std::string journal_path;
+  bool resume = false;
+  int journal_group = 32;
+  campaign::CacheOptions cache_options;
   bool status = false;
   DemoOptions opts;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -167,11 +173,30 @@ int run_campaign_mode(const std::vector<std::string>& args) {
       runner_spec = flag_value(args, i, "--runner");
     else if (args[i] == "--cache")
       cache_dir = flag_value(args, i, "--cache");
+    else if (args[i] == "--cache-max-bytes")
+      cache_options.max_bytes = u64_arg(
+          "--cache-max-bytes", flag_value(args, i, "--cache-max-bytes"));
+    else if (args[i] == "--cache-max-entries")
+      cache_options.max_entries = u64_arg(
+          "--cache-max-entries", flag_value(args, i, "--cache-max-entries"));
+    else if (args[i] == "--journal") {
+      journal_path = flag_value(args, i, "--journal");
+      resume = false;
+    } else if (args[i] == "--resume") {
+      journal_path = flag_value(args, i, "--resume");
+      resume = true;
+    } else if (args[i] == "--journal-group")
+      journal_group = int_arg("--journal-group",
+                              flag_value(args, i, "--journal-group"));
     else if (args[i] == "--status")
       status = true;
     else
       throw ConfigError("unknown --campaign option: " + args[i]);
   }
+  if (!journal_path.empty() && cache_dir.empty())
+    throw ConfigError(
+        "--journal/--resume requires --cache DIR: resume replays journaled "
+        "indices from the cache");
 
   apps::register_builtin_apps();
   const runtime::StudyParams study = demo_study(opts.seed, opts.experiments);
@@ -194,8 +219,15 @@ int run_campaign_mode(const std::vector<std::string>& args) {
     builder.sink(std::make_shared<campaign::StatusSink>(runner, stderr));
   std::shared_ptr<campaign::ResultCache> cache;
   if (!cache_dir.empty()) {
-    cache = std::make_shared<campaign::ResultCache>(cache_dir);
+    cache = std::make_shared<campaign::ResultCache>(cache_dir, cache_options);
     builder.cache(cache);
+  }
+  if (!journal_path.empty()) {
+    if (resume)
+      builder.resume(journal_path);
+    else
+      builder.journal(journal_path, opts.seed);
+    builder.journal_group(journal_group);
   }
   const Campaign::Summary summary = builder.build().run();
 
@@ -216,18 +248,27 @@ int run_campaign_mode(const std::vector<std::string>& args) {
   std::fprintf(stderr, "runner: %s, wall %.2fs\n", runner_spec.c_str(),
                summary.wall_seconds);
   if (cache)
-    std::fprintf(stderr, "cache: hits=%llu misses=%llu stores=%llu\n",
-                 static_cast<unsigned long long>(cache->stats().hits),
-                 static_cast<unsigned long long>(cache->stats().misses),
-                 static_cast<unsigned long long>(cache->stats().stores));
+    std::fprintf(
+        stderr,
+        "cache: hits=%llu misses=%llu stores=%llu corrupt=%llu "
+        "evictions=%llu\n",
+        static_cast<unsigned long long>(cache->stats().hits),
+        static_cast<unsigned long long>(cache->stats().misses),
+        static_cast<unsigned long long>(cache->stats().stores),
+        static_cast<unsigned long long>(cache->stats().corrupt),
+        static_cast<unsigned long long>(cache->stats().evictions));
   std::fprintf(stderr, "cache_hits=%d of %d\n", summary.cache_hits,
                summary.experiments);
-  if (summary.requeue_events > 0 || summary.workers_lost > 0)
+  if (summary.replayed > 0)
+    std::fprintf(stderr, "resume: replayed=%d of %d\n", summary.replayed,
+                 summary.experiments);
+  if (summary.requeue_events > 0 || summary.workers_lost > 0 ||
+      summary.reconnects > 0)
     std::fprintf(stderr,
                  "fault recovery: requeue_events=%d requeued_indices=%d "
-                 "workers_lost=%d\n",
+                 "workers_lost=%d reconnects=%d\n",
                  summary.requeue_events, summary.requeued_indices,
-                 summary.workers_lost);
+                 summary.workers_lost, summary.reconnects);
   return 0;
 }
 
